@@ -1,0 +1,24 @@
+# One binary per reproduced table/figure plus extension benches
+# (experiment index in DESIGN.md section 4). Included from the top-level
+# CMakeLists so ${CMAKE_BINARY_DIR}/bench contains only runnable binaries.
+function(gmmcs_bench name)
+  add_executable(${name} bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE gmmcs_core)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+gmmcs_bench(fig3_delay_jitter)       # Figure 3 (delay + jitter)
+gmmcs_bench(broker_capacity)         # Claims C1/C2
+gmmcs_bench(ablation_optimizations)  # A1
+gmmcs_bench(broker_network)          # A2
+gmmcs_bench(gateway_signaling)       # A3
+gmmcs_bench(streaming_pipeline)      # A4
+gmmcs_bench(p2p_tradeoff)            # A6
+gmmcs_bench(reliable_delivery)       # A7
+gmmcs_bench(dispatch_threads)        # A8
+
+add_executable(micro_codecs bench/micro_codecs.cpp)  # A5
+target_link_libraries(micro_codecs PRIVATE gmmcs_core benchmark::benchmark)
+set_target_properties(micro_codecs PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

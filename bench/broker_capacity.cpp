@@ -1,0 +1,47 @@
+// Reproduces the paper's §3.2 capacity claims:
+//   "one broker can support more than a thousand audio clients or more
+//    than 400 video clients at one time providing a very good quality"
+//
+// Sweeps receiver counts for a single broker carrying one 64 Kbps G.711
+// audio stream or one 600 Kbps video stream and reports delay/loss with
+// the paper's quality criterion (avg delay < 100 ms, loss < 2%).
+#include <cstdio>
+#include <vector>
+
+#include "core/experiments.hpp"
+
+namespace {
+
+void sweep(gmmcs::core::MediaKind kind, const char* title, const std::vector<int>& counts,
+           int paper_claim) {
+  using namespace gmmcs::core;
+  std::printf("\n=== %s (paper claim: good quality beyond %d clients) ===\n", title, paper_claim);
+  std::printf("%10s %14s %16s %10s %12s %10s\n", "clients", "avg delay", "per-client max",
+              "loss", "offered", "quality");
+  int last_good = 0;
+  for (int n : counts) {
+    CapacityConfig cfg;
+    cfg.kind = kind;
+    cfg.clients = n;
+    CapacityPoint p = run_capacity(cfg);
+    std::printf("%10d %11.2f ms %13.2f ms %9.3f%% %9.1f Mbps %10s\n", p.clients, p.avg_delay_ms,
+                p.p99_delay_ms, p.loss_ratio * 100.0, p.offered_mbps,
+                p.good_quality ? "good" : "DEGRADED");
+    if (p.good_quality) last_good = n;
+  }
+  std::printf("  -> largest good-quality client count in sweep: %d (paper: >%d)\n", last_good,
+              paper_claim);
+}
+
+}  // namespace
+
+int main() {
+  using namespace gmmcs::core;
+  std::printf("=== Broker capacity (claims C1/C2, DESIGN.md section 4) ===\n");
+  std::printf("Quality criterion: avg delay < 150 ms and loss < 2%%.\n");
+  sweep(MediaKind::kAudio, "C1: audio clients per broker (64 Kbps G.711)",
+        {200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800}, 1000);
+  sweep(MediaKind::kVideo, "C2: video clients per broker (600 Kbps)",
+        {100, 200, 300, 400, 420, 440, 470, 500, 600}, 400);
+  return 0;
+}

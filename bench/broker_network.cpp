@@ -1,0 +1,151 @@
+// Extension bench A2 (DESIGN.md §4): the distributed broker fabric.
+//
+// The paper's measurements use a single broker; its architecture section
+// (§2.3) rests on "a dynamic collection of brokers". This bench measures
+// what the fabric adds: per-hop delay across chain topologies, fanout
+// sharing on shared paths, and a hierarchical (cluster-addressed)
+// deployment serving subscribers in every cluster.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "broker/broker_network.hpp"
+#include "broker/client.hpp"
+#include "media/probe.hpp"
+#include "media/stamp.hpp"
+#include "rtp/packet.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+
+using namespace gmmcs;
+
+namespace {
+
+/// Publishes `packets` RTP packets on b0 and measures delay at a
+/// subscriber attached to the last broker of a chain of `hops+1` brokers.
+void chain_row(int hops, int packets) {
+  sim::EventLoop loop;
+  sim::Network net(loop, 7);
+  net.set_default_path(sim::PathConfig{.latency = duration_ms(5)});  // WAN-ish links
+  broker::BrokerNetwork fabric(net);
+  for (int i = 0; i <= hops; ++i) {
+    fabric.add_broker(net.add_host("b" + std::to_string(i)));
+  }
+  for (int i = 0; i < hops; ++i) {
+    fabric.link(static_cast<broker::BrokerId>(i), static_cast<broker::BrokerId>(i + 1));
+  }
+  fabric.finalize();
+  broker::BrokerClient pub(net.add_host("pub"), fabric.broker(0).stream_endpoint());
+  broker::BrokerClient sub(net.add_host("sub"),
+                           fabric.broker(static_cast<broker::BrokerId>(hops)).stream_endpoint());
+  sub.subscribe("/lecture/video");
+  media::MediaProbe probe(90000);
+  std::uint8_t seen_hops = 0;
+  sub.on_event([&](const broker::Event& ev) {
+    probe.on_wire(ev.payload, loop.now());
+    seen_hops = ev.hops;
+  });
+  loop.run();
+  for (int i = 0; i < packets; ++i) {
+    rtp::RtpPacket p;
+    p.ssrc = 1;
+    p.sequence = static_cast<std::uint16_t>(i);
+    p.timestamp = 3600u * static_cast<std::uint32_t>(i);
+    p.payload = Bytes(960, 0);
+    media::embed_origin(p.payload, loop.now());
+    pub.publish("/lecture/video", p.serialize());
+    loop.run_for(duration_ms(40));
+  }
+  loop.run();
+  std::printf("%8d %10u %14.2f ms %11.2f ms\n", hops, seen_hops, probe.stats().delay_ms().mean(),
+              probe.stats().delay_ms().max());
+}
+
+void fanout_sharing() {
+  // Chain b0-b1-b2 with N subscribers at b2: b0 must send ONE copy toward
+  // b2 per event regardless of N (the target-set routing of §2.3).
+  sim::EventLoop loop;
+  sim::Network net(loop, 9);
+  broker::BrokerNetwork fabric(net);
+  for (int i = 0; i < 3; ++i) fabric.add_broker(net.add_host("b" + std::to_string(i)));
+  fabric.link(0, 1);
+  fabric.link(1, 2);
+  fabric.finalize();
+  broker::BrokerClient pub(net.add_host("pub"), fabric.broker(0).stream_endpoint());
+  std::vector<std::unique_ptr<broker::BrokerClient>> subs;
+  for (int i = 0; i < 50; ++i) {
+    subs.push_back(std::make_unique<broker::BrokerClient>(
+        net.add_host("s" + std::to_string(i)), fabric.broker(2).stream_endpoint()));
+    subs.back()->subscribe("/t");
+  }
+  loop.run();
+  for (int i = 0; i < 20; ++i) pub.publish("/t", Bytes(500, 0));
+  loop.run();
+  std::printf("\nfanout sharing: 20 events, 50 subscribers at a 2-hop broker\n");
+  std::printf("  events forwarded by origin broker: %llu (one per event, not per subscriber)\n",
+              static_cast<unsigned long long>(fabric.broker(0).peer_forwards()));
+  std::printf("  copies delivered by edge broker:   %llu\n",
+              static_cast<unsigned long long>(fabric.broker(2).copies_delivered()));
+}
+
+void hierarchy() {
+  // 3 super-clusters x 2 clusters x 2 nodes; one subscriber per broker.
+  sim::EventLoop loop;
+  sim::Network net(loop, 13);
+  net.set_default_path(sim::PathConfig{.latency = duration_ms(2)});
+  broker::BrokerNetwork fabric(net);
+  for (int sc = 0; sc < 3; ++sc) {
+    for (int c = 0; c < 2; ++c) {
+      for (int n = 0; n < 2; ++n) {
+        broker::BrokerNode& b = fabric.add_broker(net.add_host(
+            "b" + std::to_string(sc) + std::to_string(c) + std::to_string(n)));
+        fabric.set_address(b.id(), broker::ClusterAddress{sc, c, n});
+      }
+    }
+  }
+  fabric.link_hierarchy();
+  std::vector<std::unique_ptr<broker::BrokerClient>> subs;
+  std::vector<std::unique_ptr<media::MediaProbe>> probes;
+  for (std::size_t i = 0; i < fabric.broker_count(); ++i) {
+    subs.push_back(std::make_unique<broker::BrokerClient>(
+        net.add_host("sub" + std::to_string(i)),
+        fabric.broker(static_cast<broker::BrokerId>(i)).stream_endpoint()));
+    subs.back()->subscribe("/global/av");
+    probes.push_back(std::make_unique<media::MediaProbe>(90000));
+    auto* probe = probes.back().get();
+    subs.back()->on_event(
+        [probe, &loop](const broker::Event& ev) { probe->on_wire(ev.payload, loop.now()); });
+  }
+  broker::BrokerClient pub(net.add_host("pub"), fabric.broker(0).stream_endpoint());
+  loop.run();
+  for (int i = 0; i < 50; ++i) {
+    rtp::RtpPacket p;
+    p.ssrc = 2;
+    p.sequence = static_cast<std::uint16_t>(i);
+    p.payload = Bytes(960, 0);
+    media::embed_origin(p.payload, loop.now());
+    pub.publish("/global/av", p.serialize());
+    loop.run_for(duration_ms(40));
+  }
+  loop.run();
+  std::printf("\nhierarchical fabric (3 super-clusters x 2 clusters x 2 nodes):\n");
+  std::printf("%20s %10s %14s\n", "subscriber-broker", "distance", "mean delay");
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    std::printf("%20s %10d %11.2f ms\n",
+                fabric.address(static_cast<broker::BrokerId>(i)).to_string().c_str(),
+                fabric.distance(0, static_cast<broker::BrokerId>(i)),
+                probes[i]->stats().delay_ms().mean());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension A2: distributed broker fabric ===\n\n");
+  std::printf("chain topologies, 5 ms links, 960-byte video packets:\n");
+  std::printf("%8s %10s %17s %14s\n", "hops", "ev.hops", "mean delay", "max delay");
+  for (int hops : {0, 1, 2, 4, 8}) chain_row(hops, 100);
+  fanout_sharing();
+  hierarchy();
+  return 0;
+}

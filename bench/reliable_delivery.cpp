@@ -1,0 +1,90 @@
+// Extension bench A7 (DESIGN.md §4): cost of guaranteed delivery.
+//
+// Sweeps UDP loss rates and compares a plain best-effort subscriber
+// against the NAK-repaired ReliableSubscriber on the same topic: fraction
+// of events delivered, recovery traffic (NAKs + retransmissions) and the
+// extra delay repaired events pay.
+#include <cstdio>
+
+#include "broker/broker_node.hpp"
+#include "broker/client.hpp"
+#include "broker/reliable.hpp"
+#include "common/stats.hpp"
+#include "media/stamp.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+
+using namespace gmmcs;
+
+namespace {
+
+struct Row {
+  double plain_delivered = 0;
+  double reliable_delivered = 0;
+  double mean_delay_ms = 0;
+  std::uint64_t naks = 0;
+  std::uint64_t retransmissions = 0;
+};
+
+Row run(double loss) {
+  sim::EventLoop loop;
+  sim::Network net(loop, 42);
+  broker::BrokerNode node(net.add_host("broker"), 0);
+  sim::Host& plain_host = net.add_host("plain-sub");
+  sim::Host& rel_host = net.add_host("reliable-sub");
+  net.set_path(node.host().id(), plain_host.id(),
+               sim::PathConfig{.latency = duration_us(300), .loss = loss});
+  net.set_path(node.host().id(), rel_host.id(),
+               sim::PathConfig{.latency = duration_us(300), .loss = loss});
+  broker::RecoveryService recovery(net.add_host("recovery"), node.stream_endpoint(), "/t");
+
+  broker::BrokerClient plain(plain_host, node.stream_endpoint());
+  plain.subscribe("/t");
+  std::uint64_t plain_got = 0;
+  plain.on_event([&](const broker::Event&) { ++plain_got; });
+
+  broker::ReliableSubscriber reliable(rel_host, node.stream_endpoint(), "/t",
+                                      recovery.endpoint());
+  std::uint64_t rel_got = 0;
+  RunningStats delay;
+  reliable.on_event([&](const broker::Event& ev) {
+    ++rel_got;
+    delay.add((loop.now() - ev.origin).to_ms());
+  });
+
+  broker::BrokerClient pub(net.add_host("pub"), node.stream_endpoint());
+  loop.run();
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    pub.publish("/t", Bytes(512, 0));
+    loop.run_for(duration_ms(10));
+  }
+  loop.run_for(duration_s(1));
+  Row row;
+  row.plain_delivered = static_cast<double>(plain_got) / n;
+  row.reliable_delivered = static_cast<double>(rel_got) / n;
+  row.mean_delay_ms = delay.mean();
+  row.naks = recovery.naks_served();
+  row.retransmissions = recovery.retransmissions();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension A7: guaranteed delivery under UDP loss ===\n");
+  std::printf("400 events at 100/s, plain UDP subscriber vs NAK-repaired subscriber.\n\n");
+  std::printf("%8s %16s %18s %14s %8s %9s\n", "loss", "plain delivered", "reliable delivered",
+              "mean delay", "NAKs", "retrans");
+  for (double loss : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
+    Row r = run(loss);
+    std::printf("%7.0f%% %15.1f%% %17.1f%% %11.2f ms %8llu %9llu\n", loss * 100,
+                r.plain_delivered * 100, r.reliable_delivered * 100, r.mean_delay_ms,
+                static_cast<unsigned long long>(r.naks),
+                static_cast<unsigned long long>(r.retransmissions));
+  }
+  std::printf("\nReading: plain delivery degrades linearly with loss; the recovery\n");
+  std::printf("service holds delivery at ~100%% (suffix guarantee), paying for it in\n");
+  std::printf("repair round-trips that show up as a higher mean delivery delay.\n");
+  return 0;
+}

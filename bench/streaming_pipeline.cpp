@@ -1,0 +1,101 @@
+// Extension bench A4 (DESIGN.md §4): the Real producer / Helix pipeline.
+//
+// Sweeps concurrent RTSP viewers of a re-encoded session stream and
+// reports producer transcode backlog, viewer startup latency and late
+// blocks; then sweeps transcoder CPU cost to show the encoder saturation
+// point (the real Real Producer was famously CPU-bound).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "broker/client.hpp"
+#include "core/global_mmcs.hpp"
+#include "media/generator.hpp"
+#include "rtp/session.hpp"
+#include "streaming/player.hpp"
+
+using namespace gmmcs;
+
+namespace {
+
+struct RunResult {
+  double startup_ms = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t late = 0;
+  std::uint64_t dropped_frames = 0;
+  double encode_wait_ms = 0;
+};
+
+RunResult run(int viewers, SimDuration cost_per_kb) {
+  sim::EventLoop loop;
+  core::GlobalMmcs mmcs(loop);
+  std::string sid = mmcs.create_session("stream-bench", "gcf", {{"video", "H261"}});
+  std::string topic = mmcs.sessions().find(sid)->stream("video")->topic;
+
+  // Producer with the requested transcode cost.
+  streaming::RealProducer::Config pcfg;
+  pcfg.topic = topic;
+  pcfg.stream_name = "bench-video";
+  pcfg.transcode.cost_per_kb = cost_per_kb;
+  sim::Host& helix_host = mmcs.network().host(mmcs.helix().rtsp_endpoint().node);
+  streaming::RealProducer producer(helix_host, mmcs.broker_endpoint(), mmcs.helix(), pcfg);
+
+  std::vector<std::unique_ptr<streaming::StreamingPlayer>> players;
+  for (int i = 0; i < viewers; ++i) {
+    players.push_back(std::make_unique<streaming::StreamingPlayer>(
+        mmcs.add_client_host("viewer-" + std::to_string(i)), mmcs.helix().rtsp_endpoint()));
+    players.back()->play("bench-video", [](bool) {});
+  }
+  loop.run();
+
+  sim::Host& sh = mmcs.add_client_host("sender");
+  rtp::RtpSession tx(sh, {.ssrc = 4, .payload_type = 31});
+  broker::BrokerClient pub(sh, mmcs.broker_endpoint(),
+                           broker::BrokerClient::Config{.name = "sender"});
+  tx.on_send([&](const Bytes& wire) { pub.publish(topic, wire); });
+  media::VideoSource source(tx, {.codec = media::codecs::h261(), .seed = 21});
+  loop.run();
+  source.start();
+  loop.run_for(duration_s(10));
+  source.stop();
+  loop.run_for(duration_s(2));
+
+  RunResult out;
+  RunningStats startup, late;
+  for (auto& p : players) {
+    if (p->startup_latency()) startup.add(p->startup_latency()->to_ms());
+    late.add(static_cast<double>(p->late_blocks()));
+    out.blocks += p->blocks_received();
+  }
+  out.startup_ms = startup.mean();
+  out.late = static_cast<std::uint64_t>(late.sum());
+  out.dropped_frames = producer.frames_dropped();
+  out.encode_wait_ms = producer.transcoder().mean_encode_wait().to_ms();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension A4: Real producer / Helix streaming pipeline ===\n\n");
+  std::printf("viewer sweep (10 s of 320 kbps H.261, transcode 300 us/KiB):\n");
+  std::printf("%8s %14s %14s %12s %14s\n", "viewers", "startup", "blocks rx", "late", "enc wait");
+  for (int viewers : {1, 5, 20, 50, 100}) {
+    RunResult r = run(viewers, duration_us(300));
+    std::printf("%8d %11.2f ms %14llu %12llu %11.3f ms\n", viewers, r.startup_ms,
+                static_cast<unsigned long long>(r.blocks), static_cast<unsigned long long>(r.late),
+                r.encode_wait_ms);
+  }
+  std::printf("\ntranscoder cost sweep (20 viewers):\n");
+  std::printf("%14s %14s %14s %14s\n", "cost/KiB", "blocks rx", "frames drop", "enc wait");
+  for (auto cost_us : {100, 300, 1000, 3000, 10000, 30000}) {
+    RunResult r = run(20, duration_us(cost_us));
+    std::printf("%11d us %14llu %14llu %11.3f ms\n", cost_us,
+                static_cast<unsigned long long>(r.blocks),
+                static_cast<unsigned long long>(r.dropped_frames), r.encode_wait_ms);
+  }
+  std::printf("\nReading: distribution scales linearly with viewers (copy loop), while\n");
+  std::printf("the encoder saturates once per-frame cost approaches the frame interval —\n");
+  std::printf("frames drop at the transcoder queue, not in the network.\n");
+  return 0;
+}

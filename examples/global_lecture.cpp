@@ -1,0 +1,38 @@
+// Global lecture: the Figure-3 workload as an application. One lecturer
+// streams 600 Kbps video to 400 receivers through a NaradaBrokering
+// broker; a handful of probes co-located with the lecturer report the
+// delay/jitter a participant experiences, and the same audience is then
+// served by the JMF reflector baseline for comparison.
+//
+//   $ ./examples/global_lecture
+#include <cstdio>
+
+#include "core/experiments.hpp"
+
+using namespace gmmcs;
+
+namespace {
+
+void run(core::Fanout fanout) {
+  core::Fig3Config cfg;
+  cfg.fanout = fanout;
+  cfg.packets = 800;  // ~10 simulated seconds of lecture
+  core::Fig3Result r = core::run_fig3(cfg);
+  std::printf("%-28s delay %7.2f ms   jitter %6.2f ms   loss %.3f%%   (%.0f kbps stream)\n",
+              core::to_string(fanout), r.avg_delay_ms, r.avg_jitter_ms, r.loss_ratio * 100.0,
+              r.stream_kbps);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Global lecture: 1 speaker -> 400 receivers, 600 Kbps video\n");
+  std::printf("(12 receivers co-located with the speaker are measured)\n\n");
+  run(core::Fanout::kBroker);
+  run(core::Fanout::kBrokerNaive);
+  run(core::Fanout::kJmfReflector);
+  std::printf("\nThe optimized broker sustains the audience with the lowest delay —\n");
+  std::printf("the paper's Figure 3 result. Run bench/fig3_delay_jitter for the\n");
+  std::printf("full 2000-packet series.\n");
+  return 0;
+}

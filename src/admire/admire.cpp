@@ -1,0 +1,152 @@
+#include "admire/admire.hpp"
+
+#include "common/log.hpp"
+
+namespace gmmcs::admire {
+
+AdmireCommunity::AdmireCommunity(sim::Host& host, sim::Endpoint broker_stream,
+                                 std::uint16_t soap_port, std::string name)
+    : host_(&host), broker_(broker_stream), name_(std::move(name)), soap_(host, soap_port) {
+  soap_.register_operation("GetRendezvous",
+                           [this](const xml::Element& r) { return establish(r); });
+  soap_.register_operation("SessionMembership",
+                           [this](const xml::Element& r) { return membership(r); });
+  soap_.register_operation("SessionControl",
+                           [this](const xml::Element& r) { return control(r); });
+}
+
+xgsp::WsdlCi AdmireCommunity::descriptor() const {
+  xgsp::WsdlCi d;
+  d.service_name = "AdmireConferenceService";
+  d.community = "admire";
+  d.endpoint = soap_.endpoint();
+  d.establish_op = "GetRendezvous";
+  d.membership_op = "SessionMembership";
+  d.control_op = "SessionControl";
+  return d;
+}
+
+const std::vector<AdmireCommunity::Rendezvous>* AdmireCommunity::rendezvous_for(
+    const std::string& session_id) const {
+  auto it = bridges_.find(session_id);
+  return it == bridges_.end() ? nullptr : &it->second.rendezvous;
+}
+
+AdmireCommunity::SessionBridge& AdmireCommunity::bridge_session(const xgsp::Session& session) {
+  auto it = bridges_.find(session.id());
+  if (it != bridges_.end()) return it->second;
+  it = bridges_.emplace(session.id(), SessionBridge{}).first;
+  SessionBridge& bridge = it->second;
+  for (const auto& stream : session.streams()) {
+    auto sb = std::make_unique<StreamBridge>();
+    sb->kind = stream.kind;
+    sb->topic = stream.topic;
+    sb->downlink = host_->network().create_group();
+    sb->ingress = std::make_unique<transport::DatagramSocket>(*host_);
+    sb->uplink = std::make_unique<broker::BrokerClient>(
+        *host_, broker_,
+        broker::BrokerClient::Config{.name = name_ + "-agent-" + session.id() + "-" +
+                                             stream.kind});
+    sb->uplink->subscribe(stream.topic);
+    StreamBridge* raw = sb.get();
+    // Terminal -> rendezvous: multicast to the community AND publish to
+    // the Global-MMCS topic (the "RTP agent" pair of the paper).
+    sb->ingress->on_receive([this, raw](const sim::Datagram& d) {
+      ++uplinked_;
+      raw->ingress->send_group(raw->downlink, d.payload);
+      raw->uplink->publish(raw->topic, d.payload);
+    });
+    // Topic -> community multicast (the broker does not echo our own
+    // publications back, so no duplicate delivery).
+    sb->uplink->on_event([this, raw](const broker::Event& ev) {
+      ++downlinked_;
+      raw->ingress->send_group(raw->downlink, ev.payload);
+    });
+    bridge.rendezvous.push_back(
+        Rendezvous{stream.kind, sb->ingress->local(), sb->downlink});
+    bridge.streams.push_back(std::move(sb));
+  }
+  GMMCS_INFO("admire") << name_ << " bridged session " << session.id() << " with "
+                       << bridge.streams.size() << " rendezvous streams";
+  return bridge;
+}
+
+Result<xml::Element> AdmireCommunity::establish(const xml::Element& request) {
+  // Request shape: <GetRendezvous><session-invite><session .../></...></...>
+  const xml::Element* invite = request.child("session-invite");
+  const xml::Element* session_el =
+      invite != nullptr ? invite->child("session") : request.child("session");
+  if (session_el == nullptr) {
+    return fail<xml::Element>("GetRendezvous: missing <session>");
+  }
+  xgsp::Session session = xgsp::Session::from_xml(*session_el);
+  if (session.id().empty()) return fail<xml::Element>("GetRendezvous: session without id");
+  SessionBridge& bridge = bridge_session(session);
+  xml::Element resp("GetRendezvousResponse");
+  resp.set_attr("session", session.id());
+  resp.set_attr("community", name_);
+  for (const auto& rv : bridge.rendezvous) {
+    xml::Element& e = resp.add_child("rendezvous");
+    e.set_attr("kind", rv.kind);
+    e.set_attr("node", std::to_string(rv.ingress.node));
+    e.set_attr("port", std::to_string(rv.ingress.port));
+  }
+  return resp;
+}
+
+Result<xml::Element> AdmireCommunity::membership(const xml::Element& request) {
+  std::string user = request.attr("user");
+  std::string action = request.attr("action");
+  if (user.empty()) return fail<xml::Element>("SessionMembership: missing user");
+  if (action == "leave") {
+    std::erase(community_members_, user);
+  } else {
+    community_members_.push_back(user);
+  }
+  xml::Element resp("SessionMembershipResponse");
+  resp.set_attr("members", std::to_string(community_members_.size()));
+  return resp;
+}
+
+Result<xml::Element> AdmireCommunity::control(const xml::Element& request) {
+  // Admire handles its own conference control internally; acknowledge the
+  // command so the WSDL-CI control path is exercised end to end.
+  xml::Element resp("SessionControlResponse");
+  resp.set_attr("applied", request.children().empty() ? "none" : request.children()[0].name());
+  return resp;
+}
+
+std::unique_ptr<AdmireTerminal> AdmireCommunity::make_terminal(sim::Host& host,
+                                                               std::string user) {
+  return std::make_unique<AdmireTerminal>(host, std::move(user), *this);
+}
+
+AdmireTerminal::AdmireTerminal(sim::Host& host, std::string user, AdmireCommunity& community)
+    : host_(&host), user_(std::move(user)), community_(&community), socket_(host) {
+  socket_.on_receive([this](const sim::Datagram& d) {
+    ++received_;
+    if (handler_) handler_(d);
+  });
+}
+
+bool AdmireTerminal::attach(const std::string& session_id) {
+  const auto* rendezvous = community_->rendezvous_for(session_id);
+  if (rendezvous == nullptr) return false;
+  for (const auto& rv : *rendezvous) {
+    ingress_by_kind_[rv.kind] = rv.ingress;
+    socket_.join_group(rv.downlink);
+  }
+  return true;
+}
+
+void AdmireTerminal::send_media(const std::string& kind, Bytes rtp_wire) {
+  auto it = ingress_by_kind_.find(kind);
+  if (it == ingress_by_kind_.end()) return;
+  socket_.send_to(it->second, std::move(rtp_wire));
+}
+
+void AdmireTerminal::on_media(std::function<void(const sim::Datagram&)> handler) {
+  handler_ = std::move(handler);
+}
+
+}  // namespace gmmcs::admire

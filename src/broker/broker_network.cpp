@@ -1,0 +1,151 @@
+#include "broker/broker_network.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace gmmcs::broker {
+
+std::string ClusterAddress::to_string() const {
+  return std::to_string(super_cluster) + "." + std::to_string(cluster) + "." +
+         std::to_string(node);
+}
+
+BrokerNetwork::BrokerNetwork(sim::Network& net) : net_(&net) {}
+
+BrokerNetwork::~BrokerNetwork() = default;
+
+BrokerNode& BrokerNetwork::add_broker(sim::Host& host, BrokerNode::Config cfg) {
+  auto id = static_cast<BrokerId>(brokers_.size());
+  brokers_.push_back(std::make_unique<BrokerNode>(host, id, cfg));
+  brokers_.back()->network_ = this;
+  adjacency_[id];
+  return *brokers_.back();
+}
+
+BrokerNode& BrokerNetwork::broker(BrokerId id) {
+  return *brokers_.at(id);
+}
+
+void BrokerNetwork::link(BrokerId a, BrokerId b) {
+  if (a == b) throw std::invalid_argument("BrokerNetwork::link: self-link");
+  BrokerNode& na = broker(a);
+  BrokerNode& nb = broker(b);
+  // One stream connection in each direction (send paths are independent).
+  auto ab = transport::StreamConnection::connect(na.host(), nb.stream_endpoint());
+  auto ba = transport::StreamConnection::connect(nb.host(), na.stream_endpoint());
+  na.add_peer_link(b, std::move(ab));
+  nb.add_peer_link(a, std::move(ba));
+  adjacency_[a].insert(b);
+  adjacency_[b].insert(a);
+}
+
+void BrokerNetwork::finalize() {
+  next_hop_.clear();
+  dist_.clear();
+  // BFS from every broker (links are uniform cost).
+  for (const auto& [src, _] : adjacency_) {
+    auto& hops = next_hop_[src];
+    auto& dist = dist_[src];
+    dist[src] = 0;
+    std::deque<BrokerId> queue{src};
+    while (!queue.empty()) {
+      BrokerId cur = queue.front();
+      queue.pop_front();
+      for (BrokerId nb : adjacency_.at(cur)) {
+        if (dist.contains(nb)) continue;
+        dist[nb] = dist[cur] + 1;
+        // First hop on the path: neighbor itself if cur==src, else
+        // inherit cur's first hop.
+        hops[nb] = (cur == src) ? nb : hops[cur];
+        queue.push_back(nb);
+      }
+    }
+  }
+}
+
+void BrokerNetwork::set_address(BrokerId id, ClusterAddress addr) {
+  addresses_[id] = addr;
+}
+
+ClusterAddress BrokerNetwork::address(BrokerId id) const {
+  auto it = addresses_.find(id);
+  return it == addresses_.end() ? ClusterAddress{} : it->second;
+}
+
+void BrokerNetwork::link_hierarchy() {
+  // Group brokers by (super_cluster, cluster).
+  std::map<std::pair<int, int>, std::vector<BrokerId>> clusters;
+  std::map<int, std::vector<std::pair<int, BrokerId>>> supers;  // sc -> (cluster, leader)
+  for (const auto& [id, addr] : addresses_) {
+    clusters[{addr.super_cluster, addr.cluster}].push_back(id);
+  }
+  // Full mesh within each cluster; lowest id is the cluster leader.
+  for (auto& [key, members] : clusters) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        link(members[i], members[j]);
+      }
+    }
+    supers[key.first].push_back({key.second, members.front()});
+  }
+  // Cluster leaders form a ring inside each super-cluster; the first
+  // leader of each super-cluster joins the inter-super ring.
+  std::vector<BrokerId> super_leaders;
+  for (auto& [sc, leaders] : supers) {
+    for (std::size_t i = 0; i + 1 < leaders.size(); ++i) {
+      link(leaders[i].second, leaders[i + 1].second);
+    }
+    if (leaders.size() > 2) link(leaders.back().second, leaders.front().second);
+    super_leaders.push_back(leaders.front().second);
+  }
+  for (std::size_t i = 0; i + 1 < super_leaders.size(); ++i) {
+    link(super_leaders[i], super_leaders[i + 1]);
+  }
+  if (super_leaders.size() > 2) link(super_leaders.back(), super_leaders.front());
+  finalize();
+}
+
+void BrokerNetwork::advertise(const TopicFilter& filter, BrokerId origin, bool add) {
+  if (add) {
+    ++interest_[filter][origin];
+    return;
+  }
+  auto it = interest_.find(filter);
+  if (it == interest_.end()) return;
+  auto oit = it->second.find(origin);
+  if (oit == it->second.end()) return;
+  if (--oit->second <= 0) it->second.erase(oit);
+  if (it->second.empty()) interest_.erase(it);
+}
+
+std::vector<BrokerId> BrokerNetwork::interested_brokers(const std::string& topic,
+                                                        BrokerId exclude) const {
+  std::set<BrokerId> out;
+  for (const auto& [filter, origins] : interest_) {
+    if (!filter.matches(topic)) continue;
+    for (const auto& [origin, refs] : origins) {
+      if (origin != exclude) out.insert(origin);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+BrokerId BrokerNetwork::next_hop(BrokerId from, BrokerId to) const {
+  auto fit = next_hop_.find(from);
+  if (fit == next_hop_.end()) throw std::logic_error("BrokerNetwork: finalize() not called");
+  auto tit = fit->second.find(to);
+  if (tit == fit->second.end()) {
+    throw std::logic_error("BrokerNetwork: no route from " + std::to_string(from) + " to " +
+                           std::to_string(to));
+  }
+  return tit->second;
+}
+
+int BrokerNetwork::distance(BrokerId from, BrokerId to) const {
+  auto fit = dist_.find(from);
+  if (fit == dist_.end()) return -1;
+  auto tit = fit->second.find(to);
+  return tit == fit->second.end() ? -1 : tit->second;
+}
+
+}  // namespace gmmcs::broker

@@ -1,0 +1,90 @@
+// The distributed broker fabric: topology, routing and interest
+// propagation across a "dynamic collection of brokers" (paper §2.3).
+//
+// NaradaBrokering organizes brokers hierarchically (nodes within clusters
+// within super-clusters); events travel broker-to-broker along shortest
+// paths toward every broker with matching subscriber interest, and each
+// forwarded copy carries its remaining target set so intermediate brokers
+// never duplicate or loop.
+//
+// Modelling note (see DESIGN.md §2): the *data plane* — every forwarded
+// event — is fully message-accurate, paying dispatch CPU, NIC and link
+// costs per hop. The *control plane* (interest advertisements and route
+// computation) is applied instantaneously through this coordinator object,
+// standing in for NaradaBrokering's gossip of subscription tables. The
+// experiments measure data-plane behaviour only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "broker/broker_node.hpp"
+#include "broker/topic.hpp"
+#include "sim/network.hpp"
+
+namespace gmmcs::broker {
+
+/// NaradaBrokering-style 3-level hierarchical broker address.
+struct ClusterAddress {
+  int super_cluster = 0;
+  int cluster = 0;
+  int node = 0;
+
+  auto operator<=>(const ClusterAddress&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+class BrokerNetwork {
+ public:
+  explicit BrokerNetwork(sim::Network& net);
+  ~BrokerNetwork();
+
+  /// Creates a broker on the given host and registers it in the fabric.
+  BrokerNode& add_broker(sim::Host& host, BrokerNode::Config cfg = {});
+  [[nodiscard]] BrokerNode& broker(BrokerId id);
+  [[nodiscard]] std::size_t broker_count() const { return brokers_.size(); }
+
+  /// Connects two brokers with a bidirectional link (a stream connection
+  /// in each direction). Call finalize() after all links are in place.
+  void link(BrokerId a, BrokerId b);
+  /// Computes shortest-path routing tables over the current topology.
+  void finalize();
+
+  /// Optional hierarchical address labels; set_address also implies
+  /// nothing topologically — use link_hierarchy to wire by address.
+  void set_address(BrokerId id, ClusterAddress addr);
+  [[nodiscard]] ClusterAddress address(BrokerId id) const;
+  /// Wires the fabric from the assigned addresses: full mesh inside each
+  /// cluster, the lowest-numbered node of each cluster links to the peer
+  /// clusters' leaders inside a super-cluster, and super-cluster leaders
+  /// form a ring. Then finalizes.
+  void link_hierarchy();
+
+  // --- Interest control plane ---
+  void advertise(const TopicFilter& filter, BrokerId origin, bool add);
+  /// All brokers (excluding `exclude`) with interest matching `topic`.
+  [[nodiscard]] std::vector<BrokerId> interested_brokers(const std::string& topic,
+                                                         BrokerId exclude) const;
+
+  // --- Routing queries ---
+  [[nodiscard]] BrokerId next_hop(BrokerId from, BrokerId to) const;
+  /// Hop distance; -1 if unreachable.
+  [[nodiscard]] int distance(BrokerId from, BrokerId to) const;
+
+ private:
+  sim::Network* net_;
+  std::vector<std::unique_ptr<BrokerNode>> brokers_;
+  std::map<BrokerId, std::set<BrokerId>> adjacency_;
+  // [from][to] -> next hop.
+  std::map<BrokerId, std::map<BrokerId, BrokerId>> next_hop_;
+  std::map<BrokerId, std::map<BrokerId, int>> dist_;
+  // filter -> origin broker -> refcount.
+  std::map<TopicFilter, std::map<BrokerId, int>> interest_;
+  std::map<BrokerId, ClusterAddress> addresses_;
+};
+
+}  // namespace gmmcs::broker

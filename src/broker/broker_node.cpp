@@ -1,0 +1,286 @@
+#include "broker/broker_node.hpp"
+
+#include <algorithm>
+
+#include "broker/broker_network.hpp"
+#include "common/log.hpp"
+
+namespace gmmcs::broker {
+
+SimDuration DispatchConfig::copy_cost(std::size_t payload_bytes) const {
+  auto size_part = static_cast<std::int64_t>(static_cast<double>(copy_per_kb.ns()) *
+                                             static_cast<double>(payload_bytes) / 1024.0);
+  return copy_fixed + SimDuration{size_part};
+}
+
+DispatchConfig DispatchConfig::optimized() {
+  return DispatchConfig{};
+}
+
+DispatchConfig DispatchConfig::unoptimized() {
+  // Pre-optimization NaradaBrokering transmission: per-recipient buffer
+  // copies, per-send allocation and synchronized queues roughly double the
+  // size-dependent cost and add fixed overhead.
+  DispatchConfig cfg;
+  cfg.copy_fixed = duration_us(12);
+  cfg.copy_per_kb = duration_us(34);
+  cfg.route_cost = duration_us(150);
+  return cfg;
+}
+
+BrokerNode::BrokerNode(sim::Host& host, BrokerId id) : BrokerNode(host, id, Config{}) {}
+
+BrokerNode::BrokerNode(sim::Host& host, BrokerId id, Config cfg)
+    : host_(&host),
+      id_(id),
+      cfg_(cfg),
+      listener_(host, cfg.stream_port),
+      dgram_(host, cfg.dgram_port),
+      dispatch_(host.loop(), cfg.dispatch.threads, cfg.dispatch.queue_limit) {
+  listener_.on_accept([this](transport::StreamConnectionPtr conn) { accept(std::move(conn)); });
+  dgram_.on_receive([this](const sim::Datagram& d) { handle_datagram(d); });
+}
+
+std::size_t BrokerNode::subscription_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, c] : clients_) n += c.filters.size();
+  return n;
+}
+
+void BrokerNode::accept(transport::StreamConnectionPtr conn) {
+  inbound_.push_back(conn);
+  // The connection's client identity is established by its Hello frame.
+  auto client_id = std::make_shared<ClientId>(0);
+  auto* raw = conn.get();
+  conn->on_message([this, raw, client_id](const Bytes& data) {
+    auto frame = decode(data);
+    if (!frame.ok()) return;
+    Frame f = std::move(frame).value();
+    switch (f.type) {
+      case MessageType::kHello: {
+        ClientId cid = next_client_id_++;
+        *client_id = cid;
+        ClientRec rec;
+        rec.id = cid;
+        rec.name = f.hello.client_name;
+        // Find our shared_ptr for this connection.
+        for (const auto& c : inbound_) {
+          if (c.get() == raw) rec.stream = c;
+        }
+        if (f.hello.udp_port != 0) {
+          rec.udp = sim::Endpoint{rec.stream->remote().node, f.hello.udp_port};
+          rec.has_udp = true;
+          udp_index_[rec.udp] = cid;
+        }
+        clients_.emplace(cid, std::move(rec));
+        raw->send(encode(HelloAckMessage{cid, cfg_.dgram_port}));
+        break;
+      }
+      case MessageType::kSubscribe:
+      case MessageType::kUnsubscribe: {
+        auto it = clients_.find(*client_id);
+        if (it != clients_.end()) handle_subscription(it->second, f.subscribe);
+        break;
+      }
+      case MessageType::kEvent:
+        ingress_event(std::move(f.event), *client_id);
+        break;
+      case MessageType::kPeerEvent:
+        ingress_peer_event(std::move(f.peer_event));
+        break;
+      case MessageType::kPing:
+        // Probes ride the dispatch pipeline: a loaded broker pongs late.
+        dispatch_.submit(cfg_.dispatch.route_cost, [raw, ping = f.ping] {
+          raw->send(encode(ping, /*pong=*/true));
+        });
+        break;
+      default:
+        break;
+    }
+  });
+  conn->on_close([this, raw, client_id] {
+    auto it = clients_.find(*client_id);
+    if (it != clients_.end()) {
+      if (network_ != nullptr) {
+        for (const auto& filter : it->second.filters) {
+          network_->advertise(filter, id_, /*add=*/false);
+        }
+      }
+      if (it->second.has_udp) udp_index_.erase(it->second.udp);
+      clients_.erase(it);
+    }
+    std::erase_if(inbound_, [raw](const transport::StreamConnectionPtr& c) {
+      return c.get() == raw;
+    });
+  });
+}
+
+void BrokerNode::handle_subscription(ClientRec& c, const SubscribeMessage& m) {
+  TopicFilter filter(m.filter);
+  if (!filter.valid()) return;
+  if (m.subscribe) {
+    if (std::find(c.filters.begin(), c.filters.end(), filter) == c.filters.end()) {
+      c.filters.push_back(filter);
+      if (network_ != nullptr) network_->advertise(filter, id_, /*add=*/true);
+    }
+  } else {
+    auto before = c.filters.size();
+    std::erase(c.filters, filter);
+    if (network_ != nullptr && c.filters.size() != before) {
+      network_->advertise(filter, id_, /*add=*/false);
+    }
+  }
+}
+
+void BrokerNode::handle_datagram(const sim::Datagram& d) {
+  auto frame = decode(d.payload);
+  if (!frame.ok()) return;
+  Frame f = std::move(frame).value();
+  if (f.type != MessageType::kEvent) return;
+  auto it = udp_index_.find(d.src);
+  ingress_event(std::move(f.event), it == udp_index_.end() ? 0 : it->second);
+}
+
+void BrokerNode::ingress_event(Event ev, ClientId publisher) {
+  ++events_in_;
+  ev.publisher = publisher;
+  std::vector<BrokerId> remote =
+      network_ != nullptr ? network_->interested_brokers(ev.topic, id_) : std::vector<BrokerId>{};
+  dispatch_.submit(cfg_.dispatch.route_cost, [this, publisher, ev = std::move(ev),
+                                              remote = std::move(remote)]() mutable {
+    route_and_deliver(ev, publisher, remote);
+  });
+}
+
+void BrokerNode::ingress_peer_event(PeerEventMessage m) {
+  ++events_in_;
+  m.event.hops = static_cast<std::uint8_t>(m.event.hops + 1);
+  dispatch_.submit(cfg_.dispatch.route_cost, [this, m = std::move(m)]() mutable {
+    // Deliver locally if we are a target; forward the rest.
+    std::vector<BrokerId> rest;
+    bool local = false;
+    for (BrokerId t : m.targets) {
+      if (t == id_) {
+        local = true;
+      } else {
+        rest.push_back(t);
+      }
+    }
+    if (local) {
+      for (ClientId cid : local_matches(m.event.topic)) {
+        auto it = clients_.find(cid);
+        if (it == clients_.end()) continue;
+        dispatch_.submit(cfg_.dispatch.copy_cost(m.event.payload.size()),
+                         [this, cid, ev = m.event] {
+                           auto cit = clients_.find(cid);
+                           if (cit != clients_.end()) deliver_copy(cit->second, ev);
+                         });
+      }
+    }
+    if (!rest.empty()) route_remote(m.event, rest);
+  });
+}
+
+void BrokerNode::route_and_deliver(const Event& ev, ClientId exclude,
+                                   const std::vector<BrokerId>& remote_targets) {
+  for (ClientId cid : local_matches(ev.topic, exclude)) {
+    dispatch_.submit(cfg_.dispatch.copy_cost(ev.payload.size()), [this, cid, ev] {
+      auto it = clients_.find(cid);
+      if (it != clients_.end()) deliver_copy(it->second, ev);
+    });
+  }
+  if (!remote_targets.empty()) route_remote(ev, remote_targets);
+}
+
+void BrokerNode::route_remote(const Event& ev, const std::vector<BrokerId>& targets) {
+  // Group remaining target brokers by next hop; one forwarded copy per hop.
+  // Unreachable brokers (fabric partitions, links not yet finalized) are
+  // skipped rather than faulting the dispatch path.
+  std::map<BrokerId, std::vector<BrokerId>> by_hop;
+  for (BrokerId t : targets) {
+    if (network_->distance(id_, t) < 0) {
+      GMMCS_WARN("broker") << "broker " << id_ << ": no route to interested broker " << t;
+      continue;
+    }
+    by_hop[network_->next_hop(id_, t)].push_back(t);
+  }
+  for (auto& [hop, subset] : by_hop) {
+    dispatch_.submit(cfg_.dispatch.copy_cost(ev.payload.size()),
+                     [this, hop, ev, subset = std::move(subset)] {
+                       forward_to_peer(hop, ev, subset);
+                     });
+  }
+}
+
+std::vector<ClientId> BrokerNode::local_matches(const std::string& topic,
+                                                ClientId exclude) const {
+  std::vector<ClientId> out;
+  for (const auto& [cid, c] : clients_) {
+    if (cid == exclude) continue;
+    for (const auto& f : c.filters) {
+      if (f.matches(topic)) {
+        out.push_back(cid);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void BrokerNode::deliver_copy(const ClientRec& c, const Event& ev) {
+  ++copies_delivered_;
+  Bytes wire = encode(ev);
+  if (c.has_udp && ev.qos == QoS::kBestEffort) {
+    host_->send(c.udp, cfg_.dgram_port, std::move(wire));
+  } else if (c.stream) {
+    c.stream->send(std::move(wire));
+  }
+}
+
+void BrokerNode::forward_to_peer(BrokerId next_hop, const Event& ev,
+                                 std::vector<BrokerId> targets) {
+  auto it = peer_links_.find(next_hop);
+  if (it == peer_links_.end()) {
+    GMMCS_WARN("broker") << "broker " << id_ << " has no link toward " << next_hop;
+    return;
+  }
+  ++peer_forwards_;
+  PeerEventMessage m;
+  m.event = ev;
+  m.targets = std::move(targets);
+  it->second->send(encode(m));
+}
+
+void BrokerNode::add_peer_link(BrokerId peer, transport::StreamConnectionPtr conn) {
+  // Pongs (and future peer-control frames) come back on our outgoing link.
+  conn->on_message([this](const Bytes& data) {
+    auto frame = decode(data);
+    if (!frame.ok() || frame.value().type != MessageType::kPong) return;
+    auto it = probes_.find(frame.value().ping.token);
+    if (it == probes_.end()) return;
+    auto [peer_id, cb] = std::move(it->second);
+    probes_.erase(it);
+    SimDuration rtt = host_->loop().now() - frame.value().ping.sent;
+    auto sit = srtt_.find(peer_id);
+    if (sit == srtt_.end()) {
+      srtt_[peer_id] = rtt;
+    } else {
+      // RFC 793-style smoothing: srtt = 7/8 srtt + 1/8 sample.
+      sit->second = SimDuration{(sit->second.ns() * 7 + rtt.ns()) / 8};
+    }
+    if (cb) cb(rtt);
+  });
+  peer_links_[peer] = std::move(conn);
+}
+
+void BrokerNode::probe_peer(BrokerId peer, std::function<void(SimDuration)> cb) {
+  auto it = peer_links_.find(peer);
+  if (it == peer_links_.end()) return;
+  PingMessage ping;
+  ping.token = next_probe_token_++;
+  ping.sent = host_->loop().now();
+  probes_[ping.token] = {peer, std::move(cb)};
+  it->second->send(encode(ping, /*pong=*/false));
+}
+
+}  // namespace gmmcs::broker

@@ -1,0 +1,99 @@
+#include "broker/client.hpp"
+
+#include "broker/topic.hpp"
+
+namespace gmmcs::broker {
+
+BrokerClient::BrokerClient(sim::Host& host, sim::Endpoint broker_stream)
+    : BrokerClient(host, broker_stream, Config{}) {}
+
+BrokerClient::BrokerClient(sim::Host& host, sim::Endpoint broker_stream, Config cfg)
+    : host_(&host), cfg_(cfg) {
+  bool tunneled = cfg_.via_proxy.has_value();
+  if (tunneled) {
+    stream_ = transport::connect_via_proxy(host, *cfg_.via_proxy, broker_stream);
+  } else {
+    stream_ = transport::StreamConnection::connect(host, broker_stream);
+  }
+  HelloMessage hello;
+  hello.client_name = cfg_.name;
+  if (!tunneled && (cfg_.udp_delivery || cfg_.udp_publish)) {
+    udp_.emplace(host);
+    udp_->on_receive([this](const sim::Datagram& d) { handle_frame(d.payload); });
+    if (cfg_.udp_delivery) hello.udp_port = udp_->local().port;
+  }
+  stream_->send(encode(hello));
+  stream_->on_message([this](const Bytes& data) { handle_frame(data); });
+}
+
+void BrokerClient::handle_frame(const Bytes& data) {
+  auto frame = decode(data);
+  if (!frame.ok()) return;
+  Frame f = std::move(frame).value();
+  switch (f.type) {
+    case MessageType::kHelloAck:
+      client_id_ = f.hello_ack.client_id;
+      broker_udp_ = sim::Endpoint{stream_->remote().node, f.hello_ack.broker_udp_port};
+      ready_ = true;
+      flush_queue();
+      if (ready_handler_) ready_handler_();
+      break;
+    case MessageType::kEvent:
+      ++events_received_;
+      if (event_handler_) event_handler_(f.event);
+      break;
+    default:
+      break;
+  }
+}
+
+void BrokerClient::subscribe(const std::string& filter) {
+  stream_->send(encode(SubscribeMessage{filter, true}));
+}
+
+void BrokerClient::unsubscribe(const std::string& filter) {
+  stream_->send(encode(SubscribeMessage{filter, false}));
+}
+
+void BrokerClient::publish(const std::string& topic, Bytes payload, QoS qos) {
+  Event ev;
+  ev.topic = normalize_topic(topic);
+  ev.payload = std::move(payload);
+  ev.qos = qos;
+  ev.origin = host_->loop().now();
+  ev.seq = next_seq_++;
+  if (!ready_) {
+    pending_.push_back(std::move(ev));
+    return;
+  }
+  ++events_published_;
+  if (udp_ && cfg_.udp_publish && qos == QoS::kBestEffort) {
+    udp_->send_to(broker_udp_, encode(ev));
+  } else {
+    stream_->send(encode(ev));
+  }
+}
+
+void BrokerClient::flush_queue() {
+  while (!pending_.empty()) {
+    Event ev = std::move(pending_.front());
+    pending_.pop_front();
+    ++events_published_;
+    if (udp_ && cfg_.udp_publish && ev.qos == QoS::kBestEffort) {
+      udp_->send_to(broker_udp_, encode(ev));
+    } else {
+      stream_->send(encode(ev));
+    }
+  }
+}
+
+void BrokerClient::on_event(std::function<void(const Event&)> handler) {
+  event_handler_ = std::move(handler);
+}
+
+void BrokerClient::on_ready(std::function<void()> handler) {
+  ready_handler_ = std::move(handler);
+  if (ready_ && ready_handler_) ready_handler_();
+}
+
+}  // namespace gmmcs::broker

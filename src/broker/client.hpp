@@ -1,0 +1,75 @@
+// Broker client API: connect, subscribe, publish.
+//
+// Mirrors the client profiles the paper lists for NaradaBrokering (§2.3):
+// a reliable stream (TCP) control channel for everyone, an optional UDP
+// channel for media events in both directions, and connection through an
+// HTTP proxy for clients behind firewalls.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "broker/event.hpp"
+#include "sim/network.hpp"
+#include "transport/datagram_socket.hpp"
+#include "transport/firewall.hpp"
+#include "transport/stream.hpp"
+
+namespace gmmcs::broker {
+
+class BrokerClient {
+ public:
+  struct Config {
+    std::string name = "client";
+    /// Receive best-effort events over UDP (media path); reliable events
+    /// always arrive on the stream.
+    bool udp_delivery = true;
+    /// Publish best-effort events over UDP rather than the stream.
+    bool udp_publish = true;
+    /// Tunnel the control stream through an HTTP proxy (firewalled
+    /// clients). UDP channels are disabled in that case.
+    std::optional<sim::Endpoint> via_proxy;
+  };
+
+  BrokerClient(sim::Host& host, sim::Endpoint broker_stream, Config cfg);
+  /// Default configuration (UDP media channels, no proxy).
+  BrokerClient(sim::Host& host, sim::Endpoint broker_stream);
+
+  void subscribe(const std::string& filter);
+  void unsubscribe(const std::string& filter);
+  /// Publishes an event; origin timestamp is stamped here. Events
+  /// published before the handshake completes are queued.
+  void publish(const std::string& topic, Bytes payload, QoS qos = QoS::kBestEffort);
+
+  void on_event(std::function<void(const Event&)> handler);
+  /// Fires once the broker has acknowledged the Hello.
+  void on_ready(std::function<void()> handler);
+
+  [[nodiscard]] bool ready() const { return ready_; }
+  [[nodiscard]] ClientId id() const { return client_id_; }
+  [[nodiscard]] std::uint64_t events_received() const { return events_received_; }
+  [[nodiscard]] std::uint64_t events_published() const { return events_published_; }
+  [[nodiscard]] sim::Host& host() const { return *host_; }
+
+ private:
+  void handle_frame(const Bytes& data);
+  void flush_queue();
+
+  sim::Host* host_;
+  Config cfg_;
+  transport::StreamConnectionPtr stream_;
+  std::optional<transport::DatagramSocket> udp_;
+  sim::Endpoint broker_udp_{};
+  ClientId client_id_ = 0;
+  bool ready_ = false;
+  std::uint32_t next_seq_ = 0;
+  std::uint64_t events_received_ = 0;
+  std::uint64_t events_published_ = 0;
+  std::deque<Event> pending_;
+  std::function<void(const Event&)> event_handler_;
+  std::function<void()> ready_handler_;
+};
+
+}  // namespace gmmcs::broker

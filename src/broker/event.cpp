@@ -1,0 +1,125 @@
+#include "broker/event.hpp"
+
+namespace gmmcs::broker {
+
+namespace {
+void encode_event_body(ByteWriter& w, const Event& e) {
+  w.u8(static_cast<std::uint8_t>(e.qos));
+  w.u8(e.hops);
+  w.u64(static_cast<std::uint64_t>(e.origin.ns()));
+  w.u32(e.seq);
+  w.u32(e.publisher);
+  w.lstr(e.topic);
+  w.u32(static_cast<std::uint32_t>(e.payload.size()));
+  w.raw(e.payload);
+}
+
+Event decode_event_body(ByteReader& r) {
+  Event e;
+  e.qos = static_cast<QoS>(r.u8());
+  e.hops = r.u8();
+  e.origin = SimTime{static_cast<std::int64_t>(r.u64())};
+  e.seq = r.u32();
+  e.publisher = r.u32();
+  e.topic = r.lstr();
+  std::uint32_t len = r.u32();
+  e.payload = r.raw(len);
+  return e;
+}
+}  // namespace
+
+Bytes encode(const HelloMessage& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kHello));
+  w.lstr(m.client_name);
+  w.u16(m.udp_port);
+  return w.take();
+}
+
+Bytes encode(const HelloAckMessage& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kHelloAck));
+  w.u32(m.client_id);
+  w.u16(m.broker_udp_port);
+  return w.take();
+}
+
+Bytes encode(const SubscribeMessage& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(m.subscribe ? MessageType::kSubscribe
+                                             : MessageType::kUnsubscribe));
+  w.lstr(m.filter);
+  return w.take();
+}
+
+Bytes encode(const Event& e) {
+  ByteWriter w(e.payload.size() + e.topic.size() + 24);
+  w.u8(static_cast<std::uint8_t>(MessageType::kEvent));
+  encode_event_body(w, e);
+  return w.take();
+}
+
+Bytes encode(const PeerEventMessage& m) {
+  ByteWriter w(m.event.payload.size() + m.event.topic.size() + 32);
+  w.u8(static_cast<std::uint8_t>(MessageType::kPeerEvent));
+  w.u16(static_cast<std::uint16_t>(m.targets.size()));
+  for (BrokerId id : m.targets) w.u32(id);
+  encode_event_body(w, m.event);
+  return w.take();
+}
+
+Bytes encode(const PingMessage& m, bool pong) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(pong ? MessageType::kPong : MessageType::kPing));
+  w.u32(m.token);
+  w.u64(static_cast<std::uint64_t>(m.sent.ns()));
+  return w.take();
+}
+
+Result<Frame> decode(const Bytes& data) {
+  if (data.empty()) return fail<Frame>("broker: empty frame");
+  ByteReader r(data);
+  Frame f;
+  auto type = r.u8();
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kHello:
+      f.type = MessageType::kHello;
+      f.hello.client_name = r.lstr();
+      f.hello.udp_port = r.u16();
+      break;
+    case MessageType::kHelloAck:
+      f.type = MessageType::kHelloAck;
+      f.hello_ack.client_id = r.u32();
+      f.hello_ack.broker_udp_port = r.u16();
+      break;
+    case MessageType::kSubscribe:
+    case MessageType::kUnsubscribe:
+      f.type = static_cast<MessageType>(type);
+      f.subscribe.filter = r.lstr();
+      f.subscribe.subscribe = (static_cast<MessageType>(type) == MessageType::kSubscribe);
+      break;
+    case MessageType::kEvent:
+      f.type = MessageType::kEvent;
+      f.event = decode_event_body(r);
+      break;
+    case MessageType::kPeerEvent: {
+      f.type = MessageType::kPeerEvent;
+      std::uint16_t n = r.u16();
+      for (std::uint16_t i = 0; i < n; ++i) f.peer_event.targets.push_back(r.u32());
+      f.peer_event.event = decode_event_body(r);
+      break;
+    }
+    case MessageType::kPing:
+    case MessageType::kPong:
+      f.type = static_cast<MessageType>(type);
+      f.ping.token = r.u32();
+      f.ping.sent = SimTime{static_cast<std::int64_t>(r.u64())};
+      break;
+    default:
+      return fail<Frame>("broker: unknown frame type " + std::to_string(type));
+  }
+  if (!r.ok()) return fail<Frame>("broker: truncated frame");
+  return f;
+}
+
+}  // namespace gmmcs::broker

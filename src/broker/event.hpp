@@ -1,0 +1,106 @@
+// Broker events and the client/broker wire protocol.
+//
+// One binary frame format is shared by the stream (TCP-profile) and
+// datagram (UDP-profile) channels, and by broker-to-broker links. Events
+// carry an origin timestamp stamped at the publisher so receivers can
+// measure true end-to-end delay across any number of broker hops — the
+// quantity Figure 3 plots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/time.hpp"
+
+namespace gmmcs::broker {
+
+using BrokerId = std::uint32_t;
+using ClientId = std::uint32_t;
+
+enum class QoS : std::uint8_t {
+  /// Delivered over the client's datagram channel if it has one.
+  kBestEffort = 0,
+  /// Always delivered over the reliable stream channel.
+  kReliable = 1,
+};
+
+/// A published event.
+struct Event {
+  std::string topic;
+  Bytes payload;
+  QoS qos = QoS::kBestEffort;
+  /// Publisher's simulated send instant (end-to-end delay reference).
+  SimTime origin;
+  /// Publisher-assigned sequence number (monotonic per publisher).
+  std::uint32_t seq = 0;
+  /// Broker hops traversed so far.
+  std::uint8_t hops = 0;
+  /// Publishing client's id, stamped by its ingress broker (0 = unknown).
+  /// (publisher, seq) identifies an event for the recovery service.
+  ClientId publisher = 0;
+};
+
+/// Message kinds on client<->broker and broker<->broker channels.
+enum class MessageType : std::uint8_t {
+  kHello = 1,       // client -> broker: announce, optional UDP receive port
+  kHelloAck = 2,    // broker -> client: client id + broker UDP port
+  kSubscribe = 3,   // client -> broker: filter
+  kUnsubscribe = 4, // client -> broker: filter
+  kEvent = 5,       // either direction: a published/delivered event
+  kPeerEvent = 6,   // broker -> broker: event + remaining target brokers
+  kPing = 7,        // link performance probe (monitoring service)
+  kPong = 8,        // probe reply, echoing token and send time
+};
+
+struct HelloMessage {
+  std::string client_name;
+  /// 0 means "deliver events over the stream".
+  std::uint16_t udp_port = 0;
+};
+
+struct HelloAckMessage {
+  ClientId client_id = 0;
+  std::uint16_t broker_udp_port = 0;
+};
+
+struct SubscribeMessage {
+  std::string filter;
+  bool subscribe = true;  // false = unsubscribe
+};
+
+/// Broker-to-broker forwarded event with its remaining target set.
+struct PeerEventMessage {
+  Event event;
+  std::vector<BrokerId> targets;
+};
+
+/// Link probe (same payload both directions; pong echoes the ping).
+struct PingMessage {
+  std::uint32_t token = 0;
+  SimTime sent;
+};
+
+Bytes encode(const HelloMessage& m);
+Bytes encode(const HelloAckMessage& m);
+Bytes encode(const SubscribeMessage& m);
+Bytes encode(const Event& e);
+Bytes encode(const PeerEventMessage& m);
+Bytes encode(const PingMessage& m, bool pong);
+
+/// A decoded frame; `type` selects which member is meaningful.
+struct Frame {
+  MessageType type;
+  HelloMessage hello;
+  HelloAckMessage hello_ack;
+  SubscribeMessage subscribe;
+  Event event;
+  PeerEventMessage peer_event;
+  PingMessage ping;
+};
+
+Result<Frame> decode(const Bytes& data);
+
+}  // namespace gmmcs::broker

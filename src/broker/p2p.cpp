@@ -1,0 +1,100 @@
+#include "broker/p2p.hpp"
+
+#include <algorithm>
+
+namespace gmmcs::broker {
+
+void P2pMesh::join(P2pPeer* peer) {
+  if (std::find(peers_.begin(), peers_.end(), peer) == peers_.end()) peers_.push_back(peer);
+}
+
+void P2pMesh::leave(P2pPeer* peer) {
+  std::erase(peers_, peer);
+  interest_.erase(peer);
+}
+
+void P2pMesh::advertise(P2pPeer* peer, const TopicFilter& filter, bool add) {
+  auto& filters = interest_[peer];
+  if (add) {
+    if (std::find(filters.begin(), filters.end(), filter) == filters.end()) {
+      filters.push_back(filter);
+    }
+  } else {
+    std::erase(filters, filter);
+  }
+}
+
+std::vector<P2pPeer*> P2pMesh::interested(const std::string& topic, const P2pPeer* from) const {
+  std::vector<P2pPeer*> out;
+  for (const auto& [peer, filters] : interest_) {
+    if (peer == from) continue;
+    for (const auto& f : filters) {
+      if (f.matches(topic)) {
+        out.push_back(const_cast<P2pPeer*>(peer));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+P2pPeer::P2pPeer(sim::Host& host, P2pMesh& mesh, std::string name, DispatchConfig dispatch)
+    : host_(&host),
+      mesh_(&mesh),
+      name_(std::move(name)),
+      dispatch_cfg_(dispatch),
+      dispatch_(host.loop(), dispatch.threads, dispatch.queue_limit),
+      socket_(host) {
+  socket_.on_receive([this](const sim::Datagram& d) { handle(d); });
+  mesh_->join(this);
+}
+
+P2pPeer::~P2pPeer() {
+  mesh_->leave(this);
+}
+
+void P2pPeer::subscribe(const std::string& filter) {
+  mesh_->advertise(this, TopicFilter(filter), /*add=*/true);
+}
+
+void P2pPeer::unsubscribe(const std::string& filter) {
+  mesh_->advertise(this, TopicFilter(filter), /*add=*/false);
+}
+
+void P2pPeer::publish(const std::string& topic, Bytes payload) {
+  Event ev;
+  ev.topic = normalize_topic(topic);
+  ev.payload = std::move(payload);
+  ev.origin = host_->loop().now();
+  ev.seq = next_seq_++;
+  // Publisher-side fanout: one route job then one copy job per
+  // interested peer, exactly the work a broker would do — but on the
+  // publishing client's CPU.
+  std::vector<P2pPeer*> targets = mesh_->interested(ev.topic, this);
+  fanout_cpu_ += dispatch_cfg_.route_cost;
+  dispatch_.submit(dispatch_cfg_.route_cost, [this, ev = std::move(ev),
+                                              targets = std::move(targets)]() mutable {
+    Bytes wire = encode(ev);
+    for (P2pPeer* peer : targets) {
+      SimDuration cost = dispatch_cfg_.copy_cost(ev.payload.size());
+      fanout_cpu_ += cost;
+      dispatch_.submit(cost, [this, dst = peer->endpoint(), wire] {
+        ++copies_sent_;
+        socket_.send_to(dst, wire);
+      });
+    }
+  });
+}
+
+void P2pPeer::handle(const sim::Datagram& d) {
+  auto frame = decode(d.payload);
+  if (!frame.ok() || frame.value().type != MessageType::kEvent) return;
+  ++received_;
+  if (handler_) handler_(frame.value().event);
+}
+
+void P2pPeer::on_event(std::function<void(const Event&)> handler) {
+  handler_ = std::move(handler);
+}
+
+}  // namespace gmmcs::broker

@@ -1,0 +1,96 @@
+// JXTA-like peer-to-peer mode (paper §2.3).
+//
+// "It can operate either in a client-server mode like JMS or in a
+// completely distributed JXTA-like peer-to-peer mode. By combining these
+// two disparate models, NaradaBrokering can allow optimized
+// performance-functionality trade-offs for different scenarios."
+//
+// In P2P mode there is no broker: peers learn each other through a
+// rendezvous (P2pMesh, the control plane — the analog of a JXTA
+// rendezvous peer) and replicate events directly, paying the fanout CPU
+// on the *publisher*. Small groups save a network hop and a server;
+// large groups overload the sending client — the trade-off
+// bench/p2p_tradeoff quantifies (extension A6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker_node.hpp"
+#include "broker/event.hpp"
+#include "broker/topic.hpp"
+#include "sim/service_center.hpp"
+#include "transport/datagram_socket.hpp"
+
+namespace gmmcs::broker {
+
+class P2pPeer;
+
+/// Rendezvous/control plane: tracks members and their subscriptions and
+/// keeps every peer's view of the mesh current. Like BrokerNetwork's
+/// interest propagation, this control plane is instantaneous; the data
+/// plane (every event datagram) is fully simulated.
+class P2pMesh {
+ public:
+  P2pMesh() = default;
+
+  [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
+
+ private:
+  friend class P2pPeer;
+  void join(P2pPeer* peer);
+  void leave(P2pPeer* peer);
+  void advertise(P2pPeer* peer, const TopicFilter& filter, bool add);
+  /// Peers (other than `from`) with interest matching the topic.
+  [[nodiscard]] std::vector<P2pPeer*> interested(const std::string& topic,
+                                                 const P2pPeer* from) const;
+
+  std::vector<P2pPeer*> peers_;
+  std::map<const P2pPeer*, std::vector<TopicFilter>> interest_;
+};
+
+/// A peer in the mesh: publisher-side fanout with a dispatch cost model
+/// mirroring the broker's (the same work has to happen somewhere).
+class P2pPeer {
+ public:
+  P2pPeer(sim::Host& host, P2pMesh& mesh, std::string name,
+          DispatchConfig dispatch = DispatchConfig::optimized());
+  ~P2pPeer();
+  P2pPeer(const P2pPeer&) = delete;
+  P2pPeer& operator=(const P2pPeer&) = delete;
+
+  void subscribe(const std::string& filter);
+  void unsubscribe(const std::string& filter);
+  void publish(const std::string& topic, Bytes payload);
+  void on_event(std::function<void(const Event&)> handler);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] sim::Endpoint endpoint() const { return socket_.local(); }
+  [[nodiscard]] std::uint64_t events_received() const { return received_; }
+  [[nodiscard]] std::uint64_t copies_sent() const { return copies_sent_; }
+  /// Simulated CPU time this peer spent on fanout (the sender-side cost
+  /// that the broker would otherwise absorb).
+  [[nodiscard]] SimDuration fanout_cpu() const { return fanout_cpu_; }
+
+ private:
+  friend class P2pMesh;
+  void handle(const sim::Datagram& d);
+
+  sim::Host* host_;
+  P2pMesh* mesh_;
+  std::string name_;
+  DispatchConfig dispatch_cfg_;
+  sim::ServiceCenter dispatch_;
+  transport::DatagramSocket socket_;
+  std::function<void(const Event&)> handler_;
+  std::uint32_t next_seq_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t copies_sent_ = 0;
+  SimDuration fanout_cpu_{};
+};
+
+}  // namespace gmmcs::broker

@@ -1,0 +1,170 @@
+#include "broker/reliable.hpp"
+
+#include "common/strings.hpp"
+
+namespace gmmcs::broker {
+
+RecoveryService::RecoveryService(sim::Host& host, sim::Endpoint broker_stream,
+                                 std::string topic, std::size_t buffer_limit)
+    : topic_(std::move(topic)),
+      buffer_limit_(buffer_limit),
+      client_(host, broker_stream,
+              broker::BrokerClient::Config{.name = "recovery-" + topic_,
+                                           .udp_delivery = false, .udp_publish = false}),
+      listener_(host, /*port=*/0) {
+  client_.subscribe(topic_);
+  client_.on_event([this](const Event& ev) {
+    buffer_.push_back(ev);
+    if (buffer_.size() > buffer_limit_) buffer_.pop_front();
+  });
+  listener_.on_accept([this](transport::StreamConnectionPtr conn) {
+    conns_.push_back(conn);
+    auto* raw = conn.get();
+    conn->on_message([this, raw](const Bytes& data) {
+      handle_request(raw, gmmcs::to_string(std::span<const std::uint8_t>(data)));
+    });
+    conn->on_close([this, raw] {
+      std::erase_if(conns_, [raw](const transport::StreamConnectionPtr& c) {
+        return c.get() == raw;
+      });
+    });
+  });
+}
+
+void RecoveryService::handle_request(transport::StreamConnection* conn,
+                                     const std::string& line) {
+  if (line == "SYNC") {
+    std::map<ClientId, std::uint32_t> max_seq;
+    for (const Event& ev : buffer_) {
+      auto [it, inserted] = max_seq.emplace(ev.publisher, ev.seq);
+      if (!inserted && ev.seq > it->second) it->second = ev.seq;
+    }
+    std::string reply;
+    for (const auto& [publisher, seq] : max_seq) {
+      reply += "SYNC " + std::to_string(publisher) + " " + std::to_string(seq) + "\n";
+    }
+    if (!reply.empty()) conn->send(reply);
+    return;
+  }
+  auto parts = split(line, ' ');
+  if (parts.size() != 4 || parts[0] != "NAK") return;
+  ++naks_;
+  auto publisher = static_cast<ClientId>(std::stoul(parts[1]));
+  auto from = static_cast<std::uint32_t>(std::stoul(parts[2]));
+  auto to = static_cast<std::uint32_t>(std::stoul(parts[3]));
+  for (const Event& ev : buffer_) {
+    if (ev.publisher == publisher && ev.seq >= from && ev.seq <= to) {
+      ++retransmissions_;
+      conn->send(encode(ev));
+    }
+  }
+}
+
+ReliableSubscriber::ReliableSubscriber(sim::Host& host, sim::Endpoint broker_stream,
+                                       std::string topic, sim::Endpoint recovery,
+                                       SimDuration give_up, SimDuration sync_interval)
+    : host_(&host),
+      topic_(std::move(topic)),
+      give_up_(give_up),
+      sync_interval_(sync_interval),
+      client_(host, broker_stream,
+              broker::BrokerClient::Config{.name = "reliable-sub"}),
+      nak_link_(transport::StreamConnection::connect(host, recovery)) {
+  client_.subscribe(topic_);
+  client_.on_event([this](const Event& ev) {
+    ingest(ev);
+    arm_sync_probe();
+  });
+  // Repaired events come back on the NAK link as kEvent frames; SYNC
+  // summaries come back as text.
+  nak_link_->on_message([this](const Bytes& data) {
+    auto frame = decode(data);
+    if (frame.ok() && frame.value().type == MessageType::kEvent) {
+      ++recovered_;
+      ingest(frame.value().event);
+      return;
+    }
+    handle_sync(gmmcs::to_string(std::span<const std::uint8_t>(data)));
+  });
+}
+
+void ReliableSubscriber::arm_sync_probe() {
+  if (sync_armed_) return;
+  sync_armed_ = true;
+  host_->loop().schedule_after(sync_interval_, [this] {
+    sync_armed_ = false;
+    nak_link_->send("SYNC");
+  });
+}
+
+void ReliableSubscriber::handle_sync(const std::string& text) {
+  for (const auto& line : split_lines(text)) {
+    auto parts = split(line, ' ');
+    if (parts.size() != 3 || parts[0] != "SYNC") continue;
+    auto publisher = static_cast<ClientId>(std::stoul(parts[1]));
+    auto max_seq = static_cast<std::uint32_t>(std::stoul(parts[2]));
+    auto it = publishers_.find(publisher);
+    if (it == publishers_.end() || !it->second.started) continue;  // never heard: not ours
+    PublisherState& st = it->second;
+    if (max_seq < st.next_seq) continue;  // up to date
+    // Tail gap: request everything we have not delivered or held.
+    ++gaps_;
+    nak_link_->send("NAK " + std::to_string(publisher) + " " + std::to_string(st.next_seq) +
+                    " " + std::to_string(max_seq));
+    schedule_give_up(publisher, st.next_seq);
+  }
+}
+
+void ReliableSubscriber::on_event(std::function<void(const Event&)> handler) {
+  handler_ = std::move(handler);
+}
+
+void ReliableSubscriber::ingest(const Event& ev) {
+  PublisherState& st = publishers_[ev.publisher];
+  if (!st.started) {
+    // First event seen from this publisher: adopt its sequence as base
+    // (a late joiner does not NAK history it never saw).
+    st.started = true;
+    st.next_seq = ev.seq;
+  }
+  if (ev.seq < st.next_seq) return;  // duplicate or already-skipped
+  if (st.held.contains(ev.seq)) return;
+  st.held.emplace(ev.seq, ev);
+  if (ev.seq != st.next_seq) {
+    // Gap: ask the recovery service for [next_seq, ev.seq - 1].
+    ++gaps_;
+    nak_link_->send("NAK " + std::to_string(ev.publisher) + " " +
+                    std::to_string(st.next_seq) + " " + std::to_string(ev.seq - 1));
+    schedule_give_up(ev.publisher, st.next_seq);
+  }
+  flush(ev.publisher, st);
+}
+
+void ReliableSubscriber::flush(ClientId publisher, PublisherState& st) {
+  (void)publisher;
+  auto it = st.held.find(st.next_seq);
+  while (it != st.held.end()) {
+    ++delivered_;
+    if (handler_) handler_(it->second);
+    st.held.erase(it);
+    ++st.next_seq;
+    it = st.held.find(st.next_seq);
+  }
+}
+
+void ReliableSubscriber::schedule_give_up(ClientId publisher, std::uint32_t expected_seq) {
+  host_->loop().schedule_after(give_up_, [this, publisher, expected_seq] {
+    auto pit = publishers_.find(publisher);
+    if (pit == publishers_.end()) return;
+    PublisherState& st = pit->second;
+    // Still stuck at (or before) the sequence we were waiting for? Skip
+    // the unrecoverable hole up to the next event we do hold.
+    if (st.next_seq > expected_seq || st.held.empty()) return;
+    std::uint32_t next_available = st.held.begin()->first;
+    lost_ += next_available - st.next_seq;
+    st.next_seq = next_available;
+    flush(publisher, st);
+  });
+}
+
+}  // namespace gmmcs::broker

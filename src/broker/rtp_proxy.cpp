@@ -1,0 +1,42 @@
+#include "broker/rtp_proxy.hpp"
+
+#include "broker/topic.hpp"
+
+namespace gmmcs::broker {
+
+RtpProxy::RtpProxy(sim::Host& host, sim::Endpoint broker_stream, Config cfg)
+    : topic_(normalize_topic(cfg.topic)),
+      client_(host, broker_stream, {.name = cfg.name}),
+      rtp_in_(host),
+      rtp_out_(host) {
+  client_.subscribe(topic_);
+  rtp_in_.on_receive([this](const sim::Datagram& d) {
+    // Publish for everyone else on the topic...
+    ++published_;
+    client_.publish(topic_, d.payload);
+    // ...and fan out locally to this proxy's own receivers: the broker
+    // never echoes a publication back to its publisher, so receivers
+    // bridged through the *same* proxy are served here (minus the source).
+    for (const auto& dst : receivers_) {
+      if (dst == d.src) continue;
+      ++fanned_out_;
+      rtp_out_.send_to(dst, d.payload);
+    }
+  });
+  client_.on_event([this](const Event& ev) {
+    for (const auto& dst : receivers_) {
+      ++fanned_out_;
+      rtp_out_.send_to(dst, ev.payload);
+    }
+  });
+}
+
+void RtpProxy::add_receiver(sim::Endpoint rtp_dst) {
+  receivers_.insert(rtp_dst);
+}
+
+void RtpProxy::remove_receiver(sim::Endpoint rtp_dst) {
+  receivers_.erase(rtp_dst);
+}
+
+}  // namespace gmmcs::broker

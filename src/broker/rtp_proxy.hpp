@@ -1,0 +1,53 @@
+// RTP proxy: bridges raw-RTP endpoints onto broker topics.
+//
+// The paper (§3.2): "Any RTP client or server who wants to join in this
+// session ... can subscribe to this topic and publish its RTP messages
+// through RTP Proxies in the NaradaBrokering system." H.323 terminals,
+// SIP endpoints and the Real producer are plain RTP speakers; gateways
+// point their media at an RtpProxy, which wraps packets into events
+// (ingress) and fans events back out as raw RTP (egress).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "broker/client.hpp"
+#include "transport/datagram_socket.hpp"
+
+namespace gmmcs::broker {
+
+class RtpProxy {
+ public:
+  struct Config {
+    /// Topic this proxy bridges (one proxy per session stream).
+    std::string topic;
+    std::string name = "rtp-proxy";
+  };
+
+  /// The proxy runs on `host` (typically the broker's host or a gateway
+  /// host) and connects to the broker at `broker_stream`.
+  RtpProxy(sim::Host& host, sim::Endpoint broker_stream, Config cfg);
+
+  /// Raw RTP sent here is published onto the topic.
+  [[nodiscard]] sim::Endpoint rtp_ingress() const { return rtp_in_.local(); }
+
+  /// Registers/unregisters a raw-RTP receiver for the topic's media.
+  void add_receiver(sim::Endpoint rtp_dst);
+  void remove_receiver(sim::Endpoint rtp_dst);
+  [[nodiscard]] std::size_t receiver_count() const { return receivers_.size(); }
+
+  [[nodiscard]] std::uint64_t packets_published() const { return published_; }
+  [[nodiscard]] std::uint64_t packets_fanned_out() const { return fanned_out_; }
+  [[nodiscard]] const std::string& topic() const { return topic_; }
+
+ private:
+  std::string topic_;
+  BrokerClient client_;
+  transport::DatagramSocket rtp_in_;
+  transport::DatagramSocket rtp_out_;
+  std::set<sim::Endpoint> receivers_;
+  std::uint64_t published_ = 0;
+  std::uint64_t fanned_out_ = 0;
+};
+
+}  // namespace gmmcs::broker

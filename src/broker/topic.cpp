@@ -1,0 +1,69 @@
+#include "broker/topic.hpp"
+
+#include "common/strings.hpp"
+
+namespace gmmcs::broker {
+
+std::string normalize_topic(std::string_view raw) {
+  std::string out = "/";
+  for (const auto& seg : split(raw, '/')) {
+    if (seg.empty()) continue;
+    if (out.size() > 1) out += '/';
+    out += seg;
+  }
+  return out;
+}
+
+std::vector<std::string> topic_segments(std::string_view topic) {
+  std::vector<std::string> out;
+  for (const auto& seg : split(topic, '/')) {
+    if (!seg.empty()) out.push_back(seg);
+  }
+  return out;
+}
+
+bool is_valid_topic(std::string_view topic) {
+  if (topic.empty()) return false;
+  auto segs = topic_segments(topic);
+  if (segs.empty()) return false;
+  for (const auto& s : segs) {
+    if (s == "*" || s == "#") return false;
+  }
+  return true;
+}
+
+TopicFilter::TopicFilter(std::string_view pattern)
+    : pattern_(normalize_topic(pattern)), segments_(topic_segments(pattern_)) {
+  if (segments_.empty()) {
+    valid_ = false;
+    return;
+  }
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i] == "#") {
+      if (i + 1 != segments_.size()) {
+        valid_ = false;  // '#' only allowed as the last segment
+        return;
+      }
+      trailing_hash_ = true;
+      segments_.pop_back();
+      break;
+    }
+  }
+}
+
+bool TopicFilter::matches(std::string_view topic) const {
+  if (!valid_) return false;
+  auto segs = topic_segments(topic);
+  if (trailing_hash_) {
+    if (segs.size() < segments_.size()) return false;
+  } else {
+    if (segs.size() != segments_.size()) return false;
+  }
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i] == "*") continue;
+    if (segments_[i] != segs[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace gmmcs::broker

@@ -1,0 +1,104 @@
+#include "common/bytes.hpp"
+
+namespace gmmcs {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::str(std::string_view s) {
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::lstr(std::string_view s) {
+  u16(static_cast<std::uint16_t>(s.size()));
+  str(s);
+}
+
+bool ByteReader::need(std::size_t n) {
+  if (pos_ + n > data_.size()) {
+    ok_ = false;
+    pos_ = data_.size();
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!need(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  if (!need(2)) return 0;
+  auto v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  if (!need(4)) return 0;
+  std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                    static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t hi = u32();
+  std::uint64_t lo = u32();
+  return (hi << 32) | lo;
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  if (!need(n)) return {};
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::str(std::size_t n) {
+  if (!need(n)) return {};
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::lstr() {
+  std::size_t n = u16();
+  return str(n);
+}
+
+void ByteReader::skip(std::size_t n) {
+  if (need(n)) pos_ += n;
+}
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(std::span<const std::uint8_t> data) {
+  return std::string(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+}  // namespace gmmcs

@@ -1,0 +1,83 @@
+// Byte-buffer IO used by every wire format in the system (RTP headers,
+// H.323 TLV messages, broker event frames). All multi-byte integers are
+// big-endian (network order), matching the real protocols.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gmmcs {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends values to a growable byte vector in network byte order.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(std::span<const std::uint8_t> data);
+  void raw(const Bytes& data) { raw(std::span<const std::uint8_t>{data}); }
+  /// Writes the string bytes verbatim (no terminator, no length prefix).
+  void str(std::string_view s);
+  /// Length-prefixed string: u16 length followed by the bytes.
+  void lstr(std::string_view s);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  /// Moves the buffer out; the writer is empty afterwards.
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads values from a byte span in network byte order.
+///
+/// Reads past the end set the error flag and return zeros instead of
+/// throwing: malformed network input is data, not a programming error.
+/// Callers check ok() once after parsing a whole structure.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit ByteReader(const Bytes& data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  /// Reads exactly n bytes; returns an empty vector (and flags error) if short.
+  Bytes raw(std::size_t n);
+  /// Reads exactly n bytes as a string.
+  std::string str(std::size_t n);
+  /// Reads a u16 length prefix then that many bytes as a string.
+  std::string lstr();
+  /// Skips n bytes.
+  void skip(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  [[nodiscard]] bool need(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Converts a string to its bytes (convenience for payload construction).
+Bytes to_bytes(std::string_view s);
+/// Converts bytes to a string (lossless copy; bytes need not be text).
+std::string to_string(std::span<const std::uint8_t> data);
+
+}  // namespace gmmcs

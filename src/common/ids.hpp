@@ -1,0 +1,29 @@
+// Deterministic id generation.
+//
+// Entity ids (sessions, calls, SSRCs, broker events) come from per-domain
+// monotonic counters rather than UUIDs so that test expectations and bench
+// output are stable across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gmmcs {
+
+/// Monotonic counter; one instance per id domain.
+class IdGenerator {
+ public:
+  explicit IdGenerator(std::uint64_t start = 1) : next_(start) {}
+
+  std::uint64_t next() { return next_++; }
+
+  /// Produces ids like "sess-42" for a given prefix.
+  std::string next_tagged(const std::string& prefix) {
+    return prefix + "-" + std::to_string(next());
+  }
+
+ private:
+  std::uint64_t next_;
+};
+
+}  // namespace gmmcs

@@ -1,0 +1,54 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+#include "common/time.hpp"
+
+namespace gmmcs {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+
+void Log::set_level(LogLevel level) { g_level = level; }
+
+void Log::write(LogLevel level, const std::string& component, const std::string& message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%-5s] %-12s %s\n", level_name(level), component.c_str(),
+               message.c_str());
+}
+
+std::string to_string(SimDuration d) {
+  char buf[48];
+  double ms = d.to_ms();
+  if (ms >= 1000.0) {
+    std::snprintf(buf, sizeof buf, "%.3fs", ms / 1000.0);
+  } else if (ms >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2fms", ms);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fus", ms * 1000.0);
+  }
+  return buf;
+}
+
+std::string to_string(SimTime t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "t=%.6fs", t.to_seconds());
+  return buf;
+}
+
+}  // namespace gmmcs

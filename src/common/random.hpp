@@ -1,0 +1,43 @@
+// Deterministic pseudo-random numbers.
+//
+// Every stochastic element of the simulation (packet loss, talkspurt
+// lengths, VBR frame sizes, jittered client start times) draws from a
+// seeded Rng so that runs are bit-for-bit reproducible. We use
+// xoshiro256** seeded through SplitMix64 — tiny, fast, and good enough
+// statistically for workload generation.
+#pragma once
+
+#include <cstdint>
+
+namespace gmmcs {
+
+/// SplitMix64: used to expand a single seed into xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic random number generator (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p);
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+  /// Normally distributed value (Box–Muller).
+  double normal(double mean, double stddev);
+  /// Spawns an independent generator (for per-entity streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace gmmcs

@@ -1,0 +1,75 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gmmcs {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::stddev() const {
+  return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return lo_;
+  double target = p * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      double frac = counts_[i] ? (target - cum) / static_cast<double>(counts_[i]) : 0.0;
+      return bucket_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return bucket_lo(counts_.size() - 1) + width_;
+}
+
+double Series::mean_y() const {
+  if (points_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& p : points_) s += p.y;
+  return s / static_cast<double>(points_.size());
+}
+
+Series Series::downsample(std::size_t n) const {
+  Series out;
+  if (points_.empty() || n == 0) return out;
+  std::size_t group = std::max<std::size_t>(1, points_.size() / n);
+  for (std::size_t i = 0; i < points_.size(); i += group) {
+    double sx = 0.0, sy = 0.0;
+    std::size_t end = std::min(points_.size(), i + group);
+    for (std::size_t j = i; j < end; ++j) {
+      sx += points_[j].x;
+      sy += points_[j].y;
+    }
+    auto cnt = static_cast<double>(end - i);
+    out.add(sx / cnt, sy / cnt);
+  }
+  return out;
+}
+
+}  // namespace gmmcs

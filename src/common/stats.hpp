@@ -1,0 +1,70 @@
+// Statistics accumulators shared by metrics collection, tests and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace gmmcs {
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets. Used for delay distributions in the benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Value below which the given fraction of samples fall (linear
+  /// interpolation within the bucket).
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Records (x, y) points, e.g. packet-number vs delay series for Figure 3.
+class Series {
+ public:
+  void add(double x, double y) { points_.push_back({x, y}); }
+  struct Point { double x, y; };
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] double mean_y() const;
+  /// Downsamples to at most n points by averaging consecutive runs
+  /// (used to print plot-sized tables).
+  [[nodiscard]] Series downsample(std::size_t n) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace gmmcs

@@ -1,0 +1,28 @@
+// Small string utilities used by the text protocols (SIP, RTSP, SOAP/HTTP
+// framing) and by XGSP addressing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gmmcs {
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+/// Splits on a character, keeping at most max_parts (last part holds the rest).
+std::vector<std::string> split_n(std::string_view s, char sep, std::size_t max_parts);
+/// Splits into lines on "\r\n" or "\n".
+std::vector<std::string> split_lines(std::string_view s);
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+/// ASCII lower-casing.
+std::string to_lower(std::string_view s);
+/// Case-insensitive ASCII comparison (SIP/RTSP header names).
+bool iequals(std::string_view a, std::string_view b);
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+/// Joins parts with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace gmmcs

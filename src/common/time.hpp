@@ -1,0 +1,79 @@
+// Simulated-time types shared by every subsystem.
+//
+// The whole system runs on a deterministic discrete-event simulator, so we
+// never touch the wall clock. SimDuration / SimTime are thin strong types
+// over signed 64-bit nanosecond counts: cheap to copy, impossible to mix up
+// with raw integers, and wide enough for ~292 years of simulated time.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace gmmcs {
+
+/// A span of simulated time, in nanoseconds. Value type, totally ordered.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr std::int64_t us() const { return ns_ / 1000; }
+  [[nodiscard]] constexpr std::int64_t ms() const { return ns_ / 1'000'000; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration{ns_ + o.ns_}; }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration{ns_ - o.ns_}; }
+  constexpr SimDuration operator*(std::int64_t k) const { return SimDuration{ns_ * k}; }
+  constexpr SimDuration operator/(std::int64_t k) const { return SimDuration{ns_ / k}; }
+  constexpr SimDuration& operator+=(SimDuration o) { ns_ += o.ns_; return *this; }
+  constexpr SimDuration& operator-=(SimDuration o) { ns_ -= o.ns_; return *this; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An instant of simulated time (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimDuration d) const { return SimTime{ns_ + d.ns()}; }
+  constexpr SimTime operator-(SimDuration d) const { return SimTime{ns_ - d.ns()}; }
+  constexpr SimDuration operator-(SimTime o) const { return SimDuration{ns_ - o.ns_}; }
+  constexpr SimTime& operator+=(SimDuration d) { ns_ += d.ns(); return *this; }
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  /// A sentinel far in the future, useful as "never".
+  static constexpr SimTime infinity() { return SimTime{INT64_MAX}; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+// Readable constructors: duration_ms(20), duration_us(5)...
+constexpr SimDuration duration_ns(std::int64_t v) { return SimDuration{v}; }
+constexpr SimDuration duration_us(std::int64_t v) { return SimDuration{v * 1000}; }
+constexpr SimDuration duration_ms(std::int64_t v) { return SimDuration{v * 1'000'000}; }
+constexpr SimDuration duration_s(std::int64_t v) { return SimDuration{v * 1'000'000'000}; }
+/// Fractional seconds, for rate computations (rounds to nearest ns).
+constexpr SimDuration duration_seconds(double v) {
+  return SimDuration{static_cast<std::int64_t>(v * 1e9 + (v >= 0 ? 0.5 : -0.5))};
+}
+
+/// Human-readable rendering, e.g. "12.5ms", used in logs and bench output.
+std::string to_string(SimDuration d);
+std::string to_string(SimTime t);
+
+}  // namespace gmmcs

@@ -1,0 +1,83 @@
+#include "core/accessgrid.hpp"
+
+#include <stdexcept>
+
+namespace gmmcs::core {
+
+AccessGridVenue::AccessGridVenue(sim::Network& net, std::string name,
+                                 std::vector<std::string> kinds)
+    : net_(&net), name_(std::move(name)) {
+  for (const auto& kind : kinds) groups_[kind] = net_->create_group();
+}
+
+sim::GroupId AccessGridVenue::group(const std::string& kind) const {
+  auto it = groups_.find(kind);
+  if (it == groups_.end()) {
+    throw std::invalid_argument("AccessGridVenue '" + name_ + "' has no '" + kind + "' group");
+  }
+  return it->second;
+}
+
+std::vector<std::string> AccessGridVenue::kinds() const {
+  std::vector<std::string> out;
+  for (const auto& [kind, g] : groups_) out.push_back(kind);
+  return out;
+}
+
+MboneTool::MboneTool(sim::Host& host, AccessGridVenue& venue)
+    : venue_(&venue), socket_(host) {
+  for (const auto& kind : venue.kinds()) socket_.join_group(venue.group(kind));
+  socket_.on_receive([this](const sim::Datagram& d) {
+    ++received_;
+    if (handler_) handler_(d);
+  });
+}
+
+MboneTool::~MboneTool() {
+  for (const auto& kind : venue_->kinds()) socket_.leave_group(venue_->group(kind));
+}
+
+void MboneTool::send_media(const std::string& kind, Bytes rtp_wire) {
+  socket_.send_group(venue_->group(kind), std::move(rtp_wire));
+}
+
+void MboneTool::on_media(std::function<void(const sim::Datagram&)> handler) {
+  handler_ = std::move(handler);
+}
+
+AccessGridBridge::AccessGridBridge(sim::Host& host, sim::Endpoint broker_stream,
+                                   AccessGridVenue& venue, const xgsp::Session& session) {
+  for (const auto& stream : session.streams()) {
+    bool venue_has = false;
+    for (const auto& kind : venue.kinds()) {
+      if (kind == stream.kind) venue_has = true;
+    }
+    if (!venue_has) continue;
+    auto leg = std::make_unique<Leg>();
+    leg->kind = stream.kind;
+    leg->topic = stream.topic;
+    leg->group = venue.group(stream.kind);
+    leg->socket = std::make_unique<transport::DatagramSocket>(host);
+    leg->socket->join_group(leg->group);
+    leg->client = std::make_unique<broker::BrokerClient>(
+        host, broker_stream,
+        broker::BrokerClient::Config{.name = "ag-bridge-" + session.id() + "-" + stream.kind});
+    leg->client->subscribe(stream.topic);
+    Leg* raw = leg.get();
+    // Venue -> topic: anything the tools multicast (the bridge's own
+    // group sends never loop back to its socket).
+    leg->socket->on_receive([this, raw](const sim::Datagram& d) {
+      ++uplinked_;
+      raw->client->publish(raw->topic, d.payload);
+    });
+    // Topic -> venue: the broker excludes our own publications, so only
+    // remote media is re-multicast.
+    leg->client->on_event([this, raw](const broker::Event& ev) {
+      ++downlinked_;
+      raw->socket->send_group(raw->group, ev.payload);
+    });
+    legs_.push_back(std::move(leg));
+  }
+}
+
+}  // namespace gmmcs::core

@@ -1,0 +1,84 @@
+// Access Grid integration (paper §2.1, §3.2).
+//
+// Access Grid — "the de facto Internet2 multimedia collaborative
+// environment" — is multicast-native: rooms ("venues") are sets of
+// multicast groups on which MBONE tools (vic for video, rat for audio)
+// send and receive RTP directly. Global-MMCS reaches AG users through a
+// venue bridge: a host that joins the venue's groups and pumps traffic
+// to/from the session's broker topics, the same RTP-agent pattern as the
+// Admire rendezvous but with no signaling at all (pure multicast).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/client.hpp"
+#include "transport/datagram_socket.hpp"
+#include "xgsp/session.hpp"
+
+namespace gmmcs::core {
+
+/// A venue: named multicast groups, one per media kind.
+class AccessGridVenue {
+ public:
+  AccessGridVenue(sim::Network& net, std::string name,
+                  std::vector<std::string> kinds = {"audio", "video"});
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] sim::GroupId group(const std::string& kind) const;
+  [[nodiscard]] std::vector<std::string> kinds() const;
+
+ private:
+  sim::Network* net_;
+  std::string name_;
+  std::map<std::string, sim::GroupId> groups_;
+};
+
+/// An MBONE tool (vic/rat): a multicast RTP endpoint in a venue.
+class MboneTool {
+ public:
+  MboneTool(sim::Host& host, AccessGridVenue& venue);
+  ~MboneTool();
+
+  /// Sends one RTP packet (wire bytes) onto the venue's group for `kind`.
+  void send_media(const std::string& kind, Bytes rtp_wire);
+  void on_media(std::function<void(const sim::Datagram&)> handler);
+  [[nodiscard]] std::uint64_t packets_received() const { return received_; }
+
+ private:
+  AccessGridVenue* venue_;
+  transport::DatagramSocket socket_;
+  std::uint64_t received_ = 0;
+  std::function<void(const sim::Datagram&)> handler_;
+};
+
+/// Bridges a venue into an XGSP session: venue group <-> session topic,
+/// per media kind present in both.
+class AccessGridBridge {
+ public:
+  AccessGridBridge(sim::Host& host, sim::Endpoint broker_stream, AccessGridVenue& venue,
+                   const xgsp::Session& session);
+
+  [[nodiscard]] std::uint64_t uplinked() const { return uplinked_; }
+  [[nodiscard]] std::uint64_t downlinked() const { return downlinked_; }
+  [[nodiscard]] std::size_t bridged_kinds() const { return legs_.size(); }
+
+ private:
+  struct Leg {
+    std::string kind;
+    std::string topic;
+    sim::GroupId group = 0;
+    std::unique_ptr<transport::DatagramSocket> socket;  // venue-side member
+    std::unique_ptr<broker::BrokerClient> client;       // topic-side client
+  };
+
+  std::vector<std::unique_ptr<Leg>> legs_;
+  std::uint64_t uplinked_ = 0;
+  std::uint64_t downlinked_ = 0;
+};
+
+}  // namespace gmmcs::core

@@ -1,0 +1,149 @@
+#include "core/global_mmcs.hpp"
+
+#include <stdexcept>
+
+namespace gmmcs::core {
+
+GlobalMmcs::GlobalMmcs(sim::EventLoop& loop) : GlobalMmcs(loop, Config{}) {}
+
+GlobalMmcs::GlobalMmcs(sim::EventLoop& loop, Config cfg) : loop_(&loop) {
+  if (cfg.brokers < 1) throw std::invalid_argument("GlobalMmcs: need at least one broker");
+  net_ = std::make_unique<sim::Network>(loop, cfg.seed);
+  net_->set_default_path(sim::PathConfig{.latency = duration_us(200), .loss = 0.0});
+
+  // NaradaBrokering fabric (chain topology when more than one broker).
+  brokers_ = std::make_unique<broker::BrokerNetwork>(*net_);
+  for (int i = 0; i < cfg.brokers; ++i) {
+    broker::BrokerNode::Config bcfg;
+    bcfg.dispatch = cfg.dispatch;
+    brokers_->add_broker(net_->add_host("broker-" + std::to_string(i)), bcfg);
+  }
+  for (int i = 0; i + 1 < cfg.brokers; ++i) {
+    brokers_->link(static_cast<broker::BrokerId>(i), static_cast<broker::BrokerId>(i + 1));
+  }
+  brokers_->finalize();
+
+  // XGSP servers (Figure 2: web server, naming & directory, session server).
+  sim::Host& xgsp_host = net_->add_host("xgsp-servers");
+  session_server_ = std::make_unique<xgsp::SessionServer>(xgsp_host, broker_endpoint());
+  directory_server_ = std::make_unique<xgsp::DirectoryServer>(xgsp_host);
+  web_server_ =
+      std::make_unique<xgsp::WebServer>(xgsp_host, *session_server_, directory_server_->data());
+  scheduler_ = std::make_unique<xgsp::MeetingScheduler>(loop, *session_server_);
+
+  if (cfg.with_sip) {
+    sim::Host& sip_host = net_->add_host("sip-servers");
+    sip_proxy_ = std::make_unique<sip::SipProxy>(sip_host);
+    sip_gateway_ =
+        std::make_unique<sip::SipGateway>(sip_host, *session_server_, broker_endpoint());
+    chat_ = std::make_unique<sip::ChatServer>(sip_host);
+    sip_proxy_->add_domain_route(sip::ChatServer::kDomain, chat_->endpoint());
+    sip_proxy_->add_domain_route("gmmcs", sip_gateway_->endpoint());
+  }
+
+  if (cfg.with_sip) {
+    // "send invitations to other attendee in advance" (paper §2.1): when
+    // a reserved meeting starts, every sip: invitee gets an IM carrying
+    // the session id and the conference URI to call.
+    calendar_notifier_ = std::make_unique<sip::SipAgent>(xgsp_host, /*port=*/0);
+    scheduler_->on_started([this](const xgsp::Reservation& r) {
+      for (const std::string& invitee : r.invitees) {
+        if (!invitee.starts_with("sip:")) continue;
+        sip::SipMessage invite = sip::SipMessage::request(
+            "MESSAGE", invitee, "sip:calendar@gmmcs", invitee,
+            calendar_notifier_->new_call_id(), calendar_notifier_->next_cseq());
+        invite.set_header("Content-Type", "text/plain");
+        invite.body = "Meeting '" + r.title + "' has started. Join session " + r.session_id +
+                      " (" + sip::SipGateway::conference_uri(r.session_id) + ")";
+        calendar_notifier_->send_request(sip_proxy_->endpoint(), std::move(invite),
+                                         [](const sip::SipMessage&) {});
+      }
+    });
+  }
+
+  if (cfg.with_h323) {
+    sim::Host& h323_host = net_->add_host("h323-servers");
+    gatekeeper_ = std::make_unique<h323::Gatekeeper>(h323_host);
+    h323_gateway_ =
+        std::make_unique<h323::H323Gateway>(h323_host, *session_server_, broker_endpoint());
+    gatekeeper_->set_conference_target(h323_gateway_->call_signal_endpoint());
+  }
+
+  if (cfg.with_streaming) {
+    sim::Host& real_host = net_->add_host("real-servers");
+    helix_ = std::make_unique<streaming::HelixServer>(real_host);
+    archive_ = std::make_unique<streaming::ConferenceArchive>(real_host, broker_endpoint());
+  }
+
+  if (cfg.with_admire) {
+    sim::Host& admire_host = net_->add_host("admire-community");
+    admire_ = std::make_unique<admire::AdmireCommunity>(admire_host, broker_endpoint());
+    xgsp::CommunityRecord rec;
+    rec.name = admire_->name();
+    rec.kind = "admire";
+    rec.web_service = admire_->soap_endpoint();
+    rec.wsdl_ci = admire_->descriptor().serialize();
+    directory_server_->data().register_community(std::move(rec));
+  }
+
+  if (cfg.with_sip) {
+    // The HearMe VoIP community (paper §3.2) registers alongside Admire.
+    sim::Host& hearme_host = net_->add_host("hearme-community");
+    hearme_ = std::make_unique<sip::HearMeService>(hearme_host, broker_endpoint());
+    xgsp::CommunityRecord rec;
+    rec.name = hearme_->name();
+    rec.kind = "sip";
+    rec.web_service = hearme_->soap_endpoint();
+    rec.wsdl_ci = hearme_->descriptor().serialize();
+    directory_server_->data().register_community(std::move(rec));
+  }
+}
+
+GlobalMmcs::~GlobalMmcs() = default;
+
+sim::Endpoint GlobalMmcs::broker_endpoint() const {
+  return brokers_->broker(0).stream_endpoint();
+}
+
+std::string GlobalMmcs::create_session(const std::string& title, const std::string& creator,
+                                       std::vector<std::pair<std::string, std::string>> media) {
+  xgsp::Message reply = session_server_->handle(
+      xgsp::Message::create_session(title, creator, xgsp::SessionMode::kAdHoc, std::move(media)));
+  if (!reply.ok || reply.sessions.empty()) {
+    throw std::runtime_error("GlobalMmcs::create_session failed: " + reply.reason);
+  }
+  return reply.sessions.front().id();
+}
+
+streaming::RealProducer& GlobalMmcs::add_producer(const std::string& session_id,
+                                                  const std::string& kind) {
+  if (!helix_) throw std::logic_error("GlobalMmcs: streaming subsystem disabled");
+  xgsp::Session* session = session_server_->find(session_id);
+  if (session == nullptr) throw std::invalid_argument("GlobalMmcs: no session " + session_id);
+  const xgsp::MediaStream* stream = session->stream(kind);
+  if (stream == nullptr) {
+    throw std::invalid_argument("GlobalMmcs: session has no '" + kind + "' stream");
+  }
+  streaming::RealProducer::Config cfg;
+  cfg.topic = stream->topic;
+  cfg.stream_name = session_id + "-" + kind;
+  producers_.push_back(std::make_unique<streaming::RealProducer>(
+      net_->host(helix_->rtsp_endpoint().node), broker_endpoint(), *helix_, std::move(cfg)));
+  return *producers_.back();
+}
+
+sim::Host& GlobalMmcs::add_client_host(const std::string& name) {
+  return net_->add_host(name);
+}
+
+AccessGridVenue& GlobalMmcs::add_venue(const std::string& venue_name,
+                                       const std::string& session_id) {
+  xgsp::Session* session = session_server_->find(session_id);
+  if (session == nullptr) throw std::invalid_argument("GlobalMmcs: no session " + session_id);
+  venues_.push_back(std::make_unique<AccessGridVenue>(*net_, venue_name));
+  venue_bridges_.push_back(std::make_unique<AccessGridBridge>(
+      net_->add_host("ag-bridge-" + venue_name), broker_endpoint(), *venues_.back(), *session));
+  return *venues_.back();
+}
+
+}  // namespace gmmcs::core

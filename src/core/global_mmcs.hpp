@@ -1,0 +1,119 @@
+// Global-MMCS: the assembled system (paper Figure 2).
+//
+// One GlobalMmcs instance stands up the whole prototype deployment on a
+// simulated network: the NaradaBrokering fabric, the XGSP web / session /
+// naming & directory servers, the meeting scheduler, the SIP servers
+// (proxy + registrar + gateway + chat), the H.323 servers (gatekeeper +
+// gateway), the Real streaming servers (producer factory + Helix), the
+// conference archive, and an Admire community bridged through its SOAP
+// web service. This is the public entry point a downstream user starts
+// from; the examples/ directory shows it in use.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "admire/admire.hpp"
+#include "broker/broker_network.hpp"
+#include "core/accessgrid.hpp"
+#include "h323/gatekeeper.hpp"
+#include "h323/gateway.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+#include "sip/agent.hpp"
+#include "sip/gateway.hpp"
+#include "sip/hearme.hpp"
+#include "sip/im.hpp"
+#include "sip/proxy.hpp"
+#include "streaming/archive.hpp"
+#include "streaming/helix_server.hpp"
+#include "streaming/producer.hpp"
+#include "xgsp/directory.hpp"
+#include "xgsp/scheduler.hpp"
+#include "xgsp/session_server.hpp"
+#include "xgsp/web_server.hpp"
+
+namespace gmmcs::core {
+
+class GlobalMmcs {
+ public:
+  struct Config {
+    /// Brokers in the fabric; >1 builds a chain b0-b1-...-bN.
+    int brokers = 1;
+    broker::DispatchConfig dispatch = broker::DispatchConfig::optimized();
+    /// Optional subsystems (all on by default).
+    bool with_sip = true;
+    bool with_h323 = true;
+    bool with_streaming = true;
+    bool with_admire = true;
+    std::uint64_t seed = 2003;
+  };
+
+  GlobalMmcs(sim::EventLoop& loop, Config cfg);
+  /// Default deployment: everything enabled, one broker.
+  explicit GlobalMmcs(sim::EventLoop& loop);
+  ~GlobalMmcs();
+
+  // --- Infrastructure access ---
+  [[nodiscard]] sim::EventLoop& loop() { return *loop_; }
+  [[nodiscard]] sim::Network& network() { return *net_; }
+  [[nodiscard]] broker::BrokerNetwork& brokers() { return *brokers_; }
+  /// Stream endpoint of the broker clients should attach to.
+  [[nodiscard]] sim::Endpoint broker_endpoint() const;
+
+  // --- XGSP web-services framework ---
+  [[nodiscard]] xgsp::SessionServer& sessions() { return *session_server_; }
+  [[nodiscard]] xgsp::WebServer& web() { return *web_server_; }
+  [[nodiscard]] xgsp::DirectoryServer& directory() { return *directory_server_; }
+  [[nodiscard]] xgsp::MeetingScheduler& scheduler() { return *scheduler_; }
+
+  // --- Protocol servers ---
+  [[nodiscard]] sip::SipProxy& sip_proxy() { return *sip_proxy_; }
+  [[nodiscard]] sip::SipGateway& sip_gateway() { return *sip_gateway_; }
+  [[nodiscard]] sip::ChatServer& chat() { return *chat_; }
+  [[nodiscard]] h323::Gatekeeper& gatekeeper() { return *gatekeeper_; }
+  [[nodiscard]] h323::H323Gateway& h323_gateway() { return *h323_gateway_; }
+  [[nodiscard]] streaming::HelixServer& helix() { return *helix_; }
+  [[nodiscard]] streaming::ConferenceArchive& archive() { return *archive_; }
+  [[nodiscard]] admire::AdmireCommunity& admire() { return *admire_; }
+  [[nodiscard]] sip::HearMeService& hearme() { return *hearme_; }
+
+  // --- Conveniences ---
+  /// Creates an ad-hoc session through the session server; returns its id.
+  std::string create_session(const std::string& title, const std::string& creator,
+                             std::vector<std::pair<std::string, std::string>> media);
+  /// Starts a Real producer consuming a session stream; the stream becomes
+  /// available on the Helix server as "<session>-<kind>".
+  streaming::RealProducer& add_producer(const std::string& session_id, const std::string& kind);
+  /// Adds a fresh client machine to the simulated network.
+  sim::Host& add_client_host(const std::string& name);
+  /// Creates an Access Grid venue and bridges it into a session's media
+  /// topics (the venue gets its own bridge host).
+  AccessGridVenue& add_venue(const std::string& venue_name, const std::string& session_id);
+
+ private:
+  sim::EventLoop* loop_;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<broker::BrokerNetwork> brokers_;
+  std::unique_ptr<xgsp::SessionServer> session_server_;
+  std::unique_ptr<xgsp::DirectoryServer> directory_server_;
+  std::unique_ptr<xgsp::WebServer> web_server_;
+  std::unique_ptr<xgsp::MeetingScheduler> scheduler_;
+  std::unique_ptr<sip::SipProxy> sip_proxy_;
+  std::unique_ptr<sip::SipGateway> sip_gateway_;
+  std::unique_ptr<sip::ChatServer> chat_;
+  /// Sends meeting invitations (SIP MESSAGE) when scheduled sessions start.
+  std::unique_ptr<sip::SipAgent> calendar_notifier_;
+  std::unique_ptr<h323::Gatekeeper> gatekeeper_;
+  std::unique_ptr<h323::H323Gateway> h323_gateway_;
+  std::unique_ptr<streaming::HelixServer> helix_;
+  std::unique_ptr<streaming::ConferenceArchive> archive_;
+  std::unique_ptr<admire::AdmireCommunity> admire_;
+  std::unique_ptr<sip::HearMeService> hearme_;
+  std::vector<std::unique_ptr<streaming::RealProducer>> producers_;
+  std::vector<std::unique_ptr<AccessGridVenue>> venues_;
+  std::vector<std::unique_ptr<AccessGridBridge>> venue_bridges_;
+};
+
+}  // namespace gmmcs::core

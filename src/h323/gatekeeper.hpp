@@ -1,0 +1,59 @@
+// H.323 Gatekeeper: discovery, registration, admission and bandwidth
+// control over RAS (UDP).
+//
+// Paper §3.2: "The H.323 Servers including a H.323 Gatekeeper and H.323
+// gateway create a new H.323 administration domain for individual H.323
+// endpoints". Conference aliases ("conf-<sessionid>") resolve to the
+// gateway's call-signaling address, which is how endpoint calls land on
+// the XGSP bridge; per-endpoint admission enforces a zone bandwidth
+// budget, the gatekeeper's classic job.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "h323/messages.hpp"
+#include "transport/datagram_socket.hpp"
+
+namespace gmmcs::h323 {
+
+class Gatekeeper {
+ public:
+  static constexpr std::uint16_t kRasPort = 1719;
+
+  struct Config {
+    std::string gatekeeper_id = "gmmcs-zone";
+    /// Zone bandwidth budget in H.225 units (100 bit/s each);
+    /// 40000 = 4 Mbps of admitted media.
+    std::uint32_t bandwidth_budget = 40000;
+  };
+
+  Gatekeeper(sim::Host& host, Config cfg);
+  explicit Gatekeeper(sim::Host& host);
+
+  /// Points conference-alias admissions at the gateway.
+  void set_conference_target(sim::Endpoint call_signal_address) {
+    conference_target_ = call_signal_address;
+  }
+
+  [[nodiscard]] sim::Endpoint ras_endpoint() const { return socket_.local(); }
+  [[nodiscard]] std::size_t registrations() const { return registrations_.size(); }
+  [[nodiscard]] std::uint32_t bandwidth_in_use() const { return bandwidth_in_use_; }
+  [[nodiscard]] std::optional<sim::Endpoint> resolve(const std::string& alias) const;
+
+ private:
+  void handle(const sim::Datagram& d);
+  RasMessage admit(const RasMessage& req);
+
+  Config cfg_;
+  transport::DatagramSocket socket_;
+  std::map<std::string, sim::Endpoint> registrations_;  // alias -> call signaling
+  /// Outstanding admissions: endpoint alias -> granted bandwidth.
+  std::map<std::string, std::uint32_t> admissions_;
+  std::uint32_t bandwidth_in_use_ = 0;
+  sim::Endpoint conference_target_{};
+};
+
+}  // namespace gmmcs::h323

@@ -1,0 +1,122 @@
+#include "h323/messages.hpp"
+
+namespace gmmcs::h323 {
+
+namespace {
+void write_endpoint(ByteWriter& w, sim::Endpoint ep) {
+  w.u32(ep.node);
+  w.u16(ep.port);
+}
+
+sim::Endpoint read_endpoint(ByteReader& r) {
+  sim::Endpoint ep;
+  ep.node = r.u32();
+  ep.port = r.u16();
+  return ep;
+}
+}  // namespace
+
+Bytes RasMessage::encode() const {
+  ByteWriter w;
+  w.u8(0x52);  // 'R' tag distinguishing RAS frames
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(seq);
+  w.lstr(endpoint_alias);
+  w.lstr(gatekeeper_id);
+  write_endpoint(w, call_signal_address);
+  w.u32(bandwidth);
+  w.lstr(destination_alias);
+  w.lstr(reject_reason);
+  return w.take();
+}
+
+Result<RasMessage> RasMessage::decode(const Bytes& data) {
+  ByteReader r(data);
+  if (r.u8() != 0x52) return fail<RasMessage>("h225ras: bad tag");
+  RasMessage m;
+  auto t = r.u8();
+  if (t < 1 || t > 14) return fail<RasMessage>("h225ras: unknown type " + std::to_string(t));
+  m.type = static_cast<RasType>(t);
+  m.seq = r.u32();
+  m.endpoint_alias = r.lstr();
+  m.gatekeeper_id = r.lstr();
+  m.call_signal_address = read_endpoint(r);
+  m.bandwidth = r.u32();
+  m.destination_alias = r.lstr();
+  m.reject_reason = r.lstr();
+  if (!r.ok()) return fail<RasMessage>("h225ras: truncated");
+  return m;
+}
+
+Bytes Q931Message::encode() const {
+  ByteWriter w;
+  w.u8(0x08);  // Q.931 protocol discriminator
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(call_reference);
+  w.lstr(calling_party);
+  w.lstr(called_party);
+  write_endpoint(w, h245_address);
+  w.lstr(release_reason);
+  return w.take();
+}
+
+Result<Q931Message> Q931Message::decode(const Bytes& data) {
+  ByteReader r(data);
+  if (r.u8() != 0x08) return fail<Q931Message>("q931: bad protocol discriminator");
+  Q931Message m;
+  auto t = r.u8();
+  switch (static_cast<Q931Type>(t)) {
+    case Q931Type::kSetup:
+    case Q931Type::kCallProceeding:
+    case Q931Type::kAlerting:
+    case Q931Type::kConnect:
+    case Q931Type::kReleaseComplete:
+      m.type = static_cast<Q931Type>(t);
+      break;
+    default:
+      return fail<Q931Message>("q931: unknown message type " + std::to_string(t));
+  }
+  m.call_reference = r.u16();
+  m.calling_party = r.lstr();
+  m.called_party = r.lstr();
+  m.h245_address = read_endpoint(r);
+  m.release_reason = r.lstr();
+  if (!r.ok()) return fail<Q931Message>("q931: truncated");
+  return m;
+}
+
+Bytes H245Message::encode() const {
+  ByteWriter w;
+  w.u8(0x45);  // our H.245 frame tag
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(seq);
+  w.u8(static_cast<std::uint8_t>(capabilities.size()));
+  for (std::uint8_t c : capabilities) w.u8(c);
+  w.u16(channel);
+  w.lstr(media_kind);
+  w.u8(payload_type);
+  write_endpoint(w, media_address);
+  w.lstr(reject_reason);
+  return w.take();
+}
+
+Result<H245Message> H245Message::decode(const Bytes& data) {
+  ByteReader r(data);
+  if (r.u8() != 0x45) return fail<H245Message>("h245: bad tag");
+  H245Message m;
+  auto t = r.u8();
+  if (t < 1 || t > 10) return fail<H245Message>("h245: unknown type " + std::to_string(t));
+  m.type = static_cast<H245Type>(t);
+  m.seq = r.u32();
+  std::uint8_t ncaps = r.u8();
+  for (std::uint8_t i = 0; i < ncaps; ++i) m.capabilities.push_back(r.u8());
+  m.channel = r.u16();
+  m.media_kind = r.lstr();
+  m.payload_type = r.u8();
+  m.media_address = read_endpoint(r);
+  m.reject_reason = r.lstr();
+  if (!r.ok()) return fail<H245Message>("h245: truncated");
+  return m;
+}
+
+}  // namespace gmmcs::h323

@@ -1,0 +1,64 @@
+#include "media/codec.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace gmmcs::media {
+
+namespace {
+std::vector<CodecInfo> make_registry() {
+  return {
+      {"PCMU", MediaType::kAudio, 0, 8000, 64000, duration_ms(20)},
+      {"GSM", MediaType::kAudio, 3, 8000, 13200, duration_ms(20)},
+      {"G723", MediaType::kAudio, 4, 8000, 6300, duration_ms(30)},
+      {"H261", MediaType::kVideo, 31, 90000, 320000, duration_ms(40)},
+      {"H263", MediaType::kVideo, 34, 90000, 384000, duration_ms(40)},
+      // The paper's test stream: "average bandwidth of 600Kbps" video.
+      {"MPEG4-SIM", MediaType::kVideo, 96, 90000, 600000, duration_ms(40)},
+      {"REAL-VIDEO", MediaType::kVideo, 97, 90000, 225000, duration_ms(100)},
+      {"REAL-AUDIO", MediaType::kAudio, 98, 8000, 32000, duration_ms(100)},
+  };
+}
+}  // namespace
+
+const std::vector<CodecInfo>& all_codecs() {
+  static const std::vector<CodecInfo> registry = make_registry();
+  return registry;
+}
+
+std::optional<CodecInfo> find_codec(std::string_view name) {
+  for (const auto& c : all_codecs()) {
+    if (iequals(c.name, name)) return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<CodecInfo> find_codec(std::uint8_t payload_type) {
+  for (const auto& c : all_codecs()) {
+    if (c.payload_type == payload_type) return c;
+  }
+  return std::nullopt;
+}
+
+namespace codecs {
+namespace {
+const CodecInfo& by_name(std::string_view name) {
+  for (const auto& c : all_codecs()) {
+    if (c.name == name) return c;
+  }
+  throw std::logic_error("codec registry missing " + std::string(name));
+}
+}  // namespace
+
+const CodecInfo& g711u() { return by_name("PCMU"); }
+const CodecInfo& gsm() { return by_name("GSM"); }
+const CodecInfo& g723() { return by_name("G723"); }
+const CodecInfo& h261() { return by_name("H261"); }
+const CodecInfo& h263() { return by_name("H263"); }
+const CodecInfo& mpeg4_sim() { return by_name("MPEG4-SIM"); }
+const CodecInfo& real_video() { return by_name("REAL-VIDEO"); }
+const CodecInfo& real_audio() { return by_name("REAL-AUDIO"); }
+}  // namespace codecs
+
+}  // namespace gmmcs::media

@@ -1,0 +1,53 @@
+// Codec registry.
+//
+// Global-MMCS bridges clients with different media capabilities: H.323
+// terminals (G.711/G.723 audio, H.261/H.263 video), Access Grid MBONE
+// tools (vic/rat: H.261, PCM/GSM), SIP endpoints and RealMedia streaming.
+// The registry carries the static parameters each codec contributes to the
+// simulation: RTP payload type and clock rate, nominal bitrate, and
+// packetization cadence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace gmmcs::media {
+
+enum class MediaType { kAudio, kVideo };
+
+struct CodecInfo {
+  std::string name;
+  MediaType type = MediaType::kAudio;
+  /// Static RTP payload type (RFC 3551) or our dynamic assignment (96+).
+  std::uint8_t payload_type = 0;
+  std::uint32_t clock_rate = 8000;
+  /// Nominal media bitrate in bits/second.
+  double bitrate_bps = 64000;
+  /// Packet (audio) or frame (video) cadence.
+  SimDuration interval = duration_ms(20);
+};
+
+/// Well-known codecs used across the system.
+namespace codecs {
+const CodecInfo& g711u();       // PCMU audio, PT 0, 64 kbps
+const CodecInfo& gsm();         // GSM audio, PT 3, 13.2 kbps
+const CodecInfo& g723();        // G.723.1 audio, PT 4, 6.3 kbps
+const CodecInfo& h261();        // H.261 video, PT 31, 90 kHz clock
+const CodecInfo& h263();        // H.263 video, PT 34
+const CodecInfo& mpeg4_sim();   // dynamic PT 96, 600 kbps video (Fig-3 stream)
+const CodecInfo& real_video();  // dynamic PT 97, RealMedia re-encoded video
+const CodecInfo& real_audio();  // dynamic PT 98, RealMedia re-encoded audio
+}  // namespace codecs
+
+/// All registered codecs.
+const std::vector<CodecInfo>& all_codecs();
+/// Lookup by name (case-insensitive) or payload type.
+std::optional<CodecInfo> find_codec(std::string_view name);
+std::optional<CodecInfo> find_codec(std::uint8_t payload_type);
+
+}  // namespace gmmcs::media

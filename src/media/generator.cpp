@@ -1,0 +1,103 @@
+#include "media/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "media/stamp.hpp"
+
+namespace gmmcs::media {
+
+namespace {
+std::uint32_t timestamp_step(const CodecInfo& codec) {
+  return static_cast<std::uint32_t>(codec.interval.to_seconds() *
+                                    static_cast<double>(codec.clock_rate));
+}
+}  // namespace
+
+AudioSource::AudioSource(rtp::RtpSession& session, Config cfg)
+    : session_(&session),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      packet_bytes_(static_cast<std::size_t>(cfg.codec.bitrate_bps *
+                                             cfg.codec.interval.to_seconds() / 8.0)),
+      ts_step_(timestamp_step(cfg.codec)),
+      task_(session.host().loop(), cfg.codec.interval, [this](std::uint64_t n) { tick(n); }) {}
+
+void AudioSource::start() {
+  state_until_ = session_->host().loop().now() +
+                 duration_seconds(rng_.exponential(cfg_.talk_mean_s));
+  task_.start();
+}
+
+void AudioSource::stop() {
+  task_.stop();
+}
+
+void AudioSource::tick(std::uint64_t) {
+  timestamp_ += ts_step_;
+  if (cfg_.talkspurt) {
+    SimTime now = session_->host().loop().now();
+    while (now >= state_until_) {
+      talking_ = !talking_;
+      double mean = talking_ ? cfg_.talk_mean_s : cfg_.silence_mean_s;
+      state_until_ += duration_seconds(rng_.exponential(mean));
+    }
+    if (!talking_) return;  // silence suppression: no packet
+  }
+  ++packets_;
+  // Marker on the first packet of a talkspurt is not modeled; receivers
+  // here key on timestamps only.
+  Bytes payload(packet_bytes_, 0xA0);
+  embed_origin(payload, session_->host().loop().now());
+  session_->send_media(std::move(payload), timestamp_);
+}
+
+VideoSource::VideoSource(rtp::RtpSession& session, Config cfg)
+    : session_(&session),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      ts_step_(timestamp_step(cfg.codec)),
+      task_(session.host().loop(), cfg.codec.interval,
+            [this](std::uint64_t n) { emit_frame(n); }) {
+  // Choose the nominal P-frame size so that one GoP carries exactly
+  // gop_size * bitrate * interval bits:
+  //   (gop-1) * p + i_scale * p = gop * mean  =>  p = gop*mean/(gop-1+i_scale)
+  double mean_frame_bits = cfg.codec.bitrate_bps * cfg.codec.interval.to_seconds();
+  double denom = static_cast<double>(cfg.gop_size) - 1.0 + cfg.i_frame_scale;
+  double p_bits = static_cast<double>(cfg.gop_size) * mean_frame_bits / denom;
+  p_frame_bytes_ = static_cast<std::size_t>(p_bits / 8.0);
+}
+
+void VideoSource::start() {
+  task_.start();
+}
+
+void VideoSource::stop() {
+  task_.stop();
+}
+
+void VideoSource::emit_frame(std::uint64_t n) {
+  timestamp_ += ts_step_;
+  bool i_frame = (n % cfg_.gop_size) == 0;
+  double nominal = static_cast<double>(p_frame_bytes_) * (i_frame ? cfg_.i_frame_scale : 1.0);
+  double jittered = nominal * std::exp(rng_.normal(0.0, cfg_.size_jitter));
+  auto frame_bytes = static_cast<std::size_t>(std::max(64.0, jittered));
+  ++frames_;
+  // Fragment into MTU-sized RTP packets, marker on the last fragment.
+  SimTime now = session_->host().loop().now();
+  std::size_t offset = 0;
+  while (offset < frame_bytes) {
+    std::size_t chunk = std::min(cfg_.mtu_payload, frame_bytes - offset);
+    // Keep every fragment large enough to carry an origin stamp.
+    std::size_t rest = frame_bytes - offset - chunk;
+    if (rest > 0 && rest < kStampBytes) chunk = frame_bytes - offset - kStampBytes;
+    offset += chunk;
+    bool last = offset >= frame_bytes;
+    ++packets_;
+    Bytes payload(chunk, i_frame ? 0x1F : 0x2F);
+    embed_origin(payload, now);
+    session_->send_media(std::move(payload), timestamp_, last);
+  }
+}
+
+}  // namespace gmmcs::media

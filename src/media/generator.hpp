@@ -1,0 +1,95 @@
+// Media traffic generators.
+//
+// These drive the workloads of every experiment: constant-bitrate and
+// talkspurt audio (claims C1), and GoP-structured variable-bitrate video
+// whose long-run average matches the codec's nominal bitrate — the 600 Kbps
+// stream of Figure 3. Video frames larger than the MTU are fragmented into
+// back-to-back RTP packets sharing a timestamp, marker set on the last
+// fragment, exactly as RFC 3550 video payload formats do. Those
+// back-to-back bursts are what make the reflector/broker queueing visible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.hpp"
+#include "media/codec.hpp"
+#include "rtp/session.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gmmcs::media {
+
+/// Audio packet source: one fixed-size packet per codec interval, with an
+/// optional on/off talkspurt model (exponential talk and silence periods).
+class AudioSource {
+ public:
+  struct Config {
+    CodecInfo codec = codecs::g711u();
+    bool talkspurt = false;
+    double talk_mean_s = 1.2;
+    double silence_mean_s = 1.8;
+    std::uint64_t seed = 1;
+  };
+
+  AudioSource(rtp::RtpSession& session, Config cfg);
+
+  void start();
+  void stop();
+  [[nodiscard]] std::uint64_t packets_emitted() const { return packets_; }
+  [[nodiscard]] std::size_t packet_bytes() const { return packet_bytes_; }
+
+ private:
+  void tick(std::uint64_t n);
+
+  rtp::RtpSession* session_;
+  Config cfg_;
+  Rng rng_;
+  std::size_t packet_bytes_;
+  std::uint32_t ts_step_;
+  std::uint32_t timestamp_ = 0;
+  bool talking_ = true;
+  SimTime state_until_;
+  std::uint64_t packets_ = 0;
+  sim::PeriodicTask task_;
+};
+
+/// Video frame source: GoP-structured VBR. Every `gop_size`-th frame is an
+/// I-frame `i_frame_scale` times the P-frame size; sizes are jittered
+/// log-normally; the long-run bitrate converges to codec.bitrate_bps.
+class VideoSource {
+ public:
+  struct Config {
+    CodecInfo codec = codecs::mpeg4_sim();
+    std::size_t gop_size = 12;
+    double i_frame_scale = 3.0;
+    /// Relative stddev of frame sizes around their nominal value.
+    double size_jitter = 0.15;
+    /// RTP payload bytes per fragment.
+    std::size_t mtu_payload = 960;
+    std::uint64_t seed = 1;
+  };
+
+  VideoSource(rtp::RtpSession& session, Config cfg);
+
+  void start();
+  void stop();
+  [[nodiscard]] std::uint64_t frames_emitted() const { return frames_; }
+  [[nodiscard]] std::uint64_t packets_emitted() const { return packets_; }
+  /// Nominal P-frame payload size implied by the bitrate/GoP parameters.
+  [[nodiscard]] std::size_t p_frame_bytes() const { return p_frame_bytes_; }
+
+ private:
+  void emit_frame(std::uint64_t n);
+
+  rtp::RtpSession* session_;
+  Config cfg_;
+  Rng rng_;
+  std::size_t p_frame_bytes_;
+  std::uint32_t ts_step_;
+  std::uint32_t timestamp_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t packets_ = 0;
+  sim::PeriodicTask task_;
+};
+
+}  // namespace gmmcs::media

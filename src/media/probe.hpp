@@ -1,0 +1,44 @@
+// Media reception probe: the measurement endpoint of the experiments.
+//
+// Feeds raw RTP wire bytes (however they arrived — broker event payload,
+// reflector datagram, RTP proxy fan-out, multicast) into ReceiverStats,
+// using the payload-embedded origin stamp for true end-to-end delay.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "media/stamp.hpp"
+#include "rtp/packet.hpp"
+#include "rtp/receiver_stats.hpp"
+
+namespace gmmcs::media {
+
+class MediaProbe {
+ public:
+  explicit MediaProbe(std::uint32_t clock_rate, bool record_series = false)
+      : stats_(clock_rate) {
+    stats_.enable_series(record_series);
+  }
+
+  /// Processes one received RTP packet (wire format) arriving at `arrival`.
+  void on_wire(const Bytes& rtp_wire, SimTime arrival) {
+    auto r = rtp::RtpPacket::parse(rtp_wire);
+    if (!r.ok()) {
+      ++parse_errors_;
+      return;
+    }
+    const rtp::RtpPacket& p = r.value();
+    SimTime origin = extract_origin(p.payload).value_or(arrival);
+    stats_.on_packet(p, arrival, origin);
+  }
+
+  [[nodiscard]] const rtp::ReceiverStats& stats() const { return stats_; }
+  [[nodiscard]] rtp::ReceiverStats& stats() { return stats_; }
+  [[nodiscard]] std::uint64_t parse_errors() const { return parse_errors_; }
+
+ private:
+  rtp::ReceiverStats stats_;
+  std::uint64_t parse_errors_ = 0;
+};
+
+}  // namespace gmmcs::media

@@ -1,0 +1,47 @@
+// Origin timestamps embedded in media payloads.
+//
+// The paper measured one-way delay by running the measured receivers on
+// the sender's machine so both ends shared a clock. Our equivalent: test
+// media payloads carry the publisher's send instant in their first bytes
+// (payload bits are synthetic anyway), so any receiver — behind the
+// broker, the JMF reflector, or an RTP proxy chain — can compute true
+// end-to-end delay regardless of how many hops re-stamped the transport
+// metadata.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+
+namespace gmmcs::media {
+
+/// Minimum payload size required to carry an origin stamp.
+constexpr std::size_t kStampBytes = 12;
+constexpr std::uint32_t kStampMagic = 0x474D5453;  // "GMTS"
+
+/// Writes the stamp into the payload's first bytes (payload must be at
+/// least kStampBytes long; smaller payloads are left unstamped).
+inline void embed_origin(Bytes& payload, SimTime origin) {
+  if (payload.size() < kStampBytes) return;
+  std::uint32_t magic = kStampMagic;
+  auto ns = static_cast<std::uint64_t>(origin.ns());
+  for (int i = 0; i < 4; ++i) payload[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(magic >> (24 - 8 * i));
+  for (int i = 0; i < 8; ++i) payload[static_cast<std::size_t>(4 + i)] =
+      static_cast<std::uint8_t>(ns >> (56 - 8 * i));
+}
+
+/// Reads a stamp back; nullopt if the payload is unstamped.
+inline std::optional<SimTime> extract_origin(const Bytes& payload) {
+  if (payload.size() < kStampBytes) return std::nullopt;
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) magic = (magic << 8) | payload[static_cast<std::size_t>(i)];
+  if (magic != kStampMagic) return std::nullopt;
+  std::uint64_t ns = 0;
+  for (int i = 0; i < 8; ++i) ns = (ns << 8) | payload[static_cast<std::size_t>(4 + i)];
+  return SimTime{static_cast<std::int64_t>(ns)};
+}
+
+}  // namespace gmmcs::media

@@ -1,0 +1,37 @@
+#include "media/transcoder.hpp"
+
+namespace gmmcs::media {
+
+Transcoder::Transcoder(sim::EventLoop& loop, Config cfg)
+    : loop_(&loop), cfg_(cfg), cpu_(loop, cfg.threads, cfg.queue_limit) {}
+
+void Transcoder::push_packet(const rtp::RtpPacket& packet) {
+  std::size_t& acc = partial_[packet.timestamp];
+  acc += packet.payload.size();
+  if (!packet.marker) return;
+  std::size_t frame_bytes = acc;
+  partial_.erase(packet.timestamp);
+  frame_complete(packet.timestamp, frame_bytes);
+}
+
+void Transcoder::frame_complete(std::uint32_t timestamp, std::size_t bytes) {
+  ++frames_in_;
+  auto cost = SimDuration{static_cast<std::int64_t>(
+      cfg_.cost_per_kb.ns() * static_cast<double>(bytes) / 1024.0)};
+  bool accepted = cpu_.submit(cost, [this, timestamp, bytes] {
+    EncodedBlock block;
+    block.timestamp = timestamp;
+    block.bytes = static_cast<std::size_t>(static_cast<double>(bytes) * cfg_.output_ratio);
+    block.payload_type = cfg_.output.payload_type;
+    block.encoded_at = loop_->now();
+    ++frames_out_;
+    if (handler_) handler_(block);
+  });
+  if (!accepted) ++frames_dropped_;
+}
+
+void Transcoder::on_output(std::function<void(const EncodedBlock&)> handler) {
+  handler_ = std::move(handler);
+}
+
+}  // namespace gmmcs::media

@@ -1,0 +1,75 @@
+// Simulated transcoder: the paper's "Real Producer" re-encoding path.
+//
+// The real system received RTP audio/video from the broker, re-encoded it
+// into RealMedia format and handed it to the Helix server (§3.2). What
+// matters for behaviour is the *pipeline shape*: frame reassembly from RTP
+// fragments, a CPU service queue with per-frame cost proportional to input
+// size, and a bitrate reduction on the output. Payload bits are synthetic
+// throughout the simulation, so the "encoder" transforms sizes and
+// timestamps, not pixels.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/time.hpp"
+#include "media/codec.hpp"
+#include "rtp/packet.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/service_center.hpp"
+
+namespace gmmcs::media {
+
+/// One re-encoded media block leaving the transcoder.
+struct EncodedBlock {
+  std::uint32_t timestamp = 0;
+  std::size_t bytes = 0;
+  std::uint8_t payload_type = 0;
+  /// When encoding finished (includes queueing + service time).
+  SimTime encoded_at;
+};
+
+class Transcoder {
+ public:
+  struct Config {
+    CodecInfo output = codecs::real_video();
+    /// Output bytes per input byte (RealMedia at a lower ladder rung).
+    double output_ratio = 0.4;
+    /// CPU cost per kilobyte of input frame.
+    SimDuration cost_per_kb = duration_us(300);
+    /// Parallel encoder threads.
+    int threads = 1;
+    /// Jobs waiting beyond this bound are dropped (encoder overload).
+    std::size_t queue_limit = 256;
+  };
+
+  Transcoder(sim::EventLoop& loop, Config cfg);
+
+  /// Feed an RTP fragment; a frame completes when its marker fragment
+  /// arrives (fragments share a timestamp).
+  void push_packet(const rtp::RtpPacket& packet);
+  void on_output(std::function<void(const EncodedBlock&)> handler);
+
+  [[nodiscard]] std::uint64_t frames_in() const { return frames_in_; }
+  [[nodiscard]] std::uint64_t frames_out() const { return frames_out_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const { return frames_dropped_; }
+  [[nodiscard]] std::size_t backlog() const { return cpu_.queue_length(); }
+  [[nodiscard]] SimDuration mean_encode_wait() const { return cpu_.mean_wait(); }
+
+ private:
+  void frame_complete(std::uint32_t timestamp, std::size_t bytes);
+
+  sim::EventLoop* loop_;
+  Config cfg_;
+  sim::ServiceCenter cpu_;
+  // timestamp -> accumulated bytes of the in-progress frame (per SSRC would
+  // be needed for mixing; the producer runs one transcoder per stream).
+  std::map<std::uint32_t, std::size_t> partial_;
+  std::function<void(const EncodedBlock&)> handler_;
+  std::uint64_t frames_in_ = 0;
+  std::uint64_t frames_out_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+};
+
+}  // namespace gmmcs::media

@@ -1,0 +1,42 @@
+#include "rtp/packet.hpp"
+
+namespace gmmcs::rtp {
+
+Bytes RtpPacket::serialize() const {
+  ByteWriter w(wire_size());
+  std::uint8_t b0 = static_cast<std::uint8_t>(kRtpVersion << 6);  // P=0, X=0
+  b0 |= static_cast<std::uint8_t>(csrcs.size() & 0x0F);
+  w.u8(b0);
+  std::uint8_t b1 = static_cast<std::uint8_t>(payload_type & 0x7F);
+  if (marker) b1 |= 0x80;
+  w.u8(b1);
+  w.u16(sequence);
+  w.u32(timestamp);
+  w.u32(ssrc);
+  for (std::uint32_t csrc : csrcs) w.u32(csrc);
+  w.raw(payload);
+  return w.take();
+}
+
+Result<RtpPacket> RtpPacket::parse(const Bytes& data) {
+  if (data.size() < kRtpHeaderSize) return fail<RtpPacket>("rtp: packet shorter than header");
+  ByteReader r(data);
+  std::uint8_t b0 = r.u8();
+  if ((b0 >> 6) != kRtpVersion) return fail<RtpPacket>("rtp: bad version");
+  if (b0 & 0x20) return fail<RtpPacket>("rtp: padding not supported");
+  if (b0 & 0x10) return fail<RtpPacket>("rtp: header extension not supported");
+  std::uint8_t cc = b0 & 0x0F;
+  std::uint8_t b1 = r.u8();
+  RtpPacket p;
+  p.marker = (b1 & 0x80) != 0;
+  p.payload_type = b1 & 0x7F;
+  p.sequence = r.u16();
+  p.timestamp = r.u32();
+  p.ssrc = r.u32();
+  for (std::uint8_t i = 0; i < cc; ++i) p.csrcs.push_back(r.u32());
+  if (!r.ok()) return fail<RtpPacket>("rtp: truncated CSRC list");
+  p.payload = r.raw(r.remaining());
+  return p;
+}
+
+}  // namespace gmmcs::rtp

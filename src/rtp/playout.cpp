@@ -1,0 +1,40 @@
+#include "rtp/playout.hpp"
+
+namespace gmmcs::rtp {
+
+PlayoutBuffer::PlayoutBuffer(sim::EventLoop& loop) : PlayoutBuffer(loop, Config{}) {}
+
+PlayoutBuffer::PlayoutBuffer(sim::EventLoop& loop, Config cfg) : loop_(&loop), cfg_(cfg) {}
+
+void PlayoutBuffer::push(const RtpPacket& packet) {
+  SimTime now = loop_->now();
+  if (!base_arrival_) {
+    base_arrival_ = now;
+    base_ts_ = packet.timestamp;
+  }
+  // Media-timeline offset relative to the first packet (signed: a
+  // reordered packet can predate it).
+  auto ts_delta = static_cast<std::int32_t>(packet.timestamp - *base_ts_);
+  double offset_s = static_cast<double>(ts_delta) / static_cast<double>(cfg_.clock_rate);
+  SimTime playout = *base_arrival_ + cfg_.delay + duration_seconds(offset_s);
+  if (playout < now) {
+    ++dropped_late_;
+    last_pushed_seq_ = packet.sequence;
+    return;
+  }
+  if (last_pushed_seq_ &&
+      static_cast<std::uint16_t>(packet.sequence - *last_pushed_seq_) > 0x8000) {
+    ++reorders_absorbed_;  // arrived late in sequence but still playable
+  }
+  last_pushed_seq_ = packet.sequence;
+  loop_->schedule_at(playout, [this, packet] {
+    ++played_;
+    if (handler_) handler_(packet);
+  });
+}
+
+void PlayoutBuffer::on_play(std::function<void(const RtpPacket&)> handler) {
+  handler_ = std::move(handler);
+}
+
+}  // namespace gmmcs::rtp

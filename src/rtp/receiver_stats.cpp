@@ -1,0 +1,93 @@
+#include "rtp/receiver_stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gmmcs::rtp {
+
+ReceiverStats::ReceiverStats(std::uint32_t clock_rate) : clock_rate_(clock_rate) {
+  if (clock_rate == 0) throw std::invalid_argument("ReceiverStats: clock rate must be nonzero");
+}
+
+void ReceiverStats::init_sequence(std::uint16_t seq) {
+  base_seq_ = seq;
+  max_seq_ = seq;
+  cycles_ = 0;
+}
+
+void ReceiverStats::on_packet(const RtpPacket& packet, SimTime arrival, SimTime sent) {
+  if (first_) {
+    init_sequence(packet.sequence);
+    first_ = false;
+  } else {
+    std::uint16_t delta = static_cast<std::uint16_t>(packet.sequence - max_seq_);
+    if (delta == 0) {
+      ++duplicates_;
+    } else if (delta < 0x8000) {
+      if (packet.sequence < max_seq_) ++cycles_;  // wrapped
+      max_seq_ = packet.sequence;
+    } else {
+      ++reordered_;  // late arrival
+    }
+  }
+  ++received_;
+
+  // RFC 3550 Appendix A.8 jitter: transit = arrival (in ts units) - rtp ts.
+  double arrival_ts = arrival.to_seconds() * static_cast<double>(clock_rate_);
+  double transit = arrival_ts - static_cast<double>(packet.timestamp);
+  if (last_transit_) {
+    double d = std::abs(transit - *last_transit_);
+    jitter_ += (d - jitter_) / 16.0;
+  }
+  last_transit_ = transit;
+
+  double delay = (arrival - sent).to_ms();
+  delay_ms_.add(delay);
+  if (record_series_) {
+    auto idx = static_cast<double>(received_ - 1);
+    delay_series_.add(idx, delay);
+    jitter_series_.add(idx, jitter_ms());
+  }
+}
+
+std::uint64_t ReceiverStats::expected() const {
+  if (first_) return 0;
+  return static_cast<std::uint64_t>(extended_highest_seq()) - base_seq_ + 1;
+}
+
+std::int64_t ReceiverStats::cumulative_lost() const {
+  return static_cast<std::int64_t>(expected()) - static_cast<std::int64_t>(received_);
+}
+
+double ReceiverStats::loss_ratio() const {
+  std::uint64_t exp = expected();
+  if (exp == 0) return 0.0;
+  std::int64_t lost = cumulative_lost();
+  if (lost < 0) lost = 0;  // duplicates can make received > expected
+  return static_cast<double>(lost) / static_cast<double>(exp);
+}
+
+std::uint8_t ReceiverStats::fraction_lost_since_last() {
+  std::uint64_t expected_now = expected();
+  std::uint64_t expected_interval = expected_now - expected_prior_;
+  std::uint64_t received_interval = received_ - received_prior_;
+  expected_prior_ = expected_now;
+  received_prior_ = received_;
+  if (expected_interval == 0 || received_interval >= expected_interval) return 0;
+  std::uint64_t lost = expected_interval - received_interval;
+  return static_cast<std::uint8_t>((lost << 8) / expected_interval);
+}
+
+std::uint32_t ReceiverStats::extended_highest_seq() const {
+  return (cycles_ << 16) | max_seq_;
+}
+
+std::uint32_t ReceiverStats::jitter_timestamp_units() const {
+  return static_cast<std::uint32_t>(jitter_);
+}
+
+double ReceiverStats::jitter_ms() const {
+  return jitter_ * 1000.0 / static_cast<double>(clock_rate_);
+}
+
+}  // namespace gmmcs::rtp

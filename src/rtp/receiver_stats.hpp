@@ -1,0 +1,77 @@
+// Per-source RTP reception statistics (RFC 3550 §6.4.1 and Appendix A).
+//
+// This produces the two quantities the paper's Figure 3 plots: one-way
+// delay (from simulation-stamped send times — the analogue of the paper's
+// co-located sender/receiver clock) and interarrival jitter, computed
+// exactly per RFC 3550: J += (|D| - J) / 16 where D compares arrival
+// spacing against RTP timestamp spacing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "rtp/packet.hpp"
+
+namespace gmmcs::rtp {
+
+class ReceiverStats {
+ public:
+  /// clock_rate: RTP timestamp units per second for the carried codec.
+  explicit ReceiverStats(std::uint32_t clock_rate);
+
+  /// Records a received packet. `arrival` is the local receive instant,
+  /// `sent` the (simulation-stamped) send instant used for one-way delay.
+  void on_packet(const RtpPacket& packet, SimTime arrival, SimTime sent);
+
+  // --- RFC 3550 sequence accounting ---
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+  /// Packets expected from the extended sequence range.
+  [[nodiscard]] std::uint64_t expected() const;
+  [[nodiscard]] std::int64_t cumulative_lost() const;
+  [[nodiscard]] double loss_ratio() const;
+  /// Fraction lost since the previous report interval, as the RFC's 8-bit
+  /// fixed point value; also resets the interval counters.
+  std::uint8_t fraction_lost_since_last();
+  [[nodiscard]] std::uint32_t extended_highest_seq() const;
+  [[nodiscard]] std::uint64_t out_of_order() const { return reordered_; }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+
+  // --- Jitter ---
+  /// Interarrival jitter in RTP timestamp units (RFC wire value).
+  [[nodiscard]] std::uint32_t jitter_timestamp_units() const;
+  /// Same, converted to milliseconds.
+  [[nodiscard]] double jitter_ms() const;
+
+  // --- Delay (simulation-side observability, not on the RTCP wire) ---
+  [[nodiscard]] const RunningStats& delay_ms() const { return delay_ms_; }
+  /// (packet index, delay ms) points for Figure-3 style series.
+  [[nodiscard]] const Series& delay_series() const { return delay_series_; }
+  [[nodiscard]] const Series& jitter_series() const { return jitter_series_; }
+  /// Enables recording of the per-packet series (off by default: 400
+  /// receivers would record 800k points).
+  void enable_series(bool on) { record_series_ = on; }
+
+ private:
+  void init_sequence(std::uint16_t seq);
+
+  std::uint32_t clock_rate_;
+  bool first_ = true;
+  std::uint16_t max_seq_ = 0;
+  std::uint32_t cycles_ = 0;
+  std::uint32_t base_seq_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t expected_prior_ = 0;
+  std::uint64_t received_prior_ = 0;
+  double jitter_ = 0.0;  // timestamp units, RFC running estimate
+  std::optional<double> last_transit_;  // arrival - ts, in timestamp units
+  RunningStats delay_ms_;
+  Series delay_series_;
+  Series jitter_series_;
+  bool record_series_ = false;
+};
+
+}  // namespace gmmcs::rtp

@@ -1,0 +1,109 @@
+#include "rtp/rtcp.hpp"
+
+namespace gmmcs::rtp {
+
+namespace {
+constexpr std::uint8_t kVersionBits = 2 << 6;
+
+void write_block(ByteWriter& w, const ReportBlock& b) {
+  w.u32(b.ssrc);
+  w.u8(b.fraction_lost);
+  // 24-bit cumulative lost.
+  w.u8(static_cast<std::uint8_t>(b.cumulative_lost >> 16));
+  w.u16(static_cast<std::uint16_t>(b.cumulative_lost));
+  w.u32(b.highest_seq);
+  w.u32(b.jitter);
+  w.u32(b.lsr);
+  w.u32(b.dlsr);
+}
+
+ReportBlock read_block(ByteReader& r) {
+  ReportBlock b;
+  b.ssrc = r.u32();
+  b.fraction_lost = r.u8();
+  std::uint32_t hi = r.u8();
+  b.cumulative_lost = (hi << 16) | r.u16();
+  b.highest_seq = r.u32();
+  b.jitter = r.u32();
+  b.lsr = r.u32();
+  b.dlsr = r.u32();
+  return b;
+}
+
+void write_header(ByteWriter& w, std::uint8_t type, std::uint8_t count,
+                  std::uint16_t length_words) {
+  w.u8(static_cast<std::uint8_t>(kVersionBits | (count & 0x1F)));
+  w.u8(type);
+  w.u16(length_words);
+}
+}  // namespace
+
+Bytes serialize(const SenderReport& sr) {
+  ByteWriter w;
+  auto words = static_cast<std::uint16_t>(6 + 6 * sr.blocks.size());
+  write_header(w, kRtcpSenderReport, static_cast<std::uint8_t>(sr.blocks.size()), words);
+  w.u32(sr.ssrc);
+  w.u64(sr.ntp_timestamp);
+  w.u32(sr.rtp_timestamp);
+  w.u32(sr.packet_count);
+  w.u32(sr.octet_count);
+  for (const auto& b : sr.blocks) write_block(w, b);
+  return w.take();
+}
+
+Bytes serialize(const ReceiverReport& rr) {
+  ByteWriter w;
+  auto words = static_cast<std::uint16_t>(1 + 6 * rr.blocks.size());
+  write_header(w, kRtcpReceiverReport, static_cast<std::uint8_t>(rr.blocks.size()), words);
+  w.u32(rr.ssrc);
+  for (const auto& b : rr.blocks) write_block(w, b);
+  return w.take();
+}
+
+Bytes serialize(const Bye& bye) {
+  ByteWriter w;
+  write_header(w, kRtcpBye, 1, 1);
+  w.u32(bye.ssrc);
+  return w.take();
+}
+
+Result<RtcpPacket> parse_rtcp(const Bytes& data) {
+  if (data.size() < 4) return fail<RtcpPacket>("rtcp: too short");
+  ByteReader r(data);
+  std::uint8_t b0 = r.u8();
+  if ((b0 >> 6) != 2) return fail<RtcpPacket>("rtcp: bad version");
+  std::uint8_t count = b0 & 0x1F;
+  std::uint8_t type = r.u8();
+  r.u16();  // length in words, unused (we parse a single packet)
+  RtcpPacket p;
+  p.type = type;
+  switch (type) {
+    case kRtcpSenderReport:
+      p.sr.ssrc = r.u32();
+      p.sr.ntp_timestamp = r.u64();
+      p.sr.rtp_timestamp = r.u32();
+      p.sr.packet_count = r.u32();
+      p.sr.octet_count = r.u32();
+      for (std::uint8_t i = 0; i < count; ++i) p.sr.blocks.push_back(read_block(r));
+      break;
+    case kRtcpReceiverReport:
+      p.rr.ssrc = r.u32();
+      for (std::uint8_t i = 0; i < count; ++i) p.rr.blocks.push_back(read_block(r));
+      break;
+    case kRtcpBye:
+      p.bye.ssrc = r.u32();
+      break;
+    default:
+      return fail<RtcpPacket>("rtcp: unsupported packet type " + std::to_string(type));
+  }
+  if (!r.ok()) return fail<RtcpPacket>("rtcp: truncated packet");
+  return p;
+}
+
+bool looks_like_rtcp(const Bytes& data) {
+  if (data.size() < 2) return false;
+  if ((data[0] >> 6) != 2) return false;
+  return data[1] >= 200 && data[1] <= 204;
+}
+
+}  // namespace gmmcs::rtp

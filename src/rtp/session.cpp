@@ -1,0 +1,127 @@
+#include "rtp/session.hpp"
+
+#include <algorithm>
+
+namespace gmmcs::rtp {
+
+RtpSession::RtpSession(sim::Host& host, Config cfg)
+    : cfg_(cfg),
+      socket_(host),
+      // Deterministic but distinct initial sequence per SSRC.
+      next_seq_(static_cast<std::uint16_t>(cfg.ssrc * 2654435761u >> 16)) {
+  socket_.on_receive([this](const sim::Datagram& d) { handle(d); });
+  if (cfg_.send_rtcp) {
+    rtcp_task_ = std::make_unique<sim::PeriodicTask>(
+        host.loop(), cfg_.rtcp_interval, [this](std::uint64_t) { emit_rtcp(); });
+    rtcp_task_->start();
+  }
+}
+
+RtpSession::~RtpSession() = default;
+
+void RtpSession::add_destination(sim::Endpoint dst) {
+  if (std::find(dests_.begin(), dests_.end(), dst) == dests_.end()) dests_.push_back(dst);
+}
+
+void RtpSession::clear_destinations() {
+  dests_.clear();
+}
+
+void RtpSession::set_multicast_group(sim::GroupId group) {
+  group_ = group;
+}
+
+void RtpSession::send_media(Bytes payload, std::uint32_t timestamp, bool marker) {
+  RtpPacket p;
+  p.marker = marker;
+  p.payload_type = cfg_.payload_type;
+  p.sequence = next_seq_++;
+  p.timestamp = timestamp;
+  p.ssrc = cfg_.ssrc;
+  p.payload = std::move(payload);
+  Bytes wire = p.serialize();
+  ++packets_sent_;
+  octets_sent_ += static_cast<std::uint32_t>(p.payload.size());
+  for (const auto& dst : dests_) socket_.send_to(dst, wire);
+  if (group_ != 0) socket_.send_group(group_, wire);
+  if (send_tap_) send_tap_(wire);
+}
+
+void RtpSession::on_send(std::function<void(const Bytes&)> tap) {
+  send_tap_ = std::move(tap);
+}
+
+void RtpSession::on_media(std::function<void(const RtpPacket&, const sim::Datagram&)> handler) {
+  media_handler_ = std::move(handler);
+}
+
+void RtpSession::on_rtcp(std::function<void(const RtcpPacket&, const sim::Datagram&)> handler) {
+  rtcp_handler_ = std::move(handler);
+}
+
+ReceiverStats& RtpSession::source_stats(std::uint32_t ssrc) {
+  auto it = sources_.find(ssrc);
+  if (it == sources_.end()) {
+    it = sources_.emplace(ssrc, std::make_unique<ReceiverStats>(cfg_.clock_rate)).first;
+  }
+  return *it->second;
+}
+
+void RtpSession::handle(const sim::Datagram& d) {
+  if (looks_like_rtcp(d.payload)) {
+    auto r = parse_rtcp(d.payload);
+    if (!r.ok()) {
+      ++parse_errors_;
+      return;
+    }
+    if (rtcp_handler_) rtcp_handler_(r.value(), d);
+    return;
+  }
+  auto r = RtpPacket::parse(d.payload);
+  if (!r.ok()) {
+    ++parse_errors_;
+    return;
+  }
+  const RtpPacket& p = r.value();
+  source_stats(p.ssrc).on_packet(p, socket_.host().loop().now(), d.sent_at);
+  if (media_handler_) media_handler_(p, d);
+}
+
+void RtpSession::emit_rtcp() {
+  SimTime now = socket_.host().loop().now();
+  Bytes wire;
+  if (packets_sent_ > 0) {
+    SenderReport sr;
+    sr.ssrc = cfg_.ssrc;
+    sr.ntp_timestamp = static_cast<std::uint64_t>(now.ns());
+    sr.rtp_timestamp = static_cast<std::uint32_t>(now.to_seconds() *
+                                                  static_cast<double>(cfg_.clock_rate));
+    sr.packet_count = packets_sent_;
+    sr.octet_count = octets_sent_;
+    wire = serialize(sr);
+  } else if (!sources_.empty()) {
+    ReceiverReport rr;
+    rr.ssrc = cfg_.ssrc;
+    for (auto& [ssrc, stats] : sources_) {
+      ReportBlock b;
+      b.ssrc = ssrc;
+      b.fraction_lost = stats->fraction_lost_since_last();
+      auto lost = stats->cumulative_lost();
+      b.cumulative_lost = lost > 0 ? static_cast<std::uint32_t>(lost) : 0;
+      b.highest_seq = stats->extended_highest_seq();
+      b.jitter = stats->jitter_timestamp_units();
+      rr.blocks.push_back(b);
+    }
+    wire = serialize(rr);
+  } else {
+    return;  // nothing to report yet
+  }
+  for (const auto& dst : dests_) socket_.send_to(dst, wire);
+}
+
+void RtpSession::send_bye() {
+  Bytes wire = serialize(Bye{cfg_.ssrc});
+  for (const auto& dst : dests_) socket_.send_to(dst, wire);
+}
+
+}  // namespace gmmcs::rtp

@@ -1,0 +1,97 @@
+// RTP session: a socket plus send/receive machinery and per-source stats.
+//
+// Every media endpoint in the system (H.323 terminals, SIP endpoints,
+// Access Grid tools, broker RTP proxies, the JMF reflector baseline and the
+// measured receivers of the Figure-3 experiment) speaks through an
+// RtpSession. RTP and RTCP share one socket, demultiplexed by packet type
+// as real single-port deployments do.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "rtp/packet.hpp"
+#include "rtp/receiver_stats.hpp"
+#include "rtp/rtcp.hpp"
+#include "sim/event_loop.hpp"
+#include "transport/datagram_socket.hpp"
+
+namespace gmmcs::rtp {
+
+class RtpSession {
+ public:
+  struct Config {
+    std::uint32_t ssrc = 0;
+    std::uint8_t payload_type = 0;
+    std::uint32_t clock_rate = 90000;
+    /// When true, a periodic task emits SR (if we sent) and RR (per source)
+    /// to every destination.
+    bool send_rtcp = false;
+    SimDuration rtcp_interval = duration_s(5);
+  };
+
+  RtpSession(sim::Host& host, Config cfg);
+  ~RtpSession();
+
+  // --- Destinations ---
+  void add_destination(sim::Endpoint dst);
+  void clear_destinations();
+  /// Media is additionally sent to this multicast group when set.
+  void set_multicast_group(sim::GroupId group);
+  [[nodiscard]] const std::vector<sim::Endpoint>& destinations() const { return dests_; }
+
+  // --- Sending ---
+  /// Sends one media packet to all destinations; sequence numbers are
+  /// managed by the session, timestamp/marker supplied by the media layer.
+  void send_media(Bytes payload, std::uint32_t timestamp, bool marker = false);
+  /// Tap on outgoing packets: receives every serialized RTP packet. Used
+  /// to feed media into non-RTP transports (e.g. publish as broker events).
+  void on_send(std::function<void(const Bytes& wire)> tap);
+  [[nodiscard]] std::uint32_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint32_t octets_sent() const { return octets_sent_; }
+
+  // --- Receiving ---
+  /// Media callback: parsed packet plus the raw datagram (for send-time /
+  /// delay accounting).
+  void on_media(std::function<void(const RtpPacket&, const sim::Datagram&)> handler);
+  void on_rtcp(std::function<void(const RtcpPacket&, const sim::Datagram&)> handler);
+  /// Per-source reception stats, created on first packet (or first call).
+  ReceiverStats& source_stats(std::uint32_t ssrc);
+  [[nodiscard]] const std::map<std::uint32_t, std::unique_ptr<ReceiverStats>>& sources() const {
+    return sources_;
+  }
+  [[nodiscard]] std::uint64_t parse_errors() const { return parse_errors_; }
+
+  // --- Multicast receive ---
+  void join_group(sim::GroupId group) { socket_.join_group(group); }
+  void leave_group(sim::GroupId group) { socket_.leave_group(group); }
+
+  [[nodiscard]] sim::Endpoint local() const { return socket_.local(); }
+  [[nodiscard]] sim::Host& host() const { return socket_.host(); }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Sends an RTCP BYE to all destinations (session teardown).
+  void send_bye();
+
+ private:
+  void handle(const sim::Datagram& d);
+  void emit_rtcp();
+
+  Config cfg_;
+  transport::DatagramSocket socket_;
+  std::vector<sim::Endpoint> dests_;
+  sim::GroupId group_ = 0;
+  std::uint16_t next_seq_;
+  std::uint32_t packets_sent_ = 0;
+  std::uint32_t octets_sent_ = 0;
+  std::uint64_t parse_errors_ = 0;
+  std::function<void(const Bytes&)> send_tap_;
+  std::function<void(const RtpPacket&, const sim::Datagram&)> media_handler_;
+  std::function<void(const RtcpPacket&, const sim::Datagram&)> rtcp_handler_;
+  std::map<std::uint32_t, std::unique_ptr<ReceiverStats>> sources_;
+  std::unique_ptr<sim::PeriodicTask> rtcp_task_;
+};
+
+}  // namespace gmmcs::rtp

@@ -1,0 +1,100 @@
+#include "sim/event_loop.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gmmcs::sim {
+
+TaskId EventLoop::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) when = now_;  // never schedule into the past
+  TaskId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++size_;
+  return id;
+}
+
+TaskId EventLoop::schedule_after(SimDuration delay, Callback cb) {
+  if (delay < SimDuration{0}) delay = SimDuration{0};
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+void EventLoop::cancel(TaskId id) {
+  if (callbacks_.erase(id) > 0) --size_;
+  // The heap entry stays; step() skips ids with no callback.
+}
+
+bool EventLoop::step() {
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    --size_;
+    now_ = e.when;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+void EventLoop::run_until(SimTime deadline) {
+  while (!heap_.empty()) {
+    // Skip over cancelled entries without advancing time.
+    Entry e = heap_.top();
+    if (callbacks_.find(e.id) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (e.when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+PeriodicTask::PeriodicTask(EventLoop& loop, SimDuration period,
+                           std::function<void(std::uint64_t)> fn)
+    : loop_(loop), period_(period), fn_(std::move(fn)) {
+  if (period_ <= SimDuration{0}) {
+    throw std::invalid_argument("PeriodicTask: period must be positive");
+  }
+}
+
+PeriodicTask::~PeriodicTask() {
+  stop();
+}
+
+void PeriodicTask::start() {
+  start_after(period_);
+}
+
+void PeriodicTask::start_after(SimDuration initial_delay) {
+  if (running_) return;
+  running_ = true;
+  arm(initial_delay);
+}
+
+void PeriodicTask::arm(SimDuration delay) {
+  pending_ = loop_.schedule_after(delay, [this] {
+    if (!running_) return;
+    std::uint64_t t = tick_++;
+    arm(period_);
+    fn_(t);
+  });
+}
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  loop_.cancel(pending_);
+}
+
+}  // namespace gmmcs::sim

@@ -1,0 +1,100 @@
+// Discrete-event simulation core.
+//
+// A single EventLoop instance drives an entire Global-MMCS deployment:
+// every host, broker, gateway and media client schedules callbacks on it.
+// Events at equal times run in scheduling order (a monotonic sequence
+// number breaks ties), which keeps runs fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace gmmcs::sim {
+
+/// Handle for cancelling a scheduled event.
+using TaskId = std::uint64_t;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules a callback at an absolute time (>= now).
+  TaskId schedule_at(SimTime when, Callback cb);
+  /// Schedules a callback after a relative delay (>= 0).
+  TaskId schedule_after(SimDuration delay, Callback cb);
+  /// Cancels a pending event; cancelling an already-run or unknown id is a no-op.
+  void cancel(TaskId id);
+
+  /// Runs events until the queue is empty.
+  void run();
+  /// Runs events with time <= deadline; afterwards now() == deadline.
+  void run_until(SimTime deadline);
+  /// Runs for the given simulated duration from the current time.
+  void run_for(SimDuration d) { run_until(now_ + d); }
+  /// Executes at most one event; returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending() const { return size_; }
+  /// Total events executed since construction (useful in tests).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    TaskId id;
+    // Heap entries are copied around; the callback lives in a separate map
+    // keyed by id so cancel() can drop it cheaply.
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  TaskId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t size_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // id -> callback; erased on cancel, so stale heap entries become no-ops.
+  std::unordered_map<TaskId, Callback> callbacks_;
+};
+
+/// Repeatedly invokes a callback at a fixed period until stopped.
+/// The callback receives the tick index (0, 1, 2, ...).
+class PeriodicTask {
+ public:
+  PeriodicTask(EventLoop& loop, SimDuration period, std::function<void(std::uint64_t)> fn);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start();
+  /// Starts with an initial phase offset before the first tick.
+  void start_after(SimDuration initial_delay);
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void arm(SimDuration delay);
+
+  EventLoop& loop_;
+  SimDuration period_;
+  std::function<void(std::uint64_t)> fn_;
+  std::uint64_t tick_ = 0;
+  TaskId pending_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace gmmcs::sim

@@ -1,0 +1,203 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gmmcs::sim {
+
+std::string Endpoint::to_string() const {
+  return "host" + std::to_string(node) + ":" + std::to_string(port);
+}
+
+Host::Host(Network& net, NodeId id, std::string name, NicConfig cfg)
+    : net_(&net), id_(id), name_(std::move(name)), nic_(cfg) {}
+
+EventLoop& Host::loop() const {
+  return net_->loop();
+}
+
+void Host::bind(std::uint16_t port, Handler handler) {
+  auto [it, inserted] = ports_.emplace(port, std::move(handler));
+  if (!inserted) {
+    throw std::logic_error("Host '" + name_ + "': port " + std::to_string(port) +
+                           " already bound");
+  }
+}
+
+std::uint16_t Host::bind_ephemeral(Handler handler) {
+  while (ports_.contains(next_ephemeral_)) {
+    ++next_ephemeral_;
+    if (next_ephemeral_ == 0) next_ephemeral_ = 49152;
+  }
+  std::uint16_t port = next_ephemeral_++;
+  bind(port, std::move(handler));
+  return port;
+}
+
+void Host::unbind(std::uint16_t port) {
+  ports_.erase(port);
+}
+
+bool Host::is_bound(std::uint16_t port) const {
+  return ports_.contains(port);
+}
+
+SimDuration Host::nic_backlog_delay() const {
+  SimTime now = loop().now();
+  if (nic_free_at_ <= now) return SimDuration{0};
+  return nic_free_at_ - now;
+}
+
+bool Host::egress(std::size_t wire_bytes, SimTime& depart) {
+  // Single-server drop-tail queue modeled in virtual time: the NIC is busy
+  // until nic_free_at_; queued bytes are released when their packet departs.
+  if (nic_queued_bytes_ + wire_bytes > nic_.queue_bytes) {
+    ++nic_dropped_;
+    return false;
+  }
+  EventLoop& lp = loop();
+  SimTime now = lp.now();
+  SimTime start = std::max(now, nic_free_at_);
+  auto ser = duration_seconds(static_cast<double>(wire_bytes) * 8.0 / nic_.egress_bps);
+  depart = start + ser;
+  nic_free_at_ = depart;
+  nic_queued_bytes_ += wire_bytes;
+  ++nic_sent_;
+  lp.schedule_at(depart, [this, wire_bytes] { nic_queued_bytes_ -= wire_bytes; });
+  return true;
+}
+
+bool Host::send(Endpoint dst, std::uint16_t src_port, Bytes payload, bool reliable) {
+  if (!up_) return false;
+  std::size_t wire = payload.size() + nic_.overhead_bytes;
+  SimTime depart;
+  if (!egress(wire, depart)) return false;
+  Datagram d;
+  d.src = Endpoint{id_, src_port};
+  d.dst = dst;
+  d.payload = std::move(payload);
+  d.sent_at = loop().now();
+  d.reliable = reliable;
+  if (egress_observer_) egress_observer_(d);
+  net_->transmit(*this, std::move(d), depart);
+  return true;
+}
+
+void Host::send_multicast(GroupId group, std::uint16_t src_port, Bytes payload) {
+  if (!up_) return;
+  std::size_t wire = payload.size() + nic_.overhead_bytes;
+  SimTime depart;
+  if (!egress(wire, depart)) return;
+  Datagram d;
+  d.src = Endpoint{id_, src_port};
+  d.payload = std::move(payload);
+  d.sent_at = loop().now();
+  d.group = group;
+  net_->transmit_multicast(*this, group, std::move(d), depart);
+}
+
+void Host::deliver(Datagram d) {
+  if (!up_) return;
+  if (ingress_filter_ && !ingress_filter_(d)) return;
+  auto it = ports_.find(d.dst.port);
+  if (it == ports_.end()) return;  // no listener: silently dropped, like UDP
+  it->second(d);
+}
+
+Network::Network(EventLoop& loop, std::uint64_t seed) : loop_(&loop), rng_(seed) {}
+
+Host& Network::add_host(std::string name, NicConfig cfg) {
+  auto id = static_cast<NodeId>(hosts_.size());
+  hosts_.push_back(std::unique_ptr<Host>(new Host(*this, id, std::move(name), cfg)));
+  return *hosts_.back();
+}
+
+Host& Network::host(NodeId id) {
+  return *hosts_.at(id);
+}
+
+const Host& Network::host(NodeId id) const {
+  return *hosts_.at(id);
+}
+
+void Network::set_path(NodeId a, NodeId b, PathConfig cfg) {
+  paths_[std::minmax(a, b)] = cfg;
+}
+
+PathConfig Network::path(NodeId a, NodeId b) const {
+  auto it = paths_.find(std::minmax(a, b));
+  return it == paths_.end() ? default_path_ : it->second;
+}
+
+GroupId Network::create_group() {
+  GroupId g = next_group_++;
+  groups_[g];
+  return g;
+}
+
+void Network::join_group(GroupId group, Endpoint member) {
+  auto& members = groups_.at(group);
+  if (std::find(members.begin(), members.end(), member) == members.end()) {
+    members.push_back(member);
+  }
+}
+
+void Network::leave_group(GroupId group, Endpoint member) {
+  auto& members = groups_.at(group);
+  members.erase(std::remove(members.begin(), members.end(), member), members.end());
+}
+
+std::size_t Network::group_size(GroupId group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.size();
+}
+
+bool Network::roll_loss(const PathConfig& cfg, NodeId src, NodeId dst) {
+  if (cfg.loss <= 0.0) return false;
+  if (cfg.burst_length <= 1.0) return rng_.chance(cfg.loss);
+  // Gilbert–Elliott: leave a burst with rate r = 1/L; enter one with
+  // p = r * loss / (1 - loss), giving stationary loss p/(p+r) = loss.
+  double r = 1.0 / cfg.burst_length;
+  double p = r * cfg.loss / (1.0 - cfg.loss);
+  bool& in_burst = burst_state_[{src, dst}];
+  if (in_burst) {
+    if (rng_.chance(r)) in_burst = false;
+  } else {
+    if (rng_.chance(p)) in_burst = true;
+  }
+  return in_burst;
+}
+
+void Network::transmit(Host& from, Datagram d, SimTime depart) {
+  PathConfig p = path(from.id(), d.dst.node);
+  if (!d.reliable && roll_loss(p, from.id(), d.dst.node)) {
+    ++lost_;
+    return;
+  }
+  SimTime arrive = depart + p.latency;
+  Host* dst = hosts_.at(d.dst.node).get();
+  ++delivered_;
+  loop_->schedule_at(arrive, [dst, d = std::move(d)]() mutable { dst->deliver(std::move(d)); });
+}
+
+void Network::transmit_multicast(Host& from, GroupId group, Datagram d, SimTime depart) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  for (const Endpoint& member : it->second) {
+    if (member.node == from.id() && member.port == d.src.port) continue;  // no self-loop
+    PathConfig p = path(from.id(), member.node);
+    if (roll_loss(p, from.id(), member.node)) {
+      ++lost_;
+      continue;
+    }
+    Datagram copy = d;
+    copy.dst = member;
+    SimTime arrive = depart + p.latency;
+    Host* dst = hosts_.at(member.node).get();
+    ++delivered_;
+    loop_->schedule_at(arrive,
+                       [dst, copy = std::move(copy)]() mutable { dst->deliver(std::move(copy)); });
+  }
+}
+
+}  // namespace gmmcs::sim

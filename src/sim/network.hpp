@@ -1,0 +1,201 @@
+// Simulated network: hosts, NICs, paths and multicast groups.
+//
+// This replaces the paper's physical LAN testbed (see DESIGN.md §2). The
+// model captures the mechanisms that produced the paper's measurements:
+//
+//  * each host has a NIC with finite egress bandwidth and a drop-tail
+//    byte-bounded egress queue — serialization + queueing delay;
+//  * host pairs have a path with propagation latency and random loss;
+//  * multicast groups serialize once at the sender and fan out in the
+//    network (used by the Access Grid / Admire communities);
+//  * host CPUs are modeled separately with ServiceCenter where a component
+//    wants per-packet processing costs (broker dispatch, JMF reflector).
+//
+// Ingress is delivered directly to the bound port handler; receive-side
+// CPU contention is modeled by the components that need it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/random.hpp"
+#include "common/time.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gmmcs::sim {
+
+using NodeId = std::uint32_t;
+using GroupId = std::uint32_t;
+
+/// A (host, port) address.
+struct Endpoint {
+  NodeId node = 0;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A datagram in flight. `sent_at` is stamped at send time so receivers can
+/// compute one-way delay (all hosts share the simulation clock, mirroring
+/// the paper's trick of co-locating measured receivers with the sender).
+struct Datagram {
+  Endpoint src;
+  Endpoint dst;
+  Bytes payload;
+  SimTime sent_at;
+  /// Reliable traffic (stream segments) is exempt from random path loss;
+  /// retransmission is abstracted away but queueing is still paid.
+  bool reliable = false;
+  /// Nonzero when delivered via a multicast group.
+  GroupId group = 0;
+};
+
+struct NicConfig {
+  /// Egress line rate in bits per second (default: gigabit Ethernet).
+  double egress_bps = 1e9;
+  /// Drop-tail egress queue bound in bytes.
+  std::size_t queue_bytes = 4 * 1024 * 1024;
+  /// Fixed per-datagram overhead added to the payload size on the wire
+  /// (frame headers). 42 ≈ Ethernet + IP + UDP.
+  std::size_t overhead_bytes = 42;
+};
+
+struct PathConfig {
+  /// One-way propagation delay.
+  SimDuration latency = duration_us(200);
+  /// Stationary loss probability.
+  double loss = 0.0;
+  /// Mean loss-burst length in packets. 1.0 = independent (Bernoulli)
+  /// losses; >1 switches to a Gilbert–Elliott two-state model with the
+  /// same stationary loss rate but correlated drops, the loss character
+  /// of congested 2003 WAN paths.
+  double burst_length = 1.0;
+};
+
+class Network;
+
+/// A machine in the simulation. Obtained from Network::add_host; stable
+/// address (hosts are stored as unique_ptrs).
+class Host {
+ public:
+  using Handler = std::function<void(const Datagram&)>;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Network& network() const { return *net_; }
+  EventLoop& loop() const;
+
+  /// Binds a handler to a specific port; throws if already bound.
+  void bind(std::uint16_t port, Handler handler);
+  /// Binds to a fresh ephemeral port and returns it.
+  std::uint16_t bind_ephemeral(Handler handler);
+  void unbind(std::uint16_t port);
+  [[nodiscard]] bool is_bound(std::uint16_t port) const;
+
+  /// Sends a datagram; returns false if the NIC queue dropped it.
+  bool send(Endpoint dst, std::uint16_t src_port, Bytes payload, bool reliable = false);
+  /// Sends to every member of a multicast group (one NIC serialization).
+  void send_multicast(GroupId group, std::uint16_t src_port, Bytes payload);
+
+  /// Takes the host offline: all traffic to/from it is dropped. Used for
+  /// failure-injection tests.
+  void set_up(bool up) { up_ = up; }
+  [[nodiscard]] bool up() const { return up_; }
+
+  /// Ingress filter: return false to drop an arriving datagram before it
+  /// reaches the port handler. Used by the transport-layer firewall model.
+  void set_ingress_filter(std::function<bool(const Datagram&)> filter) {
+    ingress_filter_ = std::move(filter);
+  }
+  /// Egress observer: sees every datagram this host successfully enqueues.
+  /// Used for firewall connection tracking and traffic accounting.
+  void set_egress_observer(std::function<void(const Datagram&)> observer) {
+    egress_observer_ = std::move(observer);
+  }
+
+  // NIC statistics.
+  [[nodiscard]] std::uint64_t nic_sent() const { return nic_sent_; }
+  [[nodiscard]] std::uint64_t nic_dropped() const { return nic_dropped_; }
+  [[nodiscard]] std::size_t nic_queued_bytes() const { return nic_queued_bytes_; }
+  /// Instantaneous NIC queueing delay for a hypothetical new packet.
+  [[nodiscard]] SimDuration nic_backlog_delay() const;
+
+ private:
+  friend class Network;
+  Host(Network& net, NodeId id, std::string name, NicConfig cfg);
+
+  /// Runs the egress pipeline; returns departure time or nullopt on drop.
+  bool egress(std::size_t wire_bytes, SimTime& depart);
+  void deliver(Datagram d);
+
+  Network* net_;
+  NodeId id_;
+  std::string name_;
+  NicConfig nic_;
+  bool up_ = true;
+  SimTime nic_free_at_;
+  std::size_t nic_queued_bytes_ = 0;
+  std::uint64_t nic_sent_ = 0;
+  std::uint64_t nic_dropped_ = 0;
+  std::uint16_t next_ephemeral_ = 49152;
+  std::unordered_map<std::uint16_t, Handler> ports_;
+  std::function<bool(const Datagram&)> ingress_filter_;
+  std::function<void(const Datagram&)> egress_observer_;
+};
+
+/// The simulated network fabric: owns hosts, paths and multicast groups.
+class Network {
+ public:
+  Network(EventLoop& loop, std::uint64_t seed = 1);
+
+  Host& add_host(std::string name, NicConfig cfg = {});
+  [[nodiscard]] Host& host(NodeId id);
+  [[nodiscard]] const Host& host(NodeId id) const;
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+
+  /// Sets the (symmetric) path between two hosts.
+  void set_path(NodeId a, NodeId b, PathConfig cfg);
+  /// Path used when no explicit one was set.
+  void set_default_path(PathConfig cfg) { default_path_ = cfg; }
+  [[nodiscard]] PathConfig path(NodeId a, NodeId b) const;
+
+  GroupId create_group();
+  void join_group(GroupId group, Endpoint member);
+  void leave_group(GroupId group, Endpoint member);
+  [[nodiscard]] std::size_t group_size(GroupId group) const;
+
+  [[nodiscard]] EventLoop& loop() const { return *loop_; }
+
+  // Fabric-wide statistics.
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t lost() const { return lost_; }
+
+ private:
+  friend class Host;
+  void transmit(Host& from, Datagram d, SimTime depart);
+  void transmit_multicast(Host& from, GroupId group, Datagram d, SimTime depart);
+  /// Applies the path's loss model (Bernoulli or Gilbert–Elliott);
+  /// true = drop. Burst state is kept per directed (src, dst) pair.
+  bool roll_loss(const PathConfig& cfg, NodeId src, NodeId dst);
+
+  EventLoop* loop_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  PathConfig default_path_;
+  std::map<std::pair<NodeId, NodeId>, PathConfig> paths_;
+  GroupId next_group_ = 1;
+  std::unordered_map<GroupId, std::vector<Endpoint>> groups_;
+  /// Gilbert–Elliott "in a loss burst" flag per directed host pair.
+  std::map<std::pair<NodeId, NodeId>, bool> burst_state_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+}  // namespace gmmcs::sim

@@ -1,0 +1,52 @@
+#include "sim/service_center.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gmmcs::sim {
+
+ServiceCenter::ServiceCenter(EventLoop& loop, int servers, std::size_t queue_limit)
+    : loop_(loop), servers_(servers), queue_limit_(queue_limit) {
+  if (servers <= 0) throw std::invalid_argument("ServiceCenter: need at least one server");
+}
+
+bool ServiceCenter::submit(SimDuration service_time, std::function<void()> done) {
+  Job job{loop_.now(), service_time, std::move(done)};
+  if (busy_ < servers_) {
+    start(std::move(job));
+    return true;
+  }
+  if (queue_limit_ != 0 && queue_.size() >= queue_limit_) {
+    ++rejected_;
+    return false;
+  }
+  queue_.push_back(std::move(job));
+  return true;
+}
+
+void ServiceCenter::start(Job job) {
+  ++busy_;
+  total_wait_ += loop_.now() - job.enqueued;
+  loop_.schedule_after(job.service, [this, done = std::move(job.done)]() mutable {
+    --busy_;
+    ++completed_;
+    if (done) done();
+    drain();
+  });
+}
+
+void ServiceCenter::drain() {
+  while (busy_ < servers_ && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    start(std::move(job));
+  }
+}
+
+SimDuration ServiceCenter::mean_wait() const {
+  std::uint64_t n = completed_ + static_cast<std::uint64_t>(busy_);
+  if (n == 0) return SimDuration{0};
+  return SimDuration{total_wait_.ns() / static_cast<std::int64_t>(n)};
+}
+
+}  // namespace gmmcs::sim

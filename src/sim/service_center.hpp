@@ -1,0 +1,59 @@
+// Service centers: queueing models for CPU and thread-pool work.
+//
+// The paper's delay/jitter numbers were produced by queueing inside the
+// broker and the JMF reflector (per-packet processing on a bounded number
+// of threads). A ServiceCenter models exactly that: `k` parallel servers
+// draining a FIFO queue of jobs with explicit service times. The JMF
+// reflector is a ServiceCenter with one server; the optimized
+// NaradaBrokering dispatch pool has several.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/time.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gmmcs::sim {
+
+class ServiceCenter {
+ public:
+  /// servers: number of parallel workers; queue_limit: max queued jobs
+  /// (0 = unbounded). Jobs arriving at a full queue are rejected.
+  ServiceCenter(EventLoop& loop, int servers, std::size_t queue_limit = 0);
+
+  /// Submits a job; `done` runs when its service time has elapsed.
+  /// Returns false (and drops the job) if the queue is full.
+  bool submit(SimDuration service_time, std::function<void()> done);
+
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] int busy_servers() const { return busy_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+  /// Total time jobs spent waiting in queue (not being served).
+  [[nodiscard]] SimDuration total_wait() const { return total_wait_; }
+  /// Mean queueing wait across completed jobs.
+  [[nodiscard]] SimDuration mean_wait() const;
+
+ private:
+  struct Job {
+    SimTime enqueued;
+    SimDuration service;
+    std::function<void()> done;
+  };
+
+  void start(Job job);
+  void drain();
+
+  EventLoop& loop_;
+  int servers_;
+  std::size_t queue_limit_;
+  int busy_ = 0;
+  std::deque<Job> queue_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  SimDuration total_wait_{};
+};
+
+}  // namespace gmmcs::sim

@@ -1,0 +1,178 @@
+#include "sip/endpoint.hpp"
+
+namespace gmmcs::sip {
+
+SipEndpoint::SipEndpoint(sim::Host& host, std::string uri, sim::Endpoint proxy)
+    : uri_(std::move(uri)), proxy_(proxy), agent_(host, /*port=*/0) {
+  agent_.on_request(
+      [this](const SipMessage& req, const SipAgent::Responder& respond) { handle(req, respond); });
+}
+
+void SipEndpoint::register_with_proxy(std::function<void(bool)> cb) {
+  SipMessage reg = SipMessage::request("REGISTER", uri_, uri_, uri_, agent_.new_call_id(),
+                                       agent_.next_cseq());
+  reg.set_header("Contact", make_contact(agent_.endpoint()));
+  agent_.send_request(proxy_, std::move(reg), [cb = std::move(cb)](const SipMessage& resp) {
+    cb(resp.status == 200);
+  });
+}
+
+void SipEndpoint::unregister(std::function<void(bool)> cb) {
+  SipMessage reg = SipMessage::request("REGISTER", uri_, uri_, uri_, agent_.new_call_id(),
+                                       agent_.next_cseq());
+  reg.set_header("Contact", make_contact(agent_.endpoint()));
+  reg.set_header("Expires", "0");
+  agent_.send_request(proxy_, std::move(reg), [cb = std::move(cb)](const SipMessage& resp) {
+    cb(resp.status == 200);
+  });
+}
+
+void SipEndpoint::invite(const std::string& target_uri, const Sdp& offer,
+                         std::function<void(bool, const Call&)> cb) {
+  std::string call_id = agent_.new_call_id();
+  SipMessage inv =
+      SipMessage::request("INVITE", target_uri, uri_, target_uri, call_id, agent_.next_cseq());
+  inv.set_header("Contact", make_contact(agent_.endpoint()));
+  inv.set_header("Content-Type", "application/sdp");
+  inv.body = offer.serialize();
+  std::uint32_t cseq = inv.cseq_number();
+  agent_.send_request(
+      proxy_, std::move(inv),
+      [this, cb = std::move(cb), call_id, target_uri, cseq](const SipMessage& resp) {
+        if (resp.status < 200) return;  // provisional
+        Call call;
+        call.call_id = call_id;
+        call.peer_uri = target_uri;
+        if (resp.status == 200) {
+          auto sdp = Sdp::parse(resp.body);
+          if (sdp.ok()) call.remote_sdp = sdp.value();
+          call.established = true;
+          call_ = call;
+          // ACK completes the three-way handshake (sent through the proxy).
+          SipMessage ack =
+              SipMessage::request("ACK", target_uri, uri_, target_uri, call_id, cseq);
+          agent_.send_request(proxy_, std::move(ack));
+        }
+        cb(resp.status == 200, call);
+      });
+}
+
+void SipEndpoint::reinvite(const Sdp& new_offer, std::function<void(bool, const Call&)> cb) {
+  if (!call_) {
+    cb(false, Call{});
+    return;
+  }
+  SipMessage inv = SipMessage::request("INVITE", call_->peer_uri, uri_, call_->peer_uri,
+                                       call_->call_id, agent_.next_cseq());
+  inv.set_header("Contact", make_contact(agent_.endpoint()));
+  inv.set_header("Content-Type", "application/sdp");
+  inv.body = new_offer.serialize();
+  std::uint32_t cseq = inv.cseq_number();
+  std::string peer = call_->peer_uri;
+  std::string call_id = call_->call_id;
+  agent_.send_request(proxy_, std::move(inv),
+                      [this, cb = std::move(cb), peer, call_id, cseq](const SipMessage& resp) {
+                        if (resp.status < 200) return;
+                        if (resp.status == 200 && call_) {
+                          auto sdp = Sdp::parse(resp.body);
+                          if (sdp.ok()) call_->remote_sdp = sdp.value();
+                          SipMessage ack =
+                              SipMessage::request("ACK", peer, uri_, peer, call_id, cseq);
+                          agent_.send_request(proxy_, std::move(ack));
+                        }
+                        cb(resp.status == 200, call_ ? *call_ : Call{});
+                      });
+}
+
+void SipEndpoint::bye(std::function<void(bool)> cb) {
+  if (!call_) {
+    cb(false);
+    return;
+  }
+  SipMessage bye = SipMessage::request("BYE", call_->peer_uri, uri_, call_->peer_uri,
+                                       call_->call_id, agent_.next_cseq());
+  agent_.send_request(proxy_, std::move(bye), [this, cb = std::move(cb)](const SipMessage& resp) {
+    if (resp.status == 200) call_.reset();
+    cb(resp.status == 200);
+  });
+}
+
+void SipEndpoint::on_invite(
+    std::function<std::optional<Sdp>(const std::string&, const Sdp&)> h) {
+  invite_handler_ = std::move(h);
+}
+
+void SipEndpoint::send_message(const std::string& target_uri, const std::string& text,
+                               std::function<void(bool)> cb) {
+  SipMessage msg = SipMessage::request("MESSAGE", target_uri, uri_, target_uri,
+                                       agent_.new_call_id(), agent_.next_cseq());
+  msg.set_header("Contact", make_contact(agent_.endpoint()));
+  msg.set_header("Content-Type", "text/plain");
+  msg.body = text;
+  agent_.send_request(proxy_, std::move(msg), [cb = std::move(cb)](const SipMessage& resp) {
+    cb(resp.status == 200);
+  });
+}
+
+void SipEndpoint::on_message(
+    std::function<void(const std::string&, const std::string&)> h) {
+  message_handler_ = std::move(h);
+}
+
+void SipEndpoint::subscribe_presence(const std::string& target_uri,
+                                     std::function<void(const std::string&)> h) {
+  presence_handlers_[target_uri] = std::move(h);
+  SipMessage sub = SipMessage::request("SUBSCRIBE", target_uri, uri_, target_uri,
+                                       agent_.new_call_id(), agent_.next_cseq());
+  sub.set_header("Contact", make_contact(agent_.endpoint()));
+  sub.set_header("Event", "presence");
+  agent_.send_request(proxy_, std::move(sub), [](const SipMessage&) {});
+}
+
+void SipEndpoint::handle(const SipMessage& req, const SipAgent::Responder& respond) {
+  if (req.method == "INVITE") {
+    auto offer = Sdp::parse(req.body);
+    if (!invite_handler_ || !offer.ok()) {
+      respond(SipMessage::response(req, 486, "Busy Here"));
+      return;
+    }
+    auto answer = invite_handler_(req.from_uri(), offer.value());
+    if (!answer) {
+      respond(SipMessage::response(req, 486, "Busy Here"));
+      return;
+    }
+    Call call;
+    call.call_id = req.call_id();
+    call.peer_uri = req.from_uri();
+    call.remote_sdp = offer.value();
+    call.established = true;
+    call_ = call;
+    SipMessage ok = SipMessage::response(req, 200, "OK");
+    ok.set_header("Contact", make_contact(agent_.endpoint()));
+    ok.set_header("Content-Type", "application/sdp");
+    ok.body = answer->serialize();
+    respond(ok);
+    return;
+  }
+  if (req.method == "ACK") return;  // dialog confirmed; nothing to send
+  if (req.method == "BYE") {
+    call_.reset();
+    respond(SipMessage::response(req, 200, "OK"));
+    return;
+  }
+  if (req.method == "MESSAGE") {
+    if (message_handler_) message_handler_(req.from_uri(), req.body);
+    respond(SipMessage::response(req, 200, "OK"));
+    return;
+  }
+  if (req.method == "NOTIFY") {
+    // NOTIFYs carry the watched AOR in From.
+    auto it = presence_handlers_.find(req.from_uri());
+    if (it != presence_handlers_.end()) it->second(req.body);
+    respond(SipMessage::response(req, 200, "OK"));
+    return;
+  }
+  respond(SipMessage::response(req, 501, "Not Implemented"));
+}
+
+}  // namespace gmmcs::sip

@@ -1,0 +1,74 @@
+// SIP user agent: the client-side element (a simulated "SIP endpoint" or
+// "Windows Messenger" from the paper's client list).
+//
+// Registers with the proxy, places/receives calls with SDP offer/answer,
+// sends instant messages, and watches presence. Media itself is carried
+// by an RtpSession the application wires to the negotiated endpoints.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "sip/agent.hpp"
+#include "sip/sdp.hpp"
+
+namespace gmmcs::sip {
+
+class SipEndpoint {
+ public:
+  /// `uri` is this user's AOR, e.g. "sip:alice@iu.edu"; all signaling goes
+  /// through `proxy`.
+  SipEndpoint(sim::Host& host, std::string uri, sim::Endpoint proxy);
+
+  /// Registers the AOR -> this agent binding; cb(success).
+  void register_with_proxy(std::function<void(bool)> cb);
+  void unregister(std::function<void(bool)> cb);
+
+  // --- Calls ---
+  struct Call {
+    std::string call_id;
+    std::string peer_uri;
+    Sdp remote_sdp;
+    bool established = false;
+  };
+  /// Places a call; cb fires on the final response (answer SDP inside the
+  /// call on success). Sends the ACK automatically.
+  void invite(const std::string& target_uri, const Sdp& offer,
+              std::function<void(bool, const Call&)> cb);
+  /// Renegotiates the active call's media (re-INVITE within the dialog):
+  /// new offer, same Call-ID. Used for hold/resume and port changes.
+  void reinvite(const Sdp& new_offer, std::function<void(bool, const Call&)> cb);
+  /// Ends the active call.
+  void bye(std::function<void(bool)> cb);
+  /// Incoming call handler: return the answer SDP to accept, nullopt to
+  /// reject with 486 Busy Here.
+  void on_invite(std::function<std::optional<Sdp>(const std::string& from, const Sdp& offer)> h);
+  [[nodiscard]] const std::optional<Call>& active_call() const { return call_; }
+
+  // --- Instant messaging (paper: IM service via SIP MESSAGE) ---
+  void send_message(const std::string& target_uri, const std::string& text,
+                    std::function<void(bool)> cb);
+  void on_message(std::function<void(const std::string& from, const std::string& text)> h);
+
+  // --- Presence ---
+  void subscribe_presence(const std::string& target_uri,
+                          std::function<void(const std::string& status)> h);
+
+  [[nodiscard]] const std::string& uri() const { return uri_; }
+  [[nodiscard]] SipAgent& agent() { return agent_; }
+
+ private:
+  void handle(const SipMessage& req, const SipAgent::Responder& respond);
+
+  std::string uri_;
+  sim::Endpoint proxy_;
+  SipAgent agent_;
+  std::optional<Call> call_;
+  std::function<std::optional<Sdp>(const std::string&, const Sdp&)> invite_handler_;
+  std::function<void(const std::string&, const std::string&)> message_handler_;
+  std::map<std::string, std::function<void(const std::string&)>> presence_handlers_;
+};
+
+}  // namespace gmmcs::sip

@@ -1,0 +1,138 @@
+#include "sip/gateway.hpp"
+
+#include "common/strings.hpp"
+#include "media/codec.hpp"
+
+namespace gmmcs::sip {
+
+SipGateway::SipGateway(sim::Host& host, xgsp::SessionServer& sessions,
+                       sim::Endpoint broker_stream, std::uint16_t port)
+    : host_(&host), sessions_(&sessions), broker_(broker_stream), agent_(host, port) {
+  agent_.on_request(
+      [this](const SipMessage& req, const SipAgent::Responder& respond) { handle(req, respond); });
+}
+
+void SipGateway::handle(const SipMessage& req, const SipAgent::Responder& respond) {
+  if (req.method == "INVITE") {
+    handle_invite(req, respond);
+  } else if (req.method == "BYE") {
+    handle_bye(req, respond);
+  } else if (req.method == "ACK") {
+    // dialog confirmed
+  } else {
+    respond(SipMessage::response(req, 501, "Not Implemented"));
+  }
+}
+
+SipGateway::Bridge& SipGateway::bridge_for(const xgsp::Session& session) {
+  auto it = bridges_.find(session.id());
+  if (it == bridges_.end()) {
+    it = bridges_.emplace(session.id(), Bridge{}).first;
+    for (const auto& stream : session.streams()) {
+      it->second.proxies.emplace(
+          stream.kind,
+          std::make_unique<broker::RtpProxy>(
+              *host_, broker_,
+              broker::RtpProxy::Config{.topic = stream.topic,
+                                       .name = "sip-gw-" + session.id() + "-" + stream.kind}));
+    }
+  }
+  return it->second;
+}
+
+void SipGateway::handle_invite(const SipMessage& req, const SipAgent::Responder& respond) {
+  ++invites_;
+  // sip:conf-<id>@gmmcs
+  auto uri = SipUri::parse(req.request_uri);
+  if (!uri.ok() || !starts_with(uri.value().user, "conf-")) {
+    respond(SipMessage::response(req, 404, "Unknown Conference"));
+    return;
+  }
+  std::string session_id = uri.value().user.substr(5);
+  auto offer = Sdp::parse(req.body);
+  if (!offer.ok()) {
+    respond(SipMessage::response(req, 400, "Bad SDP"));
+    return;
+  }
+  // A re-INVITE within an existing dialog renegotiates media: drop the
+  // old RTP registrations and fall through to register the new offer.
+  auto existing = calls_.find(req.call_id());
+  if (existing != calls_.end()) {
+    auto bit = bridges_.find(existing->second.session_id);
+    if (bit != bridges_.end()) {
+      for (const auto& [kind, ep] : existing->second.receiver_regs) {
+        auto pit = bit->second.proxies.find(kind);
+        if (pit != bit->second.proxies.end()) pit->second->remove_receiver(ep);
+      }
+    }
+    calls_.erase(existing);
+  } else {
+    // First INVITE: the SIP user joins the XGSP session.
+    std::string user = req.from_uri();
+    xgsp::Message join_reply =
+        sessions_->handle(xgsp::Message::join(session_id, user, xgsp::EndpointKind::kSip));
+    if (!join_reply.ok) {
+      respond(SipMessage::response(req, 404, "No Such Session"));
+      return;
+    }
+  }
+  xgsp::Session* session_ptr = sessions_->find(session_id);
+  if (session_ptr == nullptr) {
+    respond(SipMessage::response(req, 404, "No Such Session"));
+    return;
+  }
+  const xgsp::Session& session = *session_ptr;
+  Bridge& bridge = bridge_for(session);
+
+  CallLeg leg;
+  leg.session_id = session_id;
+  leg.user = req.from_uri();
+
+  // Answer SDP: for each offered media kind that the session carries,
+  // register the caller's RTP endpoint with the topic proxy and expose
+  // the proxy's ingress as our media address.
+  Sdp answer;
+  answer.origin_user = "gmmcs-gw";
+  answer.address = host_->id();
+  for (const auto& m : offer.value().media) {
+    auto pit = bridge.proxies.find(m.kind);
+    if (pit == bridge.proxies.end()) continue;  // session has no such stream
+    sim::Endpoint caller_rtp{offer.value().address, m.port};
+    pit->second->add_receiver(caller_rtp);
+    leg.receiver_regs[m.kind] = caller_rtp;
+    SdpMedia am;
+    am.kind = m.kind;
+    am.port = pit->second->rtp_ingress().port;
+    am.payload_type = m.payload_type;
+    am.codec = m.codec;
+    answer.media.push_back(am);
+  }
+  calls_[req.call_id()] = std::move(leg);
+
+  SipMessage ok = SipMessage::response(req, 200, "OK");
+  ok.set_header("Contact", make_contact(agent_.endpoint()));
+  ok.set_header("Content-Type", "application/sdp");
+  ok.body = answer.serialize();
+  respond(ok);
+}
+
+void SipGateway::handle_bye(const SipMessage& req, const SipAgent::Responder& respond) {
+  auto it = calls_.find(req.call_id());
+  if (it == calls_.end()) {
+    respond(SipMessage::response(req, 481, "Call/Transaction Does Not Exist"));
+    return;
+  }
+  CallLeg& leg = it->second;
+  auto bit = bridges_.find(leg.session_id);
+  if (bit != bridges_.end()) {
+    for (const auto& [kind, ep] : leg.receiver_regs) {
+      auto pit = bit->second.proxies.find(kind);
+      if (pit != bit->second.proxies.end()) pit->second->remove_receiver(ep);
+    }
+  }
+  sessions_->handle(xgsp::Message::leave(leg.session_id, leg.user));
+  calls_.erase(it);
+  respond(SipMessage::response(req, 200, "OK"));
+}
+
+}  // namespace gmmcs::sip

@@ -1,0 +1,68 @@
+// SIP Gateway: translates SIP signaling into XGSP and bridges RTP onto
+// broker topics (paper §3.2).
+//
+// "The SIP Servers including a SIP Proxy, SIP Registrar and SIP Gateway
+// create a similar SIP domain for SIP terminals and perform SIP
+// translation."
+//
+// Conference URIs have the form  sip:conf-<sessionid>@gmmcs . An INVITE
+// becomes an XGSP JoinSession; the SDP answer points the caller's media
+// at per-stream RtpProxies on the gateway host, which publish/subscribe
+// the session's broker topics; a BYE becomes LeaveSession.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "broker/rtp_proxy.hpp"
+#include "sip/agent.hpp"
+#include "sip/sdp.hpp"
+#include "xgsp/session_server.hpp"
+
+namespace gmmcs::sip {
+
+class SipGateway {
+ public:
+  static constexpr std::uint16_t kGatewayPort = 5070;
+
+  SipGateway(sim::Host& host, xgsp::SessionServer& sessions, sim::Endpoint broker_stream,
+             std::uint16_t port = kGatewayPort);
+
+  [[nodiscard]] sim::Endpoint endpoint() const { return agent_.endpoint(); }
+  [[nodiscard]] std::size_t active_calls() const { return calls_.size(); }
+  [[nodiscard]] std::uint64_t invites_handled() const { return invites_; }
+
+  /// Builds the conference URI for an XGSP session id.
+  static std::string conference_uri(const std::string& session_id) {
+    return "sip:conf-" + session_id + "@gmmcs";
+  }
+
+ private:
+  /// Per-session media bridge: one RtpProxy per stream kind.
+  struct Bridge {
+    std::map<std::string, std::unique_ptr<broker::RtpProxy>> proxies;
+  };
+  struct CallLeg {
+    std::string session_id;
+    std::string user;
+    /// The caller's RTP receive endpoints per media kind (for cleanup).
+    std::map<std::string, sim::Endpoint> receiver_regs;
+  };
+
+  void handle(const SipMessage& req, const SipAgent::Responder& respond);
+  void handle_invite(const SipMessage& req, const SipAgent::Responder& respond);
+  void handle_bye(const SipMessage& req, const SipAgent::Responder& respond);
+  Bridge& bridge_for(const xgsp::Session& session);
+
+  sim::Host* host_;
+  xgsp::SessionServer* sessions_;
+  sim::Endpoint broker_;
+  SipAgent agent_;
+  std::map<std::string, Bridge> bridges_;   // session id -> media bridge
+  std::map<std::string, CallLeg> calls_;    // Call-ID -> leg
+  std::uint64_t invites_ = 0;
+};
+
+}  // namespace gmmcs::sip

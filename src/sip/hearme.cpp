@@ -1,0 +1,146 @@
+#include "sip/hearme.hpp"
+
+namespace gmmcs::sip {
+
+HearMeService::HearMeService(sim::Host& host, sim::Endpoint broker_stream,
+                             std::uint16_t soap_port, std::string name)
+    : host_(&host), broker_(broker_stream), name_(std::move(name)), soap_(host, soap_port) {
+  soap_.register_operation("JoinConference",
+                           [this](const xml::Element& r) { return establish(r); });
+  soap_.register_operation("PhoneMembership",
+                           [this](const xml::Element& r) { return membership(r); });
+  soap_.register_operation("ConferenceControl",
+                           [](const xml::Element&) -> Result<xml::Element> {
+                             return xml::Element("ConferenceControlResponse");
+                           });
+}
+
+xgsp::WsdlCi HearMeService::descriptor() const {
+  xgsp::WsdlCi d;
+  d.service_name = "HearMeConferenceService";
+  d.community = "sip";
+  d.endpoint = soap_.endpoint();
+  d.establish_op = "JoinConference";
+  d.membership_op = "PhoneMembership";
+  d.control_op = "ConferenceControl";
+  return d;
+}
+
+std::optional<sim::Endpoint> HearMeService::rendezvous_for(const std::string& session_id) const {
+  auto it = bridges_.find(session_id);
+  if (it == bridges_.end()) return std::nullopt;
+  return it->second->rendezvous->local();
+}
+
+std::size_t HearMeService::phones_in(const std::string& session_id) const {
+  auto it = bridges_.find(session_id);
+  return it == bridges_.end() ? 0 : it->second->phones.size();
+}
+
+void HearMeService::fan_out(ConferenceBridge& bridge, const Bytes& rtp_wire,
+                            sim::Endpoint except) {
+  for (const auto& phone : bridge.phones) {
+    if (phone == except) continue;
+    ++mixed_;
+    bridge.rendezvous->send_to(phone, rtp_wire);
+  }
+}
+
+Result<xml::Element> HearMeService::establish(const xml::Element& request) {
+  const xml::Element* invite = request.child("session-invite");
+  const xml::Element* session_el =
+      invite != nullptr ? invite->child("session") : request.child("session");
+  if (session_el == nullptr) return fail<xml::Element>("JoinConference: missing <session>");
+  xgsp::Session session = xgsp::Session::from_xml(*session_el);
+  const xgsp::MediaStream* audio = session.stream("audio");
+  if (audio == nullptr) {
+    return fail<xml::Element>("JoinConference: HearMe bridges audio sessions only");
+  }
+  auto it = bridges_.find(session.id());
+  if (it == bridges_.end()) {
+    auto bridge = std::make_unique<ConferenceBridge>();
+    bridge->topic = audio->topic;
+    bridge->rendezvous = std::make_unique<transport::DatagramSocket>(*host_);
+    bridge->uplink = std::make_unique<broker::BrokerClient>(
+        *host_, broker_,
+        broker::BrokerClient::Config{.name = name_ + "-bridge-" + session.id()});
+    bridge->uplink->subscribe(audio->topic);
+    ConferenceBridge* raw = bridge.get();
+    // Phone -> bridge: publish to the session topic and mix to the other
+    // phones directly (no round trip through the broker for local legs).
+    bridge->rendezvous->on_receive([this, raw](const sim::Datagram& d) {
+      raw->uplink->publish(raw->topic, d.payload);
+      fan_out(*raw, d.payload, d.src);
+    });
+    // Topic -> phones (the broker never echoes our own publications).
+    bridge->uplink->on_event([this, raw](const broker::Event& ev) {
+      fan_out(*raw, ev.payload, sim::Endpoint{});
+    });
+    it = bridges_.emplace(session.id(), std::move(bridge)).first;
+  }
+  xml::Element resp("JoinConferenceResponse");
+  resp.set_attr("session", session.id());
+  xml::Element& rv = resp.add_child("rendezvous");
+  rv.set_attr("kind", "audio");
+  rv.set_attr("node", std::to_string(it->second->rendezvous->local().node));
+  rv.set_attr("port", std::to_string(it->second->rendezvous->local().port));
+  return resp;
+}
+
+Result<xml::Element> HearMeService::membership(const xml::Element& request) {
+  std::string session_id = request.attr("session");
+  auto it = bridges_.find(session_id);
+  if (it == bridges_.end()) return fail<xml::Element>("PhoneMembership: session not bridged");
+  sim::Endpoint phone{static_cast<sim::NodeId>(std::stoul(request.attr("node"))),
+                      static_cast<std::uint16_t>(std::stoul(request.attr("port")))};
+  if (request.attr("action") == "leave") {
+    std::erase(it->second->phones, phone);
+  } else if (std::find(it->second->phones.begin(), it->second->phones.end(), phone) ==
+             it->second->phones.end()) {
+    it->second->phones.push_back(phone);
+  }
+  xml::Element resp("PhoneMembershipResponse");
+  resp.set_attr("phones", std::to_string(it->second->phones.size()));
+  return resp;
+}
+
+HearMeService::Phone::Phone(sim::Host& host, HearMeService& service, std::string number)
+    : service_(&service), number_(std::move(number)), socket_(host) {
+  socket_.on_receive([this](const sim::Datagram& d) {
+    ++received_;
+    if (handler_) handler_(d);
+  });
+}
+
+bool HearMeService::Phone::dial(const std::string& session_id) {
+  auto bridge = service_->rendezvous_for(session_id);
+  if (!bridge) return false;
+  session_id_ = session_id;
+  bridge_ = bridge;
+  // Register directly with the community (a real phone would do this via
+  // HearMe's own SIP signaling; the membership list is what matters).
+  auto it = service_->bridges_.find(session_id);
+  auto& phones = it->second->phones;
+  if (std::find(phones.begin(), phones.end(), socket_.local()) == phones.end()) {
+    phones.push_back(socket_.local());
+  }
+  return true;
+}
+
+void HearMeService::Phone::hang_up() {
+  if (session_id_.empty()) return;
+  auto it = service_->bridges_.find(session_id_);
+  if (it != service_->bridges_.end()) std::erase(it->second->phones, socket_.local());
+  session_id_.clear();
+  bridge_.reset();
+}
+
+void HearMeService::Phone::send_audio(Bytes rtp_wire) {
+  if (bridge_) socket_.send_to(*bridge_, std::move(rtp_wire));
+}
+
+void HearMeService::Phone::on_audio(std::function<void(const sim::Datagram&)> handler) {
+  handler_ = std::move(handler);
+}
+
+}  // namespace gmmcs::sip

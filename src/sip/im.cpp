@@ -1,0 +1,79 @@
+#include "sip/im.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace gmmcs::sip {
+
+ChatServer::ChatServer(sim::Host& host, std::uint16_t port) : agent_(host, port) {
+  agent_.on_request(
+      [this](const SipMessage& req, const SipAgent::Responder& respond) { handle(req, respond); });
+}
+
+std::size_t ChatServer::member_count(const std::string& room) const {
+  auto it = rooms_.find(room);
+  return it == rooms_.end() ? 0 : it->second.size();
+}
+
+void ChatServer::handle(const SipMessage& req, const SipAgent::Responder& respond) {
+  if (req.method != "MESSAGE") {
+    respond(SipMessage::response(req, 501, "Not Implemented"));
+    return;
+  }
+  auto uri = SipUri::parse(req.request_uri);
+  if (!uri.ok()) {
+    respond(SipMessage::response(req, 400, "Bad Request-URI"));
+    return;
+  }
+  const std::string room = uri.value().user;
+  const std::string sender = req.from_uri();
+  std::string body(trim(req.body));
+
+  if (body == "/join") {
+    auto contact = parse_contact(req.header("Contact"));
+    if (!contact.ok()) {
+      respond(SipMessage::response(req, 400, "Bad Contact"));
+      return;
+    }
+    auto& members = rooms_[room];
+    bool already = std::any_of(members.begin(), members.end(),
+                               [&](const Member& m) { return m.uri == sender; });
+    if (!already) members.push_back(Member{sender, contact.value()});
+    respond(SipMessage::response(req, 200, "OK"));
+    return;
+  }
+  if (body == "/leave") {
+    auto it = rooms_.find(room);
+    if (it != rooms_.end()) {
+      std::erase_if(it->second, [&](const Member& m) { return m.uri == sender; });
+    }
+    respond(SipMessage::response(req, 200, "OK"));
+    return;
+  }
+
+  auto it = rooms_.find(room);
+  if (it == rooms_.end()) {
+    respond(SipMessage::response(req, 404, "No Such Room"));
+    return;
+  }
+  bool is_member = std::any_of(it->second.begin(), it->second.end(),
+                               [&](const Member& m) { return m.uri == sender; });
+  if (!is_member) {
+    respond(SipMessage::response(req, 403, "Join First"));
+    return;
+  }
+  for (const Member& m : it->second) {
+    if (m.uri == sender) continue;
+    SipMessage relay = SipMessage::request("MESSAGE", m.uri, room_uri(room), m.uri,
+                                           agent_.new_call_id(), agent_.next_cseq());
+    relay.set_header("Content-Type", "text/plain");
+    relay.set_header("X-Chat-From", sender);
+    relay.body = sender + ": " + req.body;
+    ++relayed_;
+    agent_.send_request(m.contact, std::move(relay), [](const SipMessage&) {});
+  }
+  respond(SipMessage::response(req, 200, "OK"));
+}
+
+}  // namespace gmmcs::sip

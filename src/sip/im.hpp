@@ -1,0 +1,49 @@
+// Chat rooms over SIP MESSAGE (paper §3.2: "the SIP Proxy and SIP Gateway
+// provide the services of Instant Messaging and Chat room for IM capable
+// clients such as Windows Messenger").
+//
+// Rooms are addressed  sip:<room>@chat.gmmcs  and reached through the
+// proxy's domain route. Joining, leaving and speaking are all MESSAGEs:
+// a body of "/join" or "/leave" manages membership (the sender's Contact
+// header tells the server where to deliver), anything else is fanned out
+// to the other members with the sender prefixed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sip/agent.hpp"
+
+namespace gmmcs::sip {
+
+class ChatServer {
+ public:
+  static constexpr std::uint16_t kChatPort = 5062;
+  static constexpr const char* kDomain = "chat.gmmcs";
+
+  explicit ChatServer(sim::Host& host, std::uint16_t port = kChatPort);
+
+  static std::string room_uri(const std::string& room) {
+    return "sip:" + room + "@" + std::string(kDomain);
+  }
+
+  [[nodiscard]] sim::Endpoint endpoint() const { return agent_.endpoint(); }
+  [[nodiscard]] std::size_t member_count(const std::string& room) const;
+  [[nodiscard]] std::uint64_t messages_relayed() const { return relayed_; }
+
+ private:
+  struct Member {
+    std::string uri;
+    sim::Endpoint contact;
+  };
+
+  void handle(const SipMessage& req, const SipAgent::Responder& respond);
+
+  SipAgent agent_;
+  std::map<std::string, std::vector<Member>> rooms_;
+  std::uint64_t relayed_ = 0;
+};
+
+}  // namespace gmmcs::sip

@@ -1,0 +1,161 @@
+#include "sip/message.hpp"
+
+#include "common/strings.hpp"
+
+namespace gmmcs::sip {
+
+Result<SipUri> SipUri::parse(const std::string& text) {
+  std::string_view s = trim(text);
+  if (!starts_with(s, "sip:")) return fail<SipUri>("sip: uri must start with 'sip:'");
+  s.remove_prefix(4);
+  std::size_t at = s.find('@');
+  if (at == std::string_view::npos || at == 0 || at + 1 >= s.size()) {
+    return fail<SipUri>("sip: uri needs user@host");
+  }
+  SipUri uri;
+  uri.user = std::string(s.substr(0, at));
+  uri.host = std::string(s.substr(at + 1));
+  return uri;
+}
+
+std::string SipMessage::header(const std::string& name) const {
+  for (const auto& [k, v] : headers) {
+    if (iequals(k, name)) return v;
+  }
+  return {};
+}
+
+bool SipMessage::has_header(const std::string& name) const {
+  for (const auto& [k, v] : headers) {
+    if (iequals(k, name)) return true;
+  }
+  return false;
+}
+
+SipMessage& SipMessage::set_header(const std::string& name, const std::string& value) {
+  for (auto& [k, v] : headers) {
+    if (iequals(k, name)) {
+      v = value;
+      return *this;
+    }
+  }
+  headers.emplace_back(name, value);
+  return *this;
+}
+
+SipMessage& SipMessage::add_header(const std::string& name, const std::string& value) {
+  headers.emplace_back(name, value);
+  return *this;
+}
+
+std::uint32_t SipMessage::cseq_number() const {
+  auto parts = split_n(header("CSeq"), ' ', 2);
+  if (parts.empty() || parts[0].empty()) return 0;
+  return static_cast<std::uint32_t>(std::stoul(parts[0]));
+}
+
+std::string SipMessage::cseq_method() const {
+  auto parts = split_n(header("CSeq"), ' ', 2);
+  return parts.size() == 2 ? std::string(trim(parts[1])) : std::string{};
+}
+
+std::string strip_address(const std::string& header_value) {
+  std::string_view s = trim(header_value);
+  std::size_t lt = s.find('<');
+  if (lt != std::string_view::npos) {
+    std::size_t gt = s.find('>', lt);
+    if (gt != std::string_view::npos) return std::string(s.substr(lt + 1, gt - lt - 1));
+  }
+  std::size_t semi = s.find(';');
+  if (semi != std::string_view::npos) s = s.substr(0, semi);
+  return std::string(trim(s));
+}
+
+std::string SipMessage::from_uri() const {
+  return strip_address(from());
+}
+
+std::string SipMessage::to_uri() const {
+  return strip_address(to());
+}
+
+std::string SipMessage::serialize() const {
+  std::string out;
+  if (is_request) {
+    out = method + " " + request_uri + " SIP/2.0\r\n";
+  } else {
+    out = "SIP/2.0 " + std::to_string(status) + " " + reason + "\r\n";
+  }
+  for (const auto& [k, v] : headers) out += k + ": " + v + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+Result<SipMessage> SipMessage::parse(const std::string& text) {
+  std::size_t sep = text.find("\r\n\r\n");
+  std::size_t skip = 4;
+  if (sep == std::string::npos) {
+    sep = text.find("\n\n");
+    skip = 2;
+    if (sep == std::string::npos) return fail<SipMessage>("sip: no header/body separator");
+  }
+  std::string head = text.substr(0, sep);
+  SipMessage m;
+  m.body = text.substr(sep + skip);
+  auto lines = split_lines(head);
+  if (lines.empty()) return fail<SipMessage>("sip: empty message");
+  if (starts_with(lines[0], "SIP/2.0 ")) {
+    m.is_request = false;
+    auto parts = split_n(lines[0], ' ', 3);
+    if (parts.size() < 2) return fail<SipMessage>("sip: malformed status line");
+    m.status = std::stoi(parts[1]);
+    m.reason = parts.size() == 3 ? parts[2] : "";
+  } else {
+    auto parts = split_n(lines[0], ' ', 3);
+    if (parts.size() != 3 || parts[2] != "SIP/2.0") {
+      return fail<SipMessage>("sip: malformed request line");
+    }
+    m.is_request = true;
+    m.method = parts[0];
+    m.request_uri = parts[1];
+  }
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    auto kv = split_n(lines[i], ':', 2);
+    if (kv.size() != 2) return fail<SipMessage>("sip: malformed header '" + lines[i] + "'");
+    std::string name(trim(kv[0]));
+    if (iequals(name, "Content-Length")) continue;  // derived from body
+    m.headers.emplace_back(std::move(name), std::string(trim(kv[1])));
+  }
+  return m;
+}
+
+SipMessage SipMessage::request(const std::string& method, const std::string& uri,
+                               const std::string& from, const std::string& to,
+                               const std::string& call_id, std::uint32_t cseq) {
+  SipMessage m;
+  m.is_request = true;
+  m.method = method;
+  m.request_uri = uri;
+  m.set_header("Via", "SIP/2.0/TCP gmmcs;branch=z9hG4bK-" + call_id + "-" +
+                          std::to_string(cseq));
+  m.set_header("From", "<" + from + ">;tag=" + call_id.substr(0, 8));
+  m.set_header("To", "<" + to + ">");
+  m.set_header("Call-ID", call_id);
+  m.set_header("CSeq", std::to_string(cseq) + " " + method);
+  m.set_header("Max-Forwards", "70");
+  return m;
+}
+
+SipMessage SipMessage::response(const SipMessage& req, int status, const std::string& reason) {
+  SipMessage m;
+  m.is_request = false;
+  m.status = status;
+  m.reason = reason;
+  for (const char* h : {"Via", "From", "To", "Call-ID", "CSeq"}) {
+    if (req.has_header(h)) m.set_header(h, req.header(h));
+  }
+  return m;
+}
+
+}  // namespace gmmcs::sip

@@ -1,0 +1,116 @@
+#include "sip/proxy.hpp"
+
+#include "common/strings.hpp"
+
+namespace gmmcs::sip {
+
+SipProxy::SipProxy(sim::Host& host, std::uint16_t port) : agent_(host, port) {
+  agent_.on_request(
+      [this](const SipMessage& req, const SipAgent::Responder& respond) { handle(req, respond); });
+}
+
+void SipProxy::add_domain_route(const std::string& host_suffix, sim::Endpoint target) {
+  domain_routes_.emplace_back(host_suffix, target);
+}
+
+std::optional<sim::Endpoint> SipProxy::lookup(const std::string& aor) const {
+  auto it = bindings_.find(aor);
+  if (it == bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+void SipProxy::handle(const SipMessage& req, const SipAgent::Responder& respond) {
+  if (req.method == "REGISTER") {
+    handle_register(req, respond);
+    return;
+  }
+  if (req.method == "SUBSCRIBE") {
+    handle_subscribe(req, respond);
+    return;
+  }
+  // Route by request URI.
+  auto uri = SipUri::parse(req.request_uri);
+  if (!uri.ok()) {
+    ++rejected_;
+    respond(SipMessage::response(req, 400, "Bad Request-URI"));
+    return;
+  }
+  for (const auto& [suffix, target] : domain_routes_) {
+    if (ends_with(uri.value().host, suffix)) {
+      forward(req, target, respond);
+      return;
+    }
+  }
+  if (auto target = lookup(req.request_uri)) {
+    forward(req, *target, respond);
+    return;
+  }
+  ++rejected_;
+  respond(SipMessage::response(req, 404, "Not Found"));
+}
+
+void SipProxy::handle_register(const SipMessage& req, const SipAgent::Responder& respond) {
+  std::string aor = req.to_uri();
+  std::string contact = req.header("Contact");
+  auto ep = parse_contact(contact);
+  if (!ep.ok()) {
+    ++rejected_;
+    respond(SipMessage::response(req, 400, "Bad Contact"));
+    return;
+  }
+  bool expire = req.header("Expires") == "0";
+  if (expire) {
+    bindings_.erase(aor);
+  } else {
+    bindings_[aor] = ep.value();
+  }
+  SipMessage ok = SipMessage::response(req, 200, "OK");
+  ok.set_header("Contact", contact);
+  respond(ok);
+  notify_watchers(aor, !expire);
+}
+
+void SipProxy::handle_subscribe(const SipMessage& req, const SipAgent::Responder& respond) {
+  std::string watched = req.request_uri;
+  auto watcher = parse_contact(req.header("Contact"));
+  if (!watcher.ok()) {
+    ++rejected_;
+    respond(SipMessage::response(req, 400, "Bad Contact"));
+    return;
+  }
+  watchers_[watched].push_back(watcher.value());
+  respond(SipMessage::response(req, 200, "OK"));
+  // Immediate NOTIFY with current state (RFC 3265 behaviour).
+  SipMessage notify = SipMessage::request("NOTIFY", req.from_uri(), watched, req.from_uri(),
+                                          req.call_id(), req.cseq_number() + 1);
+  notify.set_header("Event", "presence");
+  notify.body = bindings_.contains(watched) ? "open" : "closed";
+  agent_.send_request(watcher.value(), notify);
+}
+
+void SipProxy::notify_watchers(const std::string& aor, bool online) {
+  auto it = watchers_.find(aor);
+  if (it == watchers_.end()) return;
+  for (const auto& watcher : it->second) {
+    SipMessage notify =
+        SipMessage::request("NOTIFY", aor, aor, aor, agent_.new_call_id(), agent_.next_cseq());
+    notify.set_header("Event", "presence");
+    notify.body = online ? "open" : "closed";
+    agent_.send_request(watcher, notify);
+  }
+}
+
+void SipProxy::forward(const SipMessage& req, sim::Endpoint target,
+                       const SipAgent::Responder& respond) {
+  ++forwarded_;
+  SipMessage fwd = req;
+  fwd.add_header("Via", "SIP/2.0/TCP proxy;branch=z9hG4bK-fwd");
+  if (req.method == "ACK") {
+    agent_.send_request(target, std::move(fwd));  // ACK has no response
+    return;
+  }
+  agent_.send_request(target, std::move(fwd),
+                      [respond](const SipMessage& resp) { respond(resp); });
+}
+
+}  // namespace gmmcs::sip

@@ -1,0 +1,56 @@
+// SIP Registrar + stateful Proxy (+ presence agent).
+//
+// The paper's SIP Servers include "a SIP Proxy, SIP Registrar and SIP
+// Gateway". This element combines registrar and proxy, as deployments of
+// the era did:
+//
+//  * REGISTER stores the binding  AOR -> contact endpoint  (and fires
+//    presence NOTIFYs to watchers);
+//  * other requests are routed: a matching domain route wins (conference
+//    URIs to the gateway, room URIs to the chat server), otherwise the
+//    registrar bindings, otherwise 404;
+//  * responses are relayed back statefully.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sip/agent.hpp"
+
+namespace gmmcs::sip {
+
+class SipProxy {
+ public:
+  SipProxy(sim::Host& host, std::uint16_t port = SipAgent::kSipPort);
+
+  /// Routes requests whose URI host ends with `host_suffix` to `target`
+  /// (e.g. "gmmcs" -> the SIP/XGSP gateway agent).
+  void add_domain_route(const std::string& host_suffix, sim::Endpoint target);
+
+  [[nodiscard]] std::optional<sim::Endpoint> lookup(const std::string& aor) const;
+  [[nodiscard]] std::size_t registrations() const { return bindings_.size(); }
+  [[nodiscard]] sim::Endpoint endpoint() const { return agent_.endpoint(); }
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  void handle(const SipMessage& req, const SipAgent::Responder& respond);
+  void handle_register(const SipMessage& req, const SipAgent::Responder& respond);
+  void handle_subscribe(const SipMessage& req, const SipAgent::Responder& respond);
+  void forward(const SipMessage& req, sim::Endpoint target,
+               const SipAgent::Responder& respond);
+  void notify_watchers(const std::string& aor, bool online);
+
+  SipAgent agent_;
+  std::map<std::string, sim::Endpoint> bindings_;
+  std::vector<std::pair<std::string, sim::Endpoint>> domain_routes_;
+  /// presence: watched AOR -> watcher contact endpoints.
+  std::map<std::string, std::vector<sim::Endpoint>> watchers_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace gmmcs::sip

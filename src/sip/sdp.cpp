@@ -1,0 +1,86 @@
+#include "sip/sdp.hpp"
+
+#include "common/strings.hpp"
+
+namespace gmmcs::sip {
+
+std::string Sdp::serialize() const {
+  std::string out;
+  out += "v=0\r\n";
+  out += "o=" + origin_user + " 0 0 IN SIM " + std::to_string(address) + "\r\n";
+  out += "s=" + session_name + "\r\n";
+  out += "c=IN SIM " + std::to_string(address) + "\r\n";
+  out += "t=0 0\r\n";
+  for (const auto& m : media) {
+    out += "m=" + m.kind + " " + std::to_string(m.port) + " RTP/AVP " +
+           std::to_string(m.payload_type) + "\r\n";
+    if (!m.codec.empty()) {
+      out += "a=rtpmap:" + std::to_string(m.payload_type) + " " + m.codec + "\r\n";
+    }
+  }
+  return out;
+}
+
+Result<Sdp> Sdp::parse(const std::string& text) {
+  Sdp sdp;
+  bool saw_v = false;
+  for (const auto& line : split_lines(text)) {
+    if (line.size() < 2 || line[1] != '=') continue;
+    char type = line[0];
+    std::string value = line.substr(2);
+    switch (type) {
+      case 'v':
+        saw_v = true;
+        break;
+      case 'o': {
+        auto parts = split(value, ' ');
+        if (!parts.empty()) sdp.origin_user = parts[0];
+        break;
+      }
+      case 's':
+        sdp.session_name = value;
+        break;
+      case 'c': {
+        auto parts = split(value, ' ');
+        if (parts.size() != 3 || parts[0] != "IN") return fail<Sdp>("sdp: malformed c= line");
+        sdp.address = static_cast<sim::NodeId>(std::stoul(parts[2]));
+        break;
+      }
+      case 'm': {
+        auto parts = split(value, ' ');
+        if (parts.size() < 4) return fail<Sdp>("sdp: malformed m= line");
+        SdpMedia m;
+        m.kind = parts[0];
+        m.port = static_cast<std::uint16_t>(std::stoul(parts[1]));
+        m.payload_type = static_cast<std::uint8_t>(std::stoul(parts[3]));
+        sdp.media.push_back(std::move(m));
+        break;
+      }
+      case 'a': {
+        if (starts_with(value, "rtpmap:") && !sdp.media.empty()) {
+          auto parts = split_n(value.substr(7), ' ', 2);
+          if (parts.size() == 2) {
+            auto pt = static_cast<std::uint8_t>(std::stoul(parts[0]));
+            for (auto& m : sdp.media) {
+              if (m.payload_type == pt && m.codec.empty()) m.codec = parts[1];
+            }
+          }
+        }
+        break;
+      }
+      default:
+        break;  // tolerated, like real parsers
+    }
+  }
+  if (!saw_v) return fail<Sdp>("sdp: missing v= line");
+  return sdp;
+}
+
+std::optional<sim::Endpoint> Sdp::media_endpoint(const std::string& kind) const {
+  for (const auto& m : media) {
+    if (m.kind == kind && m.port != 0) return sim::Endpoint{address, m.port};
+  }
+  return std::nullopt;
+}
+
+}  // namespace gmmcs::sip

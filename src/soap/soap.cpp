@@ -1,0 +1,205 @@
+#include "soap/soap.hpp"
+
+#include "common/strings.hpp"
+
+namespace gmmcs::soap {
+
+namespace {
+constexpr const char* kEnvNs = "http://schemas.xmlsoap.org/soap/envelope/";
+}  // namespace
+
+xml::Element make_envelope(xml::Element body_content) {
+  xml::Element env("soap:Envelope");
+  env.set_attr("xmlns:soap", kEnvNs);
+  env.add_child("soap:Body").add_child(std::move(body_content));
+  return env;
+}
+
+xml::Element make_fault(const std::string& code, const std::string& reason) {
+  xml::Element fault("soap:Fault");
+  fault.add_text_child("faultcode", code);
+  fault.add_text_child("faultstring", reason);
+  return make_envelope(std::move(fault));
+}
+
+Result<xml::Element> parse_envelope(const std::string& text) {
+  auto doc = xml::parse(text);
+  if (!doc.ok()) return fail<xml::Element>("soap: " + doc.error().message);
+  const xml::Element& root = doc.value();
+  if (xml::local_name(root.name()) != "Envelope") {
+    return fail<xml::Element>("soap: root is not an Envelope");
+  }
+  const xml::Element* body = root.child_local("Body");
+  if (body == nullptr) return fail<xml::Element>("soap: no Body");
+  if (body->children().empty()) return fail<xml::Element>("soap: empty Body");
+  const xml::Element& first = body->children().front();
+  if (xml::local_name(first.name()) == "Fault") {
+    return fail<xml::Element>("soap fault: " + first.child_text("faultcode") + ": " +
+                              first.child_text("faultstring"));
+  }
+  return first;
+}
+
+std::string serialize(const HttpRequest& r) {
+  std::string out = r.method + " " + r.path + " HTTP/1.1\r\n";
+  out += "Content-Type: text/xml; charset=utf-8\r\n";
+  if (!r.soap_action.empty()) out += "SOAPAction: \"" + r.soap_action + "\"\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+std::string serialize(const HttpResponse& r) {
+  std::string reason = r.status == 200 ? "OK" : "Internal Server Error";
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " + reason + "\r\n";
+  out += "Content-Type: text/xml; charset=utf-8\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+namespace {
+/// Splits head/body on the blank line; returns false if absent.
+bool split_http(const std::string& text, std::string& head, std::string& body) {
+  std::size_t pos = text.find("\r\n\r\n");
+  std::size_t skip = 4;
+  if (pos == std::string::npos) {
+    pos = text.find("\n\n");
+    skip = 2;
+    if (pos == std::string::npos) return false;
+  }
+  head = text.substr(0, pos);
+  body = text.substr(pos + skip);
+  return true;
+}
+}  // namespace
+
+Result<HttpRequest> parse_http_request(const std::string& text) {
+  std::string head, body;
+  if (!split_http(text, head, body)) return fail<HttpRequest>("http: no header/body separator");
+  auto lines = split_lines(head);
+  if (lines.empty()) return fail<HttpRequest>("http: empty request");
+  auto parts = split_n(lines[0], ' ', 3);
+  if (parts.size() != 3 || !starts_with(parts[2], "HTTP/")) {
+    return fail<HttpRequest>("http: malformed request line");
+  }
+  HttpRequest req;
+  req.method = parts[0];
+  req.path = parts[1];
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    auto kv = split_n(lines[i], ':', 2);
+    if (kv.size() == 2 && iequals(trim(kv[0]), "SOAPAction")) {
+      std::string v(trim(kv[1]));
+      if (v.size() >= 2 && v.front() == '"' && v.back() == '"') v = v.substr(1, v.size() - 2);
+      req.soap_action = v;
+    }
+  }
+  req.body = std::move(body);
+  return req;
+}
+
+Result<HttpResponse> parse_http_response(const std::string& text) {
+  std::string head, body;
+  if (!split_http(text, head, body)) return fail<HttpResponse>("http: no header/body separator");
+  auto lines = split_lines(head);
+  if (lines.empty()) return fail<HttpResponse>("http: empty response");
+  auto parts = split_n(lines[0], ' ', 3);
+  if (parts.size() < 2 || !starts_with(parts[0], "HTTP/")) {
+    return fail<HttpResponse>("http: malformed status line");
+  }
+  HttpResponse resp;
+  resp.status = std::stoi(parts[1]);
+  resp.body = std::move(body);
+  return resp;
+}
+
+SoapServer::SoapServer(sim::Host& host, std::uint16_t port) : listener_(host, port) {
+  listener_.on_accept([this](transport::StreamConnectionPtr conn) { accept(std::move(conn)); });
+}
+
+void SoapServer::register_operation(const std::string& name, Handler handler) {
+  operations_[name] = std::move(handler);
+}
+
+void SoapServer::accept(transport::StreamConnectionPtr conn) {
+  conns_.push_back(conn);
+  auto* raw = conn.get();
+  conn->on_message([this, raw](const Bytes& data) {
+    auto req = parse_http_request(to_string(data));
+    HttpResponse resp;
+    if (!req.ok()) {
+      resp.status = 500;
+      resp.body = make_fault("soap:Client", req.error().message).serialize();
+    } else {
+      resp = handle(req.value());
+    }
+    raw->send(serialize(resp));
+  });
+  conn->on_close([this, raw] {
+    std::erase_if(conns_, [raw](const transport::StreamConnectionPtr& c) {
+      return c.get() == raw;
+    });
+  });
+}
+
+HttpResponse SoapServer::handle(const HttpRequest& req) {
+  ++calls_;
+  auto body = parse_envelope(req.body);
+  HttpResponse resp;
+  if (!body.ok()) {
+    ++faults_;
+    resp.status = 500;
+    resp.body = make_fault("soap:Client", body.error().message).serialize();
+    return resp;
+  }
+  std::string op(xml::local_name(body.value().name()));
+  auto it = operations_.find(op);
+  if (it == operations_.end()) {
+    ++faults_;
+    resp.status = 500;
+    resp.body = make_fault("soap:Client", "unknown operation '" + op + "'").serialize();
+    return resp;
+  }
+  Result<xml::Element> result = it->second(body.value());
+  if (!result.ok()) {
+    ++faults_;
+    resp.status = 500;
+    resp.body = make_fault("soap:Server", result.error().message).serialize();
+    return resp;
+  }
+  resp.body = make_envelope(std::move(result).value()).serialize();
+  return resp;
+}
+
+SoapClient::SoapClient(sim::Host& host, sim::Endpoint server)
+    : conn_(transport::StreamConnection::connect(host, server)) {
+  conn_->on_message([this](const Bytes& data) {
+    if (pending_.empty()) return;
+    Callback cb = std::move(pending_.front());
+    pending_.pop_front();
+    auto resp = parse_http_response(to_string(data));
+    if (!resp.ok()) {
+      cb(fail<xml::Element>(resp.error().message));
+      return;
+    }
+    cb(parse_envelope(resp.value().body));
+  });
+  conn_->on_close([this] {
+    while (!pending_.empty()) {
+      Callback cb = std::move(pending_.front());
+      pending_.pop_front();
+      cb(fail<xml::Element>("soap: connection closed"));
+    }
+  });
+}
+
+void SoapClient::call(xml::Element request, Callback on_reply) {
+  HttpRequest req;
+  req.soap_action = std::string(xml::local_name(request.name()));
+  req.body = make_envelope(std::move(request)).serialize();
+  pending_.push_back(std::move(on_reply));
+  ++calls_sent_;
+  conn_->send(serialize(req));
+}
+
+}  // namespace gmmcs::soap

@@ -1,0 +1,56 @@
+#include "streaming/archive.hpp"
+
+namespace gmmcs::streaming {
+
+ConferenceArchive::ConferenceArchive(sim::Host& host, sim::Endpoint broker_stream)
+    : host_(&host),
+      client_(host, broker_stream,
+              broker::BrokerClient::Config{.name = "conference-archive"}) {
+  client_.on_event([this](const broker::Event& ev) {
+    auto it = recordings_.find(ev.topic);
+    if (it == recordings_.end() || !it->second.active) return;
+    it->second.entries.push_back(
+        {host_->loop().now() - it->second.started, ev.payload});
+  });
+}
+
+void ConferenceArchive::record(const std::string& topic) {
+  auto& rec = recordings_[topic];
+  rec.started = host_->loop().now();
+  rec.entries.clear();
+  rec.active = true;
+  client_.subscribe(topic);
+}
+
+void ConferenceArchive::stop(const std::string& topic) {
+  auto it = recordings_.find(topic);
+  if (it == recordings_.end()) return;
+  it->second.active = false;
+  client_.unsubscribe(topic);
+}
+
+const ConferenceArchive::Recording* ConferenceArchive::recording(const std::string& topic) const {
+  auto it = recordings_.find(topic);
+  return it == recordings_.end() ? nullptr : &it->second;
+}
+
+std::size_t ConferenceArchive::recorded_events(const std::string& topic) const {
+  const Recording* rec = recording(topic);
+  return rec == nullptr ? 0 : rec->entries.size();
+}
+
+bool ConferenceArchive::replay(const std::string& topic, const std::string& replay_topic,
+                               double speed) {
+  auto it = recordings_.find(topic);
+  if (it == recordings_.end() || it->second.entries.empty() || speed <= 0.0) return false;
+  for (const auto& entry : it->second.entries) {
+    auto delay = SimDuration{
+        static_cast<std::int64_t>(static_cast<double>(entry.offset.ns()) / speed)};
+    host_->loop().schedule_after(delay, [this, replay_topic, payload = entry.payload] {
+      client_.publish(replay_topic, payload);
+    });
+  }
+  return true;
+}
+
+}  // namespace gmmcs::streaming

@@ -1,0 +1,126 @@
+#include "streaming/helix_server.hpp"
+
+#include "common/bytes.hpp"
+#include "common/strings.hpp"
+
+namespace gmmcs::streaming {
+
+HelixServer::HelixServer(sim::Host& host, std::uint16_t port)
+    : host_(&host), listener_(host, port), media_out_(host) {
+  listener_.on_accept([this](transport::StreamConnectionPtr conn) { accept(std::move(conn)); });
+}
+
+void HelixServer::register_stream(const std::string& name, std::string description) {
+  streams_[name] = Stream{std::move(description), 0};
+}
+
+void HelixServer::unregister_stream(const std::string& name) {
+  streams_.erase(name);
+  std::erase_if(sessions_, [&](const auto& kv) { return kv.second.stream == name; });
+}
+
+std::vector<std::string> HelixServer::stream_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, s] : streams_) out.push_back(name);
+  return out;
+}
+
+std::size_t HelixServer::playing_clients(const std::string& name) const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : sessions_) {
+    if (s.stream == name && s.state == PlayerState::kPlaying) ++n;
+  }
+  return n;
+}
+
+void HelixServer::push_block(const std::string& name, const media::EncodedBlock& block) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) return;
+  ++it->second.blocks;
+  // A block travels as one datagram: [timestamp u32][payload_type u8][data].
+  ByteWriter w(block.bytes + 5);
+  w.u32(block.timestamp);
+  w.u8(block.payload_type);
+  w.raw(Bytes(block.bytes, 0xEE));
+  Bytes wire = w.take();
+  for (const auto& [id, s] : sessions_) {
+    if (s.stream != name || s.state != PlayerState::kPlaying) continue;
+    ++distributed_;
+    media_out_.send_to(s.media_dst, wire);
+  }
+}
+
+void HelixServer::accept(transport::StreamConnectionPtr conn) {
+  conns_.push_back(conn);
+  auto* raw = conn.get();
+  conn->on_message([this, raw](const Bytes& data) {
+    auto parsed = RtspMessage::parse(gmmcs::to_string(std::span<const std::uint8_t>(data)));
+    if (!parsed.ok()) return;
+    raw->send(handle(parsed.value()).serialize());
+  });
+  conn->on_close([this, raw] {
+    std::erase_if(conns_, [raw](const transport::StreamConnectionPtr& c) {
+      return c.get() == raw;
+    });
+  });
+}
+
+RtspMessage HelixServer::handle(const RtspMessage& req) {
+  const std::string name = stream_name_from_uri(req.uri);
+  if (req.method == "OPTIONS") {
+    RtspMessage resp = RtspMessage::response(req, 200, "OK");
+    resp.set_header("Public", "OPTIONS, DESCRIBE, SETUP, PLAY, PAUSE, TEARDOWN");
+    return resp;
+  }
+  if (req.method == "DESCRIBE") {
+    auto it = streams_.find(name);
+    if (it == streams_.end()) return RtspMessage::response(req, 404, "Stream Not Found");
+    RtspMessage resp = RtspMessage::response(req, 200, "OK");
+    resp.set_header("Content-Type", "application/sdp");
+    resp.body = it->second.description;
+    return resp;
+  }
+  if (req.method == "SETUP") {
+    if (!streams_.contains(name)) return RtspMessage::response(req, 404, "Stream Not Found");
+    // Transport: SIM/RTP;client_node=<n>;client_port=<p>
+    std::string transport = req.header("Transport");
+    sim::NodeId node = 0;
+    std::uint16_t port = 0;
+    for (const auto& part : split(transport, ';')) {
+      auto kv = split_n(part, '=', 2);
+      if (kv.size() != 2) continue;
+      if (kv[0] == "client_node") node = static_cast<sim::NodeId>(std::stoul(kv[1]));
+      if (kv[0] == "client_port") port = static_cast<std::uint16_t>(std::stoul(kv[1]));
+    }
+    if (port == 0) return RtspMessage::response(req, 461, "Unsupported Transport");
+    PlayerSession s;
+    s.id = session_ids_.next_tagged("rtsp");
+    s.stream = name;
+    s.media_dst = sim::Endpoint{node, port};
+    s.state = PlayerState::kReady;
+    std::string sid = s.id;
+    sessions_[sid] = std::move(s);
+    RtspMessage resp = RtspMessage::response(req, 200, "OK");
+    resp.set_header("Session", sid);
+    resp.set_header("Transport", transport);
+    return resp;
+  }
+  // The remaining methods operate on an established session.
+  auto it = sessions_.find(req.session_id());
+  if (it == sessions_.end()) return RtspMessage::response(req, 454, "Session Not Found");
+  if (req.method == "PLAY") {
+    it->second.state = PlayerState::kPlaying;
+    return RtspMessage::response(req, 200, "OK");
+  }
+  if (req.method == "PAUSE") {
+    it->second.state = PlayerState::kReady;
+    return RtspMessage::response(req, 200, "OK");
+  }
+  if (req.method == "TEARDOWN") {
+    sessions_.erase(it);
+    return RtspMessage::response(req, 200, "OK");
+  }
+  return RtspMessage::response(req, 501, "Not Implemented");
+}
+
+}  // namespace gmmcs::streaming

@@ -1,0 +1,102 @@
+#include "streaming/player.hpp"
+
+#include "common/bytes.hpp"
+
+namespace gmmcs::streaming {
+
+StreamingPlayer::StreamingPlayer(sim::Host& host, sim::Endpoint rtsp_server)
+    : StreamingPlayer(host, rtsp_server, Config{}) {}
+
+StreamingPlayer::StreamingPlayer(sim::Host& host, sim::Endpoint rtsp_server, Config cfg)
+    : host_(&host),
+      cfg_(cfg),
+      server_host_("host" + std::to_string(rtsp_server.node)),
+      rtsp_(transport::StreamConnection::connect(host, rtsp_server)),
+      media_in_(host) {
+  rtsp_->on_message([this](const Bytes& data) {
+    auto parsed = RtspMessage::parse(gmmcs::to_string(std::span<const std::uint8_t>(data)));
+    if (!parsed.ok() || pending_.empty()) return;
+    auto cb = std::move(pending_.front());
+    pending_.pop_front();
+    cb(parsed.value());
+  });
+  media_in_.on_receive([this](const sim::Datagram& d) { on_media(d); });
+}
+
+void StreamingPlayer::send(RtspMessage req, std::function<void(const RtspMessage&)> on_resp) {
+  req.set_header("CSeq", std::to_string(next_cseq_++));
+  pending_.push_back(std::move(on_resp));
+  rtsp_->send(req.serialize());
+}
+
+void StreamingPlayer::play(const std::string& stream_name, std::function<void(bool)> cb) {
+  stream_ = stream_name;
+  std::string uri = "rtsp://" + server_host_ + "/" + stream_name;
+  send(RtspMessage::request("DESCRIBE", uri, 0), [this, uri, cb](const RtspMessage& resp) {
+    if (resp.status != 200) {
+      cb(false);
+      return;
+    }
+    description_ = resp.body;
+    RtspMessage setup = RtspMessage::request("SETUP", uri, 0);
+    setup.set_header("Transport",
+                     "SIM/RTP;client_node=" + std::to_string(media_in_.local().node) +
+                         ";client_port=" + std::to_string(media_in_.local().port));
+    send(std::move(setup), [this, uri, cb](const RtspMessage& resp2) {
+      if (resp2.status != 200) {
+        cb(false);
+        return;
+      }
+      session_id_ = resp2.session_id();
+      RtspMessage play = RtspMessage::request("PLAY", uri, 0);
+      play.set_header("Session", session_id_);
+      send(std::move(play), [this, cb](const RtspMessage& resp3) {
+        playing_ = (resp3.status == 200);
+        if (playing_) play_acked_at_ = host_->loop().now();
+        cb(playing_);
+      });
+    });
+  });
+}
+
+void StreamingPlayer::pause(std::function<void(bool)> cb) {
+  RtspMessage req = RtspMessage::request("PAUSE", "rtsp://" + server_host_ + "/" + stream_, 0);
+  req.set_header("Session", session_id_);
+  send(std::move(req), [this, cb = std::move(cb)](const RtspMessage& resp) {
+    if (resp.status == 200) playing_ = false;
+    cb(resp.status == 200);
+  });
+}
+
+void StreamingPlayer::teardown(std::function<void(bool)> cb) {
+  RtspMessage req =
+      RtspMessage::request("TEARDOWN", "rtsp://" + server_host_ + "/" + stream_, 0);
+  req.set_header("Session", session_id_);
+  send(std::move(req), [this, cb = std::move(cb)](const RtspMessage& resp) {
+    if (resp.status == 200) playing_ = false;
+    cb(resp.status == 200);
+  });
+}
+
+void StreamingPlayer::on_media(const sim::Datagram& d) {
+  ByteReader r(d.payload);
+  std::uint32_t ts = r.u32();
+  r.u8();  // payload type
+  if (!r.ok()) return;
+  SimTime now = host_->loop().now();
+  ++blocks_;
+  bytes_ += d.payload.size();
+  if (!first_arrival_) {
+    first_arrival_ = now;
+    first_ts_ = ts;
+    if (playing_) startup_ = now - play_acked_at_;
+    return;
+  }
+  // Playout deadline under the fixed-delay buffer model.
+  double media_offset_s =
+      static_cast<double>(ts - *first_ts_) / static_cast<double>(cfg_.clock_rate);
+  SimTime deadline = *first_arrival_ + cfg_.buffer_delay + duration_seconds(media_offset_s);
+  if (now > deadline) ++late_;
+}
+
+}  // namespace gmmcs::streaming

@@ -1,0 +1,28 @@
+#include "streaming/producer.hpp"
+
+namespace gmmcs::streaming {
+
+RealProducer::RealProducer(sim::Host& host, sim::Endpoint broker_stream, HelixServer& helix,
+                           Config cfg)
+    : cfg_(std::move(cfg)),
+      helix_(&helix),
+      client_(host, broker_stream,
+              broker::BrokerClient::Config{.name = "real-producer-" + cfg_.stream_name}),
+      transcoder_(host.loop(), cfg_.transcode) {
+  std::string description = "v=0\r\ns=" + cfg_.stream_name +
+                            "\r\na=source-topic:" + cfg_.topic + "\r\nm=video 0 REAL " +
+                            std::to_string(cfg_.transcode.output.payload_type) + "\r\n";
+  helix_->register_stream(cfg_.stream_name, std::move(description));
+  client_.subscribe(cfg_.topic);
+  client_.on_event([this](const broker::Event& ev) {
+    auto packet = rtp::RtpPacket::parse(ev.payload);
+    if (!packet.ok()) return;
+    ++packets_;
+    transcoder_.push_packet(packet.value());
+  });
+  transcoder_.on_output([this](const media::EncodedBlock& block) {
+    helix_->push_block(cfg_.stream_name, block);
+  });
+}
+
+}  // namespace gmmcs::streaming

@@ -1,0 +1,49 @@
+// Real Producer (paper §3.2): the broker-to-streaming bridge.
+//
+// "Enhanced with customer input plug in, our Real Producer can receive
+// RTP audio and video packets from network, encode them into Real format
+// and submit them to the Helix Server."
+//
+// The producer subscribes to a session's media topic through a broker
+// client, reassembles frames and transcodes them (media::Transcoder, with
+// its CPU queue), and pushes the re-encoded blocks into the HelixServer
+// under a stream name players can DESCRIBE.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "broker/client.hpp"
+#include "media/transcoder.hpp"
+#include "rtp/packet.hpp"
+#include "streaming/helix_server.hpp"
+
+namespace gmmcs::streaming {
+
+class RealProducer {
+ public:
+  struct Config {
+    /// Broker topic to consume (a session media stream).
+    std::string topic;
+    /// Stream name registered with the Helix server.
+    std::string stream_name;
+    media::Transcoder::Config transcode{};
+  };
+
+  RealProducer(sim::Host& host, sim::Endpoint broker_stream, HelixServer& helix, Config cfg);
+
+  [[nodiscard]] std::uint64_t packets_consumed() const { return packets_; }
+  [[nodiscard]] std::uint64_t blocks_produced() const { return transcoder_.frames_out(); }
+  [[nodiscard]] std::uint64_t frames_dropped() const { return transcoder_.frames_dropped(); }
+  [[nodiscard]] const media::Transcoder& transcoder() const { return transcoder_; }
+  [[nodiscard]] const std::string& stream_name() const { return cfg_.stream_name; }
+
+ private:
+  Config cfg_;
+  HelixServer* helix_;
+  broker::BrokerClient client_;
+  media::Transcoder transcoder_;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace gmmcs::streaming

@@ -1,0 +1,107 @@
+#include "streaming/rtsp.hpp"
+
+#include "common/strings.hpp"
+
+namespace gmmcs::streaming {
+
+std::string RtspMessage::header(const std::string& name) const {
+  for (const auto& [k, v] : headers) {
+    if (iequals(k, name)) return v;
+  }
+  return {};
+}
+
+RtspMessage& RtspMessage::set_header(const std::string& name, const std::string& value) {
+  for (auto& [k, v] : headers) {
+    if (iequals(k, name)) {
+      v = value;
+      return *this;
+    }
+  }
+  headers.emplace_back(name, value);
+  return *this;
+}
+
+int RtspMessage::cseq() const {
+  std::string v = header("CSeq");
+  return v.empty() ? 0 : std::stoi(v);
+}
+
+std::string RtspMessage::serialize() const {
+  std::string out;
+  if (is_request) {
+    out = method + " " + uri + " RTSP/1.0\r\n";
+  } else {
+    out = "RTSP/1.0 " + std::to_string(status) + " " + reason + "\r\n";
+  }
+  for (const auto& [k, v] : headers) out += k + ": " + v + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+Result<RtspMessage> RtspMessage::parse(const std::string& text) {
+  std::size_t sep = text.find("\r\n\r\n");
+  std::size_t skip = 4;
+  if (sep == std::string::npos) {
+    sep = text.find("\n\n");
+    skip = 2;
+    if (sep == std::string::npos) return fail<RtspMessage>("rtsp: no header/body separator");
+  }
+  RtspMessage m;
+  m.body = text.substr(sep + skip);
+  auto lines = split_lines(text.substr(0, sep));
+  if (lines.empty()) return fail<RtspMessage>("rtsp: empty message");
+  if (starts_with(lines[0], "RTSP/1.0 ")) {
+    m.is_request = false;
+    auto parts = split_n(lines[0], ' ', 3);
+    if (parts.size() < 2) return fail<RtspMessage>("rtsp: malformed status line");
+    m.status = std::stoi(parts[1]);
+    m.reason = parts.size() == 3 ? parts[2] : "";
+  } else {
+    auto parts = split_n(lines[0], ' ', 3);
+    if (parts.size() != 3 || parts[2] != "RTSP/1.0") {
+      return fail<RtspMessage>("rtsp: malformed request line");
+    }
+    m.method = parts[0];
+    m.uri = parts[1];
+  }
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    auto kv = split_n(lines[i], ':', 2);
+    if (kv.size() != 2) return fail<RtspMessage>("rtsp: malformed header");
+    std::string name(trim(kv[0]));
+    if (iequals(name, "Content-Length")) continue;
+    m.headers.emplace_back(std::move(name), std::string(trim(kv[1])));
+  }
+  return m;
+}
+
+RtspMessage RtspMessage::request(const std::string& method, const std::string& uri, int cseq) {
+  RtspMessage m;
+  m.is_request = true;
+  m.method = method;
+  m.uri = uri;
+  m.set_header("CSeq", std::to_string(cseq));
+  return m;
+}
+
+RtspMessage RtspMessage::response(const RtspMessage& req, int status,
+                                  const std::string& reason) {
+  RtspMessage m;
+  m.is_request = false;
+  m.status = status;
+  m.reason = reason;
+  m.set_header("CSeq", req.header("CSeq"));
+  if (!req.session_id().empty()) m.set_header("Session", req.session_id());
+  return m;
+}
+
+std::string stream_name_from_uri(const std::string& uri) {
+  std::string_view s = uri;
+  if (starts_with(s, "rtsp://")) s.remove_prefix(7);
+  std::size_t slash = s.find('/');
+  if (slash == std::string_view::npos) return {};
+  return std::string(s.substr(slash + 1));
+}
+
+}  // namespace gmmcs::streaming

@@ -1,0 +1,41 @@
+#include "transport/datagram_socket.hpp"
+
+namespace gmmcs::transport {
+
+DatagramSocket::DatagramSocket(sim::Host& host) : host_(&host) {
+  port_ = host_->bind_ephemeral([this](const sim::Datagram& d) {
+    if (handler_) handler_(d);
+  });
+}
+
+DatagramSocket::DatagramSocket(sim::Host& host, std::uint16_t port) : host_(&host), port_(port) {
+  host_->bind(port_, [this](const sim::Datagram& d) {
+    if (handler_) handler_(d);
+  });
+}
+
+DatagramSocket::~DatagramSocket() {
+  host_->unbind(port_);
+}
+
+void DatagramSocket::on_receive(std::function<void(const sim::Datagram&)> handler) {
+  handler_ = std::move(handler);
+}
+
+bool DatagramSocket::send_to(sim::Endpoint dst, Bytes payload) {
+  return host_->send(dst, port_, std::move(payload));
+}
+
+void DatagramSocket::send_group(sim::GroupId group, Bytes payload) {
+  host_->send_multicast(group, port_, std::move(payload));
+}
+
+void DatagramSocket::join_group(sim::GroupId group) {
+  host_->network().join_group(group, local());
+}
+
+void DatagramSocket::leave_group(sim::GroupId group) {
+  host_->network().leave_group(group, local());
+}
+
+}  // namespace gmmcs::transport

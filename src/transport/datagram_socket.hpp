@@ -1,0 +1,44 @@
+// UDP-like socket over the simulated network.
+//
+// RTP media, broker UDP client profiles and the Access Grid tools all use
+// this. It is a thin RAII wrapper over sim::Host port binding.
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "sim/network.hpp"
+
+namespace gmmcs::transport {
+
+class DatagramSocket {
+ public:
+  /// Binds an ephemeral port on the host.
+  explicit DatagramSocket(sim::Host& host);
+  /// Binds a specific port; throws if taken.
+  DatagramSocket(sim::Host& host, std::uint16_t port);
+  ~DatagramSocket();
+  DatagramSocket(const DatagramSocket&) = delete;
+  DatagramSocket& operator=(const DatagramSocket&) = delete;
+
+  /// Sets the receive callback (replaces any previous one).
+  void on_receive(std::function<void(const sim::Datagram&)> handler);
+
+  /// Sends a datagram; returns false if dropped at the local NIC.
+  bool send_to(sim::Endpoint dst, Bytes payload);
+  /// Sends to a multicast group.
+  void send_group(sim::GroupId group, Bytes payload);
+  /// Joins/leaves a multicast group on this socket's port.
+  void join_group(sim::GroupId group);
+  void leave_group(sim::GroupId group);
+
+  [[nodiscard]] sim::Endpoint local() const { return {host_->id(), port_}; }
+  [[nodiscard]] sim::Host& host() const { return *host_; }
+
+ private:
+  sim::Host* host_;
+  std::uint16_t port_;
+  std::function<void(const sim::Datagram&)> handler_;
+};
+
+}  // namespace gmmcs::transport

@@ -1,0 +1,84 @@
+#include "transport/firewall.hpp"
+
+#include <string>
+
+#include "common/strings.hpp"
+
+namespace gmmcs::transport {
+
+Firewall::Firewall(sim::Host& host, FirewallRules rules) : host_(&host), rules_(rules) {
+  host_->set_ingress_filter([this](const sim::Datagram& d) { return admit(d); });
+  host_->set_egress_observer([this](const sim::Datagram& d) {
+    outbound_flows_.insert({d.src.port, d.dst});
+  });
+}
+
+Firewall::~Firewall() {
+  host_->set_ingress_filter(nullptr);
+  host_->set_egress_observer(nullptr);
+}
+
+bool Firewall::admit(const sim::Datagram& d) {
+  bool allow = false;
+  if (outbound_flows_.contains({d.dst.port, d.src})) {
+    allow = true;  // reply to a flow we initiated
+  } else if (d.reliable ? rules_.allow_inbound_streams : rules_.allow_inbound_datagrams) {
+    allow = true;
+  }
+  if (allow) {
+    ++passed_;
+  } else {
+    ++blocked_;
+  }
+  return allow;
+}
+
+ProxyServer::ProxyServer(sim::Host& host, std::uint16_t port)
+    : host_(&host), listener_(host, port) {
+  listener_.on_accept([this](StreamConnectionPtr client) { accept(std::move(client)); });
+}
+
+void ProxyServer::accept(StreamConnectionPtr client) {
+  // The first message must be the CONNECT line; subsequent messages are
+  // payload and may already be queued behind it (ordered delivery).
+  client->on_message([this, client](const Bytes& first) {
+    std::string line = to_string(first);
+    if (!starts_with(line, "CONNECT ")) {
+      client->close();
+      return;
+    }
+    auto parts = split(line.substr(8), ':');
+    if (parts.size() != 2) {
+      client->close();
+      return;
+    }
+    sim::Endpoint target{static_cast<sim::NodeId>(std::stoul(parts[0])),
+                         static_cast<std::uint16_t>(std::stoul(parts[1]))};
+    auto upstream = StreamConnection::connect(*host_, target);
+    ++tunnels_;
+    pairs_.emplace_back(client, upstream);
+    // Re-point the client handler at the relay; upstream buffers until open.
+    client->on_message([this, upstream](const Bytes& m) {
+      ++relayed_;
+      upstream->send(m);
+    });
+    upstream->on_message([this, client](const Bytes& m) {
+      ++relayed_;
+      client->send(m);
+    });
+    client->on_close([this, upstream] {
+      if (tunnels_ > 0) --tunnels_;
+      upstream->close();
+    });
+    upstream->on_close([client] { client->close(); });
+  });
+}
+
+StreamConnectionPtr connect_via_proxy(sim::Host& from, sim::Endpoint proxy,
+                                      sim::Endpoint target) {
+  auto conn = StreamConnection::connect(from, proxy);
+  conn->send("CONNECT " + std::to_string(target.node) + ":" + std::to_string(target.port));
+  return conn;
+}
+
+}  // namespace gmmcs::transport

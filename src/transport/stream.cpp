@@ -1,0 +1,193 @@
+#include "transport/stream.hpp"
+
+#include <utility>
+
+namespace gmmcs::transport {
+
+namespace {
+// Segment types on the wire.
+constexpr std::uint8_t kSyn = 1;
+constexpr std::uint8_t kSynAck = 2;
+constexpr std::uint8_t kData = 3;
+constexpr std::uint8_t kFin = 4;
+
+Bytes control_segment(std::uint8_t type) {
+  return Bytes{type};
+}
+
+Bytes data_segment(const Bytes& message) {
+  Bytes out;
+  out.reserve(message.size() + 1);
+  out.push_back(kData);
+  out.insert(out.end(), message.begin(), message.end());
+  return out;
+}
+}  // namespace
+
+StreamConnection::StreamConnection(sim::Host& host, State state)
+    : host_(&host), state_(state) {}
+
+StreamConnection::~StreamConnection() {
+  close_handler_ = nullptr;  // never call back out into user code from a destructor
+  if (state_ != State::kClosed) do_close(/*notify_peer=*/true);
+}
+
+StreamConnectionPtr StreamConnection::connect(sim::Host& from, sim::Endpoint to) {
+  auto conn = StreamConnectionPtr(new StreamConnection(from, State::kConnecting));
+  conn->remote_ = to;
+  conn->owns_port_ = true;
+  std::uint16_t port = from.bind_ephemeral(
+      [raw = conn.get()](const sim::Datagram& d) { raw->handle(d); });
+  conn->local_ = sim::Endpoint{from.id(), port};
+  from.send(to, port, control_segment(kSyn), /*reliable=*/true);
+  return conn;
+}
+
+void StreamConnection::handle(const sim::Datagram& d) {
+  auto self = shared_from_this();  // keep alive through user callbacks
+  if (d.payload.empty() || d.src != remote_) return;
+  switch (d.payload[0]) {
+    case kSynAck:
+      if (state_ == State::kConnecting) {
+        state_ = State::kOpen;
+        flush_pending();
+        if (connect_handler_) {
+          auto h = connect_handler_;
+          h();
+        }
+      }
+      break;
+    case kData:
+      if (state_ == State::kClosed) break;
+      ++received_;
+      deliver_or_buffer(Bytes(d.payload.begin() + 1, d.payload.end()));
+      break;
+    case kFin:
+      if (state_ != State::kClosed) do_close(/*notify_peer=*/false);
+      break;
+    default:
+      break;  // unknown segment: drop
+  }
+}
+
+void StreamConnection::deliver_or_buffer(Bytes payload) {
+  if (message_handler_) {
+    // Invoke a copy: the callback may legitimately replace the handler
+    // (e.g. the proxy swaps in its relay handler after the CONNECT line),
+    // which must not destroy the closure currently executing.
+    auto handler = message_handler_;
+    handler(payload);
+  } else {
+    inbox_.push_back(std::move(payload));
+  }
+}
+
+void StreamConnection::send(Bytes message) {
+  if (state_ == State::kClosed) return;
+  if (state_ == State::kConnecting) {
+    outbox_.push_back(std::move(message));
+    return;
+  }
+  ++sent_;
+  host_->send(remote_, local_.port, data_segment(message), /*reliable=*/true);
+}
+
+void StreamConnection::flush_pending() {
+  while (!outbox_.empty()) {
+    Bytes m = std::move(outbox_.front());
+    outbox_.pop_front();
+    ++sent_;
+    host_->send(remote_, local_.port, data_segment(m), /*reliable=*/true);
+  }
+}
+
+void StreamConnection::on_message(std::function<void(const Bytes&)> handler) {
+  message_handler_ = std::move(handler);
+  while (message_handler_ && !inbox_.empty()) {
+    Bytes m = std::move(inbox_.front());
+    inbox_.pop_front();
+    auto h = message_handler_;  // see deliver_or_buffer
+    h(m);
+  }
+}
+
+void StreamConnection::on_close(std::function<void()> handler) {
+  close_handler_ = std::move(handler);
+  if (state_ == State::kClosed && close_handler_) close_handler_();
+}
+
+void StreamConnection::on_connect(std::function<void()> handler) {
+  connect_handler_ = std::move(handler);
+  if (state_ == State::kOpen && connect_handler_) connect_handler_();
+}
+
+void StreamConnection::close() {
+  if (state_ != State::kClosed) do_close(/*notify_peer=*/true);
+}
+
+void StreamConnection::do_close(bool notify_peer) {
+  State prev = state_;
+  state_ = State::kClosed;
+  if (notify_peer && prev == State::kOpen) {
+    host_->send(remote_, local_.port, control_segment(kFin), /*reliable=*/true);
+  }
+  if (owns_port_) host_->unbind(local_.port);
+  if (owner_ != nullptr) {
+    owner_->forget(remote_);
+    owner_ = nullptr;
+  }
+  if (close_handler_) {
+    auto h = close_handler_;
+    h();
+  }
+}
+
+namespace {
+/// port 0 = "any free listening port": scan a conventional range.
+std::uint16_t resolve_listen_port(sim::Host& host, std::uint16_t requested) {
+  if (requested != 0) return requested;
+  std::uint16_t p = 20000;
+  while (host.is_bound(p)) ++p;
+  return p;
+}
+}  // namespace
+
+StreamListener::StreamListener(sim::Host& host, std::uint16_t port)
+    : host_(&host), port_(resolve_listen_port(host, port)) {
+  host_->bind(port_, [this](const sim::Datagram& d) { handle(d); });
+}
+
+StreamListener::~StreamListener() {
+  host_->unbind(port_);
+  // Detach surviving connections so their close doesn't touch us.
+  for (auto& [ep, weak] : conns_) {
+    if (auto conn = weak.lock()) conn->owner_ = nullptr;
+  }
+}
+
+void StreamListener::on_accept(std::function<void(StreamConnectionPtr)> handler) {
+  handler_ = std::move(handler);
+}
+
+void StreamListener::handle(const sim::Datagram& d) {
+  // Existing connection? Demultiplex by client endpoint.
+  if (auto it = conns_.find(d.src); it != conns_.end()) {
+    if (auto conn = it->second.lock()) {
+      conn->handle(d);
+    } else {
+      conns_.erase(it);
+    }
+    return;
+  }
+  if (d.payload.empty() || d.payload[0] != kSyn) return;
+  auto conn = StreamConnectionPtr(new StreamConnection(*host_, StreamConnection::State::kOpen));
+  conn->remote_ = d.src;
+  conn->local_ = local();
+  conn->owner_ = this;
+  conns_[d.src] = conn;
+  host_->send(d.src, port_, control_segment(kSynAck), /*reliable=*/true);
+  ++accepted_;
+  if (handler_) handler_(std::move(conn));
+}
+
+}  // namespace gmmcs::transport

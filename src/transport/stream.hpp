@@ -1,0 +1,125 @@
+// TCP-like reliable, ordered, message-oriented streams over the simulator.
+//
+// Broker control links, SOAP/HTTP, SIP, RTSP and H.323 call signaling all
+// run over these. The abstraction is message-oriented (each send() arrives
+// as one on_message()) because every protocol in this system frames its
+// messages anyway; the underlying simulated segments are marked `reliable`
+// so they are exempt from random loss but still pay NIC serialization and
+// queueing like everything else.
+//
+// Addressing mirrors real TCP: the connector binds an ephemeral port, the
+// acceptor stays on the listener's well-known port, and the listener
+// demultiplexes inbound segments by the client endpoint. Keeping the
+// 4-tuple constant is what lets the stateful Firewall model admit reply
+// traffic exactly like a real firewall admits established TCP flows.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "sim/network.hpp"
+
+namespace gmmcs::transport {
+
+class StreamConnection;
+class StreamListener;
+using StreamConnectionPtr = std::shared_ptr<StreamConnection>;
+
+/// One end of an established (or connecting) stream. Hold the shared_ptr
+/// for as long as the connection should live; dropping the last reference
+/// closes it.
+class StreamConnection : public std::enable_shared_from_this<StreamConnection> {
+ public:
+  ~StreamConnection();
+  StreamConnection(const StreamConnection&) = delete;
+  StreamConnection& operator=(const StreamConnection&) = delete;
+
+  /// Queues a message; delivered reliably and in order. Messages sent
+  /// before the handshake completes are buffered.
+  void send(Bytes message);
+  void send(std::string_view text) { send(to_bytes(text)); }
+
+  /// Receive callback; replaces any previous one. Messages that arrived
+  /// before a handler was set are replayed to the new handler.
+  void on_message(std::function<void(const Bytes&)> handler);
+  /// Called once when the peer closes or the connection fails.
+  void on_close(std::function<void()> handler);
+  /// Called once when the handshake completes (connector side; acceptor
+  /// connections are born established).
+  void on_connect(std::function<void()> handler);
+
+  void close();
+
+  [[nodiscard]] bool established() const { return state_ == State::kOpen; }
+  [[nodiscard]] bool closed() const { return state_ == State::kClosed; }
+  [[nodiscard]] sim::Endpoint local() const { return local_; }
+  [[nodiscard]] sim::Endpoint remote() const { return remote_; }
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_received() const { return received_; }
+
+  /// Initiates a connection to a listener at `to`. The returned connection
+  /// buffers sends until established; use on_connect() to sequence logic.
+  static StreamConnectionPtr connect(sim::Host& from, sim::Endpoint to);
+
+ private:
+  friend class StreamListener;
+  enum class State { kConnecting, kOpen, kClosed };
+
+  StreamConnection(sim::Host& host, State state);
+
+  void handle(const sim::Datagram& d);
+  void deliver_or_buffer(Bytes payload);
+  void flush_pending();
+  void do_close(bool notify_peer);
+
+  sim::Host* host_;
+  State state_;
+  sim::Endpoint local_{};
+  sim::Endpoint remote_{};
+  /// Connector side owns an ephemeral port; acceptor side shares the
+  /// listener's port and is demultiplexed by the listener.
+  bool owns_port_ = false;
+  StreamListener* owner_ = nullptr;  // acceptor side: for demux cleanup
+  std::function<void(const Bytes&)> message_handler_;
+  std::function<void()> close_handler_;
+  std::function<void()> connect_handler_;
+  std::deque<Bytes> outbox_;  // buffered until established
+  std::deque<Bytes> inbox_;   // buffered until a handler is set
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+/// Accepts incoming stream connections on a fixed port and demultiplexes
+/// segments of accepted connections by client endpoint.
+class StreamListener {
+ public:
+  /// port 0 picks any free listening port (see local()).
+  StreamListener(sim::Host& host, std::uint16_t port);
+  ~StreamListener();
+  StreamListener(const StreamListener&) = delete;
+  StreamListener& operator=(const StreamListener&) = delete;
+
+  /// Called with each newly accepted (already established) connection.
+  /// The handler must keep the pointer or the connection dies.
+  void on_accept(std::function<void(StreamConnectionPtr)> handler);
+
+  [[nodiscard]] sim::Endpoint local() const { return {host_->id(), port_}; }
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+  [[nodiscard]] std::size_t active() const { return conns_.size(); }
+
+ private:
+  friend class StreamConnection;
+  void handle(const sim::Datagram& d);
+  void forget(sim::Endpoint client) { conns_.erase(client); }
+
+  sim::Host* host_;
+  std::uint16_t port_;
+  std::function<void(StreamConnectionPtr)> handler_;
+  std::uint64_t accepted_ = 0;
+  std::map<sim::Endpoint, std::weak_ptr<StreamConnection>> conns_;
+};
+
+}  // namespace gmmcs::transport

@@ -1,0 +1,61 @@
+// Native XGSP collaboration client.
+//
+// Speaks XGSP directly over the broker (no gateway): publishes requests
+// to the control topic with a private reply topic, correlates replies by
+// sequence number, and after joining subscribes to the session's control
+// topic for membership/floor notifications and to its media topics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "broker/client.hpp"
+#include "xgsp/messages.hpp"
+#include "xgsp/session_server.hpp"
+
+namespace gmmcs::xgsp {
+
+class XgspClient {
+ public:
+  using ReplyHandler = std::function<void(const Message&)>;
+
+  XgspClient(sim::Host& host, sim::Endpoint broker_stream, std::string user);
+
+  // --- Requests (reply delivered asynchronously) ---
+  void create_session(const std::string& title, SessionMode mode,
+                      std::vector<std::pair<std::string, std::string>> media,
+                      ReplyHandler on_reply);
+  void join(const std::string& session_id, ReplyHandler on_reply);
+  void leave(const std::string& session_id, ReplyHandler on_reply);
+  void list_sessions(ReplyHandler on_reply);
+  void request_floor(const std::string& session_id, ReplyHandler on_reply);
+  void release_floor(const std::string& session_id, ReplyHandler on_reply);
+
+  /// Session-state notifications for sessions this client joined.
+  void on_notification(std::function<void(const Message&)> handler);
+
+  /// Media-plane access: publish/receive on a stream topic of a joined
+  /// session (payloads are RTP packets in the experiments).
+  void publish_media(const std::string& topic, Bytes payload);
+  void subscribe_media(const std::string& topic);
+  void on_media(std::function<void(const broker::Event&)> handler);
+
+  [[nodiscard]] const std::string& user() const { return user_; }
+  [[nodiscard]] broker::BrokerClient& broker_client() { return client_; }
+
+ private:
+  void request(Message m, ReplyHandler on_reply);
+
+  std::string user_;
+  std::string reply_topic_;
+  broker::BrokerClient client_;
+  std::uint32_t next_seq_ = 1;
+  std::map<std::uint32_t, ReplyHandler> pending_;
+  std::map<std::string, bool> watched_sessions_;
+  std::function<void(const Message&)> notification_handler_;
+  std::function<void(const broker::Event&)> media_handler_;
+};
+
+}  // namespace gmmcs::xgsp

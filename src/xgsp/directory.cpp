@@ -1,0 +1,186 @@
+#include "xgsp/directory.hpp"
+
+namespace gmmcs::xgsp {
+
+xml::Element UserAccount::to_xml() const {
+  xml::Element e("user");
+  e.set_attr("id", id);
+  e.set_attr("name", display_name);
+  e.set_attr("community", community);
+  e.set_attr("audio", audio_codec);
+  e.set_attr("video", video_codec);
+  e.set_attr("terminal-kind", xgsp::to_string(terminal_kind));
+  e.set_attr("terminal-address", terminal_address);
+  return e;
+}
+
+UserAccount UserAccount::from_xml(const xml::Element& e) {
+  UserAccount u;
+  u.id = e.attr("id");
+  u.display_name = e.attr("name");
+  u.community = e.attr("community");
+  if (e.has_attr("audio")) u.audio_codec = e.attr("audio");
+  if (e.has_attr("video")) u.video_codec = e.attr("video");
+  u.terminal_kind = endpoint_kind_from(e.attr("terminal-kind")).value_or(EndpointKind::kXgsp);
+  u.terminal_address = e.attr("terminal-address");
+  return u;
+}
+
+xml::Element CommunityRecord::to_xml() const {
+  xml::Element e("community");
+  e.set_attr("name", name);
+  e.set_attr("kind", kind);
+  e.set_attr("ws-node", std::to_string(web_service.node));
+  e.set_attr("ws-port", std::to_string(web_service.port));
+  if (!wsdl_ci.empty()) e.add_text_child("wsdl-ci", wsdl_ci);
+  return e;
+}
+
+CommunityRecord CommunityRecord::from_xml(const xml::Element& e) {
+  CommunityRecord c;
+  c.name = e.attr("name");
+  c.kind = e.attr("kind");
+  if (e.has_attr("ws-node")) {
+    c.web_service.node = static_cast<sim::NodeId>(std::stoul(e.attr("ws-node")));
+    c.web_service.port = static_cast<std::uint16_t>(std::stoul(e.attr("ws-port")));
+  }
+  c.wsdl_ci = e.child_text("wsdl-ci");
+  return c;
+}
+
+bool Directory::register_user(UserAccount user) {
+  return users_.emplace(user.id, std::move(user)).second;
+}
+
+const UserAccount* Directory::find_user(const std::string& id) const {
+  auto it = users_.find(id);
+  return it == users_.end() ? nullptr : &it->second;
+}
+
+bool Directory::bind_terminal(const std::string& user_id, EndpointKind kind,
+                              std::string address) {
+  auto it = users_.find(user_id);
+  if (it == users_.end()) return false;
+  it->second.terminal_kind = kind;
+  it->second.terminal_address = std::move(address);
+  return true;
+}
+
+bool Directory::register_community(CommunityRecord community) {
+  auto name = community.name;
+  communities_[name] = std::move(community);
+  return true;
+}
+
+const CommunityRecord* Directory::find_community(const std::string& name) const {
+  auto it = communities_.find(name);
+  return it == communities_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Directory::community_names() const {
+  std::vector<std::string> out;
+  out.reserve(communities_.size());
+  for (const auto& [name, c] : communities_) out.push_back(name);
+  return out;
+}
+
+DirectoryServer::DirectoryServer(sim::Host& host, std::uint16_t port) : soap_(host, port) {
+  soap_.register_operation("RegisterUser", [this](const xml::Element& req) -> Result<xml::Element> {
+    const xml::Element* u = req.child("user");
+    if (u == nullptr) return fail<xml::Element>("RegisterUser: missing <user>");
+    bool ok = dir_.register_user(UserAccount::from_xml(*u));
+    xml::Element resp("RegisterUserResponse");
+    resp.set_attr("ok", ok ? "true" : "false");
+    return resp;
+  });
+  soap_.register_operation("LookupUser", [this](const xml::Element& req) -> Result<xml::Element> {
+    const UserAccount* u = dir_.find_user(req.attr("id"));
+    if (u == nullptr) return fail<xml::Element>("LookupUser: unknown user " + req.attr("id"));
+    xml::Element resp("LookupUserResponse");
+    resp.add_child(u->to_xml());
+    return resp;
+  });
+  soap_.register_operation("BindTerminal", [this](const xml::Element& req) -> Result<xml::Element> {
+    auto kind = endpoint_kind_from(req.attr("kind"));
+    if (!kind) return fail<xml::Element>("BindTerminal: bad kind");
+    bool ok = dir_.bind_terminal(req.attr("user"), *kind, req.attr("address"));
+    xml::Element resp("BindTerminalResponse");
+    resp.set_attr("ok", ok ? "true" : "false");
+    return resp;
+  });
+  soap_.register_operation("RegisterCommunity",
+                           [this](const xml::Element& req) -> Result<xml::Element> {
+    const xml::Element* c = req.child("community");
+    if (c == nullptr) return fail<xml::Element>("RegisterCommunity: missing <community>");
+    dir_.register_community(CommunityRecord::from_xml(*c));
+    xml::Element resp("RegisterCommunityResponse");
+    resp.set_attr("ok", "true");
+    return resp;
+  });
+  soap_.register_operation("LookupCommunity",
+                           [this](const xml::Element& req) -> Result<xml::Element> {
+    const CommunityRecord* c = dir_.find_community(req.attr("name"));
+    if (c == nullptr) {
+      return fail<xml::Element>("LookupCommunity: unknown community " + req.attr("name"));
+    }
+    xml::Element resp("LookupCommunityResponse");
+    resp.add_child(c->to_xml());
+    return resp;
+  });
+}
+
+DirectoryClient::DirectoryClient(sim::Host& host, sim::Endpoint server) : soap_(host, server) {}
+
+void DirectoryClient::register_user(const UserAccount& user, std::function<void(bool)> cb) {
+  xml::Element req("RegisterUser");
+  req.add_child(user.to_xml());
+  soap_.call(std::move(req), [cb = std::move(cb)](Result<xml::Element> r) {
+    cb(r.ok() && r.value().attr("ok") == "true");
+  });
+}
+
+void DirectoryClient::lookup_user(const std::string& id,
+                                  std::function<void(std::optional<UserAccount>)> cb) {
+  xml::Element req("LookupUser");
+  req.set_attr("id", id);
+  soap_.call(std::move(req), [cb = std::move(cb)](Result<xml::Element> r) {
+    if (!r.ok() || r.value().child("user") == nullptr) {
+      cb(std::nullopt);
+      return;
+    }
+    cb(UserAccount::from_xml(*r.value().child("user")));
+  });
+}
+
+void DirectoryClient::bind_terminal(const std::string& user_id, EndpointKind kind,
+                                    const std::string& address, std::function<void(bool)> cb) {
+  xml::Element req("BindTerminal");
+  req.set_attr("user", user_id);
+  req.set_attr("kind", to_string(kind));
+  req.set_attr("address", address);
+  soap_.call(std::move(req), [cb = std::move(cb)](Result<xml::Element> r) {
+    cb(r.ok() && r.value().attr("ok") == "true");
+  });
+}
+
+void DirectoryClient::register_community(const CommunityRecord& community,
+                                         std::function<void(bool)> cb) {
+  xml::Element req("RegisterCommunity");
+  req.add_child(community.to_xml());
+  soap_.call(std::move(req), [cb = std::move(cb)](Result<xml::Element> r) { cb(r.ok()); });
+}
+
+void DirectoryClient::lookup_community(const std::string& name,
+                                       std::function<void(std::optional<CommunityRecord>)> cb) {
+  xml::Element req("LookupCommunity");
+  req.set_attr("name", name);
+  soap_.call(std::move(req), [cb = std::move(cb)](Result<xml::Element> r) {
+    if (!r.ok() || r.value().child("community") == nullptr) {
+      cb(std::nullopt);
+      return;
+    }
+    cb(CommunityRecord::from_xml(*r.value().child("community")));
+  });
+}
+
+}  // namespace gmmcs::xgsp

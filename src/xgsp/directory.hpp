@@ -1,0 +1,102 @@
+// Naming & directory service (paper §2.2).
+//
+// "The first is the directory of user account and media terminal. ...
+//  The second is the directory of different communities and collaboration
+//  servers."
+//
+// Directory is the in-memory authority; DirectoryServer exposes it as a
+// SOAP web service; DirectoryClient is the typed stub other components
+// use. Community records carry the WSDL-CI descriptor that lets the web
+// server generate a control proxy for that community's collaboration
+// server.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "soap/soap.hpp"
+#include "xgsp/session.hpp"
+
+namespace gmmcs::xgsp {
+
+/// A user account with media capability and the currently bound terminal.
+struct UserAccount {
+  std::string id;            // unique, e.g. "alice@anl"
+  std::string display_name;
+  std::string community;     // home community name
+  std::string audio_codec = "PCMU";
+  std::string video_codec = "H261";
+  /// Active media terminal binding ("the directory of the active
+  /// terminal, which the participant will use to access media services").
+  EndpointKind terminal_kind = EndpointKind::kXgsp;
+  std::string terminal_address;  // technology-specific address
+
+  [[nodiscard]] xml::Element to_xml() const;
+  static UserAccount from_xml(const xml::Element& e);
+};
+
+/// An autonomous community with its own collaboration/media servers.
+struct CommunityRecord {
+  std::string name;          // "admire-beihang", "h323-esnet", ...
+  std::string kind;          // "admire" | "h323" | "sip" | "accessgrid"
+  sim::Endpoint web_service; // SOAP endpoint of its collaboration server
+  std::string wsdl_ci;       // serialized WSDL-CI descriptor
+
+  [[nodiscard]] xml::Element to_xml() const;
+  static CommunityRecord from_xml(const xml::Element& e);
+};
+
+/// In-memory directory data.
+class Directory {
+ public:
+  bool register_user(UserAccount user);  // false if id taken
+  [[nodiscard]] const UserAccount* find_user(const std::string& id) const;
+  bool bind_terminal(const std::string& user_id, EndpointKind kind, std::string address);
+  [[nodiscard]] std::size_t user_count() const { return users_.size(); }
+
+  bool register_community(CommunityRecord community);
+  [[nodiscard]] const CommunityRecord* find_community(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> community_names() const;
+
+ private:
+  std::map<std::string, UserAccount> users_;
+  std::map<std::string, CommunityRecord> communities_;
+};
+
+/// SOAP facade over a Directory.
+class DirectoryServer {
+ public:
+  static constexpr std::uint16_t kDefaultPort = 8081;
+
+  DirectoryServer(sim::Host& host, std::uint16_t port = kDefaultPort);
+
+  [[nodiscard]] Directory& data() { return dir_; }
+  [[nodiscard]] sim::Endpoint endpoint() const { return soap_.endpoint(); }
+
+ private:
+  Directory dir_;
+  soap::SoapServer soap_;
+};
+
+/// Typed SOAP stub for the directory service.
+class DirectoryClient {
+ public:
+  DirectoryClient(sim::Host& host, sim::Endpoint server);
+
+  void register_user(const UserAccount& user, std::function<void(bool)> cb);
+  void lookup_user(const std::string& id,
+                   std::function<void(std::optional<UserAccount>)> cb);
+  void bind_terminal(const std::string& user_id, EndpointKind kind,
+                     const std::string& address, std::function<void(bool)> cb);
+  void register_community(const CommunityRecord& community, std::function<void(bool)> cb);
+  void lookup_community(const std::string& name,
+                        std::function<void(std::optional<CommunityRecord>)> cb);
+
+ private:
+  soap::SoapClient soap_;
+};
+
+}  // namespace gmmcs::xgsp

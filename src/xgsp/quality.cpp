@@ -1,0 +1,75 @@
+#include "xgsp/quality.hpp"
+
+namespace gmmcs::xgsp {
+
+xml::Element QualityReport::to_xml() const {
+  xml::Element e("quality-report");
+  e.set_attr("user", user);
+  e.set_attr("loss", std::to_string(loss_ratio));
+  e.set_attr("jitter-ms", std::to_string(jitter_ms));
+  e.set_attr("delay-ms", std::to_string(delay_ms));
+  e.set_attr("received", std::to_string(received));
+  return e;
+}
+
+QualityReport QualityReport::from_xml(const xml::Element& e) {
+  QualityReport r;
+  r.user = e.attr("user");
+  if (e.has_attr("loss")) r.loss_ratio = std::stod(e.attr("loss"));
+  if (e.has_attr("jitter-ms")) r.jitter_ms = std::stod(e.attr("jitter-ms"));
+  if (e.has_attr("delay-ms")) r.delay_ms = std::stod(e.attr("delay-ms"));
+  if (e.has_attr("received")) r.received = std::stoull(e.attr("received"));
+  return r;
+}
+
+QualityReport QualityReport::from_stats(std::string user, const rtp::ReceiverStats& stats) {
+  QualityReport r;
+  r.user = std::move(user);
+  r.loss_ratio = stats.loss_ratio();
+  r.jitter_ms = stats.jitter_ms();
+  r.delay_ms = stats.delay_ms().mean();
+  r.received = stats.received();
+  return r;
+}
+
+std::string quality_topic(const std::string& session_id) {
+  return "/xgsp/session/" + session_id + "/quality";
+}
+
+void publish_quality(broker::BrokerClient& client, const std::string& session_id,
+                     const QualityReport& report) {
+  client.publish(quality_topic(session_id), to_bytes(report.to_xml().serialize()),
+                 broker::QoS::kReliable);
+}
+
+QualityMonitor::QualityMonitor(sim::Host& host, sim::Endpoint broker_stream,
+                               std::string session_id)
+    : session_id_(std::move(session_id)),
+      client_(host, broker_stream,
+              broker::BrokerClient::Config{.name = "quality-monitor-" + session_id_,
+                                           .udp_delivery = false, .udp_publish = false}) {
+  client_.subscribe(quality_topic(session_id_));
+  client_.on_event([this](const broker::Event& ev) {
+    auto doc = xml::parse(gmmcs::to_string(std::span<const std::uint8_t>(ev.payload)));
+    if (!doc.ok() || doc.value().name() != "quality-report") return;
+    QualityReport report = QualityReport::from_xml(doc.value());
+    if (report.user.empty()) return;
+    ++reports_;
+    latest_[report.user] = report;
+    if (handler_) handler_(report);
+  });
+}
+
+std::vector<std::string> QualityMonitor::degraded(double max_loss, double max_jitter_ms) const {
+  std::vector<std::string> out;
+  for (const auto& [user, report] : latest_) {
+    if (report.loss_ratio > max_loss || report.jitter_ms > max_jitter_ms) out.push_back(user);
+  }
+  return out;
+}
+
+void QualityMonitor::on_report(std::function<void(const QualityReport&)> handler) {
+  handler_ = std::move(handler);
+}
+
+}  // namespace gmmcs::xgsp

@@ -1,0 +1,65 @@
+// Session quality monitoring.
+//
+// Gateways and native clients publish receiver-quality reports (the
+// fields of RTCP receiver reports: loss fraction, jitter) onto a
+// session's quality topic; the QualityMonitor — typically co-located with
+// the session server — aggregates the latest report per participant and
+// flags degraded members. This is the management-plane view a conference
+// operator needs ("who is on a bad link?") built from the same RTCP
+// quantities the capacity experiments use.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "broker/client.hpp"
+#include "rtp/receiver_stats.hpp"
+#include "xml/xml.hpp"
+
+namespace gmmcs::xgsp {
+
+struct QualityReport {
+  std::string user;
+  double loss_ratio = 0.0;
+  double jitter_ms = 0.0;
+  double delay_ms = 0.0;     // mean observed end-to-end delay
+  std::uint64_t received = 0;
+
+  [[nodiscard]] xml::Element to_xml() const;
+  static QualityReport from_xml(const xml::Element& e);
+  /// Builds a report from local receiver statistics.
+  static QualityReport from_stats(std::string user, const rtp::ReceiverStats& stats);
+};
+
+/// Topic carrying quality reports for a session.
+std::string quality_topic(const std::string& session_id);
+
+/// Publishes a report onto the session's quality topic (reliable QoS).
+void publish_quality(broker::BrokerClient& client, const std::string& session_id,
+                     const QualityReport& report);
+
+class QualityMonitor {
+ public:
+  QualityMonitor(sim::Host& host, sim::Endpoint broker_stream, std::string session_id);
+
+  /// Latest report per user.
+  [[nodiscard]] const std::map<std::string, QualityReport>& latest() const { return latest_; }
+  /// Users whose latest report breaches either threshold.
+  [[nodiscard]] std::vector<std::string> degraded(double max_loss = 0.02,
+                                                  double max_jitter_ms = 40.0) const;
+  /// Fires on each received report.
+  void on_report(std::function<void(const QualityReport&)> handler);
+  [[nodiscard]] std::uint64_t reports_received() const { return reports_; }
+
+ private:
+  std::string session_id_;
+  broker::BrokerClient client_;
+  std::map<std::string, QualityReport> latest_;
+  std::function<void(const QualityReport&)> handler_;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace gmmcs::xgsp

@@ -1,0 +1,82 @@
+#include "xgsp/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace gmmcs::xgsp {
+
+MeetingScheduler::MeetingScheduler(sim::EventLoop& loop, SessionServer& sessions)
+    : loop_(&loop), sessions_(&sessions) {}
+
+std::string MeetingScheduler::reserve(const std::string& title, const std::string& organizer,
+                                      SimTime start, SimDuration duration,
+                                      std::vector<std::string> invitees,
+                                      std::vector<std::pair<std::string, std::string>> media) {
+  if (start < loop_->now()) {
+    throw std::invalid_argument("MeetingScheduler: reservation must be in the future");
+  }
+  Reservation r;
+  r.id = ids_.next_tagged("resv");
+  r.title = title;
+  r.organizer = organizer;
+  r.start = start;
+  r.duration = duration;
+  r.invitees = std::move(invitees);
+  r.media = std::move(media);
+  std::string id = r.id;
+  reservations_.emplace(id, std::move(r));
+  loop_->schedule_at(start, [this, id] { start_meeting(id); });
+  return id;
+}
+
+bool MeetingScheduler::cancel(const std::string& reservation_id) {
+  auto it = reservations_.find(reservation_id);
+  if (it == reservations_.end() || !it->second.session_id.empty()) return false;
+  it->second.cancelled = true;
+  return true;
+}
+
+const Reservation* MeetingScheduler::find(const std::string& reservation_id) const {
+  auto it = reservations_.find(reservation_id);
+  return it == reservations_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Reservation*> MeetingScheduler::upcoming() const {
+  std::vector<const Reservation*> out;
+  for (const auto& [id, r] : reservations_) {
+    if (!r.cancelled && r.session_id.empty()) out.push_back(&r);
+  }
+  return out;
+}
+
+void MeetingScheduler::on_started(std::function<void(const Reservation&)> handler) {
+  started_.push_back(std::move(handler));
+}
+
+void MeetingScheduler::on_finished(std::function<void(const Reservation&)> handler) {
+  finished_.push_back(std::move(handler));
+}
+
+void MeetingScheduler::start_meeting(const std::string& reservation_id) {
+  auto it = reservations_.find(reservation_id);
+  if (it == reservations_.end() || it->second.cancelled) return;
+  Reservation& r = it->second;
+  Message reply = sessions_->handle(
+      Message::create_session(r.title, r.organizer, SessionMode::kScheduled, r.media));
+  if (!reply.ok || reply.sessions.empty()) return;
+  r.session_id = reply.sessions.front().id();
+  // A started meeting is live even before the first participant joins.
+  if (Session* s = sessions_->find(r.session_id)) s->activate();
+  loop_->schedule_after(r.duration, [this, reservation_id] { finish_meeting(reservation_id); });
+  for (const auto& handler : started_) handler(r);
+}
+
+void MeetingScheduler::finish_meeting(const std::string& reservation_id) {
+  auto it = reservations_.find(reservation_id);
+  if (it == reservations_.end()) return;
+  Reservation& r = it->second;
+  r.finished = true;
+  sessions_->handle(Message::end_session(r.session_id));
+  for (const auto& handler : finished_) handler(r);
+}
+
+}  // namespace gmmcs::xgsp

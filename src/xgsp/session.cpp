@@ -1,0 +1,159 @@
+#include "xgsp/session.hpp"
+
+#include <algorithm>
+
+namespace gmmcs::xgsp {
+
+const char* to_string(EndpointKind k) {
+  switch (k) {
+    case EndpointKind::kXgsp: return "xgsp";
+    case EndpointKind::kSip: return "sip";
+    case EndpointKind::kH323: return "h323";
+    case EndpointKind::kAdmire: return "admire";
+    case EndpointKind::kAccessGrid: return "accessgrid";
+    case EndpointKind::kStreaming: return "streaming";
+  }
+  return "?";
+}
+
+std::optional<EndpointKind> endpoint_kind_from(const std::string& s) {
+  for (EndpointKind k : {EndpointKind::kXgsp, EndpointKind::kSip, EndpointKind::kH323,
+                         EndpointKind::kAdmire, EndpointKind::kAccessGrid,
+                         EndpointKind::kStreaming}) {
+    if (s == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+xml::Element MediaStream::to_xml() const {
+  xml::Element e("media");
+  e.set_attr("kind", kind);
+  e.set_attr("codec", codec);
+  e.set_attr("topic", topic);
+  return e;
+}
+
+MediaStream MediaStream::from_xml(const xml::Element& e) {
+  return MediaStream{e.attr("kind"), e.attr("codec"), e.attr("topic")};
+}
+
+Session::Session(std::string id, std::string title, std::string creator, SessionMode mode)
+    : id_(std::move(id)), title_(std::move(title)), creator_(std::move(creator)), mode_(mode) {}
+
+MediaStream& Session::add_stream(const std::string& kind, const std::string& codec) {
+  MediaStream s;
+  s.kind = kind;
+  s.codec = codec;
+  s.topic = "/xgsp/session/" + id_ + "/" + kind;
+  streams_.push_back(std::move(s));
+  return streams_.back();
+}
+
+const MediaStream* Session::stream(const std::string& kind) const {
+  for (const auto& s : streams_) {
+    if (s.kind == kind) return &s;
+  }
+  return nullptr;
+}
+
+bool Session::join(const Participant& p) {
+  if (state_ == SessionState::kEnded) return false;
+  if (has_member(p.user)) return false;
+  members_.push_back(p);
+  if (state_ == SessionState::kCreated) state_ = SessionState::kActive;
+  return true;
+}
+
+bool Session::leave(const std::string& user) {
+  auto before = members_.size();
+  std::erase_if(members_, [&](const Participant& p) { return p.user == user; });
+  if (members_.size() == before) return false;
+  if (floor_holder_ == user) {
+    floor_holder_.clear();
+    if (!floor_queue_.empty()) {
+      floor_holder_ = floor_queue_.front();
+      floor_queue_.erase(floor_queue_.begin());
+    }
+  }
+  std::erase(floor_queue_, user);
+  return true;
+}
+
+bool Session::has_member(const std::string& user) const {
+  return std::any_of(members_.begin(), members_.end(),
+                     [&](const Participant& p) { return p.user == user; });
+}
+
+void Session::end() {
+  state_ = SessionState::kEnded;
+  members_.clear();
+  floor_holder_.clear();
+  floor_queue_.clear();
+}
+
+bool Session::request_floor(const std::string& user) {
+  if (!has_member(user)) return false;
+  if (floor_holder_.empty()) {
+    floor_holder_ = user;
+    return true;
+  }
+  if (floor_holder_ == user) return true;
+  if (std::find(floor_queue_.begin(), floor_queue_.end(), user) == floor_queue_.end()) {
+    floor_queue_.push_back(user);
+  }
+  return false;  // queued, not granted
+}
+
+bool Session::release_floor(const std::string& user) {
+  if (floor_holder_ != user) return false;
+  floor_holder_.clear();
+  if (!floor_queue_.empty()) {
+    floor_holder_ = floor_queue_.front();
+    floor_queue_.erase(floor_queue_.begin());
+  }
+  return true;
+}
+
+std::string Session::control_topic() const {
+  return "/xgsp/session/" + id_ + "/control";
+}
+
+xml::Element Session::to_xml() const {
+  xml::Element e("session");
+  e.set_attr("id", id_);
+  e.set_attr("mode", mode_ == SessionMode::kAdHoc ? "adhoc" : "scheduled");
+  e.set_attr("state", state_ == SessionState::kCreated
+                          ? "created"
+                          : (state_ == SessionState::kActive ? "active" : "ended"));
+  e.add_text_child("title", title_);
+  e.add_text_child("creator", creator_);
+  for (const auto& s : streams_) e.add_child(s.to_xml());
+  for (const auto& m : members_) {
+    xml::Element& p = e.add_child("participant");
+    p.set_attr("user", m.user);
+    p.set_attr("kind", to_string(m.kind));
+    if (m.moderator) p.set_attr("moderator", "true");
+  }
+  return e;
+}
+
+Session Session::from_xml(const xml::Element& e) {
+  Session s(e.attr("id"), e.child_text("title"), e.child_text("creator"),
+            e.attr("mode") == "scheduled" ? SessionMode::kScheduled : SessionMode::kAdHoc);
+  std::string state = e.attr("state");
+  if (state == "active") s.state_ = SessionState::kActive;
+  if (state == "ended") s.state_ = SessionState::kEnded;
+  for (const xml::Element* m : e.children_named("media")) {
+    s.streams_.push_back(MediaStream::from_xml(*m));
+  }
+  for (const xml::Element* p : e.children_named("participant")) {
+    Participant part;
+    part.user = p->attr("user");
+    part.kind = endpoint_kind_from(p->attr("kind")).value_or(EndpointKind::kXgsp);
+    part.moderator = p->attr("moderator") == "true";
+    s.members_.push_back(std::move(part));
+  }
+  return s;
+}
+
+}  // namespace gmmcs::xgsp

@@ -1,0 +1,97 @@
+// XGSP session model.
+//
+// A session is the unit of collaboration: a set of media streams (each
+// mapped to a broker topic), a membership of participants joined through
+// possibly different community technologies (native XGSP, SIP, H.323,
+// Admire/AccessGrid, streaming players), and moderation state (floor
+// control). Sessions are ad-hoc or scheduled ("hybrid collaboration
+// pattern", paper §2.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "xml/xml.hpp"
+
+namespace gmmcs::xgsp {
+
+/// How a participant reaches the session (which gateway/community).
+enum class EndpointKind { kXgsp, kSip, kH323, kAdmire, kAccessGrid, kStreaming };
+const char* to_string(EndpointKind k);
+std::optional<EndpointKind> endpoint_kind_from(const std::string& s);
+
+enum class SessionMode { kAdHoc, kScheduled };
+enum class SessionState { kCreated, kActive, kEnded };
+
+/// One media stream within a session.
+struct MediaStream {
+  std::string kind;   // "audio" | "video" | "data"
+  std::string codec;  // registry name, e.g. "PCMU", "H261"
+  std::string topic;  // broker topic carrying this stream
+
+  [[nodiscard]] xml::Element to_xml() const;
+  static MediaStream from_xml(const xml::Element& e);
+};
+
+struct Participant {
+  std::string user;  // directory user id
+  EndpointKind kind = EndpointKind::kXgsp;
+  bool moderator = false;
+};
+
+/// Session descriptor + live state. Value semantics; the SessionServer
+/// owns the authoritative copies.
+class Session {
+ public:
+  Session() = default;
+  Session(std::string id, std::string title, std::string creator, SessionMode mode);
+
+  [[nodiscard]] const std::string& id() const { return id_; }
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const std::string& creator() const { return creator_; }
+  [[nodiscard]] SessionMode mode() const { return mode_; }
+  [[nodiscard]] SessionState state() const { return state_; }
+
+  /// Adds a stream; the topic is derived from the session id and kind.
+  MediaStream& add_stream(const std::string& kind, const std::string& codec);
+  [[nodiscard]] const std::vector<MediaStream>& streams() const { return streams_; }
+  [[nodiscard]] const MediaStream* stream(const std::string& kind) const;
+
+  /// Membership. Joining an ended session or duplicate join fails.
+  bool join(const Participant& p);
+  bool leave(const std::string& user);
+  [[nodiscard]] bool has_member(const std::string& user) const;
+  [[nodiscard]] const std::vector<Participant>& members() const { return members_; }
+
+  void activate() { state_ = SessionState::kActive; }
+  void end();
+
+  // --- Floor control (audio/video floor, moderator-granted) ---
+  /// Requests the floor; granted immediately if free.
+  bool request_floor(const std::string& user);
+  bool release_floor(const std::string& user);
+  [[nodiscard]] const std::string& floor_holder() const { return floor_holder_; }
+  [[nodiscard]] const std::vector<std::string>& floor_queue() const { return floor_queue_; }
+
+  /// Control topic for session signaling events.
+  [[nodiscard]] std::string control_topic() const;
+
+  [[nodiscard]] xml::Element to_xml() const;
+  static Session from_xml(const xml::Element& e);
+
+ private:
+  std::string id_;
+  std::string title_;
+  std::string creator_;
+  SessionMode mode_ = SessionMode::kAdHoc;
+  SessionState state_ = SessionState::kCreated;
+  std::vector<MediaStream> streams_;
+  std::vector<Participant> members_;
+  std::string floor_holder_;
+  std::vector<std::string> floor_queue_;
+};
+
+}  // namespace gmmcs::xgsp

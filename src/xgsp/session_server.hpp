@@ -1,0 +1,63 @@
+// XGSP Session Server (paper §3.2).
+//
+// "The XGSP Session Server translates the high-level command from the
+// XGSP Web Server into signaling messages of XGSP, and sends these
+// signaling messages to the NaradaBrokering servers to create a
+// publish/subscribe session."
+//
+// The server owns the authoritative session state. Requests arrive two
+// ways: in-process calls (from the web server facade and co-located
+// gateways) and XGSP XML events published to the control topic by remote
+// gateways/clients, answered on the requester's reply topic. Whenever a
+// session is created, one broker topic per media stream comes into
+// existence simply by being named — subscription is the rendezvous.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "broker/client.hpp"
+#include "common/ids.hpp"
+#include "xgsp/messages.hpp"
+
+namespace gmmcs::xgsp {
+
+class SessionServer {
+ public:
+  static constexpr const char* kControlTopic = "/xgsp/control";
+
+  SessionServer(sim::Host& host, sim::Endpoint broker_stream);
+
+  /// Processes one XGSP request and returns the reply (in-process path).
+  Message handle(const Message& request);
+
+  [[nodiscard]] const std::map<std::string, Session>& sessions() const { return sessions_; }
+  [[nodiscard]] Session* find(const std::string& id);
+  [[nodiscard]] std::uint64_t requests_handled() const { return requests_; }
+
+  /// Observer for session lifecycle (used by the streaming producer and
+  /// archive service to start/stop per-session pipelines).
+  using SessionObserver = std::function<void(const Session&, MsgType change)>;
+  void on_session_change(SessionObserver observer) { observer_ = std::move(observer); }
+
+ private:
+  Message do_create(const Message& req);
+  Message do_join(const Message& req);
+  Message do_leave(const Message& req);
+  Message do_end(const Message& req);
+  Message do_list(const Message& req) const;
+  Message do_floor(const Message& req);
+  /// Publishes the updated session state to its control topic so joined
+  /// participants see membership/floor changes.
+  void notify(const Session& s, MsgType change);
+
+  broker::BrokerClient client_;
+  std::map<std::string, Session> sessions_;
+  IdGenerator ids_;
+  std::uint64_t requests_ = 0;
+  SessionObserver observer_;
+};
+
+}  // namespace gmmcs::xgsp

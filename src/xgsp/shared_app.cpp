@@ -1,0 +1,135 @@
+#include "xgsp/shared_app.hpp"
+
+namespace gmmcs::xgsp {
+
+namespace {
+std::string text_of(const broker::Event& ev) {
+  return gmmcs::to_string(std::span<const std::uint8_t>(ev.payload));
+}
+}  // namespace
+
+xml::Element AppOp::to_xml() const {
+  xml::Element e("app-op");
+  e.set_attr("seq", std::to_string(seq));
+  e.set_attr("actor", actor);
+  e.set_attr("command", command);
+  if (!args.empty()) e.set_text(args);
+  return e;
+}
+
+AppOp AppOp::from_xml(const xml::Element& e) {
+  AppOp op;
+  if (e.has_attr("seq")) op.seq = static_cast<std::uint32_t>(std::stoul(e.attr("seq")));
+  op.actor = e.attr("actor");
+  op.command = e.attr("command");
+  op.args = e.text();
+  return op;
+}
+
+SharedAppHost::SharedAppHost(sim::Host& host, sim::Endpoint broker_stream, std::string topic)
+    : topic_(std::move(topic)),
+      client_(host, broker_stream,
+              broker::BrokerClient::Config{.name = "shared-app-host", .udp_delivery = false,
+                                           .udp_publish = false}) {
+  client_.subscribe(topic_);
+  client_.on_event([this](const broker::Event& ev) { handle(ev); });
+}
+
+void SharedAppHost::handle(const broker::Event& ev) {
+  auto doc = xml::parse(text_of(ev));
+  if (!doc.ok()) return;
+  const xml::Element& root = doc.value();
+  if (root.name() == "app-op" && root.attr("seq") == "0") {
+    // A submission: sequence it and publish the authoritative form.
+    AppOp op = AppOp::from_xml(root);
+    op.seq = next_seq_++;
+    log_.push_back(op);
+    client_.publish(topic_, to_bytes(op.to_xml().serialize()), broker::QoS::kReliable);
+    return;
+  }
+  if (root.name() == "app-snapshot-request") {
+    ++snapshots_;
+    xml::Element snap("app-snapshot");
+    snap.set_attr("for", root.attr("user"));
+    snap.set_attr("through", std::to_string(log_.size()));
+    for (const AppOp& op : log_) snap.add_child(op.to_xml());
+    client_.publish(topic_, to_bytes(snap.serialize()), broker::QoS::kReliable);
+  }
+}
+
+SharedAppClient::SharedAppClient(sim::Host& host, sim::Endpoint broker_stream,
+                                 std::string topic, std::string user)
+    : topic_(std::move(topic)),
+      user_(std::move(user)),
+      client_(host, broker_stream,
+              broker::BrokerClient::Config{.name = "shared-app-" + user_,
+                                           .udp_delivery = false, .udp_publish = false}) {
+  client_.subscribe(topic_);
+  client_.on_event([this](const broker::Event& ev) { handle(ev); });
+}
+
+void SharedAppClient::submit(const std::string& command, const std::string& args) {
+  AppOp op;
+  op.seq = 0;  // "please sequence me"
+  op.actor = user_;
+  op.command = command;
+  op.args = args;
+  client_.publish(topic_, to_bytes(op.to_xml().serialize()), broker::QoS::kReliable);
+}
+
+void SharedAppClient::catch_up() {
+  caught_up_ = false;
+  xml::Element req("app-snapshot-request");
+  req.set_attr("user", user_);
+  client_.publish(topic_, to_bytes(req.serialize()), broker::QoS::kReliable);
+}
+
+void SharedAppClient::on_op(std::function<void(const AppOp&)> handler) {
+  handler_ = std::move(handler);
+}
+
+void SharedAppClient::apply(const AppOp& op) {
+  applied_ = op.seq;
+  if (handler_) handler_(op);
+}
+
+void SharedAppClient::handle(const broker::Event& ev) {
+  auto doc = xml::parse(text_of(ev));
+  if (!doc.ok()) return;
+  const xml::Element& root = doc.value();
+  if (root.name() == "app-op") {
+    AppOp op = AppOp::from_xml(root);
+    if (op.seq == 0) return;  // someone else's raw submission
+    if (op.seq <= applied_) return;  // duplicate / already in snapshot
+    if (!caught_up_ || op.seq != applied_ + 1) {
+      pending_.emplace(op.seq, std::move(op));
+      return;
+    }
+    apply(op);
+    // Drain any directly-following held ops.
+    auto it = pending_.find(applied_ + 1);
+    while (it != pending_.end()) {
+      apply(it->second);
+      pending_.erase(it);
+      it = pending_.find(applied_ + 1);
+    }
+    return;
+  }
+  if (root.name() == "app-snapshot" && root.attr("for") == user_) {
+    for (const xml::Element* op_el : root.children_named("app-op")) {
+      AppOp op = AppOp::from_xml(*op_el);
+      if (op.seq > applied_) apply(op);
+    }
+    caught_up_ = true;
+    // Live ops that raced past the snapshot.
+    auto it = pending_.find(applied_ + 1);
+    while (it != pending_.end()) {
+      apply(it->second);
+      pending_.erase(it);
+      it = pending_.find(applied_ + 1);
+    }
+    pending_.clear();
+  }
+}
+
+}  // namespace gmmcs::xgsp

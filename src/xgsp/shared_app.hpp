@@ -1,0 +1,89 @@
+// Shared-application collaboration (paper §2: the fourth service class,
+// alongside videoconferencing, streaming and IM).
+//
+// A shared application (whiteboard, editor, slide deck) is an ordered
+// stream of small state operations that every participant must apply in
+// the same order. This service runs it over a session's data topic with
+// reliable QoS: one participant hosts the authoritative log (the
+// "application sharer"), others submit operations to it and apply the
+// sequenced log; late joiners ask the host for a state snapshot (the full
+// op log) before going live — the classic 2003 shared-app recipe (VNC/T.120
+// era), expressed over XGSP topics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "broker/client.hpp"
+#include "xml/xml.hpp"
+
+namespace gmmcs::xgsp {
+
+/// One application operation (opaque command + arguments).
+struct AppOp {
+  std::uint32_t seq = 0;      // assigned by the host
+  std::string actor;          // who performed it
+  std::string command;        // e.g. "draw", "type", "goto-slide"
+  std::string args;
+
+  [[nodiscard]] xml::Element to_xml() const;
+  static AppOp from_xml(const xml::Element& e);
+};
+
+/// The hosting side: sequences operations and serves state snapshots.
+class SharedAppHost {
+ public:
+  /// `topic` is the session's data topic (e.g. session.stream("data")).
+  SharedAppHost(sim::Host& host, sim::Endpoint broker_stream, std::string topic);
+
+  [[nodiscard]] const std::vector<AppOp>& log() const { return log_; }
+  [[nodiscard]] std::uint64_t ops_sequenced() const { return log_.size(); }
+  [[nodiscard]] std::uint64_t snapshots_served() const { return snapshots_; }
+
+ private:
+  void handle(const broker::Event& ev);
+
+  std::string topic_;
+  broker::BrokerClient client_;
+  std::vector<AppOp> log_;
+  std::uint32_t next_seq_ = 1;
+  std::uint64_t snapshots_ = 0;
+};
+
+/// A participant: submits operations, applies the sequenced stream, and
+/// catches up via snapshot when joining late.
+class SharedAppClient {
+ public:
+  SharedAppClient(sim::Host& host, sim::Endpoint broker_stream, std::string topic,
+                  std::string user);
+
+  /// Submits an operation to the host for sequencing.
+  void submit(const std::string& command, const std::string& args);
+  /// Requests the current state snapshot (late join); on_op fires for
+  /// every logged operation, in order, before subsequent live ops.
+  void catch_up();
+
+  /// Fired for each sequenced operation exactly once, in sequence order.
+  void on_op(std::function<void(const AppOp&)> handler);
+
+  [[nodiscard]] std::uint32_t applied_through() const { return applied_; }
+  [[nodiscard]] const std::string& user() const { return user_; }
+
+ private:
+  void handle(const broker::Event& ev);
+  void apply(const AppOp& op);
+
+  std::string topic_;
+  std::string user_;
+  broker::BrokerClient client_;
+  std::function<void(const AppOp&)> handler_;
+  std::uint32_t applied_ = 0;  // highest sequence applied
+  /// Out-of-window ops held until the snapshot brings us level.
+  std::map<std::uint32_t, AppOp> pending_;
+  bool caught_up_ = true;  // false between catch_up() and the snapshot
+};
+
+}  // namespace gmmcs::xgsp

@@ -1,0 +1,121 @@
+#include "xgsp/web_server.hpp"
+
+#include "common/log.hpp"
+
+namespace gmmcs::xgsp {
+
+WebServer::WebServer(sim::Host& host, SessionServer& sessions, Directory& directory,
+                     std::uint16_t port)
+    : host_(&host), sessions_(&sessions), directory_(&directory), soap_(host, port) {
+  soap_.register_operation("CreateSession",
+                           [this](const xml::Element& r) { return create_session(r); });
+  soap_.register_operation("JoinSession",
+                           [this](const xml::Element& r) { return join_session(r); });
+  soap_.register_operation("LeaveSession",
+                           [this](const xml::Element& r) { return leave_session(r); });
+  soap_.register_operation("EndSession",
+                           [this](const xml::Element& r) { return end_session(r); });
+  soap_.register_operation("ListSessions",
+                           [this](const xml::Element& r) { return list_sessions(r); });
+  soap_.register_operation("InviteCommunity",
+                           [this](const xml::Element& r) { return invite_community(r); });
+}
+
+Result<xml::Element> WebServer::create_session(const xml::Element& req) {
+  Message m;
+  m.type = MsgType::kCreateSession;
+  m.title = req.attr("title");
+  m.user = req.attr("creator");
+  m.mode = req.attr("mode") == "scheduled" ? SessionMode::kScheduled : SessionMode::kAdHoc;
+  for (const xml::Element* me : req.children_named("media")) {
+    m.media.push_back(MediaStream::from_xml(*me));
+  }
+  Message reply = sessions_->handle(m);
+  if (!reply.ok) return fail<xml::Element>(reply.reason);
+  xml::Element resp("CreateSessionResponse");
+  resp.add_child(reply.sessions.front().to_xml());
+  return resp;
+}
+
+Result<xml::Element> WebServer::join_session(const xml::Element& req) {
+  // Resolve the user's bound terminal so the gateway kind is recorded.
+  EndpointKind kind = EndpointKind::kXgsp;
+  if (const UserAccount* u = directory_->find_user(req.attr("user"))) {
+    kind = u->terminal_kind;
+  }
+  Message reply = sessions_->handle(Message::join(req.attr("session"), req.attr("user"), kind));
+  if (!reply.ok) return fail<xml::Element>(reply.reason);
+  xml::Element resp("JoinSessionResponse");
+  resp.add_child(reply.sessions.front().to_xml());
+  return resp;
+}
+
+Result<xml::Element> WebServer::leave_session(const xml::Element& req) {
+  Message reply = sessions_->handle(Message::leave(req.attr("session"), req.attr("user")));
+  if (!reply.ok) return fail<xml::Element>(reply.reason);
+  xml::Element resp("LeaveSessionResponse");
+  resp.set_attr("ok", "true");
+  return resp;
+}
+
+Result<xml::Element> WebServer::end_session(const xml::Element& req) {
+  Message reply = sessions_->handle(Message::end_session(req.attr("session")));
+  if (!reply.ok) return fail<xml::Element>(reply.reason);
+  xml::Element resp("EndSessionResponse");
+  resp.set_attr("ok", "true");
+  return resp;
+}
+
+Result<xml::Element> WebServer::list_sessions(const xml::Element&) {
+  Message m;
+  m.type = MsgType::kListSessions;
+  Message reply = sessions_->handle(m);
+  xml::Element resp("ListSessionsResponse");
+  for (const Session& s : reply.sessions) resp.add_child(s.to_xml());
+  return resp;
+}
+
+Result<xml::Element> WebServer::invite_community(const xml::Element& req) {
+  const std::string session_id = req.attr("session");
+  const std::string community = req.attr("community");
+  Session* s = sessions_->find(session_id);
+  if (s == nullptr) return fail<xml::Element>("InviteCommunity: no session " + session_id);
+  const CommunityRecord* rec = directory_->find_community(community);
+  if (rec == nullptr) return fail<xml::Element>("InviteCommunity: unknown community " + community);
+
+  auto it = proxies_.find(community);
+  if (it == proxies_.end()) {
+    auto descriptor = WsdlCi::parse(rec->wsdl_ci);
+    if (!descriptor.ok()) {
+      return fail<xml::Element>("InviteCommunity: bad WSDL-CI: " + descriptor.error().message);
+    }
+    it = proxies_
+             .emplace(community,
+                      std::make_unique<CollaborationProxy>(*host_, std::move(descriptor).value()))
+             .first;
+  }
+  // Fire the establish operation with the session description; the
+  // community answers asynchronously (e.g. Admire's rendezvous reply) and
+  // joins the media topics itself. The SOAP response here acknowledges
+  // that the invitation was dispatched.
+  xml::Element args("session-invite");
+  args.add_child(s->to_xml());
+  it->second->establish(std::move(args), [community](Result<xml::Element> r) {
+    if (!r.ok()) {
+      GMMCS_WARN("xgsp-web") << "community " << community << " invite failed: "
+                             << r.error().message;
+    } else {
+      GMMCS_INFO("xgsp-web") << "community " << community << " accepted invite";
+    }
+  });
+  // Record the community as a participant of the session.
+  Participant p;
+  p.user = "community:" + community;
+  p.kind = rec->kind == "admire" ? EndpointKind::kAdmire : EndpointKind::kXgsp;
+  s->join(p);
+  xml::Element resp("InviteCommunityResponse");
+  resp.set_attr("dispatched", "true");
+  return resp;
+}
+
+}  // namespace gmmcs::xgsp

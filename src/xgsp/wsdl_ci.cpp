@@ -1,0 +1,63 @@
+#include "xgsp/wsdl_ci.hpp"
+
+namespace gmmcs::xgsp {
+
+xml::Element WsdlCi::to_xml() const {
+  xml::Element e("wsdl-ci");
+  e.set_attr("service", service_name);
+  e.set_attr("community", community);
+  e.set_attr("node", std::to_string(endpoint.node));
+  e.set_attr("port", std::to_string(endpoint.port));
+  xml::Element& ops = e.add_child("operations");
+  ops.add_child("establish").set_attr("name", establish_op);
+  ops.add_child("membership").set_attr("name", membership_op);
+  ops.add_child("control").set_attr("name", control_op);
+  return e;
+}
+
+Result<WsdlCi> WsdlCi::from_xml(const xml::Element& e) {
+  if (e.name() != "wsdl-ci") return fail<WsdlCi>("wsdl-ci: wrong root element");
+  WsdlCi d;
+  d.service_name = e.attr("service");
+  d.community = e.attr("community");
+  if (!e.has_attr("node") || !e.has_attr("port")) {
+    return fail<WsdlCi>("wsdl-ci: missing endpoint");
+  }
+  d.endpoint.node = static_cast<sim::NodeId>(std::stoul(e.attr("node")));
+  d.endpoint.port = static_cast<std::uint16_t>(std::stoul(e.attr("port")));
+  if (const xml::Element* ops = e.child("operations")) {
+    if (const xml::Element* op = ops->child("establish")) d.establish_op = op->attr("name");
+    if (const xml::Element* op = ops->child("membership")) d.membership_op = op->attr("name");
+    if (const xml::Element* op = ops->child("control")) d.control_op = op->attr("name");
+  }
+  return d;
+}
+
+Result<WsdlCi> WsdlCi::parse(const std::string& text) {
+  auto doc = xml::parse(text);
+  if (!doc.ok()) return fail<WsdlCi>(doc.error().message);
+  return from_xml(doc.value());
+}
+
+CollaborationProxy::CollaborationProxy(sim::Host& host, WsdlCi descriptor)
+    : descriptor_(std::move(descriptor)), client_(host, descriptor_.endpoint) {}
+
+void CollaborationProxy::invoke(const std::string& op, xml::Element args, Callback cb) {
+  xml::Element request(op);
+  request.add_child(std::move(args));
+  client_.call(std::move(request), std::move(cb));
+}
+
+void CollaborationProxy::establish(xml::Element args, Callback cb) {
+  invoke(descriptor_.establish_op, std::move(args), std::move(cb));
+}
+
+void CollaborationProxy::membership(xml::Element args, Callback cb) {
+  invoke(descriptor_.membership_op, std::move(args), std::move(cb));
+}
+
+void CollaborationProxy::control(xml::Element args, Callback cb) {
+  invoke(descriptor_.control_op, std::move(args), std::move(cb));
+}
+
+}  // namespace gmmcs::xgsp

@@ -1,0 +1,118 @@
+// Tests for the Access Grid integration: venues, MBONE tools on
+// multicast, and the venue<->session bridge.
+#include <gtest/gtest.h>
+
+#include "broker/broker_node.hpp"
+#include "broker/client.hpp"
+#include "core/accessgrid.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+#include "xgsp/session_server.hpp"
+
+namespace gmmcs::core {
+namespace {
+
+class AccessGridTest : public ::testing::Test {
+ protected:
+  AccessGridTest()
+      : broker_node(net.add_host("broker"), 0),
+        sessions(net.add_host("xgsp"), broker_node.stream_endpoint()),
+        venue(net, "ANL-lobby") {}
+
+  xgsp::Session make_session() {
+    xgsp::Message created = sessions.handle(xgsp::Message::create_session(
+        "ag-session", "gcf", xgsp::SessionMode::kAdHoc, {{"audio", "PCMU"}, {"video", "H261"}}));
+    return created.sessions.front();
+  }
+
+  sim::EventLoop loop;
+  sim::Network net{loop, 91};
+  broker::BrokerNode broker_node;
+  xgsp::SessionServer sessions;
+  AccessGridVenue venue;
+};
+
+TEST_F(AccessGridTest, VenueHasGroupsPerKind) {
+  EXPECT_NE(venue.group("audio"), venue.group("video"));
+  EXPECT_EQ(venue.kinds().size(), 2u);
+  EXPECT_THROW(static_cast<void>(venue.group("slides")), std::invalid_argument);
+}
+
+TEST_F(AccessGridTest, ToolsExchangeMediaOverMulticast) {
+  MboneTool vic1(net.add_host("vic1"), venue);
+  MboneTool vic2(net.add_host("vic2"), venue);
+  MboneTool rat1(net.add_host("rat1"), venue);
+  int vic2_got = 0;
+  vic2.on_media([&](const sim::Datagram&) { ++vic2_got; });
+  vic1.send_media("video", Bytes(400, 1));
+  loop.run();
+  EXPECT_EQ(vic2_got, 1);
+  EXPECT_EQ(rat1.packets_received(), 1u);  // tools join all venue groups
+  EXPECT_EQ(vic1.packets_received(), 0u);  // multicast does not self-loop
+}
+
+TEST_F(AccessGridTest, ToolLeavesGroupsOnDestruction) {
+  MboneTool vic1(net.add_host("vic1"), venue);
+  {
+    MboneTool vic2(net.add_host("vic2"), venue);
+    vic1.send_media("video", Bytes(10, 0));
+    loop.run();
+    EXPECT_EQ(vic2.packets_received(), 1u);
+  }
+  vic1.send_media("video", Bytes(10, 0));
+  loop.run();  // no dangling delivery
+  EXPECT_EQ(net.group_size(venue.group("video")), 1u);
+}
+
+TEST_F(AccessGridTest, BridgeConnectsVenueToSessionTopics) {
+  xgsp::Session session = make_session();
+  AccessGridBridge bridge(net.add_host("ag-bridge"), broker_node.stream_endpoint(), venue,
+                          session);
+  EXPECT_EQ(bridge.bridged_kinds(), 2u);
+
+  MboneTool vic(net.add_host("vic"), venue);
+  broker::BrokerClient native(net.add_host("native"), broker_node.stream_endpoint());
+  native.subscribe(session.stream("video")->topic);
+  int native_got = 0;
+  native.on_event([&](const broker::Event&) { ++native_got; });
+  loop.run();
+
+  // vic -> venue multicast -> bridge -> topic -> native client.
+  vic.send_media("video", Bytes(500, 7));
+  loop.run();
+  EXPECT_EQ(native_got, 1);
+  EXPECT_EQ(bridge.uplinked(), 1u);
+
+  // native client -> topic -> bridge -> venue multicast -> vic.
+  native.publish(session.stream("video")->topic, Bytes(300, 8));
+  loop.run();
+  EXPECT_EQ(vic.packets_received(), 1u);
+  EXPECT_EQ(bridge.downlinked(), 1u);
+}
+
+TEST_F(AccessGridTest, BridgeIgnoresKindsVenueLacks) {
+  xgsp::Message created = sessions.handle(xgsp::Message::create_session(
+      "data-session", "gcf", xgsp::SessionMode::kAdHoc, {{"data", "SHARED-APP"}}));
+  AccessGridBridge bridge(net.add_host("bridge"), broker_node.stream_endpoint(),
+                          venue, created.sessions.front());
+  EXPECT_EQ(bridge.bridged_kinds(), 0u);
+}
+
+TEST_F(AccessGridTest, NoEchoLoopBetweenVenueAndTopic) {
+  xgsp::Session session = make_session();
+  AccessGridBridge bridge(net.add_host("bridge"), broker_node.stream_endpoint(), venue,
+                          session);
+  MboneTool vic(net.add_host("vic"), venue);
+  loop.run();
+  vic.send_media("video", Bytes(100, 1));
+  loop.run();
+  // The tool's packet went venue->topic once; the broker does not echo
+  // the bridge's own publication back, so nothing returns to the venue
+  // and vic hears nothing (it is the only tool).
+  EXPECT_EQ(bridge.uplinked(), 1u);
+  EXPECT_EQ(bridge.downlinked(), 0u);
+  EXPECT_EQ(vic.packets_received(), 0u);
+}
+
+}  // namespace
+}  // namespace gmmcs::core

@@ -1,0 +1,236 @@
+// Tests for the common substrate: bytes, time, rng, stats, strings, ids.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/random.hpp"
+#include "common/result.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/time.hpp"
+
+namespace gmmcs {
+namespace {
+
+TEST(Bytes, RoundTripIntegers) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, BigEndianLayout) {
+  ByteWriter w;
+  w.u16(0x0102);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[1], 0x02);
+}
+
+TEST(Bytes, ShortReadSetsErrorAndReturnsZero) {
+  Bytes data{0x01};
+  ByteReader r(data);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Further reads stay zero and flagged.
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, LengthPrefixedString) {
+  ByteWriter w;
+  w.lstr("hello");
+  w.lstr("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.lstr(), "hello");
+  EXPECT_EQ(r.lstr(), "");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Bytes, RawRoundTrip) {
+  ByteWriter w;
+  Bytes payload{1, 2, 3, 4, 5};
+  w.raw(payload);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.raw(5), payload);
+}
+
+TEST(Time, Arithmetic) {
+  SimTime t0 = SimTime::zero();
+  SimTime t1 = t0 + duration_ms(5);
+  EXPECT_EQ((t1 - t0).ms(), 5);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(duration_us(1500).ns(), 1'500'000);
+  EXPECT_DOUBLE_EQ(duration_ms(250).to_seconds(), 0.25);
+}
+
+TEST(Time, FractionalSeconds) {
+  EXPECT_EQ(duration_seconds(0.001).ns(), 1'000'000);
+  EXPECT_EQ(duration_seconds(1e-9).ns(), 1);
+}
+
+TEST(Time, ToString) {
+  EXPECT_EQ(to_string(duration_ms(12)), "12.00ms");
+  EXPECT_EQ(to_string(duration_s(2)), "2.000s");
+  EXPECT_EQ(to_string(duration_us(500)), "500.0us");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(3.0, 5.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(99);
+  Rng b = a.fork();
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, EmptyStatsAreZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, HistogramPercentile) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.percentile(0.9), 90.0, 1.5);
+}
+
+TEST(Stats, HistogramClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Stats, SeriesDownsampleAverages) {
+  Series s;
+  for (int i = 0; i < 100; ++i) s.add(i, 2.0 * i);
+  Series d = s.downsample(10);
+  EXPECT_EQ(d.points().size(), 10u);
+  EXPECT_NEAR(d.points()[0].x, 4.5, 1e-9);
+  EXPECT_NEAR(d.points()[0].y, 9.0, 1e-9);
+  EXPECT_NEAR(d.mean_y(), s.mean_y(), 1e-9);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitN) {
+  auto parts = split_n("INVITE sip:alice@x SIP/2.0", ' ', 3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "INVITE");
+  EXPECT_EQ(parts[2], "SIP/2.0");
+}
+
+TEST(Strings, SplitLinesHandlesCrlf) {
+  auto lines = split_lines("a\r\nb\nc");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+  EXPECT_EQ(lines[2], "c");
+}
+
+TEST(Strings, TrimAndCase) {
+  EXPECT_EQ(trim("  x \t"), "x");
+  EXPECT_EQ(to_lower("Content-Type"), "content-type");
+  EXPECT_TRUE(iequals("Via", "VIA"));
+  EXPECT_FALSE(iequals("Via", "Vial"));
+}
+
+TEST(Strings, StartsEndsJoin) {
+  EXPECT_TRUE(starts_with("sip:alice", "sip:"));
+  EXPECT_TRUE(ends_with("file.xml", ".xml"));
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  Result<int> bad = fail<int>("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().message, "nope");
+  EXPECT_THROW(static_cast<void>(bad.value()), std::logic_error);
+}
+
+TEST(Ids, MonotonicAndTagged) {
+  IdGenerator gen;
+  EXPECT_EQ(gen.next(), 1u);
+  EXPECT_EQ(gen.next(), 2u);
+  EXPECT_EQ(gen.next_tagged("sess"), "sess-3");
+}
+
+}  // namespace
+}  // namespace gmmcs

@@ -1,0 +1,319 @@
+// Integration tests on the assembled Global-MMCS system: the full
+// heterogeneous-conference path of the paper — SIP endpoint, H.323
+// terminal, Admire community, native XGSP client and streaming viewer all
+// in one session — plus the baseline reflector and facade conveniences.
+#include <gtest/gtest.h>
+
+#include "baseline/jmf_reflector.hpp"
+#include "broker/client.hpp"
+#include "core/global_mmcs.hpp"
+#include "h323/terminal.hpp"
+#include "media/generator.hpp"
+#include "media/probe.hpp"
+#include "rtp/session.hpp"
+#include "sip/endpoint.hpp"
+#include "streaming/player.hpp"
+#include "xgsp/client.hpp"
+
+namespace gmmcs::core {
+namespace {
+
+TEST(JmfReflectorUnit, ReflectsToAllButSender) {
+  sim::EventLoop loop;
+  sim::Network net(loop, 71);
+  sim::Host& server = net.add_host("server");
+  baseline::JmfReflector reflector(server);
+  sim::Host& sh = net.add_host("sender");
+  transport::DatagramSocket tx(sh);
+  transport::DatagramSocket rx1(net.add_host("r1"));
+  transport::DatagramSocket rx2(net.add_host("r2"));
+  int got1 = 0, got2 = 0, got_self = 0;
+  tx.on_receive([&](const sim::Datagram&) { ++got_self; });
+  rx1.on_receive([&](const sim::Datagram&) { ++got1; });
+  rx2.on_receive([&](const sim::Datagram&) { ++got2; });
+  reflector.add_receiver(tx.local());
+  reflector.add_receiver(rx1.local());
+  reflector.add_receiver(rx2.local());
+  tx.send_to(reflector.endpoint(), Bytes(100, 1));
+  loop.run();
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(got2, 1);
+  EXPECT_EQ(got_self, 0);  // no reflection back to the sender
+  EXPECT_EQ(reflector.packets_in(), 1u);
+  EXPECT_EQ(reflector.copies_out(), 2u);
+}
+
+TEST(JmfReflectorUnit, SingleThreadSerializesCopies) {
+  sim::EventLoop loop;
+  sim::Network net(loop, 72);
+  baseline::JmfReflector::Config cfg;
+  cfg.per_packet_cost = duration_ms(1);
+  cfg.copy_fixed = duration_ms(2);
+  cfg.copy_per_kb = SimDuration{0};
+  baseline::JmfReflector reflector(net.add_host("server"), cfg);
+  transport::DatagramSocket tx(net.add_host("tx"));
+  std::vector<std::int64_t> arrivals;
+  std::vector<std::unique_ptr<transport::DatagramSocket>> rxs;
+  for (int i = 0; i < 3; ++i) {
+    rxs.push_back(std::make_unique<transport::DatagramSocket>(
+        net.add_host("r" + std::to_string(i))));
+    rxs.back()->on_receive(
+        [&](const sim::Datagram&) { arrivals.push_back(loop.now().ns()); });
+    reflector.add_receiver(rxs.back()->local());
+  }
+  tx.send_to(reflector.endpoint(), Bytes(10, 0));
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  // Copies spaced by the 2ms copy cost on the single dispatch thread.
+  EXPECT_NEAR(static_cast<double>(arrivals[1] - arrivals[0]), duration_ms(2).ns(),
+              duration_us(100).ns());
+  EXPECT_NEAR(static_cast<double>(arrivals[2] - arrivals[1]), duration_ms(2).ns(),
+              duration_us(100).ns());
+}
+
+class GlobalMmcsTest : public ::testing::Test {
+ protected:
+  sim::EventLoop loop;
+  GlobalMmcs mmcs{loop};
+};
+
+TEST_F(GlobalMmcsTest, DeploymentWiring) {
+  EXPECT_EQ(mmcs.brokers().broker_count(), 1u);
+  EXPECT_GE(mmcs.network().host_count(), 6u);  // broker, xgsp, sip, h323, real, admire
+  // Both communities registered in the directory with parseable WSDL-CI.
+  for (const std::string& name : {mmcs.admire().name(), mmcs.hearme().name()}) {
+    const xgsp::CommunityRecord* rec = mmcs.directory().data().find_community(name);
+    ASSERT_NE(rec, nullptr) << name;
+    EXPECT_TRUE(xgsp::WsdlCi::parse(rec->wsdl_ci).ok()) << name;
+  }
+}
+
+TEST_F(GlobalMmcsTest, HeterogeneousConference) {
+  // The paper's headline scenario: one session, four client technologies.
+  std::string sid = mmcs.create_session("global-demo", "gcf", {{"video", "H261"}});
+  std::string topic = mmcs.sessions().find(sid)->stream("video")->topic;
+
+  // 1. Native XGSP client.
+  sim::Host& nat_host = mmcs.add_client_host("native");
+  xgsp::XgspClient native(nat_host, mmcs.broker_endpoint(), "gcf");
+  native.join(sid, [](const xgsp::Message&) {});
+  native.subscribe_media(topic);
+  media::MediaProbe native_probe(90000);
+  native.on_media([&](const broker::Event& ev) { native_probe.on_wire(ev.payload, loop.now()); });
+
+  // 2. SIP endpoint.
+  sim::Host& sip_host = mmcs.add_client_host("sip-client");
+  sip::SipEndpoint alice(sip_host, "sip:alice@iu.edu", mmcs.sip_proxy().endpoint());
+  rtp::RtpSession alice_rtp(sip_host, {.ssrc = 100, .payload_type = 31});
+  alice.register_with_proxy([](bool) {});
+  loop.run();
+  sip::Sdp offer;
+  offer.address = sip_host.id();
+  offer.media.push_back({"video", alice_rtp.local().port, 31, "H261/90000"});
+  std::optional<sim::Endpoint> sip_target;
+  alice.invite(sip::SipGateway::conference_uri(sid), offer,
+               [&](bool ok, const sip::SipEndpoint::Call& call) {
+                 ASSERT_TRUE(ok);
+                 sip_target = call.remote_sdp.media_endpoint("video");
+               });
+  loop.run();
+  ASSERT_TRUE(sip_target.has_value());
+
+  // 3. H.323 terminal.
+  sim::Host& h323_host = mmcs.add_client_host("h323-client");
+  h323::H323Terminal polycom(h323_host, "polycom-lab", mmcs.gatekeeper().ras_endpoint());
+  rtp::RtpSession polycom_rtp(h323_host, {.ssrc = 200, .payload_type = 31});
+  polycom.register_endpoint([](bool) {});
+  loop.run();
+  h323::H323Terminal::MediaTargets h323_targets;
+  polycom.call("conf-" + sid, 6000, {{"video", 31, polycom_rtp.local()}},
+               [&](bool ok, const h323::H323Terminal::MediaTargets& t) {
+                 ASSERT_TRUE(ok);
+                 h323_targets = t;
+               });
+  loop.run();
+  ASSERT_TRUE(h323_targets.contains("video"));
+
+  // 4. Admire community, invited through the web server's SOAP facade.
+  soap::SoapClient portal(mmcs.add_client_host("portal"), mmcs.web().endpoint());
+  xml::Element invite("InviteCommunity");
+  invite.set_attr("session", sid);
+  invite.set_attr("community", mmcs.admire().name());
+  bool dispatched = false;
+  portal.call(std::move(invite), [&](Result<xml::Element> r) { dispatched = r.ok(); });
+  loop.run();
+  ASSERT_TRUE(dispatched);
+  auto beihang = mmcs.admire().make_terminal(mmcs.add_client_host("beihang"), "wewu");
+  ASSERT_TRUE(beihang->attach(sid));
+
+  // Session membership reflects all technologies.
+  const xgsp::Session* session = mmcs.sessions().find(sid);
+  EXPECT_TRUE(session->has_member("gcf"));
+  EXPECT_TRUE(session->has_member("sip:alice@iu.edu"));
+  EXPECT_TRUE(session->has_member("polycom-lab"));
+  EXPECT_TRUE(session->has_member("community:" + mmcs.admire().name()));
+
+  // Media from the SIP side reaches every other technology.
+  alice_rtp.add_destination(*sip_target);
+  rtp::RtpPacket pkt;
+  int beihang_got = 0;
+  beihang->on_media([&](const sim::Datagram&) { ++beihang_got; });
+  for (int i = 0; i < 3; ++i) alice_rtp.send_media(Bytes(400, 1), 3600 * i);
+  loop.run();
+  EXPECT_EQ(native_probe.stats().received(), 3u);
+  EXPECT_EQ(polycom_rtp.source_stats(100).received(), 3u);
+  EXPECT_EQ(beihang_got, 3);
+
+  // And media from the H.323 side reaches the SIP endpoint and Admire.
+  polycom_rtp.add_destination(h323_targets.at("video"));
+  polycom_rtp.send_media(Bytes(300, 2), 0);
+  loop.run();
+  EXPECT_EQ(alice_rtp.source_stats(200).received(), 1u);
+  EXPECT_EQ(beihang_got, 4);
+  EXPECT_EQ(native_probe.stats().received(), 4u);
+}
+
+TEST_F(GlobalMmcsTest, StreamingViewerWatchesSession) {
+  std::string sid = mmcs.create_session("streamed", "gcf", {{"video", "H261"}});
+  std::string topic = mmcs.sessions().find(sid)->stream("video")->topic;
+  streaming::RealProducer& producer = mmcs.add_producer(sid, "video");
+  EXPECT_EQ(producer.stream_name(), sid + "-video");
+
+  streaming::StreamingPlayer viewer(mmcs.add_client_host("viewer"),
+                                    mmcs.helix().rtsp_endpoint());
+  bool playing = false;
+  viewer.play(sid + "-video", [&](bool ok) { playing = ok; });
+  loop.run();
+  ASSERT_TRUE(playing);
+
+  // Feed the session topic with video via a native client.
+  sim::Host& sh = mmcs.add_client_host("sender");
+  rtp::RtpSession tx(sh, {.ssrc = 9, .payload_type = 31});
+  broker::BrokerClient pub(sh, mmcs.broker_endpoint(),
+                           broker::BrokerClient::Config{.name = "sender"});
+  tx.on_send([&](const Bytes& wire) { pub.publish(topic, wire); });
+  media::VideoSource source(tx, {.codec = media::codecs::h261(), .seed = 3});
+  loop.run();
+  source.start();
+  loop.run_until(SimTime{duration_s(2).ns()});
+  source.stop();
+  loop.run_for(duration_s(1));
+  EXPECT_GT(viewer.blocks_received(), 20u);
+}
+
+TEST_F(GlobalMmcsTest, ImChatRidesTheSipServers) {
+  sip::SipEndpoint a(mmcs.add_client_host("a"), "sip:a@x", mmcs.sip_proxy().endpoint());
+  sip::SipEndpoint b(mmcs.add_client_host("b"), "sip:b@y", mmcs.sip_proxy().endpoint());
+  a.register_with_proxy([](bool) {});
+  b.register_with_proxy([](bool) {});
+  std::string room = sip::ChatServer::room_uri("ops");
+  a.send_message(room, "/join", [](bool) {});
+  b.send_message(room, "/join", [](bool) {});
+  loop.run();
+  std::string b_saw;
+  b.on_message([&](const std::string&, const std::string& t) { b_saw = t; });
+  a.send_message(room, "scheduled maintenance at noon", [](bool) {});
+  loop.run();
+  EXPECT_EQ(b_saw, "sip:a@x: scheduled maintenance at noon");
+}
+
+TEST_F(GlobalMmcsTest, SchedulerDrivesSessionLifecycle) {
+  std::string resv = mmcs.scheduler().reserve("board meeting", "gcf",
+                                              SimTime{duration_s(100).ns()}, duration_s(50),
+                                              {"wewu"});
+  loop.run_until(SimTime{duration_s(101).ns()});
+  const xgsp::Reservation* r = mmcs.scheduler().find(resv);
+  ASSERT_NE(r, nullptr);
+  ASSERT_FALSE(r->session_id.empty());
+  EXPECT_EQ(mmcs.sessions().find(r->session_id)->state(), xgsp::SessionState::kActive);
+  loop.run_until(SimTime{duration_s(151).ns()});
+  EXPECT_EQ(mmcs.sessions().find(r->session_id)->state(), xgsp::SessionState::kEnded);
+}
+
+TEST_F(GlobalMmcsTest, WebServerInvitesHearMeThroughItsWsdlCi) {
+  // The web server resolves HearMe from the directory, builds the proxy
+  // from its WSDL-CI, and drives JoinConference — no HearMe-specific code.
+  std::string sid = mmcs.create_session("voip-bridged", "gcf", {{"audio", "PCMU"}});
+  soap::SoapClient portal(mmcs.add_client_host("portal2"), mmcs.web().endpoint());
+  xml::Element invite("InviteCommunity");
+  invite.set_attr("session", sid);
+  invite.set_attr("community", mmcs.hearme().name());
+  bool dispatched = false;
+  portal.call(std::move(invite), [&](Result<xml::Element> r) { dispatched = r.ok(); });
+  loop.run();
+  ASSERT_TRUE(dispatched);
+  ASSERT_TRUE(mmcs.hearme().rendezvous_for(sid).has_value());
+  // A phone dials in and hears a Global-MMCS publisher.
+  sip::HearMeService::Phone phone(mmcs.add_client_host("phone"), mmcs.hearme(), "555-1000");
+  ASSERT_TRUE(phone.dial(sid));
+  broker::BrokerClient speaker(mmcs.add_client_host("speaker"), mmcs.broker_endpoint());
+  loop.run();
+  speaker.publish(mmcs.sessions().find(sid)->stream("audio")->topic, Bytes(160, 1));
+  loop.run();
+  EXPECT_EQ(phone.packets_received(), 1u);
+}
+
+TEST_F(GlobalMmcsTest, ScheduledMeetingSendsImInvitations) {
+  sip::SipEndpoint bob(mmcs.add_client_host("bob"), "sip:bob@syr.edu",
+                       mmcs.sip_proxy().endpoint());
+  bob.register_with_proxy([](bool) {});
+  std::string bob_saw;
+  bob.on_message([&](const std::string&, const std::string& text) { bob_saw = text; });
+  loop.run();
+  mmcs.scheduler().reserve("review", "gcf", loop.now() + duration_s(10), duration_s(10),
+                           {"sip:bob@syr.edu", "not-a-sip-user"});
+  loop.run_until(loop.now() + duration_s(12));
+  ASSERT_FALSE(bob_saw.empty());
+  EXPECT_NE(bob_saw.find("review"), std::string::npos);
+  EXPECT_NE(bob_saw.find("sip:conf-"), std::string::npos);
+}
+
+TEST_F(GlobalMmcsTest, AccessGridVenueViaFacade) {
+  std::string sid = mmcs.create_session("ag-demo", "gcf", {{"video", "H261"}});
+  AccessGridVenue& venue = mmcs.add_venue("lobby", sid);
+  MboneTool vic(mmcs.add_client_host("vic"), venue);
+  broker::BrokerClient native(mmcs.add_client_host("native"), mmcs.broker_endpoint());
+  native.subscribe(mmcs.sessions().find(sid)->stream("video")->topic);
+  int native_got = 0;
+  native.on_event([&](const broker::Event&) { ++native_got; });
+  loop.run();
+  vic.send_media("video", Bytes(200, 1));
+  loop.run();
+  EXPECT_EQ(native_got, 1);
+  EXPECT_THROW(mmcs.add_venue("x", "no-such-session"), std::invalid_argument);
+}
+
+TEST_F(GlobalMmcsTest, FacadeValidation) {
+  EXPECT_THROW(mmcs.add_producer("missing", "video"), std::invalid_argument);
+  std::string sid = mmcs.create_session("audio-only", "x", {{"audio", "PCMU"}});
+  EXPECT_THROW(mmcs.add_producer(sid, "video"), std::invalid_argument);
+  sim::EventLoop loop2;
+  EXPECT_THROW(GlobalMmcs bad(loop2, GlobalMmcs::Config{.brokers = 0}), std::invalid_argument);
+}
+
+TEST(GlobalMmcsMultiBroker, SessionSpansBrokerFabric) {
+  sim::EventLoop loop;
+  GlobalMmcs mmcs(loop, GlobalMmcs::Config{.brokers = 3});
+  std::string sid = mmcs.create_session("distributed", "gcf", {{"video", "H261"}});
+  std::string topic = mmcs.sessions().find(sid)->stream("video")->topic;
+  // Publisher attached to broker 0, subscriber to broker 2.
+  broker::BrokerClient pub(mmcs.add_client_host("pub"),
+                           mmcs.brokers().broker(0).stream_endpoint());
+  broker::BrokerClient sub(mmcs.add_client_host("sub"),
+                           mmcs.brokers().broker(2).stream_endpoint());
+  sub.subscribe(topic);
+  std::uint8_t hops = 0;
+  int got = 0;
+  sub.on_event([&](const broker::Event& ev) {
+    ++got;
+    hops = ev.hops;
+  });
+  loop.run();
+  pub.publish(topic, Bytes(100, 1));
+  loop.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(hops, 2);  // two broker-to-broker hops across the chain
+}
+
+}  // namespace
+}  // namespace gmmcs::core

@@ -1,0 +1,217 @@
+// Failure-injection tests: hosts going down, signaling connections
+// dropping mid-call, NIC and dispatch overload, and recovery behaviour.
+#include <gtest/gtest.h>
+
+#include "broker/broker_network.hpp"
+#include "broker/broker_node.hpp"
+#include "broker/client.hpp"
+#include "h323/gatekeeper.hpp"
+#include "h323/gateway.hpp"
+#include "h323/terminal.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+#include "xgsp/session_server.hpp"
+
+namespace gmmcs {
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  sim::EventLoop loop;
+  sim::Network net{loop, 101};
+};
+
+TEST_F(FailureTest, BrokerOutageStopsDeliveryAndRecovers) {
+  sim::Host& bh = net.add_host("broker");
+  broker::BrokerNode node(bh, 0);
+  broker::BrokerClient pub(net.add_host("pub"), node.stream_endpoint());
+  broker::BrokerClient sub(net.add_host("sub"), node.stream_endpoint());
+  sub.subscribe("/t");
+  int got = 0;
+  sub.on_event([&](const broker::Event&) { ++got; });
+  loop.run();
+  pub.publish("/t", Bytes(10, 0));
+  loop.run();
+  EXPECT_EQ(got, 1);
+
+  // Broker machine goes dark: published events vanish.
+  bh.set_up(false);
+  pub.publish("/t", Bytes(10, 0));
+  pub.publish("/t", Bytes(10, 0));
+  loop.run();
+  EXPECT_EQ(got, 1);
+
+  // Power restored: state (clients, subscriptions) survived the outage
+  // model (packets were dropped, the process did not crash) and media
+  // publishing resumes without re-registration.
+  bh.set_up(true);
+  pub.publish("/t", Bytes(10, 0));
+  loop.run();
+  EXPECT_EQ(got, 2);
+}
+
+TEST_F(FailureTest, MiddleBrokerOutagePartitionsChain) {
+  broker::BrokerNetwork fabric(net);
+  sim::Host& b0 = net.add_host("b0");
+  sim::Host& b1 = net.add_host("b1");
+  sim::Host& b2 = net.add_host("b2");
+  fabric.add_broker(b0);
+  fabric.add_broker(b1);
+  fabric.add_broker(b2);
+  fabric.link(0, 1);
+  fabric.link(1, 2);
+  fabric.finalize();
+  broker::BrokerClient pub(net.add_host("pub"), fabric.broker(0).stream_endpoint());
+  broker::BrokerClient near_sub(net.add_host("near"), fabric.broker(0).stream_endpoint());
+  broker::BrokerClient far_sub(net.add_host("far"), fabric.broker(2).stream_endpoint());
+  near_sub.subscribe("/t");
+  far_sub.subscribe("/t");
+  int near_got = 0, far_got = 0;
+  near_sub.on_event([&](const broker::Event&) { ++near_got; });
+  far_sub.on_event([&](const broker::Event&) { ++far_got; });
+  loop.run();
+  b1.set_up(false);  // the relay broker dies
+  pub.publish("/t", Bytes(10, 0));
+  loop.run();
+  // Local delivery unaffected; the far side is partitioned.
+  EXPECT_EQ(near_got, 1);
+  EXPECT_EQ(far_got, 0);
+  b1.set_up(true);
+  pub.publish("/t", Bytes(10, 0));
+  loop.run();
+  EXPECT_EQ(near_got, 2);
+  EXPECT_EQ(far_got, 1);
+}
+
+TEST_F(FailureTest, DisconnectedBrokerIsSkippedNotFatal) {
+  // A subscriber sits on a broker with no links at all. Publishing at a
+  // connected broker must still serve reachable subscribers and must not
+  // fault the dispatch path on the unreachable one.
+  broker::BrokerNetwork fabric(net);
+  fabric.add_broker(net.add_host("b0"));
+  fabric.add_broker(net.add_host("b1"));
+  fabric.add_broker(net.add_host("island"));  // never linked
+  fabric.link(0, 1);
+  fabric.finalize();
+  broker::BrokerClient pub(net.add_host("pub"), fabric.broker(0).stream_endpoint());
+  broker::BrokerClient reachable(net.add_host("r"), fabric.broker(1).stream_endpoint());
+  broker::BrokerClient marooned(net.add_host("m"), fabric.broker(2).stream_endpoint());
+  reachable.subscribe("/t");
+  marooned.subscribe("/t");
+  int reachable_got = 0, marooned_got = 0;
+  reachable.on_event([&](const broker::Event&) { ++reachable_got; });
+  marooned.on_event([&](const broker::Event&) { ++marooned_got; });
+  loop.run();
+  pub.publish("/t", Bytes(10, 0));
+  loop.run();
+  EXPECT_EQ(reachable_got, 1);
+  EXPECT_EQ(marooned_got, 0);
+}
+
+TEST_F(FailureTest, H323SignalingDropReleasesCall) {
+  broker::BrokerNode node(net.add_host("broker"), 0);
+  xgsp::SessionServer sessions(net.add_host("xgsp"), node.stream_endpoint());
+  h323::Gatekeeper gk(net.add_host("gk"));
+  h323::H323Gateway gateway(net.add_host("gw"), sessions, node.stream_endpoint());
+  gk.set_conference_target(gateway.call_signal_endpoint());
+  xgsp::Message created = sessions.handle(xgsp::Message::create_session(
+      "s", "x", xgsp::SessionMode::kAdHoc, {{"video", "H261"}}));
+  std::string sid = created.sessions.front().id();
+
+  sim::Host& th = net.add_host("terminal");
+  auto term = std::make_unique<h323::H323Terminal>(th, "flaky", gk.ras_endpoint());
+  transport::DatagramSocket rtp(th);
+  term->register_endpoint([](bool) {});
+  loop.run();
+  bool connected = false;
+  term->call("conf-" + sid, 1000, {{"video", 31, rtp.local()}},
+             [&](bool ok, const h323::H323Terminal::MediaTargets&) { connected = ok; });
+  loop.run();
+  ASSERT_TRUE(connected);
+  EXPECT_EQ(gateway.active_calls(), 1u);
+  EXPECT_TRUE(sessions.find(sid)->has_member("flaky"));
+
+  // The terminal process crashes: its connections close without BYE-ish
+  // signaling. The gateway must clean the call and the XGSP membership.
+  term.reset();
+  loop.run();
+  EXPECT_EQ(gateway.active_calls(), 0u);
+  EXPECT_FALSE(sessions.find(sid)->has_member("flaky"));
+}
+
+TEST_F(FailureTest, NicOverloadDropsButRecovers) {
+  // A tiny NIC queue on the sender: a burst overflows it; spaced traffic
+  // then flows fine.
+  sim::Host& a = net.add_host("a", sim::NicConfig{.egress_bps = 1e6, .queue_bytes = 3000,
+                                                  .overhead_bytes = 0});
+  sim::Host& b = net.add_host("b");
+  int received = 0;
+  b.bind(1, [&](const sim::Datagram&) { ++received; });
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.send(sim::Endpoint{b.id(), 1}, 2, Bytes(1000, 0))) ++accepted;
+  }
+  loop.run();
+  EXPECT_LT(accepted, 10);
+  EXPECT_EQ(received, accepted);
+  EXPECT_GT(a.nic_dropped(), 0u);
+  // After draining, sends succeed again.
+  EXPECT_TRUE(a.send(sim::Endpoint{b.id(), 1}, 2, Bytes(1000, 0)));
+  loop.run();
+  EXPECT_EQ(received, accepted + 1);
+}
+
+TEST_F(FailureTest, DispatchOverloadShedsAndRecovers) {
+  broker::BrokerNode::Config cfg;
+  cfg.dispatch.queue_limit = 64;  // tiny dispatch queue
+  broker::BrokerNode node(net.add_host("broker"), 0, cfg);
+  broker::BrokerClient pub(net.add_host("pub"), node.stream_endpoint());
+  broker::BrokerClient sub(net.add_host("sub"), node.stream_endpoint());
+  sub.subscribe("/t");
+  int got = 0;
+  sub.on_event([&](const broker::Event&) { ++got; });
+  loop.run();
+  // A burst of 500 large events far exceeds the queue: some are shed.
+  for (int i = 0; i < 500; ++i) pub.publish("/t", Bytes(2048, 0));
+  loop.run();
+  EXPECT_GT(node.jobs_dropped(), 0u);
+  EXPECT_LT(got, 500);
+  int after_burst = got;
+  // Under light load the broker is healthy again.
+  pub.publish("/t", Bytes(100, 0));
+  loop.run();
+  EXPECT_EQ(got, after_burst + 1);
+}
+
+TEST_F(FailureTest, GatekeeperRecoversBandwidthFromDisengagedCalls) {
+  h323::Gatekeeper::Config gkcfg;
+  gkcfg.bandwidth_budget = 2000;
+  h323::Gatekeeper gk(net.add_host("gk"), gkcfg);
+  broker::BrokerNode node(net.add_host("broker"), 0);
+  xgsp::SessionServer sessions(net.add_host("xgsp"), node.stream_endpoint());
+  h323::H323Gateway gateway(net.add_host("gw"), sessions, node.stream_endpoint());
+  gk.set_conference_target(gateway.call_signal_endpoint());
+  xgsp::Message created = sessions.handle(
+      xgsp::Message::create_session("s", "x", xgsp::SessionMode::kAdHoc, {{"video", "H261"}}));
+  std::string sid = created.sessions.front().id();
+  h323::H323Terminal t(net.add_host("t"), "t", gk.ras_endpoint());
+  transport::DatagramSocket rtp(net.add_host("media"));
+  t.register_endpoint([](bool) {});
+  loop.run();
+  for (int round = 0; round < 5; ++round) {
+    bool ok = false;
+    t.call("conf-" + sid, 2000, {{"video", 31, rtp.local()}},
+           [&](bool r, const h323::H323Terminal::MediaTargets&) { ok = r; });
+    loop.run();
+    ASSERT_TRUE(ok) << "round " << round << ": " << t.last_reject_reason();
+    EXPECT_EQ(gk.bandwidth_in_use(), 2000u);
+    bool hung = false;
+    t.hangup([&](bool r) { hung = r; });
+    loop.run();
+    ASSERT_TRUE(hung);
+    EXPECT_EQ(gk.bandwidth_in_use(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace gmmcs

@@ -1,0 +1,145 @@
+// Tests for the HearMe VoIP community, including the WSDL-CI genericity
+// claim: the same generated CollaborationProxy drives Admire and HearMe,
+// two communities with entirely different implementations.
+#include <gtest/gtest.h>
+
+#include "admire/admire.hpp"
+#include "broker/broker_node.hpp"
+#include "broker/client.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+#include "sip/hearme.hpp"
+#include "xgsp/session_server.hpp"
+#include "xgsp/wsdl_ci.hpp"
+
+namespace gmmcs::sip {
+namespace {
+
+class HearMeTest : public ::testing::Test {
+ protected:
+  HearMeTest()
+      : node(net.add_host("broker"), 0),
+        sessions(net.add_host("xgsp"), node.stream_endpoint()),
+        hearme(net.add_host("hearme"), node.stream_endpoint()) {}
+
+  xgsp::Session make_audio_session() {
+    xgsp::Message created = sessions.handle(xgsp::Message::create_session(
+        "voip", "gcf", xgsp::SessionMode::kAdHoc, {{"audio", "PCMU"}}));
+    return created.sessions.front();
+  }
+
+  void establish(const xgsp::Session& session) {
+    xgsp::CollaborationProxy proxy(net.add_host("web-" + session.id()), hearme.descriptor());
+    xml::Element args("session-invite");
+    args.add_child(session.to_xml());
+    bool ok = false;
+    proxy.establish(std::move(args), [&](Result<xml::Element> r) { ok = r.ok(); });
+    loop.run();
+    ASSERT_TRUE(ok);
+  }
+
+  sim::EventLoop loop;
+  sim::Network net{loop, 161};
+  broker::BrokerNode node;
+  xgsp::SessionServer sessions;
+  HearMeService hearme;
+};
+
+TEST_F(HearMeTest, DescriptorNamesItsOwnOperations) {
+  xgsp::WsdlCi d = hearme.descriptor();
+  EXPECT_EQ(d.community, "sip");
+  EXPECT_EQ(d.establish_op, "JoinConference");
+  auto parsed = xgsp::WsdlCi::parse(d.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().membership_op, "PhoneMembership");
+}
+
+TEST_F(HearMeTest, EstablishCreatesAudioBridge) {
+  xgsp::Session session = make_audio_session();
+  establish(session);
+  EXPECT_TRUE(hearme.rendezvous_for(session.id()).has_value());
+  EXPECT_EQ(hearme.phones_in(session.id()), 0u);
+}
+
+TEST_F(HearMeTest, RejectsVideoOnlySessions) {
+  xgsp::Message created = sessions.handle(xgsp::Message::create_session(
+      "video-only", "x", xgsp::SessionMode::kAdHoc, {{"video", "H261"}}));
+  xgsp::CollaborationProxy proxy(net.add_host("web"), hearme.descriptor());
+  xml::Element args("session-invite");
+  args.add_child(created.sessions.front().to_xml());
+  bool failed = false;
+  proxy.establish(std::move(args), [&](Result<xml::Element> r) { failed = !r.ok(); });
+  loop.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(HearMeTest, PhonesTalkToEachOtherAndToGmmcs) {
+  xgsp::Session session = make_audio_session();
+  establish(session);
+  HearMeService::Phone p1(net.add_host("phone1"), hearme, "555-0101");
+  HearMeService::Phone p2(net.add_host("phone2"), hearme, "555-0102");
+  ASSERT_TRUE(p1.dial(session.id()));
+  ASSERT_TRUE(p2.dial(session.id()));
+  EXPECT_EQ(hearme.phones_in(session.id()), 2u);
+
+  broker::BrokerClient native(net.add_host("native"), node.stream_endpoint());
+  native.subscribe(session.stream("audio")->topic);
+  int native_got = 0;
+  native.on_event([&](const broker::Event&) { ++native_got; });
+  loop.run();
+
+  // Phone 1 speaks: phone 2 hears it (bridge mix), Global-MMCS hears it
+  // (topic publish), phone 1 does not hear itself.
+  p1.send_audio(Bytes(160, 1));
+  loop.run();
+  EXPECT_EQ(p2.packets_received(), 1u);
+  EXPECT_EQ(p1.packets_received(), 0u);
+  EXPECT_EQ(native_got, 1);
+
+  // A Global-MMCS participant speaks: both phones hear.
+  native.publish(session.stream("audio")->topic, Bytes(160, 2));
+  loop.run();
+  EXPECT_EQ(p1.packets_received(), 1u);
+  EXPECT_EQ(p2.packets_received(), 2u);
+
+  // Hang-up removes the phone from the mix.
+  p2.hang_up();
+  p1.send_audio(Bytes(160, 3));
+  loop.run();
+  EXPECT_EQ(p2.packets_received(), 2u);
+  EXPECT_EQ(hearme.phones_in(session.id()), 1u);
+}
+
+TEST_F(HearMeTest, DialIntoUnbridgedSessionFails) {
+  HearMeService::Phone p(net.add_host("phone"), hearme, "555-0199");
+  EXPECT_FALSE(p.dial("42"));
+}
+
+TEST_F(HearMeTest, SameProxyCodeDrivesAdmireAndHearMe) {
+  // The WSDL-CI genericity claim: one piece of calling code, two
+  // communities with different operations and internals.
+  admire::AdmireCommunity admire_comm(net.add_host("admire"), node.stream_endpoint());
+  xgsp::Message created = sessions.handle(xgsp::Message::create_session(
+      "both", "gcf", xgsp::SessionMode::kAdHoc, {{"audio", "PCMU"}, {"video", "H261"}}));
+  const xgsp::Session& session = created.sessions.front();
+
+  std::vector<std::unique_ptr<xgsp::CollaborationProxy>> proxies;
+  int accepted = 0;
+  for (const xgsp::WsdlCi& descriptor : {hearme.descriptor(), admire_comm.descriptor()}) {
+    auto proxy = std::make_unique<xgsp::CollaborationProxy>(
+        net.add_host("web-" + descriptor.community + "-x"), descriptor);
+    xml::Element args("session-invite");
+    args.add_child(session.to_xml());
+    proxy->establish(std::move(args), [&](Result<xml::Element> r) {
+      if (r.ok() && !r.value().children_named("rendezvous").empty()) ++accepted;
+    });
+    loop.run();
+    proxies.push_back(std::move(proxy));
+  }
+  EXPECT_EQ(accepted, 2);
+  EXPECT_TRUE(hearme.rendezvous_for(session.id()).has_value());
+  EXPECT_NE(admire_comm.rendezvous_for(session.id()), nullptr);
+}
+
+}  // namespace
+}  // namespace gmmcs::sip

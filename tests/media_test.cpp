@@ -1,0 +1,185 @@
+// Tests for the media layer: codec registry, traffic generators, transcoder.
+#include <gtest/gtest.h>
+
+#include "media/codec.hpp"
+#include "media/generator.hpp"
+#include "media/transcoder.hpp"
+#include "rtp/session.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+
+namespace gmmcs::media {
+namespace {
+
+TEST(Codec, RegistryLookups) {
+  EXPECT_EQ(codecs::g711u().payload_type, 0);
+  EXPECT_EQ(codecs::h261().payload_type, 31);
+  EXPECT_EQ(codecs::mpeg4_sim().bitrate_bps, 600000.0);
+  auto by_name = find_codec("pcmu");
+  ASSERT_TRUE(by_name.has_value());
+  EXPECT_EQ(by_name->clock_rate, 8000u);
+  auto by_pt = find_codec(static_cast<std::uint8_t>(34));
+  ASSERT_TRUE(by_pt.has_value());
+  EXPECT_EQ(by_pt->name, "H263");
+  EXPECT_FALSE(find_codec("NOPE").has_value());
+}
+
+TEST(Codec, AudioVideoSplit) {
+  for (const auto& c : all_codecs()) {
+    if (c.type == MediaType::kVideo) {
+      EXPECT_EQ(c.clock_rate, 90000u) << c.name;
+    } else {
+      EXPECT_EQ(c.clock_rate, 8000u) << c.name;
+    }
+  }
+}
+
+class MediaTest : public ::testing::Test {
+ protected:
+  sim::EventLoop loop;
+  sim::Network net{loop, 9};
+};
+
+TEST_F(MediaTest, AudioSourceProducesExpectedBitrate) {
+  sim::Host& a = net.add_host("a");
+  sim::Host& b = net.add_host("b");
+  rtp::RtpSession tx(a, {.ssrc = 1, .payload_type = 0, .clock_rate = 8000});
+  rtp::RtpSession rx(b, {.ssrc = 2, .payload_type = 0, .clock_rate = 8000});
+  tx.add_destination(rx.local());
+  std::size_t bytes = 0;
+  rx.on_media([&](const rtp::RtpPacket& p, const sim::Datagram&) { bytes += p.payload.size(); });
+  AudioSource src(tx, {.codec = codecs::g711u()});
+  src.start();
+  loop.run_until(SimTime{duration_s(10).ns()});
+  src.stop();
+  double bps = static_cast<double>(bytes) * 8.0 / 10.0;
+  EXPECT_NEAR(bps, 64000.0, 2000.0);
+  // 50 packets/s for 20ms cadence.
+  EXPECT_NEAR(static_cast<double>(src.packets_emitted()), 500.0, 2.0);
+}
+
+TEST_F(MediaTest, TalkspurtAudioIsSparser) {
+  sim::Host& a = net.add_host("a");
+  rtp::RtpSession tx(a, {.ssrc = 1, .payload_type = 0, .clock_rate = 8000});
+  AudioSource continuous(tx, {.codec = codecs::g711u(), .seed = 3});
+  AudioSource spurty(tx, {.codec = codecs::g711u(), .talkspurt = true, .seed = 3});
+  continuous.start();
+  spurty.start();
+  loop.run_until(SimTime{duration_s(30).ns()});
+  EXPECT_LT(spurty.packets_emitted(), continuous.packets_emitted());
+  // Expect roughly talk/(talk+silence) = 1.2/3.0 = 40% duty cycle.
+  double duty = static_cast<double>(spurty.packets_emitted()) /
+                static_cast<double>(continuous.packets_emitted());
+  EXPECT_NEAR(duty, 0.4, 0.15);
+}
+
+TEST_F(MediaTest, VideoSourceAveragesConfiguredBitrate) {
+  sim::Host& a = net.add_host("a");
+  sim::Host& b = net.add_host("b");
+  rtp::RtpSession tx(a, {.ssrc = 1, .payload_type = 96});
+  rtp::RtpSession rx(b, {.ssrc = 2, .payload_type = 96});
+  tx.add_destination(rx.local());
+  std::size_t bytes = 0;
+  rx.on_media([&](const rtp::RtpPacket& p, const sim::Datagram&) { bytes += p.payload.size(); });
+  VideoSource src(tx, {.codec = codecs::mpeg4_sim(), .seed = 7});
+  src.start();
+  loop.run_until(SimTime{duration_s(20).ns()});
+  double bps = static_cast<double>(bytes) * 8.0 / 20.0;
+  EXPECT_NEAR(bps, 600000.0, 60000.0);  // the paper's 600 Kbps stream
+}
+
+TEST_F(MediaTest, VideoFramesFragmentWithMarker) {
+  sim::Host& a = net.add_host("a");
+  sim::Host& b = net.add_host("b");
+  rtp::RtpSession tx(a, {.ssrc = 1, .payload_type = 96});
+  rtp::RtpSession rx(b, {.ssrc = 2, .payload_type = 96});
+  tx.add_destination(rx.local());
+  std::map<std::uint32_t, int> fragments;
+  std::map<std::uint32_t, int> markers;
+  rx.on_media([&](const rtp::RtpPacket& p, const sim::Datagram&) {
+    fragments[p.timestamp]++;
+    if (p.marker) markers[p.timestamp]++;
+  });
+  VideoSource src(tx, {.codec = codecs::mpeg4_sim(), .mtu_payload = 500, .seed = 7});
+  src.start();
+  loop.run_until(SimTime{duration_s(2).ns()});
+  ASSERT_FALSE(fragments.empty());
+  bool saw_multi_fragment = false;
+  for (auto& [ts, n] : fragments) {
+    EXPECT_EQ(markers[ts], 1) << "exactly one marker per frame";
+    if (n > 1) saw_multi_fragment = true;
+  }
+  EXPECT_TRUE(saw_multi_fragment);
+}
+
+TEST_F(MediaTest, VideoIFramesAreLarger) {
+  sim::Host& a = net.add_host("a");
+  rtp::RtpSession tx(a, {.ssrc = 1, .payload_type = 96});
+  VideoSource src(tx, {.codec = codecs::mpeg4_sim(), .gop_size = 10, .i_frame_scale = 4.0,
+                       .size_jitter = 0.0, .seed = 7});
+  // p_frame_bytes = gop*mean/(gop-1+scale): sanity of the closed form.
+  double mean_frame_bits = 600000.0 * 0.04;
+  double expected_p = 10.0 * mean_frame_bits / (9.0 + 4.0) / 8.0;
+  EXPECT_NEAR(static_cast<double>(src.p_frame_bytes()), expected_p, 2.0);
+}
+
+TEST_F(MediaTest, TranscoderReassemblesAndScales) {
+  sim::EventLoop lp;
+  Transcoder tc(lp, {.output_ratio = 0.5, .cost_per_kb = duration_us(100), .threads = 1});
+  std::vector<EncodedBlock> blocks;
+  tc.on_output([&](const EncodedBlock& b) { blocks.push_back(b); });
+  // One frame of 3 fragments (2 x 400 + 1 x 200 bytes).
+  for (int i = 0; i < 3; ++i) {
+    rtp::RtpPacket p;
+    p.timestamp = 1000;
+    p.payload = Bytes(i == 2 ? 200 : 400, 0);
+    p.marker = (i == 2);
+    tc.push_packet(p);
+  }
+  lp.run();
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].timestamp, 1000u);
+  EXPECT_EQ(blocks[0].bytes, 500u);  // 1000 * 0.5
+  EXPECT_EQ(tc.frames_in(), 1u);
+  EXPECT_EQ(tc.frames_out(), 1u);
+}
+
+TEST_F(MediaTest, TranscoderQueueingDelaysOutput) {
+  sim::EventLoop lp;
+  // 1 KB frame costs 1ms; submit 5 frames at t=0 -> completions at 1..5ms.
+  Transcoder tc(lp, {.output_ratio = 1.0, .cost_per_kb = duration_ms(1), .threads = 1});
+  std::vector<std::int64_t> done_ms;
+  tc.on_output([&](const EncodedBlock& b) { done_ms.push_back(b.encoded_at.ns() / 1'000'000); });
+  for (int f = 0; f < 5; ++f) {
+    rtp::RtpPacket p;
+    p.timestamp = static_cast<std::uint32_t>(f);
+    p.payload = Bytes(1024, 0);
+    p.marker = true;
+    tc.push_packet(p);
+  }
+  lp.run();
+  ASSERT_EQ(done_ms.size(), 5u);
+  EXPECT_EQ(done_ms[0], 1);
+  EXPECT_EQ(done_ms[4], 5);
+  EXPECT_GT(tc.mean_encode_wait().ns(), 0);
+}
+
+TEST_F(MediaTest, TranscoderDropsOnOverload) {
+  sim::EventLoop lp;
+  Transcoder tc(lp, {.cost_per_kb = duration_ms(10), .threads = 1, .queue_limit = 2});
+  int out = 0;
+  tc.on_output([&](const EncodedBlock&) { ++out; });
+  for (int f = 0; f < 10; ++f) {
+    rtp::RtpPacket p;
+    p.timestamp = static_cast<std::uint32_t>(f);
+    p.payload = Bytes(1024, 0);
+    p.marker = true;
+    tc.push_packet(p);
+  }
+  lp.run();
+  EXPECT_EQ(out, 3);  // 1 in service + 2 queued
+  EXPECT_EQ(tc.frames_dropped(), 7u);
+}
+
+}  // namespace
+}  // namespace gmmcs::media

@@ -1,0 +1,130 @@
+// Tests for the JXTA-like peer-to-peer mode: mesh membership, direct
+// replication, publisher-side fanout cost, and the no-broker property.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "broker/p2p.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+
+namespace gmmcs::broker {
+namespace {
+
+class P2pTest : public ::testing::Test {
+ protected:
+  sim::EventLoop loop;
+  sim::Network net{loop, 81};
+  P2pMesh mesh;
+};
+
+TEST_F(P2pTest, DirectReplicationToInterestedPeers) {
+  P2pPeer a(net.add_host("a"), mesh, "a");
+  P2pPeer b(net.add_host("b"), mesh, "b");
+  P2pPeer c(net.add_host("c"), mesh, "c");
+  b.subscribe("/av");
+  c.subscribe("/other");
+  int b_got = 0, c_got = 0;
+  b.on_event([&](const Event& ev) {
+    ++b_got;
+    EXPECT_EQ(ev.topic, "/av");
+  });
+  c.on_event([&](const Event&) { ++c_got; });
+  a.publish("/av", Bytes(100, 1));
+  loop.run();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 0);
+  EXPECT_EQ(a.copies_sent(), 1u);
+}
+
+TEST_F(P2pTest, PublisherNeverHearsItself) {
+  P2pPeer a(net.add_host("a"), mesh, "a");
+  a.subscribe("/t");
+  int got = 0;
+  a.on_event([&](const Event&) { ++got; });
+  a.publish("/t", Bytes(10, 0));
+  loop.run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(P2pTest, WildcardsWorkInMesh) {
+  P2pPeer a(net.add_host("a"), mesh, "a");
+  P2pPeer b(net.add_host("b"), mesh, "b");
+  b.subscribe("/session/*/video");
+  int got = 0;
+  b.on_event([&](const Event&) { ++got; });
+  a.publish("/session/9/video", Bytes(10, 0));
+  a.publish("/session/9/audio", Bytes(10, 0));
+  loop.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(P2pTest, UnsubscribeAndLeaveStopDelivery) {
+  P2pPeer a(net.add_host("a"), mesh, "a");
+  auto b = std::make_unique<P2pPeer>(net.add_host("b"), mesh, "b");
+  b->subscribe("/t");
+  int got = 0;
+  b->on_event([&](const Event&) { ++got; });
+  a.publish("/t", Bytes(1, 0));
+  loop.run();
+  EXPECT_EQ(got, 1);
+  b->unsubscribe("/t");
+  a.publish("/t", Bytes(1, 0));
+  loop.run();
+  EXPECT_EQ(got, 1);
+  b->subscribe("/t");
+  EXPECT_EQ(mesh.peer_count(), 2u);
+  b.reset();  // peer departs the mesh entirely
+  EXPECT_EQ(mesh.peer_count(), 1u);
+  a.publish("/t", Bytes(1, 0));
+  loop.run();  // no crash, nothing delivered
+  // Only the first publish produced a copy (second was after unsubscribe,
+  // third after the peer left the mesh).
+  EXPECT_EQ(a.copies_sent(), 1u);
+}
+
+TEST_F(P2pTest, FanoutCpuGrowsWithGroupSize) {
+  P2pPeer pub(net.add_host("pub"), mesh, "pub");
+  std::vector<std::unique_ptr<P2pPeer>> peers;
+  for (int i = 0; i < 10; ++i) {
+    peers.push_back(
+        std::make_unique<P2pPeer>(net.add_host("p" + std::to_string(i)), mesh, "p"));
+    peers.back()->subscribe("/t");
+  }
+  pub.publish("/t", Bytes(1024, 0));
+  loop.run();
+  SimDuration ten = pub.fanout_cpu();
+  for (int i = 10; i < 20; ++i) {
+    peers.push_back(
+        std::make_unique<P2pPeer>(net.add_host("p" + std::to_string(i)), mesh, "p"));
+    peers.back()->subscribe("/t");
+  }
+  pub.publish("/t", Bytes(1024, 0));
+  loop.run();
+  SimDuration twenty = pub.fanout_cpu() - ten;
+  // Second publish fanned to ~2x the peers -> ~2x the copy CPU.
+  EXPECT_GT(twenty.ns(), ten.ns() * 3 / 2);
+  EXPECT_EQ(pub.copies_sent(), 30u);
+}
+
+TEST_F(P2pTest, EventsCarryOriginForDelayMeasurement) {
+  P2pPeer a(net.add_host("a"), mesh, "a");
+  P2pPeer b(net.add_host("b"), mesh, "b");
+  b.subscribe("/t");
+  SimTime origin;
+  SimTime arrival;
+  b.on_event([&](const Event& ev) {
+    origin = ev.origin;
+    arrival = loop.now();
+  });
+  loop.run_until(SimTime{duration_ms(5).ns()});
+  SimTime published = loop.now();
+  a.publish("/t", Bytes(100, 0));
+  loop.run();
+  EXPECT_EQ(origin, published);
+  EXPECT_GT(arrival, origin);
+}
+
+}  // namespace
+}  // namespace gmmcs::broker

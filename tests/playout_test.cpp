@@ -1,0 +1,108 @@
+// Tests for the RTP playout (jitter) buffer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "rtp/playout.hpp"
+#include "sim/event_loop.hpp"
+
+namespace gmmcs::rtp {
+namespace {
+
+RtpPacket packet(std::uint16_t seq, std::uint32_t ts) {
+  RtpPacket p;
+  p.sequence = seq;
+  p.timestamp = ts;
+  p.ssrc = 1;
+  return p;
+}
+
+TEST(Playout, RestoresMediaTimeline) {
+  sim::EventLoop loop;
+  PlayoutBuffer buf(loop, {.delay = duration_ms(100), .clock_rate = 90000});
+  std::vector<std::int64_t> play_times;
+  buf.on_play([&](const RtpPacket&) { play_times.push_back(loop.now().ns()); });
+  // Packets arrive with jittered spacing (0, 55, 70 ms) but timestamps
+  // 40 ms apart.
+  buf.push(packet(0, 0));
+  loop.run_until(SimTime{duration_ms(55).ns()});
+  buf.push(packet(1, 3600));
+  loop.run_until(SimTime{duration_ms(70).ns()});
+  buf.push(packet(2, 7200));
+  loop.run();
+  ASSERT_EQ(play_times.size(), 3u);
+  // Playout at 100, 140, 180 ms: smooth 40 ms spacing restored.
+  EXPECT_EQ(play_times[0], duration_ms(100).ns());
+  EXPECT_EQ(play_times[1], duration_ms(140).ns());
+  EXPECT_EQ(play_times[2], duration_ms(180).ns());
+  EXPECT_EQ(buf.played(), 3u);
+}
+
+TEST(Playout, DropsLatePackets) {
+  sim::EventLoop loop;
+  PlayoutBuffer buf(loop, {.delay = duration_ms(50), .clock_rate = 90000});
+  int played = 0;
+  buf.on_play([&](const RtpPacket&) { ++played; });
+  buf.push(packet(0, 0));  // plays at 50ms
+  // Packet 1 (ts 3600 = +40ms media time, playout 90ms) arrives at 120ms.
+  loop.run_until(SimTime{duration_ms(120).ns()});
+  buf.push(packet(1, 3600));
+  loop.run();
+  EXPECT_EQ(played, 1);
+  EXPECT_EQ(buf.dropped_late(), 1u);
+}
+
+TEST(Playout, AbsorbsReordering) {
+  sim::EventLoop loop;
+  PlayoutBuffer buf(loop, {.delay = duration_ms(100), .clock_rate = 90000});
+  std::vector<std::uint16_t> order;
+  buf.on_play([&](const RtpPacket& p) { order.push_back(p.sequence); });
+  // Sequence 0 then 2 then 1 within the buffer window.
+  buf.push(packet(0, 0));
+  loop.run_until(SimTime{duration_ms(10).ns()});
+  buf.push(packet(2, 7200));
+  loop.run_until(SimTime{duration_ms(20).ns()});
+  buf.push(packet(1, 3600));
+  loop.run();
+  EXPECT_EQ(order, (std::vector<std::uint16_t>{0, 1, 2}));
+  EXPECT_EQ(buf.reorders_absorbed(), 1u);
+  EXPECT_EQ(buf.dropped_late(), 0u);
+}
+
+TEST(Playout, FragmentsShareTimestampAndInstant) {
+  sim::EventLoop loop;
+  PlayoutBuffer buf(loop);
+  std::vector<std::int64_t> at;
+  buf.on_play([&](const RtpPacket&) { at.push_back(loop.now().ns()); });
+  buf.push(packet(0, 1000));
+  buf.push(packet(1, 1000));
+  buf.push(packet(2, 1000));
+  loop.run();
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], at[1]);
+  EXPECT_EQ(at[1], at[2]);
+}
+
+TEST(Playout, LargerDelayToleratesMoreJitter) {
+  auto run = [](SimDuration delay) {
+    sim::EventLoop loop;
+    PlayoutBuffer buf(loop, {.delay = delay, .clock_rate = 90000});
+    Rng rng(5);
+    // 200 packets, 20ms media spacing, exponential network jitter ~15ms.
+    for (int i = 0; i < 200; ++i) {
+      auto arrival = duration_ms(20 * i) + duration_seconds(rng.exponential(0.015));
+      loop.schedule_at(SimTime{arrival.ns()},
+                       [&buf, i] { buf.push(packet(static_cast<std::uint16_t>(i), 1800u * i)); });
+    }
+    loop.run();
+    return buf.dropped_late();
+  };
+  std::uint64_t tight = run(duration_ms(10));
+  std::uint64_t roomy = run(duration_ms(120));
+  EXPECT_GT(tight, roomy);
+  EXPECT_EQ(roomy, 0u);
+}
+
+}  // namespace
+}  // namespace gmmcs::rtp

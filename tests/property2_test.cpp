@@ -1,0 +1,135 @@
+// Second property suite: broker-fabric routing over random topologies and
+// session/floor invariants under random operation sequences.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "broker/broker_network.hpp"
+#include "broker/client.hpp"
+#include "common/random.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+#include "xgsp/session.hpp"
+
+namespace gmmcs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random fabric topology: every matching subscriber gets exactly one copy,
+// wherever it is attached, and no broker forwards more than once per event
+// per link direction.
+// ---------------------------------------------------------------------------
+
+class FabricProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FabricProperty, ExactlyOnceAcrossRandomTopology) {
+  Rng rng(GetParam());
+  sim::EventLoop loop;
+  sim::Network net(loop, GetParam());
+  broker::BrokerNetwork fabric(net);
+  const int brokers = static_cast<int>(rng.uniform_int(4, 8));
+  for (int i = 0; i < brokers; ++i) {
+    fabric.add_broker(net.add_host("b" + std::to_string(i)));
+  }
+  // Random spanning tree (connectivity) plus a few chords (redundancy).
+  std::set<std::pair<broker::BrokerId, broker::BrokerId>> links;
+  for (int i = 1; i < brokers; ++i) {
+    auto parent = static_cast<broker::BrokerId>(rng.uniform_int(0, i - 1));
+    fabric.link(parent, static_cast<broker::BrokerId>(i));
+    links.insert(std::minmax(parent, static_cast<broker::BrokerId>(i)));
+  }
+  for (int c = 0; c < brokers / 2; ++c) {
+    auto a = static_cast<broker::BrokerId>(rng.uniform_int(0, brokers - 1));
+    auto b = static_cast<broker::BrokerId>(rng.uniform_int(0, brokers - 1));
+    if (a == b || links.contains(std::minmax(a, b))) continue;
+    fabric.link(a, b);
+    links.insert(std::minmax(a, b));
+  }
+  fabric.finalize();
+
+  // Subscribers scattered over random brokers.
+  const int n_subs = static_cast<int>(rng.uniform_int(3, 10));
+  std::vector<std::unique_ptr<broker::BrokerClient>> subs;
+  std::vector<int> counts(static_cast<std::size_t>(n_subs), 0);
+  for (int i = 0; i < n_subs; ++i) {
+    auto at = static_cast<broker::BrokerId>(rng.uniform_int(0, brokers - 1));
+    subs.push_back(std::make_unique<broker::BrokerClient>(
+        net.add_host("s" + std::to_string(i)), fabric.broker(at).stream_endpoint()));
+    subs.back()->subscribe("/conf/#");
+    auto* counter = &counts[static_cast<std::size_t>(i)];
+    subs.back()->on_event([counter](const broker::Event&) { ++(*counter); });
+  }
+  auto pub_at = static_cast<broker::BrokerId>(rng.uniform_int(0, brokers - 1));
+  broker::BrokerClient pub(net.add_host("pub"), fabric.broker(pub_at).stream_endpoint());
+  loop.run();
+
+  const int n_events = 10;
+  for (int i = 0; i < n_events; ++i) {
+    pub.publish("/conf/video", Bytes(200, 0), broker::QoS::kReliable);
+  }
+  loop.run();
+  for (int i = 0; i < n_subs; ++i) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(i)], n_events)
+        << "subscriber " << i << " of " << n_subs << " on " << brokers << " brokers";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FabricProperty,
+                         ::testing::Values(201, 202, 203, 204, 205, 206));
+
+// ---------------------------------------------------------------------------
+// Session invariants under random join/leave/floor sequences.
+// ---------------------------------------------------------------------------
+
+class SessionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SessionProperty, FloorAndMembershipInvariants) {
+  Rng rng(GetParam());
+  xgsp::Session session("p", "prop", "creator", xgsp::SessionMode::kAdHoc);
+  std::vector<std::string> users;
+  for (int i = 0; i < 8; ++i) users.push_back("u" + std::to_string(i));
+  std::set<std::string> members;
+  for (int step = 0; step < 500; ++step) {
+    const std::string& user = users[static_cast<std::size_t>(rng.uniform_int(0, 7))];
+    switch (rng.uniform_int(0, 3)) {
+      case 0: {
+        bool ok = session.join({user, xgsp::EndpointKind::kXgsp, false});
+        EXPECT_EQ(ok, !members.contains(user));
+        members.insert(user);
+        break;
+      }
+      case 1: {
+        bool ok = session.leave(user);
+        EXPECT_EQ(ok, members.contains(user));
+        members.erase(user);
+        break;
+      }
+      case 2:
+        session.request_floor(user);
+        break;
+      case 3:
+        session.release_floor(user);
+        break;
+    }
+    // Invariants after every step:
+    EXPECT_EQ(session.members().size(), members.size());
+    const std::string& holder = session.floor_holder();
+    if (!holder.empty()) {
+      EXPECT_TRUE(members.contains(holder)) << "floor held by non-member " << holder;
+    }
+    std::set<std::string> queued(session.floor_queue().begin(), session.floor_queue().end());
+    EXPECT_EQ(queued.size(), session.floor_queue().size()) << "duplicate in floor queue";
+    EXPECT_FALSE(queued.contains(holder)) << "holder also queued";
+    for (const auto& q : queued) {
+      EXPECT_TRUE(members.contains(q)) << "non-member queued";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionProperty, ::testing::Values(211, 212, 213, 214));
+
+}  // namespace
+}  // namespace gmmcs

@@ -1,0 +1,447 @@
+// Property-based tests: invariants checked over randomized inputs and
+// parameter grids (TEST_P / INSTANTIATE_TEST_SUITE_P). Every generator is
+// seeded from the suite parameter, so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "broker/broker_node.hpp"
+#include "broker/client.hpp"
+#include "broker/event.hpp"
+#include "broker/topic.hpp"
+#include "common/random.hpp"
+#include "h323/messages.hpp"
+#include "rtp/packet.hpp"
+#include "rtp/playout.hpp"
+#include "rtp/receiver_stats.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+#include "sim/service_center.hpp"
+#include "sip/message.hpp"
+#include "transport/stream.hpp"
+#include "xgsp/messages.hpp"
+#include "xml/xml.hpp"
+
+namespace gmmcs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire-format round trips over randomized instances.
+// ---------------------------------------------------------------------------
+
+class WireRoundTrip : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Rng rng{GetParam()};
+
+  std::string random_token() {
+    static const char* words[] = {"alice", "bob", "conf-7", "gmmcs", "video",
+                                  "audio", "session", "h261",   "x",     "long-token-name"};
+    return words[rng.uniform_int(0, 9)];
+  }
+  Bytes random_bytes(std::size_t max) {
+    Bytes out(static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(max))));
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+    return out;
+  }
+};
+
+TEST_P(WireRoundTrip, RtpPacket) {
+  for (int i = 0; i < 50; ++i) {
+    rtp::RtpPacket p;
+    p.marker = rng.chance(0.5);
+    p.payload_type = static_cast<std::uint8_t>(rng.uniform_int(0, 127));
+    p.sequence = static_cast<std::uint16_t>(rng.next());
+    p.timestamp = static_cast<std::uint32_t>(rng.next());
+    p.ssrc = static_cast<std::uint32_t>(rng.next());
+    for (int c = rng.uniform_int(0, 4); c > 0; --c) {
+      p.csrcs.push_back(static_cast<std::uint32_t>(rng.next()));
+    }
+    p.payload = random_bytes(1400);
+    auto r = rtp::RtpPacket::parse(p.serialize());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().marker, p.marker);
+    EXPECT_EQ(r.value().payload_type, p.payload_type);
+    EXPECT_EQ(r.value().sequence, p.sequence);
+    EXPECT_EQ(r.value().timestamp, p.timestamp);
+    EXPECT_EQ(r.value().ssrc, p.ssrc);
+    EXPECT_EQ(r.value().csrcs, p.csrcs);
+    EXPECT_EQ(r.value().payload, p.payload);
+  }
+}
+
+TEST_P(WireRoundTrip, BrokerEvent) {
+  for (int i = 0; i < 50; ++i) {
+    broker::Event e;
+    e.topic = "/" + random_token() + "/" + random_token();
+    e.payload = random_bytes(2000);
+    e.qos = rng.chance(0.5) ? broker::QoS::kReliable : broker::QoS::kBestEffort;
+    e.origin = SimTime{static_cast<std::int64_t>(rng.next() >> 1)};
+    e.seq = static_cast<std::uint32_t>(rng.next());
+    e.hops = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    auto f = broker::decode(broker::encode(e));
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(f.value().event.topic, e.topic);
+    EXPECT_EQ(f.value().event.payload, e.payload);
+    EXPECT_EQ(f.value().event.qos, e.qos);
+    EXPECT_EQ(f.value().event.origin, e.origin);
+    EXPECT_EQ(f.value().event.seq, e.seq);
+    EXPECT_EQ(f.value().event.hops, e.hops);
+  }
+}
+
+TEST_P(WireRoundTrip, H323Messages) {
+  for (int i = 0; i < 50; ++i) {
+    h323::RasMessage ras;
+    ras.type = static_cast<h323::RasType>(rng.uniform_int(1, 11));
+    ras.seq = static_cast<std::uint32_t>(rng.next());
+    ras.endpoint_alias = random_token();
+    ras.bandwidth = static_cast<std::uint32_t>(rng.uniform_int(0, 100000));
+    ras.call_signal_address = {static_cast<sim::NodeId>(rng.uniform_int(0, 1000)),
+                               static_cast<std::uint16_t>(rng.uniform_int(1, 65535))};
+    auto r = h323::RasMessage::decode(ras.encode());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().type, ras.type);
+    EXPECT_EQ(r.value().endpoint_alias, ras.endpoint_alias);
+    EXPECT_EQ(r.value().call_signal_address, ras.call_signal_address);
+
+    h323::H245Message h245;
+    h245.type = static_cast<h323::H245Type>(rng.uniform_int(1, 10));
+    h245.channel = static_cast<std::uint16_t>(rng.next());
+    h245.media_kind = rng.chance(0.5) ? "audio" : "video";
+    for (int c = rng.uniform_int(0, 6); c > 0; --c) {
+      h245.capabilities.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 127)));
+    }
+    auto r2 = h323::H245Message::decode(h245.encode());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r2.value().type, h245.type);
+    EXPECT_EQ(r2.value().capabilities, h245.capabilities);
+    EXPECT_EQ(r2.value().media_kind, h245.media_kind);
+  }
+}
+
+TEST_P(WireRoundTrip, ParsersNeverCrashOnGarbage) {
+  for (int i = 0; i < 200; ++i) {
+    Bytes garbage = random_bytes(200);
+    (void)rtp::RtpPacket::parse(garbage);
+    (void)broker::decode(garbage);
+    (void)h323::RasMessage::decode(garbage);
+    (void)h323::Q931Message::decode(garbage);
+    (void)h323::H245Message::decode(garbage);
+    std::string text(garbage.begin(), garbage.end());
+    (void)sip::SipMessage::parse(text);
+    (void)xml::parse(text);
+    (void)xgsp::Message::parse(text);
+  }
+  SUCCEED();
+}
+
+TEST_P(WireRoundTrip, XmlRandomTreeRoundTrip) {
+  // Build a random tree, serialize, parse, compare structure.
+  std::function<xml::Element(int)> build = [&](int depth) {
+    xml::Element e("n" + std::to_string(rng.uniform_int(0, 99)));
+    for (int a = rng.uniform_int(0, 3); a > 0; --a) {
+      e.set_attr("a" + std::to_string(a), random_token() + "<&>\"'");
+    }
+    if (depth > 0 && rng.chance(0.7)) {
+      for (int c = rng.uniform_int(1, 3); c > 0; --c) e.add_child(build(depth - 1));
+    } else if (rng.chance(0.5)) {
+      e.set_text(random_token() + " & <" + random_token() + ">");
+    }
+    return e;
+  };
+  std::function<void(const xml::Element&, const xml::Element&)> compare =
+      [&](const xml::Element& a, const xml::Element& b) {
+        ASSERT_EQ(a.name(), b.name());
+        ASSERT_EQ(a.text(), b.text());
+        ASSERT_EQ(a.attrs(), b.attrs());
+        ASSERT_EQ(a.children().size(), b.children().size());
+        for (std::size_t i = 0; i < a.children().size(); ++i) {
+          compare(a.children()[i], b.children()[i]);
+        }
+      };
+  for (int i = 0; i < 20; ++i) {
+    xml::Element tree = build(3);
+    auto parsed = xml::parse(tree.serialize());
+    ASSERT_TRUE(parsed.ok());
+    compare(tree, parsed.value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTrip, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Topic filter algebra.
+// ---------------------------------------------------------------------------
+
+class TopicProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Rng rng{GetParam()};
+  std::string random_topic(int max_depth = 5) {
+    std::string t;
+    int depth = static_cast<int>(rng.uniform_int(1, max_depth));
+    for (int i = 0; i < depth; ++i) {
+      t += "/s" + std::to_string(rng.uniform_int(0, 9));
+    }
+    return t;
+  }
+};
+
+TEST_P(TopicProperty, ExactFilterMatchesExactlyItself) {
+  for (int i = 0; i < 100; ++i) {
+    std::string t = random_topic();
+    broker::TopicFilter f(t);
+    EXPECT_TRUE(f.matches(t));
+    std::string other = random_topic();
+    if (other != t) {
+      EXPECT_FALSE(f.matches(other)) << t << " vs " << other;
+    }
+  }
+}
+
+TEST_P(TopicProperty, HashMatchesAllExtensions) {
+  for (int i = 0; i < 100; ++i) {
+    std::string base = random_topic(3);
+    broker::TopicFilter f(base + "/#");
+    EXPECT_TRUE(f.matches(base));
+    EXPECT_TRUE(f.matches(base + "/x"));
+    EXPECT_TRUE(f.matches(base + "/x/y/z"));
+  }
+}
+
+TEST_P(TopicProperty, StarMatchesAnySingleSegmentSubstitution) {
+  for (int i = 0; i < 100; ++i) {
+    std::string t = random_topic(4);
+    auto segs = broker::topic_segments(t);
+    auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(segs.size()) - 1));
+    std::string pattern;
+    std::string longer;
+    for (std::size_t s = 0; s < segs.size(); ++s) {
+      pattern += "/" + (s == idx ? std::string("*") : segs[s]);
+      longer += "/" + segs[s];
+    }
+    broker::TopicFilter f(pattern);
+    EXPECT_TRUE(f.matches(t)) << pattern << " should match " << t;
+    EXPECT_FALSE(f.matches(longer + "/extra"));
+  }
+}
+
+TEST_P(TopicProperty, NormalizationIsIdempotent) {
+  for (int i = 0; i < 100; ++i) {
+    std::string messy;
+    for (int s = rng.uniform_int(1, 4); s > 0; --s) {
+      messy += rng.chance(0.3) ? "//" : "/";
+      messy += "seg" + std::to_string(rng.uniform_int(0, 5));
+    }
+    if (rng.chance(0.5)) messy += "/";
+    std::string once = broker::normalize_topic(messy);
+    EXPECT_EQ(broker::normalize_topic(once), once);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopicProperty, ::testing::Values(11, 12, 13));
+
+// ---------------------------------------------------------------------------
+// ServiceCenter obeys queueing theory.
+// ---------------------------------------------------------------------------
+
+struct QueueCase {
+  double utilization;   // ρ = λ·s (single server)
+  int servers;
+};
+
+class QueueLaw : public ::testing::TestWithParam<QueueCase> {};
+
+TEST_P(QueueLaw, PoissonArrivalsMatchMD1Wait) {
+  const QueueCase& c = GetParam();
+  sim::EventLoop loop;
+  sim::ServiceCenter sc(loop, c.servers);
+  Rng rng(99);
+  const SimDuration service = duration_us(1000);
+  // λ per server = ρ / s.
+  double lambda = c.utilization * c.servers / service.to_seconds();
+  RunningStats waits;
+  SimTime t{0};
+  const int jobs = 20000;
+  for (int i = 0; i < jobs; ++i) {
+    t += duration_seconds(rng.exponential(1.0 / lambda));
+    loop.schedule_at(t, [&loop, &sc, &waits, service] {
+      SimTime enq = loop.now();
+      sc.submit(service, [&waits, &loop, enq] { waits.add((loop.now() - enq).to_ms()); });
+    });
+  }
+  loop.run();
+  ASSERT_EQ(waits.count(), static_cast<std::size_t>(jobs));
+  double mean_wait_ms = waits.mean() - service.to_ms();  // queueing only
+  if (c.servers == 1) {
+    // M/D/1: Wq = ρ/(2(1-ρ)) * s.
+    double expected = c.utilization / (2.0 * (1.0 - c.utilization)) * service.to_ms();
+    EXPECT_NEAR(mean_wait_ms, expected, expected * 0.25 + 0.05)
+        << "rho=" << c.utilization;
+  } else {
+    // Multi-server at the same per-server utilization waits strictly less.
+    double md1 = c.utilization / (2.0 * (1.0 - c.utilization)) * service.to_ms();
+    EXPECT_LT(mean_wait_ms, md1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, QueueLaw,
+                         ::testing::Values(QueueCase{0.3, 1}, QueueCase{0.6, 1},
+                                           QueueCase{0.8, 1}, QueueCase{0.9, 1},
+                                           QueueCase{0.8, 4}));
+
+// ---------------------------------------------------------------------------
+// Stream transport: exactly-once, in-order, any (latency, loss) setting.
+// ---------------------------------------------------------------------------
+
+struct LinkCase {
+  int latency_us;
+  double loss;
+  int messages;
+};
+
+class StreamProperty : public ::testing::TestWithParam<LinkCase> {};
+
+TEST_P(StreamProperty, ExactlyOnceInOrder) {
+  const LinkCase& c = GetParam();
+  sim::EventLoop loop;
+  sim::Network net(loop, 7);
+  sim::Host& a = net.add_host("a");
+  sim::Host& b = net.add_host("b");
+  net.set_path(a.id(), b.id(),
+               sim::PathConfig{.latency = duration_us(c.latency_us), .loss = c.loss});
+  transport::StreamListener listener(b, 80);
+  std::vector<int> got;
+  transport::StreamConnectionPtr server_conn;
+  listener.on_accept([&](transport::StreamConnectionPtr conn) {
+    server_conn = conn;
+    conn->on_message([&](const Bytes& m) { got.push_back(std::stoi(gmmcs::to_string(
+        std::span<const std::uint8_t>(m)))); });
+  });
+  auto conn = transport::StreamConnection::connect(a, sim::Endpoint{b.id(), 80});
+  for (int i = 0; i < c.messages; ++i) conn->send(std::to_string(i));
+  loop.run();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(c.messages));
+  for (int i = 0; i < c.messages; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Links, StreamProperty,
+                         ::testing::Values(LinkCase{10, 0.0, 50}, LinkCase{5000, 0.0, 50},
+                                           LinkCase{100, 0.3, 100}, LinkCase{100, 0.9, 30},
+                                           LinkCase{50000, 0.5, 20}));
+
+// ---------------------------------------------------------------------------
+// Broker delivery: with random filters/topics, every matching subscriber
+// receives exactly once and no one else receives anything.
+// ---------------------------------------------------------------------------
+
+class BrokerDelivery : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BrokerDelivery, MatchesFiltersExactlyOnce) {
+  Rng rng(GetParam());
+  sim::EventLoop loop;
+  sim::Network net(loop, GetParam());
+  broker::BrokerNode node(net.add_host("broker"), 0);
+  constexpr int kSubs = 12;
+  std::vector<std::unique_ptr<broker::BrokerClient>> subs;
+  std::vector<broker::TopicFilter> filters;
+  std::vector<std::map<std::string, int>> deliveries(kSubs);
+  for (int i = 0; i < kSubs; ++i) {
+    std::string pattern;
+    int style = static_cast<int>(rng.uniform_int(0, 2));
+    std::string a = std::to_string(rng.uniform_int(0, 2));
+    std::string b = std::to_string(rng.uniform_int(0, 2));
+    if (style == 0) pattern = "/s/" + a + "/" + b;
+    if (style == 1) pattern = "/s/*/" + b;
+    if (style == 2) pattern = "/s/" + a + "/#";
+    filters.emplace_back(pattern);
+    subs.push_back(std::make_unique<broker::BrokerClient>(
+        net.add_host("sub" + std::to_string(i)), node.stream_endpoint()));
+    subs.back()->subscribe(pattern);
+    auto* box = &deliveries[static_cast<std::size_t>(i)];
+    subs.back()->on_event([box](const broker::Event& ev) { (*box)[ev.topic]++; });
+  }
+  broker::BrokerClient pub(net.add_host("pub"), node.stream_endpoint());
+  loop.run();
+  std::vector<std::string> topics;
+  for (int i = 0; i < 30; ++i) {
+    std::string topic = "/s/" + std::to_string(rng.uniform_int(0, 2)) + "/" +
+                        std::to_string(rng.uniform_int(0, 2));
+    topics.push_back(topic);
+    pub.publish(topic, Bytes(32, 0), broker::QoS::kReliable);
+  }
+  loop.run();
+  for (int i = 0; i < kSubs; ++i) {
+    std::map<std::string, int> expected;
+    for (const auto& t : topics) {
+      if (filters[static_cast<std::size_t>(i)].matches(t)) expected[t]++;
+    }
+    EXPECT_EQ(deliveries[static_cast<std::size_t>(i)], expected)
+        << "subscriber " << i << " filter " << filters[static_cast<std::size_t>(i)].pattern();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BrokerDelivery, ::testing::Values(21, 22, 23, 24));
+
+// ---------------------------------------------------------------------------
+// ReceiverStats invariants under random loss/reordering/duplication.
+// ---------------------------------------------------------------------------
+
+class StatsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsProperty, InvariantsHoldUnderChaos) {
+  Rng rng(GetParam());
+  rtp::ReceiverStats stats(90000);
+  std::uint16_t seq = static_cast<std::uint16_t>(rng.next());
+  SimTime t{0};
+  std::uint64_t pushed = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += duration_us(rng.uniform_int(100, 2000));
+    if (rng.chance(0.2)) {  // loss: skip sequence numbers
+      seq = static_cast<std::uint16_t>(seq + rng.uniform_int(1, 3));
+    }
+    rtp::RtpPacket p;
+    p.sequence = seq++;
+    p.timestamp = static_cast<std::uint32_t>(i) * 1800;
+    p.ssrc = 1;
+    stats.on_packet(p, t, t - duration_us(rng.uniform_int(0, 5000)));
+    ++pushed;
+    if (rng.chance(0.05)) {  // duplicate
+      stats.on_packet(p, t, t);
+      ++pushed;
+    }
+  }
+  EXPECT_EQ(stats.received(), pushed);
+  EXPECT_GE(stats.expected(), 1u);
+  EXPECT_GE(stats.loss_ratio(), 0.0);
+  EXPECT_LE(stats.loss_ratio(), 1.0);
+  EXPECT_GE(stats.delay_ms().min(), 0.0);
+  EXPECT_GE(stats.jitter_ms(), 0.0);
+  // fraction_lost_since_last is an 8-bit fixed-point in [0, 1).
+  std::uint8_t f = stats.fraction_lost_since_last();
+  EXPECT_LE(f / 256.0, 1.0);
+}
+
+TEST_P(StatsProperty, PlayoutAccountingBalances) {
+  Rng rng(GetParam());
+  sim::EventLoop loop;
+  rtp::PlayoutBuffer buf(loop, {.delay = duration_ms(30), .clock_rate = 8000});
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    auto arrival = duration_ms(20 * i) + duration_seconds(rng.exponential(0.02));
+    loop.schedule_at(SimTime{arrival.ns()}, [&buf, i] {
+      rtp::RtpPacket p;
+      p.sequence = static_cast<std::uint16_t>(i);
+      p.timestamp = 160u * static_cast<std::uint32_t>(i);
+      buf.push(p);
+    });
+  }
+  loop.run();
+  EXPECT_EQ(buf.played() + buf.dropped_late(), static_cast<std::uint64_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsProperty, ::testing::Values(31, 32, 33, 34, 35));
+
+}  // namespace
+}  // namespace gmmcs

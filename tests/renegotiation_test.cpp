@@ -1,0 +1,154 @@
+// Tests for mid-call renegotiation: SIP re-INVITE through the gateway
+// (media address change) and H.323 bandwidth change (BRQ/BCF/BRJ).
+#include <gtest/gtest.h>
+
+#include "broker/broker_node.hpp"
+#include "broker/client.hpp"
+#include "h323/gatekeeper.hpp"
+#include "h323/gateway.hpp"
+#include "h323/terminal.hpp"
+#include "rtp/session.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+#include "sip/endpoint.hpp"
+#include "sip/gateway.hpp"
+#include "sip/proxy.hpp"
+#include "xgsp/session_server.hpp"
+
+namespace gmmcs {
+namespace {
+
+class RenegotiationTest : public ::testing::Test {
+ protected:
+  RenegotiationTest()
+      : node(net.add_host("broker"), 0),
+        sessions(net.add_host("xgsp"), node.stream_endpoint()),
+        gateway(net.add_host("gw"), sessions, node.stream_endpoint()),
+        proxy(net.add_host("proxy")) {
+    proxy.add_domain_route("gmmcs", gateway.endpoint());
+    xgsp::Message created = sessions.handle(xgsp::Message::create_session(
+        "reneg", "x", xgsp::SessionMode::kAdHoc, {{"video", "H261"}}));
+    sid = created.sessions.front().id();
+  }
+
+  sim::EventLoop loop;
+  sim::Network net{loop, 141};
+  broker::BrokerNode node;
+  xgsp::SessionServer sessions;
+  sip::SipGateway gateway;
+  sip::SipProxy proxy;
+  std::string sid;
+};
+
+TEST_F(RenegotiationTest, SipReinviteMovesMediaToNewPort) {
+  sim::Host& ah = net.add_host("alice");
+  sip::SipEndpoint alice(ah, "sip:alice@x", proxy.endpoint());
+  rtp::RtpSession rtp_a(ah, {.ssrc = 1, .payload_type = 31});
+  rtp::RtpSession rtp_b(ah, {.ssrc = 2, .payload_type = 31});  // the "new device"
+  alice.register_with_proxy([](bool) {});
+  loop.run();
+  sip::Sdp offer;
+  offer.address = ah.id();
+  offer.media.push_back({"video", rtp_a.local().port, 31, "H261/90000"});
+  bool ok = false;
+  alice.invite(sip::SipGateway::conference_uri(sid), offer,
+               [&](bool r, const sip::SipEndpoint::Call&) { ok = r; });
+  loop.run();
+  ASSERT_TRUE(ok);
+
+  // Media published on the topic lands on rtp_a.
+  std::string topic = sessions.find(sid)->stream("video")->topic;
+  broker::BrokerClient native(net.add_host("native"), node.stream_endpoint());
+  loop.run();
+  rtp::RtpPacket pkt;
+  pkt.ssrc = 99;
+  pkt.payload_type = 31;
+  pkt.payload = Bytes(100, 0);
+  native.publish(topic, pkt.serialize());
+  loop.run();
+  EXPECT_EQ(rtp_a.source_stats(99).received(), 1u);
+  EXPECT_EQ(rtp_b.source_stats(99).received(), 0u);
+
+  // Re-INVITE moves the receive port to rtp_b.
+  sip::Sdp new_offer;
+  new_offer.address = ah.id();
+  new_offer.media.push_back({"video", rtp_b.local().port, 31, "H261/90000"});
+  bool reneg_ok = false;
+  alice.reinvite(new_offer, [&](bool r, const sip::SipEndpoint::Call&) { reneg_ok = r; });
+  loop.run();
+  ASSERT_TRUE(reneg_ok);
+  EXPECT_EQ(gateway.active_calls(), 1u);
+
+  native.publish(topic, pkt.serialize());
+  loop.run();
+  EXPECT_EQ(rtp_a.source_stats(99).received(), 1u);  // old port silent
+  EXPECT_EQ(rtp_b.source_stats(99).received(), 1u);  // new port live
+  // The participant did not rejoin; membership is unchanged.
+  EXPECT_TRUE(sessions.find(sid)->has_member("sip:alice@x"));
+  EXPECT_EQ(sessions.find(sid)->members().size(), 1u);
+}
+
+TEST_F(RenegotiationTest, ReinviteWithoutCallFails) {
+  sip::SipEndpoint alice(net.add_host("a"), "sip:a@x", proxy.endpoint());
+  bool ok = true;
+  alice.reinvite(sip::Sdp{}, [&](bool r, const sip::SipEndpoint::Call&) { ok = r; });
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(RenegotiationTest, H323BandwidthRenegotiation) {
+  h323::Gatekeeper::Config cfg;
+  cfg.bandwidth_budget = 10000;
+  h323::Gatekeeper gk(net.add_host("gk"), cfg);
+  h323::H323Gateway h323_gw(net.add_host("h323-gw"), sessions, node.stream_endpoint());
+  gk.set_conference_target(h323_gw.call_signal_endpoint());
+  h323::H323Terminal t1(net.add_host("t1"), "t1", gk.ras_endpoint());
+  h323::H323Terminal t2(net.add_host("t2"), "t2", gk.ras_endpoint());
+  t1.register_endpoint([](bool) {});
+  t2.register_endpoint([](bool) {});
+  loop.run();
+  // Both admit 4000 (of 10000).
+  transport::DatagramSocket m1(net.add_host("m1"));
+  for (auto* t : {&t1, &t2}) {
+    bool ok = false;
+    t->call("conf-" + sid, 4000, {}, [&](bool r, const h323::H323Terminal::MediaTargets&) {
+      ok = r;
+    });
+    loop.run();
+    ASSERT_TRUE(ok);
+  }
+  EXPECT_EQ(gk.bandwidth_in_use(), 8000u);
+  // t1 upgrades to 6000: total would be 10000, exactly at budget -> OK.
+  bool up_ok = false;
+  t1.change_bandwidth(6000, [&](bool r) { up_ok = r; });
+  loop.run();
+  EXPECT_TRUE(up_ok);
+  EXPECT_EQ(gk.bandwidth_in_use(), 10000u);
+  // t2 tries 4100: over budget -> BRJ, grant unchanged.
+  bool up2_ok = true;
+  t2.change_bandwidth(4100, [&](bool r) { up2_ok = r; });
+  loop.run();
+  EXPECT_FALSE(up2_ok);
+  EXPECT_EQ(t2.last_reject_reason(), "zone bandwidth exhausted");
+  EXPECT_EQ(gk.bandwidth_in_use(), 10000u);
+  // t1 downgrades to 1000: always allowed.
+  bool down_ok = false;
+  t1.change_bandwidth(1000, [&](bool r) { down_ok = r; });
+  loop.run();
+  EXPECT_TRUE(down_ok);
+  EXPECT_EQ(gk.bandwidth_in_use(), 5000u);
+}
+
+TEST_F(RenegotiationTest, BandwidthChangeWithoutAdmissionRejected) {
+  h323::Gatekeeper gk(net.add_host("gk"));
+  h323::H323Terminal t(net.add_host("t"), "t", gk.ras_endpoint());
+  t.register_endpoint([](bool) {});
+  loop.run();
+  bool ok = true;
+  t.change_bandwidth(1000, [&](bool r) { ok = r; });
+  loop.run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(t.last_reject_reason(), "no active admission");
+}
+
+}  // namespace
+}  // namespace gmmcs

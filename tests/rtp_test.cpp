@@ -1,0 +1,353 @@
+// Tests for the RTP/RTCP stack: wire formats, receiver statistics
+// (sequence tracking, RFC 3550 jitter), sessions over the simulator.
+#include <gtest/gtest.h>
+
+#include "rtp/packet.hpp"
+#include "rtp/receiver_stats.hpp"
+#include "rtp/rtcp.hpp"
+#include "rtp/session.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+
+namespace gmmcs::rtp {
+namespace {
+
+TEST(RtpPacket, SerializeParseRoundTrip) {
+  RtpPacket p;
+  p.marker = true;
+  p.payload_type = 96;
+  p.sequence = 0xBEEF;
+  p.timestamp = 0x12345678;
+  p.ssrc = 0xCAFEBABE;
+  p.csrcs = {1, 2, 3};
+  p.payload = to_bytes("frame-data");
+  auto r = RtpPacket::parse(p.serialize());
+  ASSERT_TRUE(r.ok());
+  const RtpPacket& q = r.value();
+  EXPECT_TRUE(q.marker);
+  EXPECT_EQ(q.payload_type, 96);
+  EXPECT_EQ(q.sequence, 0xBEEF);
+  EXPECT_EQ(q.timestamp, 0x12345678u);
+  EXPECT_EQ(q.ssrc, 0xCAFEBABEu);
+  EXPECT_EQ(q.csrcs, (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(to_string(std::span<const std::uint8_t>(q.payload)), "frame-data");
+}
+
+TEST(RtpPacket, HeaderLayout) {
+  RtpPacket p;
+  p.payload_type = 31;
+  Bytes wire = p.serialize();
+  ASSERT_EQ(wire.size(), kRtpHeaderSize);
+  EXPECT_EQ(wire[0] >> 6, 2);        // version
+  EXPECT_EQ(wire[1] & 0x7F, 31);     // payload type
+  EXPECT_EQ(wire[1] & 0x80, 0);      // no marker
+}
+
+TEST(RtpPacket, RejectsShortAndBadVersion) {
+  EXPECT_FALSE(RtpPacket::parse(Bytes{1, 2, 3}).ok());
+  RtpPacket p;
+  Bytes wire = p.serialize();
+  wire[0] = 0x00;  // version 0
+  EXPECT_FALSE(RtpPacket::parse(wire).ok());
+}
+
+TEST(RtpPacket, RejectsTruncatedCsrcList) {
+  RtpPacket p;
+  p.csrcs = {7, 8};
+  Bytes wire = p.serialize();
+  wire.resize(kRtpHeaderSize + 4);  // cut the second CSRC
+  EXPECT_FALSE(RtpPacket::parse(wire).ok());
+}
+
+TEST(Rtcp, SenderReportRoundTrip) {
+  SenderReport sr;
+  sr.ssrc = 42;
+  sr.ntp_timestamp = 0xAABBCCDDEEFF0011ull;
+  sr.rtp_timestamp = 90000;
+  sr.packet_count = 1000;
+  sr.octet_count = 800000;
+  ReportBlock b;
+  b.ssrc = 7;
+  b.fraction_lost = 25;
+  b.cumulative_lost = 0x012345;
+  b.highest_seq = 0x00010002;
+  b.jitter = 117;
+  sr.blocks.push_back(b);
+  auto r = parse_rtcp(serialize(sr));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().type, kRtcpSenderReport);
+  EXPECT_EQ(r.value().sr.ssrc, 42u);
+  EXPECT_EQ(r.value().sr.ntp_timestamp, 0xAABBCCDDEEFF0011ull);
+  ASSERT_EQ(r.value().sr.blocks.size(), 1u);
+  EXPECT_EQ(r.value().sr.blocks[0].cumulative_lost, 0x012345u);
+  EXPECT_EQ(r.value().sr.blocks[0].jitter, 117u);
+}
+
+TEST(Rtcp, ReceiverReportRoundTrip) {
+  ReceiverReport rr;
+  rr.ssrc = 9;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ReportBlock b;
+    b.ssrc = i;
+    b.fraction_lost = static_cast<std::uint8_t>(i * 10);
+    rr.blocks.push_back(b);
+  }
+  auto r = parse_rtcp(serialize(rr));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().type, kRtcpReceiverReport);
+  ASSERT_EQ(r.value().rr.blocks.size(), 3u);
+  EXPECT_EQ(r.value().rr.blocks[2].fraction_lost, 20);
+}
+
+TEST(Rtcp, ByeRoundTripAndClassifier) {
+  Bytes bye = serialize(Bye{77});
+  EXPECT_TRUE(looks_like_rtcp(bye));
+  auto r = parse_rtcp(bye);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().bye.ssrc, 77u);
+  RtpPacket media;
+  media.payload_type = 96;
+  EXPECT_FALSE(looks_like_rtcp(media.serialize()));
+}
+
+TEST(Rtcp, FractionLostRatio) {
+  ReportBlock b;
+  b.fraction_lost = 128;
+  EXPECT_DOUBLE_EQ(b.fraction_lost_ratio(), 0.5);
+}
+
+class ReceiverStatsTest : public ::testing::Test {
+ protected:
+  static RtpPacket packet(std::uint16_t seq, std::uint32_t ts) {
+    RtpPacket p;
+    p.sequence = seq;
+    p.timestamp = ts;
+    p.ssrc = 1;
+    return p;
+  }
+};
+
+TEST_F(ReceiverStatsTest, CountsInOrderPackets) {
+  ReceiverStats s(90000);
+  for (std::uint16_t i = 0; i < 10; ++i) {
+    s.on_packet(packet(i, i * 3600), SimTime{i * 1000}, SimTime{i * 1000});
+  }
+  EXPECT_EQ(s.received(), 10u);
+  EXPECT_EQ(s.expected(), 10u);
+  EXPECT_EQ(s.cumulative_lost(), 0);
+  EXPECT_EQ(s.loss_ratio(), 0.0);
+}
+
+TEST_F(ReceiverStatsTest, DetectsLoss) {
+  ReceiverStats s(90000);
+  for (std::uint16_t i = 0; i < 10; ++i) {
+    if (i % 2 == 0) s.on_packet(packet(i, i * 3600), SimTime{0}, SimTime{0});
+  }
+  // seq 0..8 received evens: expected = 9 (0..8), received 5.
+  EXPECT_EQ(s.expected(), 9u);
+  EXPECT_EQ(s.cumulative_lost(), 4);
+}
+
+TEST_F(ReceiverStatsTest, HandlesSequenceWrap) {
+  ReceiverStats s(90000);
+  std::uint16_t seq = 0xFFFE;
+  for (int i = 0; i < 6; ++i) {
+    s.on_packet(packet(seq, 0), SimTime{0}, SimTime{0});
+    ++seq;
+  }
+  EXPECT_EQ(s.received(), 6u);
+  EXPECT_EQ(s.expected(), 6u);
+  EXPECT_EQ(s.extended_highest_seq(), 0x10003u);
+}
+
+TEST_F(ReceiverStatsTest, CountsReorderAndDuplicates) {
+  ReceiverStats s(90000);
+  s.on_packet(packet(10, 0), SimTime{0}, SimTime{0});
+  s.on_packet(packet(12, 0), SimTime{0}, SimTime{0});
+  s.on_packet(packet(11, 0), SimTime{0}, SimTime{0});  // late
+  s.on_packet(packet(12, 0), SimTime{0}, SimTime{0});  // dup
+  EXPECT_EQ(s.out_of_order(), 1u);
+  EXPECT_EQ(s.duplicates(), 1u);
+}
+
+TEST_F(ReceiverStatsTest, ZeroJitterForPerfectSpacing) {
+  ReceiverStats s(90000);
+  // Arrival spacing exactly matches timestamp spacing -> J stays 0.
+  for (std::uint16_t i = 0; i < 50; ++i) {
+    auto t = SimTime{static_cast<std::int64_t>(i) * 40'000'000};  // 40ms
+    s.on_packet(packet(i, i * 3600), t, t);                        // 3600 = 40ms @90kHz
+  }
+  EXPECT_EQ(s.jitter_timestamp_units(), 0u);
+  EXPECT_NEAR(s.jitter_ms(), 0.0, 1e-9);
+}
+
+TEST_F(ReceiverStatsTest, JitterConvergesTowardSpacingVariation) {
+  ReceiverStats s(90000);
+  // Timestamps advance 40ms but arrivals alternate 30ms/50ms: |D| = 10ms
+  // every packet, so the RFC filter converges to ~10ms.
+  SimTime arrival{0};
+  for (std::uint16_t i = 0; i < 500; ++i) {
+    s.on_packet(packet(i, i * 3600), arrival, arrival);
+    arrival += duration_ms(i % 2 == 0 ? 30 : 50);
+  }
+  EXPECT_NEAR(s.jitter_ms(), 10.0, 1.0);
+}
+
+TEST_F(ReceiverStatsTest, DelayStatsFromSendStamps) {
+  ReceiverStats s(90000);
+  for (std::uint16_t i = 0; i < 10; ++i) {
+    SimTime sent{static_cast<std::int64_t>(i) * 1'000'000};
+    s.on_packet(packet(i, i * 3600), sent + duration_ms(25), sent);
+  }
+  EXPECT_NEAR(s.delay_ms().mean(), 25.0, 1e-9);
+  EXPECT_EQ(s.delay_ms().count(), 10u);
+}
+
+TEST_F(ReceiverStatsTest, FractionLostInterval) {
+  ReceiverStats s(90000);
+  // First interval: 4 of 8 received.
+  for (std::uint16_t i = 0; i < 8; i += 2) s.on_packet(packet(i, 0), SimTime{0}, SimTime{0});
+  std::uint8_t f1 = s.fraction_lost_since_last();
+  EXPECT_NEAR(f1 / 256.0, 3.0 / 7.0, 0.01);  // expected 0..6 = 7, received 4
+  // Second interval: everything received.
+  for (std::uint16_t i = 7; i < 15; ++i) s.on_packet(packet(i, 0), SimTime{0}, SimTime{0});
+  std::uint8_t f2 = s.fraction_lost_since_last();
+  EXPECT_EQ(f2, 0);
+}
+
+TEST_F(ReceiverStatsTest, SeriesRecordingIsOptIn) {
+  ReceiverStats s(90000);
+  s.on_packet(packet(0, 0), SimTime{0}, SimTime{0});
+  EXPECT_TRUE(s.delay_series().points().empty());
+  s.enable_series(true);
+  s.on_packet(packet(1, 3600), SimTime{0}, SimTime{0});
+  EXPECT_EQ(s.delay_series().points().size(), 1u);
+  EXPECT_EQ(s.jitter_series().points().size(), 1u);
+}
+
+class RtpSessionTest : public ::testing::Test {
+ protected:
+  sim::EventLoop loop;
+  sim::Network net{loop, 5};
+};
+
+TEST_F(RtpSessionTest, MediaFlowsBetweenSessions) {
+  sim::Host& a = net.add_host("a");
+  sim::Host& b = net.add_host("b");
+  RtpSession tx(a, {.ssrc = 100, .payload_type = 96, .clock_rate = 90000});
+  RtpSession rx(b, {.ssrc = 200, .payload_type = 96, .clock_rate = 90000});
+  tx.add_destination(rx.local());
+  int got = 0;
+  rx.on_media([&](const RtpPacket& p, const sim::Datagram&) {
+    ++got;
+    EXPECT_EQ(p.ssrc, 100u);
+  });
+  for (int i = 0; i < 5; ++i) tx.send_media(Bytes(100, 0), 1000 * i);
+  loop.run();
+  EXPECT_EQ(got, 5);
+  EXPECT_EQ(tx.packets_sent(), 5u);
+  EXPECT_EQ(rx.source_stats(100).received(), 5u);
+}
+
+TEST_F(RtpSessionTest, SequenceNumbersIncrement) {
+  sim::Host& a = net.add_host("a");
+  sim::Host& b = net.add_host("b");
+  RtpSession tx(a, {.ssrc = 1});
+  RtpSession rx(b, {.ssrc = 2});
+  tx.add_destination(rx.local());
+  std::vector<std::uint16_t> seqs;
+  rx.on_media([&](const RtpPacket& p, const sim::Datagram&) { seqs.push_back(p.sequence); });
+  for (int i = 0; i < 3; ++i) tx.send_media(Bytes(10, 0), 0);
+  loop.run();
+  ASSERT_EQ(seqs.size(), 3u);
+  EXPECT_EQ(static_cast<std::uint16_t>(seqs[1] - seqs[0]), 1);
+  EXPECT_EQ(static_cast<std::uint16_t>(seqs[2] - seqs[1]), 1);
+}
+
+TEST_F(RtpSessionTest, RtcpSenderReportEmitted) {
+  sim::Host& a = net.add_host("a");
+  sim::Host& b = net.add_host("b");
+  RtpSession tx(a, {.ssrc = 1, .send_rtcp = true, .rtcp_interval = duration_ms(100)});
+  RtpSession rx(b, {.ssrc = 2});
+  tx.add_destination(rx.local());
+  int sr_count = 0;
+  rx.on_rtcp([&](const RtcpPacket& p, const sim::Datagram&) {
+    if (p.type == kRtcpSenderReport) {
+      ++sr_count;
+      EXPECT_GT(p.sr.packet_count, 0u);
+    }
+  });
+  tx.send_media(Bytes(10, 0), 0);
+  loop.run_until(SimTime{duration_ms(350).ns()});
+  EXPECT_EQ(sr_count, 3);
+}
+
+TEST_F(RtpSessionTest, RtcpReceiverReportCarriesStats) {
+  sim::Host& a = net.add_host("a");
+  sim::Host& b = net.add_host("b");
+  RtpSession tx(a, {.ssrc = 1});
+  RtpSession rx(b, {.ssrc = 2, .send_rtcp = true, .rtcp_interval = duration_ms(50)});
+  tx.add_destination(rx.local());
+  rx.add_destination(tx.local());
+  ReportBlock seen{};
+  bool got_rr = false;
+  tx.on_rtcp([&](const RtcpPacket& p, const sim::Datagram&) {
+    if (p.type == kRtcpReceiverReport && !p.rr.blocks.empty()) {
+      got_rr = true;
+      seen = p.rr.blocks[0];
+    }
+  });
+  for (int i = 0; i < 10; ++i) tx.send_media(Bytes(50, 0), i * 100);
+  loop.run_until(SimTime{duration_ms(120).ns()});
+  ASSERT_TRUE(got_rr);
+  EXPECT_EQ(seen.ssrc, 1u);
+  EXPECT_EQ(seen.fraction_lost, 0);
+}
+
+TEST_F(RtpSessionTest, MulticastDistribution) {
+  sim::Host& s = net.add_host("s");
+  sim::Host& r1 = net.add_host("r1");
+  sim::Host& r2 = net.add_host("r2");
+  RtpSession tx(s, {.ssrc = 1});
+  RtpSession rxa(r1, {.ssrc = 2});
+  RtpSession rxb(r2, {.ssrc = 3});
+  sim::GroupId g = net.create_group();
+  rxa.join_group(g);
+  rxb.join_group(g);
+  tx.set_multicast_group(g);
+  int a_got = 0, b_got = 0;
+  rxa.on_media([&](const RtpPacket&, const sim::Datagram&) { ++a_got; });
+  rxb.on_media([&](const RtpPacket&, const sim::Datagram&) { ++b_got; });
+  tx.send_media(Bytes(10, 0), 0);
+  loop.run();
+  EXPECT_EQ(a_got, 1);
+  EXPECT_EQ(b_got, 1);
+}
+
+TEST_F(RtpSessionTest, GarbageCountsAsParseError) {
+  sim::Host& a = net.add_host("a");
+  sim::Host& b = net.add_host("b");
+  RtpSession rx(b, {.ssrc = 2});
+  transport::DatagramSocket raw(a);
+  raw.send_to(rx.local(), Bytes{0xFF, 0xFF});
+  loop.run();
+  EXPECT_EQ(rx.parse_errors(), 1u);
+}
+
+TEST_F(RtpSessionTest, ByeReachesPeer) {
+  sim::Host& a = net.add_host("a");
+  sim::Host& b = net.add_host("b");
+  RtpSession tx(a, {.ssrc = 31});
+  RtpSession rx(b, {.ssrc = 2});
+  tx.add_destination(rx.local());
+  std::uint32_t bye_from = 0;
+  rx.on_rtcp([&](const RtcpPacket& p, const sim::Datagram&) {
+    if (p.type == kRtcpBye) bye_from = p.bye.ssrc;
+  });
+  tx.send_bye();
+  loop.run();
+  EXPECT_EQ(bye_from, 31u);
+}
+
+}  // namespace
+}  // namespace gmmcs::rtp

@@ -1,0 +1,148 @@
+// Cross-module scenarios: a lossy participant detected by the quality
+// service, and the web-server facade driven end to end over SOAP.
+#include <gtest/gtest.h>
+
+#include "broker/broker_node.hpp"
+#include "broker/client.hpp"
+#include "media/generator.hpp"
+#include "media/probe.hpp"
+#include "rtp/session.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+#include "xgsp/directory.hpp"
+#include "xgsp/quality.hpp"
+#include "xgsp/session_server.hpp"
+#include "xgsp/web_server.hpp"
+
+namespace gmmcs {
+namespace {
+
+TEST(Scenario, BurstyLinkParticipantFlaggedByQualityMonitor) {
+  sim::EventLoop loop;
+  sim::Network net(loop, 171);
+  sim::Host& bh = net.add_host("broker");
+  broker::BrokerNode node(bh, 0);
+  xgsp::SessionServer sessions(net.add_host("xgsp"), node.stream_endpoint());
+  xgsp::Message created = sessions.handle(xgsp::Message::create_session(
+      "field-site", "hq", xgsp::SessionMode::kAdHoc, {{"video", "H261"}}));
+  std::string sid = created.sessions.front().id();
+  std::string topic = created.sessions.front().stream("video")->topic;
+
+  // Two receivers: one on a clean LAN, one behind a bursty WAN link.
+  sim::Host& clean_host = net.add_host("clean");
+  sim::Host& lossy_host = net.add_host("lossy");
+  net.set_path(bh.id(), lossy_host.id(),
+               sim::PathConfig{.latency = duration_ms(40), .loss = 0.15, .burst_length = 6.0});
+  broker::BrokerClient clean(clean_host, node.stream_endpoint());
+  broker::BrokerClient lossy(lossy_host, node.stream_endpoint());
+  clean.subscribe(topic);
+  lossy.subscribe(topic);
+  media::MediaProbe clean_probe(90000);
+  media::MediaProbe lossy_probe(90000);
+  clean.on_event([&](const broker::Event& ev) { clean_probe.on_wire(ev.payload, loop.now()); });
+  lossy.on_event([&](const broker::Event& ev) { lossy_probe.on_wire(ev.payload, loop.now()); });
+
+  // The sender.
+  sim::Host& tx_host = net.add_host("sender");
+  rtp::RtpSession tx(tx_host, {.ssrc = 5, .payload_type = 31});
+  broker::BrokerClient pub(tx_host, node.stream_endpoint());
+  tx.on_send([&](const Bytes& wire) { pub.publish(topic, wire); });
+  media::VideoSource source(tx, {.codec = media::codecs::h261(), .seed = 9});
+  xgsp::QualityMonitor monitor(net.add_host("monitor"), node.stream_endpoint(), sid);
+  loop.run();
+  source.start();
+  loop.run_for(duration_s(10));
+  source.stop();
+  loop.run_for(duration_s(1));
+
+  // Both publish their receiver stats to the quality topic.
+  publish_quality(clean, sid, xgsp::QualityReport::from_stats("clean-user", clean_probe.stats()));
+  publish_quality(lossy, sid, xgsp::QualityReport::from_stats("lossy-user", lossy_probe.stats()));
+  loop.run();
+  ASSERT_EQ(monitor.latest().size(), 2u);
+  EXPECT_LT(monitor.latest().at("clean-user").loss_ratio, 0.005);
+  EXPECT_GT(monitor.latest().at("lossy-user").loss_ratio, 0.05);
+  auto degraded = monitor.degraded(/*max_loss=*/0.02);
+  ASSERT_EQ(degraded.size(), 1u);
+  EXPECT_EQ(degraded[0], "lossy-user");
+  // The bursty link also shows in reordering-free gap structure: the
+  // lossy receiver saw markedly fewer packets.
+  EXPECT_LT(lossy_probe.stats().received(), clean_probe.stats().received());
+}
+
+TEST(Scenario, WebServerFullLifecycleOverSoap) {
+  sim::EventLoop loop;
+  sim::Network net(loop, 173);
+  broker::BrokerNode node(net.add_host("broker"), 0);
+  sim::Host& server_host = net.add_host("xgsp");
+  xgsp::SessionServer sessions(server_host, node.stream_endpoint());
+  xgsp::Directory directory;
+  directory.register_user({.id = "alice", .display_name = "Alice", .community = "iu"});
+  directory.register_user({.id = "bob", .display_name = "Bob", .community = "syr"});
+  xgsp::WebServer web(server_host, sessions, directory);
+  soap::SoapClient portal(net.add_host("portal"), web.endpoint());
+
+  // Create two sessions, join users, list, leave, end — all over SOAP.
+  std::vector<std::string> ids;
+  for (const char* title : {"morning", "afternoon"}) {
+    xml::Element create("CreateSession");
+    create.set_attr("title", title);
+    create.set_attr("creator", "alice");
+    portal.call(std::move(create), [&](Result<xml::Element> r) {
+      ASSERT_TRUE(r.ok());
+      ids.push_back(r.value().child("session")->attr("id"));
+    });
+  }
+  loop.run();
+  ASSERT_EQ(ids.size(), 2u);
+  for (const std::string& user : {std::string("alice"), std::string("bob")}) {
+    xml::Element join("JoinSession");
+    join.set_attr("session", ids[0]);
+    join.set_attr("user", user);
+    portal.call(std::move(join), [](Result<xml::Element> r) { ASSERT_TRUE(r.ok()); });
+  }
+  loop.run();
+  int listed = 0;
+  portal.call(xml::Element("ListSessions"), [&](Result<xml::Element> r) {
+    ASSERT_TRUE(r.ok());
+    listed = static_cast<int>(r.value().children_named("session").size());
+  });
+  loop.run();
+  EXPECT_EQ(listed, 2);
+  EXPECT_EQ(sessions.find(ids[0])->members().size(), 2u);
+
+  xml::Element leave("LeaveSession");
+  leave.set_attr("session", ids[0]);
+  leave.set_attr("user", "bob");
+  portal.call(std::move(leave), [](Result<xml::Element> r) { ASSERT_TRUE(r.ok()); });
+  loop.run();
+  EXPECT_EQ(sessions.find(ids[0])->members().size(), 1u);
+
+  xml::Element end("EndSession");
+  end.set_attr("session", ids[1]);
+  portal.call(std::move(end), [](Result<xml::Element> r) { ASSERT_TRUE(r.ok()); });
+  loop.run();
+  EXPECT_EQ(sessions.find(ids[1])->state(), xgsp::SessionState::kEnded);
+
+  // Error paths come back as SOAP faults.
+  for (auto [op, attr] : {std::pair{"JoinSession", "session"}, {"EndSession", "session"}}) {
+    xml::Element bad(op);
+    bad.set_attr(attr, "999");
+    bad.set_attr("user", "alice");
+    bool failed = false;
+    portal.call(std::move(bad), [&](Result<xml::Element> r) { failed = !r.ok(); });
+    loop.run();
+    EXPECT_TRUE(failed) << op;
+  }
+  // InviteCommunity with an unknown community faults too.
+  xml::Element invite("InviteCommunity");
+  invite.set_attr("session", ids[0]);
+  invite.set_attr("community", "atlantis");
+  bool invite_failed = false;
+  portal.call(std::move(invite), [&](Result<xml::Element> r) { invite_failed = !r.ok(); });
+  loop.run();
+  EXPECT_TRUE(invite_failed);
+}
+
+}  // namespace
+}  // namespace gmmcs

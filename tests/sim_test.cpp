@@ -1,0 +1,415 @@
+// Tests for the discrete-event simulator: event loop, service centers,
+// network hosts / NIC queueing / paths / multicast.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+#include "sim/service_center.hpp"
+
+namespace gmmcs::sim {
+namespace {
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(SimTime{30}, [&] { order.push_back(3); });
+  loop.schedule_at(SimTime{10}, [&] { order.push_back(1); });
+  loop.schedule_at(SimTime{20}, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now().ns(), 30);
+}
+
+TEST(EventLoop, EqualTimesRunInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(SimTime{100}, [&, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, ScheduleAfterUsesNow) {
+  EventLoop loop;
+  SimTime inner;
+  loop.schedule_after(duration_ms(5), [&] {
+    loop.schedule_after(duration_ms(7), [&] { inner = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(inner.ns(), duration_ms(12).ns());
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  TaskId id = loop.schedule_after(duration_ms(1), [&] { ran = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_at(SimTime{10}, [&] { ++count; });
+  loop.schedule_at(SimTime{20}, [&] { ++count; });
+  loop.schedule_at(SimTime{30}, [&] { ++count; });
+  loop.run_until(SimTime{20});
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(loop.now().ns(), 20);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, RunUntilAdvancesTimeWithEmptyQueue) {
+  EventLoop loop;
+  loop.run_until(SimTime{500});
+  EXPECT_EQ(loop.now().ns(), 500);
+}
+
+TEST(EventLoop, PastSchedulingClampsToNow) {
+  EventLoop loop;
+  loop.schedule_at(SimTime{100}, [] {});
+  loop.run();
+  bool ran = false;
+  loop.schedule_at(SimTime{50}, [&] { ran = true; });  // in the past
+  loop.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(loop.now().ns(), 100);
+}
+
+TEST(PeriodicTask, TicksAtPeriod) {
+  EventLoop loop;
+  std::vector<std::int64_t> at;
+  PeriodicTask task(loop, duration_ms(10), [&](std::uint64_t) { at.push_back(loop.now().ns()); });
+  task.start();
+  loop.run_until(SimTime{duration_ms(35).ns()});
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], duration_ms(10).ns());
+  EXPECT_EQ(at[2], duration_ms(30).ns());
+}
+
+TEST(PeriodicTask, StopHalts) {
+  EventLoop loop;
+  int ticks = 0;
+  PeriodicTask task(loop, duration_ms(1), [&](std::uint64_t t) {
+    ++ticks;
+    if (t == 4) task.stop();
+  });
+  task.start();
+  loop.run();
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(PeriodicTask, TickIndexIncrements) {
+  EventLoop loop;
+  std::vector<std::uint64_t> idx;
+  PeriodicTask task(loop, duration_ms(2), [&](std::uint64_t t) { idx.push_back(t); });
+  task.start();
+  loop.run_until(SimTime{duration_ms(7).ns()});
+  EXPECT_EQ(idx, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(ServiceCenter, SingleServerSerializes) {
+  EventLoop loop;
+  ServiceCenter sc(loop, 1);
+  std::vector<std::int64_t> done_at;
+  for (int i = 0; i < 3; ++i) {
+    sc.submit(duration_ms(10), [&] { done_at.push_back(loop.now().ns()); });
+  }
+  loop.run();
+  ASSERT_EQ(done_at.size(), 3u);
+  EXPECT_EQ(done_at[0], duration_ms(10).ns());
+  EXPECT_EQ(done_at[1], duration_ms(20).ns());
+  EXPECT_EQ(done_at[2], duration_ms(30).ns());
+  EXPECT_EQ(sc.completed(), 3u);
+}
+
+TEST(ServiceCenter, ParallelServersOverlap) {
+  EventLoop loop;
+  ServiceCenter sc(loop, 2);
+  std::vector<std::int64_t> done_at;
+  for (int i = 0; i < 4; ++i) {
+    sc.submit(duration_ms(10), [&] { done_at.push_back(loop.now().ns()); });
+  }
+  loop.run();
+  ASSERT_EQ(done_at.size(), 4u);
+  // Two at t=10, two at t=20.
+  EXPECT_EQ(done_at[1], duration_ms(10).ns());
+  EXPECT_EQ(done_at[3], duration_ms(20).ns());
+}
+
+TEST(ServiceCenter, QueueLimitRejects) {
+  EventLoop loop;
+  ServiceCenter sc(loop, 1, 2);
+  int completed = 0;
+  for (int i = 0; i < 5; ++i) {
+    sc.submit(duration_ms(1), [&] { ++completed; });
+  }
+  loop.run();
+  EXPECT_EQ(completed, 3);  // 1 in service + 2 queued
+  EXPECT_EQ(sc.rejected(), 2u);
+}
+
+TEST(ServiceCenter, MeanWaitAccounting) {
+  EventLoop loop;
+  ServiceCenter sc(loop, 1);
+  // Jobs of 10ms each, submitted together: waits are 0, 10, 20 -> mean 10.
+  for (int i = 0; i < 3; ++i) sc.submit(duration_ms(10), [] {});
+  loop.run();
+  EXPECT_EQ(sc.mean_wait().ms(), 10);
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  EventLoop loop;
+  Network net{loop, 1234};
+};
+
+TEST_F(NetworkTest, DeliversWithLatencyAndSerialization) {
+  Host& a = net.add_host("a", NicConfig{.egress_bps = 8e6, .overhead_bytes = 0});
+  Host& b = net.add_host("b");
+  net.set_path(a.id(), b.id(), PathConfig{.latency = duration_ms(3)});
+  SimTime arrival;
+  b.bind(100, [&](const Datagram& d) {
+    arrival = loop.now();
+    EXPECT_EQ(d.payload.size(), 1000u);
+    EXPECT_EQ(d.src.node, 0u);
+  });
+  a.send(Endpoint{b.id(), 100}, 50, Bytes(1000, 0xFF));
+  loop.run();
+  // 1000 bytes at 8 Mbps = 1ms serialization + 3ms latency.
+  EXPECT_EQ(arrival.ns(), duration_ms(4).ns());
+}
+
+TEST_F(NetworkTest, NicQueueAddsDelayForBackToBackPackets) {
+  Host& a = net.add_host("a", NicConfig{.egress_bps = 8e6, .overhead_bytes = 0});
+  Host& b = net.add_host("b");
+  net.set_path(a.id(), b.id(), PathConfig{.latency = SimDuration{0}});
+  std::vector<std::int64_t> arrivals;
+  b.bind(1, [&](const Datagram&) { arrivals.push_back(loop.now().ns()); });
+  for (int i = 0; i < 3; ++i) a.send(Endpoint{b.id(), 1}, 2, Bytes(1000, 0));
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], duration_ms(1).ns());
+  EXPECT_EQ(arrivals[1], duration_ms(2).ns());
+  EXPECT_EQ(arrivals[2], duration_ms(3).ns());
+}
+
+TEST_F(NetworkTest, DropTailWhenQueueFull) {
+  Host& a = net.add_host("a", NicConfig{.egress_bps = 8e6, .queue_bytes = 2500,
+                                        .overhead_bytes = 0});
+  Host& b = net.add_host("b");
+  int received = 0;
+  b.bind(1, [&](const Datagram&) { ++received; });
+  int accepted = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (a.send(Endpoint{b.id(), 1}, 2, Bytes(1000, 0))) ++accepted;
+  }
+  loop.run();
+  EXPECT_EQ(accepted, 2);
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(a.nic_dropped(), 3u);
+}
+
+TEST_F(NetworkTest, QueueDrainsAndAcceptsAgain) {
+  Host& a = net.add_host("a", NicConfig{.egress_bps = 8e6, .queue_bytes = 1000,
+                                        .overhead_bytes = 0});
+  Host& b = net.add_host("b");
+  int received = 0;
+  b.bind(1, [&](const Datagram&) { ++received; });
+  a.send(Endpoint{b.id(), 1}, 2, Bytes(1000, 0));
+  loop.run();  // fully drains
+  EXPECT_TRUE(a.send(Endpoint{b.id(), 1}, 2, Bytes(1000, 0)));
+  loop.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST_F(NetworkTest, RandomLossDropsExpectedFraction) {
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  net.set_path(a.id(), b.id(), PathConfig{.latency = duration_us(10), .loss = 0.3});
+  int received = 0;
+  b.bind(1, [&](const Datagram&) { ++received; });
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) a.send(Endpoint{b.id(), 1}, 2, Bytes(100, 0));
+  loop.run();
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.7, 0.03);
+}
+
+TEST_F(NetworkTest, ReliableTrafficExemptFromLoss) {
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  net.set_path(a.id(), b.id(), PathConfig{.latency = duration_us(10), .loss = 1.0});
+  int received = 0;
+  b.bind(1, [&](const Datagram&) { ++received; });
+  for (int i = 0; i < 10; ++i) a.send(Endpoint{b.id(), 1}, 2, Bytes(100, 0), /*reliable=*/true);
+  loop.run();
+  EXPECT_EQ(received, 10);
+}
+
+TEST_F(NetworkTest, UnboundPortDiscardsSilently) {
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  a.send(Endpoint{b.id(), 999}, 1, Bytes(10, 0));
+  loop.run();  // no crash, nothing delivered
+  SUCCEED();
+}
+
+TEST_F(NetworkTest, EphemeralPortsAreDistinct) {
+  Host& a = net.add_host("a");
+  auto p1 = a.bind_ephemeral([](const Datagram&) {});
+  auto p2 = a.bind_ephemeral([](const Datagram&) {});
+  EXPECT_NE(p1, p2);
+  EXPECT_TRUE(a.is_bound(p1));
+  a.unbind(p1);
+  EXPECT_FALSE(a.is_bound(p1));
+}
+
+TEST_F(NetworkTest, DoubleBindThrows) {
+  Host& a = net.add_host("a");
+  a.bind(5, [](const Datagram&) {});
+  EXPECT_THROW(a.bind(5, [](const Datagram&) {}), std::logic_error);
+}
+
+TEST_F(NetworkTest, MulticastFansOutToMembers) {
+  Host& sender = net.add_host("s");
+  Host& r1 = net.add_host("r1");
+  Host& r2 = net.add_host("r2");
+  GroupId g = net.create_group();
+  int got1 = 0, got2 = 0;
+  r1.bind(10, [&](const Datagram& d) {
+    ++got1;
+    EXPECT_EQ(d.group, g);
+  });
+  r2.bind(10, [&](const Datagram&) { ++got2; });
+  net.join_group(g, Endpoint{r1.id(), 10});
+  net.join_group(g, Endpoint{r2.id(), 10});
+  sender.send_multicast(g, 99, Bytes(500, 1));
+  loop.run();
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(got2, 1);
+  // One serialization at the sender regardless of fan-out.
+  EXPECT_EQ(sender.nic_sent(), 1u);
+}
+
+TEST_F(NetworkTest, MulticastSkipsSelfAndLeavers) {
+  Host& s = net.add_host("s");
+  Host& r = net.add_host("r");
+  GroupId g = net.create_group();
+  int self_got = 0, r_got = 0;
+  s.bind(7, [&](const Datagram&) { ++self_got; });
+  r.bind(7, [&](const Datagram&) { ++r_got; });
+  net.join_group(g, Endpoint{s.id(), 7});
+  net.join_group(g, Endpoint{r.id(), 7});
+  s.send_multicast(g, 7, Bytes(10, 0));
+  loop.run();
+  EXPECT_EQ(self_got, 0);
+  EXPECT_EQ(r_got, 1);
+  net.leave_group(g, Endpoint{r.id(), 7});
+  s.send_multicast(g, 7, Bytes(10, 0));
+  loop.run();
+  EXPECT_EQ(r_got, 1);
+}
+
+TEST_F(NetworkTest, DownHostDropsTraffic) {
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  int received = 0;
+  b.bind(1, [&](const Datagram&) { ++received; });
+  b.set_up(false);
+  a.send(Endpoint{b.id(), 1}, 2, Bytes(10, 0));
+  loop.run();
+  EXPECT_EQ(received, 0);
+  b.set_up(true);
+  a.send(Endpoint{b.id(), 1}, 2, Bytes(10, 0));
+  loop.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetworkTest, DefaultPathApplies) {
+  net.set_default_path(PathConfig{.latency = duration_ms(50)});
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  SimTime arrival;
+  b.bind(1, [&](const Datagram&) { arrival = loop.now(); });
+  a.send(Endpoint{b.id(), 1}, 2, Bytes(1, 0));
+  loop.run();
+  EXPECT_GE((arrival - SimTime::zero()).ms(), 50);
+}
+
+TEST_F(NetworkTest, GilbertLossMatchesStationaryRate) {
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  net.set_path(a.id(), b.id(),
+               PathConfig{.latency = duration_us(10), .loss = 0.2, .burst_length = 5.0});
+  int received = 0;
+  b.bind(1, [&](const Datagram&) { ++received; });
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) a.send(Endpoint{b.id(), 1}, 2, Bytes(10, 0));
+  loop.run();
+  // Correlated losses, but the long-run rate matches the configured 20%.
+  EXPECT_NEAR(static_cast<double>(n - received) / n, 0.2, 0.02);
+}
+
+TEST_F(NetworkTest, GilbertLossesComeInBursts) {
+  auto mean_burst = [&](double burst_cfg, std::uint64_t seed) {
+    EventLoop loop2;
+    Network net2(loop2, seed);
+    Host& a = net2.add_host("a");
+    Host& b = net2.add_host("b");
+    net2.set_path(a.id(), b.id(), PathConfig{.latency = duration_us(10), .loss = 0.2,
+                                             .burst_length = burst_cfg});
+    // Sequence-stamped packets reveal loss runs at the receiver.
+    std::vector<int> got;
+    b.bind(1, [&](const Datagram& d) {
+      ByteReader r(d.payload);
+      got.push_back(static_cast<int>(r.u32()));
+    });
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      ByteWriter w;
+      w.u32(static_cast<std::uint32_t>(i));
+      a.send(Endpoint{b.id(), 1}, 2, w.take());
+    }
+    loop2.run();
+    // Mean length of gaps in the received sequence.
+    double bursts = 0, lost = 0;
+    for (std::size_t i = 1; i < got.size(); ++i) {
+      int gap = got[i] - got[i - 1] - 1;
+      if (gap > 0) {
+        bursts += 1;
+        lost += gap;
+      }
+    }
+    return bursts > 0 ? lost / bursts : 0.0;
+  };
+  double bernoulli = mean_burst(1.0, 5);
+  double gilbert = mean_burst(8.0, 5);
+  EXPECT_LT(bernoulli, 1.6);           // independent: mostly isolated drops
+  EXPECT_GT(gilbert, bernoulli * 3.0);  // correlated: long runs
+  EXPECT_NEAR(gilbert, 8.0, 3.0);
+}
+
+TEST_F(NetworkTest, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    EventLoop loop2;
+    Network net2(loop2, seed);
+    Host& a = net2.add_host("a");
+    Host& b = net2.add_host("b");
+    net2.set_path(a.id(), b.id(), PathConfig{.latency = duration_us(100), .loss = 0.5});
+    int received = 0;
+    b.bind(1, [&](const Datagram&) { ++received; });
+    for (int i = 0; i < 100; ++i) a.send(Endpoint{b.id(), 1}, 2, Bytes(10, 0));
+    loop2.run();
+    return received;
+  };
+  EXPECT_EQ(run_once(77), run_once(77));
+}
+
+}  // namespace
+}  // namespace gmmcs::sim

@@ -1,0 +1,145 @@
+// Tests for the SOAP substrate: envelopes, HTTP framing, RPC round trips.
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+#include "soap/soap.hpp"
+
+namespace gmmcs::soap {
+namespace {
+
+TEST(SoapEnvelope, WrapAndParse) {
+  xml::Element payload("CreateSession");
+  payload.set_attr("title", "standup");
+  auto env = make_envelope(payload);
+  auto parsed = parse_envelope(env.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().name(), "CreateSession");
+  EXPECT_EQ(parsed.value().attr("title"), "standup");
+}
+
+TEST(SoapEnvelope, FaultParsesAsError) {
+  auto env = make_fault("soap:Server", "boom");
+  auto parsed = parse_envelope(env.serialize());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("boom"), std::string::npos);
+}
+
+TEST(SoapEnvelope, RejectsNonEnvelope) {
+  EXPECT_FALSE(parse_envelope("<NotAnEnvelope/>").ok());
+  EXPECT_FALSE(parse_envelope("<soap:Envelope/>").ok());
+  EXPECT_FALSE(parse_envelope("garbage").ok());
+}
+
+TEST(Http, RequestRoundTrip) {
+  HttpRequest req;
+  req.path = "/xgsp";
+  req.soap_action = "CreateSession";
+  req.body = "<x/>";
+  auto parsed = parse_http_request(serialize(req));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().method, "POST");
+  EXPECT_EQ(parsed.value().path, "/xgsp");
+  EXPECT_EQ(parsed.value().soap_action, "CreateSession");
+  EXPECT_EQ(parsed.value().body, "<x/>");
+}
+
+TEST(Http, ResponseRoundTrip) {
+  HttpResponse resp;
+  resp.status = 500;
+  resp.body = "<fault/>";
+  auto parsed = parse_http_response(serialize(resp));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().status, 500);
+  EXPECT_EQ(parsed.value().body, "<fault/>");
+}
+
+TEST(Http, RejectsMalformed) {
+  EXPECT_FALSE(parse_http_request("no separator").ok());
+  EXPECT_FALSE(parse_http_request("BROKEN\r\n\r\nbody").ok());
+  EXPECT_FALSE(parse_http_response("NOPE 200\r\n\r\n").ok());
+}
+
+class SoapRpcTest : public ::testing::Test {
+ protected:
+  sim::EventLoop loop;
+  sim::Network net{loop, 3};
+};
+
+TEST_F(SoapRpcTest, CallAndReply) {
+  sim::Host& server_host = net.add_host("server");
+  sim::Host& client_host = net.add_host("client");
+  SoapServer server(server_host, 8080);
+  server.register_operation("Echo", [](const xml::Element& req) -> Result<xml::Element> {
+    xml::Element resp("EchoResponse");
+    resp.set_text(req.text());
+    return resp;
+  });
+  SoapClient client(client_host, server.endpoint());
+  std::string got;
+  xml::Element req("Echo");
+  req.set_text("hello soap");
+  client.call(std::move(req), [&](Result<xml::Element> r) {
+    ASSERT_TRUE(r.ok());
+    got = r.value().text();
+  });
+  loop.run();
+  EXPECT_EQ(got, "hello soap");
+  EXPECT_EQ(server.calls(), 1u);
+  EXPECT_EQ(server.faults(), 0u);
+}
+
+TEST_F(SoapRpcTest, UnknownOperationFaults) {
+  sim::Host& server_host = net.add_host("server");
+  sim::Host& client_host = net.add_host("client");
+  SoapServer server(server_host, 8080);
+  SoapClient client(client_host, server.endpoint());
+  bool failed = false;
+  client.call(xml::Element("Missing"), [&](Result<xml::Element> r) { failed = !r.ok(); });
+  loop.run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(server.faults(), 1u);
+}
+
+TEST_F(SoapRpcTest, HandlerErrorBecomesFault) {
+  sim::Host& server_host = net.add_host("server");
+  sim::Host& client_host = net.add_host("client");
+  SoapServer server(server_host, 8080);
+  server.register_operation("Fragile", [](const xml::Element&) -> Result<xml::Element> {
+    return fail<xml::Element>("handler exploded");
+  });
+  SoapClient client(client_host, server.endpoint());
+  std::string err;
+  client.call(xml::Element("Fragile"), [&](Result<xml::Element> r) {
+    ASSERT_FALSE(r.ok());
+    err = r.error().message;
+  });
+  loop.run();
+  EXPECT_NE(err.find("handler exploded"), std::string::npos);
+}
+
+TEST_F(SoapRpcTest, PipelinedCallsCorrelateInOrder) {
+  sim::Host& server_host = net.add_host("server");
+  sim::Host& client_host = net.add_host("client");
+  SoapServer server(server_host, 8080);
+  server.register_operation("N", [](const xml::Element& req) -> Result<xml::Element> {
+    xml::Element resp("NResponse");
+    resp.set_text(req.text());
+    return resp;
+  });
+  SoapClient client(client_host, server.endpoint());
+  std::vector<int> replies;
+  for (int i = 0; i < 5; ++i) {
+    xml::Element req("N");
+    req.set_text(std::to_string(i));
+    client.call(std::move(req), [&](Result<xml::Element> r) {
+      ASSERT_TRUE(r.ok());
+      replies.push_back(std::stoi(r.value().text()));
+    });
+  }
+  loop.run();
+  EXPECT_EQ(replies, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace gmmcs::soap

@@ -1,0 +1,220 @@
+// Tests for the streaming subsystem: RTSP codec/state machine, Helix-like
+// distribution, the Real producer pipeline from broker topics, the player
+// buffering model, and the conference archive.
+#include <gtest/gtest.h>
+
+#include "broker/broker_node.hpp"
+#include "broker/client.hpp"
+#include "media/generator.hpp"
+#include "rtp/session.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+#include "streaming/archive.hpp"
+#include "streaming/helix_server.hpp"
+#include "streaming/player.hpp"
+#include "streaming/producer.hpp"
+#include "streaming/rtsp.hpp"
+
+namespace gmmcs::streaming {
+namespace {
+
+TEST(RtspCodec, RequestRoundTrip) {
+  RtspMessage req = RtspMessage::request("DESCRIBE", "rtsp://host2/conf-1-video", 3);
+  req.set_header("Accept", "application/sdp");
+  auto r = RtspMessage::parse(req.serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().is_request);
+  EXPECT_EQ(r.value().method, "DESCRIBE");
+  EXPECT_EQ(r.value().cseq(), 3);
+  EXPECT_EQ(r.value().header("accept"), "application/sdp");
+}
+
+TEST(RtspCodec, ResponseEchoesSessionAndCseq) {
+  RtspMessage req = RtspMessage::request("PLAY", "rtsp://h/x", 9);
+  req.set_header("Session", "rtsp-4");
+  RtspMessage resp = RtspMessage::response(req, 200, "OK");
+  auto r = RtspMessage::parse(resp.serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().status, 200);
+  EXPECT_EQ(r.value().cseq(), 9);
+  EXPECT_EQ(r.value().session_id(), "rtsp-4");
+}
+
+TEST(RtspCodec, StreamNameFromUri) {
+  EXPECT_EQ(stream_name_from_uri("rtsp://host9/sess-1-video"), "sess-1-video");
+  EXPECT_EQ(stream_name_from_uri("rtsp://host9"), "");
+}
+
+TEST(RtspCodec, RejectsMalformed) {
+  EXPECT_FALSE(RtspMessage::parse("nope").ok());
+  EXPECT_FALSE(RtspMessage::parse("PLAY rtsp://x\r\n\r\n").ok());
+}
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  sim::EventLoop loop;
+  sim::Network net{loop, 51};
+};
+
+TEST_F(StreamingTest, DescribeSetupPlayDeliversBlocks) {
+  HelixServer helix(net.add_host("helix"));
+  helix.register_stream("lecture", "v=0\r\ns=lecture\r\n");
+  StreamingPlayer player(net.add_host("viewer"), helix.rtsp_endpoint());
+  bool playing = false;
+  player.play("lecture", [&](bool ok) { playing = ok; });
+  loop.run();
+  ASSERT_TRUE(playing);
+  EXPECT_EQ(player.description(), "v=0\r\ns=lecture\r\n");
+  EXPECT_EQ(helix.playing_clients("lecture"), 1u);
+  for (int i = 0; i < 10; ++i) {
+    helix.push_block("lecture", media::EncodedBlock{.timestamp = 3600u * i, .bytes = 500});
+  }
+  loop.run();
+  EXPECT_EQ(player.blocks_received(), 10u);
+  ASSERT_TRUE(player.startup_latency().has_value());
+  EXPECT_LT(player.startup_latency()->ms(), 10);
+}
+
+TEST_F(StreamingTest, PauseStopsAndTeardownCleans) {
+  HelixServer helix(net.add_host("helix"));
+  helix.register_stream("s", "d");
+  StreamingPlayer player(net.add_host("viewer"), helix.rtsp_endpoint());
+  player.play("s", [](bool) {});
+  loop.run();
+  helix.push_block("s", media::EncodedBlock{.bytes = 100});
+  loop.run();
+  EXPECT_EQ(player.blocks_received(), 1u);
+  bool paused = false;
+  player.pause([&](bool ok) { paused = ok; });
+  loop.run();
+  ASSERT_TRUE(paused);
+  helix.push_block("s", media::EncodedBlock{.bytes = 100});
+  loop.run();
+  EXPECT_EQ(player.blocks_received(), 1u);  // paused: nothing delivered
+  bool torn = false;
+  player.teardown([&](bool ok) { torn = ok; });
+  loop.run();
+  EXPECT_TRUE(torn);
+  EXPECT_EQ(helix.playing_clients("s"), 0u);
+}
+
+TEST_F(StreamingTest, DescribeUnknownStreamFails) {
+  HelixServer helix(net.add_host("helix"));
+  StreamingPlayer player(net.add_host("viewer"), helix.rtsp_endpoint());
+  bool ok = true;
+  player.play("ghost", [&](bool r) { ok = r; });
+  loop.run();
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(StreamingTest, MultiplePlayersEachGetCopies) {
+  HelixServer helix(net.add_host("helix"));
+  helix.register_stream("s", "d");
+  std::vector<std::unique_ptr<StreamingPlayer>> players;
+  for (int i = 0; i < 5; ++i) {
+    players.push_back(std::make_unique<StreamingPlayer>(
+        net.add_host("v" + std::to_string(i)), helix.rtsp_endpoint()));
+    players.back()->play("s", [](bool) {});
+  }
+  loop.run();
+  EXPECT_EQ(helix.playing_clients("s"), 5u);
+  helix.push_block("s", media::EncodedBlock{.bytes = 200});
+  loop.run();
+  for (auto& p : players) EXPECT_EQ(p->blocks_received(), 1u);
+  EXPECT_EQ(helix.blocks_distributed(), 5u);
+}
+
+TEST_F(StreamingTest, ProducerBridgesTopicToHelix) {
+  sim::Host& bh = net.add_host("broker");
+  broker::BrokerNode broker_node(bh, 0);
+  sim::Host& rh = net.add_host("real-servers");
+  HelixServer helix(rh);
+  RealProducer producer(rh, broker_node.stream_endpoint(), helix,
+                        {.topic = "/xgsp/session/9/video", .stream_name = "9-video"});
+  EXPECT_EQ(helix.stream_names(), std::vector<std::string>{"9-video"});
+
+  // A viewer playing the re-encoded stream.
+  StreamingPlayer player(net.add_host("viewer"), helix.rtsp_endpoint());
+  player.play("9-video", [](bool) {});
+  loop.run();
+
+  // A video sender publishing RTP into the session topic.
+  sim::Host& sender = net.add_host("sender");
+  rtp::RtpSession tx(sender, {.ssrc = 5, .payload_type = 96});
+  broker::BrokerClient pub(sender, broker_node.stream_endpoint(),
+                           broker::BrokerClient::Config{.name = "sender"});
+  tx.on_send([&](const Bytes& wire) { pub.publish("/xgsp/session/9/video", wire); });
+  media::VideoSource source(tx, {.codec = media::codecs::mpeg4_sim(), .seed = 4});
+  loop.run();
+  source.start();
+  loop.run_until(SimTime{duration_s(2).ns()});
+  source.stop();
+  loop.run_for(duration_s(1));
+
+  EXPECT_GT(producer.packets_consumed(), 50u);
+  EXPECT_GT(producer.blocks_produced(), 20u);
+  EXPECT_GT(player.blocks_received(), 20u);
+  // RealMedia re-encoding reduces the bitrate (output_ratio < 1).
+  EXPECT_LT(player.bytes_received(), producer.packets_consumed() * 960);
+  EXPECT_EQ(player.late_blocks(), 0u);
+}
+
+TEST_F(StreamingTest, ArchiveRecordsAndReplaysWithTiming) {
+  sim::Host& bh = net.add_host("broker");
+  broker::BrokerNode broker_node(bh, 0);
+  ConferenceArchive archive(net.add_host("archive"), broker_node.stream_endpoint());
+  broker::BrokerClient pub(net.add_host("pub"), broker_node.stream_endpoint());
+  archive.record("/conf/audio");
+  loop.run();
+  // Three events spaced 100ms apart.
+  for (int i = 0; i < 3; ++i) {
+    loop.schedule_after(duration_ms(100 * (i + 1)),
+                        [&pub, i] { pub.publish("/conf/audio", Bytes(10, static_cast<std::uint8_t>(i))); });
+  }
+  loop.run();
+  archive.stop("/conf/audio");
+  EXPECT_EQ(archive.recorded_events("/conf/audio"), 3u);
+
+  // Replay at 1x onto a new topic; a subscriber sees the same spacing.
+  broker::BrokerClient sub(net.add_host("sub"), broker_node.stream_endpoint());
+  sub.subscribe("/replay/audio");
+  std::vector<std::int64_t> arrivals;
+  sub.on_event([&](const broker::Event&) { arrivals.push_back(loop.now().ns()); });
+  loop.run();
+  SimTime replay_start = loop.now();
+  ASSERT_TRUE(archive.replay("/conf/audio", "/replay/audio"));
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  auto gap1 = arrivals[1] - arrivals[0];
+  auto gap2 = arrivals[2] - arrivals[1];
+  EXPECT_NEAR(static_cast<double>(gap1), duration_ms(100).ns(), duration_ms(5).ns());
+  EXPECT_NEAR(static_cast<double>(gap2), duration_ms(100).ns(), duration_ms(5).ns());
+  EXPECT_GE(arrivals[0], replay_start.ns());
+}
+
+TEST_F(StreamingTest, ArchiveReplaySpeedScalesTiming) {
+  sim::Host& bh = net.add_host("broker");
+  broker::BrokerNode broker_node(bh, 0);
+  ConferenceArchive archive(net.add_host("archive"), broker_node.stream_endpoint());
+  broker::BrokerClient pub(net.add_host("pub"), broker_node.stream_endpoint());
+  archive.record("/t");
+  loop.run();
+  loop.schedule_after(duration_ms(200), [&] { pub.publish("/t", Bytes(1, 1)); });
+  loop.schedule_after(duration_ms(400), [&] { pub.publish("/t", Bytes(1, 2)); });
+  loop.run();
+  archive.stop("/t");
+  broker::BrokerClient sub(net.add_host("sub"), broker_node.stream_endpoint());
+  sub.subscribe("/t2");
+  std::vector<std::int64_t> arrivals;
+  sub.on_event([&](const broker::Event&) { arrivals.push_back(loop.now().ns()); });
+  loop.run();
+  ASSERT_TRUE(archive.replay("/t", "/t2", 2.0));  // twice as fast
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(arrivals[1] - arrivals[0]), duration_ms(100).ns(),
+              duration_ms(5).ns());
+  EXPECT_FALSE(archive.replay("/missing", "/x"));
+}
+
+}  // namespace
+}  // namespace gmmcs::streaming

@@ -1,0 +1,133 @@
+// Tests for the minimal XML DOM, parser and serializer.
+#include <gtest/gtest.h>
+
+#include "xml/xml.hpp"
+
+namespace gmmcs::xml {
+namespace {
+
+TEST(XmlBuild, SerializeSimple) {
+  Element root("session");
+  root.set_attr("id", "42");
+  root.add_text_child("name", "standup");
+  EXPECT_EQ(root.serialize(), "<session id=\"42\"><name>standup</name></session>");
+}
+
+TEST(XmlBuild, SelfClosingWhenEmpty) {
+  Element e("ping");
+  EXPECT_EQ(e.serialize(), "<ping/>");
+}
+
+TEST(XmlBuild, AttributeOverwrite) {
+  Element e("x");
+  e.set_attr("a", "1");
+  e.set_attr("a", "2");
+  EXPECT_EQ(e.attr("a"), "2");
+  EXPECT_EQ(e.attrs().size(), 1u);
+}
+
+TEST(XmlEscape, RoundTrip) {
+  std::string nasty = "a<b & \"c\" 'd' >e";
+  EXPECT_EQ(unescape(escape(nasty)), nasty);
+}
+
+TEST(XmlEscape, NumericEntities) {
+  EXPECT_EQ(unescape("&#65;&#x42;"), "AB");
+}
+
+TEST(XmlParse, SimpleDocument) {
+  auto r = parse("<a x=\"1\"><b>hi</b><b>yo</b></a>");
+  ASSERT_TRUE(r.ok());
+  const Element& root = r.value();
+  EXPECT_EQ(root.name(), "a");
+  EXPECT_EQ(root.attr("x"), "1");
+  ASSERT_EQ(root.children().size(), 2u);
+  EXPECT_EQ(root.children()[0].text(), "hi");
+  EXPECT_EQ(root.children_named("b").size(), 2u);
+  EXPECT_EQ(root.child_text("b"), "hi");
+}
+
+TEST(XmlParse, DeclarationAndComments) {
+  auto r = parse("<?xml version=\"1.0\"?><!-- hi --><root><!-- inner -->x</root>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().text(), "x");
+}
+
+TEST(XmlParse, Cdata) {
+  auto r = parse("<m><![CDATA[a<b&c]]></m>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().text(), "a<b&c");
+}
+
+TEST(XmlParse, EntitiesInTextAndAttrs) {
+  auto r = parse("<m t=\"a&amp;b\">x &lt; y</m>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().attr("t"), "a&b");
+  EXPECT_EQ(r.value().text(), "x < y");
+}
+
+TEST(XmlParse, SelfClosingAndNesting) {
+  auto r = parse("<a><b/><c><d/></c></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().children().size(), 2u);
+  ASSERT_NE(r.value().child("c"), nullptr);
+  EXPECT_NE(r.value().child("c")->child("d"), nullptr);
+}
+
+TEST(XmlParse, SingleQuotedAttributes) {
+  auto r = parse("<a x='hi'/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().attr("x"), "hi");
+}
+
+TEST(XmlParse, RejectsMismatchedTags) {
+  auto r = parse("<a><b></a></b>");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(XmlParse, RejectsTrailingContent) {
+  auto r = parse("<a/><b/>");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(XmlParse, RejectsTruncated) {
+  EXPECT_FALSE(parse("<a><b>").ok());
+  EXPECT_FALSE(parse("<a x=\"unterminated>").ok());
+  EXPECT_FALSE(parse("").ok());
+}
+
+TEST(XmlParse, RoundTripThroughSerialize) {
+  Element root("xgsp");
+  root.set_attr("version", "1.0");
+  Element& sess = root.add_child("session");
+  sess.set_attr("id", "s-1");
+  sess.add_text_child("title", "Weekly <sync> & more");
+  Element& media = sess.add_child("media");
+  media.set_attr("type", "video");
+  media.set_attr("codec", "H.261");
+  auto r = parse(root.serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().child("session")->child_text("title"), "Weekly <sync> & more");
+  EXPECT_EQ(r.value().child("session")->child("media")->attr("codec"), "H.261");
+}
+
+TEST(XmlParse, PrettyPrintedInputParses) {
+  Element root("a");
+  root.add_child("b").add_text_child("c", "deep");
+  std::string pretty = root.serialize(true);
+  auto r = parse(pretty);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().child("b")->child_text("c"), "deep");
+}
+
+TEST(XmlNamespace, LocalNameAndChildLocal) {
+  EXPECT_EQ(local_name("soap:Envelope"), "Envelope");
+  EXPECT_EQ(local_name("plain"), "plain");
+  Element root("soap:Envelope");
+  root.add_child("soap:Body");
+  EXPECT_NE(root.child_local("Body"), nullptr);
+  EXPECT_EQ(root.child_local("Header"), nullptr);
+}
+
+}  // namespace
+}  // namespace gmmcs::xml
