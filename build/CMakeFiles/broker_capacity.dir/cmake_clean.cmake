@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_capacity.dir/bench/broker_capacity.cpp.o"
+  "CMakeFiles/broker_capacity.dir/bench/broker_capacity.cpp.o.d"
+  "bench/broker_capacity"
+  "bench/broker_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

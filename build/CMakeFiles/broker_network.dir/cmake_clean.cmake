@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_network.dir/bench/broker_network.cpp.o"
+  "CMakeFiles/broker_network.dir/bench/broker_network.cpp.o.d"
+  "bench/broker_network"
+  "bench/broker_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispatch_threads.dir/bench/dispatch_threads.cpp.o"
+  "CMakeFiles/dispatch_threads.dir/bench/dispatch_threads.cpp.o.d"
+  "bench/dispatch_threads"
+  "bench/dispatch_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatch_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_delay_jitter.dir/bench/fig3_delay_jitter.cpp.o"
+  "CMakeFiles/fig3_delay_jitter.dir/bench/fig3_delay_jitter.cpp.o.d"
+  "bench/fig3_delay_jitter"
+  "bench/fig3_delay_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_delay_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

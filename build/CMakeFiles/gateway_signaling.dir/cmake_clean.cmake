@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_signaling.dir/bench/gateway_signaling.cpp.o"
+  "CMakeFiles/gateway_signaling.dir/bench/gateway_signaling.cpp.o.d"
+  "bench/gateway_signaling"
+  "bench/gateway_signaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

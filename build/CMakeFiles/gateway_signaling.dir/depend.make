@@ -1,0 +1,2 @@
+# Empty dependencies file for gateway_signaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_codecs.dir/bench/micro_codecs.cpp.o"
+  "CMakeFiles/micro_codecs.dir/bench/micro_codecs.cpp.o.d"
+  "bench/micro_codecs"
+  "bench/micro_codecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_tradeoff.dir/bench/p2p_tradeoff.cpp.o"
+  "CMakeFiles/p2p_tradeoff.dir/bench/p2p_tradeoff.cpp.o.d"
+  "bench/p2p_tradeoff"
+  "bench/p2p_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_delivery.dir/bench/reliable_delivery.cpp.o"
+  "CMakeFiles/reliable_delivery.dir/bench/reliable_delivery.cpp.o.d"
+  "bench/reliable_delivery"
+  "bench/reliable_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archived_lecture.dir/archived_lecture.cpp.o"
+  "CMakeFiles/archived_lecture.dir/archived_lecture.cpp.o.d"
+  "archived_lecture"
+  "archived_lecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archived_lecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for archived_lecture.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_lecture.dir/global_lecture.cpp.o"
+  "CMakeFiles/global_lecture.dir/global_lecture.cpp.o.d"
+  "global_lecture"
+  "global_lecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_lecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_conference.dir/heterogeneous_conference.cpp.o"
+  "CMakeFiles/heterogeneous_conference.dir/heterogeneous_conference.cpp.o.d"
+  "heterogeneous_conference"
+  "heterogeneous_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

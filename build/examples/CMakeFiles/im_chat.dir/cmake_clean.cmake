@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/im_chat.dir/im_chat.cpp.o"
+  "CMakeFiles/im_chat.dir/im_chat.cpp.o.d"
+  "im_chat"
+  "im_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/im_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

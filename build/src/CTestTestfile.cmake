@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xml")
+subdirs("sim")
+subdirs("transport")
+subdirs("rtp")
+subdirs("media")
+subdirs("broker")
+subdirs("soap")
+subdirs("xgsp")
+subdirs("sip")
+subdirs("h323")
+subdirs("streaming")
+subdirs("admire")
+subdirs("baseline")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmcs_admire.dir/admire.cpp.o"
+  "CMakeFiles/gmmcs_admire.dir/admire.cpp.o.d"
+  "libgmmcs_admire.a"
+  "libgmmcs_admire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmcs_admire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

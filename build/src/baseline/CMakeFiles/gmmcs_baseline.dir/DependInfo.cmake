@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/jmf_reflector.cpp" "src/baseline/CMakeFiles/gmmcs_baseline.dir/jmf_reflector.cpp.o" "gcc" "src/baseline/CMakeFiles/gmmcs_baseline.dir/jmf_reflector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/gmmcs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gmmcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmmcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmcs_baseline.dir/jmf_reflector.cpp.o"
+  "CMakeFiles/gmmcs_baseline.dir/jmf_reflector.cpp.o.d"
+  "libgmmcs_baseline.a"
+  "libgmmcs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmcs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

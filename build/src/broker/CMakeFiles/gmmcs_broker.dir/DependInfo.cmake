@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broker/broker_network.cpp" "src/broker/CMakeFiles/gmmcs_broker.dir/broker_network.cpp.o" "gcc" "src/broker/CMakeFiles/gmmcs_broker.dir/broker_network.cpp.o.d"
+  "/root/repo/src/broker/broker_node.cpp" "src/broker/CMakeFiles/gmmcs_broker.dir/broker_node.cpp.o" "gcc" "src/broker/CMakeFiles/gmmcs_broker.dir/broker_node.cpp.o.d"
+  "/root/repo/src/broker/client.cpp" "src/broker/CMakeFiles/gmmcs_broker.dir/client.cpp.o" "gcc" "src/broker/CMakeFiles/gmmcs_broker.dir/client.cpp.o.d"
+  "/root/repo/src/broker/event.cpp" "src/broker/CMakeFiles/gmmcs_broker.dir/event.cpp.o" "gcc" "src/broker/CMakeFiles/gmmcs_broker.dir/event.cpp.o.d"
+  "/root/repo/src/broker/p2p.cpp" "src/broker/CMakeFiles/gmmcs_broker.dir/p2p.cpp.o" "gcc" "src/broker/CMakeFiles/gmmcs_broker.dir/p2p.cpp.o.d"
+  "/root/repo/src/broker/reliable.cpp" "src/broker/CMakeFiles/gmmcs_broker.dir/reliable.cpp.o" "gcc" "src/broker/CMakeFiles/gmmcs_broker.dir/reliable.cpp.o.d"
+  "/root/repo/src/broker/rtp_proxy.cpp" "src/broker/CMakeFiles/gmmcs_broker.dir/rtp_proxy.cpp.o" "gcc" "src/broker/CMakeFiles/gmmcs_broker.dir/rtp_proxy.cpp.o.d"
+  "/root/repo/src/broker/topic.cpp" "src/broker/CMakeFiles/gmmcs_broker.dir/topic.cpp.o" "gcc" "src/broker/CMakeFiles/gmmcs_broker.dir/topic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/gmmcs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gmmcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmmcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

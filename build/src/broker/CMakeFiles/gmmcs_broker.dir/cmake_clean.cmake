@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmcs_broker.dir/broker_network.cpp.o"
+  "CMakeFiles/gmmcs_broker.dir/broker_network.cpp.o.d"
+  "CMakeFiles/gmmcs_broker.dir/broker_node.cpp.o"
+  "CMakeFiles/gmmcs_broker.dir/broker_node.cpp.o.d"
+  "CMakeFiles/gmmcs_broker.dir/client.cpp.o"
+  "CMakeFiles/gmmcs_broker.dir/client.cpp.o.d"
+  "CMakeFiles/gmmcs_broker.dir/event.cpp.o"
+  "CMakeFiles/gmmcs_broker.dir/event.cpp.o.d"
+  "CMakeFiles/gmmcs_broker.dir/p2p.cpp.o"
+  "CMakeFiles/gmmcs_broker.dir/p2p.cpp.o.d"
+  "CMakeFiles/gmmcs_broker.dir/reliable.cpp.o"
+  "CMakeFiles/gmmcs_broker.dir/reliable.cpp.o.d"
+  "CMakeFiles/gmmcs_broker.dir/rtp_proxy.cpp.o"
+  "CMakeFiles/gmmcs_broker.dir/rtp_proxy.cpp.o.d"
+  "CMakeFiles/gmmcs_broker.dir/topic.cpp.o"
+  "CMakeFiles/gmmcs_broker.dir/topic.cpp.o.d"
+  "libgmmcs_broker.a"
+  "libgmmcs_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmcs_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmcs_common.dir/bytes.cpp.o"
+  "CMakeFiles/gmmcs_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/gmmcs_common.dir/log.cpp.o"
+  "CMakeFiles/gmmcs_common.dir/log.cpp.o.d"
+  "CMakeFiles/gmmcs_common.dir/random.cpp.o"
+  "CMakeFiles/gmmcs_common.dir/random.cpp.o.d"
+  "CMakeFiles/gmmcs_common.dir/stats.cpp.o"
+  "CMakeFiles/gmmcs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gmmcs_common.dir/strings.cpp.o"
+  "CMakeFiles/gmmcs_common.dir/strings.cpp.o.d"
+  "libgmmcs_common.a"
+  "libgmmcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmcs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgmmcs_common.a"
+)

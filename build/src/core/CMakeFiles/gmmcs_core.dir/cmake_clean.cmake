@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmcs_core.dir/accessgrid.cpp.o"
+  "CMakeFiles/gmmcs_core.dir/accessgrid.cpp.o.d"
+  "CMakeFiles/gmmcs_core.dir/experiments.cpp.o"
+  "CMakeFiles/gmmcs_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/gmmcs_core.dir/global_mmcs.cpp.o"
+  "CMakeFiles/gmmcs_core.dir/global_mmcs.cpp.o.d"
+  "libgmmcs_core.a"
+  "libgmmcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

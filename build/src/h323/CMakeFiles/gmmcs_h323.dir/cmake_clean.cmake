@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmcs_h323.dir/gatekeeper.cpp.o"
+  "CMakeFiles/gmmcs_h323.dir/gatekeeper.cpp.o.d"
+  "CMakeFiles/gmmcs_h323.dir/gateway.cpp.o"
+  "CMakeFiles/gmmcs_h323.dir/gateway.cpp.o.d"
+  "CMakeFiles/gmmcs_h323.dir/messages.cpp.o"
+  "CMakeFiles/gmmcs_h323.dir/messages.cpp.o.d"
+  "CMakeFiles/gmmcs_h323.dir/terminal.cpp.o"
+  "CMakeFiles/gmmcs_h323.dir/terminal.cpp.o.d"
+  "libgmmcs_h323.a"
+  "libgmmcs_h323.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmcs_h323.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/codec.cpp" "src/media/CMakeFiles/gmmcs_media.dir/codec.cpp.o" "gcc" "src/media/CMakeFiles/gmmcs_media.dir/codec.cpp.o.d"
+  "/root/repo/src/media/generator.cpp" "src/media/CMakeFiles/gmmcs_media.dir/generator.cpp.o" "gcc" "src/media/CMakeFiles/gmmcs_media.dir/generator.cpp.o.d"
+  "/root/repo/src/media/transcoder.cpp" "src/media/CMakeFiles/gmmcs_media.dir/transcoder.cpp.o" "gcc" "src/media/CMakeFiles/gmmcs_media.dir/transcoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtp/CMakeFiles/gmmcs_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gmmcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmmcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/gmmcs_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

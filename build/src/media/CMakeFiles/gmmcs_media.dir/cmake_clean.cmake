@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmcs_media.dir/codec.cpp.o"
+  "CMakeFiles/gmmcs_media.dir/codec.cpp.o.d"
+  "CMakeFiles/gmmcs_media.dir/generator.cpp.o"
+  "CMakeFiles/gmmcs_media.dir/generator.cpp.o.d"
+  "CMakeFiles/gmmcs_media.dir/transcoder.cpp.o"
+  "CMakeFiles/gmmcs_media.dir/transcoder.cpp.o.d"
+  "libgmmcs_media.a"
+  "libgmmcs_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmcs_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

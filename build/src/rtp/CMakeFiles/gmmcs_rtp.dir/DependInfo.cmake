@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtp/packet.cpp" "src/rtp/CMakeFiles/gmmcs_rtp.dir/packet.cpp.o" "gcc" "src/rtp/CMakeFiles/gmmcs_rtp.dir/packet.cpp.o.d"
+  "/root/repo/src/rtp/playout.cpp" "src/rtp/CMakeFiles/gmmcs_rtp.dir/playout.cpp.o" "gcc" "src/rtp/CMakeFiles/gmmcs_rtp.dir/playout.cpp.o.d"
+  "/root/repo/src/rtp/receiver_stats.cpp" "src/rtp/CMakeFiles/gmmcs_rtp.dir/receiver_stats.cpp.o" "gcc" "src/rtp/CMakeFiles/gmmcs_rtp.dir/receiver_stats.cpp.o.d"
+  "/root/repo/src/rtp/rtcp.cpp" "src/rtp/CMakeFiles/gmmcs_rtp.dir/rtcp.cpp.o" "gcc" "src/rtp/CMakeFiles/gmmcs_rtp.dir/rtcp.cpp.o.d"
+  "/root/repo/src/rtp/session.cpp" "src/rtp/CMakeFiles/gmmcs_rtp.dir/session.cpp.o" "gcc" "src/rtp/CMakeFiles/gmmcs_rtp.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/gmmcs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gmmcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmmcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmcs_rtp.dir/packet.cpp.o"
+  "CMakeFiles/gmmcs_rtp.dir/packet.cpp.o.d"
+  "CMakeFiles/gmmcs_rtp.dir/playout.cpp.o"
+  "CMakeFiles/gmmcs_rtp.dir/playout.cpp.o.d"
+  "CMakeFiles/gmmcs_rtp.dir/receiver_stats.cpp.o"
+  "CMakeFiles/gmmcs_rtp.dir/receiver_stats.cpp.o.d"
+  "CMakeFiles/gmmcs_rtp.dir/rtcp.cpp.o"
+  "CMakeFiles/gmmcs_rtp.dir/rtcp.cpp.o.d"
+  "CMakeFiles/gmmcs_rtp.dir/session.cpp.o"
+  "CMakeFiles/gmmcs_rtp.dir/session.cpp.o.d"
+  "libgmmcs_rtp.a"
+  "libgmmcs_rtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmcs_rtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

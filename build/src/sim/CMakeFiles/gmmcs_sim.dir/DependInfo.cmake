@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_loop.cpp" "src/sim/CMakeFiles/gmmcs_sim.dir/event_loop.cpp.o" "gcc" "src/sim/CMakeFiles/gmmcs_sim.dir/event_loop.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/gmmcs_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/gmmcs_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/service_center.cpp" "src/sim/CMakeFiles/gmmcs_sim.dir/service_center.cpp.o" "gcc" "src/sim/CMakeFiles/gmmcs_sim.dir/service_center.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gmmcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

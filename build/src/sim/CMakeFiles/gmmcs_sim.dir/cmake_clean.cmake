@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmcs_sim.dir/event_loop.cpp.o"
+  "CMakeFiles/gmmcs_sim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/gmmcs_sim.dir/network.cpp.o"
+  "CMakeFiles/gmmcs_sim.dir/network.cpp.o.d"
+  "CMakeFiles/gmmcs_sim.dir/service_center.cpp.o"
+  "CMakeFiles/gmmcs_sim.dir/service_center.cpp.o.d"
+  "libgmmcs_sim.a"
+  "libgmmcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sip/agent.cpp" "src/sip/CMakeFiles/gmmcs_sip.dir/agent.cpp.o" "gcc" "src/sip/CMakeFiles/gmmcs_sip.dir/agent.cpp.o.d"
+  "/root/repo/src/sip/endpoint.cpp" "src/sip/CMakeFiles/gmmcs_sip.dir/endpoint.cpp.o" "gcc" "src/sip/CMakeFiles/gmmcs_sip.dir/endpoint.cpp.o.d"
+  "/root/repo/src/sip/gateway.cpp" "src/sip/CMakeFiles/gmmcs_sip.dir/gateway.cpp.o" "gcc" "src/sip/CMakeFiles/gmmcs_sip.dir/gateway.cpp.o.d"
+  "/root/repo/src/sip/hearme.cpp" "src/sip/CMakeFiles/gmmcs_sip.dir/hearme.cpp.o" "gcc" "src/sip/CMakeFiles/gmmcs_sip.dir/hearme.cpp.o.d"
+  "/root/repo/src/sip/im.cpp" "src/sip/CMakeFiles/gmmcs_sip.dir/im.cpp.o" "gcc" "src/sip/CMakeFiles/gmmcs_sip.dir/im.cpp.o.d"
+  "/root/repo/src/sip/message.cpp" "src/sip/CMakeFiles/gmmcs_sip.dir/message.cpp.o" "gcc" "src/sip/CMakeFiles/gmmcs_sip.dir/message.cpp.o.d"
+  "/root/repo/src/sip/proxy.cpp" "src/sip/CMakeFiles/gmmcs_sip.dir/proxy.cpp.o" "gcc" "src/sip/CMakeFiles/gmmcs_sip.dir/proxy.cpp.o.d"
+  "/root/repo/src/sip/sdp.cpp" "src/sip/CMakeFiles/gmmcs_sip.dir/sdp.cpp.o" "gcc" "src/sip/CMakeFiles/gmmcs_sip.dir/sdp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xgsp/CMakeFiles/gmmcs_xgsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/gmmcs_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/gmmcs_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/gmmcs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gmmcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmmcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/gmmcs_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gmmcs_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/gmmcs_rtp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

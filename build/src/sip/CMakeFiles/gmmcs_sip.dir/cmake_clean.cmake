@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmcs_sip.dir/agent.cpp.o"
+  "CMakeFiles/gmmcs_sip.dir/agent.cpp.o.d"
+  "CMakeFiles/gmmcs_sip.dir/endpoint.cpp.o"
+  "CMakeFiles/gmmcs_sip.dir/endpoint.cpp.o.d"
+  "CMakeFiles/gmmcs_sip.dir/gateway.cpp.o"
+  "CMakeFiles/gmmcs_sip.dir/gateway.cpp.o.d"
+  "CMakeFiles/gmmcs_sip.dir/hearme.cpp.o"
+  "CMakeFiles/gmmcs_sip.dir/hearme.cpp.o.d"
+  "CMakeFiles/gmmcs_sip.dir/im.cpp.o"
+  "CMakeFiles/gmmcs_sip.dir/im.cpp.o.d"
+  "CMakeFiles/gmmcs_sip.dir/message.cpp.o"
+  "CMakeFiles/gmmcs_sip.dir/message.cpp.o.d"
+  "CMakeFiles/gmmcs_sip.dir/proxy.cpp.o"
+  "CMakeFiles/gmmcs_sip.dir/proxy.cpp.o.d"
+  "CMakeFiles/gmmcs_sip.dir/sdp.cpp.o"
+  "CMakeFiles/gmmcs_sip.dir/sdp.cpp.o.d"
+  "libgmmcs_sip.a"
+  "libgmmcs_sip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmcs_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmcs_soap.dir/soap.cpp.o"
+  "CMakeFiles/gmmcs_soap.dir/soap.cpp.o.d"
+  "libgmmcs_soap.a"
+  "libgmmcs_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmcs_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

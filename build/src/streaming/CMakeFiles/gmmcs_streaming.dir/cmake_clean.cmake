@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmcs_streaming.dir/archive.cpp.o"
+  "CMakeFiles/gmmcs_streaming.dir/archive.cpp.o.d"
+  "CMakeFiles/gmmcs_streaming.dir/helix_server.cpp.o"
+  "CMakeFiles/gmmcs_streaming.dir/helix_server.cpp.o.d"
+  "CMakeFiles/gmmcs_streaming.dir/player.cpp.o"
+  "CMakeFiles/gmmcs_streaming.dir/player.cpp.o.d"
+  "CMakeFiles/gmmcs_streaming.dir/producer.cpp.o"
+  "CMakeFiles/gmmcs_streaming.dir/producer.cpp.o.d"
+  "CMakeFiles/gmmcs_streaming.dir/rtsp.cpp.o"
+  "CMakeFiles/gmmcs_streaming.dir/rtsp.cpp.o.d"
+  "libgmmcs_streaming.a"
+  "libgmmcs_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmcs_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

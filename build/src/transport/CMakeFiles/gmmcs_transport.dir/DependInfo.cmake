@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/datagram_socket.cpp" "src/transport/CMakeFiles/gmmcs_transport.dir/datagram_socket.cpp.o" "gcc" "src/transport/CMakeFiles/gmmcs_transport.dir/datagram_socket.cpp.o.d"
+  "/root/repo/src/transport/firewall.cpp" "src/transport/CMakeFiles/gmmcs_transport.dir/firewall.cpp.o" "gcc" "src/transport/CMakeFiles/gmmcs_transport.dir/firewall.cpp.o.d"
+  "/root/repo/src/transport/stream.cpp" "src/transport/CMakeFiles/gmmcs_transport.dir/stream.cpp.o" "gcc" "src/transport/CMakeFiles/gmmcs_transport.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gmmcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmmcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

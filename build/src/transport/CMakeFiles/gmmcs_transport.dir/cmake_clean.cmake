@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmcs_transport.dir/datagram_socket.cpp.o"
+  "CMakeFiles/gmmcs_transport.dir/datagram_socket.cpp.o.d"
+  "CMakeFiles/gmmcs_transport.dir/firewall.cpp.o"
+  "CMakeFiles/gmmcs_transport.dir/firewall.cpp.o.d"
+  "CMakeFiles/gmmcs_transport.dir/stream.cpp.o"
+  "CMakeFiles/gmmcs_transport.dir/stream.cpp.o.d"
+  "libgmmcs_transport.a"
+  "libgmmcs_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmcs_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xgsp/client.cpp" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/client.cpp.o" "gcc" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/client.cpp.o.d"
+  "/root/repo/src/xgsp/directory.cpp" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/directory.cpp.o" "gcc" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/directory.cpp.o.d"
+  "/root/repo/src/xgsp/messages.cpp" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/messages.cpp.o" "gcc" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/messages.cpp.o.d"
+  "/root/repo/src/xgsp/quality.cpp" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/quality.cpp.o" "gcc" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/quality.cpp.o.d"
+  "/root/repo/src/xgsp/scheduler.cpp" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/scheduler.cpp.o" "gcc" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/scheduler.cpp.o.d"
+  "/root/repo/src/xgsp/session.cpp" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/session.cpp.o" "gcc" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/session.cpp.o.d"
+  "/root/repo/src/xgsp/session_server.cpp" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/session_server.cpp.o" "gcc" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/session_server.cpp.o.d"
+  "/root/repo/src/xgsp/shared_app.cpp" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/shared_app.cpp.o" "gcc" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/shared_app.cpp.o.d"
+  "/root/repo/src/xgsp/web_server.cpp" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/web_server.cpp.o" "gcc" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/web_server.cpp.o.d"
+  "/root/repo/src/xgsp/wsdl_ci.cpp" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/wsdl_ci.cpp.o" "gcc" "src/xgsp/CMakeFiles/gmmcs_xgsp.dir/wsdl_ci.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/broker/CMakeFiles/gmmcs_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/gmmcs_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gmmcs_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gmmcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmmcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/gmmcs_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmcs_xgsp.dir/client.cpp.o"
+  "CMakeFiles/gmmcs_xgsp.dir/client.cpp.o.d"
+  "CMakeFiles/gmmcs_xgsp.dir/directory.cpp.o"
+  "CMakeFiles/gmmcs_xgsp.dir/directory.cpp.o.d"
+  "CMakeFiles/gmmcs_xgsp.dir/messages.cpp.o"
+  "CMakeFiles/gmmcs_xgsp.dir/messages.cpp.o.d"
+  "CMakeFiles/gmmcs_xgsp.dir/quality.cpp.o"
+  "CMakeFiles/gmmcs_xgsp.dir/quality.cpp.o.d"
+  "CMakeFiles/gmmcs_xgsp.dir/scheduler.cpp.o"
+  "CMakeFiles/gmmcs_xgsp.dir/scheduler.cpp.o.d"
+  "CMakeFiles/gmmcs_xgsp.dir/session.cpp.o"
+  "CMakeFiles/gmmcs_xgsp.dir/session.cpp.o.d"
+  "CMakeFiles/gmmcs_xgsp.dir/session_server.cpp.o"
+  "CMakeFiles/gmmcs_xgsp.dir/session_server.cpp.o.d"
+  "CMakeFiles/gmmcs_xgsp.dir/shared_app.cpp.o"
+  "CMakeFiles/gmmcs_xgsp.dir/shared_app.cpp.o.d"
+  "CMakeFiles/gmmcs_xgsp.dir/web_server.cpp.o"
+  "CMakeFiles/gmmcs_xgsp.dir/web_server.cpp.o.d"
+  "CMakeFiles/gmmcs_xgsp.dir/wsdl_ci.cpp.o"
+  "CMakeFiles/gmmcs_xgsp.dir/wsdl_ci.cpp.o.d"
+  "libgmmcs_xgsp.a"
+  "libgmmcs_xgsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmcs_xgsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gmmcs_xgsp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmmcs_xml.dir/xml.cpp.o"
+  "CMakeFiles/gmmcs_xml.dir/xml.cpp.o.d"
+  "libgmmcs_xml.a"
+  "libgmmcs_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmmcs_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

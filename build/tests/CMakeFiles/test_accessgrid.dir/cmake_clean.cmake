@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accessgrid.dir/accessgrid_test.cpp.o"
+  "CMakeFiles/test_accessgrid.dir/accessgrid_test.cpp.o.d"
+  "test_accessgrid"
+  "test_accessgrid.pdb"
+  "test_accessgrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accessgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_admire.dir/admire_test.cpp.o"
+  "CMakeFiles/test_admire.dir/admire_test.cpp.o.d"
+  "test_admire"
+  "test_admire.pdb"
+  "test_admire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_admire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

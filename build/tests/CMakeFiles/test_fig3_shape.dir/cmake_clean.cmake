@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fig3_shape.dir/fig3_shape_test.cpp.o"
+  "CMakeFiles/test_fig3_shape.dir/fig3_shape_test.cpp.o.d"
+  "test_fig3_shape"
+  "test_fig3_shape.pdb"
+  "test_fig3_shape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fig3_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_h323.dir/h323_test.cpp.o"
+  "CMakeFiles/test_h323.dir/h323_test.cpp.o.d"
+  "test_h323"
+  "test_h323.pdb"
+  "test_h323[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_h323.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

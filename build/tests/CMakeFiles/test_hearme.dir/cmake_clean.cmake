@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hearme.dir/hearme_test.cpp.o"
+  "CMakeFiles/test_hearme.dir/hearme_test.cpp.o.d"
+  "test_hearme"
+  "test_hearme.pdb"
+  "test_hearme[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hearme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_media.dir/media_test.cpp.o"
+  "CMakeFiles/test_media.dir/media_test.cpp.o.d"
+  "test_media"
+  "test_media.pdb"
+  "test_media[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_playout.dir/playout_test.cpp.o"
+  "CMakeFiles/test_playout.dir/playout_test.cpp.o.d"
+  "test_playout"
+  "test_playout.pdb"
+  "test_playout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_playout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/quality_test.cpp" "tests/CMakeFiles/test_quality.dir/quality_test.cpp.o" "gcc" "tests/CMakeFiles/test_quality.dir/quality_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gmmcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xgsp/CMakeFiles/gmmcs_xgsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/gmmcs_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/gmmcs_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/gmmcs_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/gmmcs_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gmmcs_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/gmmcs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gmmcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_renegotiation.dir/renegotiation_test.cpp.o"
+  "CMakeFiles/test_renegotiation.dir/renegotiation_test.cpp.o.d"
+  "test_renegotiation"
+  "test_renegotiation.pdb"
+  "test_renegotiation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_renegotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sip.dir/sip_test.cpp.o"
+  "CMakeFiles/test_sip.dir/sip_test.cpp.o.d"
+  "test_sip"
+  "test_sip.pdb"
+  "test_sip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xgsp.dir/xgsp_test.cpp.o"
+  "CMakeFiles/test_xgsp.dir/xgsp_test.cpp.o.d"
+  "test_xgsp"
+  "test_xgsp.pdb"
+  "test_xgsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xgsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
