@@ -5,15 +5,25 @@
 // Sweeps receiver counts for a single broker carrying one 64 Kbps G.711
 // audio stream or one 600 Kbps video stream and reports delay/loss with
 // the paper's quality criterion (avg delay < 100 ms, loss < 2%).
+// Alongside the table it writes BENCH_broker_capacity.json so the bench
+// trajectory is machine-readable.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/experiments.hpp"
 
 namespace {
 
-void sweep(gmmcs::core::MediaKind kind, const char* title, const std::vector<int>& counts,
-           int paper_claim) {
+struct JsonPoint {
+  std::string sweep;
+  gmmcs::core::CapacityPoint p;
+};
+
+std::vector<JsonPoint> g_points;
+
+void sweep(gmmcs::core::MediaKind kind, const char* title, const char* key,
+           const std::vector<int>& counts, int paper_claim) {
   using namespace gmmcs::core;
   std::printf("\n=== %s (paper claim: good quality beyond %d clients) ===\n", title, paper_claim);
   std::printf("%10s %14s %16s %10s %12s %10s\n", "clients", "avg delay", "per-client max",
@@ -28,9 +38,29 @@ void sweep(gmmcs::core::MediaKind kind, const char* title, const std::vector<int
                 p.p99_delay_ms, p.loss_ratio * 100.0, p.offered_mbps,
                 p.good_quality ? "good" : "DEGRADED");
     if (p.good_quality) last_good = n;
+    g_points.push_back({key, p});
   }
   std::printf("  -> largest good-quality client count in sweep: %d (paper: >%d)\n", last_good,
               paper_claim);
+}
+
+void write_json() {
+  FILE* json = std::fopen("BENCH_broker_capacity.json", "w");
+  if (json == nullptr) return;
+  std::fprintf(json, "{\n  \"bench\": \"broker_capacity\",\n  \"points\": [\n");
+  for (std::size_t i = 0; i < g_points.size(); ++i) {
+    const auto& [sweep_key, p] = g_points[i];
+    std::fprintf(json,
+                 "    {\"sweep\": \"%s\", \"clients\": %d, \"avg_delay_ms\": %.3f, "
+                 "\"p99_delay_ms\": %.3f, \"loss_ratio\": %.5f, \"offered_mbps\": %.2f, "
+                 "\"good_quality\": %s}%s\n",
+                 sweep_key.c_str(), p.clients, p.avg_delay_ms, p.p99_delay_ms, p.loss_ratio,
+                 p.offered_mbps, p.good_quality ? "true" : "false",
+                 i + 1 < g_points.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_broker_capacity.json\n");
 }
 
 }  // namespace
@@ -39,9 +69,10 @@ int main() {
   using namespace gmmcs::core;
   std::printf("=== Broker capacity (claims C1/C2, DESIGN.md section 4) ===\n");
   std::printf("Quality criterion: avg delay < 150 ms and loss < 2%%.\n");
-  sweep(MediaKind::kAudio, "C1: audio clients per broker (64 Kbps G.711)",
+  sweep(MediaKind::kAudio, "C1: audio clients per broker (64 Kbps G.711)", "audio",
         {200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800}, 1000);
-  sweep(MediaKind::kVideo, "C2: video clients per broker (600 Kbps)",
+  sweep(MediaKind::kVideo, "C2: video clients per broker (600 Kbps)", "video",
         {100, 200, 300, 400, 420, 440, 470, 500, 600}, 400);
+  write_json();
   return 0;
 }

@@ -107,27 +107,17 @@ void BrokerNetwork::link_hierarchy() {
 
 void BrokerNetwork::advertise(const TopicFilter& filter, BrokerId origin, bool add) {
   if (add) {
-    ++interest_[filter][origin];
-    return;
+    interest_.subscribe(origin, filter);
+  } else {
+    interest_.unsubscribe(origin, filter);
   }
-  auto it = interest_.find(filter);
-  if (it == interest_.end()) return;
-  auto oit = it->second.find(origin);
-  if (oit == it->second.end()) return;
-  if (--oit->second <= 0) it->second.erase(oit);
-  if (it->second.empty()) interest_.erase(it);
 }
 
 std::vector<BrokerId> BrokerNetwork::interested_brokers(const std::string& topic,
                                                         BrokerId exclude) const {
-  std::set<BrokerId> out;
-  for (const auto& [filter, origins] : interest_) {
-    if (!filter.matches(topic)) continue;
-    for (const auto& [origin, refs] : origins) {
-      if (origin != exclude) out.insert(origin);
-    }
-  }
-  return {out.begin(), out.end()};
+  // Indexed + cached; result is sorted by broker id like the old
+  // set-based scan, so forwarding order is unchanged.
+  return interest_.matches(topic, exclude);
 }
 
 BrokerId BrokerNetwork::next_hop(BrokerId from, BrokerId to) const {

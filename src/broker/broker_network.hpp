@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "broker/broker_node.hpp"
+#include "broker/subscription_index.hpp"
 #include "broker/topic.hpp"
 #include "sim/network.hpp"
 
@@ -82,8 +83,10 @@ class BrokerNetwork {
   // [from][to] -> next hop.
   std::map<BrokerId, std::map<BrokerId, BrokerId>> next_hop_;
   std::map<BrokerId, std::map<BrokerId, int>> dist_;
-  // filter -> origin broker -> refcount.
-  std::map<TopicFilter, std::map<BrokerId, int>> interest_;
+  /// Broker interest table (subscriber = BrokerId), sharing the indexed
+  /// fast path (exact hash + wildcard list + match cache) with the
+  /// per-node client table. Advertisements are refcounted per origin.
+  SubscriptionIndex interest_;
   std::map<BrokerId, ClusterAddress> addresses_;
 };
 

@@ -52,21 +52,25 @@ void BrokerNode::accept(transport::StreamConnectionPtr conn) {
   // The connection's client identity is established by its Hello frame.
   auto client_id = std::make_shared<ClientId>(0);
   auto* raw = conn.get();
-  conn->on_message([this, raw, client_id](const Bytes& data) {
+  // Weak self-reference: lets the Hello handler recover the shared_ptr
+  // without scanning inbound_, and without a conn -> handler -> conn cycle.
+  std::weak_ptr<transport::StreamConnection> weak_conn = conn;
+  conn->on_message([this, raw, client_id, weak_conn](const Bytes& data) {
     auto frame = decode(data);
     if (!frame.ok()) return;
     Frame f = std::move(frame).value();
     switch (f.type) {
       case MessageType::kHello: {
+        // A repeat Hello on an already-identified connection would mint a
+        // second ClientRec and leak the first (and its udp_index_ entry);
+        // the connection keeps its original identity instead.
+        if (*client_id != 0) break;
         ClientId cid = next_client_id_++;
         *client_id = cid;
         ClientRec rec;
         rec.id = cid;
         rec.name = f.hello.client_name;
-        // Find our shared_ptr for this connection.
-        for (const auto& c : inbound_) {
-          if (c.get() == raw) rec.stream = c;
-        }
+        rec.stream = weak_conn.lock();
         if (f.hello.udp_port != 0) {
           rec.udp = sim::Endpoint{rec.stream->remote().node, f.hello.udp_port};
           rec.has_udp = true;
@@ -106,6 +110,7 @@ void BrokerNode::accept(transport::StreamConnectionPtr conn) {
           network_->advertise(filter, id_, /*add=*/false);
         }
       }
+      sub_index_.remove_subscriber(*client_id);
       if (it->second.has_udp) udp_index_.erase(it->second.udp);
       clients_.erase(it);
     }
@@ -121,13 +126,15 @@ void BrokerNode::handle_subscription(ClientRec& c, const SubscribeMessage& m) {
   if (m.subscribe) {
     if (std::find(c.filters.begin(), c.filters.end(), filter) == c.filters.end()) {
       c.filters.push_back(filter);
+      sub_index_.subscribe(c.id, filter);
       if (network_ != nullptr) network_->advertise(filter, id_, /*add=*/true);
     }
   } else {
     auto before = c.filters.size();
     std::erase(c.filters, filter);
-    if (network_ != nullptr && c.filters.size() != before) {
-      network_->advertise(filter, id_, /*add=*/false);
+    if (c.filters.size() != before) {
+      sub_index_.unsubscribe(c.id, filter);
+      if (network_ != nullptr) network_->advertise(filter, id_, /*add=*/false);
     }
   }
 }
@@ -146,20 +153,25 @@ void BrokerNode::ingress_event(Event ev, ClientId publisher) {
   ev.publisher = publisher;
   std::vector<BrokerId> remote =
       network_ != nullptr ? network_->interested_brokers(ev.topic, id_) : std::vector<BrokerId>{};
-  dispatch_.submit(cfg_.dispatch.route_cost, [this, publisher, ev = std::move(ev),
-                                              remote = std::move(remote)]() mutable {
-    route_and_deliver(ev, publisher, remote);
+  // One shared RoutedEvent for the whole fan-out: every copy job holds the
+  // same payload buffer and the kEvent frame is encoded at most once.
+  auto routed = std::make_shared<const RoutedEvent>(std::move(ev));
+  dispatch_.submit(cfg_.dispatch.route_cost, [this, publisher, routed = std::move(routed),
+                                              remote = std::move(remote)] {
+    route_and_deliver(routed, publisher, remote);
   });
 }
 
 void BrokerNode::ingress_peer_event(PeerEventMessage m) {
   ++events_in_;
   m.event.hops = static_cast<std::uint8_t>(m.event.hops + 1);
-  dispatch_.submit(cfg_.dispatch.route_cost, [this, m = std::move(m)]() mutable {
+  auto routed = std::make_shared<const RoutedEvent>(std::move(m.event));
+  dispatch_.submit(cfg_.dispatch.route_cost, [this, routed = std::move(routed),
+                                              targets = std::move(m.targets)] {
     // Deliver locally if we are a target; forward the rest.
     std::vector<BrokerId> rest;
     bool local = false;
-    for (BrokerId t : m.targets) {
+    for (BrokerId t : targets) {
       if (t == id_) {
         local = true;
       } else {
@@ -167,88 +179,84 @@ void BrokerNode::ingress_peer_event(PeerEventMessage m) {
       }
     }
     if (local) {
-      for (ClientId cid : local_matches(m.event.topic)) {
-        auto it = clients_.find(cid);
-        if (it == clients_.end()) continue;
-        dispatch_.submit(cfg_.dispatch.copy_cost(m.event.payload.size()),
-                         [this, cid, ev = m.event] {
+      for (ClientId cid : local_matches(routed->event().topic)) {
+        dispatch_.submit(cfg_.dispatch.copy_cost(routed->event().payload.size()),
+                         [this, cid, routed] {
                            auto cit = clients_.find(cid);
-                           if (cit != clients_.end()) deliver_copy(cit->second, ev);
+                           if (cit != clients_.end()) deliver_copy(cit->second, *routed);
                          });
       }
     }
-    if (!rest.empty()) route_remote(m.event, rest);
+    if (!rest.empty()) route_remote(routed, rest);
   });
 }
 
-void BrokerNode::route_and_deliver(const Event& ev, ClientId exclude,
+void BrokerNode::route_and_deliver(const RoutedEventPtr& ev, ClientId exclude,
                                    const std::vector<BrokerId>& remote_targets) {
-  for (ClientId cid : local_matches(ev.topic, exclude)) {
-    dispatch_.submit(cfg_.dispatch.copy_cost(ev.payload.size()), [this, cid, ev] {
+  for (ClientId cid : local_matches(ev->event().topic, exclude)) {
+    dispatch_.submit(cfg_.dispatch.copy_cost(ev->event().payload.size()), [this, cid, ev] {
       auto it = clients_.find(cid);
-      if (it != clients_.end()) deliver_copy(it->second, ev);
+      if (it != clients_.end()) deliver_copy(it->second, *ev);
     });
   }
   if (!remote_targets.empty()) route_remote(ev, remote_targets);
 }
 
-void BrokerNode::route_remote(const Event& ev, const std::vector<BrokerId>& targets) {
+void BrokerNode::route_remote(const RoutedEventPtr& ev, const std::vector<BrokerId>& targets) {
   // Group remaining target brokers by next hop; one forwarded copy per hop.
   // Unreachable brokers (fabric partitions, links not yet finalized) are
-  // skipped rather than faulting the dispatch path.
+  // skipped rather than faulting the dispatch path. by_hop stays an
+  // ordered map so forwards are submitted in deterministic hop order.
   std::map<BrokerId, std::vector<BrokerId>> by_hop;
   for (BrokerId t : targets) {
     if (network_->distance(id_, t) < 0) {
-      GMMCS_WARN("broker") << "broker " << id_ << ": no route to interested broker " << t;
+      ++unroutable_events_;
+      if (warned_unroutable_.insert(t).second) {
+        GMMCS_WARN("broker") << "broker " << id_ << ": no route to interested broker " << t
+                             << " (counted in unroutable_events; further drops to this "
+                                "target logged silently)";
+      }
       continue;
     }
     by_hop[network_->next_hop(id_, t)].push_back(t);
   }
   for (auto& [hop, subset] : by_hop) {
-    dispatch_.submit(cfg_.dispatch.copy_cost(ev.payload.size()),
+    dispatch_.submit(cfg_.dispatch.copy_cost(ev->event().payload.size()),
                      [this, hop, ev, subset = std::move(subset)] {
-                       forward_to_peer(hop, ev, subset);
+                       forward_to_peer(hop, *ev, subset);
                      });
   }
 }
 
 std::vector<ClientId> BrokerNode::local_matches(const std::string& topic,
                                                 ClientId exclude) const {
-  std::vector<ClientId> out;
-  for (const auto& [cid, c] : clients_) {
-    if (cid == exclude) continue;
-    for (const auto& f : c.filters) {
-      if (f.matches(topic)) {
-        out.push_back(cid);
-        break;
-      }
-    }
-  }
-  return out;
+  return sub_index_.matches(topic, exclude);
 }
 
-void BrokerNode::deliver_copy(const ClientRec& c, const Event& ev) {
+void BrokerNode::deliver_copy(const ClientRec& c, const RoutedEvent& ev) {
   ++copies_delivered_;
-  Bytes wire = encode(ev);
-  if (c.has_udp && ev.qos == QoS::kBestEffort) {
-    host_->send(c.udp, cfg_.dgram_port, std::move(wire));
+  // One shared encode; the per-recipient copy below is the simulated
+  // datagram/stream payload, not a re-serialization.
+  const Bytes& wire = ev.wire();
+  if (c.has_udp && ev.event().qos == QoS::kBestEffort) {
+    host_->send(c.udp, cfg_.dgram_port, wire);
   } else if (c.stream) {
-    c.stream->send(std::move(wire));
+    c.stream->send(wire);
   }
 }
 
-void BrokerNode::forward_to_peer(BrokerId next_hop, const Event& ev,
-                                 std::vector<BrokerId> targets) {
+void BrokerNode::forward_to_peer(BrokerId next_hop, const RoutedEvent& ev,
+                                 const std::vector<BrokerId>& targets) {
   auto it = peer_links_.find(next_hop);
   if (it == peer_links_.end()) {
     GMMCS_WARN("broker") << "broker " << id_ << " has no link toward " << next_hop;
     return;
   }
   ++peer_forwards_;
-  PeerEventMessage m;
-  m.event = ev;
-  m.targets = std::move(targets);
-  it->second->send(encode(m));
+  // Peer framing embeds the (per-hop) target set, so it cannot reuse the
+  // cached kEvent frame; it still encodes straight from the shared event
+  // with no intermediate PeerEventMessage copy.
+  it->second->send(encode_peer_event(ev.event(), targets));
 }
 
 void BrokerNode::add_peer_link(BrokerId peer, transport::StreamConnectionPtr conn) {

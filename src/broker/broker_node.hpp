@@ -19,9 +19,11 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "broker/event.hpp"
+#include "broker/subscription_index.hpp"
 #include "broker/topic.hpp"
 #include "sim/network.hpp"
 #include "sim/service_center.hpp"
@@ -79,9 +81,14 @@ class BrokerNode {
   [[nodiscard]] std::uint64_t copies_delivered() const { return copies_delivered_; }
   [[nodiscard]] std::uint64_t peer_forwards() const { return peer_forwards_; }
   [[nodiscard]] std::uint64_t jobs_dropped() const { return dispatch_.rejected(); }
+  /// Events addressed to an interested broker we have no route to
+  /// (fabric partition); counted per unreachable target.
+  [[nodiscard]] std::uint64_t unroutable_events() const { return unroutable_events_; }
   [[nodiscard]] const sim::ServiceCenter& dispatch() const { return dispatch_; }
   [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
   [[nodiscard]] std::size_t subscription_count() const;
+  /// The topic-routing fast path index (exposed for tests and benches).
+  [[nodiscard]] const SubscriptionIndex& subscriptions() const { return sub_index_; }
 
   // --- Link monitoring (the performance monitoring service) ---
   /// Probes a linked peer; cb receives the RTT. Probes ride the peer's
@@ -115,13 +122,16 @@ class BrokerNode {
   /// Entry point for an event forwarded by a peer broker.
   void ingress_peer_event(PeerEventMessage m);
   /// Routing core: deliver locally and forward the remaining targets.
-  void route_and_deliver(const Event& ev, ClientId exclude,
+  /// Fan-out jobs share the RoutedEvent — no per-recipient Event copy and
+  /// at most one kEvent encode per event.
+  void route_and_deliver(const RoutedEventPtr& ev, ClientId exclude,
                          const std::vector<BrokerId>& remote_targets);
   /// Forwards an event toward each remaining target broker, one copy per
   /// distinct next hop.
-  void route_remote(const Event& ev, const std::vector<BrokerId>& targets);
-  void deliver_copy(const ClientRec& c, const Event& ev);
-  void forward_to_peer(BrokerId next_hop, const Event& ev, std::vector<BrokerId> targets);
+  void route_remote(const RoutedEventPtr& ev, const std::vector<BrokerId>& targets);
+  void deliver_copy(const ClientRec& c, const RoutedEvent& ev);
+  void forward_to_peer(BrokerId next_hop, const RoutedEvent& ev,
+                       const std::vector<BrokerId>& targets);
   [[nodiscard]] std::vector<ClientId> local_matches(const std::string& topic,
                                                     ClientId exclude = 0) const;
 
@@ -136,11 +146,14 @@ class BrokerNode {
   transport::DatagramSocket dgram_;
   sim::ServiceCenter dispatch_;
   ClientId next_client_id_ = 1;
-  std::map<ClientId, ClientRec> clients_;
+  std::unordered_map<ClientId, ClientRec> clients_;
+  /// Topic -> subscriber fast path (exact hash index + wildcard list +
+  /// per-topic match cache); kept in sync with ClientRec::filters.
+  SubscriptionIndex sub_index_;
   /// Reverse index: client's UDP endpoint -> id, to identify publishers of
-  /// datagram-path events (hot path: one map lookup per media packet).
-  std::map<sim::Endpoint, ClientId> udp_index_;
-  std::map<BrokerId, transport::StreamConnectionPtr> peer_links_;
+  /// datagram-path events (hot path: one hash lookup per media packet).
+  std::unordered_map<sim::Endpoint, ClientId, sim::EndpointHash> udp_index_;
+  std::unordered_map<BrokerId, transport::StreamConnectionPtr> peer_links_;
   std::uint32_t next_probe_token_ = 1;
   std::map<std::uint32_t, std::pair<BrokerId, std::function<void(SimDuration)>>> probes_;
   std::map<BrokerId, SimDuration> srtt_;
@@ -149,6 +162,10 @@ class BrokerNode {
   std::uint64_t events_in_ = 0;
   std::uint64_t copies_delivered_ = 0;
   std::uint64_t peer_forwards_ = 0;
+  std::uint64_t unroutable_events_ = 0;
+  /// Targets we already warned about being unreachable — at media rates an
+  /// unconditional per-event warning floods the log during a partition.
+  std::set<BrokerId> warned_unroutable_;
 };
 
 }  // namespace gmmcs::broker

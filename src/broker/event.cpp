@@ -3,6 +3,8 @@
 namespace gmmcs::broker {
 
 namespace {
+std::uint64_t g_event_encodes = 0;
+
 void encode_event_body(ByteWriter& w, const Event& e) {
   w.u8(static_cast<std::uint8_t>(e.qos));
   w.u8(e.hops);
@@ -53,19 +55,36 @@ Bytes encode(const SubscribeMessage& m) {
 }
 
 Bytes encode(const Event& e) {
+  ++g_event_encodes;
   ByteWriter w(e.payload.size() + e.topic.size() + 24);
   w.u8(static_cast<std::uint8_t>(MessageType::kEvent));
   encode_event_body(w, e);
   return w.take();
 }
 
-Bytes encode(const PeerEventMessage& m) {
-  ByteWriter w(m.event.payload.size() + m.event.topic.size() + 32);
+Bytes encode_peer_event(const Event& e, const std::vector<BrokerId>& targets) {
+  ByteWriter w(e.payload.size() + e.topic.size() + 32);
   w.u8(static_cast<std::uint8_t>(MessageType::kPeerEvent));
-  w.u16(static_cast<std::uint16_t>(m.targets.size()));
-  for (BrokerId id : m.targets) w.u32(id);
-  encode_event_body(w, m.event);
+  w.u16(static_cast<std::uint16_t>(targets.size()));
+  for (BrokerId id : targets) w.u32(id);
+  encode_event_body(w, e);
   return w.take();
+}
+
+Bytes encode(const PeerEventMessage& m) {
+  return encode_peer_event(m.event, m.targets);
+}
+
+std::uint64_t event_encode_count() {
+  return g_event_encodes;
+}
+
+const Bytes& RoutedEvent::wire() const {
+  if (!encoded_) {
+    wire_ = encode(event_);
+    encoded_ = true;
+  }
+  return wire_;
 }
 
 Bytes encode(const PingMessage& m, bool pong) {

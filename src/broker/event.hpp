@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -88,7 +89,37 @@ Bytes encode(const HelloAckMessage& m);
 Bytes encode(const SubscribeMessage& m);
 Bytes encode(const Event& e);
 Bytes encode(const PeerEventMessage& m);
+/// kPeerEvent framing straight from an Event and a target set, avoiding
+/// the intermediate PeerEventMessage copy of topic + payload.
+Bytes encode_peer_event(const Event& e, const std::vector<BrokerId>& targets);
 Bytes encode(const PingMessage& m, bool pong);
+
+/// Process-wide count of kEvent encodes (encode(Event) calls). Host-side
+/// instrumentation for the encode-once fan-out path; tests and benches
+/// diff it around a publish to prove the wire frame is built exactly once
+/// per event regardless of recipient count. Not part of the cost model.
+std::uint64_t event_encode_count();
+
+/// An event in flight through the routing fast path: one shared Event plus
+/// its lazily-encoded kEvent wire frame. Fan-out jobs capture the
+/// shared_ptr, so a 400-recipient delivery holds one payload buffer and
+/// encodes one frame instead of copying and re-encoding per recipient —
+/// the transmission-path optimization behind the paper's Figure-3 gap.
+class RoutedEvent {
+ public:
+  explicit RoutedEvent(Event ev) : event_(std::move(ev)) {}
+
+  [[nodiscard]] const Event& event() const { return event_; }
+  /// The cached kEvent frame; encoded on first use, shared afterwards.
+  [[nodiscard]] const Bytes& wire() const;
+
+ private:
+  Event event_;
+  mutable Bytes wire_;
+  mutable bool encoded_ = false;
+};
+
+using RoutedEventPtr = std::shared_ptr<const RoutedEvent>;
 
 /// A decoded frame; `type` selects which member is meaningful.
 struct Frame {

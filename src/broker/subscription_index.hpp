@@ -1,0 +1,100 @@
+// Indexed topic-to-subscriber matching: the routing fast path.
+//
+// The naive matcher walks every subscriber and every filter per published
+// event — O(subscribers x filters) segment comparisons, which is exactly
+// the per-packet overhead the paper's broker optimization removed. This
+// index splits the subscription table the way 2003-era brokers did:
+//
+//  * concrete filters (no wildcards) live in an exact-topic hash map, so a
+//    published topic finds them with one lookup;
+//  * wildcard filters ("*"/"#") live in a short side list that is scanned
+//    only when present;
+//  * results are memoized per topic in a match cache stamped with a
+//    subscription generation counter, so steady-state media traffic (many
+//    events, few distinct topics, rare churn) pays one hash probe per
+//    event. Any subscribe/unsubscribe/disconnect bumps the generation and
+//    lazily invalidates every cached line.
+//
+// The index is shared by BrokerNode (subscriber = ClientId) and
+// BrokerNetwork (subscriber = BrokerId); entries are refcounted so the
+// network's per-origin advertisement counts work unchanged.
+//
+// This is host-CPU bookkeeping only: the *simulated* dispatch cost model
+// (DispatchConfig) is charged exactly as before, so measured results are
+// identical while the simulator itself runs much faster (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/topic.hpp"
+
+namespace gmmcs::broker {
+
+class SubscriptionIndex {
+ public:
+  /// Wide enough for both ClientId and BrokerId.
+  using SubscriberId = std::uint32_t;
+
+  /// Adds one reference to (subscriber, filter). Invalid filters are
+  /// stored for refcounting symmetry but never match anything.
+  void subscribe(SubscriberId id, const TopicFilter& filter);
+  /// Drops one reference; the entry disappears when its count reaches 0.
+  void unsubscribe(SubscriberId id, const TopicFilter& filter);
+  /// Drops all of a subscriber's references (client disconnect).
+  void remove_subscriber(SubscriberId id);
+
+  /// Sorted, deduplicated ids of every subscriber with a filter matching
+  /// `topic`. Cached per topic; valid until the next table mutation.
+  const std::vector<SubscriberId>& matches(const std::string& topic) const;
+  /// Same, minus `exclude` (publisher / origin-broker exclusion).
+  [[nodiscard]] std::vector<SubscriberId> matches(const std::string& topic,
+                                                  SubscriberId exclude) const;
+
+  /// Total (subscriber, filter) entries, counting each once regardless of
+  /// refcount.
+  [[nodiscard]] std::size_t entry_count() const;
+  [[nodiscard]] std::size_t exact_topic_count() const { return exact_.size(); }
+  [[nodiscard]] std::size_t wildcard_filter_count() const { return wildcards_.size(); }
+  /// Bumped by every table mutation; cached match lines from older
+  /// generations are recomputed on next use.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  /// Refcounts ordered by subscriber id so match results come out sorted.
+  using RefMap = std::map<SubscriberId, int>;
+
+  struct WildcardEntry {
+    TopicFilter filter;
+    RefMap refs;
+  };
+
+  struct CacheLine {
+    std::uint64_t generation = 0;
+    std::vector<SubscriberId> ids;
+  };
+
+  void bump_generation();
+
+  /// Concrete filter pattern -> subscriber refcounts (one hash probe per
+  /// published topic).
+  std::unordered_map<std::string, RefMap> exact_;
+  /// Filters containing '*' or a trailing '#' (scanned per cache miss).
+  std::vector<WildcardEntry> wildcards_;
+  /// Invalid filters, kept purely so unsubscribe refcounts balance.
+  std::unordered_map<std::string, RefMap> invalid_;
+  std::uint64_t generation_ = 1;
+
+  /// topic (as published) -> match result; lazily invalidated by
+  /// generation mismatch, fully reset if it ever grows past the cap.
+  mutable std::unordered_map<std::string, CacheLine> cache_;
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
+};
+
+}  // namespace gmmcs::broker

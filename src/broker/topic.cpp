@@ -39,6 +39,7 @@ TopicFilter::TopicFilter(std::string_view pattern)
     return;
   }
   for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i] == "*") has_star_ = true;
     if (segments_[i] == "#") {
       if (i + 1 != segments_.size()) {
         valid_ = false;  // '#' only allowed as the last segment

@@ -29,6 +29,9 @@ class TopicFilter {
   [[nodiscard]] bool matches(std::string_view topic) const;
   [[nodiscard]] const std::string& pattern() const { return pattern_; }
   [[nodiscard]] bool valid() const { return valid_; }
+  /// True if the filter names a single concrete topic (no wildcards); such
+  /// filters match exactly topics whose normalized form equals pattern().
+  [[nodiscard]] bool exact() const { return valid_ && !trailing_hash_ && !has_star_; }
   /// Filters compare by normalized pattern (used as map keys).
   auto operator<=>(const TopicFilter& o) const { return pattern_ <=> o.pattern_; }
   bool operator==(const TopicFilter& o) const { return pattern_ == o.pattern_; }
@@ -37,6 +40,7 @@ class TopicFilter {
   std::string pattern_;
   std::vector<std::string> segments_;
   bool trailing_hash_ = false;
+  bool has_star_ = false;
   bool valid_ = true;
 };
 

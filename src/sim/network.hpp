@@ -42,6 +42,15 @@ struct Endpoint {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Hash for unordered containers keyed by Endpoint (hot-path reverse
+/// indexes like the broker's UDP publisher lookup). (node, port) packs
+/// into 48 bits, so one integer hash covers the pair collision-free.
+struct EndpointHash {
+  std::size_t operator()(const Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(e.node) << 16) | e.port);
+  }
+};
+
 /// A datagram in flight. `sent_at` is stamped at send time so receivers can
 /// compute one-way delay (all hosts share the simulation clock, mirroring
 /// the paper's trick of co-locating measured receivers with the sender).

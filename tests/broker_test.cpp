@@ -12,6 +12,7 @@
 #include "broker/topic.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/network.hpp"
+#include "transport/stream.hpp"
 
 namespace gmmcs::broker {
 namespace {
@@ -267,6 +268,94 @@ TEST_F(BrokerTest, DispatchCostScalesWithFanout) {
   EXPECT_GT((last_arrival - t0).us(), 1000);
 }
 
+TEST_F(BrokerTest, EncodeOnceRegardlessOfFanout) {
+  // The encode-once fan-out: delivering one event to 400 subscribers must
+  // serialize the kEvent frame exactly twice process-wide — once at the
+  // publishing client, once (shared) inside the broker — never per
+  // recipient.
+  sim::Host& bh = host("broker");
+  BrokerNode broker(bh, 0);
+  BrokerClient pub(host("pub"), broker.stream_endpoint());
+  std::vector<std::unique_ptr<BrokerClient>> subs;
+  int got = 0;
+  for (int i = 0; i < 400; ++i) {
+    subs.push_back(std::make_unique<BrokerClient>(host("s" + std::to_string(i)),
+                                                  broker.stream_endpoint()));
+    subs.back()->subscribe("/t");
+    subs.back()->on_event([&](const Event&) { ++got; });
+  }
+  loop.run();
+  std::uint64_t enc0 = event_encode_count();
+  pub.publish("/t", Bytes(1024, 0));
+  loop.run();
+  EXPECT_EQ(got, 400);
+  EXPECT_EQ(broker.copies_delivered(), 400u);
+  EXPECT_EQ(event_encode_count() - enc0, 2u);
+}
+
+TEST_F(BrokerTest, DeliveryOrderMatchesSubscriptionOrder) {
+  // Regression vs the pre-index path: copy jobs are submitted in ascending
+  // client-id order, so equal-latency receivers hear the event in the
+  // order they subscribed.
+  sim::Host& bh = host("broker");
+  BrokerNode broker(bh, 0);
+  BrokerClient pub(host("pub"), broker.stream_endpoint());
+  std::vector<std::unique_ptr<BrokerClient>> subs;
+  std::vector<int> arrivals;
+  for (int i = 0; i < 8; ++i) {
+    subs.push_back(std::make_unique<BrokerClient>(host("s" + std::to_string(i)),
+                                                  broker.stream_endpoint()));
+    subs.back()->subscribe("/t");
+    subs.back()->on_event([&arrivals, i](const Event&) { arrivals.push_back(i); });
+  }
+  loop.run();
+  pub.publish("/t", to_bytes("x"));
+  loop.run();
+  EXPECT_EQ(arrivals, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST_F(BrokerTest, OverlappingFiltersDeliverSingleCopy) {
+  // A client whose exact and wildcard filters both match still gets one
+  // copy (the index deduplicates across its exact table and wildcard
+  // list, like the old per-client break).
+  sim::Host& bh = host("broker");
+  BrokerNode broker(bh, 0);
+  BrokerClient pub(host("pub"), broker.stream_endpoint());
+  BrokerClient sub(host("sub"), broker.stream_endpoint());
+  sub.subscribe("/s/1/video");
+  sub.subscribe("/s/1/#");
+  sub.subscribe("/s/*/video");
+  int got = 0;
+  sub.on_event([&](const Event&) { ++got; });
+  loop.run();
+  pub.publish("/s/1/video", to_bytes("x"));
+  loop.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(broker.copies_delivered(), 1u);
+}
+
+TEST_F(BrokerTest, DuplicateHelloKeepsFirstIdentity) {
+  // A second Hello on an identified connection must not mint a second
+  // ClientRec (the old path leaked the first one and its udp_index entry).
+  sim::Host& bh = host("broker");
+  BrokerNode broker(bh, 0);
+  sim::Host& ch = host("client");
+  auto conn = transport::StreamConnection::connect(ch, broker.stream_endpoint());
+  std::vector<ClientId> acks;
+  conn->on_message([&](const Bytes& data) {
+    auto f = decode(data);
+    if (f.ok() && f.value().type == MessageType::kHelloAck) {
+      acks.push_back(f.value().hello_ack.client_id);
+    }
+  });
+  conn->send(encode(HelloMessage{"dup", 5004}));
+  conn->send(encode(HelloMessage{"dup-again", 5006}));
+  loop.run();
+  EXPECT_EQ(broker.client_count(), 1u);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0], 1u);
+}
+
 TEST_F(BrokerTest, ClientDisconnectCleansSubscriptions) {
   sim::Host& bh = host("broker");
   BrokerNode broker(bh, 0);
@@ -404,6 +493,27 @@ TEST_F(BrokerNetTest, HierarchyTopologyRoutesEverywhere) {
   pub.publish("/x", to_bytes("x"));
   loop.run();
   EXPECT_EQ(got, 1);
+}
+
+TEST_F(BrokerNetTest, UnroutableTargetsCountedNotFatal) {
+  // Two brokers with interest but no path between them: every event that
+  // cannot reach its interested broker bumps unroutable_events() (and
+  // warns once, not per event).
+  BrokerNetwork fabric(net);
+  BrokerNode& b0 = fabric.add_broker(net.add_host("b0"));
+  fabric.add_broker(net.add_host("b1"));
+  fabric.finalize();  // no links: b1 is unreachable from b0
+  BrokerClient pub(net.add_host("pub"), b0.stream_endpoint());
+  BrokerClient sub(net.add_host("sub"), fabric.broker(1).stream_endpoint());
+  sub.subscribe("/t");
+  int got = 0;
+  sub.on_event([&](const Event&) { ++got; });
+  loop.run();
+  for (int i = 0; i < 5; ++i) pub.publish("/t", to_bytes("x"));
+  loop.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(b0.unroutable_events(), 5u);
+  EXPECT_EQ(b0.peer_forwards(), 0u);
 }
 
 TEST_F(BrokerNetTest, ClientViaProxyTraversesFirewall) {
