@@ -18,6 +18,7 @@ gmmcs_bench(p2p_tradeoff)            # A6
 gmmcs_bench(reliable_delivery)       # A7
 gmmcs_bench(dispatch_threads)        # A8
 gmmcs_bench(routing_fanout)          # host-CPU fast-path microbench
+gmmcs_bench(fabric_chaos)            # self-healing under injected faults
 
 add_executable(micro_codecs bench/micro_codecs.cpp)  # A5
 target_link_libraries(micro_codecs PRIVATE gmmcs_core benchmark::benchmark)

@@ -5,10 +5,38 @@
 // sweep the number of dispatch workers and find the video-client capacity
 // knee (same quality criterion as claims C1/C2).
 #include <cstdio>
+#include <vector>
 
 #include "core/experiments.hpp"
 
 using namespace gmmcs;
+
+namespace {
+
+struct Point {
+  int clients = 0;
+  int threads = 0;
+  core::CapacityPoint p;
+};
+
+void write_json(const std::vector<Point>& points) {
+  FILE* json = std::fopen("BENCH_dispatch_threads.json", "w");
+  if (json == nullptr) return;
+  std::fprintf(json, "{\n  \"bench\": \"dispatch_threads\",\n  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    std::fprintf(json,
+                 "    {\"clients\": %d, \"threads\": %d, \"avg_delay_ms\": %.3f, "
+                 "\"loss_ratio\": %.5f, \"good_quality\": %s}%s\n",
+                 pt.clients, pt.threads, pt.p.avg_delay_ms, pt.p.loss_ratio,
+                 pt.p.good_quality ? "true" : "false", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_dispatch_threads.json\n");
+}
+
+}  // namespace
 
 int main() {
   std::printf("=== Extension A8: dispatch thread-pool scaling ===\n");
@@ -17,6 +45,7 @@ int main() {
   const int thread_counts[] = {1, 2, 4, 8};
   for (int t : thread_counts) std::printf(" %11s-%d", "threads", t);
   std::printf("\n");
+  std::vector<Point> points;
   for (int clients : {300, 400, 500, 700, 1000, 1400, 2000}) {
     std::printf("%10d", clients);
     for (int threads : thread_counts) {
@@ -27,6 +56,7 @@ int main() {
       cfg.dispatch = broker::DispatchConfig::optimized();
       cfg.dispatch.threads = threads;
       core::CapacityPoint p = core::run_capacity(cfg);
+      points.push_back({clients, threads, p});
       char cell[32];
       std::snprintf(cell, sizeof cell, "%.0fms %s", p.avg_delay_ms,
                     p.good_quality ? "ok" : "BAD");
@@ -34,6 +64,7 @@ int main() {
     }
     std::printf("\n");
   }
+  write_json(points);
   std::printf("\nReading: capacity scales near-linearly with dispatch workers (knee\n");
   std::printf("~420 -> ~800 -> ~1600 clients), confirming the broker was CPU-bound at\n");
   std::printf("the paper's operating point. With 8 workers a different wall appears:\n");

@@ -1,0 +1,214 @@
+// Self-healing fabric bench: delivery and repair under injected faults.
+//
+// A 6-broker ring runs a steady 50 events/s publish stream while a
+// FaultPlan crashes brokers (overlapping, transiently partitioning the
+// publisher's broker), flaps a fabric link and fires a loss burst at a
+// reliable subscriber. Measured:
+//   - best-effort delivery ratio while faults are active vs overall,
+//   - eventual delivery ratio of the reliable (NAK-repair) profile,
+//   - route-repair detection latency (heartbeat miss -> routes rebuilt),
+//   - client reconnect latency (keepalive miss -> backoff -> re-Hello).
+// Writes BENCH_fabric_chaos.json. Fully deterministic per seed.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "broker/broker_network.hpp"
+#include "broker/broker_node.hpp"
+#include "broker/client.hpp"
+#include "broker/reliable.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/fault.hpp"
+#include "sim/network.hpp"
+
+using namespace gmmcs;
+
+namespace {
+
+constexpr const char* kTopic = "/conf/chaos";
+
+struct Pcts {
+  double median_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t count = 0;
+};
+
+Pcts percentiles(std::vector<SimDuration> v) {
+  Pcts out;
+  out.count = v.size();
+  if (v.empty()) return out;
+  std::sort(v.begin(), v.end());
+  out.median_ms = v[v.size() / 2].to_ms();
+  auto idx = static_cast<std::size_t>(static_cast<double>(v.size()) * 0.99);
+  out.p99_ms = v[std::min(idx, v.size() - 1)].to_ms();
+  return out;
+}
+
+struct SubStats {
+  std::set<std::uint32_t> seqs;  // received publisher sequence numbers
+};
+
+bool in_fault_window(const sim::FaultPlan& plan, SimTime t) {
+  return plan.active_at(t);
+}
+
+}  // namespace
+
+int main() {
+  sim::EventLoop loop;
+  sim::Network net(loop, 4242);
+
+  broker::BrokerNetwork fabric(net);
+  broker::BrokerNode::Config bcfg;
+  bcfg.heartbeat.interval = duration_ms(50);
+  bcfg.heartbeat.miss_threshold = 3;
+  std::vector<sim::Host*> broker_hosts;
+  for (int i = 0; i < 6; ++i) {
+    sim::Host& h = net.add_host("b" + std::to_string(i));
+    broker_hosts.push_back(&h);
+    fabric.add_broker(h, bcfg);
+  }
+  for (int i = 0; i < 6; ++i) fabric.link(i, (i + 1) % 6);
+  fabric.finalize();
+
+  // Publisher and the reliable pipeline sit on the never-crashed broker 0;
+  // best-effort subscribers sit across the ring (b2: reroute coverage,
+  // b5: broker-restart + client-reconnect coverage).
+  broker::BrokerClient pub(net.add_host("pub"), fabric.broker(0).stream_endpoint(),
+                           {.name = "pub"});
+  broker::BrokerClient sub2(net.add_host("sub2"), fabric.broker(2).stream_endpoint(),
+                            {.name = "sub2"});
+  broker::BrokerClient::Config s5cfg;
+  s5cfg.name = "sub5";
+  s5cfg.keepalive_interval = duration_ms(100);
+  s5cfg.reconnect.enabled = true;
+  s5cfg.reconnect.backoff_base = duration_ms(100);
+  s5cfg.reconnect.connect_timeout = duration_ms(300);
+  broker::BrokerClient sub5(net.add_host("sub5"), fabric.broker(5).stream_endpoint(), s5cfg);
+
+  sim::Host& rsub_host = net.add_host("rsub");
+  broker::RecoveryService recovery(net.add_host("recovery"),
+                                   fabric.broker(0).stream_endpoint(), kTopic);
+  broker::ReliableSubscriber rsub(rsub_host, fabric.broker(0).stream_endpoint(), kTopic,
+                                  recovery.endpoint());
+
+  SubStats st2, st5;
+  sub2.subscribe(kTopic);
+  sub5.subscribe(kTopic);
+  sub2.on_event([&](const broker::Event& ev) { st2.seqs.insert(ev.seq); });
+  sub5.on_event([&](const broker::Event& ev) { st5.seqs.insert(ev.seq); });
+
+  // --- The fault plan ---
+  sim::FaultPlan plan;
+  plan.crash_host(broker_hosts[5]->id(), SimTime{duration_ms(1500).ns()},
+                  SimTime{duration_ms(2500).ns()});
+  plan.crash_host(broker_hosts[1]->id(), SimTime{duration_ms(2000).ns()},
+                  SimTime{duration_ms(3500).ns()});
+  // Overlap 2.0-2.5 s: both neighbors of broker 0 are dead, transiently
+  // partitioning the publisher's broker from the whole ring.
+  plan.flap_link(broker_hosts[1]->id(), broker_hosts[2]->id(), SimTime{duration_ms(5000).ns()},
+                 SimTime{duration_ms(5800).ns()});
+  plan.loss_burst(broker_hosts[0]->id(), rsub_host.id(), SimTime{duration_ms(6500).ns()},
+                  SimTime{duration_ms(7000).ns()}, /*loss=*/0.6, /*burst_length=*/4.0);
+  plan.install(net);
+
+  // --- Repair / reconnect instrumentation ---
+  // Boundary times at which link state genuinely changed; detection
+  // latency is measured from the most recent boundary.
+  std::vector<SimTime> boundaries = {
+      SimTime{duration_ms(1500).ns()}, SimTime{duration_ms(2000).ns()},
+      SimTime{duration_ms(2500).ns()}, SimTime{duration_ms(3500).ns()},
+      SimTime{duration_ms(5000).ns()}, SimTime{duration_ms(5800).ns()}};
+  std::vector<SimDuration> repair_lat;
+  fabric.on_route_repair([&](broker::BrokerId, broker::BrokerId, bool, SimTime at) {
+    SimTime cause = SimTime::zero();
+    for (SimTime b : boundaries) {
+      if (b <= at && b > cause) cause = b;
+    }
+    repair_lat.push_back(at - cause);
+  });
+  std::vector<SimDuration> reconnect_lat;
+  SimTime down_at = SimTime::zero();
+  sub5.on_disconnect([&] { down_at = loop.now(); });
+  sub5.on_reconnect([&] { reconnect_lat.push_back(loop.now() - down_at); });
+
+  // --- Publish schedule: 50 events/s from 0.5 s to 8.0 s ---
+  const SimTime pub_start{duration_ms(500).ns()};
+  const SimDuration spacing = duration_ms(20);
+  const int n_events = 375;
+  std::vector<SimTime> origins;
+  for (int i = 0; i < n_events; ++i) {
+    SimTime at = pub_start + spacing * i;
+    origins.push_back(at);
+    loop.schedule_at(at, [&pub] { pub.publish(kTopic, Bytes(256, 0)); });
+  }
+  loop.run_until(SimTime{duration_s(10).ns()});
+
+  // --- Report ---
+  auto ratio = [&](const SubStats& st, bool during_faults) {
+    int published = 0, got = 0;
+    for (int i = 0; i < n_events; ++i) {
+      if (in_fault_window(plan, origins[i]) != during_faults) continue;
+      ++published;
+      if (st.seqs.contains(static_cast<std::uint32_t>(i))) ++got;
+    }
+    return published == 0 ? 1.0 : static_cast<double>(got) / published;
+  };
+  const double sub2_fault = ratio(st2, true), sub2_calm = ratio(st2, false);
+  const double sub5_fault = ratio(st5, true), sub5_calm = ratio(st5, false);
+  const double eventual =
+      static_cast<double>(rsub.delivered()) / static_cast<double>(n_events);
+  Pcts repair = percentiles(repair_lat);
+  Pcts reconnect = percentiles(reconnect_lat);
+
+  std::printf("=== Fabric chaos: self-healing under injected faults ===\n");
+  std::printf("6-broker ring, heartbeat 50 ms x3, %d events @50/s, seed 4242\n\n", n_events);
+  std::printf("%-34s %10s %10s\n", "best-effort delivery ratio", "in-fault", "calm");
+  std::printf("%-34s %9.1f%% %9.1f%%\n", "  sub on rerouted broker (b2)", sub2_fault * 100,
+              sub2_calm * 100);
+  std::printf("%-34s %9.1f%% %9.1f%%\n", "  sub on crashed broker (b5)", sub5_fault * 100,
+              sub5_calm * 100);
+  std::printf("\nreliable profile (NAK/SYNC repair, recovery on b0):\n");
+  std::printf("  delivered %llu  recovered %llu  lost %llu  -> eventual ratio %.4f\n",
+              static_cast<unsigned long long>(rsub.delivered()),
+              static_cast<unsigned long long>(rsub.recovered()),
+              static_cast<unsigned long long>(rsub.events_lost()), eventual);
+  std::printf("\nself-healing latencies:\n");
+  std::printf("  route repair   n=%zu  median %.1f ms  p99 %.1f ms  (%llu recomputes)\n",
+              repair.count, repair.median_ms, repair.p99_ms,
+              static_cast<unsigned long long>(fabric.route_recomputes()));
+  std::printf("  client reconnect n=%zu  median %.1f ms  p99 %.1f ms\n", reconnect.count,
+              reconnect.median_ms, reconnect.p99_ms);
+
+  FILE* json = std::fopen("BENCH_fabric_chaos.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"fabric_chaos\",\n  \"seed\": 4242,\n");
+    std::fprintf(json, "  \"events_published\": %d,\n", n_events);
+    std::fprintf(json,
+                 "  \"best_effort\": {\n"
+                 "    \"sub_rerouted\": {\"delivery_during_faults\": %.4f, \"calm\": %.4f},\n"
+                 "    \"sub_crashed_broker\": {\"delivery_during_faults\": %.4f, \"calm\": "
+                 "%.4f}\n  },\n",
+                 sub2_fault, sub2_calm, sub5_fault, sub5_calm);
+    std::fprintf(json,
+                 "  \"reliable\": {\"delivered\": %llu, \"recovered\": %llu, \"lost\": %llu, "
+                 "\"eventual_delivery_ratio\": %.4f},\n",
+                 static_cast<unsigned long long>(rsub.delivered()),
+                 static_cast<unsigned long long>(rsub.recovered()),
+                 static_cast<unsigned long long>(rsub.events_lost()), eventual);
+    std::fprintf(json,
+                 "  \"route_repair_ms\": {\"count\": %zu, \"median\": %.2f, \"p99\": %.2f},\n",
+                 repair.count, repair.median_ms, repair.p99_ms);
+    std::fprintf(json,
+                 "  \"client_reconnect_ms\": {\"count\": %zu, \"median\": %.2f, \"p99\": "
+                 "%.2f},\n",
+                 reconnect.count, reconnect.median_ms, reconnect.p99_ms);
+    std::fprintf(json, "  \"route_recomputes\": %llu\n}\n",
+                 static_cast<unsigned long long>(fabric.route_recomputes()));
+    std::fclose(json);
+    std::printf("\nwrote BENCH_fabric_chaos.json\n");
+  }
+  return 0;
+}

@@ -23,6 +23,25 @@ void print_series(const char* title, const gmmcs::Series& nb, const gmmcs::Serie
   }
 }
 
+void write_json(const gmmcs::core::Fig3Result& nb, const gmmcs::core::Fig3Result& jmf) {
+  FILE* json = std::fopen("BENCH_fig3_delay_jitter.json", "w");
+  if (json == nullptr) return;
+  std::fprintf(json, "{\n  \"bench\": \"fig3_delay_jitter\",\n");
+  std::fprintf(json, "  \"paper\": {\"nb_delay_ms\": 80.76, \"jmf_delay_ms\": 229.23, "
+                     "\"nb_jitter_ms\": 13.38, \"jmf_jitter_ms\": 15.55},\n");
+  auto emit = [&](const char* key, const gmmcs::core::Fig3Result& r, const char* tail) {
+    std::fprintf(json,
+                 "  \"%s\": {\"avg_delay_ms\": %.3f, \"avg_jitter_ms\": %.3f, "
+                 "\"loss_ratio\": %.6f, \"stream_kbps\": %.2f}%s\n",
+                 key, r.avg_delay_ms, r.avg_jitter_ms, r.loss_ratio, r.stream_kbps, tail);
+  };
+  emit("narada", nb, ",");
+  emit("jmf", jmf, "");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_fig3_delay_jitter.json\n");
+}
+
 }  // namespace
 
 int main() {
@@ -53,5 +72,6 @@ int main() {
               jmf.loss_ratio * 100.0);
   std::printf("%-28s %11.1f kbps %9.1f kbps\n", "stream bandwidth", nb.stream_kbps,
               jmf.stream_kbps);
+  write_json(nb, jmf);
   return 0;
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Sanitized build + full test run: the gate for fabric/self-healing work.
+# Usage: scripts/check.sh [sanitizers]   (default: address,undefined)
+set -euo pipefail
+
+SANITIZE="${1:-address,undefined}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-sanitize"
+
+cmake -B "$BUILD" -S "$ROOT" -DGMMCS_SANITIZE="$SANITIZE" >/dev/null
+cmake --build "$BUILD" -j "$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"

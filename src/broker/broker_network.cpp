@@ -40,9 +40,14 @@ void BrokerNetwork::link(BrokerId a, BrokerId b) {
 }
 
 void BrokerNetwork::finalize() {
+  rebuild_routes();
+}
+
+void BrokerNetwork::rebuild_routes() {
   next_hop_.clear();
   dist_.clear();
-  // BFS from every broker (links are uniform cost).
+  // BFS from every broker (links are uniform cost), skipping links a
+  // failure detector currently declares down.
   for (const auto& [src, _] : adjacency_) {
     auto& hops = next_hop_[src];
     auto& dist = dist_[src];
@@ -53,6 +58,7 @@ void BrokerNetwork::finalize() {
       queue.pop_front();
       for (BrokerId nb : adjacency_.at(cur)) {
         if (dist.contains(nb)) continue;
+        if (!down_links_.empty() && !link_considered_up(cur, nb)) continue;
         dist[nb] = dist[cur] + 1;
         // First hop on the path: neighbor itself if cur==src, else
         // inherit cur's first hop.
@@ -61,6 +67,17 @@ void BrokerNetwork::finalize() {
       }
     }
   }
+}
+
+void BrokerNetwork::report_link(BrokerId a, BrokerId b, bool up) {
+  const auto key = std::minmax(a, b);
+  // Both endpoints' detectors report each transition; only the first
+  // report of a genuine state change does any work.
+  const bool changed = up ? down_links_.erase(key) > 0 : down_links_.insert(key).second;
+  if (!changed) return;
+  rebuild_routes();
+  ++route_recomputes_;
+  if (route_listener_) route_listener_(key.first, key.second, up, net_->loop().now());
 }
 
 void BrokerNetwork::set_address(BrokerId id, ClusterAddress addr) {

@@ -15,11 +15,14 @@
 // experiments measure data-plane behaviour only.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "broker/broker_node.hpp"
@@ -53,7 +56,27 @@ class BrokerNetwork {
   /// in each direction). Call finalize() after all links are in place.
   void link(BrokerId a, BrokerId b);
   /// Computes shortest-path routing tables over the current topology.
+  /// Not one-shot: report_link() recomputes the same tables around failed
+  /// links at runtime, so routes self-heal as detectors fire.
   void finalize();
+
+  // --- Self-healing control plane ---
+  /// A broker's failure detector reporting the (a,b) link down or back up.
+  /// Both ends report independently; duplicate reports are deduplicated and
+  /// only genuine transitions trigger a route recompute (and the
+  /// on_route_repair callback). Link identity is undirected.
+  void report_link(BrokerId a, BrokerId b, bool up);
+  [[nodiscard]] bool link_considered_up(BrokerId a, BrokerId b) const {
+    return !down_links_.contains(std::minmax(a, b));
+  }
+  /// Observer for repair instrumentation: (a, b, up, at) on each genuine
+  /// link-state transition, after routes have been rebuilt.
+  void on_route_repair(
+      std::function<void(BrokerId, BrokerId, bool, SimTime)> cb) {
+    route_listener_ = std::move(cb);
+  }
+  /// Times the routing tables were rebuilt by report_link transitions.
+  [[nodiscard]] std::uint64_t route_recomputes() const { return route_recomputes_; }
 
   /// Optional hierarchical address labels; set_address also implies
   /// nothing topologically — use link_hierarchy to wire by address.
@@ -77,9 +100,18 @@ class BrokerNetwork {
   [[nodiscard]] int distance(BrokerId from, BrokerId to) const;
 
  private:
+  /// BFS over adjacency_ minus down_links_; shared by finalize() and
+  /// report_link().
+  void rebuild_routes();
+
   sim::Network* net_;
   std::vector<std::unique_ptr<BrokerNode>> brokers_;
   std::map<BrokerId, std::set<BrokerId>> adjacency_;
+  /// Links currently declared down by some broker's failure detector,
+  /// keyed undirected (min id, max id).
+  std::set<std::pair<BrokerId, BrokerId>> down_links_;
+  std::function<void(BrokerId, BrokerId, bool, SimTime)> route_listener_;
+  std::uint64_t route_recomputes_ = 0;
   // [from][to] -> next hop.
   std::map<BrokerId, std::map<BrokerId, BrokerId>> next_hop_;
   std::map<BrokerId, std::map<BrokerId, int>> dist_;

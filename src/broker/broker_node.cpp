@@ -74,6 +74,11 @@ void BrokerNode::accept(transport::StreamConnectionPtr conn) {
         if (f.hello.udp_port != 0) {
           rec.udp = sim::Endpoint{rec.stream->remote().node, f.hello.udp_port};
           rec.has_udp = true;
+          // A fresh Hello claiming an endpoint another record holds means
+          // that record is a ghost of a crashed-and-reconnected client;
+          // evict it or both records would receive every matching event.
+          auto ghost = udp_index_.find(rec.udp);
+          if (ghost != udp_index_.end() && ghost->second != cid) evict_client(ghost->second);
           udp_index_[rec.udp] = cid;
         }
         clients_.emplace(cid, std::move(rec));
@@ -98,6 +103,9 @@ void BrokerNode::accept(transport::StreamConnectionPtr conn) {
           raw->send(encode(ping, /*pong=*/true));
         });
         break;
+      case MessageType::kHeartbeat:
+        handle_peer_heartbeat(f.heartbeat.from);
+        break;
       default:
         break;
     }
@@ -111,13 +119,38 @@ void BrokerNode::accept(transport::StreamConnectionPtr conn) {
         }
       }
       sub_index_.remove_subscriber(*client_id);
-      if (it->second.has_udp) udp_index_.erase(it->second.udp);
+      if (it->second.has_udp) {
+        // Ownership check: a reconnected client may have re-claimed this
+        // endpoint, in which case the index entry is no longer ours.
+        auto uit = udp_index_.find(it->second.udp);
+        if (uit != udp_index_.end() && uit->second == *client_id) udp_index_.erase(uit);
+      }
       clients_.erase(it);
     }
     std::erase_if(inbound_, [raw](const transport::StreamConnectionPtr& c) {
       return c.get() == raw;
     });
   });
+}
+
+void BrokerNode::evict_client(ClientId cid) {
+  auto it = clients_.find(cid);
+  if (it == clients_.end()) return;
+  if (network_ != nullptr) {
+    for (const auto& filter : it->second.filters) {
+      network_->advertise(filter, id_, /*add=*/false);
+    }
+  }
+  sub_index_.remove_subscriber(cid);
+  if (it->second.has_udp) {
+    auto uit = udp_index_.find(it->second.udp);
+    if (uit != udp_index_.end() && uit->second == cid) udp_index_.erase(uit);
+  }
+  auto stream = it->second.stream;
+  clients_.erase(it);
+  // Closing the ghost's stream fires its on_close, which finds no client
+  // record (already erased) and just drops the connection from inbound_.
+  if (stream) stream->close();
 }
 
 void BrokerNode::handle_subscription(ClientRec& c, const SubscribeMessage& m) {
@@ -279,6 +312,41 @@ void BrokerNode::add_peer_link(BrokerId peer, transport::StreamConnectionPtr con
     if (cb) cb(rtt);
   });
   peer_links_[peer] = std::move(conn);
+  peer_last_heard_[peer] = host_->loop().now();
+  ensure_heartbeat_task();
+}
+
+void BrokerNode::ensure_heartbeat_task() {
+  if (heartbeat_task_ || cfg_.heartbeat.interval.ns() <= 0) return;
+  heartbeat_task_ = std::make_unique<sim::PeriodicTask>(
+      host_->loop(), cfg_.heartbeat.interval, [this](std::uint64_t) { heartbeat_tick(); });
+  heartbeat_task_->start();
+}
+
+void BrokerNode::heartbeat_tick() {
+  const SimTime now = host_->loop().now();
+  const SimDuration dead = cfg_.heartbeat.interval * cfg_.heartbeat.miss_threshold;
+  // peer_last_heard_ is ordered by BrokerId, so beacon fan-out and
+  // detection order are deterministic across runs.
+  for (auto& [peer, last] : peer_last_heard_) {
+    auto lit = peer_links_.find(peer);
+    if (lit != peer_links_.end()) {
+      lit->second->send(encode(HeartbeatMessage{id_}));
+      ++heartbeats_sent_;
+    }
+    if (now - last > dead && peer_down_.insert(peer).second) {
+      ++links_detected_down_;
+      if (network_ != nullptr) network_->report_link(id_, peer, /*up=*/false);
+    }
+  }
+}
+
+void BrokerNode::handle_peer_heartbeat(BrokerId peer) {
+  peer_last_heard_[peer] = host_->loop().now();
+  if (peer_down_.erase(peer) > 0) {
+    ++links_detected_up_;
+    if (network_ != nullptr) network_->report_link(id_, peer, /*up=*/true);
+  }
 }
 
 void BrokerNode::probe_peer(BrokerId peer, std::function<void(SimDuration)> cb) {

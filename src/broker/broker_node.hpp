@@ -25,6 +25,7 @@
 #include "broker/event.hpp"
 #include "broker/subscription_index.hpp"
 #include "broker/topic.hpp"
+#include "sim/event_loop.hpp"
 #include "sim/network.hpp"
 #include "sim/service_center.hpp"
 #include "transport/datagram_socket.hpp"
@@ -59,12 +60,25 @@ struct DispatchConfig {
   static DispatchConfig unoptimized();
 };
 
+/// Peer-link failure detection (the self-healing fabric's sensor layer):
+/// every broker beats a kHeartbeat frame on each peer link per interval
+/// and declares a peer link down after miss_threshold silent intervals;
+/// any later heartbeat from that peer declares it back up. Transitions
+/// are reported to BrokerNetwork, which repairs the routing tables.
+/// Disabled by default (zero interval): a fault-free run carries no
+/// heartbeat traffic, keeping existing bench outputs byte-identical.
+struct HeartbeatConfig {
+  SimDuration interval{0};
+  int miss_threshold = 3;
+};
+
 class BrokerNode {
  public:
   struct Config {
     std::uint16_t stream_port = 9000;
     std::uint16_t dgram_port = 9001;
     DispatchConfig dispatch = DispatchConfig::optimized();
+    HeartbeatConfig heartbeat;
   };
 
   BrokerNode(sim::Host& host, BrokerId id, Config cfg);
@@ -98,6 +112,15 @@ class BrokerNode {
   /// Exponentially-smoothed RTT per peer from past probes.
   [[nodiscard]] const std::map<BrokerId, SimDuration>& link_rtts() const { return srtt_; }
 
+  // --- Failure detection (see HeartbeatConfig) ---
+  [[nodiscard]] std::uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+  /// Peer-link liveness transitions this broker's detector declared.
+  [[nodiscard]] std::uint64_t links_detected_down() const { return links_detected_down_; }
+  [[nodiscard]] std::uint64_t links_detected_up() const { return links_detected_up_; }
+  [[nodiscard]] bool peer_considered_down(BrokerId peer) const {
+    return peer_down_.contains(peer);
+  }
+
  private:
   friend class BrokerNetwork;
 
@@ -114,6 +137,13 @@ class BrokerNode {
   void handle_stream_frame(ClientId client, const Bytes& data);
   void handle_datagram(const sim::Datagram& d);
   void handle_subscription(ClientRec& c, const SubscribeMessage& m);
+  /// Drops a client record and its subscriptions/advertisements. Used when
+  /// a reconnecting client's fresh Hello supersedes its ghost record.
+  void evict_client(ClientId cid);
+  void handle_peer_heartbeat(BrokerId peer);
+  void heartbeat_tick();
+  /// Starts the heartbeat task lazily once the first peer link exists.
+  void ensure_heartbeat_task();
 
   /// Entry point for a client-published event. `publisher` (0 = unknown)
   /// is excluded from local delivery: a subscriber never hears its own
@@ -154,6 +184,14 @@ class BrokerNode {
   /// datagram-path events (hot path: one hash lookup per media packet).
   std::unordered_map<sim::Endpoint, ClientId, sim::EndpointHash> udp_index_;
   std::unordered_map<BrokerId, transport::StreamConnectionPtr> peer_links_;
+  /// Failure-detector state (ordered: heartbeat fan-out order must be
+  /// deterministic). last-heard is bumped by every peer heartbeat.
+  std::map<BrokerId, SimTime> peer_last_heard_;
+  std::set<BrokerId> peer_down_;
+  std::unique_ptr<sim::PeriodicTask> heartbeat_task_;
+  std::uint64_t heartbeats_sent_ = 0;
+  std::uint64_t links_detected_down_ = 0;
+  std::uint64_t links_detected_up_ = 0;
   std::uint32_t next_probe_token_ = 1;
   std::map<std::uint32_t, std::pair<BrokerId, std::function<void(SimDuration)>>> probes_;
   std::map<BrokerId, SimDuration> srtt_;

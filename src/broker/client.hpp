@@ -8,16 +8,38 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "broker/event.hpp"
+#include "common/random.hpp"
+#include "sim/event_loop.hpp"
 #include "sim/network.hpp"
 #include "transport/datagram_socket.hpp"
 #include "transport/firewall.hpp"
 #include "transport/stream.hpp"
 
 namespace gmmcs::broker {
+
+/// Client self-healing policy: when the control stream dies (broker crash,
+/// keepalive miss, connect timeout) the client retries with exponential
+/// backoff plus jitter, re-sends its Hello and replays its subscription
+/// set. Disabled by default — a fault-free run schedules no extra events,
+/// keeping existing bench outputs byte-identical.
+struct ReconnectPolicy {
+  bool enabled = false;
+  /// First retry delay; doubles per consecutive failure up to backoff_max.
+  SimDuration backoff_base = duration_ms(100);
+  SimDuration backoff_max = duration_s(5);
+  /// Uniform +-fraction applied to each delay (decorrelates clients that
+  /// lost the same broker).
+  double jitter = 0.25;
+  /// A connect attempt not established within this window counts as
+  /// failed and re-enters backoff.
+  SimDuration connect_timeout = duration_ms(500);
+};
 
 class BrokerClient {
  public:
@@ -31,11 +53,20 @@ class BrokerClient {
     /// Tunnel the control stream through an HTTP proxy (firewalled
     /// clients). UDP channels are disabled in that case.
     std::optional<sim::Endpoint> via_proxy;
+    /// Keepalive pings on the control stream every interval; the broker is
+    /// declared dead after keepalive_miss silent intervals. 0 disables
+    /// (the default: no extra frames or timers in fault-free runs).
+    SimDuration keepalive_interval{0};
+    int keepalive_miss = 3;
+    ReconnectPolicy reconnect;
   };
 
   BrokerClient(sim::Host& host, sim::Endpoint broker_stream, Config cfg);
   /// Default configuration (UDP media channels, no proxy).
   BrokerClient(sim::Host& host, sim::Endpoint broker_stream);
+  ~BrokerClient();
+  BrokerClient(const BrokerClient&) = delete;
+  BrokerClient& operator=(const BrokerClient&) = delete;
 
   void subscribe(const std::string& filter);
   void unsubscribe(const std::string& filter);
@@ -46,19 +77,36 @@ class BrokerClient {
   void on_event(std::function<void(const Event&)> handler);
   /// Fires once the broker has acknowledged the Hello.
   void on_ready(std::function<void()> handler);
+  /// Fires when the control stream is declared dead (before backoff).
+  void on_disconnect(std::function<void()> handler);
+  /// Fires after a successful re-handshake (subscriptions replayed).
+  void on_reconnect(std::function<void()> handler);
 
   [[nodiscard]] bool ready() const { return ready_; }
   [[nodiscard]] ClientId id() const { return client_id_; }
   [[nodiscard]] std::uint64_t events_received() const { return events_received_; }
   [[nodiscard]] std::uint64_t events_published() const { return events_published_; }
+  /// Times the control stream was declared dead / successfully re-established.
+  [[nodiscard]] std::uint64_t disconnects() const { return disconnects_; }
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
   [[nodiscard]] sim::Host& host() const { return *host_; }
 
  private:
   void handle_frame(const Bytes& data);
   void flush_queue();
+  /// (Re)opens the control stream and sends Hello.
+  void open_stream();
+  /// Declares the control stream dead and enters backoff (idempotent
+  /// while a retry is already pending).
+  void stream_down();
+  void schedule_retry();
+  void attempt_connect();
+  void keepalive_tick();
+  void cancel_connect_timer();
 
   sim::Host* host_;
   Config cfg_;
+  sim::Endpoint broker_stream_{};
   transport::StreamConnectionPtr stream_;
   std::optional<transport::DatagramSocket> udp_;
   sim::Endpoint broker_udp_{};
@@ -68,8 +116,24 @@ class BrokerClient {
   std::uint64_t events_received_ = 0;
   std::uint64_t events_published_ = 0;
   std::deque<Event> pending_;
+  /// Live subscription set, replayed after every re-handshake.
+  std::vector<std::string> filters_;
+  // Self-healing state (all inert unless reconnect/keepalive enabled).
+  std::uint64_t hello_acks_ = 0;
+  std::uint64_t disconnects_ = 0;
+  std::uint64_t reconnects_ = 0;
+  int attempt_ = 0;             // consecutive failed connect attempts
+  bool retry_pending_ = false;  // a backoff timer is armed
+  std::uint64_t conn_generation_ = 0;
+  sim::TaskId retry_timer_ = 0;
+  sim::TaskId connect_timer_ = 0;
+  std::unique_ptr<sim::PeriodicTask> keepalive_task_;
+  SimTime last_heard_{};
+  Rng jitter_rng_;
   std::function<void(const Event&)> event_handler_;
   std::function<void()> ready_handler_;
+  std::function<void()> disconnect_handler_;
+  std::function<void()> reconnect_handler_;
 };
 
 }  // namespace gmmcs::broker

@@ -95,6 +95,13 @@ Bytes encode(const PingMessage& m, bool pong) {
   return w.take();
 }
 
+Bytes encode(const HeartbeatMessage& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kHeartbeat));
+  w.u32(m.from);
+  return w.take();
+}
+
 Result<Frame> decode(const Bytes& data) {
   if (data.empty()) return fail<Frame>("broker: empty frame");
   ByteReader r(data);
@@ -133,6 +140,10 @@ Result<Frame> decode(const Bytes& data) {
       f.type = static_cast<MessageType>(type);
       f.ping.token = r.u32();
       f.ping.sent = SimTime{static_cast<std::int64_t>(r.u64())};
+      break;
+    case MessageType::kHeartbeat:
+      f.type = MessageType::kHeartbeat;
+      f.heartbeat.from = r.u32();
       break;
     default:
       return fail<Frame>("broker: unknown frame type " + std::to_string(type));

@@ -54,6 +54,7 @@ enum class MessageType : std::uint8_t {
   kPeerEvent = 6,   // broker -> broker: event + remaining target brokers
   kPing = 7,        // link performance probe (monitoring service)
   kPong = 8,        // probe reply, echoing token and send time
+  kHeartbeat = 9,   // broker -> broker: periodic liveness beacon (sender id)
 };
 
 struct HelloMessage {
@@ -84,6 +85,12 @@ struct PingMessage {
   SimTime sent;
 };
 
+/// Peer-link keepalive carrying the sending broker's id; silence past the
+/// configured miss threshold is how a broker detects a dead peer/link.
+struct HeartbeatMessage {
+  BrokerId from = 0;
+};
+
 Bytes encode(const HelloMessage& m);
 Bytes encode(const HelloAckMessage& m);
 Bytes encode(const SubscribeMessage& m);
@@ -93,6 +100,7 @@ Bytes encode(const PeerEventMessage& m);
 /// the intermediate PeerEventMessage copy of topic + payload.
 Bytes encode_peer_event(const Event& e, const std::vector<BrokerId>& targets);
 Bytes encode(const PingMessage& m, bool pong);
+Bytes encode(const HeartbeatMessage& m);
 
 /// Process-wide count of kEvent encodes (encode(Event) calls). Host-side
 /// instrumentation for the encode-once fan-out path; tests and benches
@@ -130,6 +138,7 @@ struct Frame {
   Event event;
   PeerEventMessage peer_event;
   PingMessage ping;
+  HeartbeatMessage heartbeat;
 };
 
 Result<Frame> decode(const Bytes& data);

@@ -82,6 +82,11 @@ ReliableSubscriber::ReliableSubscriber(sim::Host& host, sim::Endpoint broker_str
     if (frame.ok() && frame.value().type == MessageType::kEvent) {
       ++recovered_;
       ingest(frame.value().event);
+      // A repaired event counts as reception too: if the broker path went
+      // silent mid-stream (link flap, broker crash), the probe chain must
+      // continue from here or a tail published during the outage is never
+      // revealed. The chain terminates once a probe finds us up to date.
+      arm_sync_probe();
       return;
     }
     handle_sync(gmmcs::to_string(std::span<const std::uint8_t>(data)));

@@ -32,13 +32,14 @@ H323Gateway::Bridge& H323Gateway::bridge_for(const xgsp::Session& session) {
 
 void H323Gateway::accept_q931(transport::StreamConnectionPtr conn) {
   auto* raw = conn.get();
-  conn->on_message([this, raw, conn](const Bytes& data) {
+  q931_conns_[raw] = conn;
+  conn->on_message([this, raw](const Bytes& data) {
     auto parsed = Q931Message::decode(data);
     if (!parsed.ok()) return;
     const Q931Message& m = parsed.value();
     switch (m.type) {
       case Q931Type::kSetup:
-        handle_setup(m, conn);
+        handle_setup(m, q931_conns_.at(raw));
         break;
       case Q931Type::kReleaseComplete:
         if (std::uint64_t id = find_call(raw, m.call_reference); id != 0) {
@@ -57,6 +58,7 @@ void H323Gateway::accept_q931(transport::StreamConnectionPtr conn) {
       if (call->q931.get() == raw) stale.push_back(id);
     }
     for (std::uint64_t id : stale) teardown(id, /*send_release=*/false);
+    q931_conns_.erase(raw);
   });
 }
 

@@ -67,6 +67,11 @@ class H323Gateway {
   sim::Endpoint broker_;
   transport::StreamListener q931_listener_;
   std::uint64_t next_call_id_ = 1;
+  /// Accepted signaling connections, owned here until their peer closes.
+  /// Handlers capture the raw pointer only: capturing the shared_ptr in the
+  /// connection's own on_message would form a reference cycle and leak any
+  /// connection that never reaches (or outlives) a call.
+  std::map<const transport::StreamConnection*, transport::StreamConnectionPtr> q931_conns_;
   std::map<std::uint64_t, std::unique_ptr<Call>> calls_;  // by internal call id
   std::map<std::string, Bridge> bridges_;                 // by session id
   std::uint64_t setups_ = 0;

@@ -1,0 +1,90 @@
+#include "sim/fault.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace gmmcs::sim {
+
+FaultPlan& FaultPlan::crash_host(NodeId node, SimTime from, SimTime until) {
+  faults_.push_back(Fault{FaultKind::kHostCrash, from, until, {node}, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::flap_link(NodeId a, NodeId b, SimTime from, SimTime until) {
+  faults_.push_back(Fault{FaultKind::kLinkFlap, from, until, {a}, {b}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::loss_burst(NodeId a, NodeId b, SimTime from, SimTime until, double loss,
+                                 double burst_length) {
+  faults_.push_back(Fault{FaultKind::kLossBurst, from, until, {a}, {b}, loss, burst_length});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(std::vector<NodeId> side_a, std::vector<NodeId> side_b,
+                                SimTime from, SimTime until) {
+  faults_.push_back(
+      Fault{FaultKind::kPartition, from, until, std::move(side_a), std::move(side_b)});
+  return *this;
+}
+
+bool FaultPlan::active_at(SimTime t) const {
+  for (const Fault& f : faults_) {
+    if (f.from <= t && t < f.until) return true;
+  }
+  return false;
+}
+
+void FaultPlan::install(Network& net) const {
+  EventLoop& loop = net.loop();
+  for (const Fault& f : faults_) {
+    switch (f.kind) {
+      case FaultKind::kHostCrash: {
+        NodeId node = f.side_a.front();
+        loop.schedule_at(f.from, [&net, node] { net.host(node).set_up(false); });
+        if (f.until != SimTime::infinity()) {
+          loop.schedule_at(f.until, [&net, node] { net.host(node).set_up(true); });
+        }
+        break;
+      }
+      case FaultKind::kLinkFlap: {
+        NodeId a = f.side_a.front(), b = f.side_b.front();
+        loop.schedule_at(f.from, [&net, a, b] { net.set_link_up(a, b, false); });
+        if (f.until != SimTime::infinity()) {
+          loop.schedule_at(f.until, [&net, a, b] { net.set_link_up(a, b, true); });
+        }
+        break;
+      }
+      case FaultKind::kLossBurst: {
+        NodeId a = f.side_a.front(), b = f.side_b.front();
+        // The pre-burst path is captured at fire time (not install time) so
+        // plans compose with later set_path calls.
+        auto saved = std::make_shared<PathConfig>();
+        loop.schedule_at(f.from, [&net, a, b, saved, loss = f.loss, burst = f.burst_length] {
+          *saved = net.path(a, b);
+          PathConfig degraded = *saved;
+          degraded.loss = loss;
+          degraded.burst_length = burst;
+          net.set_path(a, b, degraded);
+        });
+        if (f.until != SimTime::infinity()) {
+          loop.schedule_at(f.until, [&net, a, b, saved] { net.set_path(a, b, *saved); });
+        }
+        break;
+      }
+      case FaultKind::kPartition: {
+        for (NodeId a : f.side_a) {
+          for (NodeId b : f.side_b) {
+            loop.schedule_at(f.from, [&net, a, b] { net.set_link_up(a, b, false); });
+            if (f.until != SimTime::infinity()) {
+              loop.schedule_at(f.until, [&net, a, b] { net.set_link_up(a, b, true); });
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace gmmcs::sim

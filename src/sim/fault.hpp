@@ -1,0 +1,62 @@
+// Deterministic failure injection for the simulated network.
+//
+// A FaultPlan is a declarative schedule of host crashes/restarts, link
+// flaps, loss bursts and partitions at absolute simulated times — the
+// chaos harness behind the self-healing broker fabric experiments.
+// install() translates the schedule into event-loop callbacks; because
+// everything is driven by the shared deterministic EventLoop (and any
+// randomness lives in the Network's seeded Rng), the same plan on the
+// same seed reproduces the same run bit-for-bit. An empty plan installs
+// nothing, so a run with an empty FaultPlan is byte-identical to one
+// with no plan at all.
+#pragma once
+
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace gmmcs::sim {
+
+class FaultPlan {
+ public:
+  enum class FaultKind { kHostCrash, kLinkFlap, kLossBurst, kPartition };
+
+  struct Fault {
+    FaultKind kind;
+    SimTime from;
+    /// End of the fault; SimTime::infinity() = permanent.
+    SimTime until;
+    /// kHostCrash: the host. kLinkFlap/kLossBurst: {a}. kPartition: group A.
+    std::vector<NodeId> side_a;
+    /// kLinkFlap/kLossBurst: {b}. kPartition: group B.
+    std::vector<NodeId> side_b;
+    double loss = 0.0;          // kLossBurst
+    double burst_length = 1.0;  // kLossBurst
+  };
+
+  /// Host loses power at `from` and comes back at `until`.
+  FaultPlan& crash_host(NodeId node, SimTime from, SimTime until = SimTime::infinity());
+  /// The (a, b) path is cut for [from, until); reliable traffic included.
+  FaultPlan& flap_link(NodeId a, NodeId b, SimTime from, SimTime until = SimTime::infinity());
+  /// Temporarily overrides the (a, b) path's loss model (Gilbert–Elliott
+  /// when burst_length > 1); the original path is restored at `until`.
+  FaultPlan& loss_burst(NodeId a, NodeId b, SimTime from, SimTime until, double loss,
+                        double burst_length = 1.0);
+  /// Cuts every cross pair between the two host groups for [from, until).
+  FaultPlan& partition(std::vector<NodeId> side_a, std::vector<NodeId> side_b, SimTime from,
+                       SimTime until = SimTime::infinity());
+
+  [[nodiscard]] const std::vector<Fault>& faults() const { return faults_; }
+  [[nodiscard]] bool empty() const { return faults_.empty(); }
+  /// True if any scheduled fault is active at `t` (bench windowing).
+  [[nodiscard]] bool active_at(SimTime t) const;
+
+  /// Schedules every fault on the network's event loop. Call once, after
+  /// the hosts referenced by the plan exist.
+  void install(Network& net) const;
+
+ private:
+  std::vector<Fault> faults_;
+};
+
+}  // namespace gmmcs::sim

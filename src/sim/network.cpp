@@ -17,10 +17,28 @@ EventLoop& Host::loop() const {
 }
 
 void Host::bind(std::uint16_t port, Handler handler) {
+  if (!up_) {
+    throw std::logic_error("Host '" + name_ + "': bind on port " + std::to_string(port) +
+                           " while host is down");
+  }
   auto [it, inserted] = ports_.emplace(port, std::move(handler));
   if (!inserted) {
     throw std::logic_error("Host '" + name_ + "': port " + std::to_string(port) +
                            " already bound");
+  }
+}
+
+void Host::set_up(bool up) {
+  if (up_ == up) return;
+  up_ = up;
+  if (!up) {
+    // Power loss wipes the NIC: queued bytes vanish (they must not
+    // serialize when power returns) and pending queue-release callbacks
+    // for them are invalidated via the epoch bump.
+    last_down_at_ = loop().now();
+    ++nic_epoch_;
+    nic_queued_bytes_ = 0;
+    nic_free_at_ = loop().now();
   }
 }
 
@@ -63,7 +81,9 @@ bool Host::egress(std::size_t wire_bytes, SimTime& depart) {
   nic_free_at_ = depart;
   nic_queued_bytes_ += wire_bytes;
   ++nic_sent_;
-  lp.schedule_at(depart, [this, wire_bytes] { nic_queued_bytes_ -= wire_bytes; });
+  lp.schedule_at(depart, [this, wire_bytes, epoch = nic_epoch_] {
+    if (epoch == nic_epoch_) nic_queued_bytes_ -= wire_bytes;
+  });
   return true;
 }
 
@@ -152,6 +172,14 @@ std::size_t Network::group_size(GroupId group) const {
   return it == groups_.end() ? 0 : it->second.size();
 }
 
+void Network::set_link_up(NodeId a, NodeId b, bool up) {
+  if (up) {
+    down_links_.erase(std::minmax(a, b));
+  } else {
+    down_links_.insert(std::minmax(a, b));
+  }
+}
+
 bool Network::roll_loss(const PathConfig& cfg, NodeId src, NodeId dst) {
   if (cfg.loss <= 0.0) return false;
   if (cfg.burst_length <= 1.0) return rng_.chance(cfg.loss);
@@ -169,15 +197,28 @@ bool Network::roll_loss(const PathConfig& cfg, NodeId src, NodeId dst) {
 }
 
 void Network::transmit(Host& from, Datagram d, SimTime depart) {
+  // Administratively-cut links drop everything, reliable traffic included.
+  if (!link_up(from.id(), d.dst.node)) {
+    ++lost_;
+    return;
+  }
   PathConfig p = path(from.id(), d.dst.node);
   if (!d.reliable && roll_loss(p, from.id(), d.dst.node)) {
     ++lost_;
     return;
   }
   SimTime arrive = depart + p.latency;
+  Host* src = &from;
   Host* dst = hosts_.at(d.dst.node).get();
-  ++delivered_;
-  loop_->schedule_at(arrive, [dst, d = std::move(d)]() mutable { dst->deliver(std::move(d)); });
+  loop_->schedule_at(arrive, [this, src, dst, depart, d = std::move(d)]() mutable {
+    // The source crashing while the datagram sat in its NIC queue wipes it.
+    if (src->egress_wiped(d.sent_at, depart)) {
+      ++lost_;
+      return;
+    }
+    ++delivered_;
+    dst->deliver(std::move(d));
+  });
 }
 
 void Network::transmit_multicast(Host& from, GroupId group, Datagram d, SimTime depart) {
@@ -185,6 +226,10 @@ void Network::transmit_multicast(Host& from, GroupId group, Datagram d, SimTime 
   if (it == groups_.end()) return;
   for (const Endpoint& member : it->second) {
     if (member.node == from.id() && member.port == d.src.port) continue;  // no self-loop
+    if (!link_up(from.id(), member.node)) {
+      ++lost_;
+      continue;
+    }
     PathConfig p = path(from.id(), member.node);
     if (roll_loss(p, from.id(), member.node)) {
       ++lost_;
@@ -193,10 +238,16 @@ void Network::transmit_multicast(Host& from, GroupId group, Datagram d, SimTime 
     Datagram copy = d;
     copy.dst = member;
     SimTime arrive = depart + p.latency;
+    Host* src = &from;
     Host* dst = hosts_.at(member.node).get();
-    ++delivered_;
-    loop_->schedule_at(arrive,
-                       [dst, copy = std::move(copy)]() mutable { dst->deliver(std::move(copy)); });
+    loop_->schedule_at(arrive, [this, src, dst, depart, copy = std::move(copy)]() mutable {
+      if (src->egress_wiped(copy.sent_at, depart)) {
+        ++lost_;
+        return;
+      }
+      ++delivered_;
+      dst->deliver(std::move(copy));
+    });
   }
 }
 

@@ -19,6 +19,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -113,9 +114,13 @@ class Host {
   /// Sends to every member of a multicast group (one NIC serialization).
   void send_multicast(GroupId group, std::uint16_t src_port, Bytes payload);
 
-  /// Takes the host offline: all traffic to/from it is dropped. Used for
-  /// failure-injection tests.
-  void set_up(bool up) { up_ = up; }
+  /// Takes the host offline: all traffic to/from it is dropped, anything
+  /// still queued in the NIC is wiped (a crashed machine does not serialize
+  /// its backlog on power-up), and new port binds are refused while down.
+  /// Bound handlers and queued application state survive — the model is a
+  /// machine losing power, not a process losing memory. Used by FaultPlan
+  /// and failure-injection tests.
+  void set_up(bool up);
   [[nodiscard]] bool up() const { return up_; }
 
   /// Ingress filter: return false to drop an arriving datagram before it
@@ -143,12 +148,23 @@ class Host {
   /// Runs the egress pipeline; returns departure time or nullopt on drop.
   bool egress(std::size_t wire_bytes, SimTime& depart);
   void deliver(Datagram d);
+  /// True if a datagram that entered the NIC at `sent` and would have
+  /// departed at `depart` was wiped by a power-down in between.
+  [[nodiscard]] bool egress_wiped(SimTime sent, SimTime depart) const {
+    return last_down_at_.ns() >= 0 && last_down_at_ >= sent && last_down_at_ < depart;
+  }
 
   Network* net_;
   NodeId id_;
   std::string name_;
   NicConfig nic_;
   bool up_ = true;
+  /// Most recent power-down instant (-1 = never). Queued NIC bytes with a
+  /// later departure are dropped (see egress_wiped).
+  SimTime last_down_at_{-1};
+  /// Bumped on power-down so pending queue-release callbacks for wiped
+  /// bytes become no-ops.
+  std::uint64_t nic_epoch_ = 0;
   SimTime nic_free_at_;
   std::size_t nic_queued_bytes_ = 0;
   std::uint64_t nic_sent_ = 0;
@@ -174,6 +190,14 @@ class Network {
   /// Path used when no explicit one was set.
   void set_default_path(PathConfig cfg) { default_path_ = cfg; }
   [[nodiscard]] PathConfig path(NodeId a, NodeId b) const;
+
+  /// Administratively cuts (or restores) the path between two hosts; while
+  /// down, every datagram between them — reliable traffic included — is
+  /// dropped. Used by FaultPlan link flaps and partitions.
+  void set_link_up(NodeId a, NodeId b, bool up);
+  [[nodiscard]] bool link_up(NodeId a, NodeId b) const {
+    return down_links_.empty() || !down_links_.contains(std::minmax(a, b));
+  }
 
   GroupId create_group();
   void join_group(GroupId group, Endpoint member);
@@ -201,6 +225,8 @@ class Network {
   std::map<std::pair<NodeId, NodeId>, PathConfig> paths_;
   GroupId next_group_ = 1;
   std::unordered_map<GroupId, std::vector<Endpoint>> groups_;
+  /// Administratively-down host pairs (link flaps, partitions), keyed minmax.
+  std::set<std::pair<NodeId, NodeId>> down_links_;
   /// Gilbert–Elliott "in a loss burst" flag per directed host pair.
   std::map<std::pair<NodeId, NodeId>, bool> burst_state_;
   std::uint64_t delivered_ = 0;

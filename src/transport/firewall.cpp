@@ -39,38 +39,51 @@ ProxyServer::ProxyServer(sim::Host& host, std::uint16_t port)
 }
 
 void ProxyServer::accept(StreamConnectionPtr client) {
+  // The proxy owns both legs of every tunnel via pairs_; handlers capture
+  // raw pointers only. Capturing the shared_ptrs inside the connections'
+  // own handlers would form reference cycles and leak every tunnel.
+  // (Connection destructors never invoke close handlers, so the raw
+  // cross-pointers cannot dangle during pair teardown.)
+  auto* raw = client.get();
+  pairs_.emplace_back(std::move(client), nullptr);
   // The first message must be the CONNECT line; subsequent messages are
   // payload and may already be queued behind it (ordered delivery).
-  client->on_message([this, client](const Bytes& first) {
+  raw->on_message([this, raw](const Bytes& first) {
     std::string line = to_string(first);
     if (!starts_with(line, "CONNECT ")) {
-      client->close();
+      raw->close();
       return;
     }
     auto parts = split(line.substr(8), ':');
     if (parts.size() != 2) {
-      client->close();
+      raw->close();
       return;
     }
     sim::Endpoint target{static_cast<sim::NodeId>(std::stoul(parts[0])),
                          static_cast<std::uint16_t>(std::stoul(parts[1]))};
     auto upstream = StreamConnection::connect(*host_, target);
+    auto* up = upstream.get();
     ++tunnels_;
-    pairs_.emplace_back(client, upstream);
+    for (auto& [c, u] : pairs_) {
+      if (c.get() == raw) {
+        u = std::move(upstream);
+        break;
+      }
+    }
     // Re-point the client handler at the relay; upstream buffers until open.
-    client->on_message([this, upstream](const Bytes& m) {
+    raw->on_message([this, up](const Bytes& m) {
       ++relayed_;
-      upstream->send(m);
+      up->send(m);
     });
-    upstream->on_message([this, client](const Bytes& m) {
+    up->on_message([this, raw](const Bytes& m) {
       ++relayed_;
-      client->send(m);
+      raw->send(m);
     });
-    client->on_close([this, upstream] {
+    raw->on_close([this, up] {
       if (tunnels_ > 0) --tunnels_;
-      upstream->close();
+      up->close();
     });
-    upstream->on_close([client] { client->close(); });
+    up->on_close([raw] { raw->close(); });
   });
 }
 

@@ -9,6 +9,7 @@
 #include "h323/gateway.hpp"
 #include "h323/terminal.hpp"
 #include "sim/event_loop.hpp"
+#include "sim/fault.hpp"
 #include "sim/network.hpp"
 #include "xgsp/session_server.hpp"
 
@@ -181,6 +182,141 @@ TEST_F(FailureTest, DispatchOverloadShedsAndRecovers) {
   pub.publish("/t", Bytes(100, 0));
   loop.run();
   EXPECT_EQ(got, after_burst + 1);
+}
+
+// NOTE for the self-healing tests below: heartbeats and reconnect retries
+// are periodic, so the event queue never drains — always settle with
+// run_for()/run_until(), never loop.run().
+
+TEST_F(FailureTest, BrokerCrashMidStreamReroutesAroundDeadNode) {
+  // 4-broker ring 0-1-2-3-0; the 0->2 route initially relays via broker 1.
+  // Crashing broker 1 mid-stream must be detected by heartbeats and
+  // repaired to the 0->3->2 path without any manual finalize().
+  broker::BrokerNetwork fabric(net);
+  broker::BrokerNode::Config bcfg;
+  bcfg.heartbeat.interval = duration_ms(50);
+  bcfg.heartbeat.miss_threshold = 3;
+  sim::Host& b1 = net.add_host("b1");
+  fabric.add_broker(net.add_host("b0"), bcfg);
+  fabric.add_broker(b1, bcfg);
+  fabric.add_broker(net.add_host("b2"), bcfg);
+  fabric.add_broker(net.add_host("b3"), bcfg);
+  fabric.link(0, 1);
+  fabric.link(1, 2);
+  fabric.link(2, 3);
+  fabric.link(3, 0);
+  fabric.finalize();
+  ASSERT_EQ(fabric.next_hop(0, 2), 1u);
+
+  broker::BrokerClient pub(net.add_host("pub"), fabric.broker(0).stream_endpoint());
+  broker::BrokerClient far_sub(net.add_host("far"), fabric.broker(2).stream_endpoint());
+  far_sub.subscribe("/t");
+  int far_got = 0;
+  far_sub.on_event([&](const broker::Event&) { ++far_got; });
+  loop.run_for(duration_ms(200));
+  pub.publish("/t", Bytes(10, 0));
+  loop.run_for(duration_ms(200));
+  EXPECT_EQ(far_got, 1);
+
+  sim::FaultPlan plan;
+  plan.crash_host(b1.id(), loop.now());  // permanent crash
+  plan.install(net);
+  // 3 missed 50 ms heartbeats ≈ 150 ms to detection; give it 400 ms.
+  loop.run_for(duration_ms(400));
+  EXPECT_GE(fabric.route_recomputes(), 1u);
+  EXPECT_FALSE(fabric.link_considered_up(0, 1));
+  EXPECT_EQ(fabric.next_hop(0, 2), 3u);  // repaired around the dead node
+
+  pub.publish("/t", Bytes(10, 0));
+  loop.run_for(duration_ms(200));
+  EXPECT_EQ(far_got, 2);
+}
+
+TEST_F(FailureTest, PartitionHealsAndSubscriptionsResume) {
+  // Chain 0-1-2 with the network partitioned between brokers 1 and 2 for
+  // a while. During the partition events to the far side are unroutable;
+  // after healing, heartbeats re-declare the link and the far subscriber
+  // resumes receiving without resubscribing.
+  broker::BrokerNetwork fabric(net);
+  broker::BrokerNode::Config bcfg;
+  bcfg.heartbeat.interval = duration_ms(50);
+  sim::Host& b1 = net.add_host("b1");
+  sim::Host& b2 = net.add_host("b2");
+  fabric.add_broker(net.add_host("b0"), bcfg);
+  fabric.add_broker(b1, bcfg);
+  fabric.add_broker(b2, bcfg);
+  fabric.link(0, 1);
+  fabric.link(1, 2);
+  fabric.finalize();
+
+  broker::BrokerClient pub(net.add_host("pub"), fabric.broker(0).stream_endpoint());
+  broker::BrokerClient far_sub(net.add_host("far"), fabric.broker(2).stream_endpoint());
+  far_sub.subscribe("/t");
+  int far_got = 0;
+  far_sub.on_event([&](const broker::Event&) { ++far_got; });
+  loop.run_for(duration_ms(200));
+
+  sim::FaultPlan plan;
+  plan.partition({b1.id()}, {b2.id()}, SimTime{duration_s(1).ns()},
+                 SimTime{duration_s(2).ns()});
+  plan.install(net);
+  loop.run_until(SimTime{duration_ms(1500).ns()});
+  EXPECT_FALSE(fabric.link_considered_up(1, 2));
+  EXPECT_EQ(fabric.distance(0, 2), -1);
+  pub.publish("/t", Bytes(10, 0));
+  loop.run_for(duration_ms(200));
+  EXPECT_EQ(far_got, 0);  // partitioned: counted unroutable, not delivered
+  EXPECT_GT(fabric.broker(0).unroutable_events(), 0u);
+
+  // Heal; heartbeats resume and routes come back within a beat or two.
+  loop.run_until(SimTime{duration_ms(2500).ns()});
+  EXPECT_TRUE(fabric.link_considered_up(1, 2));
+  EXPECT_EQ(fabric.distance(0, 2), 2);
+  EXPECT_GE(fabric.route_recomputes(), 2u);  // one down, one up
+  pub.publish("/t", Bytes(10, 0));
+  loop.run_for(duration_ms(200));
+  EXPECT_EQ(far_got, 1);  // subscription survived the partition
+}
+
+TEST_F(FailureTest, ClientOutlivesBrokerRestartViaBackoffReconnect) {
+  sim::Host& bh = net.add_host("broker");
+  broker::BrokerNode node(bh, 0);
+  broker::BrokerClient::Config ccfg;
+  ccfg.keepalive_interval = duration_ms(100);
+  ccfg.reconnect.enabled = true;
+  ccfg.reconnect.backoff_base = duration_ms(100);
+  ccfg.reconnect.connect_timeout = duration_ms(300);
+  ccfg.name = "pub";
+  broker::BrokerClient pub(net.add_host("pub"), node.stream_endpoint(), ccfg);
+  ccfg.name = "sub";
+  broker::BrokerClient sub(net.add_host("sub"), node.stream_endpoint(), ccfg);
+  sub.subscribe("/t");
+  int got = 0;
+  sub.on_event([&](const broker::Event&) { ++got; });
+  loop.run_for(duration_ms(500));
+  pub.publish("/t", Bytes(10, 0));
+  loop.run_for(duration_ms(200));
+  EXPECT_EQ(got, 1);
+
+  sim::FaultPlan plan;
+  plan.crash_host(bh.id(), SimTime{duration_s(1).ns()}, SimTime{duration_s(2).ns()});
+  plan.install(net);
+  // Mid-outage: keepalives have missed and both clients are in backoff.
+  loop.run_until(SimTime{duration_ms(1800).ns()});
+  EXPECT_FALSE(sub.ready());
+  EXPECT_GE(sub.disconnects(), 1u);
+
+  // After the broker returns, backoff retries land, the handshake redoes
+  // and the subscription set is replayed automatically.
+  loop.run_until(SimTime{duration_ms(3500).ns()});
+  EXPECT_TRUE(sub.ready());
+  EXPECT_GE(sub.reconnects(), 1u);
+  EXPECT_GE(pub.reconnects(), 1u);
+  pub.publish("/t", Bytes(10, 0));
+  loop.run_for(duration_ms(200));
+  // Exactly one more delivery: the ghost record of the pre-crash
+  // incarnation was evicted, so nothing is delivered twice.
+  EXPECT_EQ(got, 2);
 }
 
 TEST_F(FailureTest, GatekeeperRecoversBandwidthFromDisengagedCalls) {

@@ -3,11 +3,15 @@
 // multi-publisher ordering.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "broker/broker_node.hpp"
 #include "broker/client.hpp"
 #include "broker/reliable.hpp"
 #include "sim/event_loop.hpp"
+#include "sim/fault.hpp"
 #include "sim/network.hpp"
+#include "transport/stream.hpp"
 
 namespace gmmcs::broker {
 namespace {
@@ -146,6 +150,68 @@ TEST_F(ReliableTest, LateJoinerDoesNotNakHistory) {
   loop.run();
   EXPECT_EQ(got, 1);  // only the live event, no replay of history
   EXPECT_EQ(sub.gaps_detected(), 0u);
+}
+
+TEST_F(ReliableTest, TailLossAcrossLinkFlapRepairedViaSync) {
+  // The broker->subscriber path flaps while the publisher keeps going,
+  // then the publisher stops: the trailing events can only be revealed by
+  // a SYNC probe (no later event would ever expose the gap) and repaired
+  // through the recovery service's independent NAK stream.
+  sim::Host& sub_host = net.add_host("sub");
+  RecoveryService recovery(net.add_host("recovery"), node.stream_endpoint(), kTopic);
+  ReliableSubscriber sub(sub_host, node.stream_endpoint(), kTopic, recovery.endpoint());
+  std::vector<std::uint32_t> seqs;
+  sub.on_event([&](const Event& ev) { seqs.push_back(ev.seq); });
+  BrokerClient pub(net.add_host("pub"), node.stream_endpoint());
+  loop.run();
+
+  sim::FaultPlan plan;
+  const SimTime flap_start = loop.now() + duration_ms(200);
+  plan.flap_link(node.host().id(), sub_host.id(), flap_start, flap_start + duration_ms(300));
+  plan.install(net);
+  // 50 events at 5 ms spacing: the last ~10 fall inside the flap window
+  // and beyond, so the tail is lost on the UDP path.
+  for (int i = 0; i < 50; ++i) {
+    pub.publish(kTopic, Bytes(64, 0));
+    loop.run_for(duration_ms(5));
+  }
+  loop.run_for(duration_s(1));
+  // Suffix contract holds across the flap: contiguous, nothing lost.
+  ASSERT_FALSE(seqs.empty());
+  for (std::size_t i = 1; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], seqs[i - 1] + 1);
+  EXPECT_EQ(seqs.back(), 49u);
+  EXPECT_EQ(sub.events_lost(), 0u);
+  EXPECT_GT(sub.recovered(), 0u);
+  EXPECT_GT(recovery.naks_served(), 0u);
+  EXPECT_EQ(recovery.retransmissions(), sub.recovered());
+}
+
+TEST_F(ReliableTest, NakRangeClampedToBoundedBuffer) {
+  // A NAK asking for more history than the bounded buffer holds must be
+  // answered with exactly the surviving events, not fault or replay junk.
+  RecoveryService recovery(net.add_host("recovery"), node.stream_endpoint(), kTopic,
+                           /*buffer_limit=*/16);
+  BrokerClient pub(net.add_host("pub"), node.stream_endpoint());
+  loop.run();
+  for (int i = 0; i < 40; ++i) pub.publish(kTopic, Bytes(8, 0), QoS::kReliable);
+  loop.run();
+  ASSERT_EQ(recovery.buffered(), 16u);  // seqs 24..39 survive
+
+  auto nak = transport::StreamConnection::connect(net.add_host("nakker"), recovery.endpoint());
+  std::vector<std::uint32_t> replayed;
+  nak->on_message([&](const Bytes& data) {
+    auto frame = decode(data);
+    if (frame.ok() && frame.value().type == MessageType::kEvent) {
+      replayed.push_back(frame.value().event.seq);
+    }
+  });
+  nak->send("NAK " + std::to_string(pub.id()) + " 0 39");
+  loop.run();
+  ASSERT_EQ(replayed.size(), 16u);
+  EXPECT_EQ(replayed.front(), 24u);
+  EXPECT_EQ(replayed.back(), 39u);
+  EXPECT_EQ(recovery.retransmissions(), 16u);
+  EXPECT_EQ(recovery.naks_served(), 1u);
 }
 
 }  // namespace

@@ -67,10 +67,12 @@ TEST_F(TransportTest, StreamHandshakeAndExchange) {
   std::vector<std::string> server_got;
   StreamConnectionPtr server_conn;
   listener.on_accept([&](StreamConnectionPtr c) {
-    server_conn = c;
-    c->on_message([&, c](const Bytes& m) {
+    server_conn = std::move(c);
+    // Capture the slot, not the shared_ptr: a handler owning its own
+    // connection is a reference cycle (LeakSanitizer flags it).
+    server_conn->on_message([&](const Bytes& m) {
       server_got.push_back(to_string(m));
-      c->send("reply:" + to_string(m));
+      server_conn->send("reply:" + to_string(m));
     });
   });
   auto conn = StreamConnection::connect(client, sim::Endpoint{server.id(), 80});
@@ -226,10 +228,10 @@ TEST_F(TransportTest, ProxyTunnelsThroughFirewall) {
   std::vector<std::string> broker_got;
   StreamConnectionPtr bc;
   broker_listener.on_accept([&](StreamConnectionPtr c) {
-    bc = c;
-    c->on_message([&, c](const Bytes& m) {
+    bc = std::move(c);
+    bc->on_message([&](const Bytes& m) {
       broker_got.push_back(to_string(m));
-      c->send("ack:" + to_string(m));
+      bc->send("ack:" + to_string(m));
     });
   });
   auto tunnel = connect_via_proxy(inside, proxy.endpoint(), sim::Endpoint{broker.id(), 9000});
