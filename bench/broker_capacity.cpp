@@ -7,8 +7,15 @@
 // the paper's quality criterion (avg delay < 100 ms, loss < 2%).
 // Alongside the table it writes BENCH_broker_capacity.json so the bench
 // trajectory is machine-readable.
+//
+// --workers N runs the simulation on N EventLoop workers (default 1).
+// Simulated metrics — table values and the JSON file — are byte-identical
+// for any N (DESIGN.md §9); only the wall column may change.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/experiments.hpp"
@@ -21,22 +28,30 @@ struct JsonPoint {
 };
 
 std::vector<JsonPoint> g_points;
+int g_workers = 1;
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
 
 void sweep(gmmcs::core::MediaKind kind, const char* title, const char* key,
            const std::vector<int>& counts, int paper_claim) {
   using namespace gmmcs::core;
   std::printf("\n=== %s (paper claim: good quality beyond %d clients) ===\n", title, paper_claim);
-  std::printf("%10s %14s %16s %10s %12s %10s\n", "clients", "avg delay", "per-client max",
-              "loss", "offered", "quality");
+  std::printf("%10s %14s %16s %10s %12s %10s %10s\n", "clients", "avg delay", "per-client max",
+              "loss", "offered", "quality", "wall");
   int last_good = 0;
   for (int n : counts) {
     CapacityConfig cfg;
     cfg.kind = kind;
     cfg.clients = n;
+    cfg.workers = g_workers;
+    auto t0 = std::chrono::steady_clock::now();
     CapacityPoint p = run_capacity(cfg);
-    std::printf("%10d %11.2f ms %13.2f ms %9.3f%% %9.1f Mbps %10s\n", p.clients, p.avg_delay_ms,
-                p.p99_delay_ms, p.loss_ratio * 100.0, p.offered_mbps,
-                p.good_quality ? "good" : "DEGRADED");
+    double wall_s = wall_seconds_since(t0);
+    std::printf("%10d %11.2f ms %13.2f ms %9.3f%% %9.1f Mbps %10s %8.2f s\n", p.clients,
+                p.avg_delay_ms, p.p99_delay_ms, p.loss_ratio * 100.0, p.offered_mbps,
+                p.good_quality ? "good" : "DEGRADED", wall_s);
     if (p.good_quality) last_good = n;
     g_points.push_back({key, p});
   }
@@ -65,10 +80,17 @@ void write_json() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gmmcs::core;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--workers" && i + 1 < argc) {
+      g_workers = std::atoi(argv[++i]);
+    }
+  }
   std::printf("=== Broker capacity (claims C1/C2, DESIGN.md section 4) ===\n");
   std::printf("Quality criterion: avg delay < 150 ms and loss < 2%%.\n");
+  std::printf("EventLoop workers: %d (simulated metrics are worker-count invariant).\n",
+              g_workers);
   sweep(MediaKind::kAudio, "C1: audio clients per broker (64 Kbps G.711)", "audio",
         {200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800}, 1000);
   sweep(MediaKind::kVideo, "C2: video clients per broker (600 Kbps)", "video",

@@ -1,11 +1,25 @@
 #!/usr/bin/env bash
-# Sanitized build + full test run: the gate for fabric/self-healing work.
-# Usage: scripts/check.sh [sanitizers]   (default: address,undefined)
+# Sanitized build + full test run: the gate for fabric/self-healing and
+# parallel-dispatch work.
+#
+# Usage: scripts/check.sh [mode-or-sanitizers]
+#   (none)            address,undefined (the default gate)
+#   asan | address    AddressSanitizer + UndefinedBehaviorSanitizer
+#   thread | tsan     ThreadSanitizer — certifies the parallel dispatch
+#                     executor (worker pool, merge barrier) is race-free;
+#                     each sanitizer gets its own build tree
+#   <list>            any raw comma-separated -fsanitize= list
 set -euo pipefail
 
-SANITIZE="${1:-address,undefined}"
+MODE="${1:-address,undefined}"
+case "$MODE" in
+  asan|address) SANITIZE="address,undefined" ;;
+  thread|tsan)  SANITIZE="thread" ;;
+  *)            SANITIZE="$MODE" ;;
+esac
+
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="$ROOT/build-sanitize"
+BUILD="$ROOT/build-sanitize-${SANITIZE//,/-}"
 
 cmake -B "$BUILD" -S "$ROOT" -DGMMCS_SANITIZE="$SANITIZE" >/dev/null
 cmake --build "$BUILD" -j "$(nproc)"

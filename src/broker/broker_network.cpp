@@ -15,6 +15,10 @@ BrokerNetwork::BrokerNetwork(sim::Network& net) : net_(&net) {}
 BrokerNetwork::~BrokerNetwork() = default;
 
 BrokerNode& BrokerNetwork::add_broker(sim::Host& host, BrokerNode::Config cfg) {
+  // Fabric brokers share control-plane state across hosts (the routing
+  // tables, the interest index and its match cache), so their events are
+  // not host-independent: opt them out of parallel lanes.
+  host.set_exclusive(true);
   auto id = static_cast<BrokerId>(brokers_.size());
   brokers_.push_back(std::make_unique<BrokerNode>(host, id, cfg));
   brokers_.back()->network_ = this;

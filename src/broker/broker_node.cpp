@@ -43,6 +43,7 @@ BrokerNode::BrokerNode(sim::Host& host, BrokerId id, Config cfg)
 
 std::size_t BrokerNode::subscription_count() const {
   std::size_t n = 0;
+  // det-lint: allow(unordered-iteration) — commutative sum, order-free
   for (const auto& [id, c] : clients_) n += c.filters.size();
   return n;
 }

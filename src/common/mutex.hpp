@@ -1,0 +1,77 @@
+// Annotated mutex / condition-variable wrappers.
+//
+// The only sanctioned locking primitives in src/ (the determinism linter
+// rejects raw std::mutex / std::condition_variable everywhere else).
+// They are thin std wrappers carrying clang thread-safety capabilities so
+// `-Wthread-safety -Werror=thread-safety` can certify lock discipline.
+#pragma once
+
+#include <condition_variable>  // det-lint: allow(raw-threading) — the sanctioned wrapper
+#include <mutex>               // det-lint: allow(raw-threading) — the sanctioned wrapper
+
+#include "common/thread_annotations.hpp"
+
+namespace gmmcs {
+
+/// Annotated exclusive mutex (see thread_annotations.hpp conventions).
+class GMMCS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GMMCS_ACQUIRE() { mu_.lock(); }
+  void unlock() GMMCS_RELEASE() { mu_.unlock(); }
+  bool try_lock() GMMCS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Escape hatch for CondVar, which needs the underlying handle.
+  std::mutex& native() { return mu_; }  // det-lint: allow(raw-threading)
+
+ private:
+  std::mutex mu_;  // det-lint: allow(raw-threading)
+};
+
+/// RAII scoped lock over gmmcs::Mutex.
+class GMMCS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GMMCS_ACQUIRE(mu) : mu_(&mu) { mu_->lock(); }
+  ~MutexLock() GMMCS_RELEASE() { mu_->unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with gmmcs::Mutex. The wait predicate runs
+/// with the mutex held, matching std::condition_variable semantics.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Caller must hold `mu` (enforced under clang via GMMCS_REQUIRES).
+  template <class Pred>
+  void wait(Mutex& mu, Pred pred) GMMCS_REQUIRES(mu) {
+    // clang's analysis cannot see through unique_lock's adopt/release
+    // dance, so the body is opted out; the REQUIRES contract above is
+    // what callers are checked against.
+    wait_impl(mu, [&]() GMMCS_NO_THREAD_SAFETY_ANALYSIS { return pred(); });
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  template <class Pred>
+  void wait_impl(Mutex& mu, Pred pred) GMMCS_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);  // det-lint: allow(raw-threading)
+    cv_.wait(lk, pred);
+    lk.release();  // the enclosing MutexLock / caller still owns the lock
+  }
+
+  std::condition_variable cv_;  // det-lint: allow(raw-threading)
+};
+
+}  // namespace gmmcs

@@ -1,0 +1,41 @@
+// Annotated thread wrapper: the only sanctioned way to spawn a thread in
+// src/ (the determinism linter rejects raw std::thread elsewhere).
+//
+// Threads in this codebase exist solely as *host-CPU* workers inside the
+// deterministic parallel dispatch executor (sim::EventLoop); nothing about
+// simulated time or simulated randomness may depend on thread scheduling.
+// Keeping construction funneled through this type makes that auditable.
+#pragma once
+
+#include <thread>  // det-lint: allow(raw-threading) — the sanctioned wrapper
+#include <utility>
+
+namespace gmmcs {
+
+/// Joining thread wrapper (std::jthread semantics without the stop token).
+class Thread {
+ public:
+  Thread() = default;
+  template <class Fn, class... Args>
+  explicit Thread(Fn&& fn, Args&&... args)
+      : t_(std::forward<Fn>(fn), std::forward<Args>(args)...) {}
+  Thread(Thread&&) = default;
+  Thread& operator=(Thread&& other) {
+    join();
+    t_ = std::move(other.t_);
+    return *this;
+  }
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+  ~Thread() { join(); }
+
+  void join() {
+    if (t_.joinable()) t_.join();
+  }
+  [[nodiscard]] bool joinable() const { return t_.joinable(); }
+
+ private:
+  std::thread t_;  // det-lint: allow(raw-threading)
+};
+
+}  // namespace gmmcs

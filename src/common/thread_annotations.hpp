@@ -1,0 +1,43 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// Shared mutable state in the (otherwise single-threaded) simulator exists
+// only around the parallel host-dispatch executor (sim::EventLoop worker
+// pool). Everything that crosses a thread boundary must be annotated with
+// these macros and built with `-Wthread-safety -Werror=thread-safety`
+// under clang so lock discipline is checked statically; under GCC the
+// macros compile away.
+//
+// Conventions (DESIGN.md §9):
+//  * every mutex-protected member carries GMMCS_GUARDED_BY(mu_);
+//  * functions that expect the caller to hold a lock are annotated with
+//    GMMCS_REQUIRES(mu_) instead of re-locking;
+//  * raw std::mutex / std::thread are banned outside common/ wrappers by
+//    tools/lint/determinism_lint.py — use gmmcs::Mutex / gmmcs::MutexLock
+//    (common/mutex.hpp) and gmmcs::Thread (common/thread.hpp), which are
+//    what these attributes are attached to.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GMMCS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GMMCS_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+#define GMMCS_CAPABILITY(x) GMMCS_THREAD_ANNOTATION(capability(x))
+#define GMMCS_SCOPED_CAPABILITY GMMCS_THREAD_ANNOTATION(scoped_lockable)
+#define GMMCS_GUARDED_BY(x) GMMCS_THREAD_ANNOTATION(guarded_by(x))
+#define GMMCS_PT_GUARDED_BY(x) GMMCS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define GMMCS_ACQUIRED_BEFORE(...) GMMCS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define GMMCS_ACQUIRED_AFTER(...) GMMCS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define GMMCS_REQUIRES(...) GMMCS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define GMMCS_REQUIRES_SHARED(...) \
+  GMMCS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define GMMCS_ACQUIRE(...) GMMCS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GMMCS_ACQUIRE_SHARED(...) GMMCS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define GMMCS_RELEASE(...) GMMCS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define GMMCS_RELEASE_SHARED(...) GMMCS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define GMMCS_TRY_ACQUIRE(...) GMMCS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define GMMCS_EXCLUDES(...) GMMCS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define GMMCS_ASSERT_CAPABILITY(x) GMMCS_THREAD_ANNOTATION(assert_capability(x))
+#define GMMCS_RETURN_CAPABILITY(x) GMMCS_THREAD_ANNOTATION(lock_returned(x))
+#define GMMCS_NO_THREAD_SAFETY_ANALYSIS GMMCS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,63 +1,308 @@
 #include "sim/event_loop.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
 namespace gmmcs::sim {
 
+thread_local EventLoop::ExecCtx* EventLoop::tls_ctx_ = nullptr;
+
+EventLoop::~EventLoop() {
+  stop_pool();
+}
+
+Lane EventLoop::current_lane() const {
+  if (ExecCtx* ctx = tls_ctx_; ctx != nullptr && ctx->loop == this) return ctx->lane;
+  return inline_lane_;
+}
+
+bool EventLoop::in_parallel_batch() const {
+  ExecCtx* ctx = tls_ctx_;
+  return ctx != nullptr && ctx->loop == this;
+}
+
 TaskId EventLoop::schedule_at(SimTime when, Callback cb) {
+  return schedule_at(when, std::move(cb), current_lane());
+}
+
+TaskId EventLoop::schedule_at(SimTime when, Callback cb, Lane lane) {
   if (when < now_) when = now_;  // never schedule into the past
-  TaskId id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
-  ++size_;
-  return id;
+  if (ExecCtx* ctx = tls_ctx_; ctx != nullptr && ctx->loop == this) {
+    // Parallel batch: buffer the request; the real heap entry (and its
+    // tie-breaking seq) is created at the merge barrier in serial order.
+    // The TaskId is pre-assigned from the event's deterministic block so
+    // the caller can cancel it before or after the barrier.
+    assert(ctx->minted + 1 < kIdBlock);
+    TaskId id = ctx->id_base + ctx->minted++;
+    ctx->ops.push_back(PendingOp{PendingOp::Kind::kSchedule, when, lane, id, std::move(cb)});
+    return id;
+  }
+  return schedule_direct(when, std::move(cb), lane);
 }
 
 TaskId EventLoop::schedule_after(SimDuration delay, Callback cb) {
+  return schedule_after(delay, std::move(cb), current_lane());
+}
+
+TaskId EventLoop::schedule_after(SimDuration delay, Callback cb, Lane lane) {
   if (delay < SimDuration{0}) delay = SimDuration{0};
-  return schedule_at(now_ + delay, std::move(cb));
+  return schedule_at(now_ + delay, std::move(cb), lane);
+}
+
+TaskId EventLoop::schedule_direct(SimTime when, Callback cb, Lane lane) {
+  TaskId id = next_id_++;
+  heap_.push_back(Entry{when, next_seq_++, id, lane});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
 }
 
 void EventLoop::cancel(TaskId id) {
-  if (callbacks_.erase(id) > 0) --size_;
-  // The heap entry stays; step() skips ids with no callback.
+  if (ExecCtx* ctx = tls_ctx_; ctx != nullptr && ctx->loop == this) {
+    ctx->ops.push_back(PendingOp{PendingOp::Kind::kCancel, SimTime{}, kNoLane, id, nullptr});
+    return;
+  }
+  cancel_direct(id);
 }
 
-bool EventLoop::step() {
+void EventLoop::cancel_direct(TaskId id) {
+  if (callbacks_.erase(id) > 0) maybe_compact();
+  // The heap entry stays (unless compacted); execution skips ids with no
+  // callback.
+}
+
+void EventLoop::maybe_compact() {
+  // Lazy compaction: cancelled ids leave dead Entry records behind; once
+  // they outnumber live ones (PeriodicTask-heavy fabrics churn cancels
+  // every heartbeat), rebuild the heap from the live entries in O(n).
+  constexpr std::size_t kCompactMin = 64;
+  if (heap_.size() < kCompactMin || heap_.size() <= 2 * callbacks_.size()) return;
+  std::erase_if(heap_, [this](const Entry& e) { return !callbacks_.contains(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void EventLoop::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+}
+
+bool EventLoop::prune_stale_top() {
   while (!heap_.empty()) {
-    Entry e = heap_.top();
-    heap_.pop();
-    auto it = callbacks_.find(e.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    --size_;
-    now_ = e.when;
-    ++executed_;
-    cb();
-    return true;
+    if (callbacks_.contains(heap_.front().id)) return true;
+    pop_top();
   }
   return false;
 }
 
+void EventLoop::post_effect(std::function<void()> fn) {
+  if (ExecCtx* ctx = tls_ctx_; ctx != nullptr && ctx->loop == this) {
+    ctx->ops.push_back(
+        PendingOp{PendingOp::Kind::kEffect, SimTime{}, kNoLane, 0, std::move(fn)});
+    return;
+  }
+  fn();
+}
+
+void EventLoop::execute_inline(Entry e, Callback cb) {
+  now_ = e.when;
+  ++executed_;
+  if (trace_) trace_(e.when, e.seq);
+  Lane prev = inline_lane_;
+  inline_lane_ = e.lane;
+  cb();
+  inline_lane_ = prev;
+}
+
+bool EventLoop::step() {
+  if (!prune_stale_top()) return false;
+  Entry e = heap_.front();
+  pop_top();
+  auto it = callbacks_.find(e.id);
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  execute_inline(std::move(e), std::move(cb));
+  return true;
+}
+
 void EventLoop::run() {
-  while (step()) {
+  if (workers_ <= 1) {
+    while (step()) {
+    }
+    return;
+  }
+  while (run_batch(SimTime::infinity())) {
   }
 }
 
 void EventLoop::run_until(SimTime deadline) {
-  while (!heap_.empty()) {
-    // Skip over cancelled entries without advancing time.
-    Entry e = heap_.top();
-    if (callbacks_.find(e.id) == callbacks_.end()) {
-      heap_.pop();
-      continue;
+  if (workers_ <= 1) {
+    while (prune_stale_top()) {
+      if (heap_.front().when > deadline) break;
+      step();
     }
-    if (e.when > deadline) break;
-    step();
+  } else {
+    while (run_batch(deadline)) {
+    }
   }
   if (now_ < deadline) now_ = deadline;
+}
+
+bool EventLoop::run_batch(SimTime deadline) {
+  if (!prune_stale_top()) return false;
+  SimTime t = heap_.front().when;
+  if (t > deadline) return false;
+
+  // Gather the longest (when, seq)-order prefix of same-timestamp events
+  // with pairwise-distinct lanes. Untagged (kNoLane) events run alone.
+  batch_.clear();
+  while (prune_stale_top() && heap_.front().when == t) {
+    const Entry& top = heap_.front();
+    if (!batch_.empty()) {
+      bool conflict = top.lane == kNoLane;
+      for (const BatchItem& item : batch_) conflict |= item.entry.lane == top.lane;
+      if (conflict) break;  // stays queued; next batch picks it up in order
+    }
+    Entry e = top;
+    pop_top();
+    auto it = callbacks_.find(e.id);
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    bool solo = e.lane == kNoLane;
+    batch_.push_back(BatchItem{std::move(e), std::move(cb), ExecCtx{}});
+    if (solo) break;
+  }
+
+  now_ = t;
+  if (batch_.size() == 1) {
+    BatchItem item = std::move(batch_.front());
+    batch_.clear();
+    execute_inline(std::move(item.entry), std::move(item.cb));
+    return true;
+  }
+
+  // Pre-assign each slot its deterministic TaskId block (in seq order).
+  for (BatchItem& item : batch_) {
+    item.ctx.loop = this;
+    item.ctx.lane = item.entry.lane;
+    item.ctx.id_base = next_block_base_;
+    next_block_base_ += kIdBlock;
+  }
+
+  // Publish the batch to the pool and help drain it.
+  std::uint64_t gen;
+  {
+    MutexLock lk(pool_mu_);
+    slots_ = batch_.data();
+    batch_size_ = batch_.size();
+    next_slot_ = 0;
+    done_count_ = 0;
+    gen = ++generation_;
+  }
+  work_cv_.notify_all();
+  run_slots(gen);
+  {
+    MutexLock lk(pool_mu_);
+    done_cv_.wait(pool_mu_, [this]() GMMCS_REQUIRES(pool_mu_) {
+      return done_count_ == batch_size_;
+    });
+    // Close the batch: late worker wake-ups must find nothing claimable.
+    batch_size_ = 0;
+    slots_ = nullptr;
+  }
+
+  // Merge barrier: apply every event's buffered effects in (when, seq)
+  // order — exactly the order serial execution would have produced.
+  for (BatchItem& item : batch_) commit(item);
+  batch_.clear();
+  return true;
+}
+
+void EventLoop::commit(BatchItem& item) {
+  ++executed_;
+  if (trace_) trace_(item.entry.when, item.entry.seq);
+  for (PendingOp& op : item.ctx.ops) {
+    switch (op.kind) {
+      case PendingOp::Kind::kSchedule:
+        heap_.push_back(Entry{op.when, next_seq_++, op.id, op.lane});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+        callbacks_.emplace(op.id, std::move(op.fn));
+        break;
+      case PendingOp::Kind::kCancel:
+        cancel_direct(op.id);
+        break;
+      case PendingOp::Kind::kEffect:
+        op.fn();
+        break;
+    }
+  }
+  // Destroy the callback (and anything it captured) before the next
+  // slot's effects apply, matching serial destruction order.
+  item.cb = nullptr;
+  item.ctx.ops.clear();
+}
+
+void EventLoop::run_slots(std::uint64_t gen) {
+  for (;;) {
+    BatchItem* item = nullptr;
+    {
+      MutexLock lk(pool_mu_);
+      // A stale generation means the batch this thread was woken for has
+      // already been fully executed and closed — nothing to claim.
+      if (gen != generation_ || next_slot_ >= batch_size_) return;
+      item = &slots_[next_slot_++];
+    }
+    tls_ctx_ = &item->ctx;
+    item->cb();
+    tls_ctx_ = nullptr;
+    MutexLock lk(pool_mu_);
+    if (++done_count_ == batch_size_) done_cv_.notify_all();
+  }
+}
+
+void EventLoop::worker_main() {
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    {
+      MutexLock lk(pool_mu_);
+      work_cv_.wait(pool_mu_, [&]() GMMCS_REQUIRES(pool_mu_) {
+        return stopping_ || generation_ != seen_gen;
+      });
+      if (stopping_) return;
+      seen_gen = generation_;
+    }
+    run_slots(seen_gen);
+  }
+}
+
+void EventLoop::set_workers(int n) {
+  if (n < 1) n = 1;
+  if (n == workers_) return;
+  stop_pool();
+  workers_ = n;
+  if (workers_ > 1) start_pool();
+}
+
+void EventLoop::start_pool() {
+  {
+    MutexLock lk(pool_mu_);
+    stopping_ = false;
+  }
+  // The coordinator claims slots too, so n workers = n-1 pool threads.
+  for (int i = 1; i < workers_; ++i) {
+    pool_.emplace_back([this] { worker_main(); });
+  }
+}
+
+void EventLoop::stop_pool() {
+  if (pool_.empty()) return;
+  {
+    MutexLock lk(pool_mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  pool_.clear();  // Thread joins on destruction
 }
 
 PeriodicTask::PeriodicTask(EventLoop& loop, SimDuration period,
@@ -66,6 +311,13 @@ PeriodicTask::PeriodicTask(EventLoop& loop, SimDuration period,
   if (period_ <= SimDuration{0}) {
     throw std::invalid_argument("PeriodicTask: period must be positive");
   }
+}
+
+PeriodicTask::PeriodicTask(EventLoop& loop, SimDuration period,
+                           std::function<void(std::uint64_t)> fn, Lane lane)
+    : PeriodicTask(loop, period, std::move(fn)) {
+  has_lane_ = true;
+  lane_ = lane;
 }
 
 PeriodicTask::~PeriodicTask() {
@@ -83,12 +335,14 @@ void PeriodicTask::start_after(SimDuration initial_delay) {
 }
 
 void PeriodicTask::arm(SimDuration delay) {
-  pending_ = loop_.schedule_after(delay, [this] {
+  auto tick = [this] {
     if (!running_) return;
     std::uint64_t t = tick_++;
     arm(period_);
     fn_(t);
-  });
+  };
+  pending_ = has_lane_ ? loop_.schedule_after(delay, std::move(tick), lane_)
+                       : loop_.schedule_after(delay, std::move(tick));
 }
 
 void PeriodicTask::stop() {

@@ -4,14 +4,27 @@
 // every host, broker, gateway and media client schedules callbacks on it.
 // Events at equal times run in scheduling order (a monotonic sequence
 // number breaks ties), which keeps runs fully deterministic.
+//
+// Parallel host dispatch (DESIGN.md §9): with set_workers(N > 1), events
+// carrying *distinct lanes* (one lane per independent host) that fall on
+// the same simulated timestamp execute concurrently on a host-CPU worker
+// pool. A lane-tagged callback may only touch that lane's state; every
+// cross-lane side effect — scheduling, cancelling, Network::transmit —
+// is buffered per event while the batch runs and merged at a barrier in
+// (when, seq) order, i.e. exactly the order serial execution would have
+// applied it. Untagged (kNoLane) events are barriers: they run alone.
+// The result is byte-identical to serial mode for any workload that
+// respects lane discipline; scripts/check.sh thread (TSan) and the
+// serial-vs-parallel equivalence tests certify it.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread.hpp"
 #include "common/time.hpp"
 
 namespace gmmcs::sim {
@@ -19,19 +32,47 @@ namespace gmmcs::sim {
 /// Handle for cancelling a scheduled event.
 using TaskId = std::uint64_t;
 
+/// Execution lane for parallel host dispatch. Events on the same lane
+/// never run concurrently (they keep their (when, seq) order); events on
+/// distinct lanes at the same timestamp may. kNoLane events are global
+/// barriers — they always execute alone.
+using Lane = std::uint32_t;
+inline constexpr Lane kNoLane = 0;
+
 class EventLoop {
  public:
   using Callback = std::function<void()>;
 
+  EventLoop() = default;
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
   /// Current simulated time.
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedules a callback at an absolute time (>= now).
+  /// Schedules a callback at an absolute time (>= now). The event inherits
+  /// the lane of the event currently executing (kNoLane outside events),
+  /// which keeps per-host callback chains on their host's lane.
   TaskId schedule_at(SimTime when, Callback cb);
-  /// Schedules a callback after a relative delay (>= 0).
+  /// Schedules with an explicit lane (kNoLane = global barrier event).
+  TaskId schedule_at(SimTime when, Callback cb, Lane lane);
+  /// Schedules a callback after a relative delay (>= 0); lane inherited.
   TaskId schedule_after(SimDuration delay, Callback cb);
+  TaskId schedule_after(SimDuration delay, Callback cb, Lane lane);
   /// Cancels a pending event; cancelling an already-run or unknown id is a no-op.
   void cancel(TaskId id);
+
+  /// Runs `fn` now in serial execution. During a parallel batch the call
+  /// is buffered and replayed at the merge barrier in (when, seq) order of
+  /// the buffering events — the hook Network uses to keep cross-host
+  /// traffic (and its RNG draws) in serial order. `fn` runs on the
+  /// coordinator thread with no lane context.
+  void post_effect(std::function<void()> fn);
+  /// True while the calling thread is executing an event of a parallel
+  /// batch (i.e. side effects on shared state must go through
+  /// post_effect / the buffered schedule path).
+  [[nodiscard]] bool in_parallel_batch() const;
 
   /// Runs events until the queue is empty.
   void run();
@@ -39,18 +80,37 @@ class EventLoop {
   void run_until(SimTime deadline);
   /// Runs for the given simulated duration from the current time.
   void run_for(SimDuration d) { run_until(now_ + d); }
-  /// Executes at most one event; returns false if the queue was empty.
+  /// Executes at most one event (always inline, even with workers);
+  /// returns false if the queue was empty.
   bool step();
 
-  [[nodiscard]] std::size_t pending() const { return size_; }
+  /// Enables parallel host dispatch on `n` workers (n <= 1 = serial).
+  /// Call outside run(); the pool persists until changed or destroyed.
+  void set_workers(int n);
+  [[nodiscard]] int workers() const { return workers_; }
+
+  /// Lane of the event currently executing on this thread (kNoLane when
+  /// called outside an event). New events inherit this by default.
+  [[nodiscard]] Lane current_lane() const;
+
+  /// Execution-trace hook, called once per executed event as (when, seq)
+  /// in commit order. Serial and parallel runs of the same workload must
+  /// produce identical traces — the equivalence tests assert exactly that.
+  void set_trace(std::function<void(SimTime, std::uint64_t)> fn) { trace_ = std::move(fn); }
+
+  [[nodiscard]] std::size_t pending() const { return callbacks_.size(); }
   /// Total events executed since construction (useful in tests).
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  /// Heap slots currently allocated, including stale entries left by
+  /// cancel(); compaction keeps this within 2x of pending().
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
 
  private:
   struct Entry {
     SimTime when;
     std::uint64_t seq;
     TaskId id;
+    Lane lane;
     // Heap entries are copied around; the callback lives in a separate map
     // keyed by id so cancel() can drop it cheaply.
   };
@@ -61,21 +121,105 @@ class EventLoop {
     }
   };
 
+  /// One buffered side effect of an event running in a parallel batch.
+  struct PendingOp {
+    enum class Kind { kSchedule, kCancel, kEffect };
+    Kind kind;
+    SimTime when;              // kSchedule
+    Lane lane = kNoLane;       // kSchedule
+    TaskId id = 0;             // kSchedule (pre-assigned) / kCancel
+    std::function<void()> fn;  // kSchedule callback / kEffect closure
+  };
+
+  /// Per-event execution context while a parallel batch is in flight.
+  /// Written only by the one thread running the event; read by the
+  /// coordinator after the barrier (synchronized via pool_mu_).
+  struct ExecCtx {
+    EventLoop* loop = nullptr;
+    Lane lane = kNoLane;
+    TaskId id_base = 0;  // deterministic pre-assigned TaskId block
+    std::uint32_t minted = 0;
+    std::vector<PendingOp> ops;
+  };
+
+  struct BatchItem {
+    Entry entry;
+    Callback cb;
+    ExecCtx ctx;
+  };
+
+  TaskId schedule_direct(SimTime when, Callback cb, Lane lane);
+  void cancel_direct(TaskId id);
+  /// Drops stale (cancelled) heap entries once they outnumber live ones.
+  void maybe_compact();
+  /// Pops cancelled entries off the heap top; false if the heap empties.
+  bool prune_stale_top();
+  void pop_top();
+  /// Runs one event inline on the calling thread (serial execution path).
+  void execute_inline(Entry e, Callback cb);
+  /// Gathers and executes one same-timestamp batch (parallel mode);
+  /// returns false if no live event has when <= deadline.
+  bool run_batch(SimTime deadline);
+  /// Applies one event's buffered ops in order (coordinator thread).
+  void commit(BatchItem& item);
+  void start_pool();
+  void stop_pool();
+  void worker_main();
+  /// Claims and runs slots of batch generation `gen` until none are left
+  /// (any pool thread, and the coordinator itself).
+  void run_slots(std::uint64_t gen);
+
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   TaskId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::size_t size_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Min-heap over (when, seq) maintained with std::push_heap/pop_heap so
+  /// compaction can rebuild it in place after heavy cancel() churn.
+  std::vector<Entry> heap_;
   // id -> callback; erased on cancel, so stale heap entries become no-ops.
   std::unordered_map<TaskId, Callback> callbacks_;
+  /// Lane of the event currently running inline (coordinator thread).
+  Lane inline_lane_ = kNoLane;
+  std::function<void(SimTime, std::uint64_t)> trace_;
+
+  // --- Parallel dispatch (all touched by run_batch and the pool) ---
+  int workers_ = 1;
+  /// TaskIds minted inside parallel batches live above this bit so they
+  /// never collide with the serial next_id_ counter.
+  static constexpr TaskId kParallelIdBit = TaskId{1} << 63;
+  /// Each batch slot may mint up to kIdBlock tasks while buffered.
+  static constexpr TaskId kIdBlock = TaskId{1} << 16;
+  TaskId next_block_base_ = kParallelIdBit;
+  std::vector<BatchItem> batch_;
+  std::vector<Thread> pool_;
+  Mutex pool_mu_;
+  CondVar work_cv_;  // workers: new batch or shutdown
+  CondVar done_cv_;  // coordinator: batch fully executed
+  /// Bumped once per published batch; a worker only claims slots while
+  /// its observed generation is current, which makes late wake-ups exit
+  /// cleanly instead of touching a batch being rebuilt.
+  std::uint64_t generation_ GMMCS_GUARDED_BY(pool_mu_) = 0;
+  bool stopping_ GMMCS_GUARDED_BY(pool_mu_) = false;
+  /// Snapshot of batch_ for the pool (stable while a batch is in flight).
+  BatchItem* slots_ GMMCS_GUARDED_BY(pool_mu_) = nullptr;
+  std::size_t batch_size_ GMMCS_GUARDED_BY(pool_mu_) = 0;
+  std::size_t next_slot_ GMMCS_GUARDED_BY(pool_mu_) = 0;
+  std::size_t done_count_ GMMCS_GUARDED_BY(pool_mu_) = 0;
+  /// Parallel-batch execution context of the calling thread (see
+  /// ExecCtx); static so the buffered schedule/cancel/post_effect paths
+  /// can find it without plumbing.
+  static thread_local ExecCtx* tls_ctx_;
 };
 
 /// Repeatedly invokes a callback at a fixed period until stopped.
 /// The callback receives the tick index (0, 1, 2, ...).
 class PeriodicTask {
  public:
+  /// Ticks run on `lane` (default: the lane current when the task is
+  /// started — kNoLane when started from setup code).
   PeriodicTask(EventLoop& loop, SimDuration period, std::function<void(std::uint64_t)> fn);
+  PeriodicTask(EventLoop& loop, SimDuration period, std::function<void(std::uint64_t)> fn,
+               Lane lane);
   ~PeriodicTask();
   PeriodicTask(const PeriodicTask&) = delete;
   PeriodicTask& operator=(const PeriodicTask&) = delete;
@@ -92,6 +236,8 @@ class PeriodicTask {
   EventLoop& loop_;
   SimDuration period_;
   std::function<void(std::uint64_t)> fn_;
+  bool has_lane_ = false;
+  Lane lane_ = kNoLane;
   std::uint64_t tick_ = 0;
   TaskId pending_ = 0;
   bool running_ = false;

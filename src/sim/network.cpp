@@ -99,7 +99,18 @@ bool Host::send(Endpoint dst, std::uint16_t src_port, Bytes payload, bool reliab
   d.sent_at = loop().now();
   d.reliable = reliable;
   if (egress_observer_) egress_observer_(d);
-  net_->transmit(*this, std::move(d), depart);
+  EventLoop& lp = loop();
+  if (lp.in_parallel_batch()) {
+    // Cross-host effect: transmit mutates fabric-shared state (the loss
+    // RNG, burst maps, arrival scheduling). Defer it to the merge barrier
+    // so those draws happen in serial (when, seq) order; serial execution
+    // takes the direct call and pays no closure allocation.
+    lp.post_effect([net = net_, self = this, d = std::move(d), depart]() mutable {
+      net->transmit(*self, std::move(d), depart);
+    });
+  } else {
+    net_->transmit(*this, std::move(d), depart);
+  }
   return true;
 }
 
@@ -113,7 +124,14 @@ void Host::send_multicast(GroupId group, std::uint16_t src_port, Bytes payload) 
   d.payload = std::move(payload);
   d.sent_at = loop().now();
   d.group = group;
-  net_->transmit_multicast(*this, group, std::move(d), depart);
+  EventLoop& lp = loop();
+  if (lp.in_parallel_batch()) {
+    lp.post_effect([net = net_, self = this, group, d = std::move(d), depart]() mutable {
+      net->transmit_multicast(*self, group, std::move(d), depart);
+    });
+  } else {
+    net_->transmit_multicast(*this, group, std::move(d), depart);
+  }
 }
 
 void Host::deliver(Datagram d) {
@@ -199,26 +217,30 @@ bool Network::roll_loss(const PathConfig& cfg, NodeId src, NodeId dst) {
 void Network::transmit(Host& from, Datagram d, SimTime depart) {
   // Administratively-cut links drop everything, reliable traffic included.
   if (!link_up(from.id(), d.dst.node)) {
-    ++lost_;
+    lost_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   PathConfig p = path(from.id(), d.dst.node);
   if (!d.reliable && roll_loss(p, from.id(), d.dst.node)) {
-    ++lost_;
+    lost_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   SimTime arrive = depart + p.latency;
   Host* src = &from;
   Host* dst = hosts_.at(d.dst.node).get();
-  loop_->schedule_at(arrive, [this, src, dst, depart, d = std::move(d)]() mutable {
+  // Arrival runs on the destination's lane: it only touches dst state,
+  // the commutative counters, and (read-only; writes happen in solo
+  // kNoLane fault events) the source's power-down timestamp.
+  auto arrival = [this, src, dst, depart, d = std::move(d)]() mutable {
     // The source crashing while the datagram sat in its NIC queue wipes it.
     if (src->egress_wiped(d.sent_at, depart)) {
-      ++lost_;
+      lost_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    ++delivered_;
+    delivered_.fetch_add(1, std::memory_order_relaxed);
     dst->deliver(std::move(d));
-  });
+  };
+  loop_->schedule_at(arrive, std::move(arrival), dst->lane());
 }
 
 void Network::transmit_multicast(Host& from, GroupId group, Datagram d, SimTime depart) {
@@ -227,12 +249,12 @@ void Network::transmit_multicast(Host& from, GroupId group, Datagram d, SimTime 
   for (const Endpoint& member : it->second) {
     if (member.node == from.id() && member.port == d.src.port) continue;  // no self-loop
     if (!link_up(from.id(), member.node)) {
-      ++lost_;
+      lost_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     PathConfig p = path(from.id(), member.node);
     if (roll_loss(p, from.id(), member.node)) {
-      ++lost_;
+      lost_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     Datagram copy = d;
@@ -240,14 +262,15 @@ void Network::transmit_multicast(Host& from, GroupId group, Datagram d, SimTime 
     SimTime arrive = depart + p.latency;
     Host* src = &from;
     Host* dst = hosts_.at(member.node).get();
-    loop_->schedule_at(arrive, [this, src, dst, depart, copy = std::move(copy)]() mutable {
+    auto arrival = [this, src, dst, depart, copy = std::move(copy)]() mutable {
       if (src->egress_wiped(copy.sent_at, depart)) {
-        ++lost_;
+        lost_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      ++delivered_;
+      delivered_.fetch_add(1, std::memory_order_relaxed);
       dst->deliver(std::move(copy));
-    });
+    };
+    loop_->schedule_at(arrive, std::move(arrival), dst->lane());
   }
 }
 

@@ -15,6 +15,7 @@
 // CPU contention is modeled by the components that need it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -114,6 +115,17 @@ class Host {
   /// Sends to every member of a multicast group (one NIC serialization).
   void send_multicast(GroupId group, std::uint16_t src_port, Bytes payload);
 
+  /// Parallel-dispatch lane of this host's events (DESIGN.md §9): each
+  /// host gets its own lane so same-timestamp events of *different* hosts
+  /// may run concurrently. kNoLane when the host is marked exclusive.
+  [[nodiscard]] Lane lane() const { return exclusive_ ? kNoLane : static_cast<Lane>(id_) + 1; }
+  /// Forces this host's events onto the global barrier lane (they then
+  /// never run concurrently with anything). Used by components whose
+  /// handlers touch state shared across hosts — e.g. BrokerNetwork's
+  /// routing tables and interest index — where per-host independence, the
+  /// premise of parallel dispatch, does not hold.
+  void set_exclusive(bool on) { exclusive_ = on; }
+
   /// Takes the host offline: all traffic to/from it is dropped, anything
   /// still queued in the NIC is wiped (a crashed machine does not serialize
   /// its backlog on power-up), and new port binds are refused while down.
@@ -159,6 +171,7 @@ class Host {
   std::string name_;
   NicConfig nic_;
   bool up_ = true;
+  bool exclusive_ = false;
   /// Most recent power-down instant (-1 = never). Queued NIC bytes with a
   /// later departure are dropped (see egress_wiped).
   SimTime last_down_at_{-1};
@@ -207,8 +220,10 @@ class Network {
   [[nodiscard]] EventLoop& loop() const { return *loop_; }
 
   // Fabric-wide statistics.
-  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
-  [[nodiscard]] std::uint64_t lost() const { return lost_; }
+  [[nodiscard]] std::uint64_t delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t lost() const { return lost_.load(std::memory_order_relaxed); }
 
  private:
   friend class Host;
@@ -229,8 +244,11 @@ class Network {
   std::set<std::pair<NodeId, NodeId>> down_links_;
   /// Gilbert–Elliott "in a loss burst" flag per directed host pair.
   std::map<std::pair<NodeId, NodeId>, bool> burst_state_;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t lost_ = 0;
+  /// Commutative sums bumped from arrival events, which run concurrently
+  /// on distinct lanes in parallel mode — atomic (relaxed: the value is
+  /// only read between events, order never matters for a sum).
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> lost_{0};
 };
 
 }  // namespace gmmcs::sim

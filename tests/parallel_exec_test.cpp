@@ -1,0 +1,286 @@
+// Parallel host dispatch: lane batching, buffered side effects, and
+// byte-identical serial/parallel execution (DESIGN.md §9).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+
+using namespace gmmcs;
+using namespace gmmcs::sim;
+
+namespace {
+
+using Trace = std::vector<std::pair<std::int64_t, std::uint64_t>>;
+
+/// Records the commit-order (when, seq) stream of a loop.
+struct TraceRecorder {
+  explicit TraceRecorder(EventLoop& loop) {
+    loop.set_trace([this](SimTime when, std::uint64_t seq) {
+      trace.emplace_back(when.ns(), seq);
+    });
+  }
+  Trace trace;
+};
+
+}  // namespace
+
+TEST(ParallelExec, SameTimestampDistinctLanesCommitInSeqOrder) {
+  EventLoop loop;
+  loop.set_workers(4);
+  TraceRecorder rec(loop);
+  std::vector<int> order;
+  SimTime t{duration_ms(1).ns()};
+  for (int lane = 1; lane <= 8; ++lane) {
+    loop.schedule_at(
+        t, [&loop, &order, lane] { loop.post_effect([&order, lane] { order.push_back(lane); }); },
+        static_cast<Lane>(lane));
+  }
+  loop.run();
+  // Effects replay at the barrier in scheduling (seq) order even though
+  // the events themselves ran concurrently.
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i + 1);
+  ASSERT_EQ(rec.trace.size(), 8u);
+  for (std::size_t i = 1; i < rec.trace.size(); ++i) {
+    EXPECT_LT(rec.trace[i - 1].second, rec.trace[i].second);
+  }
+}
+
+TEST(ParallelExec, InParallelBatchOnlyDuringMultiEventBatches) {
+  EventLoop loop;
+  loop.set_workers(4);
+  bool solo_parallel = true, batch_parallel = false;
+  // A lone event executes inline even with workers enabled.
+  loop.schedule_at(SimTime{duration_ms(1).ns()},
+                   [&] { solo_parallel = loop.in_parallel_batch(); }, Lane{1});
+  SimTime t{duration_ms(2).ns()};
+  loop.schedule_at(t, [&] { batch_parallel = loop.in_parallel_batch(); }, Lane{1});
+  loop.schedule_at(t, [] {}, Lane{2});
+  loop.run();
+  EXPECT_FALSE(solo_parallel);
+  EXPECT_TRUE(batch_parallel);
+}
+
+TEST(ParallelExec, BufferedScheduleInheritsLaneAndRuns) {
+  EventLoop loop;
+  loop.set_workers(4);
+  SimTime t{duration_ms(1).ns()};
+  std::vector<Lane> child_lanes(3, kNoLane);
+  for (int lane = 1; lane <= 3; ++lane) {
+    loop.schedule_at(
+        t,
+        [&loop, &child_lanes, lane] {
+          loop.schedule_after(duration_ms(1), [&loop, &child_lanes, lane] {
+            child_lanes[static_cast<std::size_t>(lane - 1)] = loop.current_lane();
+          });
+        },
+        static_cast<Lane>(lane));
+  }
+  loop.run();
+  for (int lane = 1; lane <= 3; ++lane) {
+    EXPECT_EQ(child_lanes[static_cast<std::size_t>(lane - 1)], static_cast<Lane>(lane));
+  }
+}
+
+TEST(ParallelExec, BufferedCancelOfProvisionalAndPriorTasks) {
+  EventLoop loop;
+  loop.set_workers(4);
+  bool doomed_ran = false, child_ran = false, kept_ran = false;
+  // A pre-existing task cancelled from inside a parallel batch...
+  TaskId doomed = loop.schedule_at(SimTime{duration_ms(5).ns()},
+                                   [&] { doomed_ran = true; }, Lane{1});
+  SimTime t{duration_ms(1).ns()};
+  loop.schedule_at(
+      t,
+      [&] {
+        // ...and a provisional (minted-in-batch) id cancelled in the same
+        // event before the barrier ever materializes it.
+        TaskId child =
+            loop.schedule_after(duration_ms(1), [&child_ran] { child_ran = true; });
+        loop.cancel(child);
+        loop.cancel(doomed);
+      },
+      Lane{1});
+  loop.schedule_at(t, [&] { kept_ran = true; }, Lane{2});
+  loop.run();
+  EXPECT_FALSE(doomed_ran);
+  EXPECT_FALSE(child_ran);
+  EXPECT_TRUE(kept_ran);
+}
+
+TEST(ParallelExec, NoLaneEventsAreBarriers) {
+  EventLoop loop;
+  loop.set_workers(4);
+  SimTime t{duration_ms(1).ns()};
+  bool barrier_parallel = true;
+  loop.schedule_at(t, [] {}, Lane{1});
+  loop.schedule_at(t, [&] { barrier_parallel = loop.in_parallel_batch(); });  // kNoLane
+  loop.schedule_at(t, [] {}, Lane{2});
+  loop.run();
+  // The untagged event must have executed alone (inline), never inside a
+  // concurrent batch.
+  EXPECT_FALSE(barrier_parallel);
+}
+
+namespace {
+
+/// A lane-disciplined stress workload: `lanes` chains of events, each
+/// touching only its own accumulator, occasionally rescheduling itself,
+/// spawning same-timestamp work on its lane and bumping a shared counter
+/// through post_effect. Fully deterministic given the seed.
+struct Workload {
+  std::uint64_t shared = 0;
+  std::vector<std::uint64_t> per_lane;
+
+  void run(EventLoop& loop, int lanes, std::uint64_t seed) {
+    per_lane.assign(static_cast<std::size_t>(lanes), 0);
+    std::vector<Rng> rngs;
+    for (int i = 0; i < lanes; ++i) rngs.emplace_back(seed + static_cast<std::uint64_t>(i));
+    std::function<void(int, int)> step = [&](int lane, int depth) {
+      auto idx = static_cast<std::size_t>(lane - 1);
+      Rng& rng = rngs[idx];
+      per_lane[idx] = per_lane[idx] * 31 + static_cast<std::uint64_t>(depth) + rng.next() % 7;
+      if (depth >= 40) return;
+      // Cluster timestamps on a coarse grid so lanes collide on purpose.
+      auto delay = duration_us(100 * rng.uniform_int(1, 5));
+      loop.schedule_after(delay, [&step, lane, depth] { step(lane, depth + 1); });
+      if (rng.chance(0.3)) {
+        loop.post_effect([this] { shared += 1; });
+      }
+      if (rng.chance(0.2)) {
+        TaskId doomed = loop.schedule_after(duration_ms(2), [this, idx] {
+          per_lane[idx] += 1'000'000;  // must never run
+        });
+        loop.cancel(doomed);
+      }
+    };
+    for (int lane = 1; lane <= lanes; ++lane) {
+      loop.schedule_at(SimTime{duration_us(100).ns()},
+                       [&step, lane] { step(lane, 0); }, static_cast<Lane>(lane));
+    }
+    loop.run();
+  }
+};
+
+}  // namespace
+
+TEST(ParallelExec, SerialAndParallelTracesAndStateIdentical) {
+  Trace serial_trace, parallel_trace;
+  Workload serial_w, parallel_w;
+  {
+    EventLoop loop;
+    TraceRecorder rec(loop);
+    serial_w.run(loop, 12, 77);
+    serial_trace = std::move(rec.trace);
+  }
+  {
+    EventLoop loop;
+    loop.set_workers(4);
+    TraceRecorder rec(loop);
+    parallel_w.run(loop, 12, 77);
+    parallel_trace = std::move(rec.trace);
+  }
+  EXPECT_EQ(serial_trace, parallel_trace);
+  EXPECT_EQ(serial_w.per_lane, parallel_w.per_lane);
+  EXPECT_EQ(serial_w.shared, parallel_w.shared);
+}
+
+TEST(ParallelExec, NetworkTrafficWithLossIsWorkerCountInvariant) {
+  // Per-receiver payload streams, arrival times and fabric counters must
+  // not depend on the worker count, loss RNG included. Multicast arrivals
+  // share one timestamp (single sender-side serialization), so with
+  // workers > 1 the receiver handlers genuinely run concurrently.
+  struct PerHost {
+    std::vector<std::uint8_t> payload;  // flattened received bytes
+    std::vector<std::int64_t> stamps;   // arrival times (ns)
+    bool operator==(const PerHost&) const = default;
+  };
+  struct RunResult {
+    std::vector<PerHost> rx;
+    std::uint64_t delivered = 0, lost = 0, executed = 0;
+  };
+  auto run = [](int workers) {
+    EventLoop loop;
+    loop.set_workers(workers);
+    Network net(loop, 99);
+    net.set_default_path(PathConfig{.latency = duration_us(150), .loss = 0.2});
+    Host& tx = net.add_host("tx");
+    constexpr int kReceivers = 6;
+    RunResult out;
+    out.rx.resize(kReceivers);
+    GroupId group = net.create_group();
+    for (int i = 0; i < kReceivers; ++i) {
+      Host& h = net.add_host("rx" + std::to_string(i));
+      // Lane discipline: each handler touches only its own host's slot.
+      h.bind(7, [&out, &loop, i](const Datagram& d) {
+        PerHost& mine = out.rx[static_cast<std::size_t>(i)];
+        mine.payload.insert(mine.payload.end(), d.payload.begin(), d.payload.end());
+        mine.stamps.push_back(loop.now().ns());
+      });
+      net.join_group(group, Endpoint{h.id(), 7});
+    }
+    for (int n = 0; n < 50; ++n) {
+      loop.schedule_at(SimTime{duration_ms(n).ns()},
+                       [&tx, group, n] {
+                         tx.send_multicast(group, 9, Bytes(64, static_cast<std::uint8_t>(n)));
+                       },
+                       tx.lane());
+    }
+    loop.run();
+    out.delivered = net.delivered();
+    out.lost = net.lost();
+    out.executed = loop.executed();
+    return out;
+  };
+  RunResult serial = run(1);
+  RunResult parallel = run(4);
+  EXPECT_EQ(serial.rx, parallel.rx);
+  EXPECT_EQ(serial.delivered, parallel.delivered);
+  EXPECT_EQ(serial.lost, parallel.lost);
+  EXPECT_EQ(serial.executed, parallel.executed);
+  EXPECT_GT(serial.lost, 0u);       // the loss model actually engaged
+  EXPECT_GT(serial.delivered, 0u);  // ...but traffic still flowed
+}
+
+TEST(ParallelExec, WorkerPoolSurvivesReconfiguration) {
+  EventLoop loop;
+  int runs = 0;
+  for (int workers : {4, 1, 2}) {
+    loop.set_workers(workers);
+    SimTime t = loop.now() + duration_ms(1);
+    for (int lane = 1; lane <= 3; ++lane) {
+      loop.schedule_at(t, [&runs] { ++runs; }, static_cast<Lane>(lane));
+    }
+    loop.run();
+  }
+  EXPECT_EQ(runs, 9);
+}
+
+TEST(EventLoopCompaction, CancelHeavyChurnKeepsHeapBounded) {
+  EventLoop loop;
+  // Schedule far-future tasks and cancel almost all of them, repeatedly —
+  // the PeriodicTask / heartbeat pattern. Without compaction the heap
+  // grows with every cancel; with it, stale entries stay within 2x live.
+  std::vector<TaskId> ids;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      ids.push_back(loop.schedule_at(SimTime{duration_s(1000).ns()}, [] {}));
+    }
+    for (TaskId id : ids) loop.cancel(id);
+    ids.clear();
+  }
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_LT(loop.heap_entries(), 128u);  // 2x live + compaction floor
+  // And the loop still works.
+  bool ran = false;
+  loop.schedule_at(SimTime{duration_s(1).ns()}, [&ran] { ran = true; });
+  loop.run();
+  EXPECT_TRUE(ran);
+}

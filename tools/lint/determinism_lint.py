@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Determinism linter for the Global-MMCS simulation core.
+
+The repo's headline invariant is that a run is a pure function of its
+config + seed: same inputs, byte-identical metrics — serial or parallel
+(DESIGN.md §9). This linter statically rejects the ways C++ code usually
+breaks that, anywhere under src/:
+
+  wall-clock           std::chrono / clock_gettime / time(nullptr)...:
+                       simulated code must use sim time (common/time.hpp).
+                       Benches may measure wall clock; they live outside
+                       src/ and are not scanned.
+  ambient-random       std::rand, std::random_device, mt19937...: all
+                       randomness must flow through the seeded gmmcs::Rng
+                       (src/common/random.*, the one allowed home).
+  pointer-format       "%p" / streaming void*: addresses differ run to run
+                       (ASLR), so they must never reach logs or metrics.
+  raw-threading        std::mutex / std::thread & friends outside the
+                       annotated wrappers (src/common/mutex.hpp,
+                       src/common/thread.hpp): thread-safety analysis and
+                       the determinism argument only cover the wrappers.
+  unordered-iteration  range-for over a std::unordered_{map,set} member:
+                       hash-order iteration feeding scheduling or output
+                       is run-to-run nondeterministic across libstdc++
+                       versions. Order-independent uses (sums, counts)
+                       carry an explicit suppression.
+
+Suppressions: a line (or the line directly above it) containing
+`det-lint: allow(<rule>)` or `NOLINT` is exempt — used sparingly, with a
+justification, e.g. the sanctioned wrapper internals.
+
+Usage:
+  determinism_lint.py [--compile-commands build/compile_commands.json]
+                      [--root REPO_ROOT]
+
+Scans every src/ translation unit listed in the compilation database
+(so exactly what the build compiles, nothing stale) plus all src/
+headers; falls back to a directory walk when no database is available.
+Exit status 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+RULES = {
+    "wall-clock": [
+        r"std::chrono",
+        r"#\s*include\s*<chrono>",
+        r"\bgettimeofday\b",
+        r"\bclock_gettime\b",
+        r"\btimespec_get\b",
+        r"\b(steady|system|high_resolution)_clock\b",
+        r"\btime\s*\(\s*(NULL|nullptr|0)\s*\)",
+        r"\bclock\s*\(\s*\)",
+    ],
+    "ambient-random": [
+        r"\bstd::rand\b",
+        r"\bsrand\s*\(",
+        r"\brand\s*\(\s*\)",
+        r"\brandom_device\b",
+        r"\bmt19937(_64)?\b",
+        r"\bminstd_rand",
+        r"\barc4random",
+        r"\bdrand48\b",
+        r"#\s*include\s*<random>",
+    ],
+    "pointer-format": [
+        r'"[^"\n]*%p',
+        r"<<\s*static_cast<\s*(const\s+)?void\s*\*\s*>",
+    ],
+    "raw-threading": [
+        r"\bstd::(mutex|recursive_mutex|shared_mutex|timed_mutex)\b",
+        r"\bstd::condition_variable\b",
+        r"\bstd::(thread|jthread)\b",
+        r"\bstd::(lock_guard|scoped_lock|unique_lock|shared_lock)\b",
+        r"\bstd::(async|promise|packaged_task)\b",
+        r"\bpthread_[a-z_]+\s*\(",
+        r"#\s*include\s*<(thread|mutex|shared_mutex|condition_variable|future)>",
+    ],
+}
+
+# Files where a rule is allowed wholesale: the sanctioned homes.
+ALLOWED_FILES = {
+    "ambient-random": {"src/common/random.hpp", "src/common/random.cpp"},
+    "raw-threading": {
+        "src/common/mutex.hpp",
+        "src/common/thread.hpp",
+        "src/common/thread_annotations.hpp",
+    },
+}
+
+MESSAGES = {
+    "wall-clock": "wall-clock time in simulated code (use sim time, common/time.hpp)",
+    "ambient-random": "ambient randomness (use the seeded gmmcs::Rng, common/random.hpp)",
+    "pointer-format": "formats a pointer value (nondeterministic under ASLR)",
+    "raw-threading": "raw threading primitive (use gmmcs::Mutex/MutexLock/Thread wrappers)",
+    "unordered-iteration": (
+        "range-for over unordered container '%s' (hash order is not deterministic; "
+        "suppress only if the loop body is order-independent)"
+    ),
+}
+
+SUPPRESS_RE = re.compile(r"det-lint:\s*allow\(([a-z-]+)\)|NOLINT")
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<.*>\s+([A-Za-z_]\w*)\s*[;{=]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*:\s*(?:\w+(?:->|\.))?([A-Za-z_]\w*)\s*\)")
+
+COMPILED_RULES = {
+    rule: [re.compile(p) for p in pats] for rule, pats in RULES.items()
+}
+
+
+def strip_comments(lines):
+    """Returns lines with //- and /* */-comments blanked (suppressions are
+    read from the raw lines before this)."""
+    out = []
+    in_block = False
+    for line in lines:
+        res = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+            elif line.startswith("//", i):
+                break
+            elif line.startswith("/*", i):
+                in_block = True
+                i += 2
+            else:
+                res.append(line[i])
+                i += 1
+        out.append("".join(res))
+    return out
+
+
+def suppressed(raw_lines, idx, rule):
+    for look in (idx, idx - 1):
+        if look < 0:
+            continue
+        m = SUPPRESS_RE.search(raw_lines[look])
+        if m and (m.group(0) == "NOLINT" or m.group(1) in (rule, "all")):
+            return True
+    return False
+
+
+def collect_files(root, compile_commands):
+    src = root / "src"
+    files = set(src.rglob("*.hpp")) | set(src.rglob("*.h"))
+    used_db = False
+    if compile_commands and compile_commands.is_file():
+        try:
+            db = json.loads(compile_commands.read_text())
+            for entry in db:
+                f = Path(entry["file"])
+                if not f.is_absolute():
+                    f = Path(entry.get("directory", ".")) / f
+                f = f.resolve()
+                if src.resolve() in f.parents and f.is_file():
+                    files.add(f)
+                    used_db = True
+        except (json.JSONDecodeError, KeyError, OSError) as e:
+            print(f"determinism-lint: warning: bad compilation database: {e}",
+                  file=sys.stderr)
+    if not used_db:
+        files |= set(src.rglob("*.cpp"))
+    return sorted(files)
+
+
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+def collect_unordered_names(root, files):
+    """Per-file sets of identifiers declared as unordered containers, in
+    the file itself or in src/ headers it directly includes (the class
+    header of a .cpp). Scoped per file so a std::map member that happens
+    to share a name with another class's unordered member elsewhere does
+    not false-positive."""
+    own = {}
+    includes = {}
+    by_rel = {}
+    for f in files:
+        rel = f.resolve().relative_to(root).as_posix()
+        by_rel[rel] = f
+        names = set()
+        incs = []
+        for line in strip_comments(f.read_text().splitlines()):
+            for m in UNORDERED_DECL_RE.finditer(line):
+                names.add(m.group(1))
+            for m in INCLUDE_RE.finditer(line):
+                incs.append("src/" + m.group(1))
+        own[rel] = names
+        includes[rel] = incs
+    scoped = {}
+    for rel in own:
+        names = set(own[rel])
+        for inc in includes[rel]:
+            names |= own.get(inc, set())
+        scoped[rel] = names
+    return scoped
+
+
+def lint_file(path, rel, unordered_names):
+    raw = path.read_text().splitlines()
+    code = strip_comments(raw)
+    findings = []
+    for idx, line in enumerate(code):
+        for rule, patterns in COMPILED_RULES.items():
+            if rel in ALLOWED_FILES.get(rule, ()):
+                continue
+            # pointer-format must look inside string literals; everything
+            # else matches the comment-stripped code directly.
+            for pat in patterns:
+                if pat.search(line):
+                    if not suppressed(raw, idx, rule):
+                        findings.append((idx + 1, rule, MESSAGES[rule]))
+                    break
+        for m in RANGE_FOR_RE.finditer(line):
+            name = m.group(1)
+            if name in unordered_names and not suppressed(raw, idx, "unordered-iteration"):
+                findings.append(
+                    (idx + 1, "unordered-iteration",
+                     MESSAGES["unordered-iteration"] % name))
+    return findings
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--compile-commands", type=Path, default=None,
+                    help="compile_commands.json from the build tree")
+    ap.add_argument("--root", type=Path, default=Path.cwd(),
+                    help="repository root (default: cwd)")
+    args = ap.parse_args()
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"determinism-lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    files = collect_files(root, args.compile_commands)
+    scoped_names = collect_unordered_names(root, files)
+    total = 0
+    for f in files:
+        rel = f.resolve().relative_to(root).as_posix()
+        for lineno, rule, msg in lint_file(f, rel, scoped_names.get(rel, set())):
+            print(f"{rel}:{lineno}: [{rule}] {msg}")
+            total += 1
+    if total:
+        print(f"determinism-lint: {total} finding(s) in {len(files)} files")
+        return 1
+    print(f"determinism-lint: {len(files)} files scanned, clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
