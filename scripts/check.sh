@@ -8,10 +8,33 @@
 #   thread | tsan     ThreadSanitizer — certifies the parallel dispatch
 #                     executor (worker pool, merge barrier) is race-free;
 #                     each sanitizer gets its own build tree
+#   lint              both linters (determinism + gmmcs-lint) and the
+#                     gmmcs-lint selftest; no build tree required
 #   <list>            any raw comma-separated -fsanitize= list
 set -euo pipefail
 
 MODE="${1:-address,undefined}"
+
+if [[ "$MODE" == "lint" ]]; then
+  ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+  # Prefer the compilation database of an existing build tree so the scan
+  # matches exactly what ships; fall back to a directory walk.
+  CCDB=""
+  for tree in "$ROOT"/build "$ROOT"/build-*; do
+    if [[ -f "$tree/compile_commands.json" ]]; then CCDB="$tree/compile_commands.json"; break; fi
+  done
+  python3 "$ROOT/tools/lint/tests/test_gmmcs_lint.py"
+  if [[ -n "$CCDB" ]]; then
+    python3 "$ROOT/tools/lint/determinism_lint.py" --root "$ROOT" --compile-commands "$CCDB"
+    python3 "$ROOT/tools/lint/gmmcs_lint.py" --root "$ROOT" --compile-commands "$CCDB"
+  else
+    python3 "$ROOT/tools/lint/determinism_lint.py" --root "$ROOT"
+    python3 "$ROOT/tools/lint/gmmcs_lint.py" --root "$ROOT"
+  fi
+  echo "check.sh lint: all linters clean"
+  exit 0
+fi
+
 case "$MODE" in
   asan|address) SANITIZE="address,undefined" ;;
   thread|tsan)  SANITIZE="thread" ;;

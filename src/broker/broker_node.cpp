@@ -108,6 +108,8 @@ void BrokerNode::accept(transport::StreamConnectionPtr conn) {
         handle_peer_heartbeat(f.heartbeat.from);
         break;
       default:
+        // kHelloAck / kPong are broker-to-client replies; a client echoing
+        // one back is harmless noise, not a protocol error.
         break;
     }
   });

@@ -172,6 +172,8 @@ void BrokerClient::handle_frame(const Bytes& data) {
       if (event_handler_) event_handler_(f.event);
       break;
     default:
+      // Clients only consume kHelloAck/kEvent (kPong is handled before the
+      // switch); request-direction frames addressed to us are ignored.
       break;
   }
 }

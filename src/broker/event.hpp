@@ -141,6 +141,6 @@ struct Frame {
   HeartbeatMessage heartbeat;
 };
 
-Result<Frame> decode(const Bytes& data);
+[[nodiscard]] Result<Frame> decode(const Bytes& data);
 
 }  // namespace gmmcs::broker

@@ -46,7 +46,7 @@ class Result {
 
 /// Convenience maker: fail<T>("reason").
 template <class T>
-Result<T> fail(std::string message) {
+[[nodiscard]] Result<T> fail(std::string message) {
   return Result<T>{Error{std::move(message)}};
 }
 

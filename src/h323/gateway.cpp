@@ -177,6 +177,8 @@ void H323Gateway::handle_h245(Call& call, const H245Message& m) {
       teardown(call.id, /*send_release=*/true);
       break;
     default:
+      // Acks/rejects of our own outbound H.245 requests need no reaction:
+      // channels open optimistically and teardown is driven by kEndSession.
       break;
   }
 }

@@ -10,7 +10,7 @@ ServiceCenter::ServiceCenter(EventLoop& loop, int servers, std::size_t queue_lim
   if (servers <= 0) throw std::invalid_argument("ServiceCenter: need at least one server");
 }
 
-bool ServiceCenter::submit(SimDuration service_time, std::function<void()> done) {
+bool ServiceCenter::submit(SimDuration service_time, SmallFn done) {
   Job job{loop_.now(), service_time, std::move(done)};
   if (busy_ < servers_) {
     start(std::move(job));
@@ -27,7 +27,22 @@ bool ServiceCenter::submit(SimDuration service_time, std::function<void()> done)
 void ServiceCenter::start(Job job) {
   ++busy_;
   total_wait_ += loop_.now() - job.enqueued;
-  loop_.schedule_after(job.service, [this, done = std::move(job.done)]() mutable {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    inflight_[slot] = std::move(job.done);
+  } else {
+    slot = static_cast<std::uint32_t>(inflight_.size());
+    inflight_.push_back(std::move(job.done));
+  }
+  // {this, slot} is 16 trivially-copyable bytes: it fits std::function's
+  // inline buffer, so scheduling the completion allocates nothing. The
+  // callable itself sits in inflight_[slot] (inline in the SmallFn for
+  // captures up to 64 bytes).
+  loop_.schedule_after(job.service, [this, slot] {
+    SmallFn done = std::move(inflight_[slot]);
+    free_slots_.push_back(slot);  // safe: `done` reentering submit() sees a free slot
     --busy_;
     ++completed_;
     if (done) done();

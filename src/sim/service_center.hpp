@@ -10,8 +10,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <vector>
 
+#include "common/small_fn.hpp"
 #include "common/time.hpp"
 #include "sim/event_loop.hpp"
 
@@ -24,8 +25,9 @@ class ServiceCenter {
   ServiceCenter(EventLoop& loop, int servers, std::size_t queue_limit = 0);
 
   /// Submits a job; `done` runs when its service time has elapsed.
-  /// Returns false (and drops the job) if the queue is full.
-  bool submit(SimDuration service_time, std::function<void()> done);
+  /// Returns false (and drops the job) if the queue is full. The callable
+  /// rides in a SmallFn: captures up to 64 bytes cost no heap allocation.
+  bool submit(SimDuration service_time, SmallFn done);
 
   [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
   [[nodiscard]] int busy_servers() const { return busy_; }
@@ -40,7 +42,7 @@ class ServiceCenter {
   struct Job {
     SimTime enqueued;
     SimDuration service;
-    std::function<void()> done;
+    SmallFn done;
   };
 
   void start(Job job);
@@ -51,6 +53,11 @@ class ServiceCenter {
   std::size_t queue_limit_;
   int busy_ = 0;
   std::deque<Job> queue_;
+  // In-flight completion callables, parked here so the EventLoop closure
+  // only captures {this, slot} — small enough for std::function's inline
+  // buffer. Freed slots are recycled LIFO.
+  std::vector<SmallFn> inflight_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t completed_ = 0;
   std::uint64_t rejected_ = 0;
   SimDuration total_wait_{};

@@ -22,7 +22,7 @@ namespace gmmcs::sip {
 
 /// Contact address in our simulated addressing: "sim:<node>:<port>".
 std::string make_contact(sim::Endpoint ep);
-Result<sim::Endpoint> parse_contact(const std::string& contact);
+[[nodiscard]] Result<sim::Endpoint> parse_contact(const std::string& contact);
 
 class SipAgent {
  public:

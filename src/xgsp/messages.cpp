@@ -22,7 +22,7 @@ const char* to_string(MsgType t) {
 }
 
 namespace {
-Result<MsgType> type_from(const std::string& s) {
+[[nodiscard]] Result<MsgType> type_from(const std::string& s) {
   for (MsgType t : {MsgType::kCreateSession, MsgType::kJoinSession, MsgType::kLeaveSession,
                     MsgType::kEndSession, MsgType::kListSessions, MsgType::kFloorRequest,
                     MsgType::kFloorRelease, MsgType::kSessionInfo, MsgType::kJoinAck,

@@ -1,0 +1,162 @@
+// SmallFn: inline-storage guarantees, move semantics, heap fallback, and
+// the ServiceCenter property the type exists for — a copy job's completion
+// closure costs zero heap allocations once the center is warmed up.
+
+#include "common/small_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "common/time.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/service_center.hpp"
+
+namespace {
+
+using gmmcs::SmallFn;
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+// Counting global new/delete: the test binary is single-process and the
+// counter only ever diffed around deterministic single-threaded regions.
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+TEST(SmallFn, InvokesAndReportsEngagement) {
+  int hits = 0;
+  SmallFn fn([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+  EXPECT_FALSE(static_cast<bool>(SmallFn{}));
+  EXPECT_FALSE(static_cast<bool>(SmallFn{nullptr}));
+}
+
+TEST(SmallFn, CapturesUpTo64BytesInline) {
+  struct Fat {
+    std::shared_ptr<int> keep;
+    std::uint64_t ids[6];
+    void operator()() const {}
+  };
+  static_assert(sizeof(Fat) <= SmallFn::kInlineBytes);
+  SmallFn fn(Fat{std::make_shared<int>(1), {}});
+  EXPECT_TRUE(fn.is_inline());
+
+  struct TooFat {
+    std::uint64_t blob[9];  // 72 bytes
+    void operator()() const {}
+  };
+  static_assert(sizeof(TooFat) > SmallFn::kInlineBytes);
+  SmallFn heap_fn(TooFat{});
+  EXPECT_FALSE(heap_fn.is_inline());
+  heap_fn();  // still callable through the heap cell
+}
+
+TEST(SmallFn, InlineConstructionDoesNotAllocate) {
+  auto owner = std::make_shared<int>(7);
+  std::uint64_t before = g_allocs.load();
+  {
+    SmallFn fn([owner, a = std::uint64_t{1}, b = std::uint64_t{2}]() mutable { ++a; (void)b; });
+    EXPECT_TRUE(fn.is_inline());
+    fn();
+  }
+  EXPECT_EQ(g_allocs.load(), before);
+}
+
+TEST(SmallFn, MoveOnlyCapturesWork) {
+  auto p = std::make_unique<int>(41);
+  int got = 0;
+  SmallFn fn([p = std::move(p), &got] { got = *p + 1; });
+  EXPECT_TRUE(fn.is_inline());  // unique_ptr is 8 bytes, move-only
+  SmallFn moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move): asserting the postcondition
+  moved();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(SmallFn, MoveTransfersOwnershipExactlyOnce) {
+  auto owner = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = owner;
+  SmallFn a([owner = std::move(owner)] {});
+  EXPECT_EQ(watch.use_count(), 1);
+  SmallFn b = std::move(a);
+  EXPECT_EQ(watch.use_count(), 1);
+  SmallFn c;
+  c = std::move(b);
+  EXPECT_EQ(watch.use_count(), 1);
+  c.reset();
+  EXPECT_EQ(watch.use_count(), 0);
+}
+
+TEST(SmallFn, AssignmentDestroysPreviousTarget) {
+  auto first = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = first;
+  SmallFn fn([first = std::move(first)] {});
+  EXPECT_EQ(watch.use_count(), 1);
+  fn = SmallFn([] {});
+  EXPECT_EQ(watch.use_count(), 0);
+}
+
+TEST(SmallFn, HeapFallbackReleasesOnDestruction) {
+  auto owner = std::make_shared<int>(3);
+  std::weak_ptr<int> watch = owner;
+  struct Big {
+    std::shared_ptr<int> keep;
+    std::uint64_t pad[9];
+    void operator()() const {}
+  };
+  {
+    SmallFn fn(Big{std::move(owner), {}});
+    EXPECT_FALSE(fn.is_inline());
+    EXPECT_EQ(watch.use_count(), 1);
+    fn();
+  }
+  EXPECT_EQ(watch.use_count(), 0);
+}
+
+// The end-to-end property: after warm-up (slot table, event heap and queue
+// at steady-state capacity), a copy job with a realistic capture
+// (shared_ptr + ids, > std::function's 16-byte SBO) costs at most the one
+// EventLoop bookkeeping allocation per event (the callbacks_ map node —
+// ROADMAP follow-up); the completion closure itself contributes zero.
+// Before SmallFn the same job cost >= 3 allocations (map node + the
+// std::function wrapping the capture + the outer completion closure), so
+// the bound below also certifies the improvement: the old implementation
+// fails it.
+TEST(ServiceCenterSmallFn, WarmedCopyJobsDoNotAllocate) {
+  gmmcs::sim::EventLoop loop;
+  gmmcs::sim::ServiceCenter sc(loop, /*servers=*/2);
+  auto payload = std::make_shared<int>(0);
+
+  auto submit_one = [&] {
+    bool ok = sc.submit(gmmcs::duration_ms(1),
+                        [payload, a = std::uint64_t{1}, b = std::uint64_t{2},
+                         c = std::uint64_t{3}] { *payload += static_cast<int>(a + b + c); });
+    ASSERT_TRUE(ok);
+  };
+  for (int i = 0; i < 8; ++i) submit_one();  // warm slots + event heap
+  loop.run();
+
+  std::uint64_t before = g_allocs.load();
+  for (int i = 0; i < 8; ++i) submit_one();
+  loop.run();
+  EXPECT_LE(g_allocs.load() - before, 8u + 2u);
+  EXPECT_EQ(*payload, 16 * 6);
+  EXPECT_EQ(sc.completed(), 16u);
+}
+
+}  // namespace

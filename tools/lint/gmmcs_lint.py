@@ -1,0 +1,1005 @@
+#!/usr/bin/env python3
+"""gmmcs-lint: multi-pass conformance analyzer for the Global-MMCS tree.
+
+Global-MMCS is a bundle of protocol stacks (XGSP, H.323, SIP, broker
+events, RTP, SOAP, RTSP) that interoperate through layered translation.
+Three classes of latent cross-protocol bugs survive unit tests in such a
+codebase: a silent layering violation (a lower layer reaching up), a
+dropped Result from a wire-data parse, and an encode/decode asymmetry
+that only bites when the *other* stack parses the bytes. This linter
+makes all three machine-checked. Four passes share one compilation-
+database loader and one suppression syntax:
+
+  layering         every `#include "mod/..."` edge is checked against the
+                   declared layer DAG
+                       common
+                         -> sim / transport / xml
+                         -> broker / rtp / media
+                         -> h323 / sip / xgsp / soap / streaming /
+                            admire / baseline
+                         -> core
+                   Upward includes are errors; so is any cycle in the
+                   actual module graph (same-layer edges are allowed as
+                   long as they stay acyclic). New top-level src/ dirs
+                   must be added to LAYERS or they are errors too.
+
+  result-discipline  (1) every function returning Result<T> must be
+                   declared [[nodiscard]]; (2) a call to a known
+                   Result-returning parser/decoder must not be discarded
+                   as an expression statement; (3) `.value()` needs a
+                   dominating ok()-style check earlier in the same
+                   function (conservative text dominance — suppress the
+                   rare false positive with a reason).
+
+  codec-symmetry   for each wire-message family the encode body's write
+                   sequence (ByteWriter ops, helpers spliced, loops kept
+                   as groups) must equal the decode body's read sequence.
+                   Dispatch decoders (one switch over the tag byte) are
+                   compared per-case against the encoder that writes that
+                   tag. Text/XML codecs are checked by field coverage:
+                   struct members written by serialize and members
+                   assigned by parse must be the same set.
+
+  switch-exhaustiveness  a switch over a message-kind enum (MessageType,
+                   RasType, Q931Type, H245Type, MsgType) must either
+                   cover every enumerator or carry a default that is
+                   substantive (handles the rest, e.g. returns an error)
+                   or commented with a reason. A bare `default: break;`
+                   silently eats future enumerators.
+
+Suppressions: a line (or the line directly above it) containing
+`gmmcs-lint: allow(<rule>): <reason>` is exempt from <rule>. The reason
+text is mandatory; an empty reason is itself reported (rule
+`suppression-reason`). `allow(all)` exists for generated code only.
+
+Usage:
+  gmmcs_lint.py [--compile-commands build/compile_commands.json]
+                [--root REPO_ROOT] [--passes layering,result,...]
+
+Exit status 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Configuration (edit here when the tree grows).
+# --------------------------------------------------------------------------
+
+# Module -> layer rank. An include from module A to module B is legal iff
+# rank(B) <= rank(A); ties are legal but must stay acyclic.
+LAYERS = {
+    "common": 0,
+    "sim": 1,
+    "transport": 1,
+    "xml": 1,
+    "broker": 2,
+    "rtp": 2,
+    "media": 2,
+    "h323": 3,
+    "sip": 3,
+    "xgsp": 3,
+    "soap": 3,
+    "streaming": 3,
+    "admire": 3,
+    "baseline": 3,
+    "core": 4,
+}
+
+# Message-kind enums whose switches must be exhaustive (or carry a
+# justified default). Keyed by enumerator spelling, values are collected
+# from the enum definitions found in src/.
+MESSAGE_ENUMS = {"MessageType", "RasType", "Q931Type", "H245Type", "MsgType"}
+
+# Function base names that (in this tree) only ever name Result-returning
+# wire parsers: a discarded expression-statement call to one of these is
+# always a bug.
+RESULT_CALL_NAMES = {
+    "decode", "parse", "from_xml", "parse_rtcp", "parse_envelope",
+    "parse_contact", "parse_http_request", "parse_http_response",
+}
+
+# Binary codec families: files whose ByteWriter/ByteReader functions are
+# paired and sequence-compared. Pairing is automatic: Class::encode or
+# Class::serialize vs Class::decode or Class::parse; write_X vs read_X and
+# encode_X vs decode_X helpers; and tag-dispatch decoders (a switch whose
+# cases read) vs the encoder mentioning the same tag enumerator/constant.
+BINARY_CODEC_FILES = [
+    "src/broker/event.cpp",
+    "src/h323/messages.cpp",
+    "src/rtp/packet.cpp",
+    "src/rtp/rtcp.cpp",
+]
+
+# Text/XML codec families, checked by member coverage. `structs` lists
+# (header, struct-name) whose data members form the field universe;
+# `encode`/`decode` name the paired functions in `impl`.
+TEXT_CODEC_FAMILIES = [
+    dict(name="sip-message", impl="src/sip/message.cpp",
+         structs=[("src/sip/message.hpp", "SipMessage")],
+         encode=["SipMessage::serialize"], decode=["SipMessage::parse"],
+         # `user`/`host` belong to SipUri, parsed separately.
+         ignore=set()),
+    dict(name="sip-sdp", impl="src/sip/sdp.cpp",
+         structs=[("src/sip/sdp.hpp", "Sdp"), ("src/sip/sdp.hpp", "SdpMedia")],
+         encode=["Sdp::serialize"], decode=["Sdp::parse"],
+         ignore=set()),
+    dict(name="rtsp", impl="src/streaming/rtsp.cpp",
+         structs=[("src/streaming/rtsp.hpp", "RtspMessage")],
+         encode=["RtspMessage::serialize"], decode=["RtspMessage::parse"],
+         ignore=set()),
+    dict(name="xgsp-message", impl="src/xgsp/messages.cpp",
+         structs=[("src/xgsp/messages.hpp", "Message")],
+         encode=["Message::to_xml"], decode=["Message::from_xml"],
+         ignore=set()),
+]
+
+MESSAGES = {
+    "layering": "%s",
+    "layering-cycle": "%s",
+    "nodiscard": "Result-returning declaration '%s' is missing [[nodiscard]]",
+    "discarded-result": "call to Result-returning '%s' discards its result",
+    "unchecked-value": "%s",
+    "codec-symmetry": "%s",
+    "switch-exhaustive": "%s",
+    "suppression-reason": "gmmcs-lint suppression without a reason "
+                          "(write `gmmcs-lint: allow(rule): why`)",
+}
+
+# --------------------------------------------------------------------------
+# Shared infrastructure.
+# --------------------------------------------------------------------------
+
+SUPPRESS_RE = re.compile(r"gmmcs-lint:\s*allow\(([a-z-]+)\)(?::?\s*(.*?))?\s*(?:\*/)?\s*$")
+
+
+def strip_comments(lines):
+    """Blanks //- and /* */-comments; suppressions are read from raw lines."""
+    out = []
+    in_block = False
+    for line in lines:
+        res = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+            elif line.startswith("//", i):
+                break
+            elif line.startswith("/*", i):
+                in_block = True
+                i += 2
+            else:
+                res.append(line[i])
+                i += 1
+        out.append("".join(res))
+    return out
+
+
+class SourceFile:
+    """A parsed source file: raw lines, comment-stripped lines and text."""
+
+    def __init__(self, path, rel):
+        self.path = path
+        self.rel = rel
+        self.raw = path.read_text().splitlines()
+        self.code = strip_comments(self.raw)
+        self.text = "\n".join(self.code)
+        # Offsets of line starts in `text`, for offset -> line mapping.
+        self.line_starts = [0]
+        for line in self.code:
+            self.line_starts.append(self.line_starts[-1] + len(line) + 1)
+
+    def line_of(self, offset):
+        lo, hi = 0, len(self.line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1  # 1-based
+
+    def suppressed(self, lineno, rule):
+        """True if 1-based `lineno` (or the line above) allows `rule`."""
+        for look in (lineno - 1, lineno - 2):
+            if look < 0 or look >= len(self.raw):
+                continue
+            m = SUPPRESS_RE.search(self.raw[look])
+            if m and m.group(1) in (rule, "all"):
+                return True
+        return False
+
+
+def check_suppression_reasons(src):
+    """The meta-rule: every suppression must carry a reason."""
+    findings = []
+    for idx, line in enumerate(src.raw):
+        m = SUPPRESS_RE.search(line)
+        if m and not (m.group(2) or "").strip():
+            findings.append((src.rel, idx + 1, "suppression-reason",
+                             MESSAGES["suppression-reason"]))
+    return findings
+
+
+def collect_files(root, compile_commands):
+    """src/ headers plus every src/ TU the build compiles (falls back to a
+    directory walk when no database is available)."""
+    src = root / "src"
+    files = set(src.rglob("*.hpp")) | set(src.rglob("*.h"))
+    used_db = False
+    if compile_commands and compile_commands.is_file():
+        try:
+            db = json.loads(compile_commands.read_text())
+            for entry in db:
+                f = Path(entry["file"])
+                if not f.is_absolute():
+                    f = Path(entry.get("directory", ".")) / f
+                f = f.resolve()
+                if src.resolve() in f.parents and f.is_file():
+                    files.add(f)
+                    used_db = True
+        except (json.JSONDecodeError, KeyError, OSError) as e:
+            print(f"gmmcs-lint: warning: bad compilation database: {e}",
+                  file=sys.stderr)
+    if not used_db:
+        files |= set(src.rglob("*.cpp"))
+    return sorted(files)
+
+
+def load_sources(root, files):
+    out = []
+    for f in files:
+        rel = f.resolve().relative_to(root).as_posix()
+        out.append(SourceFile(f, rel))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Pass 1: layering.
+# --------------------------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+def pass_layering(sources, layers=None):
+    layers = layers if layers is not None else LAYERS
+    findings = []
+    edges = {}  # (from_mod, to_mod) -> first (rel, lineno) seen
+    for src in sources:
+        parts = src.rel.split("/")
+        if len(parts) < 3 or parts[0] != "src":
+            continue
+        mod = parts[1]
+        if mod not in layers:
+            findings.append((src.rel, 1, "layering",
+                             f"module '{mod}' is not in the declared layer DAG "
+                             f"(add it to LAYERS in gmmcs_lint.py)"))
+            continue
+        for idx, line in enumerate(src.code):
+            for m in INCLUDE_RE.finditer(line):
+                inc = m.group(1)
+                if "/" not in inc:
+                    continue
+                to_mod = inc.split("/")[0]
+                if to_mod not in layers:
+                    continue  # not a src/ module include (e.g. generated)
+                if to_mod == mod:
+                    continue
+                if src.suppressed(idx + 1, "layering"):
+                    continue
+                if layers[to_mod] > layers[mod]:
+                    findings.append(
+                        (src.rel, idx + 1, "layering",
+                         f"upward include: layer-{layers[mod]} module '{mod}' "
+                         f"includes layer-{layers[to_mod]} module '{to_mod}' "
+                         f"(\"{inc}\")"))
+                edges.setdefault((mod, to_mod), (src.rel, idx + 1))
+    # Cycle detection over the actual module graph (covers same-layer ties).
+    graph = {}
+    for (a, b) in edges:
+        graph.setdefault(a, set()).add(b)
+    state = {}  # 0=visiting, 1=done
+    stack = []
+
+    def dfs(node):
+        state[node] = 0
+        stack.append(node)
+        for nxt in sorted(graph.get(node, ())):
+            if state.get(nxt) == 0:
+                cycle = stack[stack.index(nxt):] + [nxt]
+                rel, lineno = edges[(node, nxt)]
+                findings.append((rel, lineno, "layering-cycle",
+                                 "module cycle: " + " -> ".join(cycle)))
+            elif nxt not in state:
+                dfs(nxt)
+        stack.pop()
+        state[node] = 1
+
+    for node in sorted(graph):
+        if node not in state:
+            dfs(node)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Pass 2: result discipline.
+# --------------------------------------------------------------------------
+
+RESULT_DECL_RE = re.compile(
+    r"^\s*(?P<nd>\[\[nodiscard\]\]\s+)?(?:static\s+)?(?:gmmcs::)?Result<")
+DECL_NAME_RE = re.compile(r">\s*&?\s*(?P<name>[\w:]+)\s*\(")
+VALUE_USE_RE = re.compile(r"\.\s*value\s*\(\s*\)")
+
+
+def _decl_name(line):
+    """Function name of a `Result<...> name(...)` line, or None."""
+    # Find the matching '>' of the Result template argument list.
+    start = line.find("Result<")
+    depth = 0
+    i = start + len("Result<") - 1
+    while i < len(line):
+        if line[i] == "<":
+            depth += 1
+        elif line[i] == ">":
+            depth -= 1
+            if depth == 0:
+                break
+        i += 1
+    m = DECL_NAME_RE.match(line, i)
+    return m.group("name") if m else None
+
+
+def pass_result(sources, call_names=None):
+    call_names = call_names if call_names is not None else RESULT_CALL_NAMES
+    findings = []
+
+    # Names declared Result-returning in headers: their .cpp definitions
+    # need no repeated attribute (it lives on the first declaration).
+    header_declared = set()
+    for src in sources:
+        if not src.rel.endswith((".hpp", ".h")):
+            continue
+        for line in src.code:
+            if RESULT_DECL_RE.match(line):
+                name = _decl_name(line)
+                if name:
+                    header_declared.add(name.split("::")[-1])
+
+    for src in sources:
+        is_header = src.rel.endswith((".hpp", ".h"))
+        for idx, line in enumerate(src.code):
+            m = RESULT_DECL_RE.match(line)
+            if not m:
+                continue
+            name = _decl_name(line)
+            if name is None:
+                continue
+            if not is_header:
+                if "::" in name:
+                    continue  # out-of-line member def; attribute is on the decl
+                if name in header_declared:
+                    continue  # free-function def; attribute is on the decl
+            has_nd = bool(m.group("nd")) or "[[nodiscard]]" in src.code[idx - 1:idx]
+            if not has_nd and not src.suppressed(idx + 1, "nodiscard"):
+                findings.append((src.rel, idx + 1, "nodiscard",
+                                 MESSAGES["nodiscard"] % name))
+
+        # (2) discarded expression-statement calls to known parser names.
+        discard_re = re.compile(
+            r"^\s*(?:[A-Za-z_]\w*(?:::|\.|->))*(?P<name>"
+            + "|".join(sorted(call_names)) + r")\s*\(")
+        prev_code = ""
+        for idx, line in enumerate(src.code):
+            stripped = line.strip()
+            if stripped:
+                dm = discard_re.match(line)
+                starts_statement = prev_code == "" or prev_code[-1] in ";{}:"
+                if dm and starts_statement and not src.suppressed(idx + 1, "discarded-result"):
+                    findings.append((src.rel, idx + 1, "discarded-result",
+                                     MESSAGES["discarded-result"] % dm.group("name")))
+                prev_code = stripped
+        # (3) .value() without a dominating ok() check.
+        findings.extend(_check_value_calls(src))
+    return findings
+
+
+def _function_span_start(src, lineno):
+    """Crude function boundary: the line after the most recent column-0 `}`."""
+    for j in range(lineno - 1, -1, -1):
+        if src.code[j].startswith("}"):
+            return j + 1
+    return 0
+
+
+def _value_receiver(code_line, col):
+    """Receiver expression of a `.value()` at `col` (index of the dot).
+    Returns (kind, name): kind 'var' for an identifier (possibly through
+    std::move), 'chain' for a direct call chain like parse(x).value()."""
+    i = col - 1
+    while i >= 0 and code_line[i].isspace():
+        i -= 1
+    if i >= 0 and code_line[i] == ")":
+        depth = 0
+        while i >= 0:
+            if code_line[i] == ")":
+                depth += 1
+            elif code_line[i] == "(":
+                depth -= 1
+                if depth == 0:
+                    break
+            i -= 1
+        inner = code_line[i + 1:col].rstrip(") \t")
+        j = i - 1
+        while j >= 0 and (code_line[j].isalnum() or code_line[j] in "_:"):
+            j -= 1
+        callee = code_line[j + 1:i]
+        if callee.endswith("move"):
+            m = re.match(r"\s*([A-Za-z_]\w*)\s*$", inner)
+            if m:
+                return "var", m.group(1)
+        return "chain", callee or "<expr>"
+    j = i
+    while j >= 0 and (code_line[j].isalnum() or code_line[j] == "_"):
+        j -= 1
+    name = code_line[j + 1:i + 1]
+    return ("var", name) if name else ("chain", "<expr>")
+
+
+def _check_value_calls(src):
+    findings = []
+    for idx, line in enumerate(src.code):
+        for m in VALUE_USE_RE.finditer(line):
+            lineno = idx + 1
+            if src.suppressed(lineno, "unchecked-value"):
+                continue
+            kind, name = _value_receiver(line, m.start())
+            if kind == "var" and name:
+                start = _function_span_start(src, idx)
+                span = "\n".join(src.code[start:idx + 1])
+                guard = re.compile(
+                    rf"\b{re.escape(name)}\s*\.\s*ok\s*\(\s*\)"
+                    rf"|!\s*{re.escape(name)}\b"
+                    rf"|(?:if|while)\s*\(\s*{re.escape(name)}\s*\)"
+                    rf"|\(\s*{re.escape(name)}\s*&&|&&\s*{re.escape(name)}\b"
+                    rf"|\b{re.escape(name)}\s*\?")
+                if guard.search(span):
+                    continue
+                findings.append((src.rel, lineno, "unchecked-value",
+                                 f"'{name}.value()' has no dominating "
+                                 f"'{name}.ok()'-style check in this function"))
+            else:
+                findings.append((src.rel, lineno, "unchecked-value",
+                                 f".value() chained directly onto '{name}(...)' "
+                                 f"— bind the Result and check ok() first"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Pass 3: codec symmetry.
+# --------------------------------------------------------------------------
+#
+# Binary codecs: we extract, for every function in a codec file, the
+# ordered sequence of ByteWriter/ByteReader operations (u8/u16/u32/u64/
+# lstr/str/raw/skip), with calls to sibling helper functions spliced in
+# and loop bodies kept as nested groups:  ["u8", ["u32"], "lstr"] means
+# u8, a repeated u32, then lstr. str/raw/skip normalize to "raw" (all are
+# length-carried byte runs). Then we pair encoders with decoders and
+# compare sequences; a mismatch is wire drift.
+
+OP_NORMALIZE = {"u8": "u8", "u16": "u16", "u32": "u32", "u64": "u64",
+                "lstr": "lstr", "str": "raw", "raw": "raw", "skip": "raw"}
+
+FUNC_HEAD_RE = re.compile(
+    r"(?:^|\n)\s*(?:template\s*<[^>]*>\s*)?"
+    r"(?P<head>[A-Za-z_][\w:<>,&*\s\[\]]*?)\s*"
+    r"\(", re.S)
+
+
+def _extract_functions(text):
+    """Yields (name, params, body, offset) for every function definition.
+
+    Walks the text tracking brace depth; `namespace X {` is transparent,
+    class/struct/enum bodies are skipped (methods defined inline in codec
+    files are not a thing here). A function is a top-level `... name(args)
+    [const] {` with a balanced body."""
+    funcs = []
+    i, n = 0, len(text)
+    depth = 0
+    while i < n:
+        c = text[i]
+        if c == "{":
+            # Look backwards for what opened this brace.
+            seg_start = max(text.rfind(";", 0, i), text.rfind("}", 0, i),
+                            text.rfind("{", 0, i)) + 1
+            seg = text[seg_start:i]
+            if re.search(r"\b(namespace)\b", seg):
+                depth += 0  # transparent: descend
+                i += 1
+                continue
+            if re.search(r"\b(struct|class|enum|union)\b", seg) and "(" not in seg:
+                i = _skip_braces(text, i)
+                continue
+            pm = re.search(r"([\w:~]+)\s*\(", seg)
+            if pm and not re.search(r"\b(if|for|while|switch|return|catch)\s*\($",
+                                    seg[:pm.end()]):
+                name = pm.group(1)
+                close = _matching_paren(text, seg_start + pm.end() - 1)
+                params = text[seg_start + pm.end():close] if close > 0 else ""
+                end = _skip_braces(text, i)
+                funcs.append((name, params, text[i + 1:end - 1], i))
+                i = end
+                continue
+            i += 1
+        else:
+            i += 1
+    return funcs
+
+
+def _matching_paren(text, open_idx):
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _skip_braces(text, open_idx):
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def _io_vars(params, body, cls):
+    """Names of ByteWriter/ByteReader variables visible in a function."""
+    names = set()
+    for m in re.finditer(rf"\b{cls}\s*&?\s*([A-Za-z_]\w*)", params):
+        names.add(m.group(1))
+    for m in re.finditer(rf"\b{cls}\s+([A-Za-z_]\w*)\s*[;({{]", body):
+        names.add(m.group(1))
+    return names
+
+
+def _extract_seq(body, io_names, helpers):
+    """Nested op sequence of `body`. Loops become sub-lists."""
+    tokens = []
+    io_alt = "|".join(sorted(io_names)) if io_names else r"(?!x)x"
+    helper_alt = "|".join(sorted(helpers)) if helpers else r"(?!x)x"
+    tok_re = re.compile(
+        rf"\b(?P<io>{io_alt})\s*\.\s*(?P<op>u8|u16|u32|u64|lstr|str|raw|skip)\s*\("
+        rf"|\b(?P<helper>{helper_alt})\s*\("
+        rf"|\b(?P<loop>for|while)\s*\(")
+    i = 0
+    while i < len(body):
+        m = tok_re.search(body, i)
+        if not m:
+            break
+        if m.group("op"):
+            tokens.append(OP_NORMALIZE[m.group("op")])
+            i = m.end()
+        elif m.group("helper"):
+            tokens.append(("call", m.group("helper")))
+            i = m.end()
+        else:  # loop: wrap the body extent in a group
+            close = _matching_paren(body, body.index("(", m.start()))
+            if close < 0:
+                i = m.end()
+                continue
+            j = close + 1
+            while j < len(body) and body[j].isspace():
+                j += 1
+            if j < len(body) and body[j] == "{":
+                end = _skip_braces(body, j)
+                inner = body[j + 1:end - 1]
+            else:
+                end = body.find(";", j) + 1 or len(body)
+                inner = body[j:end]
+            group = _extract_seq(inner, io_names, helpers)
+            if group:
+                tokens.append(group)
+            i = end
+    return tokens
+
+
+def _splice(seq, seqs_by_name, active=()):
+    """Resolves ("call", helper) markers into the helper's own sequence."""
+    out = []
+    for tok in seq:
+        if isinstance(tok, list):
+            out.append(_splice(tok, seqs_by_name, active))
+        elif isinstance(tok, tuple):
+            name = tok[1]
+            if name in active:  # recursion guard
+                continue
+            out.extend(_splice(seqs_by_name.get(name, []), seqs_by_name,
+                               active + (name,)))
+        else:
+            out.append(tok)
+    return out
+
+
+def _fmt_seq(seq):
+    parts = []
+    for tok in seq:
+        parts.append(f"[{_fmt_seq(tok)}]*" if isinstance(tok, list) else tok)
+    return " ".join(parts)
+
+
+CASE_RE = re.compile(r"\bcase\s+(?:[\w:]+::)?(\w+)\s*:")
+
+
+def _split_dispatch(body):
+    """For a tag-dispatch decoder: (prefix_text, {label: case_text}) or None.
+
+    A dispatch decoder reads a tag then switches on it, reading fields in
+    the cases. Returns None when the body has no switch (or the switch
+    reads nothing — a validation switch, not a dispatch)."""
+    m = re.search(r"\bswitch\s*\(", body)
+    if not m:
+        return None
+    close = _matching_paren(body, body.index("(", m.start()))
+    j = body.find("{", close)
+    if j < 0:
+        return None
+    end = _skip_braces(body, j)
+    switch_body = body[j + 1:end - 1]
+    prefix = body[:m.start()]
+    cases = {}
+    pending = []
+    pos = 0
+    segments = []  # (labels, text)
+    for cm in CASE_RE.finditer(switch_body):
+        if pending and switch_body[pos:cm.start()].strip(" \n"):
+            segments.append((pending, switch_body[pos:cm.start()]))
+            pending = []
+        pending.append(cm.group(1))
+        pos = cm.end()
+    dm = re.search(r"\bdefault\s*:", switch_body[pos:])
+    tail_end = pos + dm.start() if dm else len(switch_body)
+    if pending:
+        segments.append((pending, switch_body[pos:tail_end]))
+    for labels, text in segments:
+        for lab in labels:
+            cases[lab] = text
+    return prefix, cases
+
+
+def pass_codec_symmetry(sources, codec_files=None, text_families=None):
+    codec_files = codec_files if codec_files is not None else BINARY_CODEC_FILES
+    text_families = text_families if text_families is not None else TEXT_CODEC_FAMILIES
+    findings = []
+    by_rel = {s.rel: s for s in sources}
+    for rel in codec_files:
+        src = by_rel.get(rel)
+        if src is None:
+            continue
+        findings.extend(_check_binary_codec(src))
+    for fam in text_families:
+        findings.extend(_check_text_codec(by_rel, fam))
+    return findings
+
+
+def _check_binary_codec(src):
+    findings = []
+    funcs = _extract_functions(src.text)
+    names = [f[0] for f in funcs]
+    helper_names = {n for n in names if "::" not in n}
+
+    writer_seqs, reader_seqs = {}, {}
+    raw_seqs = {}
+    offsets = {}
+    bodies = {}
+    for name, params, body, off in funcs:
+        wr = _io_vars(params, body, "ByteWriter")
+        rd = _io_vars(params, body, "ByteReader")
+        offsets[name] = off
+        bodies[name] = body
+        if wr:
+            raw_seqs[name] = _extract_seq(body, wr, helper_names)
+            writer_seqs[name] = raw_seqs[name]
+        elif rd:
+            raw_seqs[name] = _extract_seq(body, rd, helper_names)
+            reader_seqs[name] = raw_seqs[name]
+
+    def resolved(name):
+        return _splice(raw_seqs.get(name, []), raw_seqs)
+
+    def report(where, enc, dec, enc_seq, dec_seq):
+        lineno = src.line_of(offsets.get(where, 0))
+        if src.suppressed(lineno, "codec-symmetry"):
+            return
+        findings.append(
+            (src.rel, lineno, "codec-symmetry",
+             f"encode/decode drift for {enc} vs {dec}: "
+             f"write seq [{_fmt_seq(enc_seq)}] != read seq [{_fmt_seq(dec_seq)}]"))
+
+    # --- method pairs: Class::{encode,serialize} vs Class::{decode,parse} ---
+    paired_decoders = set()
+    for name in writer_seqs:
+        if "::" not in name:
+            continue
+        cls = name.rsplit("::", 1)[0]
+        for dec_suffix in ("decode", "parse"):
+            dec = f"{cls}::{dec_suffix}"
+            if dec in reader_seqs:
+                enc_seq, dec_seq = resolved(name), resolved(dec)
+                if enc_seq and dec_seq and enc_seq != dec_seq:
+                    report(dec, name, dec, enc_seq, dec_seq)
+                paired_decoders.add(dec)
+
+    # --- helper pairs: write_X/read_X, encode_X/decode_X ---
+    for name in writer_seqs:
+        for w_pre, r_pre in (("write_", "read_"), ("encode_", "decode_")):
+            if name.startswith(w_pre):
+                dec = r_pre + name[len(w_pre):]
+                if dec in reader_seqs:
+                    enc_seq, dec_seq = resolved(name), resolved(dec)
+                    if enc_seq != dec_seq:
+                        report(dec, name, dec, enc_seq, dec_seq)
+                    paired_decoders.add(dec)
+
+    # --- dispatch decoders: per-case comparison against tag encoders ---
+    for dec_name, seq in reader_seqs.items():
+        if dec_name in paired_decoders:
+            continue
+        split = _split_dispatch(bodies[dec_name])
+        if split is None:
+            continue
+        prefix_text, cases = split
+        rd = _io_vars("", bodies[dec_name], "ByteReader") or \
+            _io_vars(next(p for n, p, b, o in funcs if n == dec_name),
+                     bodies[dec_name], "ByteReader")
+        case_seqs = {lab: _splice(_extract_seq(text, rd, helper_names), raw_seqs)
+                     for lab, text in cases.items()}
+        if not any(case_seqs.values()):
+            continue  # validation switch, not a dispatch decoder
+        prefix_seq = _splice(_extract_seq(prefix_text, rd, helper_names), raw_seqs)
+        # Pair each encoder with the tags its body mentions.
+        for enc_name in writer_seqs:
+            tags = set(re.findall(r"\b(?:[\w:]+::)?(k\w+)\b", bodies[enc_name]))
+            hit = sorted(tags & set(case_seqs))
+            for tag in hit:
+                enc_seq = resolved(enc_name)
+                want = prefix_seq + case_seqs[tag]
+                if enc_seq and enc_seq != want:
+                    report(dec_name, f"{enc_name} (tag {tag})", dec_name,
+                           enc_seq, want)
+    return findings
+
+
+MEMBER_DECL_RE = re.compile(
+    r"^\s*(?!return\b|using\b|static\b|friend\b|typedef\b|public|private|protected)"
+    r"[\w:<>,\s&*]+?[\s&*](\w+)\s*(?:=[^;]*|\{[^;]*\})?;\s*$")
+
+
+def _struct_members(src, struct):
+    """Data-member names of `struct` as declared in `src`."""
+    m = re.search(rf"\b(?:struct|class)\s+{struct}\b[^;{{]*\{{", src.text)
+    if not m:
+        return set()
+    end = _skip_braces(src.text, src.text.index("{", m.start()))
+    body = src.text[m.start():end]
+    members = set()
+    for line in body.splitlines():
+        if "(" in line or ")" in line:
+            continue
+        dm = MEMBER_DECL_RE.match(line)
+        if dm:
+            members.add(dm.group(1))
+    return members
+
+
+def _check_text_codec(by_rel, fam):
+    impl = by_rel.get(fam["impl"])
+    if impl is None:
+        return []
+    members = set()
+    for header_rel, struct in fam["structs"]:
+        hdr = by_rel.get(header_rel)
+        if hdr is not None:
+            members |= _struct_members(hdr, struct)
+    members -= set(fam.get("ignore", ()))
+    if not members:
+        return []
+    funcs = {n: (b, o) for n, p, b, o in _extract_functions(impl.text)}
+
+    def gather(fn_names, pattern_fn):
+        got = set()
+        for fn in fn_names:
+            if fn not in funcs:
+                continue
+            body = funcs[fn][0]
+            got |= pattern_fn(body)
+        return got
+
+    written = gather(fam["encode"],
+                     lambda body: {w for w in members
+                                   if re.search(rf"\b{re.escape(w)}\b", body)})
+    assigned = gather(fam["decode"],
+                      lambda body: {w for w in members if re.search(
+                          rf"\b\w+\s*\.\s*{re.escape(w)}\s*"
+                          rf"(?:=[^=]|\.push_back|\.emplace_back)", body)})
+    findings = []
+    anchor_fn = fam["decode"][0]
+    lineno = impl.line_of(funcs[anchor_fn][1]) if anchor_fn in funcs else 1
+    if impl.suppressed(lineno, "codec-symmetry"):
+        return []
+    for field in sorted(written - assigned):
+        findings.append((impl.rel, lineno, "codec-symmetry",
+                         f"{fam['name']}: field '{field}' is serialized by "
+                         f"{'/'.join(fam['encode'])} but never assigned by "
+                         f"{'/'.join(fam['decode'])} (lost on round-trip)"))
+    for field in sorted(assigned - written):
+        findings.append((impl.rel, lineno, "codec-symmetry",
+                         f"{fam['name']}: field '{field}' is parsed by "
+                         f"{'/'.join(fam['decode'])} but never written by "
+                         f"{'/'.join(fam['encode'])} (phantom field)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Pass 4: switch exhaustiveness.
+# --------------------------------------------------------------------------
+
+ENUM_DEF_RE = re.compile(r"\benum\s+class\s+(\w+)[^{;]*\{")
+ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\s*(?:=[^,}]*)?[,}]?", re.M)
+
+
+def collect_enums(sources, wanted=None):
+    wanted = wanted if wanted is not None else MESSAGE_ENUMS
+    enums = {}
+    for src in sources:
+        for m in ENUM_DEF_RE.finditer(src.text):
+            name = m.group(1)
+            if name not in wanted:
+                continue
+            end = _skip_braces(src.text, src.text.index("{", m.start()))
+            body = src.text[src.text.index("{", m.start()) + 1:end - 1]
+            vals = []
+            for line in body.splitlines():
+                em = ENUMERATOR_RE.match(line)
+                if em:
+                    vals.append(em.group(1))
+            if vals:
+                enums[name] = vals
+    return enums
+
+
+def pass_switch_exhaustiveness(sources, enums=None):
+    if enums is None:
+        enums = collect_enums(sources)
+    findings = []
+    for src in sources:
+        for m in re.finditer(r"\bswitch\s*\(", src.text):
+            close = _matching_paren(src.text, src.text.index("(", m.start()))
+            j = src.text.find("{", close)
+            if j < 0:
+                continue
+            end = _skip_braces(src.text, j)
+            body = src.text[j + 1:end - 1]
+            labels = set(CASE_RE.findall(body))
+            if not labels:
+                continue
+            # Which configured enum is this switch over? The one whose
+            # enumerator set contains every label.
+            owner = None
+            for ename, vals in enums.items():
+                if labels <= set(vals):
+                    owner = ename
+                    break
+            if owner is None:
+                continue
+            lineno = src.line_of(m.start())
+            if src.suppressed(lineno, "switch-exhaustive"):
+                continue
+            missing = [v for v in enums[owner] if v not in labels]
+            if not missing:
+                continue
+            dm = re.search(r"\bdefault\s*:", body)
+            if not dm:
+                findings.append(
+                    (src.rel, lineno, "switch-exhaustive",
+                     f"switch over {owner} misses enumerators "
+                     f"{', '.join(missing)} and has no default"))
+                continue
+            # Default present: it must be substantive (more than `break;`)
+            # or carry a comment explaining why the rest is ignorable.
+            default_body = body[dm.end():]
+            nxt = CASE_RE.search(default_body)
+            if nxt:
+                default_body = default_body[:nxt.start()]
+            code_only = strip_comments(default_body.splitlines())
+            substance = "".join(code_only).replace("break;", "").strip(" \n\t}")
+            # Raw text (with comments) for the reason check: find the raw
+            # region via line numbers.
+            start_line = src.line_of(j + 1 + dm.start())
+            end_line = min(start_line + len(default_body.splitlines()) + 1,
+                           len(src.raw))
+            raw_region = "\n".join(src.raw[start_line - 1:end_line])
+            has_comment = "//" in raw_region or "/*" in raw_region
+            if not substance and not has_comment:
+                findings.append(
+                    (src.rel, lineno, "switch-exhaustive",
+                     f"switch over {owner} misses {', '.join(missing)} behind a "
+                     f"bare `default: break;` — handle them or comment why "
+                     f"they are ignorable"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------------
+
+PASSES = {
+    "layering": lambda srcs: pass_layering(srcs),
+    "result": lambda srcs: pass_result(srcs),
+    "codec": lambda srcs: pass_codec_symmetry(srcs),
+    "switch": lambda srcs: pass_switch_exhaustiveness(srcs),
+}
+
+
+def run(root, compile_commands=None, passes=None):
+    files = collect_files(root, compile_commands)
+    sources = load_sources(root, files)
+    findings = []
+    for src in sources:
+        findings.extend(check_suppression_reasons(src))
+    for name in (passes or PASSES):
+        findings.extend(PASSES[name](sources))
+    findings.sort()
+    return findings, len(files)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--compile-commands", type=Path, default=None,
+                    help="compile_commands.json from the build tree")
+    ap.add_argument("--root", type=Path, default=Path.cwd(),
+                    help="repository root (default: cwd)")
+    ap.add_argument("--passes", default=None,
+                    help="comma-separated subset of: " + ",".join(PASSES))
+    args = ap.parse_args()
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"gmmcs-lint: no src/ under {root}", file=sys.stderr)
+        return 2
+    passes = None
+    if args.passes:
+        passes = [p.strip() for p in args.passes.split(",") if p.strip()]
+        unknown = [p for p in passes if p not in PASSES]
+        if unknown:
+            print(f"gmmcs-lint: unknown pass(es): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    findings, nfiles = run(root, args.compile_commands, passes)
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if findings:
+        print(f"gmmcs-lint: {len(findings)} finding(s) in {nfiles} files")
+        return 1
+    print(f"gmmcs-lint: {nfiles} files scanned, clean "
+          f"(passes: {', '.join(passes or PASSES)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,410 @@
+#!/usr/bin/env python3
+"""Unit tests for gmmcs_lint.py: every rule must fire on a seeded fixture
+violation and stay quiet on the equivalent clean snippet.
+
+Run directly (`python3 tools/lint/tests/test_gmmcs_lint.py`) or via the
+`gmmcs_lint_selftest` ctest.
+"""
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+import gmmcs_lint  # noqa: E402
+
+
+class FixtureTree:
+    """A throwaway repo tree: write src/<mod>/<file> snippets, get sources."""
+
+    def __init__(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+
+    def write(self, rel, text):
+        p = self.root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+        return p
+
+    def sources(self):
+        files = gmmcs_lint.collect_files(self.root, None)
+        return gmmcs_lint.load_sources(self.root, files)
+
+    def cleanup(self):
+        self._tmp.cleanup()
+
+
+class LintCase(unittest.TestCase):
+    def setUp(self):
+        self.tree = FixtureTree()
+        self.addCleanup(self.tree.cleanup)
+
+    def rules(self, findings):
+        return [rule for _, _, rule, _ in findings]
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: layering.
+# ---------------------------------------------------------------------------
+
+class TestLayering(LintCase):
+    def test_upward_include_is_flagged(self):
+        self.tree.write("src/common/util.hpp", '#include "broker/event.hpp"\n')
+        findings = gmmcs_lint.pass_layering(self.tree.sources())
+        self.assertEqual(self.rules(findings), ["layering"])
+        self.assertIn("upward include", findings[0][3])
+
+    def test_downward_and_same_layer_includes_are_clean(self):
+        self.tree.write("src/broker/node.hpp",
+                        '#include "common/bytes.hpp"\n#include "sim/host.hpp"\n')
+        self.tree.write("src/sip/agent.hpp", '#include "xgsp/messages.hpp"\n')
+        self.assertEqual(gmmcs_lint.pass_layering(self.tree.sources()), [])
+
+    def test_same_layer_cycle_is_flagged(self):
+        self.tree.write("src/sim/a.hpp", '#include "transport/b.hpp"\n')
+        self.tree.write("src/transport/b.hpp", '#include "sim/a.hpp"\n')
+        findings = gmmcs_lint.pass_layering(self.tree.sources())
+        self.assertIn("layering-cycle", self.rules(findings))
+        self.assertIn("sim", findings[0][3])
+        self.assertIn("transport", findings[0][3])
+
+    def test_unknown_module_is_flagged(self):
+        self.tree.write("src/rogue/x.hpp", "int x;\n")
+        findings = gmmcs_lint.pass_layering(self.tree.sources())
+        self.assertEqual(self.rules(findings), ["layering"])
+
+    def test_suppression_with_reason_silences(self):
+        self.tree.write(
+            "src/common/util.hpp",
+            '// gmmcs-lint: allow(layering): prototype shim, tracked in #42\n'
+            '#include "broker/event.hpp"\n')
+        self.assertEqual(gmmcs_lint.pass_layering(self.tree.sources()), [])
+
+    def test_suppression_without_reason_is_itself_flagged(self):
+        src = self.tree.write(
+            "src/common/util.hpp",
+            '#include "broker/event.hpp"  // gmmcs-lint: allow(layering)\n')
+        sources = gmmcs_lint.load_sources(
+            self.tree.root, [src])
+        meta = gmmcs_lint.check_suppression_reasons(sources[0])
+        self.assertEqual(self.rules(meta), ["suppression-reason"])
+        # The suppression still works — only the missing reason is reported.
+        self.assertEqual(gmmcs_lint.pass_layering(sources), [])
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: result discipline.
+# ---------------------------------------------------------------------------
+
+class TestResultDiscipline(LintCase):
+    def test_missing_nodiscard_on_header_decl(self):
+        self.tree.write("src/common/api.hpp",
+                        "Result<int> load(const std::string& s);\n")
+        findings = gmmcs_lint.pass_result(self.tree.sources())
+        self.assertEqual(self.rules(findings), ["nodiscard"])
+        self.assertIn("load", findings[0][3])
+
+    def test_annotated_decl_is_clean(self):
+        self.tree.write("src/common/api.hpp",
+                        "[[nodiscard]] Result<int> load(const std::string& s);\n"
+                        "[[nodiscard]] static Result<Foo> parse_foo(int x);\n")
+        self.assertEqual(gmmcs_lint.pass_result(self.tree.sources()), [])
+
+    def test_cpp_definition_of_header_decl_is_clean(self):
+        self.tree.write("src/common/api.hpp",
+                        "[[nodiscard]] Result<int> load(const std::string& s);\n")
+        self.tree.write("src/common/api.cpp",
+                        "Result<int> load(const std::string& s) {\n"
+                        "  return Result<int>{1};\n}\n")
+        self.assertEqual(gmmcs_lint.pass_result(self.tree.sources()), [])
+
+    def test_file_local_cpp_function_needs_nodiscard(self):
+        self.tree.write("src/common/impl.cpp",
+                        "namespace {\n"
+                        "Result<int> helper(int x) { return Result<int>{x}; }\n"
+                        "}\n")
+        findings = gmmcs_lint.pass_result(self.tree.sources())
+        self.assertEqual(self.rules(findings), ["nodiscard"])
+
+    def test_qualified_member_definition_is_clean(self):
+        self.tree.write("src/common/impl.cpp",
+                        "Result<int> Loader::load(const std::string& s) {\n"
+                        "  return Result<int>{1};\n}\n")
+        self.assertEqual(gmmcs_lint.pass_result(self.tree.sources()), [])
+
+    def test_discarded_parser_call_is_flagged(self):
+        self.tree.write("src/broker/node.cpp",
+                        "void f(const Bytes& b) {\n"
+                        "  decode(b);\n"
+                        "}\n")
+        findings = gmmcs_lint.pass_result(self.tree.sources())
+        self.assertIn("discarded-result", self.rules(findings))
+
+    def test_bound_parser_call_is_clean(self):
+        self.tree.write("src/broker/node.cpp",
+                        "void f(const Bytes& b) {\n"
+                        "  auto frame = decode(b);\n"
+                        "  if (!frame.ok()) return;\n"
+                        "  use(frame.value());\n"
+                        "}\n")
+        self.assertEqual(gmmcs_lint.pass_result(self.tree.sources()), [])
+
+    def test_value_without_guard_is_flagged(self):
+        self.tree.write("src/broker/node.cpp",
+                        "void f(const Bytes& b) {\n"
+                        "  auto frame = decode(b);\n"
+                        "  use(frame.value());\n"
+                        "}\n")
+        findings = gmmcs_lint.pass_result(self.tree.sources())
+        self.assertIn("unchecked-value", self.rules(findings))
+
+    def test_moved_value_with_guard_is_clean(self):
+        self.tree.write("src/broker/node.cpp",
+                        "void f(const Bytes& b) {\n"
+                        "  auto frame = decode(b);\n"
+                        "  if (!frame.ok()) return;\n"
+                        "  use(std::move(frame).value());\n"
+                        "}\n")
+        self.assertEqual(gmmcs_lint.pass_result(self.tree.sources()), [])
+
+    def test_chained_value_is_flagged(self):
+        self.tree.write("src/broker/node.cpp",
+                        "void f(const std::string& s) {\n"
+                        "  auto v = parse_thing(s).value();\n"
+                        "}\n")
+        findings = gmmcs_lint.pass_result(self.tree.sources())
+        self.assertIn("unchecked-value", self.rules(findings))
+        self.assertIn("chained", findings[-1][3])
+
+    def test_guard_in_previous_function_does_not_leak(self):
+        self.tree.write("src/broker/node.cpp",
+                        "void g(const Bytes& b) {\n"
+                        "  auto frame = decode(b);\n"
+                        "  if (!frame.ok()) return;\n"
+                        "}\n"
+                        "void f(const Bytes& b) {\n"
+                        "  auto frame = decode(b);\n"
+                        "  use(frame.value());\n"
+                        "}\n")
+        findings = gmmcs_lint.pass_result(self.tree.sources())
+        self.assertIn("unchecked-value", self.rules(findings))
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: codec symmetry.
+# ---------------------------------------------------------------------------
+
+CODEC = "src/broker/wire.cpp"
+
+
+class TestCodecSymmetry(LintCase):
+    def check(self, text):
+        self.tree.write(CODEC, text)
+        return gmmcs_lint.pass_codec_symmetry(
+            self.tree.sources(), codec_files=[CODEC], text_families=[])
+
+    def test_symmetric_method_pair_is_clean(self):
+        self.assertEqual(self.check(
+            "Bytes Msg::encode() const {\n"
+            "  ByteWriter w;\n  w.u8(1);\n  w.u32(seq);\n  w.lstr(body);\n"
+            "  return w.take();\n}\n"
+            "Result<Msg> Msg::decode(const Bytes& data) {\n"
+            "  ByteReader r(data);\n  Msg m;\n"
+            "  r.u8();\n  m.seq = r.u32();\n  m.body = r.lstr();\n"
+            "  return m;\n}\n"), [])
+
+    def test_width_drift_is_flagged(self):
+        findings = self.check(
+            "Bytes Msg::encode() const {\n"
+            "  ByteWriter w;\n  w.u8(1);\n  w.u32(seq);\n  return w.take();\n}\n"
+            "Result<Msg> Msg::decode(const Bytes& data) {\n"
+            "  ByteReader r(data);\n  Msg m;\n"
+            "  r.u8();\n  m.seq = r.u16();\n  return m;\n}\n")
+        self.assertEqual(self.rules(findings), ["codec-symmetry"])
+        self.assertIn("u32", findings[0][3])
+
+    def test_missing_field_in_decode_is_flagged(self):
+        findings = self.check(
+            "Bytes Msg::encode() const {\n"
+            "  ByteWriter w;\n  w.u8(1);\n  w.u32(seq);\n  w.lstr(body);\n"
+            "  return w.take();\n}\n"
+            "Result<Msg> Msg::decode(const Bytes& data) {\n"
+            "  ByteReader r(data);\n  Msg m;\n"
+            "  r.u8();\n  m.seq = r.u32();\n  return m;\n}\n")
+        self.assertEqual(self.rules(findings), ["codec-symmetry"])
+
+    def test_loop_groups_must_match(self):
+        findings = self.check(
+            "Bytes Msg::encode() const {\n"
+            "  ByteWriter w;\n  w.u16(n);\n"
+            "  for (auto v : vals) w.u32(v);\n"
+            "  return w.take();\n}\n"
+            "Result<Msg> Msg::decode(const Bytes& data) {\n"
+            "  ByteReader r(data);\n  Msg m;\n"
+            "  auto n = r.u16();\n"
+            "  for (std::uint16_t i = 0; i < n; ++i) m.vals.push_back(r.u16());\n"
+            "  return m;\n}\n")
+        self.assertEqual(self.rules(findings), ["codec-symmetry"])
+
+    def test_helper_splicing_matches_inline_ops(self):
+        # encode uses a write_hdr helper; decode reads the same ops inline.
+        self.assertEqual(self.check(
+            "void write_hdr(ByteWriter& w, int t) {\n  w.u8(t);\n  w.u16(0);\n}\n"
+            "Bytes Msg::encode() const {\n"
+            "  ByteWriter w;\n  write_hdr(w, 3);\n  w.u32(seq);\n"
+            "  return w.take();\n}\n"
+            "Result<Msg> Msg::decode(const Bytes& data) {\n"
+            "  ByteReader r(data);\n  Msg m;\n"
+            "  r.u8();\n  r.u16();\n  m.seq = r.u32();\n  return m;\n}\n"), [])
+
+    def test_dispatch_decoder_checks_each_tag_case(self):
+        findings = self.check(
+            "Bytes encode(const Ping& p) {\n"
+            "  ByteWriter w;\n  w.u8(kPing);\n  w.u64(p.sent);\n"
+            "  return w.take();\n}\n"
+            "Bytes encode(const Data& d) {\n"
+            "  ByteWriter w;\n  w.u8(kData);\n  w.lstr(d.body);\n"
+            "  return w.take();\n}\n"
+            "Result<Frame> decode(const Bytes& data) {\n"
+            "  ByteReader r(data);\n  Frame f;\n"
+            "  auto type = r.u8();\n"
+            "  switch (type) {\n"
+            "    case kPing:\n      f.sent = r.u64();\n      break;\n"
+            "    case kData:\n      f.body = r.raw(r.u16());\n      break;\n"
+            "  }\n  return f;\n}\n")
+        # Ping matches (u8 u64); Data drifts: lstr vs u16+raw is the same
+        # wire bytes but lstr normalizes as one token — the pass flags it,
+        # which is exactly the drift style the rule exists to catch.
+        self.assertEqual(self.rules(findings), ["codec-symmetry"])
+        self.assertIn("kData", findings[0][3])
+
+    def test_text_codec_field_coverage(self):
+        self.tree.write("src/sip/thing.hpp",
+                        "struct Thing {\n"
+                        "  std::string name;\n"
+                        "  int port = 0;\n"
+                        "  std::vector<std::string> tags;\n"
+                        "};\n")
+        self.tree.write("src/sip/thing.cpp",
+                        "std::string Thing::serialize() const {\n"
+                        "  return name + join(tags);\n}\n"
+                        "Result<Thing> Thing::parse(const std::string& s) {\n"
+                        "  Thing t;\n  t.name = s;\n  t.port = 5060;\n"
+                        "  return t;\n}\n")
+        fam = dict(name="thing", impl="src/sip/thing.cpp",
+                   structs=[("src/sip/thing.hpp", "Thing")],
+                   encode=["Thing::serialize"], decode=["Thing::parse"],
+                   ignore=set())
+        findings = gmmcs_lint.pass_codec_symmetry(
+            self.tree.sources(), codec_files=[], text_families=[fam])
+        msgs = " | ".join(f[3] for f in findings)
+        self.assertIn("'tags' is serialized", msgs)   # never parsed
+        self.assertIn("'port' is parsed", msgs)       # never serialized
+        self.assertEqual(len(findings), 2)
+
+
+# ---------------------------------------------------------------------------
+# Pass 4: switch exhaustiveness.
+# ---------------------------------------------------------------------------
+
+ENUMS = {"MessageType": ["kA", "kB", "kC"]}
+
+
+class TestSwitchExhaustiveness(LintCase):
+    def check(self, body):
+        self.tree.write("src/broker/node.cpp", body)
+        return gmmcs_lint.pass_switch_exhaustiveness(
+            self.tree.sources(), enums=ENUMS)
+
+    def test_full_coverage_is_clean(self):
+        self.assertEqual(self.check(
+            "void f(MessageType t) {\n"
+            "  switch (t) {\n"
+            "    case MessageType::kA: a(); break;\n"
+            "    case MessageType::kB: b(); break;\n"
+            "    case MessageType::kC: c(); break;\n"
+            "  }\n}\n"), [])
+
+    def test_partial_without_default_is_flagged(self):
+        findings = self.check(
+            "void f(MessageType t) {\n"
+            "  switch (t) {\n"
+            "    case MessageType::kA: a(); break;\n"
+            "  }\n}\n")
+        self.assertEqual(self.rules(findings), ["switch-exhaustive"])
+        self.assertIn("kB", findings[0][3])
+        self.assertIn("kC", findings[0][3])
+
+    def test_bare_default_break_is_flagged(self):
+        findings = self.check(
+            "void f(MessageType t) {\n"
+            "  switch (t) {\n"
+            "    case MessageType::kA: a(); break;\n"
+            "    default:\n      break;\n"
+            "  }\n}\n")
+        self.assertEqual(self.rules(findings), ["switch-exhaustive"])
+
+    def test_commented_default_is_clean(self):
+        self.assertEqual(self.check(
+            "void f(MessageType t) {\n"
+            "  switch (t) {\n"
+            "    case MessageType::kA: a(); break;\n"
+            "    default:\n"
+            "      // kB/kC are replies; ignoring them here is deliberate.\n"
+            "      break;\n"
+            "  }\n}\n"), [])
+
+    def test_substantive_default_is_clean(self):
+        self.assertEqual(self.check(
+            "void f(MessageType t) {\n"
+            "  switch (t) {\n"
+            "    case MessageType::kA: a(); break;\n"
+            "    default: return error(t);\n"
+            "  }\n}\n"), [])
+
+    def test_switch_over_unconfigured_enum_is_ignored(self):
+        self.assertEqual(self.check(
+            "void f(Color c) {\n"
+            "  switch (c) {\n"
+            "    case Color::kRed: break;\n"
+            "  }\n}\n"), [])
+
+    def test_enum_collection_from_header(self):
+        self.tree.write("src/broker/event.hpp",
+                        "enum class MessageType : std::uint8_t {\n"
+                        "  kA = 1,\n  kB,\n  kC,\n};\n")
+        enums = gmmcs_lint.collect_enums(self.tree.sources())
+        self.assertEqual(enums, {"MessageType": ["kA", "kB", "kC"]})
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: run() over a mixed fixture tree.
+# ---------------------------------------------------------------------------
+
+class TestRun(LintCase):
+    def test_clean_tree_reports_nothing(self):
+        self.tree.write("src/common/ok.hpp",
+                        "[[nodiscard]] Result<int> load(int x);\n")
+        self.tree.write("src/broker/use.cpp",
+                        '#include "common/ok.hpp"\n'
+                        "void f() {\n"
+                        "  auto r = load(1);\n"
+                        "  if (r.ok()) use(r.value());\n"
+                        "}\n")
+        findings, nfiles = gmmcs_lint.run(self.tree.root)
+        self.assertEqual(findings, [])
+        self.assertEqual(nfiles, 2)
+
+    def test_dirty_tree_reports_everything_sorted(self):
+        self.tree.write("src/common/bad.hpp",
+                        '#include "core/app.hpp"\n'
+                        "Result<int> load(int x);\n")
+        findings, _ = gmmcs_lint.run(self.tree.root)
+        self.assertEqual(self.rules(findings), ["layering", "nodiscard"])
+        self.assertEqual(findings, sorted(findings))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
