@@ -24,6 +24,7 @@ if [[ "$MODE" == "lint" ]]; then
     if [[ -f "$tree/compile_commands.json" ]]; then CCDB="$tree/compile_commands.json"; break; fi
   done
   python3 "$ROOT/tools/lint/tests/test_gmmcs_lint.py"
+  python3 "$ROOT/tools/lint/tests/test_lock_order.py"
   if [[ -n "$CCDB" ]]; then
     python3 "$ROOT/tools/lint/determinism_lint.py" --root "$ROOT" --compile-commands "$CCDB"
     python3 "$ROOT/tools/lint/gmmcs_lint.py" --root "$ROOT" --compile-commands "$CCDB"

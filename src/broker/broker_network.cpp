@@ -15,25 +15,35 @@ BrokerNetwork::BrokerNetwork(sim::Network& net) : net_(&net) {}
 BrokerNetwork::~BrokerNetwork() = default;
 
 BrokerNode& BrokerNetwork::add_broker(sim::Host& host, BrokerNode::Config cfg) {
+  ctx_.assert_held();
   // Fabric brokers share control-plane state across hosts (the routing
   // tables, the interest index and its match cache), so their events are
   // not host-independent: opt them out of parallel lanes.
   host.set_exclusive(true);
   auto id = static_cast<BrokerId>(brokers_.size());
   brokers_.push_back(std::make_unique<BrokerNode>(host, id, cfg));
-  brokers_.back()->network_ = this;
+  BrokerNode& node = *brokers_.back();
+  node.ctx_.assert_held();  // fabric setup runs in the same serial context
+  node.network_ = this;
   adjacency_[id];
-  return *brokers_.back();
+  return node;
 }
 
 BrokerNode& BrokerNetwork::broker(BrokerId id) {
+  ctx_.assert_held();
   return *brokers_.at(id);
 }
 
 void BrokerNetwork::link(BrokerId a, BrokerId b) {
+  ctx_.assert_held();
   if (a == b) throw std::invalid_argument("BrokerNetwork::link: self-link");
   BrokerNode& na = broker(a);
   BrokerNode& nb = broker(b);
+  // Fabric -> broker entry (DESIGN.md §11): BrokerNetwork::ctx_ is outer,
+  // BrokerNode::ctx_ inner, so establishing the nodes' contexts here obeys
+  // the canonical lock order.
+  na.ctx_.assert_held();
+  nb.ctx_.assert_held();
   // One stream connection in each direction (send paths are independent).
   auto ab = transport::StreamConnection::connect(na.host(), nb.stream_endpoint());
   auto ba = transport::StreamConnection::connect(nb.host(), na.stream_endpoint());
@@ -44,6 +54,7 @@ void BrokerNetwork::link(BrokerId a, BrokerId b) {
 }
 
 void BrokerNetwork::finalize() {
+  ctx_.assert_held();
   rebuild_routes();
 }
 
@@ -74,6 +85,7 @@ void BrokerNetwork::rebuild_routes() {
 }
 
 void BrokerNetwork::report_link(BrokerId a, BrokerId b, bool up) {
+  ctx_.assert_held();
   const auto key = std::minmax(a, b);
   // Both endpoints' detectors report each transition; only the first
   // report of a genuine state change does any work.
@@ -85,15 +97,18 @@ void BrokerNetwork::report_link(BrokerId a, BrokerId b, bool up) {
 }
 
 void BrokerNetwork::set_address(BrokerId id, ClusterAddress addr) {
+  ctx_.assert_held();
   addresses_[id] = addr;
 }
 
 ClusterAddress BrokerNetwork::address(BrokerId id) const {
+  ctx_.assert_held();
   auto it = addresses_.find(id);
   return it == addresses_.end() ? ClusterAddress{} : it->second;
 }
 
 void BrokerNetwork::link_hierarchy() {
+  ctx_.assert_held();
   // Group brokers by (super_cluster, cluster).
   std::map<std::pair<int, int>, std::vector<BrokerId>> clusters;
   std::map<int, std::vector<std::pair<int, BrokerId>>> supers;  // sc -> (cluster, leader)
@@ -127,6 +142,7 @@ void BrokerNetwork::link_hierarchy() {
 }
 
 void BrokerNetwork::advertise(const TopicFilter& filter, BrokerId origin, bool add) {
+  ctx_.assert_held();
   if (add) {
     interest_.subscribe(origin, filter);
   } else {
@@ -136,12 +152,14 @@ void BrokerNetwork::advertise(const TopicFilter& filter, BrokerId origin, bool a
 
 std::vector<BrokerId> BrokerNetwork::interested_brokers(const std::string& topic,
                                                         BrokerId exclude) const {
+  ctx_.assert_held();
   // Indexed + cached; result is sorted by broker id like the old
   // set-based scan, so forwarding order is unchanged.
   return interest_.matches(topic, exclude);
 }
 
 BrokerId BrokerNetwork::next_hop(BrokerId from, BrokerId to) const {
+  ctx_.assert_held();
   auto fit = next_hop_.find(from);
   if (fit == next_hop_.end()) throw std::logic_error("BrokerNetwork: finalize() not called");
   auto tit = fit->second.find(to);
@@ -153,6 +171,7 @@ BrokerId BrokerNetwork::next_hop(BrokerId from, BrokerId to) const {
 }
 
 int BrokerNetwork::distance(BrokerId from, BrokerId to) const {
+  ctx_.assert_held();
   auto fit = dist_.find(from);
   if (fit == dist_.end()) return -1;
   auto tit = fit->second.find(to);

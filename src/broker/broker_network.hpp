@@ -50,7 +50,10 @@ class BrokerNetwork {
   /// Creates a broker on the given host and registers it in the fabric.
   BrokerNode& add_broker(sim::Host& host, BrokerNode::Config cfg = {});
   [[nodiscard]] BrokerNode& broker(BrokerId id);
-  [[nodiscard]] std::size_t broker_count() const { return brokers_.size(); }
+  [[nodiscard]] std::size_t broker_count() const {
+    ctx_.assert_held();
+    return brokers_.size();
+  }
 
   /// Connects two brokers with a bidirectional link (a stream connection
   /// in each direction). Call finalize() after all links are in place.
@@ -67,16 +70,21 @@ class BrokerNetwork {
   /// on_route_repair callback). Link identity is undirected.
   void report_link(BrokerId a, BrokerId b, bool up);
   [[nodiscard]] bool link_considered_up(BrokerId a, BrokerId b) const {
+    ctx_.assert_held();
     return !down_links_.contains(std::minmax(a, b));
   }
   /// Observer for repair instrumentation: (a, b, up, at) on each genuine
   /// link-state transition, after routes have been rebuilt.
   void on_route_repair(
       std::function<void(BrokerId, BrokerId, bool, SimTime)> cb) {
+    ctx_.assert_held();
     route_listener_ = std::move(cb);
   }
   /// Times the routing tables were rebuilt by report_link transitions.
-  [[nodiscard]] std::uint64_t route_recomputes() const { return route_recomputes_; }
+  [[nodiscard]] std::uint64_t route_recomputes() const {
+    ctx_.assert_held();
+    return route_recomputes_;
+  }
 
   /// Optional hierarchical address labels; set_address also implies
   /// nothing topologically — use link_hierarchy to wire by address.
@@ -102,24 +110,31 @@ class BrokerNetwork {
  private:
   /// BFS over adjacency_ minus down_links_; shared by finalize() and
   /// report_link().
-  void rebuild_routes();
+  void rebuild_routes() GMMCS_REQUIRES(ctx_);
 
   sim::Network* net_;
-  std::vector<std::unique_ptr<BrokerNode>> brokers_;
-  std::map<BrokerId, std::set<BrokerId>> adjacency_;
+  /// Fabric execution context (phantom capability, DESIGN.md §11): the
+  /// control plane below is shared by every broker — the reason broker
+  /// hosts are marked set_exclusive, so all access happens on the serial
+  /// kNoLane barrier. Outermost in the canonical lock order: brokers call
+  /// in here (advertise/report_link) and we call into brokers (link,
+  /// add_peer_link) within the same serial context.
+  ExecContext ctx_;
+  std::vector<std::unique_ptr<BrokerNode>> brokers_ GMMCS_GUARDED_BY(ctx_);
+  std::map<BrokerId, std::set<BrokerId>> adjacency_ GMMCS_GUARDED_BY(ctx_);
   /// Links currently declared down by some broker's failure detector,
   /// keyed undirected (min id, max id).
-  std::set<std::pair<BrokerId, BrokerId>> down_links_;
-  std::function<void(BrokerId, BrokerId, bool, SimTime)> route_listener_;
-  std::uint64_t route_recomputes_ = 0;
+  std::set<std::pair<BrokerId, BrokerId>> down_links_ GMMCS_GUARDED_BY(ctx_);
+  std::function<void(BrokerId, BrokerId, bool, SimTime)> route_listener_ GMMCS_GUARDED_BY(ctx_);
+  std::uint64_t route_recomputes_ GMMCS_GUARDED_BY(ctx_) = 0;
   // [from][to] -> next hop.
-  std::map<BrokerId, std::map<BrokerId, BrokerId>> next_hop_;
-  std::map<BrokerId, std::map<BrokerId, int>> dist_;
+  std::map<BrokerId, std::map<BrokerId, BrokerId>> next_hop_ GMMCS_GUARDED_BY(ctx_);
+  std::map<BrokerId, std::map<BrokerId, int>> dist_ GMMCS_GUARDED_BY(ctx_);
   /// Broker interest table (subscriber = BrokerId), sharing the indexed
   /// fast path (exact hash + wildcard list + match cache) with the
   /// per-node client table. Advertisements are refcounted per origin.
-  SubscriptionIndex interest_;
-  std::map<BrokerId, ClusterAddress> addresses_;
+  SubscriptionIndex interest_ GMMCS_GUARDED_BY(ctx_);
+  std::map<BrokerId, ClusterAddress> addresses_ GMMCS_GUARDED_BY(ctx_);
 };
 
 }  // namespace gmmcs::broker

@@ -42,6 +42,7 @@ BrokerNode::BrokerNode(sim::Host& host, BrokerId id, Config cfg)
 }
 
 std::size_t BrokerNode::subscription_count() const {
+  ctx_.assert_held();
   std::size_t n = 0;
   // det-lint: allow(unordered-iteration) — commutative sum, order-free
   for (const auto& [id, c] : clients_) n += c.filters.size();
@@ -49,6 +50,7 @@ std::size_t BrokerNode::subscription_count() const {
 }
 
 void BrokerNode::accept(transport::StreamConnectionPtr conn) {
+  ctx_.assert_held();
   inbound_.push_back(conn);
   // The connection's client identity is established by its Hello frame.
   auto client_id = std::make_shared<ClientId>(0);
@@ -57,6 +59,7 @@ void BrokerNode::accept(transport::StreamConnectionPtr conn) {
   // without scanning inbound_, and without a conn -> handler -> conn cycle.
   std::weak_ptr<transport::StreamConnection> weak_conn = conn;
   conn->on_message([this, raw, client_id, weak_conn](const Bytes& data) {
+    ctx_.assert_held();
     auto frame = decode(data);
     if (!frame.ok()) return;
     Frame f = std::move(frame).value();
@@ -114,6 +117,7 @@ void BrokerNode::accept(transport::StreamConnectionPtr conn) {
     }
   });
   conn->on_close([this, raw, client_id] {
+    ctx_.assert_held();
     auto it = clients_.find(*client_id);
     if (it != clients_.end()) {
       if (network_ != nullptr) {
@@ -176,6 +180,7 @@ void BrokerNode::handle_subscription(ClientRec& c, const SubscribeMessage& m) {
 }
 
 void BrokerNode::handle_datagram(const sim::Datagram& d) {
+  ctx_.assert_held();
   auto frame = decode(d.payload);
   if (!frame.ok()) return;
   Frame f = std::move(frame).value();
@@ -194,6 +199,7 @@ void BrokerNode::ingress_event(Event ev, ClientId publisher) {
   auto routed = std::make_shared<const RoutedEvent>(std::move(ev));
   dispatch_.submit(cfg_.dispatch.route_cost, [this, publisher, routed = std::move(routed),
                                               remote = std::move(remote)] {
+    ctx_.assert_held();
     route_and_deliver(routed, publisher, remote);
   });
 }
@@ -204,6 +210,7 @@ void BrokerNode::ingress_peer_event(PeerEventMessage m) {
   auto routed = std::make_shared<const RoutedEvent>(std::move(m.event));
   dispatch_.submit(cfg_.dispatch.route_cost, [this, routed = std::move(routed),
                                               targets = std::move(m.targets)] {
+    ctx_.assert_held();
     // Deliver locally if we are a target; forward the rest.
     std::vector<BrokerId> rest;
     bool local = false;
@@ -218,6 +225,7 @@ void BrokerNode::ingress_peer_event(PeerEventMessage m) {
       for (ClientId cid : local_matches(routed->event().topic)) {
         dispatch_.submit(cfg_.dispatch.copy_cost(routed->event().payload.size()),
                          [this, cid, routed] {
+                           ctx_.assert_held();
                            auto cit = clients_.find(cid);
                            if (cit != clients_.end()) deliver_copy(cit->second, *routed);
                          });
@@ -231,6 +239,7 @@ void BrokerNode::route_and_deliver(const RoutedEventPtr& ev, ClientId exclude,
                                    const std::vector<BrokerId>& remote_targets) {
   for (ClientId cid : local_matches(ev->event().topic, exclude)) {
     dispatch_.submit(cfg_.dispatch.copy_cost(ev->event().payload.size()), [this, cid, ev] {
+      ctx_.assert_held();
       auto it = clients_.find(cid);
       if (it != clients_.end()) deliver_copy(it->second, *ev);
     });
@@ -259,6 +268,7 @@ void BrokerNode::route_remote(const RoutedEventPtr& ev, const std::vector<Broker
   for (auto& [hop, subset] : by_hop) {
     dispatch_.submit(cfg_.dispatch.copy_cost(ev->event().payload.size()),
                      [this, hop, ev, subset = std::move(subset)] {
+                       ctx_.assert_held();
                        forward_to_peer(hop, *ev, subset);
                      });
   }
@@ -298,6 +308,7 @@ void BrokerNode::forward_to_peer(BrokerId next_hop, const RoutedEvent& ev,
 void BrokerNode::add_peer_link(BrokerId peer, transport::StreamConnectionPtr conn) {
   // Pongs (and future peer-control frames) come back on our outgoing link.
   conn->on_message([this](const Bytes& data) {
+    ctx_.assert_held();
     auto frame = decode(data);
     if (!frame.ok() || frame.value().type != MessageType::kPong) return;
     auto it = probes_.find(frame.value().ping.token);
@@ -327,6 +338,7 @@ void BrokerNode::ensure_heartbeat_task() {
 }
 
 void BrokerNode::heartbeat_tick() {
+  ctx_.assert_held();
   const SimTime now = host_->loop().now();
   const SimDuration dead = cfg_.heartbeat.interval * cfg_.heartbeat.miss_threshold;
   // peer_last_heard_ is ordered by BrokerId, so beacon fan-out and
@@ -353,6 +365,7 @@ void BrokerNode::handle_peer_heartbeat(BrokerId peer) {
 }
 
 void BrokerNode::probe_peer(BrokerId peer, std::function<void(SimDuration)> cb) {
+  ctx_.assert_held();
   auto it = peer_links_.find(peer);
   if (it == peer_links_.end()) return;
   PingMessage ping;

@@ -24,6 +24,7 @@
 
 #include "broker/event.hpp"
 #include "broker/subscription_index.hpp"
+#include "common/mutex.hpp"
 #include "broker/topic.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/network.hpp"
@@ -91,18 +92,36 @@ class BrokerNode {
   [[nodiscard]] sim::Endpoint dgram_endpoint() const { return dgram_.local(); }
 
   // --- Statistics ---
-  [[nodiscard]] std::uint64_t events_in() const { return events_in_; }
-  [[nodiscard]] std::uint64_t copies_delivered() const { return copies_delivered_; }
-  [[nodiscard]] std::uint64_t peer_forwards() const { return peer_forwards_; }
+  [[nodiscard]] std::uint64_t events_in() const {
+    ctx_.assert_held();
+    return events_in_;
+  }
+  [[nodiscard]] std::uint64_t copies_delivered() const {
+    ctx_.assert_held();
+    return copies_delivered_;
+  }
+  [[nodiscard]] std::uint64_t peer_forwards() const {
+    ctx_.assert_held();
+    return peer_forwards_;
+  }
   [[nodiscard]] std::uint64_t jobs_dropped() const { return dispatch_.rejected(); }
   /// Events addressed to an interested broker we have no route to
   /// (fabric partition); counted per unreachable target.
-  [[nodiscard]] std::uint64_t unroutable_events() const { return unroutable_events_; }
+  [[nodiscard]] std::uint64_t unroutable_events() const {
+    ctx_.assert_held();
+    return unroutable_events_;
+  }
   [[nodiscard]] const sim::ServiceCenter& dispatch() const { return dispatch_; }
-  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+  [[nodiscard]] std::size_t client_count() const {
+    ctx_.assert_held();
+    return clients_.size();
+  }
   [[nodiscard]] std::size_t subscription_count() const;
   /// The topic-routing fast path index (exposed for tests and benches).
-  [[nodiscard]] const SubscriptionIndex& subscriptions() const { return sub_index_; }
+  [[nodiscard]] const SubscriptionIndex& subscriptions() const {
+    ctx_.assert_held();
+    return sub_index_;
+  }
 
   // --- Link monitoring (the performance monitoring service) ---
   /// Probes a linked peer; cb receives the RTT. Probes ride the peer's
@@ -110,14 +129,27 @@ class BrokerNode {
   /// RTT is the real service quality of the link, not just wire latency.
   void probe_peer(BrokerId peer, std::function<void(SimDuration)> cb);
   /// Exponentially-smoothed RTT per peer from past probes.
-  [[nodiscard]] const std::map<BrokerId, SimDuration>& link_rtts() const { return srtt_; }
+  [[nodiscard]] const std::map<BrokerId, SimDuration>& link_rtts() const {
+    ctx_.assert_held();
+    return srtt_;
+  }
 
   // --- Failure detection (see HeartbeatConfig) ---
-  [[nodiscard]] std::uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+  [[nodiscard]] std::uint64_t heartbeats_sent() const {
+    ctx_.assert_held();
+    return heartbeats_sent_;
+  }
   /// Peer-link liveness transitions this broker's detector declared.
-  [[nodiscard]] std::uint64_t links_detected_down() const { return links_detected_down_; }
-  [[nodiscard]] std::uint64_t links_detected_up() const { return links_detected_up_; }
+  [[nodiscard]] std::uint64_t links_detected_down() const {
+    ctx_.assert_held();
+    return links_detected_down_;
+  }
+  [[nodiscard]] std::uint64_t links_detected_up() const {
+    ctx_.assert_held();
+    return links_detected_up_;
+  }
   [[nodiscard]] bool peer_considered_down(BrokerId peer) const {
+    ctx_.assert_held();
     return peer_down_.contains(peer);
   }
 
@@ -136,74 +168,87 @@ class BrokerNode {
   void accept(transport::StreamConnectionPtr conn);
   void handle_stream_frame(ClientId client, const Bytes& data);
   void handle_datagram(const sim::Datagram& d);
-  void handle_subscription(ClientRec& c, const SubscribeMessage& m);
+  void handle_subscription(ClientRec& c, const SubscribeMessage& m) GMMCS_REQUIRES(ctx_);
   /// Drops a client record and its subscriptions/advertisements. Used when
   /// a reconnecting client's fresh Hello supersedes its ghost record.
-  void evict_client(ClientId cid);
-  void handle_peer_heartbeat(BrokerId peer);
+  void evict_client(ClientId cid) GMMCS_REQUIRES(ctx_);
+  void handle_peer_heartbeat(BrokerId peer) GMMCS_REQUIRES(ctx_);
   void heartbeat_tick();
   /// Starts the heartbeat task lazily once the first peer link exists.
-  void ensure_heartbeat_task();
+  void ensure_heartbeat_task() GMMCS_REQUIRES(ctx_);
 
   /// Entry point for a client-published event. `publisher` (0 = unknown)
   /// is excluded from local delivery: a subscriber never hears its own
   /// publications back, matching media-bridge semantics.
-  void ingress_event(Event ev, ClientId publisher);
+  void ingress_event(Event ev, ClientId publisher) GMMCS_REQUIRES(ctx_);
   /// Entry point for an event forwarded by a peer broker.
-  void ingress_peer_event(PeerEventMessage m);
+  void ingress_peer_event(PeerEventMessage m) GMMCS_REQUIRES(ctx_);
   /// Routing core: deliver locally and forward the remaining targets.
   /// Fan-out jobs share the RoutedEvent — no per-recipient Event copy and
   /// at most one kEvent encode per event.
   void route_and_deliver(const RoutedEventPtr& ev, ClientId exclude,
-                         const std::vector<BrokerId>& remote_targets);
+                         const std::vector<BrokerId>& remote_targets) GMMCS_REQUIRES(ctx_);
   /// Forwards an event toward each remaining target broker, one copy per
   /// distinct next hop.
-  void route_remote(const RoutedEventPtr& ev, const std::vector<BrokerId>& targets);
-  void deliver_copy(const ClientRec& c, const RoutedEvent& ev);
+  void route_remote(const RoutedEventPtr& ev, const std::vector<BrokerId>& targets)
+      GMMCS_REQUIRES(ctx_);
+  void deliver_copy(const ClientRec& c, const RoutedEvent& ev) GMMCS_REQUIRES(ctx_);
   void forward_to_peer(BrokerId next_hop, const RoutedEvent& ev,
-                       const std::vector<BrokerId>& targets);
+                       const std::vector<BrokerId>& targets) GMMCS_REQUIRES(ctx_);
   [[nodiscard]] std::vector<ClientId> local_matches(const std::string& topic,
-                                                    ClientId exclude = 0) const;
+                                                    ClientId exclude = 0) const
+      GMMCS_REQUIRES(ctx_);
 
-  /// Outgoing link to a peer broker (created by BrokerNetwork::link).
-  void add_peer_link(BrokerId peer, transport::StreamConnectionPtr conn);
+  /// Outgoing link to a peer broker (created by BrokerNetwork::link, which
+  /// establishes our ctx_ first — see DESIGN.md §11 on the fabric/broker
+  /// mutual-entry pattern).
+  void add_peer_link(BrokerId peer, transport::StreamConnectionPtr conn) GMMCS_REQUIRES(ctx_);
 
   sim::Host* host_;
   BrokerId id_;
   Config cfg_;
-  BrokerNetwork* network_ = nullptr;  // set by BrokerNetwork::add_broker
+  /// Broker execution context (phantom capability, DESIGN.md §11): broker
+  /// state is fabric-shared (peers and BrokerNetwork reach into it), which
+  /// is why broker hosts are marked set_exclusive — all of this runs on
+  /// the serial kNoLane barrier. These annotations are the prerequisite
+  /// for letting brokers opt back into parallel dispatch (ROADMAP).
+  ExecContext ctx_;
+  BrokerNetwork* network_ GMMCS_GUARDED_BY(ctx_) = nullptr;  // set by BrokerNetwork::add_broker
   transport::StreamListener listener_;
   transport::DatagramSocket dgram_;
   sim::ServiceCenter dispatch_;
-  ClientId next_client_id_ = 1;
-  std::unordered_map<ClientId, ClientRec> clients_;
+  ClientId next_client_id_ GMMCS_GUARDED_BY(ctx_) = 1;
+  std::unordered_map<ClientId, ClientRec> clients_ GMMCS_GUARDED_BY(ctx_);
   /// Topic -> subscriber fast path (exact hash index + wildcard list +
   /// per-topic match cache); kept in sync with ClientRec::filters.
-  SubscriptionIndex sub_index_;
+  SubscriptionIndex sub_index_ GMMCS_GUARDED_BY(ctx_);
   /// Reverse index: client's UDP endpoint -> id, to identify publishers of
   /// datagram-path events (hot path: one hash lookup per media packet).
-  std::unordered_map<sim::Endpoint, ClientId, sim::EndpointHash> udp_index_;
-  std::unordered_map<BrokerId, transport::StreamConnectionPtr> peer_links_;
+  std::unordered_map<sim::Endpoint, ClientId, sim::EndpointHash> udp_index_
+      GMMCS_GUARDED_BY(ctx_);
+  std::unordered_map<BrokerId, transport::StreamConnectionPtr> peer_links_
+      GMMCS_GUARDED_BY(ctx_);
   /// Failure-detector state (ordered: heartbeat fan-out order must be
   /// deterministic). last-heard is bumped by every peer heartbeat.
-  std::map<BrokerId, SimTime> peer_last_heard_;
-  std::set<BrokerId> peer_down_;
-  std::unique_ptr<sim::PeriodicTask> heartbeat_task_;
-  std::uint64_t heartbeats_sent_ = 0;
-  std::uint64_t links_detected_down_ = 0;
-  std::uint64_t links_detected_up_ = 0;
-  std::uint32_t next_probe_token_ = 1;
-  std::map<std::uint32_t, std::pair<BrokerId, std::function<void(SimDuration)>>> probes_;
-  std::map<BrokerId, SimDuration> srtt_;
+  std::map<BrokerId, SimTime> peer_last_heard_ GMMCS_GUARDED_BY(ctx_);
+  std::set<BrokerId> peer_down_ GMMCS_GUARDED_BY(ctx_);
+  std::unique_ptr<sim::PeriodicTask> heartbeat_task_ GMMCS_GUARDED_BY(ctx_);
+  std::uint64_t heartbeats_sent_ GMMCS_GUARDED_BY(ctx_) = 0;
+  std::uint64_t links_detected_down_ GMMCS_GUARDED_BY(ctx_) = 0;
+  std::uint64_t links_detected_up_ GMMCS_GUARDED_BY(ctx_) = 0;
+  std::uint32_t next_probe_token_ GMMCS_GUARDED_BY(ctx_) = 1;
+  std::map<std::uint32_t, std::pair<BrokerId, std::function<void(SimDuration)>>> probes_
+      GMMCS_GUARDED_BY(ctx_);
+  std::map<BrokerId, SimDuration> srtt_ GMMCS_GUARDED_BY(ctx_);
   // Inbound connections (from clients and peers) we must keep alive.
-  std::vector<transport::StreamConnectionPtr> inbound_;
-  std::uint64_t events_in_ = 0;
-  std::uint64_t copies_delivered_ = 0;
-  std::uint64_t peer_forwards_ = 0;
-  std::uint64_t unroutable_events_ = 0;
+  std::vector<transport::StreamConnectionPtr> inbound_ GMMCS_GUARDED_BY(ctx_);
+  std::uint64_t events_in_ GMMCS_GUARDED_BY(ctx_) = 0;
+  std::uint64_t copies_delivered_ GMMCS_GUARDED_BY(ctx_) = 0;
+  std::uint64_t peer_forwards_ GMMCS_GUARDED_BY(ctx_) = 0;
+  std::uint64_t unroutable_events_ GMMCS_GUARDED_BY(ctx_) = 0;
   /// Targets we already warned about being unreachable — at media rates an
   /// unconditional per-event warning floods the log during a partition.
-  std::set<BrokerId> warned_unroutable_;
+  std::set<BrokerId> warned_unroutable_ GMMCS_GUARDED_BY(ctx_);
 };
 
 }  // namespace gmmcs::broker

@@ -43,6 +43,31 @@ class GMMCS_SCOPED_CAPABILITY MutexLock {
   Mutex* mu_;
 };
 
+/// Phantom capability: a zero-cost "lock" that is never actually acquired,
+/// used to annotate state that is protected by *execution discipline*
+/// rather than a mutex. The simulator's lane model (DESIGN.md §9/§11) is
+/// the canonical case: a Host's members are touched only by the one thread
+/// running that host's lane, so no mutex exists — but the members still
+/// need GMMCS_GUARDED_BY coverage so clang thread-safety analysis and the
+/// gmmcs-lint lock-order pass can reject stray cross-lane access.
+///
+/// Usage (DESIGN.md §11): give the class a `ExecContext ctx_;` member,
+/// guard state with GMMCS_GUARDED_BY(ctx_), mark internal helpers
+/// GMMCS_REQUIRES(ctx_), and have public entry points establish the
+/// capability with `ctx_.assert_held()` — an assertion of the runtime
+/// discipline (EventLoop lane scheduling), not an acquisition, so it never
+/// blocks and never creates a deadlock edge in the acquisition graph.
+class GMMCS_CAPABILITY("context") ExecContext {
+ public:
+  ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  /// Declares (to the analysis) that the calling thread already owns this
+  /// execution context. No runtime effect.
+  void assert_held() const GMMCS_ASSERT_CAPABILITY(this) {}
+};
+
 /// Condition variable paired with gmmcs::Mutex. The wait predicate runs
 /// with the mutex held, matching std::condition_variable semantics.
 class CondVar {

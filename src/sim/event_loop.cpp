@@ -51,11 +51,39 @@ TaskId EventLoop::schedule_after(SimDuration delay, Callback cb, Lane lane) {
   return schedule_at(now_ + delay, std::move(cb), lane);
 }
 
+std::uint32_t EventLoop::acquire_slot(TaskId owner, Callback cb) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(cb_slots_.size());
+    cb_slots_.emplace_back();
+  }
+  cb_slots_[slot].cb = std::move(cb);
+  cb_slots_[slot].owner = owner;
+  ++live_;
+  return slot;
+}
+
+EventLoop::Callback EventLoop::take_callback(const Entry& e) {
+  CbSlot& s = cb_slots_[e.slot];
+  Callback cb = std::move(s.cb);  // move disengages s.cb
+  s.owner = 0;
+  free_slots_.push_back(e.slot);
+  --live_;
+  if ((e.id & kParallelIdBit) != 0) parallel_slots_.erase(e.id);
+  return cb;
+}
+
 TaskId EventLoop::schedule_direct(SimTime when, Callback cb, Lane lane) {
-  TaskId id = next_id_++;
-  heap_.push_back(Entry{when, next_seq_++, id, lane});
+  std::uint32_t slot = acquire_slot(/*owner=*/0, std::move(cb));
+  // Serial ids encode their slot (see cb_slots_), so cancel() needs no
+  // lookup; slot+1 keeps the id nonzero and below kParallelIdBit.
+  TaskId id = ((TaskId{slot} + 1) << 32) | next_serial_++;
+  cb_slots_[slot].owner = id;
+  heap_.push_back(Entry{when, next_seq_++, id, slot, lane});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  callbacks_.emplace(id, std::move(cb));
   return id;
 }
 
@@ -68,9 +96,26 @@ void EventLoop::cancel(TaskId id) {
 }
 
 void EventLoop::cancel_direct(TaskId id) {
-  if (callbacks_.erase(id) > 0) maybe_compact();
-  // The heap entry stays (unless compacted); execution skips ids with no
-  // callback.
+  std::uint32_t slot;
+  if ((id & kParallelIdBit) != 0) {
+    auto it = parallel_slots_.find(id);
+    if (it == parallel_slots_.end()) return;  // already run/cancelled
+    slot = it->second;
+    parallel_slots_.erase(it);
+  } else {
+    TaskId hi = id >> 32;
+    if (hi == 0 || hi > cb_slots_.size()) return;  // id 0 or never minted
+    slot = static_cast<std::uint32_t>(hi - 1);
+  }
+  CbSlot& s = cb_slots_[slot];
+  if (s.owner != id) return;  // slot already recycled: stale cancel, no-op
+  s.cb.reset();  // destroy captured state eagerly, as the map erase did
+  s.owner = 0;
+  free_slots_.push_back(slot);
+  --live_;
+  maybe_compact();
+  // The heap entry stays (unless compacted); execution skips entries whose
+  // slot no longer names them.
 }
 
 void EventLoop::maybe_compact() {
@@ -78,8 +123,8 @@ void EventLoop::maybe_compact() {
   // they outnumber live ones (PeriodicTask-heavy fabrics churn cancels
   // every heartbeat), rebuild the heap from the live entries in O(n).
   constexpr std::size_t kCompactMin = 64;
-  if (heap_.size() < kCompactMin || heap_.size() <= 2 * callbacks_.size()) return;
-  std::erase_if(heap_, [this](const Entry& e) { return !callbacks_.contains(e.id); });
+  if (heap_.size() < kCompactMin || heap_.size() <= 2 * live_) return;
+  std::erase_if(heap_, [this](const Entry& e) { return !is_live(e); });
   std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
@@ -90,13 +135,13 @@ void EventLoop::pop_top() {
 
 bool EventLoop::prune_stale_top() {
   while (!heap_.empty()) {
-    if (callbacks_.contains(heap_.front().id)) return true;
+    if (is_live(heap_.front())) return true;
     pop_top();
   }
   return false;
 }
 
-void EventLoop::post_effect(std::function<void()> fn) {
+void EventLoop::post_effect(SmallFn fn) {
   if (ExecCtx* ctx = tls_ctx_; ctx != nullptr && ctx->loop == this) {
     ctx->ops.push_back(
         PendingOp{PendingOp::Kind::kEffect, SimTime{}, kNoLane, 0, std::move(fn)});
@@ -119,9 +164,7 @@ bool EventLoop::step() {
   if (!prune_stale_top()) return false;
   Entry e = heap_.front();
   pop_top();
-  auto it = callbacks_.find(e.id);
-  Callback cb = std::move(it->second);
-  callbacks_.erase(it);
+  Callback cb = take_callback(e);
   execute_inline(std::move(e), std::move(cb));
   return true;
 }
@@ -166,9 +209,7 @@ bool EventLoop::run_batch(SimTime deadline) {
     }
     Entry e = top;
     pop_top();
-    auto it = callbacks_.find(e.id);
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
+    Callback cb = take_callback(e);
     bool solo = e.lane == kNoLane;
     batch_.push_back(BatchItem{std::move(e), std::move(cb), ExecCtx{}});
     if (solo) break;
@@ -224,11 +265,16 @@ void EventLoop::commit(BatchItem& item) {
   if (trace_) trace_(item.entry.when, item.entry.seq);
   for (PendingOp& op : item.ctx.ops) {
     switch (op.kind) {
-      case PendingOp::Kind::kSchedule:
-        heap_.push_back(Entry{op.when, next_seq_++, op.id, op.lane});
+      case PendingOp::Kind::kSchedule: {
+        // Parallel-minted ids are pre-assigned block ids and can't encode a
+        // slot, so they get a parallel_slots_ map entry (brokers are serial
+        // today, so this path is cold).
+        std::uint32_t slot = acquire_slot(op.id, std::move(op.fn));
+        parallel_slots_.emplace(op.id, slot);
+        heap_.push_back(Entry{op.when, next_seq_++, op.id, slot, op.lane});
         std::push_heap(heap_.begin(), heap_.end(), Later{});
-        callbacks_.emplace(op.id, std::move(op.fn));
         break;
+      }
       case PendingOp::Kind::kCancel:
         cancel_direct(op.id);
         break;

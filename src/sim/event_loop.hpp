@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/mutex.hpp"
+#include "common/small_fn.hpp"
 #include "common/thread.hpp"
 #include "common/time.hpp"
 
@@ -41,7 +42,11 @@ inline constexpr Lane kNoLane = 0;
 
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  /// Scheduled-event callback. A SmallFn (64-byte inline buffer, move-only
+  /// captures allowed) rather than std::function: Network::transmit
+  /// arrival closures and ServiceCenter completions exceed std::function's
+  /// 16-byte SBO and used to heap-allocate on every schedule.
+  using Callback = SmallFn;
 
   EventLoop() = default;
   ~EventLoop();
@@ -68,7 +73,7 @@ class EventLoop {
   /// the buffering events — the hook Network uses to keep cross-host
   /// traffic (and its RNG draws) in serial order. `fn` runs on the
   /// coordinator thread with no lane context.
-  void post_effect(std::function<void()> fn);
+  void post_effect(SmallFn fn);
   /// True while the calling thread is executing an event of a parallel
   /// batch (i.e. side effects on shared state must go through
   /// post_effect / the buffered schedule path).
@@ -98,7 +103,7 @@ class EventLoop {
   /// produce identical traces — the equivalence tests assert exactly that.
   void set_trace(std::function<void(SimTime, std::uint64_t)> fn) { trace_ = std::move(fn); }
 
-  [[nodiscard]] std::size_t pending() const { return callbacks_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_; }
   /// Total events executed since construction (useful in tests).
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
   /// Heap slots currently allocated, including stale entries left by
@@ -110,9 +115,12 @@ class EventLoop {
     SimTime when;
     std::uint64_t seq;
     TaskId id;
+    std::uint32_t slot;
     Lane lane;
-    // Heap entries are copied around; the callback lives in a separate map
-    // keyed by id so cancel() can drop it cheaply.
+    // Heap entries are copied around by push_heap/pop_heap; the callback
+    // lives in slots_[slot] (a recycled slot table, the ServiceCenter
+    // technique) so entries stay trivially copyable and scheduling an
+    // event allocates nothing once the table is warm.
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -121,14 +129,22 @@ class EventLoop {
     }
   };
 
+  /// Callback storage for one scheduled event. `owner` is the TaskId the
+  /// slot currently serves (0 = free); a heap Entry is live iff its slot
+  /// still names it, which gives cancel() O(1) liveness without a map.
+  struct CbSlot {
+    Callback cb;
+    TaskId owner = 0;
+  };
+
   /// One buffered side effect of an event running in a parallel batch.
   struct PendingOp {
     enum class Kind { kSchedule, kCancel, kEffect };
     Kind kind;
-    SimTime when;              // kSchedule
-    Lane lane = kNoLane;       // kSchedule
-    TaskId id = 0;             // kSchedule (pre-assigned) / kCancel
-    std::function<void()> fn;  // kSchedule callback / kEffect closure
+    SimTime when;         // kSchedule
+    Lane lane = kNoLane;  // kSchedule
+    TaskId id = 0;        // kSchedule (pre-assigned) / kCancel
+    SmallFn fn;           // kSchedule callback / kEffect closure
   };
 
   /// Per-event execution context while a parallel batch is in flight.
@@ -150,6 +166,14 @@ class EventLoop {
 
   TaskId schedule_direct(SimTime when, Callback cb, Lane lane);
   void cancel_direct(TaskId id);
+  /// Reserves a slot in slots_ (recycling freed ones) for `owner`'s cb.
+  std::uint32_t acquire_slot(TaskId owner, Callback cb);
+  /// True iff the heap entry's slot still belongs to it (not cancelled/run).
+  [[nodiscard]] bool is_live(const Entry& e) const {
+    return cb_slots_[e.slot].owner == e.id;
+  }
+  /// Moves the callback out of a live entry's slot and frees the slot.
+  Callback take_callback(const Entry& e);
   /// Drops stale (cancelled) heap entries once they outnumber live ones.
   void maybe_compact();
   /// Pops cancelled entries off the heap top; false if the heap empties.
@@ -171,13 +195,26 @@ class EventLoop {
 
   SimTime now_;
   std::uint64_t next_seq_ = 0;
-  TaskId next_id_ = 1;
   std::uint64_t executed_ = 0;
   /// Min-heap over (when, seq) maintained with std::push_heap/pop_heap so
   /// compaction can rebuild it in place after heavy cancel() churn.
   std::vector<Entry> heap_;
-  // id -> callback; erased on cancel, so stale heap entries become no-ops.
-  std::unordered_map<TaskId, Callback> callbacks_;
+  /// Recycled callback storage; Entry::slot indexes it. Freed slots go on
+  /// free_slots_ (LIFO, cache-warm) so steady-state scheduling never
+  /// allocates. Serial TaskIds encode their slot (slot+1 in the top 31
+  /// bits below kParallelIdBit, a serial counter in the low 32), which
+  /// makes cancel() a direct owner-check with no lookup structure at all;
+  /// parallel-minted ids carry a pre-assigned block id instead, so those
+  /// (rare: only brokers schedule from batches today) go through
+  /// parallel_slots_. A stale cancel can only mis-hit a recycled slot if
+  /// the low 32-bit serial wraps *and* collides — 2^32 mints between a
+  /// cancel and its target's reuse, which no simulated workload reaches.
+  std::vector<CbSlot> cb_slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
+  std::uint32_t next_serial_ = 1;
+  /// Slot lookup for parallel-minted (kParallelIdBit) TaskIds only.
+  std::unordered_map<TaskId, std::uint32_t> parallel_slots_;
   /// Lane of the event currently running inline (coordinator thread).
   Lane inline_lane_ = kNoLane;
   std::function<void(SimTime, std::uint64_t)> trace_;

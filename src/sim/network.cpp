@@ -17,6 +17,7 @@ EventLoop& Host::loop() const {
 }
 
 void Host::bind(std::uint16_t port, Handler handler) {
+  ctx_.assert_held();
   if (!up_) {
     throw std::logic_error("Host '" + name_ + "': bind on port " + std::to_string(port) +
                            " while host is down");
@@ -29,6 +30,7 @@ void Host::bind(std::uint16_t port, Handler handler) {
 }
 
 void Host::set_up(bool up) {
+  ctx_.assert_held();
   if (up_ == up) return;
   up_ = up;
   if (!up) {
@@ -43,6 +45,7 @@ void Host::set_up(bool up) {
 }
 
 std::uint16_t Host::bind_ephemeral(Handler handler) {
+  ctx_.assert_held();
   while (ports_.contains(next_ephemeral_)) {
     ++next_ephemeral_;
     if (next_ephemeral_ == 0) next_ephemeral_ = 49152;
@@ -53,14 +56,17 @@ std::uint16_t Host::bind_ephemeral(Handler handler) {
 }
 
 void Host::unbind(std::uint16_t port) {
+  ctx_.assert_held();
   ports_.erase(port);
 }
 
 bool Host::is_bound(std::uint16_t port) const {
+  ctx_.assert_held();
   return ports_.contains(port);
 }
 
 SimDuration Host::nic_backlog_delay() const {
+  ctx_.assert_held();
   SimTime now = loop().now();
   if (nic_free_at_ <= now) return SimDuration{0};
   return nic_free_at_ - now;
@@ -82,12 +88,14 @@ bool Host::egress(std::size_t wire_bytes, SimTime& depart) {
   nic_queued_bytes_ += wire_bytes;
   ++nic_sent_;
   lp.schedule_at(depart, [this, wire_bytes, epoch = nic_epoch_] {
+    ctx_.assert_held();  // queue release runs on this host's lane
     if (epoch == nic_epoch_) nic_queued_bytes_ -= wire_bytes;
   });
   return true;
 }
 
 bool Host::send(Endpoint dst, std::uint16_t src_port, Bytes payload, bool reliable) {
+  ctx_.assert_held();
   if (!up_) return false;
   std::size_t wire = payload.size() + nic_.overhead_bytes;
   SimTime depart;
@@ -115,6 +123,7 @@ bool Host::send(Endpoint dst, std::uint16_t src_port, Bytes payload, bool reliab
 }
 
 void Host::send_multicast(GroupId group, std::uint16_t src_port, Bytes payload) {
+  ctx_.assert_held();
   if (!up_) return;
   std::size_t wire = payload.size() + nic_.overhead_bytes;
   SimTime depart;
@@ -135,6 +144,7 @@ void Host::send_multicast(GroupId group, std::uint16_t src_port, Bytes payload) 
 }
 
 void Host::deliver(Datagram d) {
+  ctx_.assert_held();
   if (!up_) return;
   if (ingress_filter_ && !ingress_filter_(d)) return;
   auto it = ports_.find(d.dst.port);
@@ -145,35 +155,42 @@ void Host::deliver(Datagram d) {
 Network::Network(EventLoop& loop, std::uint64_t seed) : loop_(&loop), rng_(seed) {}
 
 Host& Network::add_host(std::string name, NicConfig cfg) {
+  ctx_.assert_held();
   auto id = static_cast<NodeId>(hosts_.size());
   hosts_.push_back(std::unique_ptr<Host>(new Host(*this, id, std::move(name), cfg)));
   return *hosts_.back();
 }
 
 Host& Network::host(NodeId id) {
+  ctx_.assert_held();
   return *hosts_.at(id);
 }
 
 const Host& Network::host(NodeId id) const {
+  ctx_.assert_held();
   return *hosts_.at(id);
 }
 
 void Network::set_path(NodeId a, NodeId b, PathConfig cfg) {
+  ctx_.assert_held();
   paths_[std::minmax(a, b)] = cfg;
 }
 
 PathConfig Network::path(NodeId a, NodeId b) const {
+  ctx_.assert_held();
   auto it = paths_.find(std::minmax(a, b));
   return it == paths_.end() ? default_path_ : it->second;
 }
 
 GroupId Network::create_group() {
+  ctx_.assert_held();
   GroupId g = next_group_++;
   groups_[g];
   return g;
 }
 
 void Network::join_group(GroupId group, Endpoint member) {
+  ctx_.assert_held();
   auto& members = groups_.at(group);
   if (std::find(members.begin(), members.end(), member) == members.end()) {
     members.push_back(member);
@@ -181,16 +198,19 @@ void Network::join_group(GroupId group, Endpoint member) {
 }
 
 void Network::leave_group(GroupId group, Endpoint member) {
+  ctx_.assert_held();
   auto& members = groups_.at(group);
   members.erase(std::remove(members.begin(), members.end(), member), members.end());
 }
 
 std::size_t Network::group_size(GroupId group) const {
+  ctx_.assert_held();
   auto it = groups_.find(group);
   return it == groups_.end() ? 0 : it->second.size();
 }
 
 void Network::set_link_up(NodeId a, NodeId b, bool up) {
+  ctx_.assert_held();
   if (up) {
     down_links_.erase(std::minmax(a, b));
   } else {
@@ -215,6 +235,9 @@ bool Network::roll_loss(const PathConfig& cfg, NodeId src, NodeId dst) {
 }
 
 void Network::transmit(Host& from, Datagram d, SimTime depart) {
+  // Runs in serial order only: direct call in serial mode, or replayed at
+  // the merge barrier via post_effect in parallel mode (see Host::send).
+  ctx_.assert_held();
   // Administratively-cut links drop everything, reliable traffic included.
   if (!link_up(from.id(), d.dst.node)) {
     lost_.fetch_add(1, std::memory_order_relaxed);
@@ -244,6 +267,7 @@ void Network::transmit(Host& from, Datagram d, SimTime depart) {
 }
 
 void Network::transmit_multicast(Host& from, GroupId group, Datagram d, SimTime depart) {
+  ctx_.assert_held();
   auto it = groups_.find(group);
   if (it == groups_.end()) return;
   for (const Endpoint& member : it->second) {

@@ -11,12 +11,13 @@ ServiceCenter::ServiceCenter(EventLoop& loop, int servers, std::size_t queue_lim
 }
 
 bool ServiceCenter::submit(SimDuration service_time, SmallFn done) {
+  ctx_.assert_held();
   Job job{loop_.now(), service_time, std::move(done)};
   if (busy_ < servers_) {
     start(std::move(job));
     return true;
   }
-  if (queue_limit_ != 0 && queue_.size() >= queue_limit_) {
+  if (queue_limit_ != 0 && queue_length() >= queue_limit_) {
     ++rejected_;
     return false;
   }
@@ -41,6 +42,7 @@ void ServiceCenter::start(Job job) {
   // callable itself sits in inflight_[slot] (inline in the SmallFn for
   // captures up to 64 bytes).
   loop_.schedule_after(job.service, [this, slot] {
+    ctx_.assert_held();  // completion fires on the owner's lane
     SmallFn done = std::move(inflight_[slot]);
     free_slots_.push_back(slot);  // safe: `done` reentering submit() sees a free slot
     --busy_;
@@ -51,14 +53,24 @@ void ServiceCenter::start(Job job) {
 }
 
 void ServiceCenter::drain() {
-  while (busy_ < servers_ && !queue_.empty()) {
-    Job job = std::move(queue_.front());
-    queue_.pop_front();
+  while (busy_ < servers_ && q_head_ < queue_.size()) {
+    Job job = std::move(queue_[q_head_++]);
+    if (q_head_ == queue_.size()) {
+      // Drained empty: reset in place, keeping the vector's capacity.
+      queue_.clear();
+      q_head_ = 0;
+    } else if (q_head_ >= 64 && q_head_ * 2 >= queue_.size()) {
+      // Sustained backlog: trim the consumed prefix so the vector doesn't
+      // grow without bound while the queue never fully empties.
+      queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(q_head_));
+      q_head_ = 0;
+    }
     start(std::move(job));
   }
 }
 
 SimDuration ServiceCenter::mean_wait() const {
+  ctx_.assert_held();
   std::uint64_t n = completed_ + static_cast<std::uint64_t>(busy_);
   if (n == 0) return SimDuration{0};
   return SimDuration{total_wait_.ns() / static_cast<std::int64_t>(n)};

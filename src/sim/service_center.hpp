@@ -9,9 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/small_fn.hpp"
 #include "common/time.hpp"
 #include "sim/event_loop.hpp"
@@ -29,12 +29,27 @@ class ServiceCenter {
   /// rides in a SmallFn: captures up to 64 bytes cost no heap allocation.
   bool submit(SimDuration service_time, SmallFn done);
 
-  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
-  [[nodiscard]] int busy_servers() const { return busy_; }
-  [[nodiscard]] std::uint64_t completed() const { return completed_; }
-  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+  [[nodiscard]] std::size_t queue_length() const {
+    ctx_.assert_held();
+    return queue_.size() - q_head_;
+  }
+  [[nodiscard]] int busy_servers() const {
+    ctx_.assert_held();
+    return busy_;
+  }
+  [[nodiscard]] std::uint64_t completed() const {
+    ctx_.assert_held();
+    return completed_;
+  }
+  [[nodiscard]] std::uint64_t rejected() const {
+    ctx_.assert_held();
+    return rejected_;
+  }
   /// Total time jobs spent waiting in queue (not being served).
-  [[nodiscard]] SimDuration total_wait() const { return total_wait_; }
+  [[nodiscard]] SimDuration total_wait() const {
+    ctx_.assert_held();
+    return total_wait_;
+  }
   /// Mean queueing wait across completed jobs.
   [[nodiscard]] SimDuration mean_wait() const;
 
@@ -45,22 +60,32 @@ class ServiceCenter {
     SmallFn done;
   };
 
-  void start(Job job);
-  void drain();
+  void start(Job job) GMMCS_REQUIRES(ctx_);
+  void drain() GMMCS_REQUIRES(ctx_);
 
   EventLoop& loop_;
   int servers_;
   std::size_t queue_limit_;
-  int busy_ = 0;
-  std::deque<Job> queue_;
+  /// Owner execution context (phantom capability, DESIGN.md §11): a
+  /// ServiceCenter models one component's CPU, so submissions and
+  /// completions all run on that component's lane (or serially).
+  ExecContext ctx_;
+  int busy_ GMMCS_GUARDED_BY(ctx_) = 0;
+  /// FIFO queue as a vector + head index rather than std::deque: a deque
+  /// allocates a fresh block every ~few pushes even at steady state, while
+  /// this layout reuses its capacity forever (the consumed prefix is
+  /// trimmed whenever the queue drains empty, which it does every time
+  /// servers catch up).
+  std::vector<Job> queue_ GMMCS_GUARDED_BY(ctx_);
+  std::size_t q_head_ GMMCS_GUARDED_BY(ctx_) = 0;
   // In-flight completion callables, parked here so the EventLoop closure
   // only captures {this, slot} — small enough for std::function's inline
   // buffer. Freed slots are recycled LIFO.
-  std::vector<SmallFn> inflight_;
-  std::vector<std::uint32_t> free_slots_;
-  std::uint64_t completed_ = 0;
-  std::uint64_t rejected_ = 0;
-  SimDuration total_wait_{};
+  std::vector<SmallFn> inflight_ GMMCS_GUARDED_BY(ctx_);
+  std::vector<std::uint32_t> free_slots_ GMMCS_GUARDED_BY(ctx_);
+  std::uint64_t completed_ GMMCS_GUARDED_BY(ctx_) = 0;
+  std::uint64_t rejected_ GMMCS_GUARDED_BY(ctx_) = 0;
+  SimDuration total_wait_ GMMCS_GUARDED_BY(ctx_){};
 };
 
 }  // namespace gmmcs::sim

@@ -145,6 +145,9 @@ MESSAGES = {
     "unchecked-value": "%s",
     "codec-symmetry": "%s",
     "switch-exhaustive": "%s",
+    "lock-order": "%s",
+    "guarded-by": "%s",
+    "condvar-hold": "%s",
     "suppression-reason": "gmmcs-lint suppression without a reason "
                           "(write `gmmcs-lint: allow(rule): why`)",
 }
@@ -577,15 +580,40 @@ def _io_vars(params, body, cls):
     return names
 
 
+def _cond_key(cond):
+    """Stable identity of a flag-guard condition: the sorted k-constants it
+    mentions (`flags & kHasExt` == `m.flags & kHasExt`), else the condition
+    with whitespace squeezed out."""
+    consts = sorted(set(re.findall(r"\bk[A-Z]\w*", cond)))
+    return ",".join(consts) if consts else re.sub(r"\s+", "", cond)
+
+
 def _extract_seq(body, io_names, helpers):
-    """Nested op sequence of `body`. Loops become sub-lists."""
+    """Nested op sequence of `body`. Loops become sub-lists; flag-guarded
+    `if` (and `else`) bodies that perform ops become ("cond", key, ops)
+    groups, so `if (flags & kHasExt) w.u32(ext)` on the encode side is
+    symmetric with `if (flags & kHasExt) ext = r.u32()` on the decode side
+    — same guard key, same ops — regardless of how each side spells the
+    flags expression."""
     tokens = []
     io_alt = "|".join(sorted(io_names)) if io_names else r"(?!x)x"
     helper_alt = "|".join(sorted(helpers)) if helpers else r"(?!x)x"
     tok_re = re.compile(
         rf"\b(?P<io>{io_alt})\s*\.\s*(?P<op>u8|u16|u32|u64|lstr|str|raw|skip)\s*\("
         rf"|\b(?P<helper>{helper_alt})\s*\("
-        rf"|\b(?P<loop>for|while)\s*\(")
+        rf"|\b(?P<loop>for|while)\s*\("
+        rf"|\b(?P<cond>if)\s*\(")
+
+    def branch_extent(after_close):
+        j = after_close
+        while j < len(body) and body[j].isspace():
+            j += 1
+        if j < len(body) and body[j] == "{":
+            end = _skip_braces(body, j)
+            return body[j + 1:end - 1], end
+        end = body.find(";", j) + 1 or len(body)
+        return body[j:end], end
+
     i = 0
     while i < len(body):
         m = tok_re.search(body, i)
@@ -597,23 +625,39 @@ def _extract_seq(body, io_names, helpers):
         elif m.group("helper"):
             tokens.append(("call", m.group("helper")))
             i = m.end()
-        else:  # loop: wrap the body extent in a group
+        elif m.group("loop"):  # loop: wrap the body extent in a group
             close = _matching_paren(body, body.index("(", m.start()))
             if close < 0:
                 i = m.end()
                 continue
-            j = close + 1
-            while j < len(body) and body[j].isspace():
-                j += 1
-            if j < len(body) and body[j] == "{":
-                end = _skip_braces(body, j)
-                inner = body[j + 1:end - 1]
-            else:
-                end = body.find(";", j) + 1 or len(body)
-                inner = body[j:end]
+            inner, end = branch_extent(close + 1)
             group = _extract_seq(inner, io_names, helpers)
             if group:
                 tokens.append(group)
+            i = end
+        else:  # if: ops inside become a keyed conditional group
+            open_idx = body.index("(", m.start())
+            close = _matching_paren(body, open_idx)
+            if close < 0:
+                i = m.end()
+                continue
+            cond = body[open_idx + 1:close]
+            # Ops in the condition itself (`if (r.u8() != kTag) ...`)
+            # always execute: they stay flat, before any group.
+            tokens.extend(_extract_seq(cond, io_names, helpers))
+            inner, end = branch_extent(close + 1)
+            group = _extract_seq(inner, io_names, helpers)
+            key = _cond_key(cond)
+            if group:
+                tokens.append(("cond", key, group))
+            # An `else` branch with ops is its own group under the negated
+            # key (an `else if` re-enters the `if` handling naturally).
+            em = re.match(r"\s*else\b(?!\s*if\b)", body[end:])
+            if em:
+                e_inner, end = branch_extent(end + em.end())
+                e_group = _extract_seq(e_inner, io_names, helpers)
+                if e_group:
+                    tokens.append(("cond", "!" + key, e_group))
             i = end
     return tokens
 
@@ -624,6 +668,9 @@ def _splice(seq, seqs_by_name, active=()):
     for tok in seq:
         if isinstance(tok, list):
             out.append(_splice(tok, seqs_by_name, active))
+        elif isinstance(tok, tuple) and tok[0] == "cond":
+            out.append(("cond", tok[1],
+                        _splice(tok[2], seqs_by_name, active)))
         elif isinstance(tok, tuple):
             name = tok[1]
             if name in active:  # recursion guard
@@ -638,7 +685,12 @@ def _splice(seq, seqs_by_name, active=()):
 def _fmt_seq(seq):
     parts = []
     for tok in seq:
-        parts.append(f"[{_fmt_seq(tok)}]*" if isinstance(tok, list) else tok)
+        if isinstance(tok, list):
+            parts.append(f"[{_fmt_seq(tok)}]*")
+        elif isinstance(tok, tuple) and tok[0] == "cond":
+            parts.append(f"if<{tok[1]}>[{_fmt_seq(tok[2])}]")
+        else:
+            parts.append(tok)
     return " ".join(parts)
 
 
@@ -944,6 +996,636 @@ def pass_switch_exhaustiveness(sources, enums=None):
 
 
 # --------------------------------------------------------------------------
+# Pass 5: lock order.
+# --------------------------------------------------------------------------
+#
+# The tree's concurrency discipline is annotation-driven (common/mutex.hpp):
+# capability classes are declared with GMMCS_CAPABILITY, state carries
+# GMMCS_GUARDED_BY, functions carry GMMCS_REQUIRES, and scopes take
+# capabilities via MutexLock / .lock() / ExecContext::assert_held(). This
+# pass builds the inter-procedural lock-acquisition graph from those
+# annotations and rejects three bug classes clang's per-TU analysis cannot
+# see tree-wide:
+#
+#   lock-order    A *blocking* acquisition (MutexLock scope, `.lock()`,
+#                 a call into a GMMCS_ACQUIRE function) performed while
+#                 another capability is held creates a directed edge
+#                 held -> acquired, including transitively through calls
+#                 (a function's may-acquire set propagates to callers that
+#                 invoke it with something held; callback indirection is
+#                 recorded with `gmmcs-lint: lock-order-calls(F, G)`).
+#                 Any cycle in this graph is a potential deadlock; any
+#                 edge that runs against the canonical LOCK_ORDER below is
+#                 an inversion waiting for a second thread.
+#                 ExecContext::assert_held() is NOT an acquisition (it
+#                 blocks nothing), so mutual entry between two contexts on
+#                 one serial lane — the BrokerNetwork <-> BrokerNode
+#                 pattern — creates no edge and no false cycle.
+#
+#   guarded-by    Reading or writing a GMMCS_GUARDED_BY(cap) member in a
+#                 function that neither holds `cap` at that point (via
+#                 REQUIRES, an enclosing MutexLock/.lock(), or a prior
+#                 assert_held()) nor is the owning class's constructor/
+#                 destructor.
+#
+#   condvar-hold  `cv.wait(cap, ...)` in a scope that does not hold `cap`.
+#
+# Capabilities are matched by base name (`pool_mu_` in `loop.pool_mu_`):
+# loose, but instance names are unique in this tree and the looseness is
+# what lets REQUIRES(ctx_) in a header match `ctx_.assert_held()` in the
+# TU. Lambdas are separate analysis scopes (clang analyzes them that way
+# too): a lambda body holds only what its own head REQUIRES or its own
+# body asserts/locks, and its acquisitions do not leak into the enclosing
+# function's may-acquire set (they run when invoked, not here).
+
+# Canonical tree-wide lock order, outermost first (DESIGN.md §11). Every
+# capability *instance* found in src/ must appear here (completeness is
+# checked, like LAYERS), and every acquisition edge must run left to
+# right. EventLoop::pool_mu_ is the only blocking mutex in the tree and
+# must stay the leaf: nothing may be acquired while it is held.
+LOCK_ORDER = [
+    "BrokerNetwork::ctx_",
+    "BrokerNode::ctx_",
+    "ServiceCenter::ctx_",
+    "Network::ctx_",
+    "Host::ctx_",
+    "EventLoop::pool_mu_",
+]
+
+# Files that *define* the capability primitives; their members (e.g. the
+# pthread handle inside Mutex) are not capability instances to rank.
+LOCK_PRIMITIVE_FILES = {"src/common/mutex.hpp"}
+
+CAPABILITY_CLASS_RE = re.compile(r"\b(?:class|struct)\s+GMMCS_CAPABILITY\s*\(")
+CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:GMMCS_CAPABILITY\s*\([^)]*\)\s+)?"
+    r"(?!GMMCS_)(\w+)(?:\s+final)?[^;{}()=]*\{")
+LOCK_CALLS_RE = re.compile(
+    r"gmmcs-lint:\s*lock-order-calls\(\s*([\w:~]+)\s*,\s*([\w:~]+)\s*\)")
+
+
+def _scan_classes(text):
+    """Yields (class_name, body_start, body_end, is_capability) for every
+    class/struct definition (including nested) in `text`."""
+    out = []
+    for m in CLASS_HEAD_RE.finditer(text):
+        head = m.group(0)
+        if re.search(r"\benum\s+(?:class|struct)\b", text[max(0, m.start() - 8):m.end()]):
+            continue
+        open_idx = m.end() - 1
+        end = _skip_braces(text, open_idx)
+        out.append((m.group(1), open_idx + 1, end - 1,
+                    bool(CAPABILITY_CLASS_RE.search(head))))
+    return out
+
+
+FUNC_SIG_RE = re.compile(
+    r"(?P<name>(?:\w+::)*~?\w+)\s*\((?P<params>(?:[^()]|\([^()]*\))*)\)\s*"
+    r"(?P<annos>(?:const|noexcept|final|override|->\s*[\w:<>]+|"
+    r"GMMCS_\w+\s*\([^()]*\)|\s)*)$", re.S)
+
+FUNC_KEYWORDS = {"if", "for", "while", "switch", "return", "catch", "do",
+                 "sizeof", "decltype", "static_assert", "alignas", "new",
+                 "delete", "throw", "assert"}
+
+
+def _extract_functions_ctx(text, base_offset=0, cls=None):
+    """Yields (cls, name, annos_text, body, body_offset) for every function
+    definition in `text`, recursing into class bodies (unlike
+    _extract_functions, which skips them — inline methods matter here).
+
+    `annos_text` is everything between the closing param paren and the
+    opening brace: const, GMMCS_REQUIRES(...), ctor init lists."""
+    funcs = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c != "{":
+            i += 1
+            continue
+        seg_start = max(text.rfind(";", 0, i), text.rfind("}", 0, i),
+                        text.rfind("{", 0, i)) + 1
+        seg = text[seg_start:i]
+        if re.search(r"\bnamespace\b", seg):
+            i += 1
+            continue
+        cm = CLASS_HEAD_RE.search(seg + "{")
+        if cm and cm.end() == len(seg) + 1:
+            end = _skip_braces(text, i)
+            funcs.extend(_extract_functions_ctx(
+                text[i + 1:end - 1], base_offset + i + 1, cm.group(1)))
+            i = end
+            continue
+        if re.search(r"\b(?:struct|class|enum|union)\b[^()]*$", seg):
+            # Non-capability plain aggregate (or enum): no methods inside
+            # that we'd mis-parse; still recurse for nested structs with
+            # methods — handled by the CLASS_HEAD_RE branch above. Enums
+            # have no functions: skip.
+            if re.search(r"\benum\b", seg):
+                i = _skip_braces(text, i)
+                continue
+        # A function definition: `... name(params) [annos] {`
+        # Find the param list by scanning back from the brace.
+        m = FUNC_SIG_RE.search(seg)
+        if m and m.group("name") not in FUNC_KEYWORDS \
+                and not m.group("name").startswith("GMMCS_"):
+            # Ctor init lists look like `Name(...) : a_(x), b_(y) {` — the
+            # FUNC_SIG_RE above fails on the `:` tail, so retry on the text
+            # before the first top-level `:` that isn't `::`.
+            end = _skip_braces(text, i)
+            funcs.append((cls, m.group("name"), m.group("annos") or "",
+                          text[i + 1:end - 1], base_offset + i + 1))
+            i = end
+            continue
+        # Ctor with init list: split at the `:` and retry.
+        colon = _init_list_split(seg)
+        if colon >= 0:
+            m2 = FUNC_SIG_RE.search(seg[:colon])
+            if m2 and m2.group("name") not in FUNC_KEYWORDS:
+                end = _skip_braces(text, i)
+                funcs.append((cls, m2.group("name"),
+                              (m2.group("annos") or "") + seg[colon:],
+                              text[i + 1:end - 1], base_offset + i + 1))
+                i = end
+                continue
+        i += 1
+    return funcs
+
+
+def _init_list_split(seg):
+    """Index of a ctor init-list `:` in `seg` (not `::`, not inside parens),
+    scanning left to right after the last `)`. -1 if none."""
+    depth = 0
+    i = 0
+    n = len(seg)
+    while i < n:
+        c = seg[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+        elif c == ":" and depth == 0:
+            if i + 1 < n and seg[i + 1] == ":":
+                i += 2
+                continue
+            if i > 0 and seg[i - 1] == ":":
+                i += 1
+                continue
+            return i
+        i += 1
+    return -1
+
+
+def _enclosing_scope_end(body, pos):
+    """End offset (exclusive) of the innermost `{...}` scope containing
+    `pos` in `body` — the extent of a scoped MutexLock declared at `pos`."""
+    depth = 0
+    for i in range(pos, len(body)):
+        c = body[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            if depth == 0:
+                return i
+            depth -= 1
+    return len(body)
+
+
+LAMBDA_HEAD_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(?:\((?:[^()]|\([^()]*\))*\)\s*)?"
+    r"(?P<annos>(?:mutable|noexcept|constexpr|->\s*[\w:<>]+|"
+    r"GMMCS_\w+\s*\([^()]*\)|\s)*)\{")
+
+
+def _split_lambdas(body, base_offset):
+    """Carves lambda bodies out of `body`. Returns (outer, lambdas) where
+    `outer` is `body` with lambda bodies blanked (length-preserving) and
+    `lambdas` is a list of (annos_text, lambda_body, abs_offset)."""
+    lambdas = []
+    out = list(body)
+    pos = 0
+    while True:
+        m = LAMBDA_HEAD_RE.search("".join(out), pos)
+        if not m:
+            break
+        open_idx = m.end() - 1
+        end = _skip_braces(body, open_idx)
+        inner = body[open_idx + 1:end - 1]
+        sub_outer, sub_lams = _split_lambdas(inner, base_offset + open_idx + 1)
+        lambdas.append((m.group("annos") or "", sub_outer,
+                        base_offset + open_idx + 1))
+        lambdas.extend(sub_lams)
+        for i in range(open_idx + 1, end - 1):
+            if out[i] not in "\n":
+                out[i] = " "
+        pos = end
+    return "".join(out), lambdas
+
+
+def _base_cap(expr):
+    """Base name of a capability expression: `loop.pool_mu_` -> `pool_mu_`,
+    `this->ctx_` -> `ctx_`, `ctx_` -> `ctx_`, `*mu` -> `mu`."""
+    expr = expr.strip().lstrip("*&").strip()
+    expr = re.sub(r"\(\)$", "", expr)
+    for sep in ("->", "."):
+        if sep in expr:
+            expr = expr.rsplit(sep, 1)[1]
+    return expr.strip()
+
+
+REQUIRES_RE = re.compile(r"GMMCS_(?:REQUIRES|ASSERT_CAPABILITY)\s*\(([^()]*)\)")
+ACQUIRE_ANNO_RE = re.compile(r"GMMCS_ACQUIRE\s*\(([^()]*)\)")
+GUARDED_RE = re.compile(
+    r"^[^=/{}()]*[\s&*>](?P<member>\w+)\s*GMMCS_GUARDED_BY\s*\("
+    r"(?P<cap>[^()]*)\)", re.M)
+MUTEXLOCK_RE = re.compile(r"\bMutexLock\s+\w+\s*[({]\s*([^(){}]+?)\s*[)}]\s*;")
+LOCK_CALL_RE = re.compile(r"\b([\w.\->]+?)\s*\.\s*lock\s*\(\s*\)")
+ASSERT_HELD_RE = re.compile(r"\b([\w.\->]+?)\s*\.\s*assert_held\s*\(\s*\)")
+CV_WAIT_RE = re.compile(r"\b[\w.\->]*?(\w+)\s*\.\s*wait\s*\(\s*([^,()]+)")
+DECL_ANNO_RE = re.compile(
+    r"(~?\w+)\s*\(((?:[^();]|\([^()]*\))*)\)\s*(?:const\s*)?"
+    r"((?:GMMCS_\w+\s*\([^()]*\)\s*)+);", re.S)
+
+
+class _LockModel:
+    """Tree-wide model: capability classes, instances, guards, functions."""
+
+    def __init__(self):
+        self.cap_classes = set()       # class names declared GMMCS_CAPABILITY
+        self.instances = {}            # (owner_cls, cap base) -> (rel, lineno)
+        self.guards = {}               # member name -> {owner_cls: cap base}
+        self.decl_requires = {}        # "Cls::fn" / "fn" -> set of cap bases
+        self.decl_acquires = {}        # same, from GMMCS_ACQUIRE on decls
+        self.extra_calls = {}          # fn key -> set of fn keys (lock-order-calls)
+        self.functions = []            # (src, cls, name, annos, body, offset)
+
+
+def _collect_model(sources, primitive_files):
+    model = _LockModel()
+    # Round 1: capability classes (they can be declared anywhere).
+    for src in sources:
+        for name, b0, b1, is_cap in _scan_classes(src.text):
+            if is_cap:
+                model.cap_classes.add(name)
+    cap_alt = "|".join(sorted(model.cap_classes)) or r"(?!x)x"
+    inst_re = re.compile(
+        rf"^\s*(?:mutable\s+)?(?:gmmcs::)?(?:common::)?(?:{cap_alt})\s+"
+        rf"(\w+)\s*(?:=[^;]*|\{{[^;]*\}})?\s*;", re.M)
+    for src in sources:
+        # lock-order-calls annotations live in raw comments.
+        for line in src.raw:
+            m = LOCK_CALLS_RE.search(line)
+            if m:
+                model.extra_calls.setdefault(m.group(1), set()).add(m.group(2))
+        for cls, b0, b1, is_cap in _scan_classes(src.text):
+            body = src.text[b0:b1]
+            # Capability instances: cap-typed members of non-primitive files.
+            if src.rel not in primitive_files:
+                for im in inst_re.finditer(body):
+                    model.instances[(cls, im.group(1))] = (
+                        src.rel, src.line_of(b0 + im.start(1)))
+            # Guarded members.
+            for gm in GUARDED_RE.finditer(body):
+                model.guards.setdefault(gm.group("member"), {})[cls] = \
+                    _base_cap(gm.group("cap"))
+            # Declaration-only REQUIRES/ACQUIRE (prototypes ending in `;`).
+            for dm in DECL_ANNO_RE.finditer(body):
+                fname, annos = dm.group(1), dm.group(3)
+                key = f"{cls}::{fname}"
+                reqs = {_base_cap(a) for a in REQUIRES_RE.findall(annos)}
+                acqs = {_base_cap(a) for a in ACQUIRE_ANNO_RE.findall(annos)}
+                if reqs:
+                    model.decl_requires.setdefault(key, set()).update(reqs)
+                if acqs:
+                    model.decl_acquires.setdefault(key, set()).update(acqs)
+        for cls, name, annos, body, off in _extract_functions_ctx(src.text):
+            model.functions.append((src, cls, name, annos, body, off))
+    return model
+
+
+def _fn_keys(cls, name):
+    keys = [name]
+    if "::" in name:
+        keys.append(name.rsplit("::", 1)[1])
+        return [name, name.rsplit("::", 1)[1]]
+    if cls:
+        keys.insert(0, f"{cls}::{name}")
+    return keys
+
+
+def _scope_events(body):
+    """Acquisition/hold events in a (lambda-blanked) function body.
+
+    Returns (holds, acquires, waits, accesses):
+      holds    — list of (cap, start, end) intervals where cap is held
+                 (MutexLock scope, .lock() to end, assert_held to end)
+      acquires — list of (cap, pos, blocking) acquisition events
+      waits    — list of (cv_cap_expr, pos) from CondVar .wait(cap, ...)
+    """
+    holds = []
+    acquires = []
+    waits = []
+    for m in MUTEXLOCK_RE.finditer(body):
+        cap = _base_cap(m.group(1))
+        end = _enclosing_scope_end(body, m.start())
+        holds.append((cap, m.end(), end))
+        acquires.append((cap, m.start(), True))
+    for m in LOCK_CALL_RE.finditer(body):
+        cap = _base_cap(m.group(1))
+        holds.append((cap, m.end(), len(body)))
+        acquires.append((cap, m.start(), True))
+    for m in ASSERT_HELD_RE.finditer(body):
+        cap = _base_cap(m.group(1))
+        holds.append((cap, m.end(), len(body)))
+        # assert_held is NOT an acquisition: it blocks nothing.
+    for m in CV_WAIT_RE.finditer(body):
+        waits.append((_base_cap(m.group(2)), m.start()))
+    return holds, acquires, waits
+
+
+def pass_lock_order(sources, lock_order=None, primitive_files=None):
+    lock_order = lock_order if lock_order is not None else LOCK_ORDER
+    primitive_files = (primitive_files if primitive_files is not None
+                       else LOCK_PRIMITIVE_FILES)
+    findings = []
+    model = _collect_model(sources, primitive_files)
+
+    rank = {}
+    base_counts = {}
+    for qual in lock_order:
+        base_counts[qual.rsplit("::", 1)[-1]] = \
+            base_counts.get(qual.rsplit("::", 1)[-1], 0) + 1
+    for i, qual in enumerate(lock_order):
+        rank[qual] = i
+        base = qual.rsplit("::", 1)[-1]
+        if base_counts[base] == 1:  # unique base name: allow bare lookup
+            rank.setdefault(base, i)
+
+    # cap base -> owning classes; used to qualify a bare name when the
+    # scope's own class doesn't define it (unique owner) or to leave it
+    # bare (ambiguous — rank lookup then falls back to the base name).
+    owners_of = {}
+    for (owner, cap) in model.instances:
+        owners_of.setdefault(cap, set()).add(owner)
+
+    def qualify(cap, cls):
+        if cls is not None and (cls, cap) in model.instances:
+            return f"{cls}::{cap}"
+        owners = owners_of.get(cap, ())
+        if len(owners) == 1:
+            return f"{next(iter(owners))}::{cap}"
+        return cap
+
+    # Config completeness: every discovered instance must be ranked; every
+    # LOCK_ORDER entry must exist.
+    for (owner, cap), (rel, lineno) in sorted(model.instances.items()):
+        qual = f"{owner}::{cap}"
+        if qual not in rank:
+            findings.append((rel, lineno, "lock-order",
+                             f"capability instance '{qual}' is not in "
+                             f"LOCK_ORDER (add it to gmmcs_lint.py at its "
+                             f"place in the canonical order)"))
+    # (Skipped when the tree declares no GMMCS_CAPABILITY classes at all —
+    # then the annotation system isn't in use and the list is aspirational.)
+    if model.cap_classes:
+        known_quals = {f"{o}::{c}" for (o, c) in model.instances}
+        for qual in lock_order:
+            if qual not in known_quals:
+                findings.append(("tools/lint/gmmcs_lint.py", 1, "lock-order",
+                                 f"LOCK_ORDER entry '{qual}' matches no "
+                                 f"capability instance in the tree (stale?)"))
+
+    # ---- Per-function scope analysis. ----
+    # Scopes: every function body (lambdas blanked) plus every lambda as
+    # its own scope. Each scope gets (src, keys, held-intervals, acquires,
+    # waits, body, base_offset, cls, is_ctor).
+    scopes = []
+    for src, cls, name, annos, body, off in model.functions:
+        outer, lambdas = _split_lambdas(body, off)
+        keys = _fn_keys(cls, name)
+        if cls is None and "::" in name:
+            # Out-of-line member definition: recover the owning class so
+            # guarded-member and capability lookups work in the body (and
+            # in its lambdas, which inherit this class).
+            cls = name.rsplit("::", 1)[0].rsplit("::", 1)[-1]
+        reqs = {_base_cap(a) for a in REQUIRES_RE.findall(annos)}
+        for k in keys:
+            reqs |= model.decl_requires.get(k, set())
+        acq_anno = set()
+        for k in keys:
+            acq_anno |= model.decl_acquires.get(k, set())
+        is_ctor = cls is not None and (name == cls or name == f"~{cls}"
+                                       or name.lstrip("~") == cls)
+        if "::" in name:
+            tail = name.rsplit("::", 1)
+            if tail[1].lstrip("~") == tail[0].rsplit("::", 1)[-1]:
+                is_ctor = True
+        scopes.append(dict(src=src, keys=keys, reqs=reqs, acq_anno=acq_anno,
+                           body=outer, off=off, cls=cls, name=name,
+                           is_ctor=is_ctor, annos=annos))
+        for lam_annos, lam_body, lam_off in lambdas:
+            lreqs = {_base_cap(a) for a in REQUIRES_RE.findall(lam_annos)}
+            scopes.append(dict(src=src, keys=[], reqs=lreqs, acq_anno=set(),
+                               body=lam_body, off=lam_off, cls=cls,
+                               name=f"{name}::<lambda>", is_ctor=False,
+                               annos=lam_annos))
+
+    # may_acquire fixpoint: which capabilities can a call into fn key end
+    # up blocking-acquiring (directly or transitively)?
+    may_acquire = {}
+    direct_calls = {}  # primary key -> called identifiers
+    call_re = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+    for sc in scopes:
+        holds, acquires, waits = _scope_events(sc["body"])
+        sc["holds"] = holds
+        sc["acquires"] = acquires
+        sc["waits"] = waits
+        if not sc["keys"]:
+            continue  # lambdas don't propagate to callers
+        primary = sc["keys"][0]
+        acq = {qualify(cap, sc["cls"])
+               for cap, _p, blocking in acquires if blocking}
+        acq |= {qualify(cap, sc["cls"]) for cap in sc["acq_anno"]}
+        may_acquire.setdefault(primary, set()).update(acq)
+        called = set(call_re.findall(sc["body"])) - FUNC_KEYWORDS
+        for k in sc["keys"]:
+            called |= model.extra_calls.get(k, set())
+        direct_calls[primary] = called
+    # Alias map: short name -> primary keys it may refer to.
+    alias = {}
+    for sc in scopes:
+        for k in sc["keys"]:
+            alias.setdefault(k, set()).add(sc["keys"][0])
+            alias.setdefault(k.rsplit("::", 1)[-1], set()).add(sc["keys"][0])
+    changed = True
+    while changed:
+        changed = False
+        for fn, called in direct_calls.items():
+            for callee in called:
+                for target in alias.get(callee, ()):
+                    extra = may_acquire.get(target, set()) - may_acquire[fn]
+                    if extra:
+                        may_acquire[fn] |= extra
+                        changed = True
+
+    # ---- Edge construction + rank/cycle checks. ----
+    edges = {}  # (held_qual, acquired_qual) -> (rel, lineno)
+
+    def add_edge(held, acquired, src, pos, cls):
+        held_q, acq_q = qualify(held, cls), qualify(acquired, cls)
+        if held_q == acq_q:
+            return
+        edges.setdefault((held_q, acq_q), (src.rel, src.line_of(pos)))
+
+    for sc in scopes:
+        src = sc["src"]
+        base = sc["off"]
+        # Intervals where each cap is held: REQUIRES covers whole body.
+        held_iv = [(cap, 0, len(sc["body"])) for cap in sc["reqs"]]
+        held_iv += sc["holds"]
+
+        def held_at(pos, held_iv=held_iv):
+            return {cap for cap, s, e in held_iv if s <= pos < e}
+
+        # Direct blocking acquisitions while something is held.
+        for cap, pos, blocking in sc["acquires"]:
+            if not blocking:
+                continue
+            for h in held_at(pos):
+                add_edge(h, cap, src, base + pos, sc["cls"])
+        # Transitive: calls into functions that may blocking-acquire.
+        for m in call_re.finditer(sc["body"]):
+            callee = m.group(1)
+            if callee in FUNC_KEYWORDS:
+                continue
+            targets = alias.get(callee, ())
+            acq = set()
+            for t in targets:
+                acq |= may_acquire.get(t, set())
+            if not acq:
+                continue
+            held_here = held_at(m.start())
+            for h in held_here:
+                for a in acq:
+                    add_edge(h, a, src, base + m.start(), sc["cls"])
+        # GMMCS_ACQUIRE-annotated functions: body acquires its annotation
+        # even without a visible MutexLock (wrapper functions).
+        for cap in sc["acq_anno"]:
+            for h in sc["reqs"]:
+                add_edge(h, cap, src, base, sc["cls"])
+
+    # Rank violations.
+    for (held, acquired), (rel, lineno) in sorted(edges.items()):
+        src = next((s for s in sources if s.rel == rel), None)
+        if src is not None and src.suppressed(lineno, "lock-order"):
+            continue
+        rh = rank.get(held, rank.get(_base_cap(held.rsplit("::", 1)[-1])))
+        ra = rank.get(acquired, rank.get(_base_cap(acquired.rsplit("::", 1)[-1])))
+        if rh is None or ra is None:
+            continue  # unknown instance already reported above
+        if rh >= ra:
+            findings.append((rel, lineno, "lock-order",
+                             f"acquisition of '{acquired}' while holding "
+                             f"'{held}' runs against the canonical lock "
+                             f"order ({' -> '.join(lock_order)})"))
+    # Cycles (catches deadlocks even among unranked/parametric caps).
+    graph = {}
+    for (a, b) in edges:
+        graph.setdefault(a, set()).add(b)
+    state, stack = {}, []
+
+    def dfs(node):
+        state[node] = 0
+        stack.append(node)
+        for nxt in sorted(graph.get(node, ())):
+            if state.get(nxt) == 0:
+                cycle = stack[stack.index(nxt):] + [nxt]
+                rel, lineno = edges[(node, nxt)]
+                src = next((s for s in sources if s.rel == rel), None)
+                if not (src and src.suppressed(lineno, "lock-order")):
+                    findings.append((rel, lineno, "lock-order",
+                                     "lock acquisition cycle (potential "
+                                     "deadlock): " + " -> ".join(cycle)))
+            elif nxt not in state:
+                dfs(nxt)
+        stack.pop()
+        state[node] = 1
+
+    for node in sorted(graph):
+        if node not in state:
+            dfs(node)
+
+    # ---- guarded-by: member access without the guard held. ----
+    guard_names = set(model.guards)
+    if guard_names:
+        bare_re = re.compile(
+            r"(?<![\w.>])(" + "|".join(sorted(guard_names)) + r")\b(?!\s*\()")
+        pref_re = re.compile(
+            r"(?:\.|->)\s*(" + "|".join(sorted(guard_names)) + r")\b(?!\s*\()")
+        for sc in scopes:
+            src = sc["src"]
+            base = sc["off"]
+            if sc["is_ctor"]:
+                continue
+            held_iv = [(cap, 0, len(sc["body"])) for cap in sc["reqs"]]
+            held_iv += sc["holds"]
+
+            def held_at(pos, held_iv=held_iv):
+                return {cap for cap, s, e in held_iv if s <= pos < e}
+
+            own_cls = sc["cls"]
+            hits = []
+            if own_cls is not None:
+                for m in bare_re.finditer(sc["body"]):
+                    member = m.group(1)
+                    cap = model.guards[member].get(own_cls)
+                    if cap is None:
+                        continue  # same-named member of another class
+                    hits.append((member, cap, m.start()))
+            for m in pref_re.finditer(sc["body"]):
+                member = m.group(1)
+                caps = set(model.guards[member].values())
+                if len(caps) != 1:
+                    continue  # guard ambiguous across owners: skip
+                hits.append((member, next(iter(caps)), m.start(1)))
+            for member, cap, pos in hits:
+                if cap in held_at(pos):
+                    continue
+                lineno = src.line_of(base + pos)
+                if src.suppressed(lineno, "guarded-by"):
+                    continue
+                findings.append(
+                    (src.rel, lineno, "guarded-by",
+                     f"access to '{member}' (GMMCS_GUARDED_BY({cap})) in "
+                     f"{sc['name']} which neither holds '{cap}' here nor "
+                     f"declares GMMCS_REQUIRES({cap})"))
+
+    # ---- condvar-hold. ----
+    for sc in scopes:
+        src = sc["src"]
+        base = sc["off"]
+        held_iv = [(cap, 0, len(sc["body"])) for cap in sc["reqs"]]
+        held_iv += sc["holds"]
+        for cap, pos in sc["waits"]:
+            if cap in {"", "0"} or not re.match(r"^\w+$", cap):
+                continue
+            if cap not in owners_of and cap not in rank:
+                continue  # .wait() on something that isn't a capability
+            if any(s <= pos < e for c, s, e in held_iv if c == cap):
+                continue
+            lineno = src.line_of(base + pos)
+            if src.suppressed(lineno, "condvar-hold"):
+                continue
+            findings.append(
+                (src.rel, lineno, "condvar-hold",
+                 f"condition-variable wait on '{cap}' in {sc['name']} "
+                 f"without holding '{cap}'"))
+
+    # De-duplicate (same site can be hit via multiple scopes).
+    return sorted(set(findings))
+
+
+# --------------------------------------------------------------------------
 # Driver.
 # --------------------------------------------------------------------------
 
@@ -952,7 +1634,31 @@ PASSES = {
     "result": lambda srcs: pass_result(srcs),
     "codec": lambda srcs: pass_codec_symmetry(srcs),
     "switch": lambda srcs: pass_switch_exhaustiveness(srcs),
+    "lock-order": lambda srcs: pass_lock_order(srcs),
 }
+
+
+def apply_fixes(root, findings):
+    """Applies the mechanical fixes (today: inserting [[nodiscard]] on
+    Result<T> declarations flagged by the result pass). Returns the number
+    of edits made. Idempotent by construction: a fixed declaration no
+    longer produces the finding that drives the edit."""
+    by_file = {}
+    for rel, lineno, rule, _msg in findings:
+        if rule == "nodiscard":
+            by_file.setdefault(rel, set()).add(lineno)
+    edits = 0
+    for rel, linenos in sorted(by_file.items()):
+        path = root / rel
+        raw = path.read_text().splitlines(keepends=True)
+        for lineno in sorted(linenos):
+            line = raw[lineno - 1]
+            stripped = line.lstrip()
+            indent = line[:len(line) - len(stripped)]
+            raw[lineno - 1] = indent + "[[nodiscard]] " + stripped
+            edits += 1
+        path.write_text("".join(raw))
+    return edits
 
 
 def run(root, compile_commands=None, passes=None):
@@ -975,6 +1681,9 @@ def main():
                     help="repository root (default: cwd)")
     ap.add_argument("--passes", default=None,
                     help="comma-separated subset of: " + ",".join(PASSES))
+    ap.add_argument("--fix", action="store_true",
+                    help="auto-insert missing [[nodiscard]] on Result<T> "
+                         "declarations, then re-lint")
     args = ap.parse_args()
 
     root = args.root.resolve()
@@ -991,6 +1700,12 @@ def main():
             return 2
 
     findings, nfiles = run(root, args.compile_commands, passes)
+    if args.fix:
+        fixed = apply_fixes(root, findings)
+        if fixed:
+            print(f"gmmcs-lint: --fix inserted [[nodiscard]] on {fixed} "
+                  f"declaration(s)")
+            findings, nfiles = run(root, args.compile_commands, passes)
     for rel, lineno, rule, msg in findings:
         print(f"{rel}:{lineno}: [{rule}] {msg}")
     if findings:

@@ -248,6 +248,59 @@ class TestCodecSymmetry(LintCase):
             "  return m;\n}\n")
         self.assertEqual(self.rules(findings), ["codec-symmetry"])
 
+    def test_matching_flag_guarded_fields_are_clean(self):
+        # Conditionally encoded/decoded fields: same flag constant guards
+        # the same ops on both sides, even with different spellings of the
+        # flags expression.
+        self.assertEqual(self.check(
+            "Bytes Msg::encode() const {\n"
+            "  ByteWriter w;\n  w.u8(flags);\n"
+            "  if (flags & kHasExt) w.u32(ext);\n"
+            "  w.lstr(body);\n  return w.take();\n}\n"
+            "Result<Msg> Msg::decode(const Bytes& data) {\n"
+            "  ByteReader r(data);\n  Msg m;\n"
+            "  m.flags = r.u8();\n"
+            "  if (m.flags & kHasExt) m.ext = r.u32();\n"
+            "  m.body = r.lstr();\n  return m;\n}\n"), [])
+
+    def test_conditional_field_missing_on_decode_is_flagged(self):
+        findings = self.check(
+            "Bytes Msg::encode() const {\n"
+            "  ByteWriter w;\n  w.u8(flags);\n"
+            "  if (flags & kHasExt) w.u32(ext);\n"
+            "  return w.take();\n}\n"
+            "Result<Msg> Msg::decode(const Bytes& data) {\n"
+            "  ByteReader r(data);\n  Msg m;\n"
+            "  m.flags = r.u8();\n  return m;\n}\n")
+        self.assertEqual(self.rules(findings), ["codec-symmetry"])
+        self.assertIn("kHasExt", findings[0][3])
+
+    def test_different_guard_flags_are_flagged(self):
+        # Both sides conditionally handle a u32, but under different flag
+        # bits: the wire disagrees whenever the two bits differ.
+        findings = self.check(
+            "Bytes Msg::encode() const {\n"
+            "  ByteWriter w;\n  w.u8(flags);\n"
+            "  if (flags & kHasExt) w.u32(ext);\n"
+            "  return w.take();\n}\n"
+            "Result<Msg> Msg::decode(const Bytes& data) {\n"
+            "  ByteReader r(data);\n  Msg m;\n"
+            "  m.flags = r.u8();\n"
+            "  if (m.flags & kHasAux) m.ext = r.u32();\n  return m;\n}\n")
+        self.assertEqual(self.rules(findings), ["codec-symmetry"])
+
+    def test_tag_check_in_if_condition_stays_flat(self):
+        # An op inside the `if` condition itself always executes: it must
+        # not be grouped away (`if (r.u8() != kTag) return ...`).
+        self.assertEqual(self.check(
+            "Bytes Msg::encode() const {\n"
+            "  ByteWriter w;\n  w.u8(kTag);\n  w.u32(seq);\n"
+            "  return w.take();\n}\n"
+            "Result<Msg> Msg::decode(const Bytes& data) {\n"
+            "  ByteReader r(data);\n  Msg m;\n"
+            "  if (r.u8() != kTag) return Error::kBadTag;\n"
+            "  m.seq = r.u32();\n  return m;\n}\n"), [])
+
     def test_helper_splicing_matches_inline_ops(self):
         # encode uses a write_hdr helper; decode reads the same ops inline.
         self.assertEqual(self.check(
@@ -377,6 +430,38 @@ class TestSwitchExhaustiveness(LintCase):
                         "  kA = 1,\n  kB,\n  kC,\n};\n")
         enums = gmmcs_lint.collect_enums(self.tree.sources())
         self.assertEqual(enums, {"MessageType": ["kA", "kB", "kC"]})
+
+
+# ---------------------------------------------------------------------------
+# --fix: auto-inserting [[nodiscard]].
+# ---------------------------------------------------------------------------
+
+class TestFix(LintCase):
+    def test_fix_inserts_nodiscard_and_relints_clean(self):
+        self.tree.write("src/common/api.hpp",
+                        "Result<int> load(int x);\n"
+                        "  Result<Frame> parse_frame(const Bytes& b);\n"
+                        "[[nodiscard]] Result<int> fine(int x);\n")
+        findings, _ = gmmcs_lint.run(self.tree.root)
+        self.assertEqual(self.rules(findings), ["nodiscard", "nodiscard"])
+        edits = gmmcs_lint.apply_fixes(self.tree.root, findings)
+        self.assertEqual(edits, 2)
+        text = (self.tree.root / "src/common/api.hpp").read_text()
+        self.assertIn("[[nodiscard]] Result<int> load", text)
+        # Indentation is preserved; the attribute lands before the type.
+        self.assertIn("  [[nodiscard]] Result<Frame> parse_frame", text)
+        findings, _ = gmmcs_lint.run(self.tree.root)
+        self.assertEqual(findings, [])
+
+    def test_fix_is_idempotent(self):
+        self.tree.write("src/common/api.hpp", "Result<int> load(int x);\n")
+        findings, _ = gmmcs_lint.run(self.tree.root)
+        self.assertEqual(gmmcs_lint.apply_fixes(self.tree.root, findings), 1)
+        before = (self.tree.root / "src/common/api.hpp").read_text()
+        findings, _ = gmmcs_lint.run(self.tree.root)
+        self.assertEqual(gmmcs_lint.apply_fixes(self.tree.root, findings), 0)
+        self.assertEqual((self.tree.root / "src/common/api.hpp").read_text(),
+                         before)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,403 @@
+#!/usr/bin/env python3
+"""Unit tests for the gmmcs-lint lock-order pass.
+
+The in-tree acquisition graph is trivially acyclic (EventLoop::pool_mu_ is
+the only blocking mutex and is always taken with nothing held), so these
+fixtures are the proof that the analyzer actually detects the bug classes
+it claims to: acquisition cycles across TUs, rank inversions against
+LOCK_ORDER, guarded-member access without the capability, condvar waits
+without the lock, and the annotation plumbing (REQUIRES on declarations,
+assert_held coverage, lambdas as separate scopes, lock-order-calls
+indirection, suppressions).
+
+Run directly (`python3 tools/lint/tests/test_lock_order.py`) or via the
+`gmmcs_lint_lock_order_selftest` ctest.
+"""
+
+import sys
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import gmmcs_lint  # noqa: E402
+from test_gmmcs_lint import LintCase  # noqa: E402
+
+# A minimal stand-in for src/common/mutex.hpp (its path is in
+# LOCK_PRIMITIVE_FILES, so its own members are not capability instances).
+PRIMITIVES = """
+#pragma once
+class GMMCS_CAPABILITY("mutex") Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+class GMMCS_CAPABILITY("context") ExecContext {
+ public:
+  void assert_held() const {}
+};
+class CondVar {
+ public:
+  void wait(Mutex& mu, int pred);
+};
+"""
+
+TWO_MUTEX_HEADER = """
+#include "common/mutex.hpp"
+class Alpha {
+ public:
+  void take_both();
+  Mutex mu_a_;
+};
+class Beta {
+ public:
+  void take_both();
+  void lock_only();
+  Mutex mu_b_;
+};
+"""
+
+ORDER_AB = ["Alpha::mu_a_", "Beta::mu_b_"]
+
+
+class LockOrderCase(LintCase):
+    def lint(self, lock_order):
+        return gmmcs_lint.pass_lock_order(self.tree.sources(),
+                                          lock_order=lock_order)
+
+    def write_primitives(self):
+        self.tree.write("src/common/mutex.hpp", PRIMITIVES)
+
+
+class TestAcquisitionGraph(LockOrderCase):
+    def test_two_tu_cycle_is_flagged(self):
+        """A->B in one TU and B->A in another is a deadlock: both orders
+        must be visible only tree-wide, which is the point of the pass."""
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/alpha.cpp", """
+#include "sim/pair.hpp"
+void Beta::lock_only() { MutexLock l(mu_b_); }
+void Alpha::take_both() {
+  MutexLock hold(mu_a_);
+  lock_only();
+}
+""")
+        self.tree.write("src/sim/beta.cpp", """
+#include "sim/pair.hpp"
+void alpha_side(Alpha& a) { MutexLock l(a.mu_a_); }
+void Beta::take_both() {
+  MutexLock hold(mu_b_);
+  alpha_side(other_);
+}
+""")
+        findings = self.lint(ORDER_AB)
+        cycle = [f for f in findings if "cycle" in f[3]]
+        self.assertTrue(cycle, findings)
+        self.assertIn("Alpha::mu_a_", cycle[0][3])
+        self.assertIn("Beta::mu_b_", cycle[0][3])
+
+    def test_rank_inversion_is_flagged(self):
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/inv.cpp", """
+#include "sim/pair.hpp"
+void Beta::take_both() {
+  MutexLock hold(mu_b_);
+  MutexLock inner(other_a_.mu_a_);
+}
+""")
+        findings = self.lint(ORDER_AB)
+        self.assertIn("lock-order", self.rules(findings))
+        self.assertTrue(any("runs against the canonical lock order" in f[3]
+                            for f in findings), findings)
+
+    def test_in_order_acquisition_is_clean(self):
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/ok.cpp", """
+#include "sim/pair.hpp"
+void Alpha::take_both() {
+  MutexLock hold(mu_a_);
+  MutexLock inner(other_b_.mu_b_);
+}
+""")
+        self.assertEqual(self.lint(ORDER_AB), [])
+
+    def test_transitive_acquisition_through_helpers(self):
+        """Hold A, call f which calls g which locks B — the may-acquire
+        fixpoint must carry B back through two call hops."""
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/deep.cpp", """
+#include "sim/pair.hpp"
+void leaf(Beta& b) { MutexLock l(b.mu_b_); }
+void middle(Beta& b) { leaf(b); }
+void Alpha::take_both() {
+  MutexLock hold(mu_a_);
+  middle(other_);
+}
+""")
+        # B before A in the order: the transitive A->B edge is an inversion.
+        findings = self.lint(["Beta::mu_b_", "Alpha::mu_a_"])
+        self.assertTrue(any("runs against" in f[3] for f in findings),
+                        findings)
+
+    def test_scoped_lock_released_before_next_acquisition_is_clean(self):
+        """A MutexLock confined to an inner scope is not held afterwards."""
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/seq.cpp", """
+#include "sim/pair.hpp"
+void Beta::take_both() {
+  {
+    MutexLock hold(mu_b_);
+  }
+  MutexLock after(other_a_.mu_a_);
+}
+""")
+        self.assertEqual(self.lint(ORDER_AB), [])
+
+    def test_lock_order_calls_annotation_records_indirection(self):
+        """Callback indirection the call scan can't see is recorded with
+        `gmmcs-lint: lock-order-calls(F, G)`."""
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/cb.cpp", """
+#include "sim/pair.hpp"
+void Beta::lock_only() { MutexLock l(mu_b_); }
+// run_callbacks invokes the registered Beta::lock_only through a stored
+// callable. gmmcs-lint: lock-order-calls(run_callbacks, Beta::lock_only)
+void run_callbacks() { invoke_all(); }
+void Beta::take_both() {
+  MutexLock hold(mu_b_);
+  run_callbacks();
+}
+""")
+        # Self-edge through the annotation: B held while (indirectly)
+        # locking B again is reported as a cycle B -> B? No: identical
+        # capability edges are dropped. Prove the edge exists by holding A.
+        self.tree.write("src/sim/cb2.cpp", """
+#include "sim/pair.hpp"
+void Alpha::take_both() {
+  MutexLock hold(mu_a_);
+  run_callbacks();
+}
+""")
+        findings = self.lint(["Beta::mu_b_", "Alpha::mu_a_"])
+        self.assertTrue(any("runs against" in f[3]
+                            and "Alpha::mu_a_" in f[3] for f in findings),
+                        findings)
+
+    def test_suppression_with_reason_silences(self):
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/inv.cpp", """
+#include "sim/pair.hpp"
+void Beta::take_both() {
+  MutexLock hold(mu_b_);
+  // gmmcs-lint: allow(lock-order): startup-only path, single-threaded
+  MutexLock inner(other_a_.mu_a_);
+}
+""")
+        self.assertEqual(self.lint(ORDER_AB), [])
+
+
+class TestConfigCompleteness(LockOrderCase):
+    def test_unranked_instance_is_flagged(self):
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        findings = self.lint(["Alpha::mu_a_"])  # Beta::mu_b_ missing
+        self.assertTrue(any("not in LOCK_ORDER" in f[3]
+                            and "Beta::mu_b_" in f[3] for f in findings),
+                        findings)
+
+    def test_stale_order_entry_is_flagged(self):
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        findings = self.lint(ORDER_AB + ["Gone::mu_"])
+        self.assertTrue(any("matches no capability instance" in f[3]
+                            for f in findings), findings)
+
+
+GUARDED_HEADER = """
+#include "common/mutex.hpp"
+class Counter {
+ public:
+  Counter() { n_ = 0; }
+  void bump_unlocked();
+  void bump_locked();
+  void bump_required() GMMCS_REQUIRES(mu_);
+  Mutex mu_;
+  int n_ GMMCS_GUARDED_BY(mu_);
+};
+"""
+
+
+class TestGuardedBy(LockOrderCase):
+    def test_access_without_lock_is_flagged(self):
+        self.write_primitives()
+        self.tree.write("src/sim/counter.hpp", GUARDED_HEADER)
+        self.tree.write("src/sim/counter.cpp", """
+#include "sim/counter.hpp"
+void Counter::bump_unlocked() { ++n_; }
+""")
+        findings = self.lint(["Counter::mu_"])
+        self.assertIn("guarded-by", self.rules(findings))
+        self.assertIn("n_", findings[0][3])
+
+    def test_mutexlock_scope_satisfies_guard(self):
+        self.write_primitives()
+        self.tree.write("src/sim/counter.hpp", GUARDED_HEADER)
+        self.tree.write("src/sim/counter.cpp", """
+#include "sim/counter.hpp"
+void Counter::bump_locked() {
+  MutexLock hold(mu_);
+  ++n_;
+}
+""")
+        self.assertEqual(self.lint(["Counter::mu_"]), [])
+
+    def test_requires_on_declaration_satisfies_guard(self):
+        """REQUIRES lives on the header declaration; the out-of-line body
+        must inherit it."""
+        self.write_primitives()
+        self.tree.write("src/sim/counter.hpp", GUARDED_HEADER)
+        self.tree.write("src/sim/counter.cpp", """
+#include "sim/counter.hpp"
+void Counter::bump_required() { ++n_; }
+""")
+        self.assertEqual(self.lint(["Counter::mu_"]), [])
+
+    def test_constructor_is_exempt(self):
+        self.write_primitives()
+        self.tree.write("src/sim/counter.hpp", GUARDED_HEADER)
+        self.assertEqual(self.lint(["Counter::mu_"]), [])
+
+    def test_assert_held_covers_following_code_only(self):
+        self.write_primitives()
+        self.tree.write("src/sim/ctx.hpp", """
+#include "common/mutex.hpp"
+class Stage {
+ public:
+  void early();
+  void late();
+  ExecContext ctx_;
+  int n_ GMMCS_GUARDED_BY(ctx_);
+};
+""")
+        self.tree.write("src/sim/ctx.cpp", """
+#include "sim/ctx.hpp"
+void Stage::late() {
+  ctx_.assert_held();
+  ++n_;
+}
+void Stage::early() {
+  ++n_;
+  ctx_.assert_held();
+}
+""")
+        findings = self.lint(["Stage::ctx_"])
+        self.assertEqual(self.rules(findings), ["guarded-by"])
+        self.assertIn("Stage::early", findings[0][3])
+
+    def test_lambda_is_a_separate_scope(self):
+        """clang analyzes lambdas separately, so the linter must too: the
+        enclosing function's assert does not cover the lambda body."""
+        self.write_primitives()
+        self.tree.write("src/sim/ctx.hpp", """
+#include "common/mutex.hpp"
+class Stage {
+ public:
+  void run();
+  void run_annotated();
+  ExecContext ctx_;
+  int n_ GMMCS_GUARDED_BY(ctx_);
+};
+""")
+        self.tree.write("src/sim/ctx.cpp", """
+#include "sim/ctx.hpp"
+void Stage::run() {
+  ctx_.assert_held();
+  auto fn = [this] { ++n_; };
+  fn();
+}
+""")
+        findings = self.lint(["Stage::ctx_"])
+        self.assertEqual(self.rules(findings), ["guarded-by"])
+        self.assertIn("<lambda>", findings[0][3])
+
+    def test_lambda_with_own_assert_is_clean(self):
+        self.write_primitives()
+        self.tree.write("src/sim/ctx.hpp", """
+#include "common/mutex.hpp"
+class Stage {
+ public:
+  void run();
+  ExecContext ctx_;
+  int n_ GMMCS_GUARDED_BY(ctx_);
+};
+""")
+        self.tree.write("src/sim/ctx.cpp", """
+#include "sim/ctx.hpp"
+void Stage::run() {
+  ctx_.assert_held();
+  auto fn = [this] {
+    ctx_.assert_held();
+    ++n_;
+  };
+  fn();
+}
+""")
+        self.assertEqual(self.lint(["Stage::ctx_"]), [])
+
+
+class TestCondvarHold(LockOrderCase):
+    def test_wait_without_capability_is_flagged(self):
+        self.write_primitives()
+        self.tree.write("src/sim/cv.hpp", """
+#include "common/mutex.hpp"
+class Queue {
+ public:
+  void pop();
+  Mutex mu_;
+  CondVar cv_;
+};
+""")
+        self.tree.write("src/sim/cv.cpp", """
+#include "sim/cv.hpp"
+void Queue::pop() {
+  cv_.wait(mu_, 1);
+}
+""")
+        findings = self.lint(["Queue::mu_"])
+        self.assertEqual(self.rules(findings), ["condvar-hold"])
+        self.assertIn("mu_", findings[0][3])
+
+    def test_wait_with_lock_held_is_clean(self):
+        self.write_primitives()
+        self.tree.write("src/sim/cv.hpp", """
+#include "common/mutex.hpp"
+class Queue {
+ public:
+  void pop();
+  Mutex mu_;
+  CondVar cv_;
+};
+""")
+        self.tree.write("src/sim/cv.cpp", """
+#include "sim/cv.hpp"
+void Queue::pop() {
+  MutexLock hold(mu_);
+  cv_.wait(mu_, 1);
+}
+""")
+        self.assertEqual(self.lint(["Queue::mu_"]), [])
+
+
+if __name__ == "__main__":
+    unittest.main()
