@@ -4,13 +4,24 @@
 //
 // Sweeps receiver counts for a single broker carrying one 64 Kbps G.711
 // audio stream or one 600 Kbps video stream and reports delay/loss with
-// the paper's quality criterion (avg delay < 100 ms, loss < 2%).
+// the paper's quality criterion (avg delay < 150 ms, loss < 2%).
 // Alongside the table it writes BENCH_broker_capacity.json so the bench
 // trajectory is machine-readable.
 //
-// --workers N runs the simulation on N EventLoop workers (default 1).
-// Simulated metrics — table values and the JSON file — are byte-identical
-// for any N (DESIGN.md §9); only the wall column may change.
+// Both broker control planes run by default so before/after knees land in
+// one file (DESIGN.md §12): "locked" is the classic serial dispatch path,
+// "snapshot" is the epoch-snapshot plane (lock-free readers, batched
+// fan-out, 8 simulated dispatch threads). The snapshot video sweep
+// extends past 600 clients because that is where its knee lives.
+//
+//   --snapshot on|off   restrict to one control plane (default: both)
+//   --workers N         run the simulation on N EventLoop workers
+//                       (default 1); simulated metrics — table values and
+//                       the JSON file — are byte-identical for any N
+//                       (DESIGN.md §9), only the wall column may change
+//   --quick             one small point per sweep, no JSON write; used by
+//                       the TSan CI job to race-test broker fan-out under
+//                       --workers 8 without paying for the full sweep
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +35,7 @@ namespace {
 
 struct JsonPoint {
   std::string sweep;
+  std::string plane;
   gmmcs::core::CapacityPoint p;
 };
 
@@ -35,9 +47,11 @@ double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
 }
 
 void sweep(gmmcs::core::MediaKind kind, const char* title, const char* key,
+           const char* plane_name, const gmmcs::broker::DispatchConfig& dispatch,
            const std::vector<int>& counts, int paper_claim) {
   using namespace gmmcs::core;
-  std::printf("\n=== %s (paper claim: good quality beyond %d clients) ===\n", title, paper_claim);
+  std::printf("\n=== %s [%s control plane] (paper claim: good quality beyond %d clients) ===\n",
+              title, plane_name, paper_claim);
   std::printf("%10s %14s %16s %10s %12s %10s %10s\n", "clients", "avg delay", "per-client max",
               "loss", "offered", "quality", "wall");
   int last_good = 0;
@@ -45,6 +59,7 @@ void sweep(gmmcs::core::MediaKind kind, const char* title, const char* key,
     CapacityConfig cfg;
     cfg.kind = kind;
     cfg.clients = n;
+    cfg.dispatch = dispatch;
     cfg.workers = g_workers;
     auto t0 = std::chrono::steady_clock::now();
     CapacityPoint p = run_capacity(cfg);
@@ -53,7 +68,7 @@ void sweep(gmmcs::core::MediaKind kind, const char* title, const char* key,
                 p.avg_delay_ms, p.p99_delay_ms, p.loss_ratio * 100.0, p.offered_mbps,
                 p.good_quality ? "good" : "DEGRADED", wall_s);
     if (p.good_quality) last_good = n;
-    g_points.push_back({key, p});
+    g_points.push_back({key, plane_name, p});
   }
   std::printf("  -> largest good-quality client count in sweep: %d (paper: >%d)\n", last_good,
               paper_claim);
@@ -64,13 +79,13 @@ void write_json() {
   if (json == nullptr) return;
   std::fprintf(json, "{\n  \"bench\": \"broker_capacity\",\n  \"points\": [\n");
   for (std::size_t i = 0; i < g_points.size(); ++i) {
-    const auto& [sweep_key, p] = g_points[i];
+    const auto& [sweep_key, plane, p] = g_points[i];
     std::fprintf(json,
-                 "    {\"sweep\": \"%s\", \"clients\": %d, \"avg_delay_ms\": %.3f, "
-                 "\"p99_delay_ms\": %.3f, \"loss_ratio\": %.5f, \"offered_mbps\": %.2f, "
-                 "\"good_quality\": %s}%s\n",
-                 sweep_key.c_str(), p.clients, p.avg_delay_ms, p.p99_delay_ms, p.loss_ratio,
-                 p.offered_mbps, p.good_quality ? "true" : "false",
+                 "    {\"sweep\": \"%s\", \"control_plane\": \"%s\", \"clients\": %d, "
+                 "\"avg_delay_ms\": %.3f, \"p99_delay_ms\": %.3f, \"loss_ratio\": %.5f, "
+                 "\"offered_mbps\": %.2f, \"good_quality\": %s}%s\n",
+                 sweep_key.c_str(), plane.c_str(), p.clients, p.avg_delay_ms, p.p99_delay_ms,
+                 p.loss_ratio, p.offered_mbps, p.good_quality ? "true" : "false",
                  i + 1 < g_points.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
@@ -82,19 +97,50 @@ void write_json() {
 
 int main(int argc, char** argv) {
   using namespace gmmcs::core;
+  using gmmcs::broker::DispatchConfig;
+  bool run_locked = true;
+  bool run_snapshot = true;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--workers" && i + 1 < argc) {
+    std::string_view arg(argv[i]);
+    if (arg == "--workers" && i + 1 < argc) {
       g_workers = std::atoi(argv[++i]);
+    } else if (arg == "--snapshot" && i + 1 < argc) {
+      std::string_view v(argv[++i]);
+      run_snapshot = v == "on";
+      run_locked = v == "off";
+    } else if (arg == "--quick") {
+      quick = true;
     }
   }
   std::printf("=== Broker capacity (claims C1/C2, DESIGN.md section 4) ===\n");
   std::printf("Quality criterion: avg delay < 150 ms and loss < 2%%.\n");
   std::printf("EventLoop workers: %d (simulated metrics are worker-count invariant).\n",
               g_workers);
-  sweep(MediaKind::kAudio, "C1: audio clients per broker (64 Kbps G.711)", "audio",
-        {200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800}, 1000);
-  sweep(MediaKind::kVideo, "C2: video clients per broker (600 Kbps)", "video",
-        {100, 200, 300, 400, 420, 440, 470, 500, 600}, 400);
-  write_json();
+
+  std::vector<int> audio_counts = {200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800};
+  std::vector<int> video_counts = {100, 200, 300, 400, 420, 440, 470, 500, 600};
+  // The snapshot plane's video knee lives beyond the locked sweep's range.
+  std::vector<int> video_snapshot_counts = {100, 200, 300, 400, 420, 440, 470,
+                                            500, 600, 800, 1000, 1200};
+  if (quick) {
+    audio_counts = {200};
+    video_counts = {100};
+    video_snapshot_counts = {100};
+  }
+
+  if (run_locked) {
+    sweep(MediaKind::kAudio, "C1: audio clients per broker (64 Kbps G.711)", "audio", "locked",
+          DispatchConfig::optimized(), audio_counts, 1000);
+    sweep(MediaKind::kVideo, "C2: video clients per broker (600 Kbps)", "video", "locked",
+          DispatchConfig::optimized(), video_counts, 400);
+  }
+  if (run_snapshot) {
+    sweep(MediaKind::kAudio, "C1: audio clients per broker (64 Kbps G.711)", "audio", "snapshot",
+          DispatchConfig::snapshot(), audio_counts, 1000);
+    sweep(MediaKind::kVideo, "C2: video clients per broker (600 Kbps)", "video", "snapshot",
+          DispatchConfig::snapshot(), video_snapshot_counts, 400);
+  }
+  if (!quick) write_json();
   return 0;
 }

@@ -8,8 +8,9 @@
 #   thread | tsan     ThreadSanitizer — certifies the parallel dispatch
 #                     executor (worker pool, merge barrier) is race-free;
 #                     each sanitizer gets its own build tree
-#   lint              both linters (determinism + gmmcs-lint) and the
-#                     gmmcs-lint selftest; no build tree required
+#   lint              both linters (determinism + gmmcs-lint, including
+#                     the snapshot-discipline pass) and the lint fixture
+#                     selftests; no build tree required
 #   <list>            any raw comma-separated -fsanitize= list
 set -euo pipefail
 
@@ -25,6 +26,7 @@ if [[ "$MODE" == "lint" ]]; then
   done
   python3 "$ROOT/tools/lint/tests/test_gmmcs_lint.py"
   python3 "$ROOT/tools/lint/tests/test_lock_order.py"
+  python3 "$ROOT/tools/lint/tests/test_snapshot.py"
   if [[ -n "$CCDB" ]]; then
     python3 "$ROOT/tools/lint/determinism_lint.py" --root "$ROOT" --compile-commands "$CCDB"
     python3 "$ROOT/tools/lint/gmmcs_lint.py" --root "$ROOT" --compile-commands "$CCDB"

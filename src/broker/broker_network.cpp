@@ -10,16 +10,29 @@ std::string ClusterAddress::to_string() const {
          std::to_string(node);
 }
 
-BrokerNetwork::BrokerNetwork(sim::Network& net) : net_(&net) {}
+BrokerNetwork::BrokerNetwork(sim::Network& net) : net_(&net) {
+  ctx_.assert_held();
+  // Publish the empty epoch so dispatch-path readers never see a null
+  // snapshot: pre-finalize queries behave exactly as the locked tables
+  // did (next_hop throws "finalize() not called", distance -1, no
+  // interest matches).
+  publish_now();
+}
 
-BrokerNetwork::~BrokerNetwork() = default;
+BrokerNetwork::~BrokerNetwork() {
+  ctx_.assert_held();
+  // A publication event may still be queued (fabric destroyed before the
+  // loop drains); cancel it so the event can't run into a dead `this`.
+  if (publish_pending_) net_->loop().cancel(publish_task_);
+}
 
 BrokerNode& BrokerNetwork::add_broker(sim::Host& host, BrokerNode::Config cfg) {
   ctx_.assert_held();
-  // Fabric brokers share control-plane state across hosts (the routing
-  // tables, the interest index and its match cache), so their events are
-  // not host-independent: opt them out of parallel lanes.
-  host.set_exclusive(true);
+  // Broker hosts run on ordinary parallel lanes: dispatch paths read the
+  // fabric control plane through the published snapshot (lock-free) and
+  // route every control-plane mutation through the serial post_effect
+  // order, so broker events are host-independent like any other host's.
+  // (Before the epoch-snapshot control plane they were set_exclusive.)
   auto id = static_cast<BrokerId>(brokers_.size());
   brokers_.push_back(std::make_unique<BrokerNode>(host, id, cfg));
   BrokerNode& node = *brokers_.back();
@@ -56,6 +69,53 @@ void BrokerNetwork::link(BrokerId a, BrokerId b) {
 void BrokerNetwork::finalize() {
   ctx_.assert_held();
   rebuild_routes();
+  mark_dirty(/*routes=*/true, /*interest=*/false);
+}
+
+void BrokerNetwork::mark_dirty(bool routes, bool interest) {
+  routes_dirty_ |= routes;
+  interest_dirty_ |= interest;
+  if (publish_pending_) return;
+  sim::EventLoop& loop = net_->loop();
+  if (!loop.executing()) {
+    // Setup / test code outside event execution: publish synchronously so
+    // the caller observes the new epoch immediately.
+    publish_now();
+    return;
+  }
+  // Inside a run: defer to a same-timestamp kNoLane event. Serial and
+  // parallel execution schedule it from the same serial-order position
+  // (inline event vs merge-barrier replay), so the epoch flips at an
+  // identical (when, seq) in both modes; events sequenced before it read
+  // the previous epoch either way.
+  publish_pending_ = true;
+  publish_task_ = loop.schedule_at(
+      loop.now(),
+      [this] {
+        ctx_.assert_held();
+        publish_pending_ = false;
+        publish_task_ = 0;
+        publish_now();
+      },
+      sim::kNoLane);
+}
+
+void BrokerNetwork::publish_now() {
+  ++epoch_;
+  if (routes_dirty_ || !pub_routes_) {
+    auto routes = std::make_shared<RouteTables>();
+    routes->next_hop_by = next_hop_;
+    routes->dist_by = dist_;
+    pub_routes_ = std::move(routes);
+    routes_dirty_ = false;
+  }
+  if (interest_dirty_ || !pub_interest_) {
+    pub_interest_ = std::make_shared<const InterestTable>(interest_.flatten());
+    interest_dirty_ = false;
+  }
+  snapshot_.store(
+      std::make_shared<const ControlSnapshot>(epoch_, pub_routes_, pub_interest_),
+      std::memory_order_release);
 }
 
 void BrokerNetwork::rebuild_routes() {
@@ -85,15 +145,22 @@ void BrokerNetwork::rebuild_routes() {
 }
 
 void BrokerNetwork::report_link(BrokerId a, BrokerId b, bool up) {
-  ctx_.assert_held();
-  const auto key = std::minmax(a, b);
-  // Both endpoints' detectors report each transition; only the first
-  // report of a genuine state change does any work.
-  const bool changed = up ? down_links_.erase(key) > 0 : down_links_.insert(key).second;
-  if (!changed) return;
-  rebuild_routes();
-  ++route_recomputes_;
-  if (route_listener_) route_listener_(key.first, key.second, up, net_->loop().now());
+  // Writer path: detectors fire from broker-lane events, so the table
+  // mutation is staged through post_effect — it runs inline when called
+  // serially, or at the merge barrier (in (when, seq) order of the
+  // reporting events) from a parallel batch. Captures {this, a, b, up}.
+  net_->loop().post_effect([this, a, b, up] {
+    ctx_.assert_held();
+    const auto key = std::minmax(a, b);
+    // Both endpoints' detectors report each transition; only the first
+    // report of a genuine state change does any work.
+    const bool changed = up ? down_links_.erase(key) > 0 : down_links_.insert(key).second;
+    if (!changed) return;
+    rebuild_routes();
+    ++route_recomputes_;
+    mark_dirty(/*routes=*/true, /*interest=*/false);
+    if (route_listener_) route_listener_(key.first, key.second, up, net_->loop().now());
+  });
 }
 
 void BrokerNetwork::set_address(BrokerId id, ClusterAddress addr) {
@@ -142,40 +209,35 @@ void BrokerNetwork::link_hierarchy() {
 }
 
 void BrokerNetwork::advertise(const TopicFilter& filter, BrokerId origin, bool add) {
-  ctx_.assert_held();
-  if (add) {
-    interest_.subscribe(origin, filter);
-  } else {
-    interest_.unsubscribe(origin, filter);
-  }
+  // Writer path, staged like report_link. TopicFilter (~90 bytes) exceeds
+  // the SmallFn inline budget by value, so the closure owns it through a
+  // shared_ptr: {this, shared_ptr, origin, add} = 32 bytes.
+  net_->loop().post_effect(
+      [this, f = std::make_shared<const TopicFilter>(filter), origin, add] {
+        ctx_.assert_held();
+        if (add) {
+          interest_.subscribe(origin, *f);
+        } else {
+          interest_.unsubscribe(origin, *f);
+        }
+        mark_dirty(/*routes=*/false, /*interest=*/true);
+      });
 }
 
 std::vector<BrokerId> BrokerNetwork::interested_brokers(const std::string& topic,
                                                         BrokerId exclude) const {
-  ctx_.assert_held();
-  // Indexed + cached; result is sorted by broker id like the old
-  // set-based scan, so forwarding order is unchanged.
-  return interest_.matches(topic, exclude);
+  // Lock-free dispatch-path read: one acquire load of the published
+  // snapshot. Result is sorted by broker id like the locked index scan,
+  // so forwarding order is unchanged.
+  return snapshot()->interest().matches(topic, exclude);
 }
 
 BrokerId BrokerNetwork::next_hop(BrokerId from, BrokerId to) const {
-  ctx_.assert_held();
-  auto fit = next_hop_.find(from);
-  if (fit == next_hop_.end()) throw std::logic_error("BrokerNetwork: finalize() not called");
-  auto tit = fit->second.find(to);
-  if (tit == fit->second.end()) {
-    throw std::logic_error("BrokerNetwork: no route from " + std::to_string(from) + " to " +
-                           std::to_string(to));
-  }
-  return tit->second;
+  return snapshot()->routes().next_hop(from, to);
 }
 
 int BrokerNetwork::distance(BrokerId from, BrokerId to) const {
-  ctx_.assert_held();
-  auto fit = dist_.find(from);
-  if (fit == dist_.end()) return -1;
-  auto tit = fit->second.find(to);
-  return tit == fit->second.end() ? -1 : tit->second;
+  return snapshot()->routes().distance(from, to);
 }
 
 }  // namespace gmmcs::broker

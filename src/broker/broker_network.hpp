@@ -16,6 +16,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "broker/broker_node.hpp"
+#include "broker/control_snapshot.hpp"
 #include "broker/subscription_index.hpp"
 #include "broker/topic.hpp"
 #include "sim/network.hpp"
@@ -97,28 +99,56 @@ class BrokerNetwork {
   void link_hierarchy();
 
   // --- Interest control plane ---
+  /// Stages an interest mutation. The table update runs in serial order
+  /// (inline when called serially, at the merge barrier from a parallel
+  /// lane event) and a fresh snapshot epoch is published afterwards; see
+  /// DESIGN.md §12 for the visibility contract.
   void advertise(const TopicFilter& filter, BrokerId origin, bool add);
   /// All brokers (excluding `exclude`) with interest matching `topic`.
+  /// Lock-free: reads the current published snapshot; callable from any
+  /// lane's dispatch path concurrently.
   [[nodiscard]] std::vector<BrokerId> interested_brokers(const std::string& topic,
                                                          BrokerId exclude) const;
 
-  // --- Routing queries ---
+  // --- Routing queries (lock-free snapshot reads, like interested_brokers) ---
   [[nodiscard]] BrokerId next_hop(BrokerId from, BrokerId to) const;
   /// Hop distance; -1 if unreachable.
   [[nodiscard]] int distance(BrokerId from, BrokerId to) const;
+
+  /// The current control-plane epoch (routing tables + interest state) as
+  /// one immutable, atomically-published object. Dispatch paths that make
+  /// several related queries (e.g. distance then next_hop per target)
+  /// should load one snapshot and query it, guaranteeing a single
+  /// consistent epoch even while writers republish concurrently.
+  [[nodiscard]] ControlSnapshotPtr snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
 
  private:
   /// BFS over adjacency_ minus down_links_; shared by finalize() and
   /// report_link().
   void rebuild_routes() GMMCS_REQUIRES(ctx_);
+  /// Records which halves of the control plane changed and arranges for a
+  /// snapshot publication: synchronous outside event execution (setup and
+  /// tests observe the new epoch immediately), otherwise via a scheduled
+  /// kNoLane event so serial and parallel runs flip epochs at the same
+  /// (when, seq) position.
+  void mark_dirty(bool routes, bool interest) GMMCS_REQUIRES(ctx_);
+  /// Rebuilds the dirty snapshot halves and atomically publishes the next
+  /// epoch. The only writer of snapshot_, always under ctx_ — the lint
+  /// snapshot-discipline pass enforces exactly this.
+  void publish_now() GMMCS_REQUIRES(ctx_);
 
   sim::Network* net_;
   /// Fabric execution context (phantom capability, DESIGN.md §11): the
-  /// control plane below is shared by every broker — the reason broker
-  /// hosts are marked set_exclusive, so all access happens on the serial
-  /// kNoLane barrier. Outermost in the canonical lock order: brokers call
-  /// in here (advertise/report_link) and we call into brokers (link,
-  /// add_peer_link) within the same serial context.
+  /// authoritative control-plane state below is the *writer side* of the
+  /// epoch-snapshot discipline (DESIGN.md §12) — mutated only in serial
+  /// order (setup code, kNoLane events, the merge barrier). Dispatch-path
+  /// readers never touch it: they read the published snapshot_ lock-free,
+  /// which is why broker hosts run on ordinary parallel lanes and no
+  /// longer need set_exclusive. Outermost in the canonical lock order:
+  /// brokers call in here (advertise/report_link) and we call into brokers
+  /// (link, add_peer_link) within the same serial context.
   ExecContext ctx_;
   std::vector<std::unique_ptr<BrokerNode>> brokers_ GMMCS_GUARDED_BY(ctx_);
   std::map<BrokerId, std::set<BrokerId>> adjacency_ GMMCS_GUARDED_BY(ctx_);
@@ -135,6 +165,24 @@ class BrokerNetwork {
   /// per-node client table. Advertisements are refcounted per origin.
   SubscriptionIndex interest_ GMMCS_GUARDED_BY(ctx_);
   std::map<BrokerId, ClusterAddress> addresses_ GMMCS_GUARDED_BY(ctx_);
+
+  // --- Epoch-snapshot publication state (DESIGN.md §12) ---
+  std::uint64_t epoch_ GMMCS_GUARDED_BY(ctx_) = 0;
+  /// Which snapshot halves are stale relative to the authoritative state.
+  bool routes_dirty_ GMMCS_GUARDED_BY(ctx_) = true;
+  bool interest_dirty_ GMMCS_GUARDED_BY(ctx_) = true;
+  /// True while a publication event is scheduled (dedups mark_dirty calls
+  /// within one timestamp).
+  bool publish_pending_ GMMCS_GUARDED_BY(ctx_) = false;
+  sim::TaskId publish_task_ GMMCS_GUARDED_BY(ctx_) = 0;
+  /// Previously built halves, reused unchanged when only the other half
+  /// was dirtied (two-level sharing keeps republication cheap).
+  std::shared_ptr<const RouteTables> pub_routes_ GMMCS_GUARDED_BY(ctx_);
+  std::shared_ptr<const InterestTable> pub_interest_ GMMCS_GUARDED_BY(ctx_);
+  /// The published snapshot: written only by publish_now() under ctx_,
+  /// loaded lock-free by dispatch-path readers on any lane. Reclamation is
+  /// refcounting — the last reader of a superseded epoch frees it.
+  std::atomic<ControlSnapshotPtr> snapshot_;
 };
 
 }  // namespace gmmcs::broker

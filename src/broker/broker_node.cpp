@@ -28,6 +28,13 @@ DispatchConfig DispatchConfig::unoptimized() {
   return cfg;
 }
 
+DispatchConfig DispatchConfig::snapshot() {
+  DispatchConfig cfg;
+  cfg.threads = 8;
+  cfg.control_plane = ControlPlane::kSnapshot;
+  return cfg;
+}
+
 BrokerNode::BrokerNode(sim::Host& host, BrokerId id) : BrokerNode(host, id, Config{}) {}
 
 BrokerNode::BrokerNode(sim::Host& host, BrokerId id, Config cfg)
@@ -221,30 +228,52 @@ void BrokerNode::ingress_peer_event(PeerEventMessage m) {
         rest.push_back(t);
       }
     }
-    if (local) {
-      for (ClientId cid : local_matches(routed->event().topic)) {
-        dispatch_.submit(cfg_.dispatch.copy_cost(routed->event().payload.size()),
-                         [this, cid, routed] {
-                           ctx_.assert_held();
-                           auto cit = clients_.find(cid);
-                           if (cit != clients_.end()) deliver_copy(cit->second, *routed);
-                         });
-      }
-    }
+    if (local) fan_out_local(routed, /*exclude=*/0);
     if (!rest.empty()) route_remote(routed, rest);
   });
 }
 
 void BrokerNode::route_and_deliver(const RoutedEventPtr& ev, ClientId exclude,
                                    const std::vector<BrokerId>& remote_targets) {
-  for (ClientId cid : local_matches(ev->event().topic, exclude)) {
-    dispatch_.submit(cfg_.dispatch.copy_cost(ev->event().payload.size()), [this, cid, ev] {
+  fan_out_local(ev, exclude);
+  if (!remote_targets.empty()) route_remote(ev, remote_targets);
+}
+
+void BrokerNode::fan_out_local(const RoutedEventPtr& ev, ClientId exclude) {
+  std::vector<ClientId> cids = local_matches(ev->event().topic, exclude);
+  if (cids.empty()) return;
+  const SimDuration cost = cfg_.dispatch.copy_cost(ev->event().payload.size());
+  if (cfg_.dispatch.control_plane == DispatchConfig::ControlPlane::kSnapshot) {
+    // One ServiceCenter batch for the whole fan-out: per-recipient
+    // completion times come out of the arithmetic fast path, and the NIC
+    // parameters let the gate model dispatch threads blocking on a full
+    // egress queue (the copies below all leave through host_'s NIC).
+    struct FanoutBatch {
+      RoutedEventPtr ev;
+      std::vector<ClientId> cids;
+    };
+    auto batch = std::make_shared<const FanoutBatch>(FanoutBatch{ev, std::move(cids)});
+    const sim::NicConfig& nic = host_->nic_config();
+    sim::ServiceCenter::BatchParams params;
+    params.service = cost;
+    params.wire_bytes = ev->wire().size() + nic.overhead_bytes;
+    params.nic_bps = nic.egress_bps;
+    params.nic_cap = nic.queue_bytes;
+    params.nic_slack = cfg_.dispatch.nic_slack_bytes;
+    dispatch_.submit_batch(batch->cids.size(), params, [this, batch](std::size_t i) {
+      ctx_.assert_held();
+      auto it = clients_.find(batch->cids[i]);
+      if (it != clients_.end()) deliver_copy(it->second, *batch->ev);
+    });
+    return;
+  }
+  for (ClientId cid : cids) {
+    dispatch_.submit(cost, [this, cid, ev] {
       ctx_.assert_held();
       auto it = clients_.find(cid);
       if (it != clients_.end()) deliver_copy(it->second, *ev);
     });
   }
-  if (!remote_targets.empty()) route_remote(ev, remote_targets);
 }
 
 void BrokerNode::route_remote(const RoutedEventPtr& ev, const std::vector<BrokerId>& targets) {
@@ -252,9 +281,14 @@ void BrokerNode::route_remote(const RoutedEventPtr& ev, const std::vector<Broker
   // Unreachable brokers (fabric partitions, links not yet finalized) are
   // skipped rather than faulting the dispatch path. by_hop stays an
   // ordered map so forwards are submitted in deterministic hop order.
+  // One snapshot load for the whole grouping: distance and next_hop must
+  // answer from the same routing epoch, or a concurrent route repair
+  // could pass the distance check and then throw in next_hop.
+  const ControlSnapshotPtr snap = network_->snapshot();
+  const RouteTables& routes = snap->routes();
   std::map<BrokerId, std::vector<BrokerId>> by_hop;
   for (BrokerId t : targets) {
-    if (network_->distance(id_, t) < 0) {
+    if (routes.distance(id_, t) < 0) {
       ++unroutable_events_;
       if (warned_unroutable_.insert(t).second) {
         GMMCS_WARN("broker") << "broker " << id_ << ": no route to interested broker " << t
@@ -263,7 +297,7 @@ void BrokerNode::route_remote(const RoutedEventPtr& ev, const std::vector<Broker
       }
       continue;
     }
-    by_hop[network_->next_hop(id_, t)].push_back(t);
+    by_hop[routes.next_hop(id_, t)].push_back(t);
   }
   for (auto& [hop, subset] : by_hop) {
     dispatch_.submit(cfg_.dispatch.copy_cost(ev->event().payload.size()),

@@ -38,6 +38,19 @@ class BrokerNetwork;
 
 /// Cost model of the broker's event dispatch path.
 struct DispatchConfig {
+  /// How the dispatch path submits fan-out work (DESIGN.md §12).
+  enum class ControlPlane {
+    /// Classic per-copy submission: one ServiceCenter job per recipient,
+    /// no NIC backpressure on dispatch threads. Byte-identical to the
+    /// pre-snapshot tree; the before/after baseline in the benches.
+    kLocked,
+    /// Batched fan-out: one ServiceCenter batch per event (per-recipient
+    /// completions expanded arithmetically) with the virtual-NIC
+    /// admission gate, so dispatch threads block instead of flooding a
+    /// full egress queue.
+    kSnapshot,
+  };
+
   /// Parallel dispatch workers (the "message transmission" thread pool).
   int threads = 1;
   /// Bound on queued dispatch jobs; overflowing jobs are dropped.
@@ -50,6 +63,10 @@ struct DispatchConfig {
   /// so the Figure-3 workload (400 x 600 Kbps) runs at ~93% dispatch
   /// utilization, the regime the paper measured (see DESIGN.md §6).
   SimDuration copy_per_kb = SimDuration{23400};
+  ControlPlane control_plane = ControlPlane::kLocked;
+  /// Egress-queue headroom the batched fan-out's NIC gate keeps free
+  /// (kSnapshot only); see ServiceCenter::BatchParams.
+  std::size_t nic_slack_bytes = 64 * 1024;
 
   [[nodiscard]] SimDuration copy_cost(std::size_t payload_bytes) const;
 
@@ -59,6 +76,10 @@ struct DispatchConfig {
   /// The pre-optimization path (per-recipient buffer copies and
   /// allocation), used by the A1 ablation bench.
   static DispatchConfig unoptimized();
+  /// The epoch-snapshot control plane at full width: optimized costs,
+  /// batched fan-out and an 8-thread transmission pool (the pool size the
+  /// paper's broker ran in production).
+  static DispatchConfig snapshot();
 };
 
 /// Peer-link failure detection (the self-healing fabric's sensor layer):
@@ -188,6 +209,10 @@ class BrokerNode {
   /// at most one kEvent encode per event.
   void route_and_deliver(const RoutedEventPtr& ev, ClientId exclude,
                          const std::vector<BrokerId>& remote_targets) GMMCS_REQUIRES(ctx_);
+  /// Local fan-out of one event to every matching client (minus
+  /// `exclude`): per-copy dispatch jobs under ControlPlane::kLocked, one
+  /// NIC-gated ServiceCenter batch under kSnapshot.
+  void fan_out_local(const RoutedEventPtr& ev, ClientId exclude) GMMCS_REQUIRES(ctx_);
   /// Forwards an event toward each remaining target broker, one copy per
   /// distinct next hop.
   void route_remote(const RoutedEventPtr& ev, const std::vector<BrokerId>& targets)
@@ -207,11 +232,13 @@ class BrokerNode {
   sim::Host* host_;
   BrokerId id_;
   Config cfg_;
-  /// Broker execution context (phantom capability, DESIGN.md §11): broker
-  /// state is fabric-shared (peers and BrokerNetwork reach into it), which
-  /// is why broker hosts are marked set_exclusive — all of this runs on
-  /// the serial kNoLane barrier. These annotations are the prerequisite
-  /// for letting brokers opt back into parallel dispatch (ROADMAP).
+  /// Broker execution context (phantom capability, DESIGN.md §11): the
+  /// state below belongs to this broker's host lane. Broker hosts run on
+  /// ordinary parallel lanes — fabric-shared control-plane state lives in
+  /// BrokerNetwork behind the epoch-snapshot discipline (DESIGN.md §12),
+  /// so a broker's dispatch events only read immutable snapshots plus
+  /// this lane-local state, and cross-broker traffic rides the simulated
+  /// network like any other host's.
   ExecContext ctx_;
   BrokerNetwork* network_ GMMCS_GUARDED_BY(ctx_) = nullptr;  // set by BrokerNetwork::add_broker
   transport::StreamListener listener_;

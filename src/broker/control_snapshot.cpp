@@ -1,0 +1,45 @@
+#include "broker/control_snapshot.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gmmcs::broker {
+
+std::vector<InterestTable::SubscriberId> InterestTable::matches(const std::string& topic,
+                                                                SubscriberId exclude) const {
+  std::vector<SubscriberId> out;
+  std::string normalized = normalize_topic(topic);
+  if (auto it = exact.find(normalized); it != exact.end()) {
+    out = it->second;  // already sorted
+  }
+  if (!wildcards.empty()) {
+    for (const WildcardRow& row : wildcards) {
+      if (!row.filter.matches(normalized)) continue;
+      out.insert(out.end(), row.ids.begin(), row.ids.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  std::erase(out, exclude);
+  return out;
+}
+
+std::uint32_t RouteTables::next_hop(std::uint32_t from, std::uint32_t to) const {
+  auto fit = next_hop_by.find(from);
+  if (fit == next_hop_by.end()) throw std::logic_error("BrokerNetwork: finalize() not called");
+  auto tit = fit->second.find(to);
+  if (tit == fit->second.end()) {
+    throw std::logic_error("BrokerNetwork: no route from " + std::to_string(from) + " to " +
+                           std::to_string(to));
+  }
+  return tit->second;
+}
+
+int RouteTables::distance(std::uint32_t from, std::uint32_t to) const {
+  auto fit = dist_by.find(from);
+  if (fit == dist_by.end()) return -1;
+  auto tit = fit->second.find(to);
+  return tit == fit->second.end() ? -1 : tit->second;
+}
+
+}  // namespace gmmcs::broker

@@ -1,0 +1,92 @@
+// Epoch snapshots of the broker control plane (DESIGN.md §12).
+//
+// The fabric's routing tables and broker interest state are read on every
+// published event (the dispatch hot path) but mutated only by rare control
+// traffic: subscribe/unsubscribe advertisements, link-state reports, route
+// repair. An RCU-style snapshot discipline exploits that asymmetry:
+// writers build a fresh immutable ControlSnapshot under the canonical
+// writer context (BrokerNetwork::ctx_) and publish it through one atomic
+// shared_ptr store; dispatch paths load the current epoch lock-free and
+// read it without any synchronization — which is what lets broker hosts
+// run on ordinary parallel lanes instead of the serial kNoLane barrier.
+//
+// Immutability contract (enforced by the gmmcs-lint `snapshot` pass): the
+// types below carry no mutable members and no mutating methods, and code
+// outside the writer context may only hold `const` handles to them.
+// Reclamation is shared_ptr refcounting — an old epoch stays alive exactly
+// as long as some in-flight reader still holds it, and is freed by the
+// last release with no grace-period machinery.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/topic.hpp"
+
+namespace gmmcs::broker {
+
+/// Flattened, immutable broker-interest table: the read-side counterpart
+/// of SubscriptionIndex (which keeps refcounts and a mutable match cache,
+/// both of which would be races under concurrent readers). Built by
+/// SubscriptionIndex::flatten(); subscriber ids are broker ids here.
+struct InterestTable {
+  using SubscriberId = std::uint32_t;
+
+  struct WildcardRow {
+    TopicFilter filter;
+    std::vector<SubscriberId> ids;  // sorted
+  };
+
+  /// Concrete filter pattern -> sorted subscriber ids.
+  std::unordered_map<std::string, std::vector<SubscriberId>> exact;
+  std::vector<WildcardRow> wildcards;
+
+  /// Sorted, deduplicated subscribers matching `topic`, minus `exclude`.
+  /// Matches SubscriptionIndex::matches(topic, exclude) exactly.
+  [[nodiscard]] std::vector<SubscriberId> matches(const std::string& topic,
+                                                  SubscriberId exclude) const;
+};
+
+/// Immutable shortest-path routing tables ([from][to] -> next hop / hops).
+struct RouteTables {
+  std::map<std::uint32_t, std::map<std::uint32_t, std::uint32_t>> next_hop_by;
+  std::map<std::uint32_t, std::map<std::uint32_t, int>> dist_by;
+
+  /// First hop from `from` toward `to`; throws like the pre-snapshot
+  /// BrokerNetwork queries (no table = finalize() never ran; no entry =
+  /// partitioned).
+  [[nodiscard]] std::uint32_t next_hop(std::uint32_t from, std::uint32_t to) const;
+  /// Hop distance; -1 if unreachable (or finalize() never ran).
+  [[nodiscard]] int distance(std::uint32_t from, std::uint32_t to) const;
+};
+
+/// One published epoch of the control plane. Two-level sharing: an
+/// interest-only change republishes with the routes pointer unchanged (and
+/// vice versa), so writers rebuild only what they touched.
+class ControlSnapshot {
+ public:
+  ControlSnapshot(std::uint64_t epoch, std::shared_ptr<const RouteTables> routes,
+                  std::shared_ptr<const InterestTable> interest)
+      : epoch_(epoch), routes_(std::move(routes)), interest_(std::move(interest)) {}
+
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] const RouteTables& routes() const { return *routes_; }
+  [[nodiscard]] const InterestTable& interest() const { return *interest_; }
+  [[nodiscard]] const std::shared_ptr<const RouteTables>& routes_ptr() const { return routes_; }
+  [[nodiscard]] const std::shared_ptr<const InterestTable>& interest_ptr() const {
+    return interest_;
+  }
+
+ private:
+  std::uint64_t epoch_;
+  std::shared_ptr<const RouteTables> routes_;
+  std::shared_ptr<const InterestTable> interest_;
+};
+
+using ControlSnapshotPtr = std::shared_ptr<const ControlSnapshot>;
+
+}  // namespace gmmcs::broker

@@ -205,13 +205,32 @@ CapacityPoint run_capacity(const CapacityConfig& cfg) {
   loop.run_for(duration_seconds(cfg.seconds / 2.0));
 
   // Attach probes to a spread sample of receivers for the measured half.
+  // The sample walk must not alias with the 100-per-host receiver fill
+  // above: a receiver's delay depends on its position in the broker's
+  // per-host fan-out order (later copies queue behind earlier ones at the
+  // rx NIC), and a plain j*stride walk samples only gcd-limited positions
+  // once stride reaches kPerHost. At exactly 1000 clients (stride 100)
+  // every probe was first-on-host — no intra-host queueing at all — which
+  // put the audio point at 0.57 ms between 4.4 ms and 6.3 ms neighbours.
+  // For stride >= kPerHost, nudge each probe so its within-host position
+  // is exactly j*kPerHost/kSample: uniform coverage of queue depth at
+  // every sweep size. Below that, the plain walk already spreads.
   constexpr int kSample = 10;
+  constexpr int kPerHost = 100;  // matches the rx-machine fill above
   std::vector<std::unique_ptr<media::MediaProbe>> probes;
   int stride = std::max(1, cfg.clients / kSample);
-  for (int i = 0; i < cfg.clients; i += stride) {
+  int last_idx = -1;
+  for (int j = 0; j * stride < cfg.clients; ++j) {
+    int idx = j * stride;
+    if (stride >= kPerHost) {
+      idx += (j * kPerHost / kSample - idx % kPerHost + kPerHost) % kPerHost;
+    }
+    idx = std::min(idx, cfg.clients - 1);
+    if (idx <= last_idx) continue;  // clamp collision on ragged final stride
+    last_idx = idx;
     auto probe = std::make_unique<media::MediaProbe>(codec.clock_rate);
     media::MediaProbe* p = probe.get();
-    clients[static_cast<std::size_t>(i)]->on_event(
+    clients[static_cast<std::size_t>(idx)]->on_event(
         [p, &loop](const broker::Event& ev) { p->on_wire(ev.payload, loop.now()); });
     probes.push_back(std::move(probe));
   }

@@ -155,8 +155,11 @@ void EventLoop::execute_inline(Entry e, Callback cb) {
   ++executed_;
   if (trace_) trace_(e.when, e.seq);
   Lane prev = inline_lane_;
+  bool prev_exec = executing_;
   inline_lane_ = e.lane;
+  executing_ = true;
   cb();
+  executing_ = prev_exec;
   inline_lane_ = prev;
 }
 
@@ -197,15 +200,28 @@ bool EventLoop::run_batch(SimTime deadline) {
   SimTime t = heap_.front().when;
   if (t > deadline) return false;
 
-  // Gather the longest (when, seq)-order prefix of same-timestamp events
-  // with pairwise-distinct lanes. Untagged (kNoLane) events run alone.
+  // Gather same-timestamp events in (when, seq) order. Events whose lane
+  // is untaken join the batch; events whose lane a batch member already
+  // holds are *deferred* (lane-aware lookahead) so the events behind them
+  // can still widen the batch — they execute inline at the merge barrier
+  // in their exact seq position, which is where serial execution would
+  // have run them. Untagged (kNoLane) events are hard stops: they never
+  // share a batch and never jump the lookahead.
   batch_.clear();
+  deferred_.clear();
   while (prune_stale_top() && heap_.front().when == t) {
     const Entry& top = heap_.front();
     if (!batch_.empty()) {
-      bool conflict = top.lane == kNoLane;
+      if (top.lane == kNoLane) break;  // barrier: stays queued for the next batch
+      bool conflict = false;
       for (const BatchItem& item : batch_) conflict |= item.entry.lane == top.lane;
-      if (conflict) break;  // stays queued; next batch picks it up in order
+      if (conflict) {
+        // Defer: pop the entry but leave its callback parked in cb_slots_
+        // (a commit-time cancel must still be able to kill it).
+        deferred_.push_back(top);
+        pop_top();
+        continue;
+      }
     }
     Entry e = top;
     pop_top();
@@ -217,17 +233,30 @@ bool EventLoop::run_batch(SimTime deadline) {
 
   now_ = t;
   if (batch_.size() == 1) {
+    // Nothing to parallelize: run the head event inline, then any deferred
+    // entries (all same-lane with it, all later in seq order) the same way.
     BatchItem item = std::move(batch_.front());
     batch_.clear();
     execute_inline(std::move(item.entry), std::move(item.cb));
+    for (std::size_t di = 0; di < deferred_.size(); ++di) {
+      Entry e = deferred_[di];
+      if (!is_live(e)) continue;  // cancelled by an earlier inline event
+      Callback cb = take_callback(e);
+      execute_inline(std::move(e), std::move(cb));
+    }
+    deferred_.clear();
     return true;
   }
 
-  // Pre-assign each slot its deterministic TaskId block (in seq order).
-  for (BatchItem& item : batch_) {
+  // Pre-assign each slot its deterministic TaskId block (in seq order) and
+  // hand it last batch's ops arena so buffering doesn't reallocate.
+  if (op_arena_.size() < batch_.size()) op_arena_.resize(batch_.size());
+  for (std::size_t i = 0; i < batch_.size(); ++i) {
+    BatchItem& item = batch_[i];
     item.ctx.loop = this;
     item.ctx.lane = item.entry.lane;
     item.ctx.id_base = next_block_base_;
+    item.ctx.ops = std::move(op_arena_[i]);
     next_block_base_ += kIdBlock;
   }
 
@@ -253,10 +282,32 @@ bool EventLoop::run_batch(SimTime deadline) {
     slots_ = nullptr;
   }
 
-  // Merge barrier: apply every event's buffered effects in (when, seq)
-  // order — exactly the order serial execution would have produced.
-  for (BatchItem& item : batch_) commit(item);
+  // Merge barrier: interleave batch commits and deferred inline events in
+  // (when, seq) order — exactly the order serial execution would have
+  // produced. executing_ stays set across the merge so effects that defer
+  // publication (see executing()) behave identically in serial and
+  // parallel runs.
+  bool prev_exec = executing_;
+  executing_ = true;
+  std::size_t bi = 0;
+  std::size_t di = 0;
+  while (bi < batch_.size() || di < deferred_.size()) {
+    bool take_batch = di >= deferred_.size() ||
+                      (bi < batch_.size() && batch_[bi].entry.seq < deferred_[di].seq);
+    if (take_batch) {
+      commit(batch_[bi]);
+      op_arena_[bi] = std::move(batch_[bi].ctx.ops);  // return arena (capacity kept)
+      ++bi;
+    } else {
+      Entry e = deferred_[di++];
+      if (!is_live(e)) continue;  // cancelled by an earlier commit/inline event
+      Callback cb = take_callback(e);
+      execute_inline(std::move(e), std::move(cb));
+    }
+  }
+  executing_ = prev_exec;
   batch_.clear();
+  deferred_.clear();
   return true;
 }
 
@@ -267,8 +318,7 @@ void EventLoop::commit(BatchItem& item) {
     switch (op.kind) {
       case PendingOp::Kind::kSchedule: {
         // Parallel-minted ids are pre-assigned block ids and can't encode a
-        // slot, so they get a parallel_slots_ map entry (brokers are serial
-        // today, so this path is cold).
+        // slot, so they get a parallel_slots_ map entry.
         std::uint32_t slot = acquire_slot(op.id, std::move(op.fn));
         parallel_slots_.emplace(op.id, slot);
         heap_.push_back(Entry{op.when, next_seq_++, op.id, slot, op.lane});

@@ -78,6 +78,14 @@ class EventLoop {
   /// batch (i.e. side effects on shared state must go through
   /// post_effect / the buffered schedule path).
   [[nodiscard]] bool in_parallel_batch() const;
+  /// True while the loop is inside event execution — an inline event, a
+  /// parallel batch, or the merge barrier replaying buffered effects.
+  /// Deferred-publication logic (BrokerNetwork's snapshot epoch) keys off
+  /// this: mutations from setup/test code publish synchronously, while
+  /// mutations inside a run defer publication to a scheduled event so
+  /// serial and parallel execution see epoch flips at the same (when, seq)
+  /// position.
+  [[nodiscard]] bool executing() const { return executing_ || in_parallel_batch(); }
 
   /// Runs events until the queue is empty.
   void run();
@@ -182,7 +190,10 @@ class EventLoop {
   /// Runs one event inline on the calling thread (serial execution path).
   void execute_inline(Entry e, Callback cb);
   /// Gathers and executes one same-timestamp batch (parallel mode);
-  /// returns false if no live event has when <= deadline.
+  /// returns false if no live event has when <= deadline. Lane-aware
+  /// lookahead: same-timestamp entries whose lane is already in the batch
+  /// are deferred past (not barriers), widening the batch; they run inline
+  /// at the merge barrier in exact seq order.
   bool run_batch(SimTime deadline);
   /// Applies one event's buffered ops in order (coordinator thread).
   void commit(BatchItem& item);
@@ -217,6 +228,9 @@ class EventLoop {
   std::unordered_map<TaskId, std::uint32_t> parallel_slots_;
   /// Lane of the event currently running inline (coordinator thread).
   Lane inline_lane_ = kNoLane;
+  /// True while an event executes or a batch merge is in progress (see
+  /// executing()).
+  bool executing_ = false;
   std::function<void(SimTime, std::uint64_t)> trace_;
 
   // --- Parallel dispatch (all touched by run_batch and the pool) ---
@@ -228,6 +242,16 @@ class EventLoop {
   static constexpr TaskId kIdBlock = TaskId{1} << 16;
   TaskId next_block_base_ = kParallelIdBit;
   std::vector<BatchItem> batch_;
+  /// Same-timestamp entries skipped by the lane-aware lookahead because
+  /// their lane was already taken in batch_. Their callbacks stay parked
+  /// in cb_slots_; the merge barrier executes them inline at their exact
+  /// seq position, interleaved with the batch commits.
+  std::vector<Entry> deferred_;
+  /// Per-slot arenas for buffered PendingOps: batch slot i reuses the ops
+  /// vector (and each op's SmallFn storage is inline anyway) it used last
+  /// batch, so steady-state parallel broker fan-out stops reallocating
+  /// op buffers once warm.
+  std::vector<std::vector<PendingOp>> op_arena_;
   std::vector<Thread> pool_;
   Mutex pool_mu_;
   CondVar work_cv_;  // workers: new batch or shutdown

@@ -127,14 +127,22 @@ class Host {
     return exclusive_ ? kNoLane : static_cast<Lane>(id_) + 1;
   }
   /// Forces this host's events onto the global barrier lane (they then
-  /// never run concurrently with anything). Used by components whose
-  /// handlers touch state shared across hosts — e.g. BrokerNetwork's
-  /// routing tables and interest index — where per-host independence, the
-  /// premise of parallel dispatch, does not hold.
+  /// never run concurrently with anything). An opt-out for components
+  /// whose handlers touch state shared across hosts without a safe read
+  /// path — where per-host independence, the premise of parallel
+  /// dispatch, does not hold. (BrokerNetwork used this before the
+  /// epoch-snapshot control plane made its dispatch reads lock-free; no
+  /// in-tree component needs it today.)
   void set_exclusive(bool on) {
     ctx_.assert_held();
     exclusive_ = on;
   }
+
+  /// This host's NIC parameters (fixed at construction). Used by the
+  /// broker's batched fan-out to expand per-copy completion times — the
+  /// same serialization + drop-tail model Host::send applies — without a
+  /// ServiceCenter round-trip per copy.
+  [[nodiscard]] const NicConfig& nic_config() const { return nic_; }
 
   /// Takes the host offline: all traffic to/from it is dropped, anything
   /// still queued in the NIC is wiped (a crashed machine does not serialize

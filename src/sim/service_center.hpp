@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/mutex.hpp"
@@ -29,9 +31,37 @@ class ServiceCenter {
   /// rides in a SmallFn: captures up to 64 bytes cost no heap allocation.
   bool submit(SimDuration service_time, SmallFn done);
 
+  /// Parameters for a batch of identical jobs (broker fan-out: one copy
+  /// per recipient). `service` is the per-job CPU time; the remaining
+  /// fields, when set, model egress-NIC backpressure: a job's completion
+  /// (= its copy entering the NIC queue) is delayed until a virtual
+  /// drop-tail queue of `nic_cap` bytes draining at `nic_bps` has at least
+  /// `nic_slack` + one copy of headroom. A gated completion keeps its
+  /// server busy — threads blocked on a full NIC is exactly the optimized
+  /// NaradaBrokering behavior — so dispatch throughput degrades to line
+  /// rate instead of flooding the queue.
+  struct BatchParams {
+    SimDuration service;
+    std::size_t wire_bytes = 0;
+    double nic_bps = 0;
+    std::size_t nic_cap = 0;
+    std::size_t nic_slack = 0;
+  };
+
+  /// Submits `n` identical jobs as one batch; `done(i)` runs as job i
+  /// completes (FIFO-equivalent to n submit() calls, in order). Returns
+  /// how many jobs were accepted (the tail past the queue limit is
+  /// rejected). When all servers are idle the batch expands
+  /// arithmetically — per-server completion ladders computed in one pass,
+  /// one scheduled event per job and no queue traffic — which is the
+  /// broker fan-out fast path; otherwise jobs peel off the shared FIFO
+  /// queue one at a time as servers free up.
+  std::size_t submit_batch(std::size_t n, const BatchParams& params,
+                           std::function<void(std::size_t)> done);
+
   [[nodiscard]] std::size_t queue_length() const {
     ctx_.assert_held();
-    return queue_.size() - q_head_;
+    return queued_logical_;
   }
   [[nodiscard]] int busy_servers() const {
     ctx_.assert_held();
@@ -54,14 +84,31 @@ class ServiceCenter {
   [[nodiscard]] SimDuration mean_wait() const;
 
  private:
+  /// Shared state of one queued batch (slow path): items peel off it one
+  /// at a time; `next` is the first item not yet started.
+  struct BatchCtrl {
+    BatchParams params;
+    std::size_t accepted = 0;
+    std::size_t next = 0;
+    std::function<void(std::size_t)> done;
+  };
+
   struct Job {
     SimTime enqueued;
     SimDuration service;
     SmallFn done;
+    /// Non-null for a queued batch; `done` is empty then.
+    std::shared_ptr<BatchCtrl> batch;
   };
 
   void start(Job job) GMMCS_REQUIRES(ctx_);
   void drain() GMMCS_REQUIRES(ctx_);
+  /// Advances q_head_ past the consumed front Job (reset/trim heuristics).
+  void advance_head() GMMCS_REQUIRES(ctx_);
+  /// Applies the virtual-NIC admission gate to a job completing its CPU
+  /// service at `cpu_done`; returns the (possibly later) gated completion
+  /// and accounts the copy's serialization in nic_free_v_.
+  SimTime gate_completion(SimTime cpu_done, const BatchParams& p) GMMCS_REQUIRES(ctx_);
 
   EventLoop& loop_;
   int servers_;
@@ -78,6 +125,16 @@ class ServiceCenter {
   /// servers catch up).
   std::vector<Job> queue_ GMMCS_GUARDED_BY(ctx_);
   std::size_t q_head_ GMMCS_GUARDED_BY(ctx_) = 0;
+  /// Logical jobs waiting (each batch item counts one): queue_length() and
+  /// the admission check use this, since a batch rides in a single Job and
+  /// fast-path batch items wait without touching queue_ at all.
+  std::size_t queued_logical_ GMMCS_GUARDED_BY(ctx_) = 0;
+  /// Per-server completion ladder arena for the batch fast path.
+  std::vector<SimTime> ladder_ GMMCS_GUARDED_BY(ctx_);
+  /// Virtual egress-NIC free time (ns, as a double so per-copy
+  /// serialization times keep sub-ns precision across thousands of
+  /// copies), for gate_completion's admission model.
+  double nic_free_v_ GMMCS_GUARDED_BY(ctx_) = 0;
   // In-flight completion callables, parked here so the EventLoop closure
   // only captures {this, slot} — small enough for std::function's inline
   // buffer. Freed slots are recycled LIFO.

@@ -34,9 +34,13 @@ struct ChaosMetrics {
 
 /// A condensed fabric_chaos bench: 4-broker ring under a crash and a link
 /// flap, steady publish stream, two subscribers. Returns every simulated
-/// metric the bench reports.
-ChaosMetrics run_chaos(std::uint64_t seed) {
+/// metric the bench reports. Broker-heavy by design — broker hosts run on
+/// ordinary parallel lanes since the epoch-snapshot control plane, so with
+/// workers > 1 this exercises concurrent fan-out, snapshot reads and
+/// staged control-plane writes.
+ChaosMetrics run_chaos(std::uint64_t seed, int workers = 1) {
   sim::EventLoop loop;
+  loop.set_workers(workers);
   sim::Network net(loop, seed);
   // Lossy paths so the seeded RNG actually shapes the run.
   net.set_default_path(sim::PathConfig{.latency = duration_us(200), .loss = 0.05});
@@ -103,6 +107,19 @@ TEST(Determinism, ChaosFabricDoubleRunByteIdentical) {
   EXPECT_EQ(first, second);
   EXPECT_GT(first.delivered, 0u);
   EXPECT_FALSE(first.sub_a_seqs.empty());
+}
+
+TEST(Determinism, ChaosFabricWorkerCountInvariant) {
+  // The broker-heavy parallel certification: every simulated metric —
+  // per-subscriber delivery sets included — must be byte-identical whether
+  // the fabric's events run serially or on 8 workers.
+  ChaosMetrics serial = run_chaos(4242, /*workers=*/1);
+  ChaosMetrics parallel = run_chaos(4242, /*workers=*/8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_GT(serial.delivered, 0u);
+  EXPECT_GT(serial.route_recomputes, 0u);
+  EXPECT_FALSE(serial.sub_a_seqs.empty());
+  EXPECT_FALSE(serial.sub_b_seqs.empty());
 }
 
 TEST(Determinism, ChaosFabricSeedActuallyMatters) {

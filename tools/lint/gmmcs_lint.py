@@ -7,7 +7,7 @@ Three classes of latent cross-protocol bugs survive unit tests in such a
 codebase: a silent layering violation (a lower layer reaching up), a
 dropped Result from a wire-data parse, and an encode/decode asymmetry
 that only bites when the *other* stack parses the bytes. This linter
-makes all three machine-checked. Four passes share one compilation-
+makes all three machine-checked. Six passes share one compilation-
 database loader and one suppression syntax:
 
   layering         every `#include "mod/..."` edge is checked against the
@@ -46,6 +46,19 @@ database loader and one suppression syntax:
                    substantive (handles the rest, e.g. returns an error)
                    or commented with a reason. A bare `default: break;`
                    silently eats future enumerators.
+
+  lock-order       tree-wide lock-acquisition graph built from the
+                   GMMCS_CAPABILITY annotations: rank inversions against
+                   the canonical LOCK_ORDER, acquisition cycles,
+                   guarded-member access without the capability, condvar
+                   waits without the lock, stale lock-order-calls
+                   annotations (details at the pass, DESIGN.md §11).
+
+  snapshot         epoch-snapshot immutability discipline (DESIGN.md
+                   §12): snapshot types carry no mutable state, code
+                   outside writer scopes holds only const handles to
+                   them, and the atomic snapshot pointer is published
+                   from writer scopes only (details at the pass).
 
 Suppressions: a line (or the line directly above it) containing
 `gmmcs-lint: allow(<rule>): <reason>` is exempt from <rule>. The reason
@@ -148,6 +161,9 @@ MESSAGES = {
     "lock-order": "%s",
     "guarded-by": "%s",
     "condvar-hold": "%s",
+    "snapshot-type": "%s",
+    "snapshot-mutation": "%s",
+    "snapshot-publication": "%s",
     "suppression-reason": "gmmcs-lint suppression without a reason "
                           "(write `gmmcs-lint: allow(rule): why`)",
 }
@@ -1257,6 +1273,7 @@ class _LockModel:
         self.decl_requires = {}        # "Cls::fn" / "fn" -> set of cap bases
         self.decl_acquires = {}        # same, from GMMCS_ACQUIRE on decls
         self.extra_calls = {}          # fn key -> set of fn keys (lock-order-calls)
+        self.extra_call_sites = []     # (src, lineno, caller, callee) per annotation
         self.functions = []            # (src, cls, name, annos, body, offset)
 
 
@@ -1273,10 +1290,12 @@ def _collect_model(sources, primitive_files):
         rf"(\w+)\s*(?:=[^;]*|\{{[^;]*\}})?\s*;", re.M)
     for src in sources:
         # lock-order-calls annotations live in raw comments.
-        for line in src.raw:
+        for idx, line in enumerate(src.raw):
             m = LOCK_CALLS_RE.search(line)
             if m:
                 model.extra_calls.setdefault(m.group(1), set()).add(m.group(2))
+                model.extra_call_sites.append(
+                    (src, idx + 1, m.group(1), m.group(2)))
         for cls, b0, b1, is_cap in _scan_classes(src.text):
             body = src.text[b0:b1]
             # Capability instances: cap-typed members of non-primitive files.
@@ -1457,6 +1476,20 @@ def pass_lock_order(sources, lock_order=None, primitive_files=None):
         for k in sc["keys"]:
             alias.setdefault(k, set()).add(sc["keys"][0])
             alias.setdefault(k.rsplit("::", 1)[-1], set()).add(sc["keys"][0])
+    # Stale lock-order-calls annotations: an operand that resolves to no
+    # function definition injects no edges — silently, which is how a
+    # rename at a SmallFn/callback registration site used to disable the
+    # very analysis the annotation exists for. Both operands must resolve.
+    for src, lineno, caller, callee in model.extra_call_sites:
+        for role, ident in (("caller", caller), ("callee", callee)):
+            if ident in alias or src.suppressed(lineno, "lock-order"):
+                continue
+            findings.append(
+                (src.rel, lineno, "lock-order",
+                 f"lock-order-calls {role} '{ident}' matches no function "
+                 f"definition in the tree — the stale annotation silently "
+                 f"drops acquisition-graph edges (rename it to match the "
+                 f"current registration site)"))
     changed = True
     while changed:
         changed = False
@@ -1626,6 +1659,273 @@ def pass_lock_order(sources, lock_order=None, primitive_files=None):
 
 
 # --------------------------------------------------------------------------
+# Pass 6: snapshot discipline.
+# --------------------------------------------------------------------------
+#
+# The epoch-snapshot control plane (DESIGN.md §12) publishes immutable
+# snapshot objects through one atomic shared_ptr; dispatch paths load the
+# current epoch lock-free and read it with no synchronization at all. The
+# scheme is sound only while three invariants hold, and none of them is
+# compiler-enforced once a const_cast or a stray non-const handle slips in:
+#
+#   snapshot-type         snapshot types stay structurally immutable: no
+#                         `mutable` members and no non-const methods
+#                         (constructors/destructors aside). A mutable
+#                         match cache, say, would be a data race under
+#                         concurrent lock-free readers.
+#
+#   snapshot-mutation     outside a writer scope, code holds only const
+#                         handles to snapshot types (`shared_ptr<const T>`,
+#                         `const T&`). A non-const handle — including
+#                         make_shared<T> while a writer builds the next
+#                         epoch — is writer-only, and casting constness
+#                         away from a snapshot type is never legal, in any
+#                         scope.
+#
+#   snapshot-publication  an atomic snapshot-pointer member is written
+#                         (.store / .exchange / assignment) from writer
+#                         scopes only; readers only .load().
+#
+# A scope counts as a *writer* from the point it provably runs under a
+# capability: it declares GMMCS_REQUIRES(...) (on the definition or its
+# header declaration) or has executed `.assert_held()`. That is the same
+# serial-writer-context notion the lock-order pass uses; in this tree every
+# snapshot writer runs under BrokerNetwork::ctx_.
+
+# Class names forming the immutable snapshot surface. Like LOCK_ORDER,
+# edit here when a new snapshot type is introduced.
+SNAPSHOT_TYPES = [
+    "ControlSnapshot",
+    "RouteTables",
+    "InterestTable",
+]
+
+
+def _blank_braced(text):
+    """Length-preserving copy of `text` with the interiors of all brace
+    groups blanked (newlines kept): leaves only top-level declarations."""
+    out = list(text)
+    depth = 0
+    for i, c in enumerate(text):
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+        elif depth > 0 and c != "\n":
+            out[i] = " "
+    return "".join(out)
+
+
+SNAP_METHOD_DECL_RE = re.compile(
+    r"(~?\w+)\s*\(((?:[^();]|\([^()]*\))*)\)\s*"
+    r"(?P<annos>(?:const|noexcept|final|override|->\s*[\w:<>]+|"
+    r"GMMCS_\w+\s*\([^()]*\)|\s)*);")
+SNAP_MUTABLE_RE = re.compile(r"^[ \t]*mutable\b", re.M)
+
+
+def pass_snapshot(sources, snapshot_types=None, primitive_files=None):
+    snapshot_types = (snapshot_types if snapshot_types is not None
+                      else SNAPSHOT_TYPES)
+    primitive_files = (primitive_files if primitive_files is not None
+                       else LOCK_PRIMITIVE_FILES)
+    findings = []
+    if not snapshot_types:
+        return findings
+    # Cheap prefilter: fixture trees (and most modules) never mention a
+    # snapshot type, so skip the model build entirely.
+    if not any(t in src.text for src in sources for t in snapshot_types):
+        return findings
+
+    def emit(src, lineno, rule, msg):
+        if not src.suppressed(lineno, rule):
+            findings.append((src.rel, lineno, rule, msg))
+
+    type_alt = "|".join(re.escape(t) for t in sorted(snapshot_types))
+    cast_re = re.compile(
+        rf"\b(?:const_cast|const_pointer_cast)\s*<[^<>;]*\b(?:{type_alt})\b")
+    # Non-const handles: owning pointers to a mutable T, or T&/T* not
+    # preceded by const. `shared_ptr<const T>` fails the match by
+    # construction; the ref/pointer alternative checks its prefix below.
+    handle_re = re.compile(
+        rf"\b(?:std::)?(?:make_shared|make_unique|shared_ptr|unique_ptr)"
+        rf"\s*<\s*(?:{type_alt})\s*>"
+        rf"|\b(?:{type_alt})\s*(?:[&*]\s*)+\w")
+    atomic_member_re = re.compile(
+        rf"std::atomic\s*<\s*(?:std::shared_ptr\s*<\s*const\s+(?:{type_alt})"
+        rf"\s*>|(?:{type_alt})Ptr)\s*>\s+(\w+)")
+
+    def nonconst_handle_hits(text):
+        for m in handle_re.finditer(text):
+            if re.search(r"\bconst\s*$", text[:m.start()]):
+                continue  # `const T&` / `const T*`: a reader handle
+            yield m
+
+    # ---- snapshot-type: structural immutability of the types. ----
+    for src in sources:
+        for cls, b0, b1, _cap in _scan_classes(src.text):
+            if cls not in snapshot_types:
+                continue
+            top = _blank_braced(src.text[b0:b1])
+            for m in SNAP_MUTABLE_RE.finditer(top):
+                emit(src, src.line_of(b0 + m.start()), "snapshot-type",
+                     f"snapshot type '{cls}' declares a mutable member — "
+                     f"a data race under concurrent lock-free readers")
+            for m in SNAP_METHOD_DECL_RE.finditer(top):
+                name = m.group(1)
+                if name.lstrip("~") == cls:
+                    continue  # ctor/dtor declaration
+                seg_start = max(top.rfind(";", 0, m.start()),
+                                top.rfind("{", 0, m.start()),
+                                top.rfind("}", 0, m.start())) + 1
+                seg = top[seg_start:m.start()]
+                if re.search(r"\b(?:static|friend|using|typedef)\b", seg):
+                    continue
+                if not re.search(r"[\w>&*\]]\s*$", seg):
+                    continue  # no return type before it: not a declaration
+                if re.search(r"\bconst\b", m.group("annos")):
+                    continue
+                emit(src, src.line_of(b0 + m.start()), "snapshot-type",
+                     f"snapshot type '{cls}' declares non-const method "
+                     f"'{name}' — published epochs must be immutable")
+
+    # ---- Writer-scope analysis over every function body and lambda. ----
+    model = _collect_model(sources, primitive_files)
+
+    def recover_signature(src, name, annos, off):
+        """The signature segment before the body brace, plus the real
+        function name: _extract_functions_ctx reads `Ctor(...) :
+        member(init) {` as a function named `member`, so ctors need their
+        name recovered from the text."""
+        brace = off - 1
+        seg_start = max(src.text.rfind(";", 0, brace),
+                        src.text.rfind("}", 0, brace),
+                        src.text.rfind("{", 0, brace)) + 1
+        raw_seg = src.text[seg_start:brace]
+        seg = re.sub(r"\b(?:public|private|protected)\s*:", " ", raw_seg)
+        colon = _init_list_split(seg)
+        if colon >= 0:
+            m = FUNC_SIG_RE.search(seg[:colon])
+            if m and m.group("name") not in FUNC_KEYWORDS:
+                return m.group("name"), (m.group("annos") or ""), \
+                    seg_start, raw_seg
+        return name, annos, seg_start, raw_seg
+
+    functions = []
+    for src, cls, name, annos, fbody, off in model.functions:
+        name, annos, sig_off, sig = recover_signature(src, name, annos, off)
+        functions.append((src, cls, name, annos, fbody, off, sig_off, sig))
+
+    # snapshot-type, definitions: inline and out-of-line method bodies of
+    # snapshot types (the declaration scan above only sees prototypes).
+    for src, cls, name, annos, _fbody, off, _soff, _sig in functions:
+        owner = cls
+        tail = name
+        if "::" in name:
+            owner, tail = name.rsplit("::", 1)
+            owner = owner.rsplit("::", 1)[-1]
+        if owner not in snapshot_types:
+            continue
+        if tail.lstrip("~") == owner:
+            continue  # ctor/dtor
+        if re.search(r"\bconst\b", annos):
+            continue
+        emit(src, src.line_of(off), "snapshot-type",
+             f"snapshot type '{owner}' defines non-const method '{tail}' — "
+             f"published epochs must be immutable")
+
+    atomic_members = set()
+    for src in sources:
+        for m in atomic_member_re.finditer(src.text):
+            atomic_members.add(m.group(1))
+    store_re = None
+    if atomic_members:
+        mem_alt = "|".join(sorted(atomic_members))
+        store_re = re.compile(
+            rf"\b({mem_alt})\s*(?:\.\s*(?:store|exchange)\s*\(|=(?!=))")
+
+    scopes = []
+    for src, cls, name, annos, fbody, off, sig_off, sig in functions:
+        outer, lambdas = _split_lambdas(fbody, off)
+        reqs = set(REQUIRES_RE.findall(annos))
+        for k in _fn_keys(cls, name):
+            reqs |= model.decl_requires.get(k, set())
+        is_snap_method = (cls in snapshot_types
+                          or ("::" in name and
+                              name.rsplit("::", 2)[-2] in snapshot_types))
+        scopes.append((src, name, outer, off, bool(reqs),
+                       is_snap_method, sig_off, sig))
+        for lam_annos, lam_body, lam_off in lambdas:
+            scopes.append((src, f"{name}::<lambda>", lam_body, lam_off,
+                           bool(REQUIRES_RE.findall(lam_annos)),
+                           False, 0, ""))
+
+    for src, name, body, off, writer, is_snap_method, sig_off, sig in scopes:
+        # Writer status begins at the first assert_held() when there is no
+        # REQUIRES: code before the assert is still reader-side.
+        writer_from = 0 if writer else None
+        if writer_from is None:
+            am = ASSERT_HELD_RE.search(body)
+            if am:
+                writer_from = am.end()
+
+        def in_writer(pos, writer_from=writer_from):
+            return writer_from is not None and pos >= writer_from
+
+        # snapshot-mutation: const_cast is never legal, handles only in
+        # writer scopes.
+        for m in cast_re.finditer(body):
+            emit(src, src.line_of(off + m.start()), "snapshot-mutation",
+                 f"casting constness away from a snapshot type in {name} — "
+                 f"published epochs are immutable; build a new one under "
+                 f"the writer context instead")
+        if not is_snap_method:
+            for m in nonconst_handle_hits(body):
+                if in_writer(m.start()):
+                    continue
+                emit(src, src.line_of(off + m.start()), "snapshot-mutation",
+                     f"non-const handle to a snapshot type in {name}, which "
+                     f"is not a writer scope (no GMMCS_REQUIRES, no prior "
+                     f"assert_held) — readers must hold const handles")
+            # The signature too: a non-const snapshot parameter or return
+            # is reader-side mutation access unless the function is a
+            # REQUIRES-annotated writer.
+            if not writer:
+                for m in nonconst_handle_hits(sig):
+                    emit(src, src.line_of(sig_off + m.start()),
+                         "snapshot-mutation",
+                         f"non-const handle to a snapshot type in the "
+                         f"signature of {name}, which is not a writer scope "
+                         f"— take shared_ptr<const T>/const T& instead")
+        # snapshot-publication: atomic snapshot pointer written outside a
+        # writer scope.
+        if store_re is not None:
+            for m in store_re.finditer(body):
+                if in_writer(m.start()):
+                    continue
+                emit(src, src.line_of(off + m.start()),
+                     "snapshot-publication",
+                     f"atomic snapshot pointer '{m.group(1)}' written in "
+                     f"{name}, which is not a writer scope — publication "
+                     f"must happen under the writer context only")
+
+    # Non-const handles in class bodies (member/prototype declarations):
+    # a member that keeps a mutable handle to a snapshot type defeats the
+    # shared_ptr<const> reclamation contract no matter who touches it.
+    for src in sources:
+        for cls, b0, b1, _cap in _scan_classes(src.text):
+            if cls in snapshot_types:
+                continue  # the types' own internals are rule-1 territory
+            top = _blank_braced(src.text[b0:b1])
+            for m in nonconst_handle_hits(top):
+                emit(src, src.line_of(b0 + m.start()), "snapshot-mutation",
+                     f"non-const snapshot handle declared in class '{cls}' "
+                     f"— hold shared_ptr<const T>/const T& instead and "
+                     f"build new epochs from locals in the writer")
+
+    return sorted(set(findings))
+
+
+# --------------------------------------------------------------------------
 # Driver.
 # --------------------------------------------------------------------------
 
@@ -1635,6 +1935,7 @@ PASSES = {
     "codec": lambda srcs: pass_codec_symmetry(srcs),
     "switch": lambda srcs: pass_switch_exhaustiveness(srcs),
     "lock-order": lambda srcs: pass_lock_order(srcs),
+    "snapshot": lambda srcs: pass_snapshot(srcs),
 }
 
 

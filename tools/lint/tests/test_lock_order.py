@@ -193,6 +193,48 @@ void Alpha::take_both() {
                             and "Alpha::mu_a_" in f[3] for f in findings),
                         findings)
 
+    def test_stale_lock_order_calls_annotation_is_flagged(self):
+        """An annotation operand that no longer names a real function (the
+        callback was renamed) must be reported, not silently ignored — a
+        stale annotation drops acquisition-graph edges."""
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/cb.cpp", """
+#include "sim/pair.hpp"
+void Beta::lock_only() { MutexLock l(mu_b_); }
+// gmmcs-lint: lock-order-calls(run_callbacks, Beta::lock_gone)
+void run_callbacks() { invoke_all(); }
+""")
+        findings = self.lint(ORDER_AB)
+        stale = [f for f in findings if "matches no function" in f[3]]
+        self.assertEqual(len(stale), 1, findings)
+        self.assertIn("Beta::lock_gone", stale[0][3])
+        self.assertEqual(stale[0][1], 4)  # the annotation's own line
+
+    def test_stale_lock_order_calls_caller_side_is_flagged(self):
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/cb.cpp", """
+#include "sim/pair.hpp"
+void Beta::lock_only() { MutexLock l(mu_b_); }
+// gmmcs-lint: lock-order-calls(run_gone, Beta::lock_only)
+void run_callbacks() { invoke_all(); }
+""")
+        findings = self.lint(ORDER_AB)
+        self.assertTrue(any("caller 'run_gone'" in f[3] for f in findings),
+                        findings)
+
+    def test_resolving_lock_order_calls_annotation_is_clean(self):
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/cb.cpp", """
+#include "sim/pair.hpp"
+void Beta::lock_only() { MutexLock l(mu_b_); }
+// gmmcs-lint: lock-order-calls(run_callbacks, Beta::lock_only)
+void run_callbacks() { invoke_all(); }
+""")
+        self.assertEqual(self.lint(ORDER_AB), [])
+
     def test_suppression_with_reason_silences(self):
         self.write_primitives()
         self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)

@@ -1,0 +1,369 @@
+#!/usr/bin/env python3
+"""Unit tests for the gmmcs-lint snapshot-discipline pass.
+
+The epoch-snapshot control plane (DESIGN.md §12) is only sound while the
+published types stay immutable, readers hold const handles, and the atomic
+snapshot pointer is stored from writer scopes only. The production tree is
+(and must stay) clean, so these fixtures are the proof that the pass
+actually detects each violation class: mutable state in a snapshot type,
+non-const methods (declared, inline and out-of-line), const_cast escapes,
+non-const handles outside writer scopes, mutable handle members, and
+publication from reader code — plus the writer-scope carve-outs
+(GMMCS_REQUIRES on the definition or its header declaration, a prior
+assert_held) and suppressions.
+
+Run directly (`python3 tools/lint/tests/test_snapshot.py`) or via the
+`gmmcs_lint_snapshot_selftest` ctest.
+"""
+
+import sys
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import gmmcs_lint  # noqa: E402
+from test_gmmcs_lint import LintCase  # noqa: E402
+
+# A snapshot type living in src/broker, the shape the rule protects: plain
+# data plus const accessors, frozen behind shared_ptr<const Snap>.
+CLEAN_SNAP = """
+#pragma once
+#include <memory>
+struct Snap {
+  Snap() = default;
+  Snap(int e) : epoch(e) {}
+  int epoch = 0;
+  [[nodiscard]] int lookup(int key) const;
+  [[nodiscard]] const int& view() const { return epoch; }
+};
+using SnapPtr = std::shared_ptr<const Snap>;
+"""
+
+
+class SnapshotCase(LintCase):
+    def lint(self, snapshot_types=("Snap",)):
+        return gmmcs_lint.pass_snapshot(self.tree.sources(),
+                                        snapshot_types=list(snapshot_types))
+
+
+class TestSnapshotType(SnapshotCase):
+    def test_clean_snapshot_type_is_clean(self):
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/snap.cpp", """
+#include "broker/snap.hpp"
+int Snap::lookup(int key) const { return epoch + key; }
+""")
+        self.assertEqual(self.lint(), [])
+
+    def test_mutable_member_is_flagged(self):
+        self.tree.write("src/broker/snap.hpp", """
+struct Snap {
+  mutable int cache = 0;
+  int lookup(int key) const;
+};
+""")
+        findings = self.lint()
+        self.assertEqual(self.rules(findings), ["snapshot-type"])
+        self.assertIn("mutable member", findings[0][3])
+
+    def test_nonconst_method_declaration_is_flagged(self):
+        self.tree.write("src/broker/snap.hpp", """
+struct Snap {
+  int epoch = 0;
+  void set_epoch(int e);
+  [[nodiscard]] int lookup(int key) const;
+};
+""")
+        findings = self.lint()
+        self.assertEqual(self.rules(findings), ["snapshot-type"])
+        self.assertIn("set_epoch", findings[0][3])
+
+    def test_nonconst_inline_method_is_flagged(self):
+        self.tree.write("src/broker/snap.hpp", """
+struct Snap {
+  int epoch = 0;
+  void bump() { ++epoch; }
+};
+""")
+        findings = self.lint()
+        self.assertEqual(self.rules(findings), ["snapshot-type"])
+        self.assertIn("bump", findings[0][3])
+
+    def test_nonconst_out_of_line_method_is_flagged(self):
+        self.tree.write("src/broker/snap.hpp", """
+struct Snap {
+  int epoch = 0;
+  void bump();
+};
+""")
+        self.tree.write("src/broker/snap.cpp", """
+#include "broker/snap.hpp"
+void Snap::bump() { ++epoch; }
+""")
+        findings = self.lint()
+        # Both the declaration and the definition are reported.
+        self.assertEqual(self.rules(findings),
+                         ["snapshot-type", "snapshot-type"])
+
+    def test_constructors_are_exempt(self):
+        self.tree.write("src/broker/snap.hpp", """
+struct Snap {
+  Snap();
+  explicit Snap(int e) : epoch(e) {}
+  ~Snap();
+  int epoch = 0;
+};
+""")
+        self.assertEqual(self.lint(), [])
+
+    def test_other_classes_methods_are_not_snapshot_typed(self):
+        # A non-snapshot class with non-const methods mentioning Snap by
+        # value stays clean.
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/use.cpp", """
+#include "broker/snap.hpp"
+struct Builder {
+  void grow() { ++n_; }
+  int n_ = 0;
+};
+Snap copy_of(const Snap& s) { return s; }
+""")
+        self.assertEqual(self.lint(), [])
+
+
+class TestSnapshotMutation(SnapshotCase):
+    def test_const_cast_is_flagged_even_in_writer_scope(self):
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/evil.cpp", """
+#include "broker/snap.hpp"
+void hack(const Snap& s) GMMCS_REQUIRES(ctx_) {
+  const_cast<Snap&>(s).epoch = 7;
+}
+""")
+        findings = self.lint()
+        self.assertEqual(self.rules(findings), ["snapshot-mutation"])
+        self.assertIn("casting constness away", findings[0][3])
+
+    def test_nonconst_shared_ptr_in_reader_is_flagged(self):
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/reader.cpp", """
+#include "broker/snap.hpp"
+void peek(std::shared_ptr<Snap> s) {
+  s->epoch = 1;
+}
+""")
+        findings = self.lint()
+        self.assertTrue(findings)
+        self.assertEqual(set(self.rules(findings)), {"snapshot-mutation"})
+
+    def test_nonconst_ref_in_reader_is_flagged(self):
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/reader.cpp", """
+#include "broker/snap.hpp"
+void touch(Snap& s) {
+  Snap* p = &s;
+  p->epoch = 1;
+}
+""")
+        findings = self.lint()
+        self.assertTrue(findings)
+        self.assertEqual(set(self.rules(findings)), {"snapshot-mutation"})
+
+    def test_const_handles_in_reader_are_clean(self):
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/reader.cpp", """
+#include "broker/snap.hpp"
+int peek(const SnapPtr& snap) {
+  const Snap& s = *snap;
+  const Snap* p = snap.get();
+  return s.lookup(p->epoch);
+}
+""")
+        self.assertEqual(self.lint(), [])
+
+    def test_make_shared_under_requires_is_clean(self):
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/writer.cpp", """
+#include "broker/snap.hpp"
+void Fabric::publish_now() GMMCS_REQUIRES(ctx_) {
+  auto next = std::make_shared<Snap>();
+  next->epoch = 2;
+}
+""")
+        self.assertEqual(self.lint(), [])
+
+    def test_requires_on_header_declaration_carries_to_definition(self):
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/fabric.hpp", """
+#include "broker/snap.hpp"
+class Fabric {
+ public:
+  void publish_now() GMMCS_REQUIRES(ctx_);
+};
+""")
+        self.tree.write("src/broker/fabric.cpp", """
+#include "broker/fabric.hpp"
+void Fabric::publish_now() {
+  auto next = std::make_shared<Snap>();
+  next->epoch = 2;
+}
+""")
+        self.assertEqual(self.lint(), [])
+
+    def test_assert_held_makes_writer_from_that_point_only(self):
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/half.cpp", """
+#include "broker/snap.hpp"
+void Fabric::rebuild() {
+  auto early = std::make_shared<Snap>();
+  ctx_.assert_held();
+  auto late = std::make_shared<Snap>();
+}
+""")
+        findings = self.lint()
+        self.assertEqual(self.rules(findings), ["snapshot-mutation"])
+        # Only the pre-assert handle is flagged.
+        self.assertEqual(len(findings), 1)
+
+    def test_lambda_does_not_inherit_writer_status(self):
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/lam.cpp", """
+#include "broker/snap.hpp"
+void Fabric::rebuild() GMMCS_REQUIRES(ctx_) {
+  auto fn = [] {
+    auto s = std::make_shared<Snap>();
+  };
+  fn();
+}
+""")
+        findings = self.lint()
+        self.assertEqual(self.rules(findings), ["snapshot-mutation"])
+        self.assertIn("<lambda>", findings[0][3])
+
+    def test_mutable_handle_member_is_flagged(self):
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/keep.hpp", """
+#include "broker/snap.hpp"
+class Cache {
+ public:
+  std::shared_ptr<Snap> keep_;
+};
+""")
+        findings = self.lint()
+        self.assertEqual(self.rules(findings), ["snapshot-mutation"])
+        self.assertIn("Cache", findings[0][3])
+
+    def test_const_handle_member_is_clean(self):
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/keep.hpp", """
+#include "broker/snap.hpp"
+class Cache {
+ public:
+  std::shared_ptr<const Snap> keep_;
+  SnapPtr also_;
+};
+""")
+        self.assertEqual(self.lint(), [])
+
+    def test_suppression_with_reason_silences(self):
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/reader.cpp", """
+#include "broker/snap.hpp"
+void migrate(std::shared_ptr<Snap> s) {
+  // gmmcs-lint: allow(snapshot-mutation): one-shot migration, single-threaded
+  s->epoch = 1;
+}
+""")
+        findings = self.lint()
+        # The parameter itself still trips (no suppression on its line).
+        self.assertEqual(len(findings), 1)
+        self.tree.write("src/broker/reader.cpp", """
+#include "broker/snap.hpp"
+// gmmcs-lint: allow(snapshot-mutation): one-shot migration, single-threaded
+void migrate(std::shared_ptr<Snap> s) {
+  s->epoch = 1;
+}
+""")
+        self.assertEqual(self.lint(), [])
+
+
+class TestSnapshotPublication(SnapshotCase):
+    HOLDER = """
+#include "broker/snap.hpp"
+#include <atomic>
+class Fabric {
+ public:
+  SnapPtr snapshot() const { return snap_.load(); }
+  void publish_now() GMMCS_REQUIRES(ctx_);
+  void refresh();
+ private:
+  std::atomic<SnapPtr> snap_;
+};
+"""
+
+    def test_store_outside_writer_scope_is_flagged(self):
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/fabric.hpp", self.HOLDER)
+        self.tree.write("src/broker/fabric.cpp", """
+#include "broker/fabric.hpp"
+void Fabric::refresh() {
+  snap_.store(nullptr);
+}
+""")
+        findings = self.lint()
+        self.assertEqual(self.rules(findings), ["snapshot-publication"])
+        self.assertIn("snap_", findings[0][3])
+
+    def test_store_in_writer_scope_and_loads_are_clean(self):
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/fabric.hpp", self.HOLDER)
+        self.tree.write("src/broker/fabric.cpp", """
+#include "broker/fabric.hpp"
+void Fabric::publish_now() {
+  snap_.store(nullptr, std::memory_order_release);
+}
+void Fabric::refresh() {
+  auto cur = snap_.load(std::memory_order_acquire);
+  (void)cur;
+}
+""")
+        self.assertEqual(self.lint(), [])
+
+    def test_atomic_shared_ptr_const_spelling_is_recognized(self):
+        self.tree.write("src/broker/snap.hpp", CLEAN_SNAP)
+        self.tree.write("src/broker/alt.hpp", """
+#include "broker/snap.hpp"
+#include <atomic>
+class Alt {
+ public:
+  void oops() { cur_ = nullptr; }
+ private:
+  std::atomic<std::shared_ptr<const Snap>> cur_;
+};
+""")
+        findings = self.lint()
+        self.assertEqual(self.rules(findings), ["snapshot-publication"])
+
+
+class TestDefaults(SnapshotCase):
+    def test_default_types_cover_the_control_plane(self):
+        for t in ("ControlSnapshot", "RouteTables", "InterestTable"):
+            self.assertIn(t, gmmcs_lint.SNAPSHOT_TYPES)
+
+    def test_pass_runs_with_default_config(self):
+        self.tree.write("src/broker/bad.cpp", """
+void f(const ControlSnapshot& s) {
+  const_cast<ControlSnapshot&>(s);
+}
+""")
+        findings = gmmcs_lint.pass_snapshot(self.tree.sources())
+        self.assertEqual(self.rules(findings), ["snapshot-mutation"])
+
+    def test_tree_without_snapshot_types_is_skipped(self):
+        self.tree.write("src/common/ok.hpp", "int x;\n")
+        self.assertEqual(gmmcs_lint.pass_snapshot(self.tree.sources()), [])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
