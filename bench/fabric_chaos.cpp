@@ -9,16 +9,27 @@
 //   - route-repair detection latency (heartbeat miss -> routes rebuilt),
 //   - client reconnect latency (keepalive miss -> backoff -> re-Hello).
 // Writes BENCH_fabric_chaos.json. Fully deterministic per seed.
+//
+// Generated mode (--seed S [--plans N] [--quick] [--workers W]) swaps the
+// scripted scenario for a ChaosGen batch: N generated (topology, plan)
+// pairs run through the chaos harness + oracle, with one JSON data point
+// per plan tagged by generator seed and plan hash so any point is
+// replayable (`chaos-spec v1` from sim/chaos_gen). Scripted mode stays
+// the default and its output is untouched.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "broker/broker_network.hpp"
 #include "broker/broker_node.hpp"
+#include "broker/chaos.hpp"
 #include "broker/client.hpp"
 #include "broker/reliable.hpp"
+#include "sim/chaos_gen.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/fault.hpp"
 #include "sim/network.hpp"
@@ -54,9 +65,123 @@ bool in_fault_window(const sim::FaultPlan& plan, SimTime t) {
   return plan.active_at(t);
 }
 
+int run_generated(std::uint64_t seed, std::uint64_t plans, int workers) {
+  sim::ChaosGen gen(seed);
+  std::uint64_t passed = 0, violations = 0;
+  broker::ChaosMetrics total;
+  FILE* json = std::fopen("BENCH_fabric_chaos_generated.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"fabric_chaos_generated\",\n");
+    std::fprintf(json, "  \"generator_seed\": %llu,\n  \"plans\": %llu,\n",
+                 static_cast<unsigned long long>(seed), static_cast<unsigned long long>(plans));
+    std::fprintf(json, "  \"workers\": %d,\n  \"points\": [\n", workers);
+  }
+  std::printf("=== Fabric chaos: generated plans (seed %llu, %llu plans, %d workers) ===\n",
+              static_cast<unsigned long long>(seed), static_cast<unsigned long long>(plans),
+              workers);
+  for (std::uint64_t i = 0; i < plans; ++i) {
+    const sim::ChaosSpec spec = gen.next();
+    const broker::ChaosOutcome out = broker::run_chaos(spec, {.workers = workers});
+    passed += out.ok() ? 1 : 0;
+    violations += out.violations.size();
+    const broker::ChaosMetrics& m = out.metrics;
+    total.reliable_delivered += m.reliable_delivered;
+    total.reliable_recovered += m.reliable_recovered;
+    total.reliable_lost += m.reliable_lost;
+    total.events_in += m.events_in;
+    total.copies_delivered += m.copies_delivered;
+    total.route_recomputes += m.route_recomputes;
+    total.clients_reaped += m.clients_reaped;
+    total.link_states_flooded += m.link_states_flooded;
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "    {\"seed\": %llu, \"plan_hash\": \"%016llx\", \"ok\": %s, "
+                   "\"brokers\": %d, \"faults\": %zu, \"reliable_delivered\": %llu, "
+                   "\"reliable_recovered\": %llu, \"route_recomputes\": %llu, "
+                   "\"clients_reaped\": %llu}%s\n",
+                   static_cast<unsigned long long>(spec.seed),
+                   static_cast<unsigned long long>(spec.hash()), out.ok() ? "true" : "false",
+                   spec.brokers, spec.faults.size(),
+                   static_cast<unsigned long long>(m.reliable_delivered),
+                   static_cast<unsigned long long>(m.reliable_recovered),
+                   static_cast<unsigned long long>(m.route_recomputes),
+                   static_cast<unsigned long long>(m.clients_reaped),
+                   i + 1 < plans ? "," : "");
+    }
+    if (!out.ok()) {
+      std::printf("plan %llu (seed %llu) VIOLATED:\n",
+                  static_cast<unsigned long long>(i),
+                  static_cast<unsigned long long>(spec.seed));
+      for (const broker::ChaosViolation& v : out.violations) {
+        std::printf("  %s: %s\n", v.invariant.c_str(), v.detail.c_str());
+      }
+      std::printf("replay spec:\n%s", spec.serialize().c_str());
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "  ],\n  \"passed\": %llu,\n  \"violations\": %llu,\n",
+                 static_cast<unsigned long long>(passed),
+                 static_cast<unsigned long long>(violations));
+    std::fprintf(json,
+                 "  \"totals\": {\"reliable_delivered\": %llu, \"reliable_recovered\": %llu, "
+                 "\"reliable_lost\": %llu, \"events_in\": %llu, \"copies_delivered\": %llu, "
+                 "\"route_recomputes\": %llu, \"clients_reaped\": %llu, "
+                 "\"link_states_flooded\": %llu}\n}\n",
+                 static_cast<unsigned long long>(total.reliable_delivered),
+                 static_cast<unsigned long long>(total.reliable_recovered),
+                 static_cast<unsigned long long>(total.reliable_lost),
+                 static_cast<unsigned long long>(total.events_in),
+                 static_cast<unsigned long long>(total.copies_delivered),
+                 static_cast<unsigned long long>(total.route_recomputes),
+                 static_cast<unsigned long long>(total.clients_reaped),
+                 static_cast<unsigned long long>(total.link_states_flooded));
+    std::fclose(json);
+  }
+  std::printf("\n%llu/%llu plans passed the oracle (%llu violations)\n",
+              static_cast<unsigned long long>(passed), static_cast<unsigned long long>(plans),
+              static_cast<unsigned long long>(violations));
+  std::printf("totals: reliable %llu delivered / %llu recovered / %llu lost, "
+              "%llu route recomputes, %llu clients reaped, %llu LSAs\n",
+              static_cast<unsigned long long>(total.reliable_delivered),
+              static_cast<unsigned long long>(total.reliable_recovered),
+              static_cast<unsigned long long>(total.reliable_lost),
+              static_cast<unsigned long long>(total.route_recomputes),
+              static_cast<unsigned long long>(total.clients_reaped),
+              static_cast<unsigned long long>(total.link_states_flooded));
+  if (json != nullptr) std::printf("wrote BENCH_fabric_chaos_generated.json\n");
+  return passed == plans ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool generated = false, quick = false;
+  std::uint64_t seed = 20260809, plans = 0;
+  int workers = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      generated = true;
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--plans") == 0 && i + 1 < argc) {
+      generated = true;
+      plans = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      generated = true;
+      quick = true;
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed S] [--plans N] [--quick] [--workers W]\n"
+                   "With no flags, runs the scripted 6-broker scenario.\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (generated) {
+    if (plans == 0) plans = quick ? 5 : 50;
+    return run_generated(seed, plans, workers);
+  }
   sim::EventLoop loop;
   sim::Network net(loop, 4242);
 

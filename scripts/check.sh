@@ -11,10 +11,35 @@
 #   lint              both linters (determinism + gmmcs-lint, including
 #                     the snapshot-discipline pass) and the lint fixture
 #                     selftests; no build tree required
+#   chaos [seed [n]]  sanitized (asan,ubsan) generated-plan batch: builds
+#                     the chaos bench and runs n generated fault plans
+#                     (default 40) through the invariant oracle. Seed
+#                     defaults to the current commit SHA so every commit
+#                     explores fresh plans while staying reproducible —
+#                     any violation prints a replayable chaos-spec.
 #   <list>            any raw comma-separated -fsanitize= list
 set -euo pipefail
 
 MODE="${1:-address,undefined}"
+
+if [[ "$MODE" == "chaos" ]]; then
+  ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+  SEED="${2:-}"
+  if [[ -z "$SEED" ]]; then
+    # Derive the batch seed from the commit: hex short-SHA as an integer.
+    SEED="$((16#$(git -C "$ROOT" rev-parse --short=12 HEAD)))"
+  fi
+  PLANS="${3:-40}"
+  BUILD="$ROOT/build-sanitize-address-undefined"
+  cmake -B "$BUILD" -S "$ROOT" -DGMMCS_SANITIZE="address,undefined" >/dev/null
+  cmake --build "$BUILD" -j "$(nproc)" --target fabric_chaos test_chaos
+  # The property tests first (fixed seeds + corpus replay), then the
+  # commit-seeded batch.
+  "$BUILD/tests/test_chaos"
+  (cd "$BUILD" && ./bench/fabric_chaos --seed "$SEED" --plans "$PLANS")
+  echo "check.sh chaos: $PLANS generated plans clean (seed $SEED)"
+  exit 0
+fi
 
 if [[ "$MODE" == "lint" ]]; then
   ROOT="$(cd "$(dirname "$0")/.." && pwd)"

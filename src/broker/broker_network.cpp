@@ -121,25 +121,31 @@ void BrokerNetwork::publish_now() {
 void BrokerNetwork::rebuild_routes() {
   next_hop_.clear();
   dist_.clear();
-  // BFS from every broker (links are uniform cost), skipping links a
-  // failure detector currently declares down.
-  for (const auto& [src, _] : adjacency_) {
-    auto& hops = next_hop_[src];
-    auto& dist = dist_[src];
-    dist[src] = 0;
-    std::deque<BrokerId> queue{src};
-    while (!queue.empty()) {
-      BrokerId cur = queue.front();
-      queue.pop_front();
-      for (BrokerId nb : adjacency_.at(cur)) {
-        if (dist.contains(nb)) continue;
-        if (!down_links_.empty() && !link_considered_up(cur, nb)) continue;
-        dist[nb] = dist[cur] + 1;
-        // First hop on the path: neighbor itself if cur==src, else
-        // inherit cur's first hop.
-        hops[nb] = (cur == src) ? nb : hops[cur];
-        queue.push_back(nb);
-      }
+  for (const auto& [src, _] : adjacency_) rebuild_route_row(src);
+}
+
+void BrokerNetwork::rebuild_route_row(BrokerId src) {
+  // BFS from one broker (links are uniform cost), skipping links the
+  // broker believes down: the shared detector table normally, its own
+  // gossip-fed view in gossip mode.
+  const auto& down = gossip_ ? view_down_[src] : down_links_;
+  auto& hops = next_hop_[src];
+  auto& dist = dist_[src];
+  hops.clear();
+  dist.clear();
+  dist[src] = 0;
+  std::deque<BrokerId> queue{src};
+  while (!queue.empty()) {
+    BrokerId cur = queue.front();
+    queue.pop_front();
+    for (BrokerId nb : adjacency_.at(cur)) {
+      if (dist.contains(nb)) continue;
+      if (!down.empty() && down.contains(std::minmax(cur, nb))) continue;
+      dist[nb] = dist[cur] + 1;
+      // First hop on the path: neighbor itself if cur==src, else
+      // inherit cur's first hop.
+      hops[nb] = (cur == src) ? nb : hops[cur];
+      queue.push_back(nb);
     }
   }
 }
@@ -153,13 +159,43 @@ void BrokerNetwork::report_link(BrokerId a, BrokerId b, bool up) {
     ctx_.assert_held();
     const auto key = std::minmax(a, b);
     // Both endpoints' detectors report each transition; only the first
-    // report of a genuine state change does any work.
+    // report of a genuine state change fires the repair listener.
     const bool changed = up ? down_links_.erase(key) > 0 : down_links_.insert(key).second;
+    if (gossip_) {
+      // Gossip mode: the reporting broker updates only its own view (and
+      // row) here; everyone else learns from the flooded advertisement,
+      // paying real propagation latency.
+      auto& view = view_down_[a];
+      const bool view_changed = up ? view.erase(key) > 0 : view.insert(key).second;
+      if (view_changed) {
+        rebuild_route_row(a);
+        ++route_recomputes_;
+        mark_dirty(/*routes=*/true, /*interest=*/false);
+      }
+    } else if (changed) {
+      rebuild_routes();
+      ++route_recomputes_;
+      mark_dirty(/*routes=*/true, /*interest=*/false);
+    }
+    if (changed && route_listener_) {
+      route_listener_(key.first, key.second, up, net_->loop().now());
+    }
+  });
+}
+
+void BrokerNetwork::apply_link_state(BrokerId at, BrokerId a, BrokerId b, bool up) {
+  // Staged like report_link; no repair-listener fire (the transition was
+  // already announced at its origin) and no shared-table touch.
+  net_->loop().post_effect([this, at, a, b, up] {
+    ctx_.assert_held();
+    if (!gossip_) return;
+    const auto key = std::minmax(a, b);
+    auto& view = view_down_[at];
+    const bool changed = up ? view.erase(key) > 0 : view.insert(key).second;
     if (!changed) return;
-    rebuild_routes();
+    rebuild_route_row(at);
     ++route_recomputes_;
     mark_dirty(/*routes=*/true, /*interest=*/false);
-    if (route_listener_) route_listener_(key.first, key.second, up, net_->loop().now());
   });
 }
 

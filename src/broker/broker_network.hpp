@@ -88,6 +88,24 @@ class BrokerNetwork {
     return route_recomputes_;
   }
 
+  // --- Gossiped link-state (DESIGN.md §13) ---
+  /// Switches route repair from the instantaneous shared-table shortcut to
+  /// gossip: each broker keeps its *own* view of down links, learns about
+  /// remote failures only from kLinkState advertisements flooded over the
+  /// (simulated, latency-paying) peer links, and routes its row from that
+  /// view. Off by default — fault-free runs carry no gossip traffic and
+  /// existing outputs stay byte-identical. Set before the run starts.
+  void set_gossip(bool enabled) {
+    ctx_.assert_held();
+    gossip_ = enabled;
+  }
+  /// Stable after setup (set_gossip is a construction-time switch), so
+  /// broker-lane code may check it without entering the fabric context.
+  [[nodiscard]] bool gossip_enabled() const { return gossip_; }
+  /// A broker applying a received link-state advertisement to its own
+  /// routing view (gossip mode only). Staged like report_link.
+  void apply_link_state(BrokerId at, BrokerId a, BrokerId b, bool up);
+
   /// Optional hierarchical address labels; set_address also implies
   /// nothing topologically — use link_hierarchy to wire by address.
   void set_address(BrokerId id, ClusterAddress addr);
@@ -128,6 +146,9 @@ class BrokerNetwork {
   /// BFS over adjacency_ minus down_links_; shared by finalize() and
   /// report_link().
   void rebuild_routes() GMMCS_REQUIRES(ctx_);
+  /// Rebuilds one broker's routing row from the down-set it believes in:
+  /// the shared down_links_ normally, its gossip view in gossip mode.
+  void rebuild_route_row(BrokerId src) GMMCS_REQUIRES(ctx_);
   /// Records which halves of the control plane changed and arranges for a
   /// snapshot publication: synchronous outside event execution (setup and
   /// tests observe the new epoch immediately), otherwise via a scheduled
@@ -155,6 +176,12 @@ class BrokerNetwork {
   /// Links currently declared down by some broker's failure detector,
   /// keyed undirected (min id, max id).
   std::set<std::pair<BrokerId, BrokerId>> down_links_ GMMCS_GUARDED_BY(ctx_);
+  /// Gossip mode: written only during setup, read by broker-lane code via
+  /// gossip_enabled() — stable while events run, so unguarded by design.
+  bool gossip_ = false;
+  /// Gossip mode: each broker's private view of down links, fed by the
+  /// kLinkState advertisements that actually reached it.
+  std::map<BrokerId, std::set<std::pair<BrokerId, BrokerId>>> view_down_ GMMCS_GUARDED_BY(ctx_);
   std::function<void(BrokerId, BrokerId, bool, SimTime)> route_listener_ GMMCS_GUARDED_BY(ctx_);
   std::uint64_t route_recomputes_ GMMCS_GUARDED_BY(ctx_) = 0;
   // [from][to] -> next hop.

@@ -46,6 +46,12 @@ BrokerNode::BrokerNode(sim::Host& host, BrokerId id, Config cfg)
       dispatch_(host.loop(), cfg.dispatch.threads, cfg.dispatch.queue_limit) {
   listener_.on_accept([this](transport::StreamConnectionPtr conn) { accept(std::move(conn)); });
   dgram_.on_receive([this](const sim::Datagram& d) { handle_datagram(d); });
+  if (cfg_.client_keepalive.interval.ns() > 0) {
+    client_keepalive_task_ = std::make_unique<sim::PeriodicTask>(
+        host.loop(), cfg_.client_keepalive.interval,
+        [this](std::uint64_t) { client_keepalive_tick(); });
+    client_keepalive_task_->start();
+  }
 }
 
 std::size_t BrokerNode::subscription_count() const {
@@ -70,6 +76,12 @@ void BrokerNode::accept(transport::StreamConnectionPtr conn) {
     auto frame = decode(data);
     if (!frame.ok()) return;
     Frame f = std::move(frame).value();
+    // Any frame from an identified client is proof of life for its record
+    // (kPong answers to keepalive probes land here too).
+    if (*client_id != 0) {
+      auto lit = clients_.find(*client_id);
+      if (lit != clients_.end()) lit->second.last_heard = host_->loop().now();
+    }
     switch (f.type) {
       case MessageType::kHello: {
         // A repeat Hello on an already-identified connection would mint a
@@ -82,6 +94,7 @@ void BrokerNode::accept(transport::StreamConnectionPtr conn) {
         rec.id = cid;
         rec.name = f.hello.client_name;
         rec.stream = weak_conn.lock();
+        rec.last_heard = host_->loop().now();
         if (f.hello.udp_port != 0) {
           rec.udp = sim::Endpoint{rec.stream->remote().node, f.hello.udp_port};
           rec.has_udp = true;
@@ -110,16 +123,23 @@ void BrokerNode::accept(transport::StreamConnectionPtr conn) {
         break;
       case MessageType::kPing:
         // Probes ride the dispatch pipeline: a loaded broker pongs late.
-        dispatch_.submit(cfg_.dispatch.route_cost, [raw, ping = f.ping] {
-          raw->send(encode(ping, /*pong=*/true));
+        // Weak capture: the connection can die before the job runs (client
+        // crash, ghost eviction by a reconnect Hello); the pong to a dead
+        // stream is simply dropped, like a write to a closed socket.
+        dispatch_.submit(cfg_.dispatch.route_cost, [weak_conn, ping = f.ping] {
+          if (auto conn = weak_conn.lock()) conn->send(encode(ping, /*pong=*/true));
         });
         break;
       case MessageType::kHeartbeat:
         handle_peer_heartbeat(f.heartbeat.from);
         break;
+      case MessageType::kLinkState:
+        handle_link_state(f.link_state);
+        break;
       default:
-        // kHelloAck / kPong are broker-to-client replies; a client echoing
-        // one back is harmless noise, not a protocol error.
+        // kHelloAck is a broker-to-client reply; kPong from a client is the
+        // answer to our keepalive probe — the proof-of-life bump above is
+        // all it needs to do.
         break;
     }
   });
@@ -193,7 +213,13 @@ void BrokerNode::handle_datagram(const sim::Datagram& d) {
   Frame f = std::move(frame).value();
   if (f.type != MessageType::kEvent) return;
   auto it = udp_index_.find(d.src);
-  ingress_event(std::move(f.event), it == udp_index_.end() ? 0 : it->second);
+  ClientId publisher = it == udp_index_.end() ? 0 : it->second;
+  if (publisher != 0) {
+    // Datagram-path publishers prove life without touching their stream.
+    auto cit = clients_.find(publisher);
+    if (cit != clients_.end()) cit->second.last_heard = host_->loop().now();
+  }
+  ingress_event(std::move(f.event), publisher);
 }
 
 void BrokerNode::ingress_event(Event ev, ClientId publisher) {
@@ -375,6 +401,14 @@ void BrokerNode::heartbeat_tick() {
   ctx_.assert_held();
   const SimTime now = host_->loop().now();
   const SimDuration dead = cfg_.heartbeat.interval * cfg_.heartbeat.miss_threshold;
+  const bool gossip = network_ != nullptr && network_->gossip_enabled();
+  // Gossip refresh: every miss_threshold ticks, re-advertise the current
+  // state of our adjacent links with a fresh sequence number. Event-driven
+  // floods alone leave brokers that were partitioned *during* a transition
+  // with a permanently stale view; the periodic re-flood converges them
+  // once connectivity returns (classic link-state protocol refresh).
+  const bool refresh = gossip && --gossip_refresh_countdown_ <= 0;
+  if (refresh) gossip_refresh_countdown_ = cfg_.heartbeat.miss_threshold;
   // peer_last_heard_ is ordered by BrokerId, so beacon fan-out and
   // detection order are deterministic across runs.
   for (auto& [peer, last] : peer_last_heard_) {
@@ -385,8 +419,13 @@ void BrokerNode::heartbeat_tick() {
     }
     if (now - last > dead && peer_down_.insert(peer).second) {
       ++links_detected_down_;
-      if (network_ != nullptr) network_->report_link(id_, peer, /*up=*/false);
+      if (network_ != nullptr) {
+        network_->report_link(id_, peer, /*up=*/false);
+        if (gossip) originate_link_state(peer, /*up=*/false);
+        continue;  // the fresh transition already flooded
+      }
     }
+    if (refresh) originate_link_state(peer, !peer_down_.contains(peer));
   }
 }
 
@@ -394,7 +433,80 @@ void BrokerNode::handle_peer_heartbeat(BrokerId peer) {
   peer_last_heard_[peer] = host_->loop().now();
   if (peer_down_.erase(peer) > 0) {
     ++links_detected_up_;
-    if (network_ != nullptr) network_->report_link(id_, peer, /*up=*/true);
+    if (network_ != nullptr) {
+      network_->report_link(id_, peer, /*up=*/true);
+      if (network_->gossip_enabled()) originate_link_state(peer, /*up=*/true);
+    }
+  }
+}
+
+void BrokerNode::client_keepalive_tick() {
+  ctx_.assert_held();
+  const SimTime now = host_->loop().now();
+  const SimDuration quiet = cfg_.client_keepalive.interval;
+  const SimDuration dead = quiet * cfg_.client_keepalive.miss_threshold;
+  // Sweep in client-id order (clients_ hashes; eviction emits
+  // advertisements whose serial order must be reproducible), collecting
+  // first because evict_client mutates the map.
+  std::vector<ClientId> ids;
+  ids.reserve(clients_.size());
+  // det-lint: allow(unordered-iteration) — key harvest, sorted before use
+  for (const auto& [cid, rec] : clients_) ids.push_back(cid);
+  std::sort(ids.begin(), ids.end());
+  for (ClientId cid : ids) {
+    auto it = clients_.find(cid);
+    if (it == clients_.end()) continue;
+    ClientRec& rec = it->second;
+    const SimDuration silent = now - rec.last_heard;
+    if (silent > dead) {
+      // A live client would have answered the probes below; this record is
+      // a ghost (its owner crashed, or reconnected as a fresh identity).
+      ++clients_reaped_;
+      evict_client(cid);
+    } else if (silent > quiet && rec.stream) {
+      // Quiet but not yet condemned: probe. Any answered frame bumps
+      // last_heard; a ghost's stream leads nowhere and stays silent.
+      PingMessage probe;
+      probe.sent = now;
+      rec.stream->send(encode(probe, /*pong=*/false));
+    }
+  }
+}
+
+void BrokerNode::originate_link_state(BrokerId peer, bool up) {
+  LinkStateMessage m;
+  m.origin = id_;
+  m.seq = ++lsa_next_seq_;
+  m.a = id_;
+  m.b = peer;
+  m.up = up;
+  // Record our own advertisement so the flood echoing back is dropped.
+  const auto [lo, hi] = std::minmax(m.a, m.b);
+  lsa_seen_[{m.origin, lo, hi}] = m.seq;
+  flood_link_state(m);
+}
+
+void BrokerNode::handle_link_state(const LinkStateMessage& m) {
+  const auto [lo, hi] = std::minmax(m.a, m.b);
+  auto [it, inserted] = lsa_seen_.try_emplace({m.origin, lo, hi}, m.seq);
+  if (!inserted) {
+    if (m.seq <= it->second) return;  // stale or already forwarded
+    it->second = m.seq;
+  }
+  if (network_ != nullptr) network_->apply_link_state(id_, m.a, m.b, m.up);
+  // Forward once to every peer (including back toward the sender — the
+  // dedup above terminates the flood).
+  flood_link_state(m);
+}
+
+void BrokerNode::flood_link_state(const LinkStateMessage& m) {
+  const Bytes wire = encode(m);
+  // peer_last_heard_ is ordered by BrokerId: deterministic flood order.
+  for (const auto& [peer, last] : peer_last_heard_) {
+    auto it = peer_links_.find(peer);
+    if (it == peer_links_.end()) continue;
+    it->second->send(wire);
+    ++link_states_flooded_;
   }
 }
 

@@ -19,6 +19,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -94,6 +95,20 @@ struct HeartbeatConfig {
   int miss_threshold = 3;
 };
 
+/// Broker-side client liveness (DESIGN.md §13): a client record silent for
+/// one interval is probed with a kPing on its stream (live clients answer
+/// kPong; any frame counts as life); a record still silent after
+/// miss_threshold intervals is reaped. This is what clears the *ghost*
+/// records a crashed-and-restarted broker keeps for stream-only clients —
+/// their reconnect mints a fresh record and the Hello-time UDP-endpoint
+/// eviction never fires because there is no UDP endpoint to collide on.
+/// Disabled by default (zero interval): fault-free runs carry no probe
+/// traffic or timers.
+struct ClientKeepaliveConfig {
+  SimDuration interval{0};
+  int miss_threshold = 3;
+};
+
 class BrokerNode {
  public:
   struct Config {
@@ -101,6 +116,7 @@ class BrokerNode {
     std::uint16_t dgram_port = 9001;
     DispatchConfig dispatch = DispatchConfig::optimized();
     HeartbeatConfig heartbeat;
+    ClientKeepaliveConfig client_keepalive;
   };
 
   BrokerNode(sim::Host& host, BrokerId id, Config cfg);
@@ -173,6 +189,16 @@ class BrokerNode {
     ctx_.assert_held();
     return peer_down_.contains(peer);
   }
+  /// Ghost client records reaped by the client-keepalive sweep.
+  [[nodiscard]] std::uint64_t clients_reaped() const {
+    ctx_.assert_held();
+    return clients_reaped_;
+  }
+  /// kLinkState advertisements this broker originated or forwarded.
+  [[nodiscard]] std::uint64_t link_states_flooded() const {
+    ctx_.assert_held();
+    return link_states_flooded_;
+  }
 
  private:
   friend class BrokerNetwork;
@@ -184,6 +210,9 @@ class BrokerNode {
     sim::Endpoint udp{};
     bool has_udp = false;
     std::vector<TopicFilter> filters;
+    /// Last instant any frame (stream or UDP) arrived from this client;
+    /// the client-keepalive sweep probes and reaps on this.
+    SimTime last_heard{};
   };
 
   void accept(transport::StreamConnectionPtr conn);
@@ -197,6 +226,15 @@ class BrokerNode {
   void heartbeat_tick();
   /// Starts the heartbeat task lazily once the first peer link exists.
   void ensure_heartbeat_task() GMMCS_REQUIRES(ctx_);
+  /// Client-keepalive sweep: probes quiet client records, reaps dead ones.
+  void client_keepalive_tick();
+  /// Detector transition in gossip mode: flood a fresh advertisement for
+  /// the (id_, peer) link so remote brokers learn at propagation speed.
+  void originate_link_state(BrokerId peer, bool up) GMMCS_REQUIRES(ctx_);
+  /// A kLinkState frame arriving from a peer: dedup by (origin, link, seq),
+  /// apply to our routing view and re-flood once.
+  void handle_link_state(const LinkStateMessage& m) GMMCS_REQUIRES(ctx_);
+  void flood_link_state(const LinkStateMessage& m) GMMCS_REQUIRES(ctx_);
 
   /// Entry point for a client-published event. `publisher` (0 = unknown)
   /// is excluded from local delivery: a subscriber never hears its own
@@ -260,9 +298,19 @@ class BrokerNode {
   std::map<BrokerId, SimTime> peer_last_heard_ GMMCS_GUARDED_BY(ctx_);
   std::set<BrokerId> peer_down_ GMMCS_GUARDED_BY(ctx_);
   std::unique_ptr<sim::PeriodicTask> heartbeat_task_ GMMCS_GUARDED_BY(ctx_);
+  std::unique_ptr<sim::PeriodicTask> client_keepalive_task_ GMMCS_GUARDED_BY(ctx_);
   std::uint64_t heartbeats_sent_ GMMCS_GUARDED_BY(ctx_) = 0;
   std::uint64_t links_detected_down_ GMMCS_GUARDED_BY(ctx_) = 0;
   std::uint64_t links_detected_up_ GMMCS_GUARDED_BY(ctx_) = 0;
+  std::uint64_t clients_reaped_ GMMCS_GUARDED_BY(ctx_) = 0;
+  /// Gossip state: per-origin flood dedup — highest seq already forwarded
+  /// for (origin, link min, link max) — and our own origination counter.
+  std::map<std::tuple<BrokerId, BrokerId, BrokerId>, std::uint32_t> lsa_seen_
+      GMMCS_GUARDED_BY(ctx_);
+  std::uint32_t lsa_next_seq_ GMMCS_GUARDED_BY(ctx_) = 0;
+  std::uint64_t link_states_flooded_ GMMCS_GUARDED_BY(ctx_) = 0;
+  /// Ticks since the last gossip refresh re-flood (see heartbeat_tick).
+  int gossip_refresh_countdown_ GMMCS_GUARDED_BY(ctx_) = 0;
   std::uint32_t next_probe_token_ GMMCS_GUARDED_BY(ctx_) = 1;
   std::map<std::uint32_t, std::pair<BrokerId, std::function<void(SimDuration)>>> probes_
       GMMCS_GUARDED_BY(ctx_);

@@ -45,7 +45,15 @@ void BrokerClient::open_stream() {
   if (tunneled) {
     stream_ = transport::connect_via_proxy(*host_, *cfg_.via_proxy, broker_stream_);
   } else {
-    stream_ = transport::StreamConnection::connect(*host_, broker_stream_);
+    transport::ConnectOptions opts;
+    if (cfg_.reconnect.enabled) {
+      // SYN-level retransmission under the connect_timeout watchdog: a lost
+      // handshake segment recovers in one syn_retry instead of a full
+      // teardown + backoff + re-Hello round.
+      opts.syn_retry = cfg_.reconnect.syn_retry;
+      opts.max_syn_retries = cfg_.reconnect.syn_retries;
+    }
+    stream_ = transport::StreamConnection::connect(*host_, broker_stream_, opts);
   }
   if (!tunneled && (cfg_.udp_delivery || cfg_.udp_publish) && !udp_) {
     // The UDP socket outlives reconnects: keeping its port stable is what
@@ -171,9 +179,14 @@ void BrokerClient::handle_frame(const Bytes& data) {
       ++events_received_;
       if (event_handler_) event_handler_(f.event);
       break;
+    case MessageType::kPing:
+      // Broker-side client keepalive probe (DESIGN.md §13): answer so the
+      // broker can tell a quiet-but-alive client from a ghost record.
+      stream_->send(encode(f.ping, /*pong=*/true));
+      break;
     default:
-      // Clients only consume kHelloAck/kEvent (kPong is handled before the
-      // switch); request-direction frames addressed to us are ignored.
+      // Clients only consume kHelloAck/kEvent/kPing (kPong is handled
+      // before the switch); other frames addressed to us are ignored.
       break;
   }
 }

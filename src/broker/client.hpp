@@ -39,6 +39,13 @@ struct ReconnectPolicy {
   /// A connect attempt not established within this window counts as
   /// failed and re-enters backoff.
   SimDuration connect_timeout = duration_ms(500);
+  /// Stream-level SYN retransmission interval while connecting (see
+  /// transport::ConnectOptions): recovers a handshake whose SYN or SYN-ACK
+  /// was eaten by a one-way cut or a briefly-dead broker host without
+  /// waiting out the full connect_timeout + backoff round trip. 0 keeps
+  /// the historical behavior (the watchdog alone owns the handshake).
+  SimDuration syn_retry{0};
+  int syn_retries = 3;
 };
 
 class BrokerClient {
@@ -89,6 +96,9 @@ class BrokerClient {
   /// Times the control stream was declared dead / successfully re-established.
   [[nodiscard]] std::uint64_t disconnects() const { return disconnects_; }
   [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+  /// Publishes still queued behind an incomplete handshake (0 once ready;
+  /// the chaos oracle's stuck-stream check).
+  [[nodiscard]] std::size_t pending_publishes() const { return pending_.size(); }
   [[nodiscard]] sim::Host& host() const { return *host_; }
 
  private:

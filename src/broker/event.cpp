@@ -102,6 +102,17 @@ Bytes encode(const HeartbeatMessage& m) {
   return w.take();
 }
 
+Bytes encode(const LinkStateMessage& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kLinkState));
+  w.u32(m.origin);
+  w.u32(m.seq);
+  w.u32(m.a);
+  w.u32(m.b);
+  w.u8(m.up ? 1 : 0);
+  return w.take();
+}
+
 Result<Frame> decode(const Bytes& data) {
   if (data.empty()) return fail<Frame>("broker: empty frame");
   ByteReader r(data);
@@ -144,6 +155,14 @@ Result<Frame> decode(const Bytes& data) {
     case MessageType::kHeartbeat:
       f.type = MessageType::kHeartbeat;
       f.heartbeat.from = r.u32();
+      break;
+    case MessageType::kLinkState:
+      f.type = MessageType::kLinkState;
+      f.link_state.origin = r.u32();
+      f.link_state.seq = r.u32();
+      f.link_state.a = r.u32();
+      f.link_state.b = r.u32();
+      f.link_state.up = r.u8() != 0;
       break;
     default:
       return fail<Frame>("broker: unknown frame type " + std::to_string(type));

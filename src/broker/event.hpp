@@ -55,6 +55,7 @@ enum class MessageType : std::uint8_t {
   kPing = 7,        // link performance probe (monitoring service)
   kPong = 8,        // probe reply, echoing token and send time
   kHeartbeat = 9,   // broker -> broker: periodic liveness beacon (sender id)
+  kLinkState = 10,  // broker -> broker: gossiped link up/down advertisement
 };
 
 struct HelloMessage {
@@ -91,6 +92,18 @@ struct HeartbeatMessage {
   BrokerId from = 0;
 };
 
+/// Gossiped link-state advertisement (gossip routing mode, DESIGN.md §13):
+/// `origin` observed link (a, b) transition to `up` and floods the news
+/// over its peer links; `seq` is a per-origin sequence number brokers use
+/// to forward each advertisement at most once.
+struct LinkStateMessage {
+  BrokerId origin = 0;
+  std::uint32_t seq = 0;
+  BrokerId a = 0;
+  BrokerId b = 0;
+  bool up = false;
+};
+
 Bytes encode(const HelloMessage& m);
 Bytes encode(const HelloAckMessage& m);
 Bytes encode(const SubscribeMessage& m);
@@ -101,6 +114,7 @@ Bytes encode(const PeerEventMessage& m);
 Bytes encode_peer_event(const Event& e, const std::vector<BrokerId>& targets);
 Bytes encode(const PingMessage& m, bool pong);
 Bytes encode(const HeartbeatMessage& m);
+Bytes encode(const LinkStateMessage& m);
 
 /// Process-wide count of kEvent encodes (encode(Event) calls). Host-side
 /// instrumentation for the encode-once fan-out path; tests and benches
@@ -139,6 +153,7 @@ struct Frame {
   PeerEventMessage peer_event;
   PingMessage ping;
   HeartbeatMessage heartbeat;
+  LinkStateMessage link_state;
 };
 
 [[nodiscard]] Result<Frame> decode(const Bytes& data);

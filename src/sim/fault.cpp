@@ -1,5 +1,7 @@
 #include "sim/fault.hpp"
 
+#include <algorithm>
+#include <map>
 #include <memory>
 #include <utility>
 
@@ -15,9 +17,20 @@ FaultPlan& FaultPlan::flap_link(NodeId a, NodeId b, SimTime from, SimTime until)
   return *this;
 }
 
+FaultPlan& FaultPlan::cut_oneway(NodeId src, NodeId dst, SimTime from, SimTime until) {
+  faults_.push_back(Fault{FaultKind::kOneWayCut, from, until, {src}, {dst}});
+  return *this;
+}
+
 FaultPlan& FaultPlan::loss_burst(NodeId a, NodeId b, SimTime from, SimTime until, double loss,
                                  double burst_length) {
   faults_.push_back(Fault{FaultKind::kLossBurst, from, until, {a}, {b}, loss, burst_length});
+  return *this;
+}
+
+FaultPlan& FaultPlan::gray_host(NodeId node, SimTime from, SimTime until, double loss,
+                                double burst_length) {
+  faults_.push_back(Fault{FaultKind::kGrayHost, from, until, {node}, {}, loss, burst_length});
   return *this;
 }
 
@@ -37,49 +50,94 @@ bool FaultPlan::active_at(SimTime t) const {
 
 void FaultPlan::install(Network& net) const {
   EventLoop& loop = net.loop();
+  // Boolean faults (crash / flap / cut / partition) are depth-counted per
+  // host, undirected link or directed pair: overlapping intervals on the
+  // same target only restore when the *last* covering fault ends, and a
+  // permanent fault (until = infinity) never decrements, pinning the
+  // target down forever. Without this, a short crash overlapping a
+  // permanent one would revive the host at its own `until`. Loss bursts
+  // and gray degrades get the same property from the network's override
+  // stacks. The counter maps are shared by the scheduled events and die
+  // with the last one.
+  auto crash_depth = std::make_shared<std::map<NodeId, int>>();
+  auto link_depth = std::make_shared<std::map<std::pair<NodeId, NodeId>, int>>();
+  auto oneway_depth = std::make_shared<std::map<std::pair<NodeId, NodeId>, int>>();
+  auto cut_link = [&loop, &net, &link_depth](NodeId a, NodeId b, SimTime from, SimTime until) {
+    const std::pair<NodeId, NodeId> key = std::minmax(a, b);
+    loop.schedule_at(from, [&net, key, link_depth] {
+      if ((*link_depth)[key]++ == 0) net.set_link_up(key.first, key.second, false);
+    });
+    if (until != SimTime::infinity()) {
+      loop.schedule_at(until, [&net, key, link_depth] {
+        if (--(*link_depth)[key] == 0) net.set_link_up(key.first, key.second, true);
+      });
+    }
+  };
   for (const Fault& f : faults_) {
     switch (f.kind) {
       case FaultKind::kHostCrash: {
         NodeId node = f.side_a.front();
-        loop.schedule_at(f.from, [&net, node] { net.host(node).set_up(false); });
-        if (f.until != SimTime::infinity()) {
-          loop.schedule_at(f.until, [&net, node] { net.host(node).set_up(true); });
-        }
-        break;
-      }
-      case FaultKind::kLinkFlap: {
-        NodeId a = f.side_a.front(), b = f.side_b.front();
-        loop.schedule_at(f.from, [&net, a, b] { net.set_link_up(a, b, false); });
-        if (f.until != SimTime::infinity()) {
-          loop.schedule_at(f.until, [&net, a, b] { net.set_link_up(a, b, true); });
-        }
-        break;
-      }
-      case FaultKind::kLossBurst: {
-        NodeId a = f.side_a.front(), b = f.side_b.front();
-        // The pre-burst path is captured at fire time (not install time) so
-        // plans compose with later set_path calls.
-        auto saved = std::make_shared<PathConfig>();
-        loop.schedule_at(f.from, [&net, a, b, saved, loss = f.loss, burst = f.burst_length] {
-          *saved = net.path(a, b);
-          PathConfig degraded = *saved;
-          degraded.loss = loss;
-          degraded.burst_length = burst;
-          net.set_path(a, b, degraded);
+        loop.schedule_at(f.from, [&net, node, crash_depth] {
+          if ((*crash_depth)[node]++ == 0) net.host(node).set_up(false);
         });
         if (f.until != SimTime::infinity()) {
-          loop.schedule_at(f.until, [&net, a, b, saved] { net.set_path(a, b, *saved); });
+          loop.schedule_at(f.until, [&net, node, crash_depth] {
+            if (--(*crash_depth)[node] == 0) net.host(node).set_up(true);
+          });
+        }
+        break;
+      }
+      case FaultKind::kLinkFlap:
+        cut_link(f.side_a.front(), f.side_b.front(), f.from, f.until);
+        break;
+      case FaultKind::kLossBurst: {
+        NodeId a = f.side_a.front(), b = f.side_b.front();
+        // The degraded model goes on the network's override stack rather
+        // than overwriting the base path: overlapping bursts (or a burst
+        // spanning a flap/crash) each push and pop their own entry, so the
+        // original path model reappears exactly when the last one ends.
+        auto token = std::make_shared<Network::OverrideToken>(0);
+        loop.schedule_at(f.from, [&net, a, b, token, loss = f.loss, burst = f.burst_length] {
+          PathConfig degraded = net.path(a, b);
+          degraded.loss = loss;
+          degraded.burst_length = burst;
+          *token = net.push_path_override(a, b, degraded);
+        });
+        if (f.until != SimTime::infinity()) {
+          loop.schedule_at(f.until,
+                           [&net, a, b, token] { net.pop_path_override(a, b, *token); });
+        }
+        break;
+      }
+      case FaultKind::kOneWayCut: {
+        const std::pair<NodeId, NodeId> key{f.side_a.front(), f.side_b.front()};
+        loop.schedule_at(f.from, [&net, key, oneway_depth] {
+          if ((*oneway_depth)[key]++ == 0) net.set_link_up_oneway(key.first, key.second, false);
+        });
+        if (f.until != SimTime::infinity()) {
+          loop.schedule_at(f.until, [&net, key, oneway_depth] {
+            if (--(*oneway_depth)[key] == 0) net.set_link_up_oneway(key.first, key.second, true);
+          });
+        }
+        break;
+      }
+      case FaultKind::kGrayHost: {
+        NodeId node = f.side_a.front();
+        auto token = std::make_shared<Network::OverrideToken>(0);
+        loop.schedule_at(f.from, [&net, node, token, loss = f.loss, burst = f.burst_length] {
+          *token = net.push_host_degrade(node, loss, burst);
+        });
+        if (f.until != SimTime::infinity()) {
+          loop.schedule_at(f.until, [&net, node, token] { net.pop_host_degrade(node, *token); });
         }
         break;
       }
       case FaultKind::kPartition: {
+        // Shares the link depth counters with kLinkFlap: a flap inside a
+        // partition window (or two overlapping partitions) must not
+        // reconnect a pair early.
         for (NodeId a : f.side_a) {
-          for (NodeId b : f.side_b) {
-            loop.schedule_at(f.from, [&net, a, b] { net.set_link_up(a, b, false); });
-            if (f.until != SimTime::infinity()) {
-              loop.schedule_at(f.until, [&net, a, b] { net.set_link_up(a, b, true); });
-            }
-          }
+          for (NodeId b : f.side_b) cut_link(a, b, f.from, f.until);
         }
         break;
       }

@@ -19,29 +19,45 @@ namespace gmmcs::sim {
 
 class FaultPlan {
  public:
-  enum class FaultKind { kHostCrash, kLinkFlap, kLossBurst, kPartition };
+  enum class FaultKind { kHostCrash, kLinkFlap, kLossBurst, kPartition, kOneWayCut, kGrayHost };
 
   struct Fault {
     FaultKind kind;
     SimTime from;
     /// End of the fault; SimTime::infinity() = permanent.
     SimTime until;
-    /// kHostCrash: the host. kLinkFlap/kLossBurst: {a}. kPartition: group A.
+    /// kHostCrash/kGrayHost: the host. kLinkFlap/kLossBurst: {a}.
+    /// kOneWayCut: {src}. kPartition: group A.
     std::vector<NodeId> side_a;
-    /// kLinkFlap/kLossBurst: {b}. kPartition: group B.
+    /// kLinkFlap/kLossBurst: {b}. kOneWayCut: {dst}. kPartition: group B.
     std::vector<NodeId> side_b;
-    double loss = 0.0;          // kLossBurst
-    double burst_length = 1.0;  // kLossBurst
+    double loss = 0.0;          // kLossBurst / kGrayHost
+    double burst_length = 1.0;  // kLossBurst / kGrayHost
   };
 
-  /// Host loses power at `from` and comes back at `until`.
+  /// Host loses power at `from` and comes back at `until`. Overlapping
+  /// crash windows on one host union: it restarts only when the last
+  /// window ends (never, if any overlapping crash is permanent).
   FaultPlan& crash_host(NodeId node, SimTime from, SimTime until = SimTime::infinity());
   /// The (a, b) path is cut for [from, until); reliable traffic included.
+  /// Overlapping cuts of the same pair (including via partition) union
+  /// like crash windows.
   FaultPlan& flap_link(NodeId a, NodeId b, SimTime from, SimTime until = SimTime::infinity());
+  /// Asymmetric cut: only the src → dst direction drops (reliable traffic
+  /// included); dst → src keeps flowing. The failure detector on the deaf
+  /// side sees the link die while the other side still hears heartbeats.
+  FaultPlan& cut_oneway(NodeId src, NodeId dst, SimTime from,
+                        SimTime until = SimTime::infinity());
   /// Temporarily overrides the (a, b) path's loss model (Gilbert–Elliott
-  /// when burst_length > 1); the original path is restored at `until`.
+  /// when burst_length > 1). Overrides stack: overlapping bursts compose
+  /// and the *original* path model is restored once the last one ends.
   FaultPlan& loss_burst(NodeId a, NodeId b, SimTime from, SimTime until, double loss,
                         double burst_length = 1.0);
+  /// Gray failure: the host's egress drops best-effort datagrams with the
+  /// given loss model while the host and its links stay administratively
+  /// up and reliable control traffic still flows.
+  FaultPlan& gray_host(NodeId node, SimTime from, SimTime until, double loss,
+                       double burst_length = 1.0);
   /// Cuts every cross pair between the two host groups for [from, until).
   FaultPlan& partition(std::vector<NodeId> side_a, std::vector<NodeId> side_b, SimTime from,
                        SimTime until = SimTime::infinity());

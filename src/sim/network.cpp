@@ -178,8 +178,50 @@ void Network::set_path(NodeId a, NodeId b, PathConfig cfg) {
 
 PathConfig Network::path(NodeId a, NodeId b) const {
   ctx_.assert_held();
+  // Effective path: the most recent live override wins over the base model.
+  if (!path_overrides_.empty()) {
+    auto ov = path_overrides_.find(std::minmax(a, b));
+    if (ov != path_overrides_.end() && !ov->second.empty()) return ov->second.back().second;
+  }
   auto it = paths_.find(std::minmax(a, b));
   return it == paths_.end() ? default_path_ : it->second;
+}
+
+Network::OverrideToken Network::push_path_override(NodeId a, NodeId b, PathConfig cfg) {
+  ctx_.assert_held();
+  OverrideToken token = next_override_token_++;
+  path_overrides_[std::minmax(a, b)].emplace_back(token, cfg);
+  return token;
+}
+
+void Network::pop_path_override(NodeId a, NodeId b, OverrideToken token) {
+  ctx_.assert_held();
+  auto it = path_overrides_.find(std::minmax(a, b));
+  if (it == path_overrides_.end()) return;
+  auto& stack = it->second;
+  std::erase_if(stack, [token](const auto& e) { return e.first == token; });
+  if (stack.empty()) path_overrides_.erase(it);
+}
+
+Network::OverrideToken Network::push_host_degrade(NodeId node, double loss, double burst_length) {
+  ctx_.assert_held();
+  OverrideToken token = next_override_token_++;
+  host_degrade_[node].emplace_back(token, loss, burst_length);
+  return token;
+}
+
+void Network::pop_host_degrade(NodeId node, OverrideToken token) {
+  ctx_.assert_held();
+  auto it = host_degrade_.find(node);
+  if (it == host_degrade_.end()) return;
+  auto& stack = it->second;
+  std::erase_if(stack, [token](const auto& e) { return std::get<0>(e) == token; });
+  if (stack.empty()) {
+    host_degrade_.erase(it);
+    // Restore a clean NIC: forget the gray burst chain for this source.
+    std::erase_if(gray_burst_state_,
+                  [node](const auto& e) { return e.first.first == node; });
+  }
 }
 
 GroupId Network::create_group() {
@@ -218,14 +260,28 @@ void Network::set_link_up(NodeId a, NodeId b, bool up) {
   }
 }
 
+void Network::set_link_up_oneway(NodeId src, NodeId dst, bool up) {
+  ctx_.assert_held();
+  if (up) {
+    down_oneway_.erase({src, dst});
+  } else {
+    down_oneway_.insert({src, dst});
+  }
+}
+
 bool Network::roll_loss(const PathConfig& cfg, NodeId src, NodeId dst) {
-  if (cfg.loss <= 0.0) return false;
-  if (cfg.burst_length <= 1.0) return rng_.chance(cfg.loss);
+  return roll_loss_in(burst_state_, cfg.loss, cfg.burst_length, src, dst);
+}
+
+bool Network::roll_loss_in(std::map<std::pair<NodeId, NodeId>, bool>& state, double loss,
+                           double burst_length, NodeId src, NodeId dst) {
+  if (loss <= 0.0) return false;
+  if (burst_length <= 1.0) return rng_.chance(loss);
   // Gilbert–Elliott: leave a burst with rate r = 1/L; enter one with
   // p = r * loss / (1 - loss), giving stationary loss p/(p+r) = loss.
-  double r = 1.0 / cfg.burst_length;
-  double p = r * cfg.loss / (1.0 - cfg.loss);
-  bool& in_burst = burst_state_[{src, dst}];
+  double r = 1.0 / burst_length;
+  double p = r * loss / (1.0 - loss);
+  bool& in_burst = state[{src, dst}];
   if (in_burst) {
     if (rng_.chance(r)) in_burst = false;
   } else {
@@ -234,17 +290,34 @@ bool Network::roll_loss(const PathConfig& cfg, NodeId src, NodeId dst) {
   return in_burst;
 }
 
+bool Network::gray_drop(NodeId src, NodeId dst) {
+  if (host_degrade_.empty()) return false;
+  auto it = host_degrade_.find(src);
+  if (it == host_degrade_.end() || it->second.empty()) return false;
+  const auto& [token, loss, burst] = it->second.back();
+  (void)token;
+  return roll_loss_in(gray_burst_state_, loss, burst, src, dst);
+}
+
 void Network::transmit(Host& from, Datagram d, SimTime depart) {
   // Runs in serial order only: direct call in serial mode, or replayed at
   // the merge barrier via post_effect in parallel mode (see Host::send).
   ctx_.assert_held();
-  // Administratively-cut links drop everything, reliable traffic included.
-  if (!link_up(from.id(), d.dst.node)) {
+  // Administratively-cut links (symmetric or one-way) drop everything,
+  // reliable traffic included.
+  if (!link_up_directed(from.id(), d.dst.node)) {
     lost_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   PathConfig p = path(from.id(), d.dst.node);
   if (!d.reliable && roll_loss(p, from.id(), d.dst.node)) {
+    lost_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Gray failure: a degraded host's egress bleeds best-effort traffic while
+  // reliable control traffic still flows (detectors keep seeing a healthy
+  // peer).
+  if (!d.reliable && gray_drop(from.id(), d.dst.node)) {
     lost_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
@@ -272,12 +345,12 @@ void Network::transmit_multicast(Host& from, GroupId group, Datagram d, SimTime 
   if (it == groups_.end()) return;
   for (const Endpoint& member : it->second) {
     if (member.node == from.id() && member.port == d.src.port) continue;  // no self-loop
-    if (!link_up(from.id(), member.node)) {
+    if (!link_up_directed(from.id(), member.node)) {
       lost_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     PathConfig p = path(from.id(), member.node);
-    if (roll_loss(p, from.id(), member.node)) {
+    if (roll_loss(p, from.id(), member.node) || gray_drop(from.id(), member.node)) {
       lost_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }

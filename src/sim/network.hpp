@@ -22,6 +22,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -260,6 +261,40 @@ class Network {
     return down_links_.empty() || !down_links_.contains(std::minmax(a, b));
   }
 
+  /// Asymmetric cut: drops datagrams traveling src → dst only; the reverse
+  /// direction keeps working. Models one-way WAN failures (policy
+  /// blackholes, unidirectional fiber faults) where A still hears B but B
+  /// has gone deaf to A. Used by FaultPlan::cut_oneway.
+  void set_link_up_oneway(NodeId src, NodeId dst, bool up);
+  /// Effective directed reachability: symmetric cut AND one-way cut.
+  [[nodiscard]] bool link_up_directed(NodeId src, NodeId dst) const {
+    ctx_.assert_held();
+    if (!link_up(src, dst)) return false;
+    return down_oneway_.empty() || !down_oneway_.contains({src, dst});
+  }
+
+  /// Opaque handle for a pushed path override or host degrade; 0 is never
+  /// a valid token.
+  using OverrideToken = std::uint64_t;
+
+  /// Pushes a temporary path model for (a, b) on top of the base path (and
+  /// any earlier overrides). The effective path is the most recent live
+  /// override, so overlapping faults compose: popping an inner override
+  /// reveals the next one down, and popping the last reveals the base path
+  /// — whatever set_path made it in the meantime. Used by FaultPlan loss
+  /// bursts so overlapping bursts restore the *original* model at the
+  /// latest `until` instead of a mid-burst snapshot.
+  OverrideToken push_path_override(NodeId a, NodeId b, PathConfig cfg);
+  void pop_path_override(NodeId a, NodeId b, OverrideToken token);
+
+  /// Pushes a "gray failure" on a host: its egress silently drops
+  /// non-reliable datagrams with the given loss model while the host stays
+  /// up, links stay up, and reliable control traffic (heartbeats, streams)
+  /// still flows — the failure detectors see a healthy peer while the data
+  /// plane bleeds. Stacks like path overrides; most recent wins.
+  OverrideToken push_host_degrade(NodeId node, double loss, double burst_length = 1.0);
+  void pop_host_degrade(NodeId node, OverrideToken token);
+
   GroupId create_group();
   void join_group(GroupId group, Endpoint member);
   void leave_group(GroupId group, Endpoint member);
@@ -280,6 +315,12 @@ class Network {
   /// Applies the path's loss model (Bernoulli or Gilbert–Elliott);
   /// true = drop. Burst state is kept per directed (src, dst) pair.
   bool roll_loss(const PathConfig& cfg, NodeId src, NodeId dst) GMMCS_REQUIRES(ctx_);
+  /// Loss roll against an explicit burst-state map — gray degrades keep a
+  /// chain independent of the path's own.
+  bool roll_loss_in(std::map<std::pair<NodeId, NodeId>, bool>& state, double loss,
+                    double burst_length, NodeId src, NodeId dst) GMMCS_REQUIRES(ctx_);
+  /// True when the source host's topmost gray degrade drops this datagram.
+  bool gray_drop(NodeId src, NodeId dst) GMMCS_REQUIRES(ctx_);
 
   EventLoop* loop_;
   /// Fabric execution context (phantom capability, DESIGN.md §11): the
@@ -295,8 +336,20 @@ class Network {
   std::unordered_map<GroupId, std::vector<Endpoint>> groups_ GMMCS_GUARDED_BY(ctx_);
   /// Administratively-down host pairs (link flaps, partitions), keyed minmax.
   std::set<std::pair<NodeId, NodeId>> down_links_ GMMCS_GUARDED_BY(ctx_);
+  /// Directed one-way cuts: (src, dst) pairs whose src → dst direction drops.
+  std::set<std::pair<NodeId, NodeId>> down_oneway_ GMMCS_GUARDED_BY(ctx_);
+  /// Stacked path overrides per minmax pair; the back entry is effective.
+  std::map<std::pair<NodeId, NodeId>, std::vector<std::pair<OverrideToken, PathConfig>>>
+      path_overrides_ GMMCS_GUARDED_BY(ctx_);
+  /// Stacked gray-failure degrades per host: (token, loss, burst_length).
+  std::map<NodeId, std::vector<std::tuple<OverrideToken, double, double>>> host_degrade_
+      GMMCS_GUARDED_BY(ctx_);
+  OverrideToken next_override_token_ GMMCS_GUARDED_BY(ctx_) = 1;
   /// Gilbert–Elliott "in a loss burst" flag per directed host pair.
   std::map<std::pair<NodeId, NodeId>, bool> burst_state_ GMMCS_GUARDED_BY(ctx_);
+  /// Separate burst state for host gray-degrades (an independent loss
+  /// process from the path's own Gilbert–Elliott chain).
+  std::map<std::pair<NodeId, NodeId>, bool> gray_burst_state_ GMMCS_GUARDED_BY(ctx_);
   /// Commutative sums bumped from arrival events, which run concurrently
   /// on distinct lanes in parallel mode — atomic (relaxed: the value is
   /// only read between events, order never matters for a sum).

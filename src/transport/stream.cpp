@@ -32,15 +32,42 @@ StreamConnection::~StreamConnection() {
   if (state_ != State::kClosed) do_close(/*notify_peer=*/true);
 }
 
-StreamConnectionPtr StreamConnection::connect(sim::Host& from, sim::Endpoint to) {
+StreamConnectionPtr StreamConnection::connect(sim::Host& from, sim::Endpoint to,
+                                              ConnectOptions opts) {
   auto conn = StreamConnectionPtr(new StreamConnection(from, State::kConnecting));
   conn->remote_ = to;
   conn->owns_port_ = true;
+  conn->opts_ = opts;
   std::uint16_t port = from.bind_ephemeral(
       [raw = conn.get()](const sim::Datagram& d) { raw->handle(d); });
   conn->local_ = sim::Endpoint{from.id(), port};
   from.send(to, port, control_segment(kSyn), /*reliable=*/true);
+  conn->arm_syn_timer();
   return conn;
+}
+
+void StreamConnection::arm_syn_timer() {
+  if (opts_.syn_retry.ns() <= 0) return;
+  // The raw `this` capture is safe: every path that destroys or closes the
+  // connection goes through do_close(), which cancels the timer.
+  syn_timer_ = host_->loop().schedule_after(opts_.syn_retry, [this] {
+    syn_timer_ = 0;
+    if (state_ != State::kConnecting) return;
+    if (syn_attempts_ >= opts_.max_syn_retries) {
+      do_close(/*notify_peer=*/false);  // handshake gave up: surface on_close
+      return;
+    }
+    ++syn_attempts_;
+    host_->send(remote_, local_.port, control_segment(kSyn), /*reliable=*/true);
+    arm_syn_timer();
+  });
+}
+
+void StreamConnection::cancel_syn_timer() {
+  if (syn_timer_ != 0) {
+    host_->loop().cancel(syn_timer_);
+    syn_timer_ = 0;
+  }
 }
 
 void StreamConnection::handle(const sim::Datagram& d) {
@@ -50,11 +77,19 @@ void StreamConnection::handle(const sim::Datagram& d) {
     case kSynAck:
       if (state_ == State::kConnecting) {
         state_ = State::kOpen;
+        cancel_syn_timer();
         flush_pending();
         if (connect_handler_) {
           auto h = connect_handler_;
           h();
         }
+      }
+      break;
+    case kSyn:
+      // Acceptor side: our SYN-ACK was lost (or is still in flight) and the
+      // connector retransmitted. Re-acknowledge so the handshake completes.
+      if (state_ == State::kOpen && !owns_port_) {
+        host_->send(remote_, local_.port, control_segment(kSynAck), /*reliable=*/true);
       }
       break;
     case kData:
@@ -128,6 +163,7 @@ void StreamConnection::close() {
 void StreamConnection::do_close(bool notify_peer) {
   State prev = state_;
   state_ = State::kClosed;
+  cancel_syn_timer();
   if (notify_peer && prev == State::kOpen) {
     host_->send(remote_, local_.port, control_segment(kFin), /*reliable=*/true);
   }

@@ -28,6 +28,19 @@ class StreamConnection;
 class StreamListener;
 using StreamConnectionPtr = std::shared_ptr<StreamConnection>;
 
+/// Handshake behavior for StreamConnection::connect.
+struct ConnectOptions {
+  /// SYN retransmission interval while the handshake is outstanding.
+  /// Zero disables the timer entirely (the historical behavior: a SYN
+  /// into a dead host parks the connection until the caller's own
+  /// watchdog gives up on it).
+  SimDuration syn_retry{0};
+  /// Retransmissions after the initial SYN before the connection gives up
+  /// and closes itself (firing on_close, so reconnect policies see a
+  /// normal failure).
+  int max_syn_retries = 5;
+};
+
 /// One end of an established (or connecting) stream. Hold the shared_ptr
 /// for as long as the connection should live; dropping the last reference
 /// closes it.
@@ -62,7 +75,12 @@ class StreamConnection : public std::enable_shared_from_this<StreamConnection> {
 
   /// Initiates a connection to a listener at `to`. The returned connection
   /// buffers sends until established; use on_connect() to sequence logic.
-  static StreamConnectionPtr connect(sim::Host& from, sim::Endpoint to);
+  /// With opts.syn_retry > 0 the SYN is retransmitted until answered —
+  /// covering a lost SYN or SYN-ACK, and a listener host that restarts
+  /// while the handshake is in flight — and the connection closes itself
+  /// after max_syn_retries unanswered attempts.
+  static StreamConnectionPtr connect(sim::Host& from, sim::Endpoint to,
+                                     ConnectOptions opts = {});
 
  private:
   friend class StreamListener;
@@ -74,6 +92,8 @@ class StreamConnection : public std::enable_shared_from_this<StreamConnection> {
   void deliver_or_buffer(Bytes payload);
   void flush_pending();
   void do_close(bool notify_peer);
+  void arm_syn_timer();
+  void cancel_syn_timer();
 
   sim::Host* host_;
   State state_;
@@ -90,6 +110,9 @@ class StreamConnection : public std::enable_shared_from_this<StreamConnection> {
   std::deque<Bytes> inbox_;   // buffered until a handler is set
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+  ConnectOptions opts_;
+  sim::TaskId syn_timer_ = 0;
+  int syn_attempts_ = 0;
 };
 
 /// Accepts incoming stream connections on a fixed port and demultiplexes

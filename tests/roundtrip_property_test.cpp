@@ -96,6 +96,8 @@ Bytes reencode(const gmmcs::broker::Frame& f) {
       return encode(f.ping, /*pong=*/true);
     case MessageType::kHeartbeat:
       return encode(f.heartbeat);
+    case MessageType::kLinkState:
+      return encode(f.link_state);
   }
   return {};
 }
@@ -138,6 +140,11 @@ TEST(RoundtripBroker, AllFrameTypesSurviveReencoding) {
     }
     {
       gmmcs::broker::HeartbeatMessage m{rand_u32(rng)};
+      expect_broker_roundtrip(encode(m));
+    }
+    {
+      gmmcs::broker::LinkStateMessage m{rand_u32(rng), rand_u32(rng), rand_u32(rng),
+                                        rand_u32(rng), rng.chance(0.5)};
       expect_broker_roundtrip(encode(m));
     }
   }

@@ -520,6 +520,151 @@ TEST_F(NetworkTest, FaultPlanPartitionBlocksCrossTraffic) {
   EXPECT_EQ(at_c, 2);  // intra-side traffic flows throughout
 }
 
+TEST_F(NetworkTest, FaultPlanOverlappingCrashesRestoreAtLatestUntil) {
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  int received = 0;
+  b.bind(1, [&](const Datagram&) { ++received; });
+  FaultPlan plan;
+  // [10, 30) and [20, 50) overlap: the host must stay down until 50 even
+  // though the first window's restore fires at 30.
+  plan.crash_host(b.id(), SimTime{duration_ms(10).ns()}, SimTime{duration_ms(30).ns()})
+      .crash_host(b.id(), SimTime{duration_ms(20).ns()}, SimTime{duration_ms(50).ns()});
+  plan.install(net);
+  for (std::int64_t ms : {5, 25, 35, 45, 55}) {
+    loop.schedule_at(SimTime{duration_ms(ms).ns()},
+                     [&] { a.send(Endpoint{b.id(), 1}, 2, Bytes(10, 0)); });
+  }
+  loop.run();
+  EXPECT_EQ(received, 2);  // only the 5ms and 55ms packets
+}
+
+TEST_F(NetworkTest, FaultPlanPermanentCrashPinsHostDown) {
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  int received = 0;
+  b.bind(1, [&](const Datagram&) { ++received; });
+  FaultPlan plan;
+  // A temporary crash overlapping a permanent one must not revive the
+  // host when its own window ends.
+  plan.crash_host(b.id(), SimTime{duration_ms(10).ns()})
+      .crash_host(b.id(), SimTime{duration_ms(20).ns()}, SimTime{duration_ms(30).ns()});
+  plan.install(net);
+  for (std::int64_t ms : {5, 35, 100}) {
+    loop.schedule_at(SimTime{duration_ms(ms).ns()},
+                     [&] { a.send(Endpoint{b.id(), 1}, 2, Bytes(10, 0)); });
+  }
+  loop.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_FALSE(net.host(b.id()).up());
+}
+
+TEST_F(NetworkTest, FaultPlanFlapInsidePartitionStaysCut) {
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  int received = 0;
+  b.bind(1, [&](const Datagram&) { ++received; });
+  FaultPlan plan;
+  // The flap's restore at 20 lands inside the partition window; the pair
+  // reconnects only when the partition heals at 40.
+  plan.flap_link(a.id(), b.id(), SimTime{duration_ms(10).ns()}, SimTime{duration_ms(20).ns()})
+      .partition({a.id()}, {b.id()}, SimTime{duration_ms(15).ns()},
+                 SimTime{duration_ms(40).ns()});
+  plan.install(net);
+  for (std::int64_t ms : {5, 25, 35, 45}) {
+    loop.schedule_at(SimTime{duration_ms(ms).ns()},
+                     [&] { a.send(Endpoint{b.id(), 1}, 2, Bytes(10, 0)); });
+  }
+  loop.run();
+  EXPECT_EQ(received, 2);  // 5ms and 45ms
+}
+
+TEST_F(NetworkTest, FaultPlanOverlappingBurstsRestoreOriginalPath) {
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  const PathConfig base{.latency = duration_us(10), .loss = 0.0};
+  net.set_path(a.id(), b.id(), base);
+  int received = 0;
+  b.bind(1, [&](const Datagram&) { ++received; });
+  FaultPlan plan;
+  // Two total-loss bursts, [10, 30) and [20, 50): traffic is dark for the
+  // whole union and the base (lossless) model reappears only at 50.
+  plan.loss_burst(a.id(), b.id(), SimTime{duration_ms(10).ns()}, SimTime{duration_ms(30).ns()},
+                  1.0)
+      .loss_burst(a.id(), b.id(), SimTime{duration_ms(20).ns()}, SimTime{duration_ms(50).ns()},
+                  1.0);
+  plan.install(net);
+  for (std::int64_t ms : {5, 25, 35, 45, 55, 60}) {
+    loop.schedule_at(SimTime{duration_ms(ms).ns()},
+                     [&] { a.send(Endpoint{b.id(), 1}, 2, Bytes(10, 0)); });
+  }
+  loop.run();
+  EXPECT_EQ(received, 3);  // 5ms, then 55ms and 60ms after full restore
+  EXPECT_EQ(net.path(a.id(), b.id()).loss, base.loss);
+}
+
+TEST_F(NetworkTest, FaultPlanOneWayCutIsDirectional) {
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  int at_a = 0, at_b = 0;
+  a.bind(1, [&](const Datagram&) { ++at_a; });
+  b.bind(1, [&](const Datagram&) { ++at_b; });
+  FaultPlan plan;
+  plan.cut_oneway(a.id(), b.id(), SimTime{duration_ms(10).ns()}, SimTime{duration_ms(30).ns()});
+  plan.install(net);
+  auto send_both = [&] {
+    a.send(Endpoint{b.id(), 1}, 2, Bytes(10, 0), /*reliable=*/true);
+    b.send(Endpoint{a.id(), 1}, 2, Bytes(10, 0), /*reliable=*/true);
+  };
+  loop.schedule_at(SimTime{duration_ms(20).ns()}, send_both);
+  loop.schedule_at(SimTime{duration_ms(35).ns()}, send_both);
+  loop.run();
+  // During the cut only a -> b is dark (even for reliable traffic); the
+  // reverse direction keeps flowing, and both work after restore.
+  EXPECT_EQ(at_b, 1);
+  EXPECT_EQ(at_a, 2);
+}
+
+TEST_F(NetworkTest, FaultPlanGrayHostDropsBestEffortEgressOnly) {
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  int at_a = 0, at_b = 0;
+  a.bind(1, [&](const Datagram&) { ++at_a; });
+  b.bind(1, [&](const Datagram&) { ++at_b; });
+  FaultPlan plan;
+  plan.gray_host(a.id(), SimTime{duration_ms(10).ns()}, SimTime{duration_ms(30).ns()}, 1.0);
+  plan.install(net);
+  loop.schedule_at(SimTime{duration_ms(20).ns()}, [&] {
+    a.send(Endpoint{b.id(), 1}, 2, Bytes(10, 0));                    // dropped (gray egress)
+    a.send(Endpoint{b.id(), 1}, 2, Bytes(10, 0), /*reliable=*/true); // control survives
+    b.send(Endpoint{a.id(), 1}, 2, Bytes(10, 0));                    // ingress unaffected
+  });
+  loop.schedule_at(SimTime{duration_ms(35).ns()},
+                   [&] { a.send(Endpoint{b.id(), 1}, 2, Bytes(10, 0)); });
+  loop.run();
+  EXPECT_EQ(at_b, 2);  // the reliable packet and the post-restore one
+  EXPECT_EQ(at_a, 1);
+}
+
+TEST_F(NetworkTest, FaultPlanStackedGrayDegradesRestoreCleanly) {
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  int received = 0;
+  b.bind(1, [&](const Datagram&) { ++received; });
+  FaultPlan plan;
+  // Overlapping gray windows [10, 30) and [20, 50): egress stays dark for
+  // the union; a clean host reappears only after the last one pops.
+  plan.gray_host(a.id(), SimTime{duration_ms(10).ns()}, SimTime{duration_ms(30).ns()}, 1.0)
+      .gray_host(a.id(), SimTime{duration_ms(20).ns()}, SimTime{duration_ms(50).ns()}, 1.0);
+  plan.install(net);
+  for (std::int64_t ms : {5, 25, 35, 45, 55}) {
+    loop.schedule_at(SimTime{duration_ms(ms).ns()},
+                     [&] { a.send(Endpoint{b.id(), 1}, 2, Bytes(10, 0)); });
+  }
+  loop.run();
+  EXPECT_EQ(received, 2);  // 5ms and 55ms
+}
+
 TEST_F(NetworkTest, FaultPlanDeterministicAcrossRuns) {
   // The same seed with the same fault plan (crash + flap + loss burst)
   // must reproduce delivery exactly.
