@@ -9,8 +9,11 @@
 #                     executor (worker pool, merge barrier) is race-free;
 #                     each sanitizer gets its own build tree
 #   lint              both linters (determinism + gmmcs-lint, including
-#                     the snapshot-discipline pass) and the lint fixture
-#                     selftests; no build tree required
+#                     the snapshot-discipline and lifetime passes) and
+#                     the lint fixture selftests; no build tree
+#                     required. Budgeted: the whole mode must finish
+#                     inside LINT_BUDGET_S (default 180 s) so the gate
+#                     stays cheap enough to run on every commit
 #   chaos [seed [n]]  sanitized (asan,ubsan) generated-plan batch: builds
 #                     the chaos bench and runs n generated fault plans
 #                     (default 40) through the invariant oracle. Seed
@@ -43,6 +46,8 @@ fi
 
 if [[ "$MODE" == "lint" ]]; then
   ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+  LINT_BUDGET_S="${LINT_BUDGET_S:-180}"
+  SECONDS=0
   # Prefer the compilation database of an existing build tree so the scan
   # matches exactly what ships; fall back to a directory walk.
   CCDB=""
@@ -52,14 +57,20 @@ if [[ "$MODE" == "lint" ]]; then
   python3 "$ROOT/tools/lint/tests/test_gmmcs_lint.py"
   python3 "$ROOT/tools/lint/tests/test_lock_order.py"
   python3 "$ROOT/tools/lint/tests/test_snapshot.py"
+  python3 "$ROOT/tools/lint/tests/test_lifetime.py"
+  JOBS="$(nproc)"
   if [[ -n "$CCDB" ]]; then
-    python3 "$ROOT/tools/lint/determinism_lint.py" --root "$ROOT" --compile-commands "$CCDB"
-    python3 "$ROOT/tools/lint/gmmcs_lint.py" --root "$ROOT" --compile-commands "$CCDB"
+    python3 "$ROOT/tools/lint/determinism_lint.py" --root "$ROOT" --compile-commands "$CCDB" --jobs "$JOBS"
+    python3 "$ROOT/tools/lint/gmmcs_lint.py" --root "$ROOT" --compile-commands "$CCDB" --jobs "$JOBS"
   else
-    python3 "$ROOT/tools/lint/determinism_lint.py" --root "$ROOT"
-    python3 "$ROOT/tools/lint/gmmcs_lint.py" --root "$ROOT"
+    python3 "$ROOT/tools/lint/determinism_lint.py" --root "$ROOT" --jobs "$JOBS"
+    python3 "$ROOT/tools/lint/gmmcs_lint.py" --root "$ROOT" --jobs "$JOBS"
   fi
-  echo "check.sh lint: all linters clean"
+  echo "check.sh lint: all linters clean in ${SECONDS}s (budget ${LINT_BUDGET_S}s)"
+  if (( SECONDS > LINT_BUDGET_S )); then
+    echo "check.sh lint: wall-clock budget exceeded" >&2
+    exit 1
+  fi
   exit 0
 fi
 

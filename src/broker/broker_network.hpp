@@ -30,6 +30,7 @@
 #include "broker/control_snapshot.hpp"
 #include "broker/subscription_index.hpp"
 #include "broker/topic.hpp"
+#include "common/thread_annotations.hpp"
 #include "sim/network.hpp"
 
 namespace gmmcs::broker {
@@ -44,7 +45,7 @@ struct ClusterAddress {
   [[nodiscard]] std::string to_string() const;
 };
 
-class BrokerNetwork {
+class GMMCS_PINNED("the cluster control plane is built before the loop starts and outlives its drain") BrokerNetwork {
  public:
   explicit BrokerNetwork(sim::Network& net);
   ~BrokerNetwork();

@@ -27,6 +27,7 @@
 #include "broker/subscription_index.hpp"
 #include "common/mutex.hpp"
 #include "broker/topic.hpp"
+#include "common/thread_annotations.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/network.hpp"
 #include "sim/service_center.hpp"
@@ -109,7 +110,7 @@ struct ClientKeepaliveConfig {
   int miss_threshold = 3;
 };
 
-class BrokerNode {
+class GMMCS_PINNED("brokers are immortal for a run: chaos frees connections, never broker nodes") BrokerNode {
  public:
   struct Config {
     std::uint16_t stream_port = 9000;

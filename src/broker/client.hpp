@@ -15,6 +15,7 @@
 
 #include "broker/event.hpp"
 #include "common/random.hpp"
+#include "common/thread_annotations.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/network.hpp"
 #include "transport/datagram_socket.hpp"
@@ -48,7 +49,7 @@ struct ReconnectPolicy {
   int syn_retries = 3;
 };
 
-class BrokerClient {
+class GMMCS_PINNED("client endpoints are created at run start and destroyed only after the loop drains") BrokerClient {
  public:
   struct Config {
     std::string name = "client";

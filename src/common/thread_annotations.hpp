@@ -41,3 +41,14 @@
 #define GMMCS_ASSERT_CAPABILITY(x) GMMCS_THREAD_ANNOTATION(assert_capability(x))
 #define GMMCS_RETURN_CAPABILITY(x) GMMCS_THREAD_ANNOTATION(lock_returned(x))
 #define GMMCS_NO_THREAD_SAFETY_ANALYSIS GMMCS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Lifetime pin for gmmcs-lint pass 7 ("lifetime", DESIGN.md §14).
+// `class GMMCS_PINNED("why") Foo { ... };` declares that every Foo is
+// constructed before the event loop starts and destroyed only after it
+// drains — sim hosts, brokers, protocol servers that are immortal for a
+// run. Callables deferred into the loop may therefore capture a raw
+// pointer/reference/`this` of a pinned class without escaping its
+// lifetime. The reason string is mandatory (the linter rejects an empty
+// one) and should say *why* the instance outlives all deferred work.
+// Compiles away entirely; it exists for the analyzer and the reader.
+#define GMMCS_PINNED(reason)

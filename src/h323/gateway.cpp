@@ -108,11 +108,17 @@ void H323Gateway::handle_setup(const Q931Message& setup, transport::StreamConnec
   connect.h245_address = call_ptr->h245_listener->local();
   conn->send(connect.encode());
 
+  // The H.245 connection is shared with the peer's host tables and can
+  // outlive the call (clear_call erases it from calls_ mid-run), so the
+  // message handler must not hold a raw Call*: look the call up by id
+  // and drop late control messages for a released call.
   call_ptr->h245_listener->on_accept([this, call_ptr](transport::StreamConnectionPtr h245) {
     call_ptr->h245 = h245;
-    h245->on_message([this, call_ptr](const Bytes& data) {
+    h245->on_message([this, id = call_ptr->id](const Bytes& data) {
+      auto it = calls_.find(id);
+      if (it == calls_.end()) return;  // call released while in flight
       auto parsed = H245Message::decode(data);
-      if (parsed.ok()) handle_h245(*call_ptr, parsed.value());
+      if (parsed.ok()) handle_h245(*it->second, parsed.value());
     });
   });
 }

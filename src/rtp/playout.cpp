@@ -6,6 +6,13 @@ PlayoutBuffer::PlayoutBuffer(sim::EventLoop& loop) : PlayoutBuffer(loop, Config{
 
 PlayoutBuffer::PlayoutBuffer(sim::EventLoop& loop, Config cfg) : loop_(&loop), cfg_(cfg) {}
 
+PlayoutBuffer::~PlayoutBuffer() {
+  // A playout buffer can die mid-run (its session torn down) with plays
+  // still queued; those callbacks touch `this`. Cancelling an
+  // already-run id is a no-op, so cancel everything ever scheduled.
+  for (sim::TaskId id : pending_) loop_->cancel(id);
+}
+
 void PlayoutBuffer::push(const RtpPacket& packet) {
   SimTime now = loop_->now();
   if (!base_arrival_) {
@@ -27,10 +34,17 @@ void PlayoutBuffer::push(const RtpPacket& packet) {
     ++reorders_absorbed_;  // arrived late in sequence but still playable
   }
   last_pushed_seq_ = packet.sequence;
-  loop_->schedule_at(playout, [this, packet] {
+  sim::TaskId id = loop_->schedule_at(playout, [this, packet] {
     ++played_;
+    ++fired_;
+    if (fired_ == pending_.size()) {
+      // Buffer drained: every scheduled play has run, drop the ids.
+      pending_.clear();
+      fired_ = 0;
+    }
     if (handler_) handler_(packet);
   });
+  pending_.push_back(id);
 }
 
 void PlayoutBuffer::on_play(std::function<void(const RtpPacket&)> handler) {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "rtp/packet.hpp"
 #include "sim/event_loop.hpp"
@@ -30,6 +31,10 @@ class PlayoutBuffer {
   PlayoutBuffer(sim::EventLoop& loop, Config cfg);
   /// Default configuration (80 ms, 90 kHz).
   explicit PlayoutBuffer(sim::EventLoop& loop);
+  /// Cancels every still-pending play (they capture `this`).
+  ~PlayoutBuffer();
+  PlayoutBuffer(const PlayoutBuffer&) = delete;
+  PlayoutBuffer& operator=(const PlayoutBuffer&) = delete;
 
   /// Hands a received packet to the buffer (arrival = now).
   void push(const RtpPacket& packet);
@@ -48,6 +53,10 @@ class PlayoutBuffer {
   std::optional<SimTime> base_arrival_;
   std::optional<std::uint32_t> base_ts_;
   std::optional<std::uint16_t> last_pushed_seq_;
+  // Ids of scheduled plays, cancelled in the destructor; compacted when
+  // the buffer drains (fired_ catches up with pending_.size()).
+  std::vector<sim::TaskId> pending_;
+  std::size_t fired_ = 0;
   std::uint64_t played_ = 0;
   std::uint64_t dropped_late_ = 0;
   std::uint64_t reorders_absorbed_ = 0;

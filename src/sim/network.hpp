@@ -29,6 +29,7 @@
 #include "common/bytes.hpp"
 #include "common/mutex.hpp"
 #include "common/random.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/time.hpp"
 #include "sim/event_loop.hpp"
 
@@ -96,7 +97,7 @@ class Network;
 
 /// A machine in the simulation. Obtained from Network::add_host; stable
 /// address (hosts are stored as unique_ptrs).
-class Host {
+class GMMCS_PINNED("sim hosts are built with the topology and outlive the event loop drain") Host {
  public:
   using Handler = std::function<void(const Datagram&)>;
 
@@ -231,7 +232,7 @@ class Host {
 };
 
 /// The simulated network fabric: owns hosts, paths and multicast groups.
-class Network {
+class GMMCS_PINNED("one Network owns the topology for the whole run and dies after the loop drains") Network {
  public:
   Network(EventLoop& loop, std::uint64_t seed = 1);
 

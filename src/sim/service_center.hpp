@@ -15,12 +15,13 @@
 
 #include "common/mutex.hpp"
 #include "common/small_fn.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/time.hpp"
 #include "sim/event_loop.hpp"
 
 namespace gmmcs::sim {
 
-class ServiceCenter {
+class GMMCS_PINNED("wired into its loop at startup, torn down only after the loop drains") ServiceCenter {
  public:
   /// servers: number of parallel workers; queue_limit: max queued jobs
   /// (0 = unbounded). Jobs arriving at a full queue are rejected.

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "sim/network.hpp"
 #include "sip/message.hpp"
 #include "transport/stream.hpp"
@@ -24,7 +25,7 @@ namespace gmmcs::sip {
 std::string make_contact(sim::Endpoint ep);
 [[nodiscard]] Result<sim::Endpoint> parse_contact(const std::string& contact);
 
-class SipAgent {
+class GMMCS_PINNED("SIP agents are run-long endpoints; their transports die first") SipAgent {
  public:
   static constexpr std::uint16_t kSipPort = 5060;
 

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/result.hpp"
+#include "common/thread_annotations.hpp"
 #include "sim/network.hpp"
 #include "transport/stream.hpp"
 #include "xml/xml.hpp"
@@ -48,7 +49,7 @@ std::string serialize(const HttpResponse& r);
 
 /// A SOAP RPC endpoint: dispatches by the local name of the body's first
 /// child element ("CreateSession", "GetRendezvous", ...).
-class SoapServer {
+class GMMCS_PINNED("SOAP services are registered at startup and serve until the loop drains") SoapServer {
  public:
   /// Handler receives the request element, returns the response element
   /// (wrapped for you) or an Error (returned as a SOAP fault).
@@ -74,7 +75,7 @@ class SoapServer {
 
 /// A SOAP RPC client: sends requests over one persistent connection and
 /// correlates responses in order (HTTP/1.1 pipelining semantics).
-class SoapClient {
+class GMMCS_PINNED("SOAP clients outlive their in-flight calls; the loop drains before teardown") SoapClient {
  public:
   using Callback = std::function<void(Result<xml::Element>)>;
 

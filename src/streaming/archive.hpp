@@ -15,11 +15,12 @@
 #include <vector>
 
 #include "broker/client.hpp"
+#include "common/thread_annotations.hpp"
 #include "sim/event_loop.hpp"
 
 namespace gmmcs::streaming {
 
-class ConferenceArchive {
+class GMMCS_PINNED("the archive service records and replays for the whole run") ConferenceArchive {
  public:
   ConferenceArchive(sim::Host& host, sim::Endpoint broker_stream);
 

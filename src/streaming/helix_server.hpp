@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/thread_annotations.hpp"
 #include "media/transcoder.hpp"
 #include "streaming/rtsp.hpp"
 #include "transport/datagram_socket.hpp"
@@ -24,7 +25,7 @@
 
 namespace gmmcs::streaming {
 
-class HelixServer {
+class GMMCS_PINNED("the streaming server lives for the whole run; sessions come and go") HelixServer {
  public:
   static constexpr std::uint16_t kRtspPort = 554;
 

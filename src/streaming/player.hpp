@@ -11,13 +11,14 @@
 #include <optional>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "streaming/rtsp.hpp"
 #include "transport/datagram_socket.hpp"
 #include "transport/stream.hpp"
 
 namespace gmmcs::streaming {
 
-class StreamingPlayer {
+class GMMCS_PINNED("player app objects live for the experiment run; their RTSP connection dies first") StreamingPlayer {
  public:
   struct Config {
     /// Playout buffering: a block with timestamp t plays at

@@ -39,51 +39,60 @@ ProxyServer::ProxyServer(sim::Host& host, std::uint16_t port)
 }
 
 void ProxyServer::accept(StreamConnectionPtr client) {
-  // The proxy owns both legs of every tunnel via pairs_; handlers capture
-  // raw pointers only. Capturing the shared_ptrs inside the connections'
-  // own handlers would form reference cycles and leak every tunnel.
-  // (Connection destructors never invoke close handlers, so the raw
-  // cross-pointers cannot dangle during pair teardown.)
+  // Tunnel legs are shared with the host connection tables, so relay
+  // handlers capture weak_ptrs (the kPing shape): no reference cycles —
+  // a handler stored on one leg never keeps the other leg alive — and a
+  // leg torn down mid-run turns the peer's handler into a no-op instead
+  // of a dangling pointer.
+  std::weak_ptr<StreamConnection> client_weak = client;
   auto* raw = client.get();
   pairs_.emplace_back(std::move(client), nullptr);
   // The first message must be the CONNECT line; subsequent messages are
   // payload and may already be queued behind it (ordered delivery).
-  raw->on_message([this, raw](const Bytes& first) {
+  raw->on_message([this, client_weak](const Bytes& first) {
+    auto conn = client_weak.lock();
+    if (!conn) return;
     std::string line = to_string(first);
     if (!starts_with(line, "CONNECT ")) {
-      raw->close();
+      conn->close();
       return;
     }
     auto parts = split(line.substr(8), ':');
     if (parts.size() != 2) {
-      raw->close();
+      conn->close();
       return;
     }
     sim::Endpoint target{static_cast<sim::NodeId>(std::stoul(parts[0])),
                          static_cast<std::uint16_t>(std::stoul(parts[1]))};
     auto upstream = StreamConnection::connect(*host_, target);
-    auto* up = upstream.get();
+    std::weak_ptr<StreamConnection> up_weak = upstream;
     ++tunnels_;
+    // Re-point the client handler at the relay; upstream buffers until open.
+    conn->on_message([this, up_weak](const Bytes& m) {
+      auto up = up_weak.lock();
+      if (!up) return;
+      ++relayed_;
+      up->send(m);
+    });
+    upstream->on_message([this, client_weak](const Bytes& m) {
+      auto down = client_weak.lock();
+      if (!down) return;
+      ++relayed_;
+      down->send(m);
+    });
+    conn->on_close([this, up_weak] {
+      if (tunnels_ > 0) --tunnels_;
+      if (auto up = up_weak.lock()) up->close();
+    });
+    upstream->on_close([client_weak] {
+      if (auto down = client_weak.lock()) down->close();
+    });
     for (auto& [c, u] : pairs_) {
-      if (c.get() == raw) {
+      if (c == conn) {
         u = std::move(upstream);
         break;
       }
     }
-    // Re-point the client handler at the relay; upstream buffers until open.
-    raw->on_message([this, up](const Bytes& m) {
-      ++relayed_;
-      up->send(m);
-    });
-    up->on_message([this, raw](const Bytes& m) {
-      ++relayed_;
-      raw->send(m);
-    });
-    raw->on_close([this, up] {
-      if (tunnels_ > 0) --tunnels_;
-      up->close();
-    });
-    up->on_close([raw] { raw->close(); });
   });
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/thread_annotations.hpp"
 #include "sim/event_loop.hpp"
 #include "xgsp/session_server.hpp"
 
@@ -37,7 +38,7 @@ struct Reservation {
   bool finished = false;
 };
 
-class MeetingScheduler {
+class GMMCS_PINNED("a run-long service; its timers fire or the run ends first") MeetingScheduler {
  public:
   MeetingScheduler(sim::EventLoop& loop, SessionServer& sessions);
 

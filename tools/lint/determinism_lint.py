@@ -31,19 +31,23 @@ justification, e.g. the sanctioned wrapper internals.
 
 Usage:
   determinism_lint.py [--compile-commands build/compile_commands.json]
-                      [--root REPO_ROOT]
+                      [--root REPO_ROOT] [--jobs N]
 
-Scans every src/ translation unit listed in the compilation database
-(so exactly what the build compiles, nothing stale) plus all src/
-headers; falls back to a directory walk when no database is available.
-Exit status 0 = clean, 1 = findings, 2 = usage error.
+File discovery and parsing are shared with gmmcs_lint.py
+(tools/lint/frontend.py): every src/ translation unit listed in the
+compilation database (so exactly what the build compiles, nothing stale)
+plus all src/ headers; falls back to a directory walk when no database
+is available. Exit status 0 = clean, 1 = findings, 2 = usage error.
 """
 
 import argparse
-import json
 import re
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from frontend import (add_frontend_args, collect_files,  # noqa: E402
+                      discover_compile_commands, load_sources)
 
 RULES = {
     "wall-clock": [
@@ -103,82 +107,18 @@ MESSAGES = {
     ),
 }
 
-SUPPRESS_RE = re.compile(r"det-lint:\s*allow\(([a-z-]+)\)|NOLINT")
 UNORDERED_DECL_RE = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<.*>\s+([A-Za-z_]\w*)\s*[;{=]"
 )
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*:\s*(?:\w+(?:->|\.))?([A-Za-z_]\w*)\s*\)")
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
 
 COMPILED_RULES = {
     rule: [re.compile(p) for p in pats] for rule, pats in RULES.items()
 }
 
 
-def strip_comments(lines):
-    """Returns lines with //- and /* */-comments blanked (suppressions are
-    read from the raw lines before this)."""
-    out = []
-    in_block = False
-    for line in lines:
-        res = []
-        i = 0
-        while i < len(line):
-            if in_block:
-                end = line.find("*/", i)
-                if end < 0:
-                    i = len(line)
-                else:
-                    in_block = False
-                    i = end + 2
-            elif line.startswith("//", i):
-                break
-            elif line.startswith("/*", i):
-                in_block = True
-                i += 2
-            else:
-                res.append(line[i])
-                i += 1
-        out.append("".join(res))
-    return out
-
-
-def suppressed(raw_lines, idx, rule):
-    for look in (idx, idx - 1):
-        if look < 0:
-            continue
-        m = SUPPRESS_RE.search(raw_lines[look])
-        if m and (m.group(0) == "NOLINT" or m.group(1) in (rule, "all")):
-            return True
-    return False
-
-
-def collect_files(root, compile_commands):
-    src = root / "src"
-    files = set(src.rglob("*.hpp")) | set(src.rglob("*.h"))
-    used_db = False
-    if compile_commands and compile_commands.is_file():
-        try:
-            db = json.loads(compile_commands.read_text())
-            for entry in db:
-                f = Path(entry["file"])
-                if not f.is_absolute():
-                    f = Path(entry.get("directory", ".")) / f
-                f = f.resolve()
-                if src.resolve() in f.parents and f.is_file():
-                    files.add(f)
-                    used_db = True
-        except (json.JSONDecodeError, KeyError, OSError) as e:
-            print(f"determinism-lint: warning: bad compilation database: {e}",
-                  file=sys.stderr)
-    if not used_db:
-        files |= set(src.rglob("*.cpp"))
-    return sorted(files)
-
-
-INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
-
-
-def collect_unordered_names(root, files):
+def collect_unordered_names(sources):
     """Per-file sets of identifiers declared as unordered containers, in
     the file itself or in src/ headers it directly includes (the class
     header of a .cpp). Scoped per file so a std::map member that happens
@@ -186,19 +126,16 @@ def collect_unordered_names(root, files):
     not false-positive."""
     own = {}
     includes = {}
-    by_rel = {}
-    for f in files:
-        rel = f.resolve().relative_to(root).as_posix()
-        by_rel[rel] = f
+    for src in sources:
         names = set()
         incs = []
-        for line in strip_comments(f.read_text().splitlines()):
+        for line in src.code:
             for m in UNORDERED_DECL_RE.finditer(line):
                 names.add(m.group(1))
             for m in INCLUDE_RE.finditer(line):
                 incs.append("src/" + m.group(1))
-        own[rel] = names
-        includes[rel] = incs
+        own[src.rel] = names
+        includes[src.rel] = incs
     scoped = {}
     for rel in own:
         names = set(own[rel])
@@ -208,24 +145,24 @@ def collect_unordered_names(root, files):
     return scoped
 
 
-def lint_file(path, rel, unordered_names):
-    raw = path.read_text().splitlines()
-    code = strip_comments(raw)
+def lint_source(src, unordered_names):
     findings = []
-    for idx, line in enumerate(code):
+    for idx, line in enumerate(src.code):
         for rule, patterns in COMPILED_RULES.items():
-            if rel in ALLOWED_FILES.get(rule, ()):
+            if src.rel in ALLOWED_FILES.get(rule, ()):
                 continue
             # pointer-format must look inside string literals; everything
             # else matches the comment-stripped code directly.
             for pat in patterns:
                 if pat.search(line):
-                    if not suppressed(raw, idx, rule):
+                    if not src.suppressed(idx + 1, rule, tool="det-lint"):
                         findings.append((idx + 1, rule, MESSAGES[rule]))
                     break
         for m in RANGE_FOR_RE.finditer(line):
             name = m.group(1)
-            if name in unordered_names and not suppressed(raw, idx, "unordered-iteration"):
+            if name in unordered_names and \
+                    not src.suppressed(idx + 1, "unordered-iteration",
+                                       tool="det-lint"):
                 findings.append(
                     (idx + 1, "unordered-iteration",
                      MESSAGES["unordered-iteration"] % name))
@@ -234,10 +171,7 @@ def lint_file(path, rel, unordered_names):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--compile-commands", type=Path, default=None,
-                    help="compile_commands.json from the build tree")
-    ap.add_argument("--root", type=Path, default=Path.cwd(),
-                    help="repository root (default: cwd)")
+    add_frontend_args(ap)
     args = ap.parse_args()
 
     root = args.root.resolve()
@@ -245,13 +179,15 @@ def main():
         print(f"determinism-lint: no src/ under {root}", file=sys.stderr)
         return 2
 
-    files = collect_files(root, args.compile_commands)
-    scoped_names = collect_unordered_names(root, files)
+    ccdb = args.compile_commands or discover_compile_commands(root)
+    files = collect_files(root, ccdb, tool="determinism-lint")
+    sources = load_sources(root, files, jobs=args.jobs)
+    scoped_names = collect_unordered_names(sources)
     total = 0
-    for f in files:
-        rel = f.resolve().relative_to(root).as_posix()
-        for lineno, rule, msg in lint_file(f, rel, scoped_names.get(rel, set())):
-            print(f"{rel}:{lineno}: [{rule}] {msg}")
+    for src in sources:
+        for lineno, rule, msg in lint_source(
+                src, scoped_names.get(src.rel, set())):
+            print(f"{src.rel}:{lineno}: [{rule}] {msg}")
             total += 1
     if total:
         print(f"determinism-lint: {total} finding(s) in {len(files)} files")

@@ -7,8 +7,9 @@ Three classes of latent cross-protocol bugs survive unit tests in such a
 codebase: a silent layering violation (a lower layer reaching up), a
 dropped Result from a wire-data parse, and an encode/decode asymmetry
 that only bites when the *other* stack parses the bytes. This linter
-makes all three machine-checked. Six passes share one compilation-
-database loader and one suppression syntax:
+makes all three machine-checked. Seven passes share one compilation-
+database loader (tools/lint/frontend.py, shared with the determinism
+linter) and one suppression syntax:
 
   layering         every `#include "mod/..."` edge is checked against the
                    declared layer DAG
@@ -60,6 +61,19 @@ database loader and one suppression syntax:
                    them, and the atomic snapshot pointer is published
                    from writer scopes only (details at the pass).
 
+  lifetime         deferred-capture escape analysis (DESIGN.md §14):
+                   every lambda that flows into a deferred-execution
+                   sink (EventLoop::schedule_*/post_effect,
+                   ServiceCenter::submit/submit_batch, stored callback
+                   slots, and anything a may-defer fixpoint proves
+                   stores its callable parameter) has each capture
+                   classified; a by-reference / raw-pointer / `this`
+                   capture outliving its scope is an error unless the
+                   captured object's type is GMMCS_PINNED (lifetime
+                   pinned to the run) or the callable is structurally
+                   proven to be cancelled/unbound before the object
+                   dies (details at the pass).
+
 Suppressions: a line (or the line directly above it) containing
 `gmmcs-lint: allow(<rule>): <reason>` is exempt from <rule>. The reason
 text is mandatory; an empty reason is itself reported (rule
@@ -68,15 +82,19 @@ text is mandatory; an empty reason is itself reported (rule
 Usage:
   gmmcs_lint.py [--compile-commands build/compile_commands.json]
                 [--root REPO_ROOT] [--passes layering,result,...]
+                [--jobs N] [--fix]
 
 Exit status 0 = clean, 1 = findings, 2 = usage error.
 """
 
 import argparse
-import json
 import re
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import frontend
+from frontend import SourceFile, strip_comments, discover_compile_commands
 
 # --------------------------------------------------------------------------
 # Configuration (edit here when the tree grows).
@@ -164,6 +182,7 @@ MESSAGES = {
     "snapshot-type": "%s",
     "snapshot-mutation": "%s",
     "snapshot-publication": "%s",
+    "lifetime": "%s",
     "suppression-reason": "gmmcs-lint suppression without a reason "
                           "(write `gmmcs-lint: allow(rule): why`)",
 }
@@ -173,68 +192,6 @@ MESSAGES = {
 # --------------------------------------------------------------------------
 
 SUPPRESS_RE = re.compile(r"gmmcs-lint:\s*allow\(([a-z-]+)\)(?::?\s*(.*?))?\s*(?:\*/)?\s*$")
-
-
-def strip_comments(lines):
-    """Blanks //- and /* */-comments; suppressions are read from raw lines."""
-    out = []
-    in_block = False
-    for line in lines:
-        res = []
-        i = 0
-        while i < len(line):
-            if in_block:
-                end = line.find("*/", i)
-                if end < 0:
-                    i = len(line)
-                else:
-                    in_block = False
-                    i = end + 2
-            elif line.startswith("//", i):
-                break
-            elif line.startswith("/*", i):
-                in_block = True
-                i += 2
-            else:
-                res.append(line[i])
-                i += 1
-        out.append("".join(res))
-    return out
-
-
-class SourceFile:
-    """A parsed source file: raw lines, comment-stripped lines and text."""
-
-    def __init__(self, path, rel):
-        self.path = path
-        self.rel = rel
-        self.raw = path.read_text().splitlines()
-        self.code = strip_comments(self.raw)
-        self.text = "\n".join(self.code)
-        # Offsets of line starts in `text`, for offset -> line mapping.
-        self.line_starts = [0]
-        for line in self.code:
-            self.line_starts.append(self.line_starts[-1] + len(line) + 1)
-
-    def line_of(self, offset):
-        lo, hi = 0, len(self.line_starts) - 1
-        while lo < hi:
-            mid = (lo + hi + 1) // 2
-            if self.line_starts[mid] <= offset:
-                lo = mid
-            else:
-                hi = mid - 1
-        return lo + 1  # 1-based
-
-    def suppressed(self, lineno, rule):
-        """True if 1-based `lineno` (or the line above) allows `rule`."""
-        for look in (lineno - 1, lineno - 2):
-            if look < 0 or look >= len(self.raw):
-                continue
-            m = SUPPRESS_RE.search(self.raw[look])
-            if m and m.group(1) in (rule, "all"):
-                return True
-        return False
 
 
 def check_suppression_reasons(src):
@@ -249,36 +206,11 @@ def check_suppression_reasons(src):
 
 
 def collect_files(root, compile_commands):
-    """src/ headers plus every src/ TU the build compiles (falls back to a
-    directory walk when no database is available)."""
-    src = root / "src"
-    files = set(src.rglob("*.hpp")) | set(src.rglob("*.h"))
-    used_db = False
-    if compile_commands and compile_commands.is_file():
-        try:
-            db = json.loads(compile_commands.read_text())
-            for entry in db:
-                f = Path(entry["file"])
-                if not f.is_absolute():
-                    f = Path(entry.get("directory", ".")) / f
-                f = f.resolve()
-                if src.resolve() in f.parents and f.is_file():
-                    files.add(f)
-                    used_db = True
-        except (json.JSONDecodeError, KeyError, OSError) as e:
-            print(f"gmmcs-lint: warning: bad compilation database: {e}",
-                  file=sys.stderr)
-    if not used_db:
-        files |= set(src.rglob("*.cpp"))
-    return sorted(files)
+    return frontend.collect_files(root, compile_commands, tool="gmmcs-lint")
 
 
-def load_sources(root, files):
-    out = []
-    for f in files:
-        rel = f.resolve().relative_to(root).as_posix()
-        out.append(SourceFile(f, rel))
-    return out
+def load_sources(root, files, jobs=1):
+    return frontend.load_sources(root, files, jobs=jobs)
 
 
 # --------------------------------------------------------------------------
@@ -1074,7 +1006,7 @@ LOCK_PRIMITIVE_FILES = {"src/common/mutex.hpp"}
 
 CAPABILITY_CLASS_RE = re.compile(r"\b(?:class|struct)\s+GMMCS_CAPABILITY\s*\(")
 CLASS_HEAD_RE = re.compile(
-    r"\b(?:class|struct)\s+(?:GMMCS_CAPABILITY\s*\([^)]*\)\s+)?"
+    r"\b(?:class|struct)\s+(?:(?:GMMCS_CAPABILITY|GMMCS_PINNED)\s*\([^)]*\)\s+)*"
     r"(?!GMMCS_)(\w+)(?:\s+final)?[^;{}()=]*\{")
 LOCK_CALLS_RE = re.compile(
     r"gmmcs-lint:\s*lock-order-calls\(\s*([\w:~]+)\s*,\s*([\w:~]+)\s*\)")
@@ -1106,12 +1038,13 @@ FUNC_KEYWORDS = {"if", "for", "while", "switch", "return", "catch", "do",
 
 
 def _extract_functions_ctx(text, base_offset=0, cls=None):
-    """Yields (cls, name, annos_text, body, body_offset) for every function
-    definition in `text`, recursing into class bodies (unlike
+    """Yields (cls, name, params, annos_text, body, body_offset) for every
+    function definition in `text`, recursing into class bodies (unlike
     _extract_functions, which skips them — inline methods matter here).
 
-    `annos_text` is everything between the closing param paren and the
-    opening brace: const, GMMCS_REQUIRES(...), ctor init lists."""
+    `params` is the raw parameter-list text; `annos_text` is everything
+    between the closing param paren and the opening brace: const,
+    GMMCS_REQUIRES(...), ctor init lists."""
     funcs = []
     i, n = 0, len(text)
     while i < n:
@@ -1122,6 +1055,33 @@ def _extract_functions_ctx(text, base_offset=0, cls=None):
         seg_start = max(text.rfind(";", 0, i), text.rfind("}", 0, i),
                         text.rfind("{", 0, i)) + 1
         seg = text[seg_start:i]
+        # A `{` while the segment still has an unclosed `(` is a
+        # brace-init inside an argument list (`Config{.x = 1}` in a ctor
+        # init list), not a function body: step over it.
+        if seg.count("(") > seg.count(")"):
+            i = _skip_braces(text, i)
+            continue
+        # A segment that closes more parens than it opens began
+        # mid-expression: the `}` before it ended a paren-nested
+        # brace-init. Extend the segment back over that brace pair
+        # (contents replaced by `{}` — only the shape matters here).
+        while seg.count(")") > seg.count("(") and seg_start >= 1 \
+                and text[seg_start - 1] == "}":
+            depth, j = 0, seg_start - 1
+            while j >= 0:
+                if text[j] == "}":
+                    depth += 1
+                elif text[j] == "{":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            if j < 0:
+                break
+            new_start = max(text.rfind(";", 0, j), text.rfind("}", 0, j),
+                            text.rfind("{", 0, j)) + 1
+            seg = text[new_start:j] + "{}" + text[seg_start:i]
+            seg_start = new_start
         if re.search(r"\bnamespace\b", seg):
             i += 1
             continue
@@ -1140,30 +1100,33 @@ def _extract_functions_ctx(text, base_offset=0, cls=None):
             if re.search(r"\benum\b", seg):
                 i = _skip_braces(text, i)
                 continue
-        # A function definition: `... name(params) [annos] {`
-        # Find the param list by scanning back from the brace.
-        m = FUNC_SIG_RE.search(seg)
-        if m and m.group("name") not in FUNC_KEYWORDS \
-                and not m.group("name").startswith("GMMCS_"):
-            # Ctor init lists look like `Name(...) : a_(x), b_(y) {` — the
-            # FUNC_SIG_RE above fails on the `:` tail, so retry on the text
-            # before the first top-level `:` that isn't `::`.
-            end = _skip_braces(text, i)
-            funcs.append((cls, m.group("name"), m.group("annos") or "",
-                          text[i + 1:end - 1], base_offset + i + 1))
-            i = end
-            continue
-        # Ctor with init list: split at the `:` and retry.
+        # A function definition: `... name(params) [annos] {`.  Ctor init
+        # lists look like `Name(...) : a_(x), b_(y) {` — try the split at
+        # the first top-level `:` FIRST, because on the whole segment
+        # FUNC_SIG_RE would latch onto the last init-list member call
+        # (`b_(y)`) and report a "function" named `b_`.
         colon = _init_list_split(seg)
         if colon >= 0:
             m2 = FUNC_SIG_RE.search(seg[:colon])
-            if m2 and m2.group("name") not in FUNC_KEYWORDS:
+            if m2 and m2.group("name") not in FUNC_KEYWORDS \
+                    and not m2.group("name").startswith("GMMCS_"):
                 end = _skip_braces(text, i)
-                funcs.append((cls, m2.group("name"),
+                funcs.append((cls, m2.group("name"), m2.group("params"),
                               (m2.group("annos") or "") + seg[colon:],
                               text[i + 1:end - 1], base_offset + i + 1))
                 i = end
                 continue
+        # Plain function: find the param list by scanning back from the
+        # brace.
+        m = FUNC_SIG_RE.search(seg)
+        if m and m.group("name") not in FUNC_KEYWORDS \
+                and not m.group("name").startswith("GMMCS_"):
+            end = _skip_braces(text, i)
+            funcs.append((cls, m.group("name"), m.group("params"),
+                          m.group("annos") or "",
+                          text[i + 1:end - 1], base_offset + i + 1))
+            i = end
+            continue
         i += 1
     return funcs
 
@@ -1274,7 +1237,48 @@ class _LockModel:
         self.decl_acquires = {}        # same, from GMMCS_ACQUIRE on decls
         self.extra_calls = {}          # fn key -> set of fn keys (lock-order-calls)
         self.extra_call_sites = []     # (src, lineno, caller, callee) per annotation
-        self.functions = []            # (src, cls, name, annos, body, offset)
+        self.functions = []            # (src, cls, name, params, annos, body, offset)
+        self.classes = set()           # every class/struct name in the tree
+        self.member_types = {}         # cls -> {member: (kind, element class)}
+        self.parametric = {}           # fn key -> [(kind, param idx, param name)]
+
+
+def _param_names(params):
+    """Declared parameter names, in order, from a raw parameter-list
+    string. A nameless parameter contributes None at its index."""
+    names, depth, start, parts = [], 0, 0, []
+    for i, c in enumerate(params):
+        if c in "(<[{":
+            depth += 1
+        elif c in ")>]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            parts.append(params[start:i])
+            start = i + 1
+    if params[start:].strip():
+        parts.append(params[start:])
+    for p in parts:
+        p = p.split("=", 1)[0].strip()  # drop default argument
+        # The name is the trailing identifier after a type separator; a
+        # lone word (`int`, `Pred`) is an unnamed parameter's type.
+        m = re.search(r"[\s&*>]\s*(\w+)\s*$", p)
+        names.append(m.group(1) if m else None)
+    return names
+
+
+def _parametric_of(params, annos):
+    """[(kind, idx, pname)] for every GMMCS_REQUIRES/GMMCS_ACQUIRE cap in
+    `annos` whose base names a parameter — a parametric capability whose
+    concrete identity is only known at each call site."""
+    pnames = _param_names(params)
+    out = []
+    for kind, rx in (("requires", REQUIRES_RE), ("acquires", ACQUIRE_ANNO_RE)):
+        for anno in rx.findall(annos):
+            for cap in anno.split(","):
+                base = _base_cap(cap)
+                if base and base in pnames:
+                    out.append((kind, pnames.index(base), base))
+    return out
 
 
 def _collect_model(sources, primitive_files):
@@ -1282,8 +1286,10 @@ def _collect_model(sources, primitive_files):
     # Round 1: capability classes (they can be declared anywhere).
     for src in sources:
         for name, b0, b1, is_cap in _scan_classes(src.text):
+            model.classes.add(name)
             if is_cap:
                 model.cap_classes.add(name)
+    model.member_types = _collect_member_types(sources, _ptr_aliases(sources))
     cap_alt = "|".join(sorted(model.cap_classes)) or r"(?!x)x"
     inst_re = re.compile(
         rf"^\s*(?:mutable\s+)?(?:gmmcs::)?(?:common::)?(?:{cap_alt})\s+"
@@ -1309,16 +1315,29 @@ def _collect_model(sources, primitive_files):
                     _base_cap(gm.group("cap"))
             # Declaration-only REQUIRES/ACQUIRE (prototypes ending in `;`).
             for dm in DECL_ANNO_RE.finditer(body):
-                fname, annos = dm.group(1), dm.group(3)
+                fname, fparams, annos = dm.group(1), dm.group(2), dm.group(3)
                 key = f"{cls}::{fname}"
+                para = _parametric_of(fparams, annos)
+                pnames = {p for _k, _i, p in para}
+                for pk in (key, fname):
+                    if para:
+                        model.parametric.setdefault(pk, para)
+                # Parametric caps are resolved per call site, not here.
                 reqs = {_base_cap(a) for a in REQUIRES_RE.findall(annos)}
                 acqs = {_base_cap(a) for a in ACQUIRE_ANNO_RE.findall(annos)}
-                if reqs:
-                    model.decl_requires.setdefault(key, set()).update(reqs)
-                if acqs:
-                    model.decl_acquires.setdefault(key, set()).update(acqs)
-        for cls, name, annos, body, off in _extract_functions_ctx(src.text):
-            model.functions.append((src, cls, name, annos, body, off))
+                if reqs - pnames:
+                    model.decl_requires.setdefault(key, set()).update(
+                        reqs - pnames)
+                if acqs - pnames:
+                    model.decl_acquires.setdefault(key, set()).update(
+                        acqs - pnames)
+        for cls, name, params, annos, body, off in \
+                _extract_functions_ctx(src.text):
+            model.functions.append((src, cls, name, params, annos, body, off))
+            para = _parametric_of(params, annos)
+            if para:
+                for pk in _fn_keys(cls, name):
+                    model.parametric.setdefault(pk, para)
     return model
 
 
@@ -1360,6 +1379,54 @@ def _scope_events(body):
     for m in CV_WAIT_RE.finditer(body):
         waits.append((_base_cap(m.group(2)), m.start()))
     return holds, acquires, waits
+
+
+def _call_args(body, open_pos):
+    """Argument texts of the call whose `(` is at `open_pos`, split at
+    top-level commas (nested parens/brackets/braces respected)."""
+    depth, start, args = 0, open_pos + 1, []
+    i, n = open_pos, len(body)
+    while i < n:
+        c = body[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                if body[start:i].strip() or args:
+                    args.append(body[start:i].strip())
+                return args
+        elif c == "," and depth == 1:
+            args.append(body[start:i].strip())
+            start = i + 1
+        i += 1
+    return args
+
+
+def _receiver_type(recv, sc, model, pos):
+    """Declared class of receiver identifier `recv` inside scope `sc`:
+    `this`, a data member of the scope's class, a parameter, or a local
+    declaration before `pos`. None when unresolvable (the caller then
+    falls back to the tree-wide-unique-guard rule)."""
+    if recv is None:
+        return None
+    if recv == "this":
+        return sc["cls"]
+    mem = model.member_types.get(sc["cls"], {}).get(recv)
+    if mem and mem[1]:
+        return mem[1]
+    decl_re = re.compile(
+        r"\b([A-Za-z_][\w:]*)\s*(?:<[^<>]*>)?\s*[&*]*\s+"
+        + re.escape(recv) + r"\b")
+    m = decl_re.search(sc["params"] or "")
+    if m is None:
+        last = None
+        for lm in decl_re.finditer(sc["body"][:pos]):
+            last = lm
+        m = last
+    if m is None:
+        return None
+    return m.group(1).rsplit("::", 1)[-1]
 
 
 def pass_lock_order(sources, lock_order=None, primitive_files=None):
@@ -1419,7 +1486,7 @@ def pass_lock_order(sources, lock_order=None, primitive_files=None):
     # its own scope. Each scope gets (src, keys, held-intervals, acquires,
     # waits, body, base_offset, cls, is_ctor).
     scopes = []
-    for src, cls, name, annos, body, off in model.functions:
+    for src, cls, name, params, annos, body, off in model.functions:
         outer, lambdas = _split_lambdas(body, off)
         keys = _fn_keys(cls, name)
         if cls is None and "::" in name:
@@ -1441,13 +1508,13 @@ def pass_lock_order(sources, lock_order=None, primitive_files=None):
                 is_ctor = True
         scopes.append(dict(src=src, keys=keys, reqs=reqs, acq_anno=acq_anno,
                            body=outer, off=off, cls=cls, name=name,
-                           is_ctor=is_ctor, annos=annos))
+                           is_ctor=is_ctor, annos=annos, params=params))
         for lam_annos, lam_body, lam_off in lambdas:
             lreqs = {_base_cap(a) for a in REQUIRES_RE.findall(lam_annos)}
             scopes.append(dict(src=src, keys=[], reqs=lreqs, acq_anno=set(),
                                body=lam_body, off=lam_off, cls=cls,
                                name=f"{name}::<lambda>", is_ctor=False,
-                               annos=lam_annos))
+                               annos=lam_annos, params=""))
 
     # may_acquire fixpoint: which capabilities can a call into fn key end
     # up blocking-acquiring (directly or transitively)?
@@ -1462,9 +1529,16 @@ def pass_lock_order(sources, lock_order=None, primitive_files=None):
         if not sc["keys"]:
             continue  # lambdas don't propagate to callers
         primary = sc["keys"][0]
+        # Parametric capabilities (GMMCS_ACQUIRE(mu) where `mu` is a
+        # parameter) are bound to a concrete instance per call site, not
+        # here — propagating the bare parameter name would attach one
+        # callee's acquisitions to every caller under a meaningless key.
+        para_names = {p for _k, _i, p in model.parametric.get(primary, ())}
         acq = {qualify(cap, sc["cls"])
-               for cap, _p, blocking in acquires if blocking}
-        acq |= {qualify(cap, sc["cls"]) for cap in sc["acq_anno"]}
+               for cap, _p, blocking in acquires
+               if blocking and cap not in para_names}
+        acq |= {qualify(cap, sc["cls"]) for cap in sc["acq_anno"]
+                if cap not in para_names}
         may_acquire.setdefault(primary, set()).update(acq)
         called = set(call_re.findall(sc["body"])) - FUNC_KEYWORDS
         for k in sc["keys"]:
@@ -1541,6 +1615,49 @@ def pass_lock_order(sources, lock_order=None, primitive_files=None):
             for h in held_here:
                 for a in acq:
                     add_edge(h, a, src, base + m.start(), sc["cls"])
+        # Parametric capabilities: a callee annotated GMMCS_REQUIRES(mu)/
+        # GMMCS_ACQUIRE(mu) where `mu` names one of its own parameters
+        # binds to a different concrete instance at every call site, so
+        # rank the substituted actual argument here.  `wait` is skipped:
+        # CondVar::wait is exactly this shape, but the condvar-hold rule
+        # below performs the same substitution with better diagnostics.
+        for m in call_re.finditer(sc["body"]):
+            callee = m.group(1)
+            para = model.parametric.get(callee)
+            if not para or callee == "wait" or callee in FUNC_KEYWORDS:
+                continue
+            args = _call_args(sc["body"], m.end() - 1)
+            held_here = held_at(m.start())
+            for kind, idx, pname in para:
+                if idx >= len(args):
+                    continue
+                subst = _base_cap(args[idx])
+                if not re.fullmatch(r"\w+", subst):
+                    continue
+                subst_q = qualify(subst, sc["cls"])
+                if subst not in owners_of and subst_q not in rank \
+                        and subst not in rank:
+                    continue  # actual argument isn't a known capability
+                if kind == "acquires":
+                    # Calling blocking-acquires the substituted instance.
+                    for h in held_here:
+                        add_edge(h, subst, src, base + m.start(), sc["cls"])
+                else:  # requires: caller must already hold the instance
+                    if subst not in held_here:
+                        lineno = src.line_of(base + m.start())
+                        if not src.suppressed(lineno, "lock-order"):
+                            findings.append(
+                                (src.rel, lineno, "lock-order",
+                                 f"call to '{callee}' substitutes "
+                                 f"'{subst_q}' for its GMMCS_REQUIRES"
+                                 f"({pname}) parameter, but {sc['name']} "
+                                 f"does not hold '{subst_q}' here"))
+                    # The callee runs with the instance held: its further
+                    # acquisitions rank against the substituted cap.
+                    for t in alias.get(callee, ()):
+                        for a in may_acquire.get(t, ()):
+                            add_edge(subst, a, src, base + m.start(),
+                                     sc["cls"])
         # GMMCS_ACQUIRE-annotated functions: body acquires its annotation
         # even without a visible MutexLock (wrapper functions).
         for cap in sc["acq_anno"]:
@@ -1594,7 +1711,8 @@ def pass_lock_order(sources, lock_order=None, primitive_files=None):
         bare_re = re.compile(
             r"(?<![\w.>])(" + "|".join(sorted(guard_names)) + r")\b(?!\s*\()")
         pref_re = re.compile(
-            r"(?:\.|->)\s*(" + "|".join(sorted(guard_names)) + r")\b(?!\s*\()")
+            r"(?:\b(?P<recv>\w+)\s*)?(?:\.|->)\s*(?P<member>"
+            + "|".join(sorted(guard_names)) + r")\b(?!\s*\()")
         for sc in scopes:
             src = sc["src"]
             base = sc["off"]
@@ -1616,11 +1734,20 @@ def pass_lock_order(sources, lock_order=None, primitive_files=None):
                         continue  # same-named member of another class
                     hits.append((member, cap, m.start()))
             for m in pref_re.finditer(sc["body"]):
-                member = m.group(1)
-                caps = set(model.guards[member].values())
+                member = m.group("member")
+                owners = model.guards[member]
+                rtype = _receiver_type(m.group("recv"), sc, model, m.start())
+                if rtype is not None and rtype in owners:
+                    # Receiver's declared class guards this member: check
+                    # against that owner's capability specifically.
+                    hits.append((member, owners[rtype], m.start("member")))
+                    continue
+                if rtype is not None and rtype in model.classes:
+                    continue  # resolved class doesn't guard this member
+                caps = set(owners.values())
                 if len(caps) != 1:
-                    continue  # guard ambiguous across owners: skip
-                hits.append((member, next(iter(caps)), m.start(1)))
+                    continue  # type unknown, guard ambiguous: skip
+                hits.append((member, next(iter(caps)), m.start("member")))
             for member, cap, pos in hits:
                 if cap in held_at(pos):
                     continue
@@ -1811,7 +1938,7 @@ def pass_snapshot(sources, snapshot_types=None, primitive_files=None):
         return name, annos, seg_start, raw_seg
 
     functions = []
-    for src, cls, name, annos, fbody, off in model.functions:
+    for src, cls, name, params, annos, fbody, off in model.functions:
         name, annos, sig_off, sig = recover_signature(src, name, annos, off)
         functions.append((src, cls, name, annos, fbody, off, sig_off, sig))
 
@@ -1929,6 +2056,738 @@ def pass_snapshot(sources, snapshot_types=None, primitive_files=None):
 # Driver.
 # --------------------------------------------------------------------------
 
+# --------------------------------------------------------------------------
+# Pass 7: deferred-capture lifetime analysis.
+# --------------------------------------------------------------------------
+#
+# The broker fabric is a system of deferred work: every event, fan-out
+# job, keepalive probe and reconnect hook is a callable handed to the
+# event loop (or parked in a callback slot) and run later, when the
+# stack frame that built it is long gone. PR 7's chaos generator showed
+# what that costs when a capture outlives its object: the deferred kPing
+# pong job captured a raw StreamConnection* that ghost eviction freed
+# before the job ran (an ASan use-after-free, replayed today by
+# tests/lifetime_regression_test.cpp and the kping fixture in
+# tools/lint/tests/test_lifetime.py). This pass makes the bug class
+# statically checked (DESIGN.md §14):
+#
+#   1. Sink inventory. The seed sinks are the deferred-execution entry
+#      points (EventLoop::schedule_at/schedule_after/post_effect,
+#      ServiceCenter::submit/submit_batch). A may-defer fixpoint — the
+#      same shape as the pass-5 may_acquire fixpoint — then grows the
+#      set: a function that stores a callable-typed parameter (SmallFn /
+#      Callback / std::function / their aliases) into a member, a
+#      container, or a ctor init list, or forwards it into a known sink,
+#      is itself a sink (on_message, on_accept, bind, on_disconnect,
+#      on_route_repair, PeriodicTask's ctor, SmallFn's own ctor, ...).
+#
+#   2. Capture classification. Every lambda at a sink call site (an
+#      inline literal or a named local passed by name) has each capture
+#      classified by declaration lookup through the enclosing function's
+#      signature, its body, and the owning class's member types: owned
+#      values and shared_ptr/weak_ptr copies are safe; `[&]`, `[=]` in a
+#      member function, `&x`, `this`, and raw pointers escape and must
+#      be justified.
+#
+#   3. Justifications. An escaping capture is legal when the captured
+#      object provably outlives the deferral:
+#        - its class is GMMCS_PINNED("reason"): lifetime pinned to the
+#          run (Network, Host, EventLoop, the broker/server objects) —
+#          the reason string is mandatory;
+#        - registration-on-self: the raw pointer is derived from the
+#          very object the callable is stored on
+#          (conn->on_message([this, raw = conn.get()] ...));
+#        - cancel-discipline: the sink's TaskId lands in a member and
+#          the owning class cancels that member somewhere (the
+#          syn_timer_ / PeriodicTask::stop shape);
+#        - release-discipline: a bind-style sink whose captured object's
+#          class also calls unbind (the port-table handler is released
+#          by the object's own teardown path).
+#      Everything else is a finding. `--fix` rewrites a raw capture
+#      whose source is a shared_ptr into the weak_ptr + lock + early-
+#      return shape of the PR 7 kPing fix, idempotently.
+
+DEFER_SINKS = {"schedule_at", "schedule_after", "post_effect",
+               "submit", "submit_batch"}
+
+# Sink method names that register a datagram handler in a port table
+# owned by someone else; the release-discipline carve-out applies.
+BIND_SINKS = {"bind", "bind_ephemeral"}
+
+PINNED_CLASS_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:GMMCS_CAPABILITY\s*\([^)]*\)\s+)?"
+    r"GMMCS_PINNED\s*\(\s*(?:\"(?P<reason>[^\"]*)\")?\s*\)\s*"
+    r"(?P<name>\w+)")
+
+# Fix records produced by the last pass_lifetime run, consumed by
+# apply_fixes: dicts with rel/lineno/old/new/var/weak.
+LIFETIME_FIXES = []
+
+
+def _signature_text(text, body_off):
+    """The declarator text of the function whose body starts at
+    `body_off` (everything from the previous ;/}/{ to the open brace):
+    return type, name, parameter list, annotations, ctor init list."""
+    brace = body_off - 1
+    seg_start = max(text.rfind(";", 0, brace), text.rfind("}", 0, brace),
+                    text.rfind("{", 0, brace)) + 1
+    return text[seg_start:brace]
+
+
+def _matching_bracket(text, open_idx):
+    """Index just past the `]` matching the `[` at open_idx."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "[":
+            depth += 1
+        elif text[i] == "]":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def _split_args(text):
+    """Splits an argument/capture list on top-level commas (parens,
+    brackets and braces nested arbitrarily)."""
+    out, depth, start = [], 0, 0
+    for i, c in enumerate(text):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            out.append(text[start:i])
+            start = i + 1
+    tail = text[start:]
+    if tail.strip() or out:
+        out.append(tail)
+    return out
+
+
+def _sig_params(sig):
+    """Parameter-list text of a declarator (handles ctor init lists)."""
+    m = FUNC_SIG_RE.search(sig)
+    if not m:
+        colon = _init_list_split(sig)
+        if colon >= 0:
+            m = FUNC_SIG_RE.search(sig[:colon])
+    return m.group("params") if m else ""
+
+
+def _param_names(params):
+    """Name of each parameter, in order (None for unnamed)."""
+    out = []
+    for p in _split_args(params):
+        p = p.split("=")[0].strip()
+        m = re.search(r"(\w+)\s*$", p)
+        out.append(m.group(1) if m and not _TYPE_TAIL_RE.search(p) else None)
+    return out
+
+
+# A parameter whose text *ends* in one of these is unnamed (`Mutex&`).
+_TYPE_TAIL_RE = re.compile(r"(?:[&*>]|\bconst|\bauto|\bvoid)\s*$")
+
+
+def _callable_aliases(sources):
+    """Type names that denote callables: SmallFn, std::function aliases,
+    and aliases of those (Callback, Handler, ...), by fixpoint."""
+    names = {"SmallFn"}
+    alias_rhs = []  # (alias, rhs) pairs
+    alias_re = re.compile(r"\busing\s+(\w+)\s*=\s*([^;]+);")
+    for src in sources:
+        for m in alias_re.finditer(src.text):
+            alias_rhs.append((m.group(1), m.group(2)))
+    changed = True
+    while changed:
+        changed = False
+        for alias, rhs in alias_rhs:
+            if alias in names:
+                continue
+            if re.search(r"\bfunction\s*<", rhs) or \
+                    any(re.search(rf"\b{re.escape(n)}\b", rhs) for n in names):
+                names.add(alias)
+                changed = True
+    return names
+
+
+def _is_callable_type(t, aliases):
+    if re.search(r"\bfunction\s*<", t):
+        return True
+    return any(re.search(rf"\b{re.escape(a)}\b", t) for a in aliases)
+
+
+def _ptr_aliases(sources):
+    """`using XPtr = std::shared_ptr<T>`-style aliases:
+    name -> (kind, element class)."""
+    out = {}
+    alias_re = re.compile(
+        r"\busing\s+(\w+)\s*=\s*(?:std::)?"
+        r"(shared_ptr|unique_ptr|weak_ptr)\s*<\s*(?:const\s+)?([\w:]+)")
+    kinds = {"shared_ptr": "shared", "unique_ptr": "unique",
+             "weak_ptr": "weak"}
+    for src in sources:
+        for m in alias_re.finditer(src.text):
+            out[m.group(1)] = (kinds[m.group(2)],
+                               m.group(3).rsplit("::", 1)[-1])
+    return out
+
+
+def _kind_of_type(tstr, mark, ptr_aliases):
+    """Classifies a declared type: ('weak'|'shared'|'unique'|'ptr'|'ref'|
+    'val', element-class). `mark` is the declarator's */& if any."""
+    t = tstr.strip()
+    m = re.match(r"(?:std::)?(shared_ptr|unique_ptr|weak_ptr)\s*<\s*"
+                 r"(?:const\s+)?([\w:]+)", t)
+    if m:
+        kind = {"shared_ptr": "shared", "unique_ptr": "unique",
+                "weak_ptr": "weak"}[m.group(1)]
+        elem = m.group(2).rsplit("::", 1)[-1]
+    else:
+        short = re.sub(r"<.*", "", t).rsplit("::", 1)[-1]
+        if short in ptr_aliases:
+            kind, elem = ptr_aliases[short]
+        else:
+            kind, elem = "val", short
+    if mark == "*":
+        return "ptr", elem
+    if mark in ("&", "&&"):
+        return "ref", elem
+    return kind, elem
+
+
+_MEMBER_DECL_RE = re.compile(
+    r"^\s*(?!using\b|typedef\b|friend\b|static\b|return\b|public\b"
+    r"|private\b|protected\b|enum\b|class\b|struct\b|template\b|case\b)"
+    r"(?:mutable\s+)?(?:const\s+)?"
+    r"(?P<type>[A-Za-z_][\w:]*(?:\s*<[^;{}]*>)?)\s*"
+    r"(?P<mark>[&*]?)\s*(?P<name>\w+)\s*"
+    r"(?:GMMCS_\w+\s*\([^()]*\)\s*)?"
+    r"(?:=[^;]*|\{[^;]*\})?;", re.M)
+
+
+def _collect_member_types(sources, ptr_aliases):
+    """cls -> {member: (kind, element class)} from class-body data-member
+    declarations (top level only; method bodies blanked)."""
+    out = {}
+    for src in sources:
+        for cls, b0, b1, _cap in _scan_classes(src.text):
+            body = _blank_braced(src.text[b0:b1])
+            for m in _MEMBER_DECL_RE.finditer(body):
+                out.setdefault(cls, {})[m.group("name")] = _kind_of_type(
+                    m.group("type"), m.group("mark"), ptr_aliases)
+    return out
+
+
+def _collect_pinned(sources):
+    """Classes annotated GMMCS_PINNED("reason"); an empty reason is its
+    own finding — the annotation is a claim a reviewer must be able to
+    audit."""
+    pinned, findings = set(), []
+    for src in sources:
+        for m in PINNED_CLASS_RE.finditer(src.text):
+            pinned.add(m.group("name"))
+            if not (m.group("reason") or "").strip():
+                lineno = src.line_of(m.start())
+                if not src.suppressed(lineno, "lifetime"):
+                    findings.append(
+                        (src.rel, lineno, "lifetime",
+                         f"GMMCS_PINNED on '{m.group('name')}' has no "
+                         f"reason string (write GMMCS_PINNED(\"why this "
+                         f"object outlives every deferred callable\"))"))
+    return pinned, findings
+
+
+_GET_CALL_RE = re.compile(r"^([\w.\->]+?)\s*(?:\.|->)\s*get\s*\(\s*\)$")
+
+
+def _elem_of_init(init, ptr_aliases, ret_types=None):
+    """('shared'|'unique'|'ptr'|None, element class) judged from an
+    initializer expression — make_shared/unique, a Ptr-alias ctor, `new`,
+    or a call to a function whose declared return type is an owning
+    handle (`StreamConnection::connect` returning StreamConnectionPtr)."""
+    init = init.strip()
+    m = re.search(r"make_(shared|unique)\s*<\s*([\w:\s]+?)\s*[,>]", init)
+    if m:
+        return ({"shared": "shared", "unique": "unique"}[m.group(1)],
+                m.group(2).strip().rsplit("::", 1)[-1])
+    m = re.match(r"(?:[\w:]+::)?(\w+)\s*[({]", init)
+    if m and m.group(1) in ptr_aliases:
+        return ptr_aliases[m.group(1)]
+    m = re.search(r"\bnew\s+([\w:]+)", init)
+    if m:
+        return "shared", m.group(1).rsplit("::", 1)[-1]
+    m = re.match(r"(?:[\w:]+::)?(\w+)\s*\(", init)
+    if m and ret_types:
+        r = ret_types.get(m.group(1))
+        if r is not None:
+            return r
+    return None, None
+
+
+class _LifetimeCtx:
+    """Everything declaration lookup needs for one enclosing function."""
+
+    def __init__(self, src, cls, sig, body, off, model):
+        self.src = src
+        self.cls = cls
+        self.sig = sig
+        self.body = body
+        self.off = off
+        self.model = model  # the _LifetimeModel
+
+    def resolve(self, name):
+        """(kind, elem, init) for `name` via the function signature, the
+        body, then the owning class's members. init is the declaration's
+        initializer text ('' when none)."""
+        pat = re.compile(
+            r"(?:^|[(,;{])\s*(?:const\s+)?"
+            r"(?P<type>auto|[A-Za-z_][\w:]*(?:\s*<[^;{}]*>)?)\s*"
+            r"(?P<mark>\*|&&|&)?\s*"
+            rf"\b{re.escape(name)}\b\s*(?P<after>=(?!=)|[;,)({{])")
+        for text in (self.sig, self.body):
+            m = pat.search(text)
+            if not m:
+                continue
+            init = ""
+            if m.group("after").startswith("="):
+                semi = text.find(";", m.end())
+                init = text[m.end():semi if semi >= 0 else len(text)]
+            t = m.group("type")
+            if t == "auto":
+                kind, elem = _elem_of_init(init, self.model.ptr_aliases,
+                                           self.model.ret_types)
+                if m.group("mark") == "*":
+                    return "ptr", elem, init
+                if kind is not None:
+                    return kind, elem, init
+                if re.search(r"weak_ptr|weak_from_this", init):
+                    return "weak", None, init
+                if _GET_CALL_RE.match(init.strip()):
+                    return "ptr", None, init
+                return "val", None, init
+            return (*_kind_of_type(t, m.group("mark") or "",
+                                   self.model.ptr_aliases), init)
+        if self.cls is not None:
+            mem = self.model.member_types.get(self.cls, {}).get(name)
+            if mem is not None:
+                return (*mem, "")
+        return None
+
+    def elem_class_of(self, name):
+        """Pointee class of a smart/raw-pointer variable, or None."""
+        r = self.resolve(name)
+        return r[1] if r else None
+
+
+class _LifetimeModel:
+    def __init__(self):
+        self.pinned = set()
+        self.ptr_aliases = {}
+        self.member_types = {}
+        self.callable_aliases = set()
+        self.sink_names = set()
+        self.sink_ctors = set()
+        self.sink_owners = {}  # sink name -> classes defining it
+        self.ret_types = {}  # function base name -> (kind, elem)
+        self.cls_text = {}   # cls -> concatenated sig+body text
+
+
+def _stores_callable(body, sig, pname, sinks, sink_ctors):
+    """True if the function stores or forwards callable parameter
+    `pname` somewhere that outlives the call: a member/container
+    assignment, a ctor init-list member, or an argument to a known
+    sink (by name or sink-class construction)."""
+    pv = rf"(?:std::move\s*\(\s*{pname}\s*\)|{pname})"
+    if re.search(rf"[\w\])]\s*=\s*{pv}\s*[;,)]", body):
+        return True
+    if re.search(rf"\.\s*(?:push_back|emplace_back|emplace|insert|assign)"
+                 rf"\s*\([^;]*?(?<![\w]){pv}(?![\w])", body):
+        return True
+    if re.search(rf"\w+_\s*[({{]\s*{pv}\s*[)}}]", sig):
+        return True  # ctor init list: fn_(std::move(fn))
+    for m in re.finditer(r"\b(\w+)\s*\(", body):
+        callee = m.group(1)
+        if callee not in sinks and callee not in sink_ctors:
+            continue
+        close = _matching_paren(body, m.end() - 1)
+        args = body[m.end():close]
+        if re.search(rf"(?<![\w]){pv}(?![\w])", args):
+            return True
+    for m in re.finditer(r"make_(?:unique|shared)\s*<\s*([\w:\s]+?)\s*[,>]"
+                         r"[^(]*\(", body):
+        if m.group(1).strip().rsplit("::", 1)[-1] in sink_ctors:
+            close = _matching_paren(body, m.end() - 1)
+            args = body[m.end():close]
+            if re.search(rf"(?<![\w]){pv}(?![\w])", args):
+                return True
+    return False
+
+
+def _build_lifetime_model(sources, funcs, extra_sinks):
+    model = _LifetimeModel()
+    model.callable_aliases = _callable_aliases(sources)
+    model.ptr_aliases = _ptr_aliases(sources)
+    model.member_types = _collect_member_types(sources, model.ptr_aliases)
+    model.sink_names = set(DEFER_SINKS) | set(BIND_SINKS) | set(extra_sinks)
+
+    for src, cls, name, sig, body, off in funcs:
+        if cls is not None:
+            model.cls_text.setdefault(cls, []).append(sig + "\n" + body)
+        # Record functions whose declared return type is an owning
+        # handle, so `auto c = StreamConnection::connect(...)` resolves.
+        base = name.rsplit("::", 1)[-1]
+        if cls is not None and base.lstrip("~") == cls:
+            continue  # ctor/dtor
+        rm = re.search(
+            rf"([A-Za-z_][\w:]*(?:<[^<>;]*>)?)\s*(\*)?\s+"
+            rf"(?:[\w:]+::)?{re.escape(base)}\s*\(", sig)
+        if rm:
+            kind, elem = _kind_of_type(rm.group(1), rm.group(2) or "",
+                                       model.ptr_aliases)
+            if kind in ("shared", "unique", "ptr") and \
+                    base not in model.ret_types:
+                model.ret_types[base] = (kind, elem)
+    model.cls_text = {c: "\n".join(t) for c, t in model.cls_text.items()}
+
+    # May-defer fixpoint over functions with callable-typed parameters.
+    with_callables = []
+    for src, cls, name, sig, body, off in funcs:
+        params = _sig_params(sig)
+        cparams = []
+        for p in _split_args(params):
+            p = p.split("=")[0].strip()
+            m = re.search(r"(\w+)\s*$", p)
+            if m and not _TYPE_TAIL_RE.search(p) and \
+                    _is_callable_type(p[:m.start()], model.callable_aliases):
+                cparams.append(m.group(1))
+        if not cparams:
+            continue
+        base = name.rsplit("::", 1)[-1]
+        is_ctor = cls is not None and base.lstrip("~") == cls
+        with_callables.append((base, cls, cparams, sig, body, is_ctor))
+    changed = True
+    while changed:
+        changed = False
+        for base, cls, cparams, sig, body, is_ctor in with_callables:
+            if (cls in model.sink_ctors) if is_ctor \
+                    else (base in model.sink_names):
+                continue
+            if any(_stores_callable(body, sig, p, model.sink_names,
+                                    model.sink_ctors) for p in cparams):
+                if is_ctor:
+                    model.sink_ctors.add(cls)
+                else:
+                    model.sink_names.add(base)
+                    if cls is not None:
+                        model.sink_owners.setdefault(base, set()).add(cls)
+                changed = True
+    return model
+
+
+def _classify_capture(cap, ctx, recv_ids, sink_name, assign_target,
+                      recv=""):
+    """Returns None (safe) or (message, fix) for one capture of a lambda
+    escaping into sink `sink_name`. `fix` is a dict for apply_fixes or
+    None when no mechanical rewrite applies."""
+    cap = cap.strip()
+    if not cap:
+        return None
+    model = ctx.model
+
+    def pinned(cls):
+        return cls is not None and cls in model.pinned
+
+    def recv_exclusive():
+        """True when the sink's receiver chain is rooted in an
+        exclusively-owned handle (a value or unique_ptr member/local):
+        the stored callable dies with its owner, so captures of the
+        owner (`this`, value members) cannot outlive it."""
+        ids = re.findall(r"\w+", recv)
+        if ids and ids[0] == "this":
+            ids = ids[1:]
+        if not ids:
+            return False
+        r = ctx.resolve(ids[0])
+        return bool(r) and r[0] in ("val", "unique")
+
+    def cancel_ok():
+        if not assign_target or ctx.cls is None:
+            return False
+        return bool(re.search(
+            rf"\bcancel\w*\s*\(\s*[^()]*\b{re.escape(assign_target)}\b",
+            model.cls_text.get(ctx.cls, "")))
+
+    def release_ok(obj_cls):
+        if sink_name not in BIND_SINKS or obj_cls is None:
+            return False
+        return bool(re.search(r"\bunbind\w*\s*\(",
+                              model.cls_text.get(obj_cls, "")))
+
+    def self_storage():
+        """True for an unqualified (or this->) call to a sink method of
+        the capturing class itself: the callable lands in a member of
+        `this` and dies with it."""
+        ids = re.findall(r"\w+", recv)
+        if ids and ids != ["this"]:
+            return False
+        return ctx.cls is not None and \
+            ctx.cls in model.sink_owners.get(sink_name, ())
+
+    def this_ok():
+        return pinned(ctx.cls) or recv_exclusive() or self_storage() \
+            or cancel_ok() or release_ok(ctx.cls)
+
+    def raw_ok(elem_cls, source):
+        if pinned(elem_cls):
+            return True
+        if source is not None and source in recv_ids:
+            return True  # registration-on-self
+        return cancel_ok() or release_ok(elem_cls)
+
+    def raw_fix(cap_text, var, source):
+        """weak_ptr rewrite when the raw pointer's source is a
+        shared_ptr variable in scope. No fix if the source is ever
+        moved-from in this function — std::weak_ptr(moved) is empty and
+        the rewrite would turn the handler into a silent no-op."""
+        if source is None:
+            return None
+        r = ctx.resolve(source)
+        if not r or r[0] != "shared":
+            return None
+        if re.search(rf"std::move\s*\(\s*{re.escape(source)}\s*\)",
+                     ctx.body):
+            return None
+        return dict(old=cap_text, var=var, weak=f"{var}_weak",
+                    new=f"{var}_weak = std::weak_ptr({source})")
+
+    if cap == "&":
+        return (f"lambda escaping into deferred sink '{sink_name}' "
+                f"captures everything by reference ([&]); name and "
+                f"justify each capture", None)
+    if cap == "=":
+        if ctx.cls is not None and not this_ok():
+            return (f"[=] in a member function implicitly captures raw "
+                    f"`this` into deferred sink '{sink_name}' and "
+                    f"'{ctx.cls}' is not GMMCS_PINNED", None)
+        return None
+    if cap == "*this":
+        return None
+    if cap == "this":
+        if this_ok():
+            return None
+        return (f"raw `this` ({ctx.cls or 'unknown class'}) captured "
+                f"into deferred sink '{sink_name}'; the object can die "
+                f"before the callable runs — pin the class "
+                f"(GMMCS_PINNED), cancel the task in teardown, or "
+                f"capture a weak_ptr", None)
+    if cap.startswith("&"):
+        name = cap[1:].strip()
+        r = ctx.resolve(name) if re.fullmatch(r"\w+", name) else None
+        if r and r[0] in ("val", "ref") and pinned(r[1]):
+            return None
+        if r and r[0] == "val" and ctx.cls is not None \
+                and name in model.member_types.get(ctx.cls, {}) \
+                and recv_exclusive():
+            return None  # ref to a value member, slot dies with `this`
+        what = f"'&{name}'"
+        return (f"by-reference capture {what} escapes into deferred sink "
+                f"'{sink_name}'; the referent "
+                f"{'(' + (r[1] or 'unresolved type') + ') ' if r else ''}"
+                f"is not GMMCS_PINNED and may die before the callable "
+                f"runs — capture by value or via weak_ptr", None)
+
+    im = re.match(r"(\w+)\s*=\s*(.+)$", cap, re.S)
+    if im:
+        var, expr = im.group(1), im.group(2).strip()
+        if expr == "this":
+            if this_ok():
+                return None
+            return (f"raw `this` (as '{var} = this') captured into "
+                    f"deferred sink '{sink_name}' and "
+                    f"'{ctx.cls or '?'}' is not GMMCS_PINNED", None)
+        if re.search(r"weak_ptr|weak_from_this", expr):
+            return None
+        if re.search(r"shared_from_this|make_shared", expr):
+            return None
+        if expr.startswith("&"):
+            return (f"init-capture '{var} = {expr}' takes the address of "
+                    f"a scoped object into deferred sink '{sink_name}'",
+                    None)
+        gm = _GET_CALL_RE.match(expr)
+        if gm:
+            source = gm.group(1).rsplit("->", 1)[-1].rsplit(".", 1)[-1]
+            elem = ctx.elem_class_of(source)
+            if raw_ok(elem, source):
+                return None
+            return (f"raw pointer '{var} = {expr}' (a "
+                    f"{elem or '?'}*) escapes into deferred sink "
+                    f"'{sink_name}' and can dangle — capture "
+                    f"std::weak_ptr({source}) and lock() with an early "
+                    f"return (the PR 7 kPing shape)",
+                    raw_fix(cap, var, source))
+        if re.fullmatch(r"std::move\s*\(\s*\w+\s*\)", expr):
+            return _classify_capture(
+                re.search(r"\(\s*(\w+)\s*\)", expr).group(1), ctx,
+                recv_ids, sink_name, assign_target, recv)
+        if re.fullmatch(r"\w+", expr):
+            return _classify_plain(expr, var, cap, ctx, recv_ids,
+                                   sink_name, assign_target,
+                                   raw_fix)
+        return None  # value-building expression: owned copy
+    if re.fullmatch(r"\w+", cap):
+        return _classify_plain(cap, cap, cap, ctx, recv_ids, sink_name,
+                               assign_target, None)
+    return None
+
+
+def _classify_plain(name, var, cap_text, ctx, recv_ids, sink_name,
+                    assign_target, raw_fix):
+    """Classify a by-value capture of `name` (possibly through an init
+    capture aliasing it as `var`)."""
+    model = ctx.model
+    r = ctx.resolve(name)
+    if r is None:
+        return None  # unresolved: assume an owned value
+    kind, elem, init = r
+    if kind in ("weak", "shared", "val", "ref", "unique"):
+        return None  # the capture copies an owning (or weak) handle
+    # kind == "ptr": a raw pointer travels into the deferral.
+    if elem is not None and elem in model.pinned:
+        return None
+    source = None
+    gm = _GET_CALL_RE.match(init.strip()) if init else None
+    if gm:
+        source = gm.group(1).rsplit("->", 1)[-1].rsplit(".", 1)[-1]
+        if elem is None:
+            elem = ctx.elem_class_of(source)
+            if elem is not None and elem in model.pinned:
+                return None
+    if (name in recv_ids) or (source is not None and source in recv_ids):
+        return None  # registration-on-self
+    if assign_target and ctx.cls is not None and re.search(
+            rf"\bcancel\w*\s*\(\s*[^()]*\b{re.escape(assign_target)}\b",
+            model.cls_text.get(ctx.cls, "")):
+        return None
+    if sink_name in BIND_SINKS and elem is not None and re.search(
+            r"\bunbind\w*\s*\(", model.cls_text.get(elem, "")):
+        return None
+    fix = None
+    if raw_fix is not None and source is not None:
+        fix = raw_fix(cap_text, var, source)
+    elif source is not None:
+        sr = ctx.resolve(source)
+        if sr and sr[0] == "shared" and not re.search(
+                rf"std::move\s*\(\s*{re.escape(source)}\s*\)", ctx.body):
+            fix = dict(old=cap_text, var=var, weak=f"{var}_weak",
+                       new=f"{var}_weak = std::weak_ptr({source})")
+    return (f"raw pointer capture '{name}' ({elem or '?'}*) escapes "
+            f"into deferred sink '{sink_name}' and can dangle before "
+            f"the callable runs — capture a std::weak_ptr and lock() "
+            f"with an early return (the PR 7 kPing shape), or pin the "
+            f"pointee's class with GMMCS_PINNED", fix)
+
+
+_SINK_CALL_TMPL = (r"(?P<recv>(?:[\w\)\]]+\s*(?:\.|->)\s*)*)"
+                   r"\b(?P<fn>%s)\s*\(")
+_NAMED_LAMBDA_RE = re.compile(r"\b(?:const\s+)?(?:auto|\w*Fn|Callback)\s+"
+                              r"(\w+)\s*=\s*\[")
+
+# A call that drains the event loop in the registering function itself —
+# `loop.run()`, `run_for(...)`, `run_until(...)`.
+_DRAIN_RE = re.compile(r"[\w\)\]]\s*(?:\.|->)\s*run(?:_for|_until)?\s*\(")
+
+
+def pass_lifetime(sources, extra_sinks=(), extra_pinned=()):
+    """Deferred-capture lifetime analysis (see the section comment)."""
+    del LIFETIME_FIXES[:]
+    findings = []
+    funcs = []
+    for src in sources:
+        for cls, name, params, annos, body, off in \
+                _extract_functions_ctx(src.text):
+            if cls is None and "::" in name:
+                cls = name.rsplit("::", 1)[0].rsplit("::", 1)[-1]
+            funcs.append((src, cls, name,
+                          _signature_text(src.text, off), body, off))
+    model = _build_lifetime_model(sources, funcs, extra_sinks)
+    model.pinned, pin_findings = _collect_pinned(sources)
+    model.pinned |= set(extra_pinned)
+    findings.extend(pin_findings)
+
+    sink_alt = "|".join(sorted(model.sink_names | model.sink_ctors))
+    if not sink_alt:
+        return sorted(set(findings))
+    sink_re = re.compile(_SINK_CALL_TMPL % sink_alt)
+    mk_re = re.compile(r"make_(?:unique|shared)\s*<\s*([\w:\s]+?)\s*[,>]"
+                       r"\s*\(")
+
+    for src, cls, name, sig, body, off in funcs:
+        ctx = _LifetimeCtx(src, cls, sig, body, off, model)
+        # Drains-after carve-out: a function that registers callables and
+        # then runs the event loop to completion (`loop.run()` /
+        # `run_for` / `run_until`) before returning has structurally
+        # proven the deferred work executes before its locals die —
+        # the bench/experiment driver shape.
+        drains = [d.start() for d in _DRAIN_RE.finditer(body)]
+        named = {}
+        for nm in _NAMED_LAMBDA_RE.finditer(body):
+            named[nm.group(1)] = nm.end() - 1  # offset of '['
+        sites = []
+        for m in sink_re.finditer(body):
+            sites.append((m.start(), m.end() - 1, m.group("recv") or "",
+                          m.group("fn")))
+        for m in mk_re.finditer(body):
+            tcls = m.group(1).strip().rsplit("::", 1)[-1]
+            if tcls in model.sink_ctors:
+                sites.append((m.start(), m.end() - 1, "", tcls))
+        for start, open_idx, recv, fn in sites:
+            if any(d > start for d in drains):
+                continue
+            close = _matching_paren(body, open_idx)
+            args = body[open_idx + 1:close]
+            recv_ids = set(re.findall(r"\w+", recv))
+            stmt_start = max(body.rfind(";", 0, start),
+                             body.rfind("{", 0, start),
+                             body.rfind("}", 0, start)) + 1
+            am = re.search(r"(\w+)\s*=[^=]", body[stmt_start:start])
+            assign_target = am.group(1) if am else None
+            arg_base = open_idx + 1
+            pos_in_args = 0
+            for arg in _split_args(args):
+                a = arg.strip()
+                arg_off = arg_base + pos_in_args + (len(arg) - len(arg.lstrip()))
+                pos_in_args += len(arg) + 1
+                cap_text, cap_off = None, None
+                if a.startswith("["):
+                    lb = arg.find("[")
+                    cap_text = arg[lb + 1:_matching_bracket(arg, lb) - 1]
+                    cap_off = arg_off
+                elif re.fullmatch(r"(?:std::move\s*\(\s*)?\w+\s*\)?", a):
+                    nm = re.search(r"(\w+)\s*\)?\s*$", a).group(1)
+                    if nm in named:
+                        lb = named[nm]
+                        cap_text = body[lb + 1:_matching_bracket(body, lb) - 1]
+                        cap_off = arg_off
+                if cap_text is None:
+                    continue
+                for cap in _split_args(cap_text):
+                    verdict = _classify_capture(cap, ctx, recv_ids, fn,
+                                                assign_target, recv)
+                    if verdict is None:
+                        continue
+                    msg, fix = verdict
+                    lineno = src.line_of(off + cap_off)
+                    if src.suppressed(lineno, "lifetime"):
+                        continue
+                    findings.append((src.rel, lineno, "lifetime",
+                                     f"{msg} (in {name})"))
+                    if fix is not None:
+                        fix.update(rel=src.rel, lineno=lineno)
+                        LIFETIME_FIXES.append(fix)
+    return sorted(set(findings))
+
+
 PASSES = {
     "layering": lambda srcs: pass_layering(srcs),
     "result": lambda srcs: pass_result(srcs),
@@ -1936,19 +2795,63 @@ PASSES = {
     "switch": lambda srcs: pass_switch_exhaustiveness(srcs),
     "lock-order": lambda srcs: pass_lock_order(srcs),
     "snapshot": lambda srcs: pass_snapshot(srcs),
+    "lifetime": lambda srcs: pass_lifetime(srcs),
 }
+
+_LAMBDA_AFTER_CAPS_RE = re.compile(
+    r"\]\s*(?:\((?:[^()]|\([^()]*\))*\)\s*)?"
+    r"(?:mutable|noexcept|constexpr|->\s*[\w:<>]+|\s)*\{")
+
+
+def _apply_lifetime_fix(text, rec):
+    """Rewrites one raw capture to the weak_ptr + lock + early-return
+    shape in `text`. Returns the new text, or None if the capture no
+    longer matches (already fixed / moved)."""
+    lines = text.splitlines(keepends=True)
+    zone_start = sum(len(l) for l in lines[:rec["lineno"] - 1])
+    zone = text[zone_start:zone_start + sum(
+        len(l) for l in lines[rec["lineno"] - 1:rec["lineno"] + 4])]
+    at = zone.find(rec["old"])
+    if at < 0:
+        return None
+    pos = zone_start + at
+    text = text[:pos] + rec["new"] + text[pos + len(rec["old"]):]
+    m = _LAMBDA_AFTER_CAPS_RE.search(text, pos + len(rec["new"]))
+    if not m:
+        return None
+    brace = m.end()
+    prolog = (f" auto {rec['var']} = {rec['weak']}.lock(); "
+              f"if (!{rec['var']}) return;")
+    return text[:brace] + prolog + text[brace:]
 
 
 def apply_fixes(root, findings):
-    """Applies the mechanical fixes (today: inserting [[nodiscard]] on
-    Result<T> declarations flagged by the result pass). Returns the number
-    of edits made. Idempotent by construction: a fixed declaration no
+    """Applies the mechanical fixes: inserting [[nodiscard]] on Result<T>
+    declarations flagged by the result pass, and rewriting raw captures
+    flagged by the lifetime pass into the weak_ptr + lock + early-return
+    shape (when the pointer's source is a shared_ptr in scope). Returns
+    the number of edits made. Idempotent by construction: a fixed site no
     longer produces the finding that drives the edit."""
+    edits = 0
+    # Lifetime rewrites first (text edits; apply bottom-up per file so
+    # earlier line numbers stay valid).
+    by_file = {}
+    for rec in LIFETIME_FIXES:
+        by_file.setdefault(rec["rel"], []).append(rec)
+    for rel, recs in sorted(by_file.items()):
+        path = root / rel
+        text = path.read_text()
+        for rec in sorted(recs, key=lambda r: -r["lineno"]):
+            new_text = _apply_lifetime_fix(text, rec)
+            if new_text is not None:
+                text = new_text
+                edits += 1
+        path.write_text(text)
+    # [[nodiscard]] insertions.
     by_file = {}
     for rel, lineno, rule, _msg in findings:
         if rule == "nodiscard":
             by_file.setdefault(rel, set()).add(lineno)
-    edits = 0
     for rel, linenos in sorted(by_file.items()):
         path = root / rel
         raw = path.read_text().splitlines(keepends=True)
@@ -1962,9 +2865,9 @@ def apply_fixes(root, findings):
     return edits
 
 
-def run(root, compile_commands=None, passes=None):
+def run(root, compile_commands=None, passes=None, jobs=1):
     files = collect_files(root, compile_commands)
-    sources = load_sources(root, files)
+    sources = load_sources(root, files, jobs=jobs)
     findings = []
     for src in sources:
         findings.extend(check_suppression_reasons(src))
@@ -1976,21 +2879,20 @@ def run(root, compile_commands=None, passes=None):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--compile-commands", type=Path, default=None,
-                    help="compile_commands.json from the build tree")
-    ap.add_argument("--root", type=Path, default=Path.cwd(),
-                    help="repository root (default: cwd)")
+    frontend.add_frontend_args(ap)
     ap.add_argument("--passes", default=None,
                     help="comma-separated subset of: " + ",".join(PASSES))
     ap.add_argument("--fix", action="store_true",
-                    help="auto-insert missing [[nodiscard]] on Result<T> "
-                         "declarations, then re-lint")
+                    help="auto-insert missing [[nodiscard]] and rewrite "
+                         "raw deferred captures to the weak_ptr shape, "
+                         "then re-lint")
     args = ap.parse_args()
 
     root = args.root.resolve()
     if not (root / "src").is_dir():
         print(f"gmmcs-lint: no src/ under {root}", file=sys.stderr)
         return 2
+    ccdb = args.compile_commands or discover_compile_commands(root)
     passes = None
     if args.passes:
         passes = [p.strip() for p in args.passes.split(",") if p.strip()]
@@ -2000,13 +2902,12 @@ def main():
                   file=sys.stderr)
             return 2
 
-    findings, nfiles = run(root, args.compile_commands, passes)
+    findings, nfiles = run(root, ccdb, passes, jobs=args.jobs)
     if args.fix:
         fixed = apply_fixes(root, findings)
         if fixed:
-            print(f"gmmcs-lint: --fix inserted [[nodiscard]] on {fixed} "
-                  f"declaration(s)")
-            findings, nfiles = run(root, args.compile_commands, passes)
+            print(f"gmmcs-lint: --fix rewrote {fixed} site(s)")
+            findings, nfiles = run(root, ccdb, passes, jobs=args.jobs)
     for rel, lineno, rule, msg in findings:
         print(f"{rel}:{lineno}: [{rule}] {msg}")
     if findings:

@@ -42,7 +42,7 @@ class GMMCS_CAPABILITY("context") ExecContext {
 };
 class CondVar {
  public:
-  void wait(Mutex& mu, int pred);
+  void wait(Mutex& mu, int pred) GMMCS_REQUIRES(mu);
 };
 """
 
@@ -396,6 +396,250 @@ void Stage::run() {
 }
 """)
         self.assertEqual(self.lint(["Stage::ctx_"]), [])
+
+
+TWO_OWNER_HEADER = """
+#include "common/mutex.hpp"
+class Widget {
+ public:
+  void poke();
+  Mutex mu_w_;
+  int q_ GMMCS_GUARDED_BY(mu_w_);
+};
+class Gadget {
+ public:
+  void poke();
+  Mutex mu_g_;
+  int q_ GMMCS_GUARDED_BY(mu_g_);
+};
+"""
+
+ORDER_WG = ["Widget::mu_w_", "Gadget::mu_g_"]
+
+
+class TestTypeAwareReceiver(LockOrderCase):
+    """`obj->member` checks used to require the member name to map to a
+    single guard tree-wide; the receiver's declared type now picks the
+    owner, so same-named members guarded by different mutexes still
+    check."""
+
+    def test_parameter_type_resolves_ambiguous_guard(self):
+        self.write_primitives()
+        self.tree.write("src/sim/two.hpp", TWO_OWNER_HEADER)
+        self.tree.write("src/sim/use.cpp", """
+#include "sim/two.hpp"
+void bump(Widget& w) { ++w.q_; }
+""")
+        findings = self.lint(ORDER_WG)
+        self.assertEqual(self.rules(findings), ["guarded-by"])
+        self.assertIn("mu_w_", findings[0][3])
+
+    def test_parameter_type_resolution_with_lock_is_clean(self):
+        self.write_primitives()
+        self.tree.write("src/sim/two.hpp", TWO_OWNER_HEADER)
+        self.tree.write("src/sim/use.cpp", """
+#include "sim/two.hpp"
+void bump(Widget& w) {
+  MutexLock hold(w.mu_w_);
+  ++w.q_;
+}
+""")
+        self.assertEqual(self.lint(ORDER_WG), [])
+
+    def test_unguarded_class_with_same_member_name_is_skipped(self):
+        """A receiver whose class declares `q_` WITHOUT a guard must not
+        inherit another class's guard just because the names collide."""
+        self.write_primitives()
+        self.tree.write("src/sim/two.hpp", TWO_OWNER_HEADER)
+        self.tree.write("src/sim/plain.hpp", """
+class Plain {
+ public:
+  int q_;
+};
+""")
+        self.tree.write("src/sim/use.cpp", """
+#include "sim/plain.hpp"
+void bump(Plain& p) { ++p.q_; }
+""")
+        self.assertEqual(self.lint(ORDER_WG), [])
+
+    def test_this_receiver_resolves_to_own_class(self):
+        self.write_primitives()
+        self.tree.write("src/sim/two.hpp", TWO_OWNER_HEADER)
+        self.tree.write("src/sim/use.cpp", """
+#include "sim/two.hpp"
+void Widget::poke() { ++this->q_; }
+""")
+        findings = self.lint(ORDER_WG)
+        self.assertEqual(self.rules(findings), ["guarded-by"])
+        self.assertIn("mu_w_", findings[0][3])
+
+    def test_member_declaration_resolves_receiver(self):
+        """Receiver is a data member of the enclosing class: its declared
+        type picks the guard owner."""
+        self.write_primitives()
+        self.tree.write("src/sim/two.hpp", TWO_OWNER_HEADER)
+        self.tree.write("src/sim/holder.hpp", """
+#include "sim/two.hpp"
+class Holder {
+ public:
+  void poke_inner();
+  Gadget inner_;
+};
+""")
+        self.tree.write("src/sim/holder.cpp", """
+#include "sim/holder.hpp"
+void Holder::poke_inner() { ++inner_.q_; }
+""")
+        findings = self.lint(ORDER_WG)
+        self.assertEqual(self.rules(findings), ["guarded-by"])
+        self.assertIn("mu_g_", findings[0][3])
+
+    def test_local_declaration_resolves_receiver(self):
+        self.write_primitives()
+        self.tree.write("src/sim/two.hpp", TWO_OWNER_HEADER)
+        self.tree.write("src/sim/use.cpp", """
+#include "sim/two.hpp"
+void bump(WidgetRegistry& reg) {
+  Widget& w = reg.pick();
+  ++w.q_;
+}
+""")
+        findings = self.lint(ORDER_WG)
+        self.assertEqual(self.rules(findings), ["guarded-by"])
+        self.assertIn("mu_w_", findings[0][3])
+
+    def test_unresolvable_ambiguous_receiver_still_skipped(self):
+        """No declaration in sight and two candidate guards: stay silent
+        rather than guess (the pre-existing conservative fallback)."""
+        self.write_primitives()
+        self.tree.write("src/sim/two.hpp", TWO_OWNER_HEADER)
+        self.tree.write("src/sim/use.cpp", """
+#include "sim/two.hpp"
+void bump() { ++mystery()->q_; }
+""")
+        self.assertEqual(self.lint(ORDER_WG), [])
+
+
+class TestParametricCaps(LockOrderCase):
+    """GMMCS_REQUIRES(mu)/GMMCS_ACQUIRE(mu) where `mu` names a parameter:
+    the capability binds to the actual argument at each call site."""
+
+    def test_parametric_acquire_rank_inversion_at_call_site(self):
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/grab.cpp", """
+#include "sim/pair.hpp"
+void grab(Mutex& mu) GMMCS_ACQUIRE(mu) { mu.lock(); }
+void Beta::take_both() {
+  MutexLock hold(mu_b_);
+  grab(other_a_.mu_a_);
+}
+""")
+        findings = self.lint(ORDER_AB)
+        self.assertTrue(any("runs against" in f[3]
+                            and "Alpha::mu_a_" in f[3] for f in findings),
+                        findings)
+
+    def test_parametric_acquire_in_order_is_clean(self):
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/grab.cpp", """
+#include "sim/pair.hpp"
+void grab(Mutex& mu) GMMCS_ACQUIRE(mu) { mu.lock(); }
+void Alpha::take_both() {
+  MutexLock hold(mu_a_);
+  grab(other_b_.mu_b_);
+}
+""")
+        self.assertEqual(self.lint(ORDER_AB), [])
+
+    def test_parametric_requires_not_held_is_flagged(self):
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/touch.cpp", """
+#include "sim/pair.hpp"
+void touch(Mutex& mu) GMMCS_REQUIRES(mu) { poke(); }
+void Beta::take_both() {
+  touch(mu_b_);
+}
+""")
+        findings = self.lint(ORDER_AB)
+        self.assertEqual(self.rules(findings), ["lock-order"])
+        self.assertIn("does not hold 'Beta::mu_b_'", findings[0][3])
+
+    def test_parametric_requires_held_is_clean(self):
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/touch.cpp", """
+#include "sim/pair.hpp"
+void touch(Mutex& mu) GMMCS_REQUIRES(mu) { poke(); }
+void Beta::take_both() {
+  MutexLock hold(mu_b_);
+  touch(mu_b_);
+}
+""")
+        self.assertEqual(self.lint(ORDER_AB), [])
+
+    def test_parametric_requires_declaration_only(self):
+        """The annotation on a header prototype (no body in the tree view)
+        still substitutes at call sites."""
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/api.hpp", """
+#include "common/mutex.hpp"
+class Api {
+ public:
+  void touch(Mutex& mu) GMMCS_REQUIRES(mu);
+};
+""")
+        self.tree.write("src/sim/use.cpp", """
+#include "sim/pair.hpp"
+#include "sim/api.hpp"
+void Beta::take_both() {
+  api_.touch(mu_b_);
+}
+""")
+        findings = self.lint(ORDER_AB)
+        self.assertEqual(self.rules(findings), ["lock-order"])
+        self.assertIn("GMMCS_REQUIRES(mu)", findings[0][3])
+
+    def test_non_capability_argument_is_ignored(self):
+        """Substituting an argument that isn't a known capability instance
+        must not fabricate findings."""
+        self.write_primitives()
+        self.tree.write("src/sim/pair.hpp", TWO_MUTEX_HEADER)
+        self.tree.write("src/sim/touch.cpp", """
+#include "sim/pair.hpp"
+void touch(Mutex& mu) GMMCS_REQUIRES(mu) { poke(); }
+void Beta::take_both() {
+  touch(scratch_mu);
+}
+""")
+        self.assertEqual(self.lint(ORDER_AB), [])
+
+    def test_condvar_wait_is_not_double_reported(self):
+        """CondVar::wait is itself GMMCS_REQUIRES(mu)-parametric, but the
+        condvar-hold rule owns that diagnostic — an unheld wait must yield
+        exactly one finding."""
+        self.write_primitives()
+        self.tree.write("src/sim/cv.hpp", """
+#include "common/mutex.hpp"
+class Queue {
+ public:
+  void pop();
+  Mutex mu_;
+  CondVar cv_;
+};
+""")
+        self.tree.write("src/sim/cv.cpp", """
+#include "sim/cv.hpp"
+void Queue::pop() {
+  cv_.wait(mu_, 1);
+}
+""")
+        findings = self.lint(["Queue::mu_"])
+        self.assertEqual(self.rules(findings), ["condvar-hold"])
 
 
 class TestCondvarHold(LockOrderCase):
