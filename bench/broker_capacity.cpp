@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/payload.hpp"
 #include "core/experiments.hpp"
 
 namespace {
@@ -37,6 +38,10 @@ struct JsonPoint {
   std::string sweep;
   std::string plane;
   gmmcs::core::CapacityPoint p;
+  // Copy-discipline counters across the point's run: steady-state broker
+  // fan-out must not deep-copy payload bytes, so both stay 0.
+  std::uint64_t payload_copies = 0;
+  std::uint64_t payload_bytes = 0;
 };
 
 std::vector<JsonPoint> g_points;
@@ -62,13 +67,17 @@ void sweep(gmmcs::core::MediaKind kind, const char* title, const char* key,
     cfg.dispatch = dispatch;
     cfg.workers = g_workers;
     auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t cp0 = gmmcs::payload_copy_count();
+    std::uint64_t cb0 = gmmcs::payload_bytes_copied();
     CapacityPoint p = run_capacity(cfg);
+    std::uint64_t cp = gmmcs::payload_copy_count() - cp0;
+    std::uint64_t cb = gmmcs::payload_bytes_copied() - cb0;
     double wall_s = wall_seconds_since(t0);
     std::printf("%10d %11.2f ms %13.2f ms %9.3f%% %9.1f Mbps %10s %8.2f s\n", p.clients,
                 p.avg_delay_ms, p.p99_delay_ms, p.loss_ratio * 100.0, p.offered_mbps,
                 p.good_quality ? "good" : "DEGRADED", wall_s);
     if (p.good_quality) last_good = n;
-    g_points.push_back({key, plane_name, p});
+    g_points.push_back({key, plane_name, p, cp, cb});
   }
   std::printf("  -> largest good-quality client count in sweep: %d (paper: >%d)\n", last_good,
               paper_claim);
@@ -79,13 +88,16 @@ void write_json() {
   if (json == nullptr) return;
   std::fprintf(json, "{\n  \"bench\": \"broker_capacity\",\n  \"points\": [\n");
   for (std::size_t i = 0; i < g_points.size(); ++i) {
-    const auto& [sweep_key, plane, p] = g_points[i];
+    const auto& [sweep_key, plane, p, copies, copied_bytes] = g_points[i];
     std::fprintf(json,
                  "    {\"sweep\": \"%s\", \"control_plane\": \"%s\", \"clients\": %d, "
                  "\"avg_delay_ms\": %.3f, \"p99_delay_ms\": %.3f, \"loss_ratio\": %.5f, "
-                 "\"offered_mbps\": %.2f, \"good_quality\": %s}%s\n",
+                 "\"offered_mbps\": %.2f, \"good_quality\": %s, "
+                 "\"payload_copy_count\": %llu, \"payload_bytes_copied\": %llu}%s\n",
                  sweep_key.c_str(), plane.c_str(), p.clients, p.avg_delay_ms, p.p99_delay_ms,
                  p.loss_ratio, p.offered_mbps, p.good_quality ? "true" : "false",
+                 static_cast<unsigned long long>(copies),
+                 static_cast<unsigned long long>(copied_bytes),
                  i + 1 < g_points.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");

@@ -51,8 +51,9 @@ void chain_row(int hops, int packets) {
     p.ssrc = 1;
     p.sequence = static_cast<std::uint16_t>(i);
     p.timestamp = 3600u * static_cast<std::uint32_t>(i);
-    p.payload = Bytes(960, 0);
-    media::embed_origin(p.payload, loop.now());
+    Bytes media(960, 0);
+    media::embed_origin(media, loop.now());
+    p.payload = std::move(media);
     pub.publish("/lecture/video", p.serialize());
     loop.run_for(duration_ms(40));
   }
@@ -122,8 +123,9 @@ void hierarchy() {
     rtp::RtpPacket p;
     p.ssrc = 2;
     p.sequence = static_cast<std::uint16_t>(i);
-    p.payload = Bytes(960, 0);
-    media::embed_origin(p.payload, loop.now());
+    Bytes media(960, 0);
+    media::embed_origin(media, loop.now());
+    p.payload = std::move(media);
     pub.publish("/global/av", p.serialize());
     loop.run_for(duration_ms(40));
   }

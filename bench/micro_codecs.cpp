@@ -32,7 +32,7 @@ void BM_RtpParse(benchmark::State& state) {
   rtp::RtpPacket p;
   p.ssrc = 42;
   p.payload = Bytes(static_cast<std::size_t>(state.range(0)), 0xAB);
-  Bytes wire = p.serialize();
+  const Payload wire{p.serialize()};
   for (auto _ : state) {
     benchmark::DoNotOptimize(rtp::RtpPacket::parse(wire));
   }
@@ -45,7 +45,7 @@ void BM_BrokerEventRoundTrip(benchmark::State& state) {
   ev.topic = "/xgsp/session/12345/video";
   ev.payload = Bytes(972, 0xCD);
   for (auto _ : state) {
-    Bytes wire = broker::encode(ev);
+    Payload wire{broker::encode(ev)};
     benchmark::DoNotOptimize(broker::decode(wire));
   }
 }

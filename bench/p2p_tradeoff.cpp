@@ -29,8 +29,9 @@ Bytes make_packet(sim::EventLoop& loop, int i) {
   p.ssrc = 1;
   p.sequence = static_cast<std::uint16_t>(i);
   p.timestamp = 3600u * static_cast<std::uint32_t>(i);
-  p.payload = Bytes(960, 0);
-  media::embed_origin(p.payload, loop.now());
+  Bytes media(960, 0);
+  media::embed_origin(media, loop.now());
+  p.payload = std::move(media);
   return p.serialize();
 }
 

@@ -22,6 +22,7 @@
 #include "broker/event.hpp"
 #include "broker/subscription_index.hpp"
 #include "broker/topic.hpp"
+#include "common/payload.hpp"
 
 namespace {
 
@@ -98,6 +99,8 @@ struct Point {
   double fanout_speedup = 0;
   double naive_encodes_per_delivery = 0;
   double fast_encodes_per_delivery = 0;
+  std::uint64_t fast_payload_copies = 0;
+  std::uint64_t fast_payload_bytes_copied = 0;
 };
 
 Point run_point(int n, bool wildcards) {
@@ -139,6 +142,8 @@ Point run_point(int n, bool wildcards) {
       static_cast<double>(event_encode_count() - enc0) / static_cast<double>(naive_deliveries);
 
   enc0 = event_encode_count();
+  std::uint64_t cp0 = payload_copy_count();
+  std::uint64_t cb0 = payload_bytes_copied();
   std::uint64_t fast_events = 0, fast_deliveries = 0;
   p.fast_events_per_sec = rate_per_sec(0.3, [&] {
     ++fast_events;
@@ -146,7 +151,7 @@ Point run_point(int n, bool wildcards) {
     std::size_t bytes = 0;
     for (std::uint32_t id : index.matches(kTopic)) {
       (void)id;
-      Bytes wire = routed.wire();  // per-recipient datagram payload copy
+      const Payload wire = routed.wire();  // per-recipient handle: refcount bump only
       bytes += wire.size();
       ++fast_deliveries;
     }
@@ -154,6 +159,10 @@ Point run_point(int n, bool wildcards) {
   });
   p.fast_encodes_per_delivery =
       static_cast<double>(event_encode_count() - enc0) / static_cast<double>(fast_deliveries);
+  // Copy-discipline witness: the shared-frame fan-out must not deep-copy
+  // payload bytes, however wide the fan-out.
+  p.fast_payload_copies = payload_copy_count() - cp0;
+  p.fast_payload_bytes_copied = payload_bytes_copied() - cb0;
   p.fanout_speedup = p.fast_events_per_sec / p.naive_events_per_sec;
   return p;
 }
@@ -191,11 +200,15 @@ int main() {
                    "\"match_speedup\": %.2f, "
                    "\"naive_events_per_sec\": %.0f, \"fast_events_per_sec\": %.0f, "
                    "\"fanout_speedup\": %.2f, "
-                   "\"naive_encodes_per_delivery\": %.4f, \"fast_encodes_per_delivery\": %.4f}%s\n",
+                   "\"naive_encodes_per_delivery\": %.4f, \"fast_encodes_per_delivery\": %.4f, "
+                   "\"fast_payload_copies\": %llu, \"fast_payload_bytes_copied\": %llu}%s\n",
                    p.subscribers, p.wildcards ? "true" : "false", p.naive_match_per_sec,
                    p.indexed_match_per_sec, p.match_speedup, p.naive_events_per_sec,
                    p.fast_events_per_sec, p.fanout_speedup, p.naive_encodes_per_delivery,
-                   p.fast_encodes_per_delivery, i + 1 < points.size() ? "," : "");
+                   p.fast_encodes_per_delivery,
+                   static_cast<unsigned long long>(p.fast_payload_copies),
+                   static_cast<unsigned long long>(p.fast_payload_bytes_copied),
+                   i + 1 < points.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);

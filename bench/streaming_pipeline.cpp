@@ -52,7 +52,7 @@ RunResult run(int viewers, SimDuration cost_per_kb) {
   rtp::RtpSession tx(sh, {.ssrc = 4, .payload_type = 31});
   broker::BrokerClient pub(sh, mmcs.broker_endpoint(),
                            broker::BrokerClient::Config{.name = "sender"});
-  tx.on_send([&](const Bytes& wire) { pub.publish(topic, wire); });
+  tx.on_send([&](const Payload& wire) { pub.publish(topic, wire); });
   media::VideoSource source(tx, {.codec = media::codecs::h261(), .seed = 21});
   loop.run();
   source.start();

@@ -44,7 +44,7 @@ int main() {
                            broker::BrokerClient::Config{.name = "lecturer"});
   media::VideoSource camera(tx, {.codec = media::codecs::h261(), .seed = 8});
   loop.schedule_at(loop.now() + duration_s(30), [&] {
-    tx.on_send([&](const Bytes& wire) { pub.publish(topic, wire); });
+    tx.on_send([&](const Payload& wire) { pub.publish(topic, wire); });
     camera.start();
   });
   loop.schedule_at(loop.now() + duration_s(90), [&] { camera.stop(); });

@@ -43,7 +43,7 @@ int main() {
 
   // 4. Alice streams 320 kbps H.261 video for five simulated seconds.
   rtp::RtpSession tx(alice_host, {.ssrc = 1, .payload_type = 31, .clock_rate = 90000});
-  tx.on_send([&](const Bytes& wire) { alice.publish_media(topic, wire); });
+  tx.on_send([&](const Payload& wire) { alice.publish_media(topic, wire); });
   media::VideoSource camera(tx, {.codec = media::codecs::h261(), .seed = 1});
   camera.start();
   loop.run_until(SimTime{duration_s(5).ns()});

@@ -58,6 +58,7 @@ if [[ "$MODE" == "lint" ]]; then
   python3 "$ROOT/tools/lint/tests/test_lock_order.py"
   python3 "$ROOT/tools/lint/tests/test_snapshot.py"
   python3 "$ROOT/tools/lint/tests/test_lifetime.py"
+  python3 "$ROOT/tools/lint/tests/test_copy.py"
   JOBS="$(nproc)"
   if [[ -n "$CCDB" ]]; then
     python3 "$ROOT/tools/lint/determinism_lint.py" --root "$ROOT" --compile-commands "$CCDB" --jobs "$JOBS"

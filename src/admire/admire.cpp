@@ -139,7 +139,7 @@ bool AdmireTerminal::attach(const std::string& session_id) {
   return true;
 }
 
-void AdmireTerminal::send_media(const std::string& kind, Bytes rtp_wire) {
+void AdmireTerminal::send_media(const std::string& kind, Payload rtp_wire) {
   auto it = ingress_by_kind_.find(kind);
   if (it == ingress_by_kind_.end()) return;
   socket_.send_to(it->second, std::move(rtp_wire));

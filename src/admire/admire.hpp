@@ -105,7 +105,7 @@ class AdmireTerminal {
   bool attach(const std::string& session_id);
   /// Sends one RTP packet (wire bytes) into each attached stream of the
   /// given kind.
-  void send_media(const std::string& kind, Bytes rtp_wire);
+  void send_media(const std::string& kind, Payload rtp_wire);
   void on_media(std::function<void(const sim::Datagram&)> handler);
 
   [[nodiscard]] std::uint64_t packets_received() const { return received_; }

@@ -71,7 +71,7 @@ void BrokerNode::accept(transport::StreamConnectionPtr conn) {
   // Weak self-reference: lets the Hello handler recover the shared_ptr
   // without scanning inbound_, and without a conn -> handler -> conn cycle.
   std::weak_ptr<transport::StreamConnection> weak_conn = conn;
-  conn->on_message([this, raw, client_id, weak_conn](const Bytes& data) {
+  conn->on_message([this, raw, client_id, weak_conn](const Payload& data) {
     ctx_.assert_held();
     auto frame = decode(data);
     if (!frame.ok()) return;
@@ -116,7 +116,7 @@ void BrokerNode::accept(transport::StreamConnectionPtr conn) {
         break;
       }
       case MessageType::kEvent:
-        ingress_event(std::move(f.event), *client_id);
+        ingress_event(std::move(f.event), *client_id, data);
         break;
       case MessageType::kPeerEvent:
         ingress_peer_event(std::move(f.peer_event));
@@ -219,17 +219,25 @@ void BrokerNode::handle_datagram(const sim::Datagram& d) {
     auto cit = clients_.find(publisher);
     if (cit != clients_.end()) cit->second.last_heard = host_->loop().now();
   }
-  ingress_event(std::move(f.event), publisher);
+  ingress_event(std::move(f.event), publisher, d.payload);
 }
 
-void BrokerNode::ingress_event(Event ev, ClientId publisher) {
+void BrokerNode::ingress_event(Event ev, ClientId publisher, const Payload& frame) {
   ++events_in_;
+  // Frame adoption: clients stamp their own id at publish, so a
+  // well-behaved event's arrival frame is byte-for-byte the frame every
+  // recipient should receive — adopt it and encode nothing. A mismatched
+  // claim (publisher spoofing, pre-Hello traffic) is overridden with the
+  // transport-derived identity and re-encoded lazily as before.
+  const bool adopt = ev.publisher == publisher;
   ev.publisher = publisher;
   std::vector<BrokerId> remote =
       network_ != nullptr ? network_->interested_brokers(ev.topic, id_) : std::vector<BrokerId>{};
   // One shared RoutedEvent for the whole fan-out: every copy job holds the
-  // same payload buffer and the kEvent frame is encoded at most once.
-  auto routed = std::make_shared<const RoutedEvent>(std::move(ev));
+  // same payload buffer and the kEvent frame is adopted or encoded at most
+  // once.
+  auto routed = adopt ? std::make_shared<const RoutedEvent>(std::move(ev), frame)
+                      : std::make_shared<const RoutedEvent>(std::move(ev));
   dispatch_.submit(cfg_.dispatch.route_cost, [this, publisher, routed = std::move(routed),
                                               remote = std::move(remote)] {
     ctx_.assert_held();
@@ -341,9 +349,10 @@ std::vector<ClientId> BrokerNode::local_matches(const std::string& topic,
 
 void BrokerNode::deliver_copy(const ClientRec& c, const RoutedEvent& ev) {
   ++copies_delivered_;
-  // One shared encode; the per-recipient copy below is the simulated
-  // datagram/stream payload, not a re-serialization.
-  const Bytes& wire = ev.wire();
+  // One shared frame, usually adopted straight from the publisher; each
+  // recipient's datagram/stream payload is a refcounted handle to it —
+  // payload_copy_count() proves no bytes move here.
+  const Payload& wire = ev.wire();
   if (c.has_udp && ev.event().qos == QoS::kBestEffort) {
     host_->send(c.udp, cfg_.dgram_port, wire);
   } else if (c.stream) {
@@ -367,7 +376,7 @@ void BrokerNode::forward_to_peer(BrokerId next_hop, const RoutedEvent& ev,
 
 void BrokerNode::add_peer_link(BrokerId peer, transport::StreamConnectionPtr conn) {
   // Pongs (and future peer-control frames) come back on our outgoing link.
-  conn->on_message([this](const Bytes& data) {
+  conn->on_message([this](const Payload& data) {
     ctx_.assert_held();
     auto frame = decode(data);
     if (!frame.ok() || frame.value().type != MessageType::kPong) return;
@@ -500,7 +509,8 @@ void BrokerNode::handle_link_state(const LinkStateMessage& m) {
 }
 
 void BrokerNode::flood_link_state(const LinkStateMessage& m) {
-  const Bytes wire = encode(m);
+  // One encode, shared by every peer link (refcounted handle per send).
+  const Payload wire = encode(m);
   // peer_last_heard_ is ordered by BrokerId: deterministic flood order.
   for (const auto& [peer, last] : peer_last_heard_) {
     auto it = peer_links_.find(peer);

@@ -217,7 +217,7 @@ class GMMCS_PINNED("brokers are immortal for a run: chaos frees connections, nev
   };
 
   void accept(transport::StreamConnectionPtr conn);
-  void handle_stream_frame(ClientId client, const Bytes& data);
+  void handle_stream_frame(ClientId client, const Payload& data);
   void handle_datagram(const sim::Datagram& d);
   void handle_subscription(ClientRec& c, const SubscribeMessage& m) GMMCS_REQUIRES(ctx_);
   /// Drops a client record and its subscriptions/advertisements. Used when
@@ -239,8 +239,12 @@ class GMMCS_PINNED("brokers are immortal for a run: chaos frees connections, nev
 
   /// Entry point for a client-published event. `publisher` (0 = unknown)
   /// is excluded from local delivery: a subscriber never hears its own
-  /// publications back, matching media-bridge semantics.
-  void ingress_event(Event ev, ClientId publisher) GMMCS_REQUIRES(ctx_);
+  /// publications back, matching media-bridge semantics. `frame` is the
+  /// arrival frame: when the decoded publisher matches the transport-
+  /// derived one the frame is adopted verbatim as the delivery wire, so
+  /// the broker re-encodes nothing and the whole fan-out shares the
+  /// publisher's single allocation.
+  void ingress_event(Event ev, ClientId publisher, const Payload& frame) GMMCS_REQUIRES(ctx_);
   /// Entry point for an event forwarded by a peer broker.
   void ingress_peer_event(PeerEventMessage m) GMMCS_REQUIRES(ctx_);
   /// Routing core: deliver locally and forward the remaining targets.

@@ -66,7 +66,7 @@ void BrokerClient::open_stream() {
   hello.client_name = cfg_.name;
   if (udp_ && cfg_.udp_delivery) hello.udp_port = udp_->local().port;
   stream_->send(encode(hello));
-  stream_->on_message([this](const Bytes& data) { handle_frame(data); });
+  stream_->on_message([this](const Payload& data) { handle_frame(data); });
   last_heard_ = host_->loop().now();
   if (cfg_.reconnect.enabled) {
     stream_->on_close([this] { stream_down(); });
@@ -145,7 +145,7 @@ void BrokerClient::keepalive_tick() {
   }
 }
 
-void BrokerClient::handle_frame(const Bytes& data) {
+void BrokerClient::handle_frame(const Payload& data) {
   auto frame = decode(data);
   if (!frame.ok()) return;
   Frame f = std::move(frame).value();
@@ -203,7 +203,7 @@ void BrokerClient::unsubscribe(const std::string& filter) {
   stream_->send(encode(SubscribeMessage{filter, false}));
 }
 
-void BrokerClient::publish(const std::string& topic, Bytes payload, QoS qos) {
+void BrokerClient::publish(const std::string& topic, Payload payload, QoS qos) {
   Event ev;
   ev.topic = normalize_topic(topic);
   ev.payload = std::move(payload);
@@ -214,6 +214,10 @@ void BrokerClient::publish(const std::string& topic, Bytes payload, QoS qos) {
     pending_.push_back(std::move(ev));
     return;
   }
+  // Self-stamp the broker-assigned id: the published frame is then
+  // byte-identical to the one the broker fans out, so the broker adopts it
+  // instead of re-encoding (encode-once across the whole tree).
+  ev.publisher = client_id_;
   ++events_published_;
   if (udp_ && cfg_.udp_publish && qos == QoS::kBestEffort) {
     udp_->send_to(broker_udp_, encode(ev));
@@ -226,6 +230,7 @@ void BrokerClient::flush_queue() {
   while (!pending_.empty()) {
     Event ev = std::move(pending_.front());
     pending_.pop_front();
+    ev.publisher = client_id_;  // see publish(): enables broker frame adoption
     ++events_published_;
     if (udp_ && cfg_.udp_publish && ev.qos == QoS::kBestEffort) {
       udp_->send_to(broker_udp_, encode(ev));

@@ -78,9 +78,10 @@ class GMMCS_PINNED("client endpoints are created at run start and destroyed only
 
   void subscribe(const std::string& filter);
   void unsubscribe(const std::string& filter);
-  /// Publishes an event; origin timestamp is stamped here. Events
-  /// published before the handshake completes are queued.
-  void publish(const std::string& topic, Bytes payload, QoS qos = QoS::kBestEffort);
+  /// Publishes an event; origin timestamp and the client's id are stamped
+  /// here (the id lets the ingress broker adopt the frame verbatim for its
+  /// fan-out). Events published before the handshake completes are queued.
+  void publish(const std::string& topic, Payload payload, QoS qos = QoS::kBestEffort);
 
   void on_event(std::function<void(const Event&)> handler);
   /// Fires once the broker has acknowledged the Hello.
@@ -103,7 +104,7 @@ class GMMCS_PINNED("client endpoints are created at run start and destroyed only
   [[nodiscard]] sim::Host& host() const { return *host_; }
 
  private:
-  void handle_frame(const Bytes& data);
+  void handle_frame(const Payload& data);
   void flush_queue();
   /// (Re)opens the control stream and sends Hello.
   void open_stream();

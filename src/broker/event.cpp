@@ -16,7 +16,7 @@ void encode_event_body(ByteWriter& w, const Event& e) {
   w.raw(e.payload);
 }
 
-Event decode_event_body(ByteReader& r) {
+Event decode_event_body(ByteReader& r, const Payload& frame) {
   Event e;
   e.qos = static_cast<QoS>(r.u8());
   e.hops = r.u8();
@@ -25,7 +25,11 @@ Event decode_event_body(ByteReader& r) {
   e.publisher = r.u32();
   e.topic = r.lstr();
   std::uint32_t len = r.u32();
-  e.payload = r.raw(len);
+  std::size_t at = r.position();
+  // Validate and advance through the reader, but take the payload as a
+  // zero-copy slice of the frame buffer rather than an owned vector.
+  (void)r.view(len);
+  if (r.ok()) e.payload = frame.slice(at, len);
   return e;
 }
 }  // namespace
@@ -54,16 +58,24 @@ Bytes encode(const SubscribeMessage& m) {
   return w.take();
 }
 
+// Fixed kEvent overhead: type + qos + hops (3×u8) + origin (u64) +
+// seq + publisher + payload length (3×u32) + the topic's lstr prefix
+// (u16) = 25 bytes. The reserve must not undershoot: the zero-copy
+// certification (tests/zero_copy_cert_test.cpp) pins the frame to a
+// single allocation, and a short reserve silently re-copies it.
+constexpr std::size_t kEventFixedOverhead = 25;
+
 Bytes encode(const Event& e) {
   ++g_event_encodes;
-  ByteWriter w(e.payload.size() + e.topic.size() + 24);
+  ByteWriter w(e.payload.size() + e.topic.size() + kEventFixedOverhead);
   w.u8(static_cast<std::uint8_t>(MessageType::kEvent));
   encode_event_body(w, e);
   return w.take();
 }
 
 Bytes encode_peer_event(const Event& e, const std::vector<BrokerId>& targets) {
-  ByteWriter w(e.payload.size() + e.topic.size() + 32);
+  ByteWriter w(e.payload.size() + e.topic.size() + kEventFixedOverhead +
+               2 + 4 * targets.size());
   w.u8(static_cast<std::uint8_t>(MessageType::kPeerEvent));
   w.u16(static_cast<std::uint16_t>(targets.size()));
   for (BrokerId id : targets) w.u32(id);
@@ -79,7 +91,7 @@ std::uint64_t event_encode_count() {
   return g_event_encodes;
 }
 
-const Bytes& RoutedEvent::wire() const {
+const Payload& RoutedEvent::wire() const {
   if (!encoded_) {
     wire_ = encode(event_);
     encoded_ = true;
@@ -113,7 +125,7 @@ Bytes encode(const LinkStateMessage& m) {
   return w.take();
 }
 
-Result<Frame> decode(const Bytes& data) {
+Result<Frame> decode(const Payload& data) {
   if (data.empty()) return fail<Frame>("broker: empty frame");
   ByteReader r(data);
   Frame f;
@@ -137,13 +149,13 @@ Result<Frame> decode(const Bytes& data) {
       break;
     case MessageType::kEvent:
       f.type = MessageType::kEvent;
-      f.event = decode_event_body(r);
+      f.event = decode_event_body(r, data);
       break;
     case MessageType::kPeerEvent: {
       f.type = MessageType::kPeerEvent;
       std::uint16_t n = r.u16();
       for (std::uint16_t i = 0; i < n; ++i) f.peer_event.targets.push_back(r.u32());
-      f.peer_event.event = decode_event_body(r);
+      f.peer_event.event = decode_event_body(r, data);
       break;
     }
     case MessageType::kPing:

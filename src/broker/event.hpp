@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/payload.hpp"
 #include "common/result.hpp"
 #include "common/time.hpp"
 
@@ -31,7 +32,10 @@ enum class QoS : std::uint8_t {
 /// A published event.
 struct Event {
   std::string topic;
-  Bytes payload;
+  /// Ref-counted view. Decoded events hold a zero-copy slice of the frame
+  /// they arrived in; published events adopt the buffer the application
+  /// framed. Bytes are allocated once at the publisher, then shared.
+  Payload payload;
   QoS qos = QoS::kBestEffort;
   /// Publisher's simulated send instant (end-to-end delay reference).
   SimTime origin;
@@ -130,14 +134,19 @@ std::uint64_t event_encode_count();
 class RoutedEvent {
  public:
   explicit RoutedEvent(Event ev) : event_(std::move(ev)) {}
+  /// Frame adoption: when the decoded event is forwarded verbatim, the
+  /// arrival frame IS the delivery frame — the broker re-encodes nothing
+  /// and every recipient shares the publisher's one allocation.
+  RoutedEvent(Event ev, Payload frame) : event_(std::move(ev)), wire_(std::move(frame)), encoded_(true) {}
 
   [[nodiscard]] const Event& event() const { return event_; }
-  /// The cached kEvent frame; encoded on first use, shared afterwards.
-  [[nodiscard]] const Bytes& wire() const;
+  /// The cached kEvent frame; adopted at ingress or encoded on first use,
+  /// shared afterwards.
+  [[nodiscard]] const Payload& wire() const;
 
  private:
   Event event_;
-  mutable Bytes wire_;
+  mutable Payload wire_;
   mutable bool encoded_ = false;
 };
 
@@ -156,6 +165,8 @@ struct Frame {
   LinkStateMessage link_state;
 };
 
-[[nodiscard]] Result<Frame> decode(const Bytes& data);
+/// Decodes a frame. The event payload inside a kEvent/kPeerEvent frame is
+/// a zero-copy slice of `data` (it shares the buffer; no bytes move).
+[[nodiscard]] Result<Frame> decode(const Payload& data);
 
 }  // namespace gmmcs::broker

@@ -61,7 +61,7 @@ void P2pPeer::unsubscribe(const std::string& filter) {
   mesh_->advertise(this, TopicFilter(filter), /*add=*/false);
 }
 
-void P2pPeer::publish(const std::string& topic, Bytes payload) {
+void P2pPeer::publish(const std::string& topic, Payload payload) {
   Event ev;
   ev.topic = normalize_topic(topic);
   ev.payload = std::move(payload);
@@ -74,7 +74,8 @@ void P2pPeer::publish(const std::string& topic, Bytes payload) {
   fanout_cpu_ += dispatch_cfg_.route_cost;
   dispatch_.submit(dispatch_cfg_.route_cost, [this, ev = std::move(ev),
                                               targets = std::move(targets)]() mutable {
-    Bytes wire = encode(ev);
+    // One encode, shared by every per-peer copy job (refcounted handle).
+    const Payload wire = encode(ev);
     for (P2pPeer* peer : targets) {
       SimDuration cost = dispatch_cfg_.copy_cost(ev.payload.size());
       fanout_cpu_ += cost;

@@ -65,7 +65,7 @@ class P2pPeer {
 
   void subscribe(const std::string& filter);
   void unsubscribe(const std::string& filter);
-  void publish(const std::string& topic, Bytes payload);
+  void publish(const std::string& topic, Payload payload);
   void on_event(std::function<void(const Event&)> handler);
 
   [[nodiscard]] const std::string& name() const { return name_; }

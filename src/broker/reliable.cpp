@@ -20,8 +20,8 @@ RecoveryService::RecoveryService(sim::Host& host, sim::Endpoint broker_stream,
   listener_.on_accept([this](transport::StreamConnectionPtr conn) {
     conns_.push_back(conn);
     auto* raw = conn.get();
-    conn->on_message([this, raw](const Bytes& data) {
-      handle_request(raw, gmmcs::to_string(std::span<const std::uint8_t>(data)));
+    conn->on_message([this, raw](const Payload& data) {
+      handle_request(raw, gmmcs::to_string(data));
     });
     conn->on_close([this, raw] {
       std::erase_if(conns_, [raw](const transport::StreamConnectionPtr& c) {
@@ -77,7 +77,7 @@ ReliableSubscriber::ReliableSubscriber(sim::Host& host, sim::Endpoint broker_str
   });
   // Repaired events come back on the NAK link as kEvent frames; SYNC
   // summaries come back as text.
-  nak_link_->on_message([this](const Bytes& data) {
+  nak_link_->on_message([this](const Payload& data) {
     auto frame = decode(data);
     if (frame.ok() && frame.value().type == MessageType::kEvent) {
       ++recovered_;
@@ -89,7 +89,7 @@ ReliableSubscriber::ReliableSubscriber(sim::Host& host, sim::Endpoint broker_str
       arm_sync_probe();
       return;
     }
-    handle_sync(gmmcs::to_string(std::span<const std::uint8_t>(data)));
+    handle_sync(gmmcs::to_string(data));
   });
 }
 

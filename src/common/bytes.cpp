@@ -77,6 +77,13 @@ Bytes ByteReader::raw(std::size_t n) {
   return out;
 }
 
+std::span<const std::uint8_t> ByteReader::view(std::size_t n) {
+  if (!need(n)) return {};
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 std::string ByteReader::str(std::size_t n) {
   if (!need(n)) return {};
   std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
@@ -84,9 +91,25 @@ std::string ByteReader::str(std::size_t n) {
   return out;
 }
 
+std::string_view ByteReader::str_view(std::size_t n) {
+  if (!need(n)) return {};
+  std::string_view out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
 std::string ByteReader::lstr() {
   std::size_t n = u16();
   return str(n);
+}
+
+std::string_view ByteReader::lstr_view() {
+  std::size_t n = u16();
+  return str_view(n);
+}
+
+std::span<const std::uint8_t> ByteReader::rest() {
+  return view(remaining());
 }
 
 void ByteReader::skip(std::size_t n) {

@@ -55,11 +55,21 @@ class ByteReader {
   std::uint32_t u32();
   std::uint64_t u64();
   /// Reads exactly n bytes; returns an empty vector (and flags error) if short.
+  /// Allocates an owned copy — decode paths that only inspect use view().
   Bytes raw(std::size_t n);
-  /// Reads exactly n bytes as a string.
+  /// Non-allocating sibling of raw(): a view into the underlying buffer,
+  /// valid only while that buffer lives. Empty (and flags error) if short.
+  std::span<const std::uint8_t> view(std::size_t n);
+  /// Reads exactly n bytes as a string (allocating; see str_view()).
   std::string str(std::size_t n);
+  /// Non-allocating sibling of str(n): a view into the underlying buffer.
+  std::string_view str_view(std::size_t n);
   /// Reads a u16 length prefix then that many bytes as a string.
   std::string lstr();
+  /// Non-allocating sibling of lstr().
+  std::string_view lstr_view();
+  /// Consumes the rest of the buffer as a view (trailing byte-run codecs).
+  std::span<const std::uint8_t> rest();
   /// Skips n bytes.
   void skip(std::size_t n);
 

@@ -37,7 +37,7 @@ MboneTool::~MboneTool() {
   for (const auto& kind : venue_->kinds()) socket_.leave_group(venue_->group(kind));
 }
 
-void MboneTool::send_media(const std::string& kind, Bytes rtp_wire) {
+void MboneTool::send_media(const std::string& kind, Payload rtp_wire) {
   socket_.send_group(venue_->group(kind), std::move(rtp_wire));
 }
 

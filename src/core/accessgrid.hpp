@@ -45,7 +45,7 @@ class MboneTool {
   ~MboneTool();
 
   /// Sends one RTP packet (wire bytes) onto the venue's group for `kind`.
-  void send_media(const std::string& kind, Bytes rtp_wire);
+  void send_media(const std::string& kind, Payload rtp_wire);
   void on_media(std::function<void(const sim::Datagram&)> handler);
   [[nodiscard]] std::uint64_t packets_received() const { return received_; }
 

@@ -108,7 +108,7 @@ Fig3Result run_fig3(const Fig3Config& cfg) {
     publisher = std::make_unique<broker::BrokerClient>(
         sender_host, broker_node->stream_endpoint(),
         broker::BrokerClient::Config{.name = "video-sender", .udp_delivery = false});
-    tx.on_send([&](const Bytes& wire) { publisher->publish(kFig3Topic, wire); });
+    tx.on_send([&](const Payload& wire) { publisher->publish(kFig3Topic, wire); });
   }
 
   // Let every handshake and subscription settle before media starts.
@@ -170,7 +170,7 @@ CapacityPoint run_capacity(const CapacityConfig& cfg) {
   broker::BrokerClient publisher(
       sender_host, broker_node.stream_endpoint(),
       broker::BrokerClient::Config{.name = "sender", .udp_delivery = false});
-  tx.on_send([&](const Bytes& wire) { publisher.publish(topic, wire); });
+  tx.on_send([&](const Payload& wire) { publisher.publish(topic, wire); });
 
   std::unique_ptr<media::AudioSource> audio;
   std::unique_ptr<media::VideoSource> video;

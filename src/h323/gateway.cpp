@@ -33,7 +33,7 @@ H323Gateway::Bridge& H323Gateway::bridge_for(const xgsp::Session& session) {
 void H323Gateway::accept_q931(transport::StreamConnectionPtr conn) {
   auto* raw = conn.get();
   q931_conns_[raw] = conn;
-  conn->on_message([this, raw](const Bytes& data) {
+  conn->on_message([this, raw](const Payload& data) {
     auto parsed = Q931Message::decode(data);
     if (!parsed.ok()) return;
     const Q931Message& m = parsed.value();
@@ -114,7 +114,7 @@ void H323Gateway::handle_setup(const Q931Message& setup, transport::StreamConnec
   // and drop late control messages for a released call.
   call_ptr->h245_listener->on_accept([this, call_ptr](transport::StreamConnectionPtr h245) {
     call_ptr->h245 = h245;
-    h245->on_message([this, id = call_ptr->id](const Bytes& data) {
+    h245->on_message([this, id = call_ptr->id](const Payload& data) {
       auto it = calls_.find(id);
       if (it == calls_.end()) return;  // call released while in flight
       auto parsed = H245Message::decode(data);

@@ -30,7 +30,7 @@ Bytes RasMessage::encode() const {
   return w.take();
 }
 
-Result<RasMessage> RasMessage::decode(const Bytes& data) {
+Result<RasMessage> RasMessage::decode(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   if (r.u8() != 0x52) return fail<RasMessage>("h225ras: bad tag");
   RasMessage m;
@@ -60,7 +60,7 @@ Bytes Q931Message::encode() const {
   return w.take();
 }
 
-Result<Q931Message> Q931Message::decode(const Bytes& data) {
+Result<Q931Message> Q931Message::decode(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   if (r.u8() != 0x08) return fail<Q931Message>("q931: bad protocol discriminator");
   Q931Message m;
@@ -100,7 +100,7 @@ Bytes H245Message::encode() const {
   return w.take();
 }
 
-Result<H245Message> H245Message::decode(const Bytes& data) {
+Result<H245Message> H245Message::decode(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   if (r.u8() != 0x45) return fail<H245Message>("h245: bad tag");
   H245Message m;

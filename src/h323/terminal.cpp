@@ -72,7 +72,7 @@ void H323Terminal::start_signaling(sim::Endpoint call_signal, std::vector<MediaP
   call_cb_ = std::move(cb);
   call_ref_ = next_call_ref_++;
   q931_ = transport::StreamConnection::connect(*host_, call_signal);
-  q931_->on_message([this](const Bytes& data) {
+  q931_->on_message([this](const Payload& data) {
     auto parsed = Q931Message::decode(data);
     if (!parsed.ok()) return;
     const Q931Message& m = parsed.value();
@@ -100,7 +100,7 @@ void H323Terminal::start_signaling(sim::Endpoint call_signal, std::vector<MediaP
 
 void H323Terminal::start_h245(sim::Endpoint h245_address) {
   h245_ = transport::StreamConnection::connect(*host_, h245_address);
-  h245_->on_message([this](const Bytes& data) {
+  h245_->on_message([this](const Payload& data) {
     auto parsed = H245Message::decode(data);
     if (parsed.ok()) handle_h245(parsed.value());
   });

@@ -5,7 +5,7 @@
 // using the payload-embedded origin stamp for true end-to-end delay.
 #pragma once
 
-#include "common/bytes.hpp"
+#include "common/payload.hpp"
 #include "common/time.hpp"
 #include "media/stamp.hpp"
 #include "rtp/packet.hpp"
@@ -21,7 +21,7 @@ class MediaProbe {
   }
 
   /// Processes one received RTP packet (wire format) arriving at `arrival`.
-  void on_wire(const Bytes& rtp_wire, SimTime arrival) {
+  void on_wire(const Payload& rtp_wire, SimTime arrival) {
     auto r = rtp::RtpPacket::parse(rtp_wire);
     if (!r.ok()) {
       ++parse_errors_;

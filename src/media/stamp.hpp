@@ -34,7 +34,7 @@ inline void embed_origin(Bytes& payload, SimTime origin) {
 }
 
 /// Reads a stamp back; nullopt if the payload is unstamped.
-inline std::optional<SimTime> extract_origin(const Bytes& payload) {
+inline std::optional<SimTime> extract_origin(std::span<const std::uint8_t> payload) {
   if (payload.size() < kStampBytes) return std::nullopt;
   std::uint32_t magic = 0;
   for (int i = 0; i < 4; ++i) magic = (magic << 8) | payload[static_cast<std::size_t>(i)];

@@ -18,7 +18,7 @@ Bytes RtpPacket::serialize() const {
   return w.take();
 }
 
-Result<RtpPacket> RtpPacket::parse(const Bytes& data) {
+Result<RtpPacket> RtpPacket::parse(const Payload& data) {
   if (data.size() < kRtpHeaderSize) return fail<RtpPacket>("rtp: packet shorter than header");
   ByteReader r(data);
   std::uint8_t b0 = r.u8();
@@ -35,7 +35,11 @@ Result<RtpPacket> RtpPacket::parse(const Bytes& data) {
   p.ssrc = r.u32();
   for (std::uint8_t i = 0; i < cc; ++i) p.csrcs.push_back(r.u32());
   if (!r.ok()) return fail<RtpPacket>("rtp: truncated CSRC list");
-  p.payload = r.raw(r.remaining());
+  // Zero-copy: the payload is a slice of the packet buffer covering the
+  // reader's trailing byte run.
+  std::size_t at = r.position();
+  std::size_t len = r.rest().size();
+  p.payload = data.slice(at, len);
   return p;
 }
 

@@ -67,7 +67,7 @@ Bytes serialize(const Bye& bye) {
   return w.take();
 }
 
-Result<RtcpPacket> parse_rtcp(const Bytes& data) {
+Result<RtcpPacket> parse_rtcp(std::span<const std::uint8_t> data) {
   if (data.size() < 4) return fail<RtcpPacket>("rtcp: too short");
   ByteReader r(data);
   std::uint8_t b0 = r.u8();
@@ -100,7 +100,7 @@ Result<RtcpPacket> parse_rtcp(const Bytes& data) {
   return p;
 }
 
-bool looks_like_rtcp(const Bytes& data) {
+bool looks_like_rtcp(std::span<const std::uint8_t> data) {
   if (data.size() < 2) return false;
   if ((data[0] >> 6) != 2) return false;
   return data[1] >= 200 && data[1] <= 204;

@@ -62,11 +62,11 @@ struct RtcpPacket {
 Bytes serialize(const SenderReport& sr);
 Bytes serialize(const ReceiverReport& rr);
 Bytes serialize(const Bye& bye);
-[[nodiscard]] Result<RtcpPacket> parse_rtcp(const Bytes& data);
+[[nodiscard]] Result<RtcpPacket> parse_rtcp(std::span<const std::uint8_t> data);
 
 /// Distinguishes RTCP from RTP when both arrive on one socket: RTCP packet
 /// types 200..204 collide with the RTP marker+payload-type byte range
 /// 72..76, which real deployments avoid for media. We follow that rule.
-bool looks_like_rtcp(const Bytes& data);
+bool looks_like_rtcp(std::span<const std::uint8_t> data);
 
 }  // namespace gmmcs::rtp

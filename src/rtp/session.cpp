@@ -31,7 +31,7 @@ void RtpSession::set_multicast_group(sim::GroupId group) {
   group_ = group;
 }
 
-void RtpSession::send_media(Bytes payload, std::uint32_t timestamp, bool marker) {
+void RtpSession::send_media(Payload payload, std::uint32_t timestamp, bool marker) {
   RtpPacket p;
   p.marker = marker;
   p.payload_type = cfg_.payload_type;
@@ -39,7 +39,8 @@ void RtpSession::send_media(Bytes payload, std::uint32_t timestamp, bool marker)
   p.timestamp = timestamp;
   p.ssrc = cfg_.ssrc;
   p.payload = std::move(payload);
-  Bytes wire = p.serialize();
+  // One serialization per packet; every destination shares the handle.
+  Payload wire = p.serialize();
   ++packets_sent_;
   octets_sent_ += static_cast<std::uint32_t>(p.payload.size());
   for (const auto& dst : dests_) socket_.send_to(dst, wire);
@@ -47,7 +48,7 @@ void RtpSession::send_media(Bytes payload, std::uint32_t timestamp, bool marker)
   if (send_tap_) send_tap_(wire);
 }
 
-void RtpSession::on_send(std::function<void(const Bytes&)> tap) {
+void RtpSession::on_send(std::function<void(const Payload&)> tap) {
   send_tap_ = std::move(tap);
 }
 
@@ -89,7 +90,7 @@ void RtpSession::handle(const sim::Datagram& d) {
 
 void RtpSession::emit_rtcp() {
   SimTime now = socket_.host().loop().now();
-  Bytes wire;
+  Payload wire;
   if (packets_sent_ > 0) {
     SenderReport sr;
     sr.ssrc = cfg_.ssrc;
@@ -120,7 +121,7 @@ void RtpSession::emit_rtcp() {
 }
 
 void RtpSession::send_bye() {
-  Bytes wire = serialize(Bye{cfg_.ssrc});
+  Payload wire = serialize(Bye{cfg_.ssrc});
   for (const auto& dst : dests_) socket_.send_to(dst, wire);
 }
 

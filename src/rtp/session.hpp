@@ -45,10 +45,10 @@ class RtpSession {
   // --- Sending ---
   /// Sends one media packet to all destinations; sequence numbers are
   /// managed by the session, timestamp/marker supplied by the media layer.
-  void send_media(Bytes payload, std::uint32_t timestamp, bool marker = false);
+  void send_media(Payload payload, std::uint32_t timestamp, bool marker = false);
   /// Tap on outgoing packets: receives every serialized RTP packet. Used
   /// to feed media into non-RTP transports (e.g. publish as broker events).
-  void on_send(std::function<void(const Bytes& wire)> tap);
+  void on_send(std::function<void(const Payload& wire)> tap);
   [[nodiscard]] std::uint32_t packets_sent() const { return packets_sent_; }
   [[nodiscard]] std::uint32_t octets_sent() const { return octets_sent_; }
 
@@ -87,7 +87,7 @@ class RtpSession {
   std::uint32_t packets_sent_ = 0;
   std::uint32_t octets_sent_ = 0;
   std::uint64_t parse_errors_ = 0;
-  std::function<void(const Bytes&)> send_tap_;
+  std::function<void(const Payload&)> send_tap_;
   std::function<void(const RtpPacket&, const sim::Datagram&)> media_handler_;
   std::function<void(const RtcpPacket&, const sim::Datagram&)> rtcp_handler_;
   std::map<std::uint32_t, std::unique_ptr<ReceiverStats>> sources_;

@@ -94,7 +94,7 @@ bool Host::egress(std::size_t wire_bytes, SimTime& depart) {
   return true;
 }
 
-bool Host::send(Endpoint dst, std::uint16_t src_port, Bytes payload, bool reliable) {
+bool Host::send(Endpoint dst, std::uint16_t src_port, Payload payload, bool reliable) {
   ctx_.assert_held();
   if (!up_) return false;
   std::size_t wire = payload.size() + nic_.overhead_bytes;
@@ -122,7 +122,7 @@ bool Host::send(Endpoint dst, std::uint16_t src_port, Bytes payload, bool reliab
   return true;
 }
 
-void Host::send_multicast(GroupId group, std::uint16_t src_port, Bytes payload) {
+void Host::send_multicast(GroupId group, std::uint16_t src_port, Payload payload) {
   ctx_.assert_held();
   if (!up_) return;
   std::size_t wire = payload.size() + nic_.overhead_bytes;

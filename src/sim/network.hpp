@@ -28,6 +28,7 @@
 
 #include "common/bytes.hpp"
 #include "common/mutex.hpp"
+#include "common/payload.hpp"
 #include "common/random.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/time.hpp"
@@ -62,7 +63,8 @@ struct EndpointHash {
 struct Datagram {
   Endpoint src;
   Endpoint dst;
-  Bytes payload;
+  /// Ref-counted view: every hop of a fan-out shares the sender's buffer.
+  Payload payload;
   SimTime sent_at;
   /// Reliable traffic (stream segments) is exempt from random path loss;
   /// retransmission is abstracted away but queueing is still paid.
@@ -113,10 +115,12 @@ class GMMCS_PINNED("sim hosts are built with the topology and outlive the event 
   void unbind(std::uint16_t port);
   [[nodiscard]] bool is_bound(std::uint16_t port) const;
 
-  /// Sends a datagram; returns false if the NIC queue dropped it.
-  bool send(Endpoint dst, std::uint16_t src_port, Bytes payload, bool reliable = false);
+  /// Sends a datagram; returns false if the NIC queue dropped it. The
+  /// payload handle is shared, not copied: pass a fresh frame (`Bytes&&`
+  /// adopts) or another Payload's handle (refcount bump).
+  bool send(Endpoint dst, std::uint16_t src_port, Payload payload, bool reliable = false);
   /// Sends to every member of a multicast group (one NIC serialization).
-  void send_multicast(GroupId group, std::uint16_t src_port, Bytes payload);
+  void send_multicast(GroupId group, std::uint16_t src_port, Payload payload);
 
   /// Parallel-dispatch lane of this host's events (DESIGN.md §9): each
   /// host gets its own lane so same-timestamp events of *different* hosts

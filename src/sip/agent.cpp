@@ -33,7 +33,7 @@ SipAgent::SipAgent(sim::Host& host, std::uint16_t port)
   listener_.on_accept([this](transport::StreamConnectionPtr conn) {
     in_links_.push_back(conn);
     auto* raw = conn.get();
-    conn->on_message([this, raw](const Bytes& data) { handle_message(raw, data); });
+    conn->on_message([this, raw](const Payload& data) { handle_message(raw, data); });
     conn->on_close([this, raw] {
       std::erase_if(in_links_, [raw](const transport::StreamConnectionPtr& c) {
         return c.get() == raw;
@@ -47,7 +47,7 @@ transport::StreamConnectionPtr SipAgent::link_to(sim::Endpoint target) {
   if (it != out_links_.end() && !it->second->closed()) return it->second;
   auto conn = transport::StreamConnection::connect(*host_, target);
   auto* raw = conn.get();
-  conn->on_message([this, raw](const Bytes& data) { handle_message(raw, data); });
+  conn->on_message([this, raw](const Payload& data) { handle_message(raw, data); });
   conn->on_close([this, target] { out_links_.erase(target); });
   out_links_[target] = conn;
   return conn;
@@ -72,7 +72,7 @@ void SipAgent::on_request(RequestHandler handler) {
   request_handler_ = std::move(handler);
 }
 
-void SipAgent::handle_message(transport::StreamConnection* from, const Bytes& data) {
+void SipAgent::handle_message(transport::StreamConnection* from, const Payload& data) {
   auto parsed = SipMessage::parse(gmmcs::to_string(std::span<const std::uint8_t>(data)));
   if (!parsed.ok()) return;
   SipMessage m = std::move(parsed).value();

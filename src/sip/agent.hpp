@@ -55,7 +55,7 @@ class GMMCS_PINNED("SIP agents are run-long endpoints; their transports die firs
 
  private:
   transport::StreamConnectionPtr link_to(sim::Endpoint target);
-  void handle_message(transport::StreamConnection* from, const Bytes& data);
+  void handle_message(transport::StreamConnection* from, const Payload& data);
   static std::string transaction_key(const SipMessage& m);
 
   sim::Host* host_;

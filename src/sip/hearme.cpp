@@ -37,7 +37,7 @@ std::size_t HearMeService::phones_in(const std::string& session_id) const {
   return it == bridges_.end() ? 0 : it->second->phones.size();
 }
 
-void HearMeService::fan_out(ConferenceBridge& bridge, const Bytes& rtp_wire,
+void HearMeService::fan_out(ConferenceBridge& bridge, const Payload& rtp_wire,
                             sim::Endpoint except) {
   for (const auto& phone : bridge.phones) {
     if (phone == except) continue;
@@ -135,7 +135,7 @@ void HearMeService::Phone::hang_up() {
   bridge_.reset();
 }
 
-void HearMeService::Phone::send_audio(Bytes rtp_wire) {
+void HearMeService::Phone::send_audio(Payload rtp_wire) {
   if (bridge_) socket_.send_to(*bridge_, std::move(rtp_wire));
 }
 

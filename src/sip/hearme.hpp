@@ -50,7 +50,7 @@ class HearMeService {
     /// Dials into a bridged session; returns false if not bridged.
     bool dial(const std::string& session_id);
     void hang_up();
-    void send_audio(Bytes rtp_wire);
+    void send_audio(Payload rtp_wire);
     void on_audio(std::function<void(const sim::Datagram&)> handler);
     [[nodiscard]] std::uint64_t packets_received() const { return received_; }
     [[nodiscard]] const std::string& number() const { return number_; }
@@ -77,7 +77,7 @@ class HearMeService {
 
   [[nodiscard]] Result<xml::Element> establish(const xml::Element& request);
   [[nodiscard]] Result<xml::Element> membership(const xml::Element& request);
-  void fan_out(ConferenceBridge& bridge, const Bytes& rtp_wire, sim::Endpoint except);
+  void fan_out(ConferenceBridge& bridge, const Payload& rtp_wire, sim::Endpoint except);
 
   sim::Host* host_;
   sim::Endpoint broker_;

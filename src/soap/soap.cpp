@@ -124,7 +124,7 @@ void SoapServer::register_operation(const std::string& name, Handler handler) {
 void SoapServer::accept(transport::StreamConnectionPtr conn) {
   conns_.push_back(conn);
   auto* raw = conn.get();
-  conn->on_message([this, raw](const Bytes& data) {
+  conn->on_message([this, raw](const Payload& data) {
     auto req = parse_http_request(to_string(data));
     HttpResponse resp;
     if (!req.ok()) {
@@ -173,7 +173,7 @@ HttpResponse SoapServer::handle(const HttpRequest& req) {
 
 SoapClient::SoapClient(sim::Host& host, sim::Endpoint server)
     : conn_(transport::StreamConnection::connect(host, server)) {
-  conn_->on_message([this](const Bytes& data) {
+  conn_->on_message([this](const Payload& data) {
     if (pending_.empty()) return;
     Callback cb = std::move(pending_.front());
     pending_.pop_front();

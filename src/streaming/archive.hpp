@@ -32,7 +32,9 @@ class GMMCS_PINNED("the archive service records and replays for the whole run") 
   struct Recording {
     struct Entry {
       SimDuration offset;  // relative to recording start
-      Bytes payload;
+      /// Shares the delivered event's buffer: archiving appends a handle,
+      /// and replay re-publishes the same allocation (zero-copy both ways).
+      Payload payload;
     };
     SimTime started;
     std::vector<Entry> entries;

@@ -42,7 +42,8 @@ void HelixServer::push_block(const std::string& name, const media::EncodedBlock&
   w.u32(block.timestamp);
   w.u8(block.payload_type);
   w.raw(Bytes(block.bytes, 0xEE));
-  Bytes wire = w.take();
+  // One framed buffer shared across every playing session (refcount bumps).
+  const Payload wire{w.take()};
   for (const auto& [id, s] : sessions_) {
     if (s.stream != name || s.state != PlayerState::kPlaying) continue;
     ++distributed_;
@@ -53,7 +54,7 @@ void HelixServer::push_block(const std::string& name, const media::EncodedBlock&
 void HelixServer::accept(transport::StreamConnectionPtr conn) {
   conns_.push_back(conn);
   auto* raw = conn.get();
-  conn->on_message([this, raw](const Bytes& data) {
+  conn->on_message([this, raw](const Payload& data) {
     auto parsed = RtspMessage::parse(gmmcs::to_string(std::span<const std::uint8_t>(data)));
     if (!parsed.ok()) return;
     raw->send(handle(parsed.value()).serialize());

@@ -13,7 +13,7 @@ StreamingPlayer::StreamingPlayer(sim::Host& host, sim::Endpoint rtsp_server, Con
       server_host_("host" + std::to_string(rtsp_server.node)),
       rtsp_(transport::StreamConnection::connect(host, rtsp_server)),
       media_in_(host) {
-  rtsp_->on_message([this](const Bytes& data) {
+  rtsp_->on_message([this](const Payload& data) {
     auto parsed = RtspMessage::parse(gmmcs::to_string(std::span<const std::uint8_t>(data)));
     if (!parsed.ok() || pending_.empty()) return;
     auto cb = std::move(pending_.front());

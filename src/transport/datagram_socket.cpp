@@ -22,11 +22,11 @@ void DatagramSocket::on_receive(std::function<void(const sim::Datagram&)> handle
   handler_ = std::move(handler);
 }
 
-bool DatagramSocket::send_to(sim::Endpoint dst, Bytes payload) {
+bool DatagramSocket::send_to(sim::Endpoint dst, Payload payload) {
   return host_->send(dst, port_, std::move(payload));
 }
 
-void DatagramSocket::send_group(sim::GroupId group, Bytes payload) {
+void DatagramSocket::send_group(sim::GroupId group, Payload payload) {
   host_->send_multicast(group, port_, std::move(payload));
 }
 

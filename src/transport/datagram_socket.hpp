@@ -25,9 +25,9 @@ class DatagramSocket {
   void on_receive(std::function<void(const sim::Datagram&)> handler);
 
   /// Sends a datagram; returns false if dropped at the local NIC.
-  bool send_to(sim::Endpoint dst, Bytes payload);
+  bool send_to(sim::Endpoint dst, Payload payload);
   /// Sends to a multicast group.
-  void send_group(sim::GroupId group, Bytes payload);
+  void send_group(sim::GroupId group, Payload payload);
   /// Joins/leaves a multicast group on this socket's port.
   void join_group(sim::GroupId group);
   void leave_group(sim::GroupId group);

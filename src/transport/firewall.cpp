@@ -49,7 +49,7 @@ void ProxyServer::accept(StreamConnectionPtr client) {
   pairs_.emplace_back(std::move(client), nullptr);
   // The first message must be the CONNECT line; subsequent messages are
   // payload and may already be queued behind it (ordered delivery).
-  raw->on_message([this, client_weak](const Bytes& first) {
+  raw->on_message([this, client_weak](const Payload& first) {
     auto conn = client_weak.lock();
     if (!conn) return;
     std::string line = to_string(first);
@@ -68,13 +68,15 @@ void ProxyServer::accept(StreamConnectionPtr client) {
     std::weak_ptr<StreamConnection> up_weak = upstream;
     ++tunnels_;
     // Re-point the client handler at the relay; upstream buffers until open.
-    conn->on_message([this, up_weak](const Bytes& m) {
+    // Relay legs pass the refcounted handle through: tunneled bytes are
+    // never copied by the proxy.
+    conn->on_message([this, up_weak](const Payload& m) {
       auto up = up_weak.lock();
       if (!up) return;
       ++relayed_;
       up->send(m);
     });
-    upstream->on_message([this, client_weak](const Bytes& m) {
+    upstream->on_message([this, client_weak](const Payload& m) {
       auto down = client_weak.lock();
       if (!down) return;
       ++relayed_;

@@ -15,11 +15,15 @@ Bytes control_segment(std::uint8_t type) {
   return Bytes{type};
 }
 
-Bytes data_segment(const Bytes& message) {
+// The one residual byte copy on the stream path: a kData segment prepends
+// its type byte, so the message is framed into a fresh buffer at egress.
+// The receive side undoes it for free (a slice); the best-effort media
+// fan-out never comes through here.
+Bytes data_segment(const Payload& message) {
   Bytes out;
   out.reserve(message.size() + 1);
   out.push_back(kData);
-  out.insert(out.end(), message.begin(), message.end());
+  out.insert(out.end(), message.data(), message.data() + message.size());
   return out;
 }
 }  // namespace
@@ -95,7 +99,9 @@ void StreamConnection::handle(const sim::Datagram& d) {
     case kData:
       if (state_ == State::kClosed) break;
       ++received_;
-      deliver_or_buffer(Bytes(d.payload.begin() + 1, d.payload.end()));
+      // Zero-copy: the delivered message is a slice of the arriving
+      // segment, sharing the sender's buffer.
+      deliver_or_buffer(d.payload.slice(1));
       break;
     case kFin:
       if (state_ != State::kClosed) do_close(/*notify_peer=*/false);
@@ -105,7 +111,7 @@ void StreamConnection::handle(const sim::Datagram& d) {
   }
 }
 
-void StreamConnection::deliver_or_buffer(Bytes payload) {
+void StreamConnection::deliver_or_buffer(Payload payload) {
   if (message_handler_) {
     // Invoke a copy: the callback may legitimately replace the handler
     // (e.g. the proxy swaps in its relay handler after the CONNECT line),
@@ -117,7 +123,7 @@ void StreamConnection::deliver_or_buffer(Bytes payload) {
   }
 }
 
-void StreamConnection::send(Bytes message) {
+void StreamConnection::send(Payload message) {
   if (state_ == State::kClosed) return;
   if (state_ == State::kConnecting) {
     outbox_.push_back(std::move(message));
@@ -129,17 +135,17 @@ void StreamConnection::send(Bytes message) {
 
 void StreamConnection::flush_pending() {
   while (!outbox_.empty()) {
-    Bytes m = std::move(outbox_.front());
+    Payload m = std::move(outbox_.front());
     outbox_.pop_front();
     ++sent_;
     host_->send(remote_, local_.port, data_segment(m), /*reliable=*/true);
   }
 }
 
-void StreamConnection::on_message(std::function<void(const Bytes&)> handler) {
+void StreamConnection::on_message(std::function<void(const Payload&)> handler) {
   message_handler_ = std::move(handler);
   while (message_handler_ && !inbox_.empty()) {
-    Bytes m = std::move(inbox_.front());
+    Payload m = std::move(inbox_.front());
     inbox_.pop_front();
     auto h = message_handler_;  // see deliver_or_buffer
     h(m);

@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "common/bytes.hpp"
+#include "common/payload.hpp"
 #include "sim/network.hpp"
 
 namespace gmmcs::transport {
@@ -51,13 +52,16 @@ class StreamConnection : public std::enable_shared_from_this<StreamConnection> {
   StreamConnection& operator=(const StreamConnection&) = delete;
 
   /// Queues a message; delivered reliably and in order. Messages sent
-  /// before the handshake completes are buffered.
-  void send(Bytes message);
-  void send(std::string_view text) { send(to_bytes(text)); }
+  /// before the handshake completes are buffered. The payload handle is
+  /// shared (a fresh frame adopts, another Payload refcounts); the only
+  /// byte copy on the path is the kData segment framing at egress.
+  void send(Payload message);
+  void send(std::string_view text) { send(Payload(to_bytes(text))); }
 
   /// Receive callback; replaces any previous one. Messages that arrived
-  /// before a handler was set are replayed to the new handler.
-  void on_message(std::function<void(const Bytes&)> handler);
+  /// before a handler was set are replayed to the new handler. The message
+  /// is a zero-copy slice of the arriving segment.
+  void on_message(std::function<void(const Payload&)> handler);
   /// Called once when the peer closes or the connection fails.
   void on_close(std::function<void()> handler);
   /// Called once when the handshake completes (connector side; acceptor
@@ -89,7 +93,7 @@ class StreamConnection : public std::enable_shared_from_this<StreamConnection> {
   StreamConnection(sim::Host& host, State state);
 
   void handle(const sim::Datagram& d);
-  void deliver_or_buffer(Bytes payload);
+  void deliver_or_buffer(Payload payload);
   void flush_pending();
   void do_close(bool notify_peer);
   void arm_syn_timer();
@@ -103,11 +107,11 @@ class StreamConnection : public std::enable_shared_from_this<StreamConnection> {
   /// listener's port and is demultiplexed by the listener.
   bool owns_port_ = false;
   StreamListener* owner_ = nullptr;  // acceptor side: for demux cleanup
-  std::function<void(const Bytes&)> message_handler_;
+  std::function<void(const Payload&)> message_handler_;
   std::function<void()> close_handler_;
   std::function<void()> connect_handler_;
-  std::deque<Bytes> outbox_;  // buffered until established
-  std::deque<Bytes> inbox_;   // buffered until a handler is set
+  std::deque<Payload> outbox_;  // buffered until established
+  std::deque<Payload> inbox_;   // buffered until a handler is set
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   ConnectOptions opts_;

@@ -88,7 +88,7 @@ void XgspClient::on_notification(std::function<void(const Message&)> handler) {
   notification_handler_ = std::move(handler);
 }
 
-void XgspClient::publish_media(const std::string& topic, Bytes payload) {
+void XgspClient::publish_media(const std::string& topic, Payload payload) {
   client_.publish(topic, std::move(payload));
 }
 

@@ -38,7 +38,7 @@ class XgspClient {
 
   /// Media-plane access: publish/receive on a stream topic of a joined
   /// session (payloads are RTP packets in the experiments).
-  void publish_media(const std::string& topic, Bytes payload);
+  void publish_media(const std::string& topic, Payload payload);
   void subscribe_media(const std::string& topic);
   void on_media(std::function<void(const broker::Event&)> handler);
 

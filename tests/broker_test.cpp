@@ -270,9 +270,9 @@ TEST_F(BrokerTest, DispatchCostScalesWithFanout) {
 
 TEST_F(BrokerTest, EncodeOnceRegardlessOfFanout) {
   // The encode-once fan-out: delivering one event to 400 subscribers must
-  // serialize the kEvent frame exactly twice process-wide — once at the
-  // publishing client, once (shared) inside the broker — never per
-  // recipient.
+  // serialize the kEvent frame exactly once process-wide — at the
+  // publishing client. The broker adopts the arrival frame as the routed
+  // event's wire image and shares it with every recipient.
   sim::Host& bh = host("broker");
   BrokerNode broker(bh, 0);
   BrokerClient pub(host("pub"), broker.stream_endpoint());
@@ -290,7 +290,7 @@ TEST_F(BrokerTest, EncodeOnceRegardlessOfFanout) {
   loop.run();
   EXPECT_EQ(got, 400);
   EXPECT_EQ(broker.copies_delivered(), 400u);
-  EXPECT_EQ(event_encode_count() - enc0, 2u);
+  EXPECT_EQ(event_encode_count() - enc0, 1u);
 }
 
 TEST_F(BrokerTest, DeliveryOrderMatchesSubscriptionOrder) {
@@ -342,7 +342,7 @@ TEST_F(BrokerTest, DuplicateHelloKeepsFirstIdentity) {
   sim::Host& ch = host("client");
   auto conn = transport::StreamConnection::connect(ch, broker.stream_endpoint());
   std::vector<ClientId> acks;
-  conn->on_message([&](const Bytes& data) {
+  conn->on_message([&](const Payload& data) {
     auto f = decode(data);
     if (f.ok() && f.value().type == MessageType::kHelloAck) {
       acks.push_back(f.value().hello_ack.client_id);

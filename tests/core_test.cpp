@@ -191,7 +191,7 @@ TEST_F(GlobalMmcsTest, StreamingViewerWatchesSession) {
   rtp::RtpSession tx(sh, {.ssrc = 9, .payload_type = 31});
   broker::BrokerClient pub(sh, mmcs.broker_endpoint(),
                            broker::BrokerClient::Config{.name = "sender"});
-  tx.on_send([&](const Bytes& wire) { pub.publish(topic, wire); });
+  tx.on_send([&](const Payload& wire) { pub.publish(topic, wire); });
   media::VideoSource source(tx, {.codec = media::codecs::h261(), .seed = 3});
   loop.run();
   source.start();

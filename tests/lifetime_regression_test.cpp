@@ -49,7 +49,7 @@ class PongServer {
       const int id = next_id_++;
       auto* raw = conn.get();
       clients_.emplace(id, std::move(conn));
-      raw->on_message([this, id](const Bytes& msg) { handle(id, msg); });
+      raw->on_message([this, id](const Payload& msg) { handle(id, msg); });
     });
   }
 
@@ -69,7 +69,7 @@ class PongServer {
   }
 
  private:
-  void handle(int id, const Bytes& msg) {
+  void handle(int id, const Payload& msg) {
     if (to_string(msg) != "ping") return;
     auto it = clients_.find(id);
     if (it == clients_.end()) return;
@@ -115,7 +115,7 @@ TEST_F(LifetimeRegressionTest, DeferredPongOnLiveConnectionDelivers) {
   StreamConnectionPtr client =
       StreamConnection::connect(client_host, server.local());
   int pongs = 0;
-  client->on_message([&](const Bytes& msg) {
+  client->on_message([&](const Payload& msg) {
     if (to_string(msg) == "pong") ++pongs;
   });
   client->on_connect([&] { client->send("ping"); });
@@ -136,7 +136,7 @@ TEST_F(LifetimeRegressionTest, DeferredPongAfterEvictionIsDropped) {
   StreamConnectionPtr client =
       StreamConnection::connect(client_host, server.local());
   int pongs = 0;
-  client->on_message([&](const Bytes& msg) {
+  client->on_message([&](const Payload& msg) {
     if (to_string(msg) == "pong") ++pongs;
   });
   client->on_connect([&] { client->send("ping"); });

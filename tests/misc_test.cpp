@@ -85,7 +85,7 @@ TEST(RtpSessionMisc, DestinationManagement) {
   EXPECT_TRUE(tx.destinations().empty());
   // Sending with no destinations still feeds the tap.
   int tapped = 0;
-  tx.on_send([&](const Bytes&) { ++tapped; });
+  tx.on_send([&](const Payload&) { ++tapped; });
   tx.send_media(Bytes(10, 0), 0);
   EXPECT_EQ(tapped, 1);
   EXPECT_EQ(tx.packets_sent(), 1u);

@@ -123,12 +123,13 @@ TEST_P(WireRoundTrip, H323Messages) {
 TEST_P(WireRoundTrip, ParsersNeverCrashOnGarbage) {
   for (int i = 0; i < 200; ++i) {
     Bytes garbage = random_bytes(200);
-    (void)rtp::RtpPacket::parse(garbage);
-    (void)broker::decode(garbage);
-    (void)h323::RasMessage::decode(garbage);
-    (void)h323::Q931Message::decode(garbage);
-    (void)h323::H245Message::decode(garbage);
     std::string text(garbage.begin(), garbage.end());
+    const Payload frame{std::move(garbage)};
+    (void)rtp::RtpPacket::parse(frame);
+    (void)broker::decode(frame);
+    (void)h323::RasMessage::decode(frame);
+    (void)h323::Q931Message::decode(frame);
+    (void)h323::H245Message::decode(frame);
     (void)sip::SipMessage::parse(text);
     (void)xml::parse(text);
     (void)xgsp::Message::parse(text);
@@ -316,7 +317,7 @@ TEST_P(StreamProperty, ExactlyOnceInOrder) {
   transport::StreamConnectionPtr server_conn;
   listener.on_accept([&](transport::StreamConnectionPtr conn) {
     server_conn = conn;
-    conn->on_message([&](const Bytes& m) { got.push_back(std::stoi(gmmcs::to_string(
+    conn->on_message([&](const Payload& m) { got.push_back(std::stoi(gmmcs::to_string(
         std::span<const std::uint8_t>(m)))); });
   });
   auto conn = transport::StreamConnection::connect(a, sim::Endpoint{b.id(), 80});

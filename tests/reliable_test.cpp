@@ -199,7 +199,7 @@ TEST_F(ReliableTest, NakRangeClampedToBoundedBuffer) {
 
   auto nak = transport::StreamConnection::connect(net.add_host("nakker"), recovery.endpoint());
   std::vector<std::uint32_t> replayed;
-  nak->on_message([&](const Bytes& data) {
+  nak->on_message([&](const Payload& data) {
     auto frame = decode(data);
     if (frame.ok() && frame.value().type == MessageType::kEvent) {
       replayed.push_back(frame.value().event.seq);

@@ -102,10 +102,15 @@ Bytes reencode(const gmmcs::broker::Frame& f) {
   return {};
 }
 
-void expect_broker_roundtrip(const Bytes& wire) {
-  auto frame = gmmcs::broker::decode(wire);
-  ASSERT_TRUE(frame.ok()) << frame.error().message;
-  EXPECT_EQ(reencode(frame.value()), wire);
+void expect_broker_roundtrip(Bytes wire) {
+  // Decode through a Payload-backed frame (the shape every arrival takes
+  // since the zero-copy plane landed); re-encoding must reproduce the
+  // plain-Bytes wire image bit-for-bit.
+  const Bytes reference = wire;
+  const gmmcs::Payload frame{std::move(wire)};
+  auto decoded = gmmcs::broker::decode(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(reencode(decoded.value()), reference);
 }
 
 TEST(RoundtripBroker, AllFrameTypesSurviveReencoding) {
@@ -146,6 +151,25 @@ TEST(RoundtripBroker, AllFrameTypesSurviveReencoding) {
       gmmcs::broker::LinkStateMessage m{rand_u32(rng), rand_u32(rng), rand_u32(rng),
                                         rand_u32(rng), rng.chance(0.5)};
       expect_broker_roundtrip(encode(m));
+    }
+  }
+}
+
+TEST(RoundtripBroker, PayloadBackedEventDecodeIsZeroCopyAndByteIdentical) {
+  Rng rng(0xFACEull);
+  for (int i = 0; i < kRounds; ++i) {
+    auto ev = rand_event(rng);
+    const Bytes reference = encode(ev);
+    const gmmcs::Payload frame{encode(ev)};
+    auto back = gmmcs::broker::decode(frame);
+    ASSERT_TRUE(back.ok()) << back.error().message;
+    const gmmcs::broker::Event& decoded = back.value().event;
+    // A Payload-backed decode re-encodes to the identical Bytes image.
+    EXPECT_EQ(encode(decoded), reference);
+    // And its payload is a slice of the arrival frame, not a fresh buffer.
+    if (!decoded.payload.empty()) {
+      EXPECT_GE(decoded.payload.data(), frame.data());
+      EXPECT_LE(decoded.payload.data() + decoded.payload.size(), frame.data() + frame.size());
     }
   }
 }
@@ -230,10 +254,17 @@ TEST(RoundtripRtp, Packets) {
     auto cc = rng.uniform_int(0, 15);  // 4-bit CSRC count
     for (std::int64_t k = 0; k < cc; ++k) p.csrcs.push_back(rand_u32(rng));
     p.payload = rand_bytes(rng, 256);
-    Bytes wire = p.serialize();
-    auto back = gmmcs::rtp::RtpPacket::parse(wire);
+    const Bytes reference = p.serialize();
+    const gmmcs::Payload frame{p.serialize()};
+    auto back = gmmcs::rtp::RtpPacket::parse(frame);
     ASSERT_TRUE(back.ok()) << back.error().message;
-    EXPECT_EQ(back.value().serialize(), wire);
+    EXPECT_EQ(back.value().serialize(), reference);
+    // Zero-copy parse: the decoded payload aliases the arrival frame.
+    const gmmcs::rtp::RtpPacket& q = back.value();
+    if (!q.payload.empty()) {
+      EXPECT_GE(q.payload.data(), frame.data());
+      EXPECT_LE(q.payload.data() + q.payload.size(), frame.data() + frame.size());
+    }
   }
 }
 

@@ -48,7 +48,7 @@ TEST(RtpPacket, RejectsShortAndBadVersion) {
   RtpPacket p;
   Bytes wire = p.serialize();
   wire[0] = 0x00;  // version 0
-  EXPECT_FALSE(RtpPacket::parse(wire).ok());
+  EXPECT_FALSE(RtpPacket::parse(std::move(wire)).ok());
 }
 
 TEST(RtpPacket, RejectsTruncatedCsrcList) {
@@ -56,7 +56,7 @@ TEST(RtpPacket, RejectsTruncatedCsrcList) {
   p.csrcs = {7, 8};
   Bytes wire = p.serialize();
   wire.resize(kRtpHeaderSize + 4);  // cut the second CSRC
-  EXPECT_FALSE(RtpPacket::parse(wire).ok());
+  EXPECT_FALSE(RtpPacket::parse(std::move(wire)).ok());
 }
 
 TEST(Rtcp, SenderReportRoundTrip) {

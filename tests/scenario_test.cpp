@@ -46,7 +46,7 @@ TEST(Scenario, BurstyLinkParticipantFlaggedByQualityMonitor) {
   sim::Host& tx_host = net.add_host("sender");
   rtp::RtpSession tx(tx_host, {.ssrc = 5, .payload_type = 31});
   broker::BrokerClient pub(tx_host, node.stream_endpoint());
-  tx.on_send([&](const Bytes& wire) { pub.publish(topic, wire); });
+  tx.on_send([&](const Payload& wire) { pub.publish(topic, wire); });
   media::VideoSource source(tx, {.codec = media::codecs::h261(), .seed = 9});
   xgsp::QualityMonitor monitor(net.add_host("monitor"), node.stream_endpoint(), sid);
   loop.run();

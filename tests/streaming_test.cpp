@@ -143,7 +143,7 @@ TEST_F(StreamingTest, ProducerBridgesTopicToHelix) {
   rtp::RtpSession tx(sender, {.ssrc = 5, .payload_type = 96});
   broker::BrokerClient pub(sender, broker_node.stream_endpoint(),
                            broker::BrokerClient::Config{.name = "sender"});
-  tx.on_send([&](const Bytes& wire) { pub.publish("/xgsp/session/9/video", wire); });
+  tx.on_send([&](const Payload& wire) { pub.publish("/xgsp/session/9/video", wire); });
   media::VideoSource source(tx, {.codec = media::codecs::mpeg4_sim(), .seed = 4});
   loop.run();
   source.start();

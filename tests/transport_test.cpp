@@ -70,14 +70,14 @@ TEST_F(TransportTest, StreamHandshakeAndExchange) {
     server_conn = std::move(c);
     // Capture the slot, not the shared_ptr: a handler owning its own
     // connection is a reference cycle (LeakSanitizer flags it).
-    server_conn->on_message([&](const Bytes& m) {
+    server_conn->on_message([&](const Payload& m) {
       server_got.push_back(to_string(m));
       server_conn->send("reply:" + to_string(m));
     });
   });
   auto conn = StreamConnection::connect(client, sim::Endpoint{server.id(), 80});
   std::vector<std::string> client_got;
-  conn->on_message([&](const Bytes& m) { client_got.push_back(to_string(m)); });
+  conn->on_message([&](const Payload& m) { client_got.push_back(to_string(m)); });
   bool connected = false;
   conn->on_connect([&] { connected = true; });
   conn->send("hello");
@@ -99,7 +99,7 @@ TEST_F(TransportTest, StreamPreservesOrderUnderLoad) {
   StreamConnectionPtr sc;
   listener.on_accept([&](StreamConnectionPtr c) {
     sc = c;
-    c->on_message([&](const Bytes& m) { order.push_back(std::stoi(to_string(m))); });
+    c->on_message([&](const Payload& m) { order.push_back(std::stoi(to_string(m))); });
   });
   auto conn = StreamConnection::connect(client, sim::Endpoint{server.id(), 80});
   for (int i = 0; i < 50; ++i) conn->send(std::to_string(i));
@@ -118,7 +118,7 @@ TEST_F(TransportTest, StreamSurvivesLossyPath) {
   StreamConnectionPtr sc;
   listener.on_accept([&](StreamConnectionPtr c) {
     sc = c;
-    c->on_message([&](const Bytes&) { ++got; });
+    c->on_message([&](const Payload&) { ++got; });
   });
   auto conn = StreamConnection::connect(client, sim::Endpoint{server.id(), 80});
   for (int i = 0; i < 20; ++i) conn->send("x");
@@ -157,7 +157,7 @@ TEST_F(TransportTest, StreamBuffersInboxUntilHandlerSet) {
   loop.run();
   ASSERT_NE(sc, nullptr);
   std::vector<std::string> got;
-  sc->on_message([&](const Bytes& m) { got.push_back(to_string(m)); });
+  sc->on_message([&](const Payload& m) { got.push_back(to_string(m)); });
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0], "early1");
 }
@@ -210,7 +210,7 @@ TEST_F(TransportTest, FirewallBlocksInboundStreamButAllowsOutbound) {
   outside_listener.on_accept([&](StreamConnectionPtr c) { sc = c; });
   auto out_conn = StreamConnection::connect(inside, sim::Endpoint{outside.id(), 80});
   int inside_got = 0;
-  out_conn->on_message([&](const Bytes&) { ++inside_got; });
+  out_conn->on_message([&](const Payload&) { ++inside_got; });
   loop.run();
   ASSERT_TRUE(out_conn->established());
   sc->send("data-back");
@@ -229,14 +229,14 @@ TEST_F(TransportTest, ProxyTunnelsThroughFirewall) {
   StreamConnectionPtr bc;
   broker_listener.on_accept([&](StreamConnectionPtr c) {
     bc = std::move(c);
-    bc->on_message([&](const Bytes& m) {
+    bc->on_message([&](const Payload& m) {
       broker_got.push_back(to_string(m));
       bc->send("ack:" + to_string(m));
     });
   });
   auto tunnel = connect_via_proxy(inside, proxy.endpoint(), sim::Endpoint{broker.id(), 9000});
   std::vector<std::string> client_got;
-  tunnel->on_message([&](const Bytes& m) { client_got.push_back(to_string(m)); });
+  tunnel->on_message([&](const Payload& m) { client_got.push_back(to_string(m)); });
   tunnel->send("subscribe:topic1");
   loop.run();
   ASSERT_EQ(broker_got.size(), 1u);

@@ -183,6 +183,7 @@ MESSAGES = {
     "snapshot-mutation": "%s",
     "snapshot-publication": "%s",
     "lifetime": "%s",
+    "copy": "%s",
     "suppression-reason": "gmmcs-lint suppression without a reason "
                           "(write `gmmcs-lint: allow(rule): why`)",
 }
@@ -446,7 +447,10 @@ def _check_value_calls(src):
 # compare sequences; a mismatch is wire drift.
 
 OP_NORMALIZE = {"u8": "u8", "u16": "u16", "u32": "u32", "u64": "u64",
-                "lstr": "lstr", "str": "raw", "raw": "raw", "skip": "raw"}
+                "lstr": "lstr", "str": "raw", "raw": "raw", "skip": "raw",
+                # Zero-copy read-side siblings: a view consumes the same
+                # length-carried byte run a raw write produced.
+                "view": "raw", "str_view": "raw", "lstr_view": "lstr", "rest": "raw"}
 
 FUNC_HEAD_RE = re.compile(
     r"(?:^|\n)\s*(?:template\s*<[^>]*>\s*)?"
@@ -547,7 +551,7 @@ def _extract_seq(body, io_names, helpers):
     io_alt = "|".join(sorted(io_names)) if io_names else r"(?!x)x"
     helper_alt = "|".join(sorted(helpers)) if helpers else r"(?!x)x"
     tok_re = re.compile(
-        rf"\b(?P<io>{io_alt})\s*\.\s*(?P<op>u8|u16|u32|u64|lstr|str|raw|skip)\s*\("
+        rf"\b(?P<io>{io_alt})\s*\.\s*(?P<op>u8|u16|u32|u64|lstr_view|lstr|str_view|str|raw|view|rest|skip)\s*\("
         rf"|\b(?P<helper>{helper_alt})\s*\("
         rf"|\b(?P<loop>for|while)\s*\("
         rf"|\b(?P<cond>if)\s*\(")
@@ -2788,6 +2792,284 @@ def pass_lifetime(sources, extra_sinks=(), extra_pinned=()):
     return sorted(set(findings))
 
 
+# --------------------------------------------------------------------------
+# Pass 8: copy discipline.
+# --------------------------------------------------------------------------
+#
+# The zero-copy payload plane (DESIGN.md §15): a routed event's bytes
+# are allocated once, at the publishing client's encode, and every later
+# stage — broker ingress, tree-wide fan-out, subscriber decode, RTP
+# parse, archive append/replay — holds a gmmcs::Payload handle into that
+# one buffer. This pass is the static gate that keeps it true.
+#
+# Dataflow model. Payload-typed values are `Bytes` and `Payload` —
+# parameters, locals, and the plane's well-known members (`.payload`,
+# `.wire()`). Each value has an origin:
+#   - fresh: the result of a call (encode()/serialize()/take()/slice())
+#     or a literal — binding it is a move, never a copy;
+#   - shared: an lvalue (a parameter, a local, a member) whose bytes
+#     another holder may still need — duplicating it deep-copies.
+# The pass walks every function, resolves identifiers against the
+# enclosing signature and body, and flags the four ways shared bytes get
+# silently duplicated:
+#
+#   1. by-value sink params: a `Bytes` parameter taken by value whose
+#      body neither std::move()s it onward nor mutates it deep-copies at
+#      every call site — take `const Bytes&` (inspect-only) or keep
+#      by-value and move it into the sink. (`Payload` by value is a
+#      refcounted handle and always fine.)
+#   2. copy-construction from a shared origin: `Bytes b = other;` (or
+#      the paren/iterator-range forms) without std::move and without
+#      mutating `b` afterwards duplicates bytes a Payload handle — or
+#      the lvalue itself — would have served. Mutation-before-store is
+#      the structural justification: a buffer that is stamped or
+#      extended genuinely needed its own allocation. The iterator-range
+#      form `Bytes(x.begin() + k, x.end())` is the shape the stream
+#      delivery path carried before Payload::slice() replaced it.
+#   3. allocating inspect-only reads: a ByteReader raw()/str()/lstr()
+#      result that is only compared or read wants the non-allocating
+#      view()/str_view()/lstr_view() sibling.
+#   4. re-framing: writing an already-framed wire image back through
+#      `ByteWriter::raw(x.wire())` / `raw(encode(...))` /
+#      `raw(x.serialize())` re-buffers bytes the plane already owns —
+#      adopt the arriving frame or slice it instead.
+#
+# `--fix` rewrites the mechanical shapes: an unmoved by-value `Bytes`
+# parameter becomes `const Bytes&` (its out-of-line declaration, if any,
+# must follow), and inspect-only reads become their view siblings
+# (`auto v = r.view(n)` for raw — span supports every read-only use the
+# rule admits). Re-framing and shared-origin copies are structural and
+# stay manual. A justified deep copy is spelled Payload::copy_of(...)
+# (counted at runtime by payload_copy_count()) or carries
+# `gmmcs-lint: allow(copy): reason`; the shipped tree carries neither —
+# it lints clean with zero suppressions.
+
+# Fix records produced by the last pass_copy run, consumed by
+# apply_fixes: dicts with rel/lineno/old/new.
+COPY_FIXES = []
+
+_COPY_MUTATORS = ("push_back", "pop_back", "insert", "emplace_back",
+                  "resize", "clear", "assign", "erase", "append",
+                  "reserve", "swap")
+
+# Read-only member accesses that a span serves just as well: the
+# inspect-only-local analysis treats these (and comparisons) as
+# non-escaping uses.
+_COPY_READONLY = ("size", "empty", "data", "begin", "end", "front", "back")
+
+_COPY_BYVALUE_PARAM_RE = re.compile(
+    r"^(?:gmmcs::)?Bytes\s+(\w+)\s*(?:=[^,]*)?$")
+_COPY_PARAM_NAME_RE = re.compile(
+    r"^(?:const\s+)?(?:gmmcs::)?(?:Bytes|Payload)\s*&{0,2}\s*(\w+)\s*(?:=[^,]*)?$")
+_COPY_LOCAL_DECL_RE = re.compile(
+    r"\b(?:const\s+)?(?:gmmcs::)?(?:Bytes|Payload)\s+(\w+)\s*[;={(]")
+_COPY_INIT_RE = re.compile(
+    r"\b(?:const\s+)?(?:gmmcs::)?Bytes\s+(\w+)\s*(?:=\s*([^;{}]+?)"
+    r"|\(\s*([^;{}]+?)\s*\)|\{\s*([^;{}]+?)\s*\})\s*;")
+_COPY_RANGE_CTOR_RE = re.compile(
+    r"(?:gmmcs::)?Bytes\s*\(\s*([\w.\->]+?)\s*\.\s*begin\s*\(\s*\)\s*"
+    r"(?:[+\-]\s*[\w()]+\s*)?,\s*\1\s*\.\s*end\s*\(\s*\)\s*\)")
+_COPY_MEMBER_LVALUE_RE = re.compile(
+    r"^[\w.\[\]]+(?:\.|->)(?:payload|wire\(\))$")
+_COPY_READER_DECL_RE = re.compile(r"\bByteReader\s+(\w+)\s*[({]")
+_COPY_ALLOC_READ_RE = re.compile(r"\b(\w+)\s*\.\s*(raw|str|lstr)\s*\(")
+_COPY_INSPECT_LOCAL_RE = re.compile(
+    r"\b(?:(?:const\s+)?(?:gmmcs::)?Bytes|(?:const\s+)?std::string|"
+    r"(?:const\s+)?auto)\s+(\w+)\s*=\s*(\w+)\s*\.\s*(raw|str|lstr)\s*\(")
+_COPY_REFRAME_RE = re.compile(
+    r"\.\s*raw\s*\(\s*[\w.\->]*?(?:wire\s*\(\s*\)|serialize\s*\(\s*\)|"
+    r"encode\s*\([^()]*\))\s*\)")
+
+_COPY_VIEW_SIBLING = {"raw": "view", "str": "str_view", "lstr": "lstr_view"}
+
+
+def _copy_mutated(body, name, start=0):
+    """Does `body` (after `start`) mutate payload-typed local `name`?
+    Reassignment, a mutator method, element writes, and in-place
+    stamping (embed_origin) all count — each proves the value needed a
+    private buffer."""
+    esc = re.escape(name)
+    if re.search(r"\b%s\s*(?:\.|->)\s*(?:%s)\s*\(" %
+                 (esc, "|".join(_COPY_MUTATORS)), body[start:]):
+        return True
+    if re.search(r"\b%s\s*\[[^\]]*\]\s*=[^=]" % esc, body[start:]):
+        return True
+    if re.search(r"\b%s\s*=[^=]" % esc, body[start:]):
+        return True
+    if re.search(r"\bembed_origin\s*\(\s*%s\b" % esc, body[start:]):
+        return True
+    return False
+
+
+def _copy_payload_names(params, body):
+    """Identifiers of payload type in scope: parameters (any ref-ness —
+    a const Bytes& parameter is still a shared lvalue) plus locals."""
+    names = set()
+    for p in _split_args(params):
+        m = _COPY_PARAM_NAME_RE.match(p.strip())
+        if m:
+            names.add(m.group(1))
+    for m in _COPY_LOCAL_DECL_RE.finditer(body):
+        names.add(m.group(1))
+    return names
+
+
+def _copy_inspect_only(body, name, start):
+    """True if every use of `name` after `start` is a comparison or a
+    read-only member access — i.e. a non-owning view would have served.
+    Any other use (call argument, return, move, store, mutation) makes
+    the owned copy potentially load-bearing and the analysis stays
+    quiet."""
+    esc = re.escape(name)
+    for m in re.finditer(r"\b%s\b" % esc, body[start:]):
+        at = start + m.start()
+        after = body[at + len(name):]
+        before = body[:at]
+        ro = "|".join(_COPY_READONLY)
+        if re.match(r"\s*(?:==|!=)", after):
+            continue
+        if re.search(r"(?:==|!=)\s*$", before):
+            continue
+        if re.match(r"\s*(?:\.|->)\s*(?:%s)\s*\(" % ro, after):
+            continue
+        if re.match(r"\s*\[[^\]]*\]\s*(?!=[^=])", after):
+            continue
+        return False
+    return True
+
+
+def pass_copy(sources):
+    """Copy-discipline dataflow over payload-typed values (see the
+    section comment)."""
+    del COPY_FIXES[:]
+    findings = []
+
+    def report(src, off_in_text, msg, fix=None):
+        lineno = src.line_of(off_in_text)
+        if src.suppressed(lineno, "copy"):
+            return
+        findings.append((src.rel, lineno, "copy", msg))
+        if fix is not None:
+            fix.update(rel=src.rel, lineno=lineno)
+            COPY_FIXES.append(fix)
+
+    for src in sources:
+        for cls, name, params, _annos, body, off in \
+                _extract_functions_ctx(src.text):
+            # Rule 1: by-value Bytes parameters that are never adopted.
+            for p in _split_args(params):
+                pm = _COPY_BYVALUE_PARAM_RE.match(p.strip())
+                if not pm:
+                    continue
+                pname = pm.group(1)
+                if re.search(r"std::move\s*\(\s*%s\s*\)" % re.escape(pname),
+                             body):
+                    continue
+                if _copy_mutated(body, pname):
+                    continue
+                # Locate the parameter in the signature (the text just
+                # before the body) for the line number and the fix.
+                sig_at = src.text.rfind("Bytes", max(0, off - 400), off)
+                decl = "Bytes " + pname
+                decl_at = src.text.rfind(decl, max(0, off - 400), off)
+                report(src, decl_at if decl_at >= 0 else
+                       (sig_at if sig_at >= 0 else off),
+                       f"by-value Bytes parameter '{pname}' of {name} is "
+                       f"deep-copied at every call and never moved into a "
+                       f"sink — take const Bytes& (inspect-only) or "
+                       f"std::move it onward",
+                       fix={"old": decl, "new": "const Bytes& " + pname}
+                       if decl_at >= 0 else None)
+
+            payload_names = _copy_payload_names(params, body)
+
+            # Rule 2: copy-construction from a shared origin.
+            for m in _COPY_INIT_RE.finditer(body):
+                dst = m.group(1)
+                init = next((g for g in m.groups()[1:] if g), "").strip()
+                if not init or "std::move" in init or "copy_of" in init:
+                    continue
+                shared = (re.fullmatch(r"\w+", init) and init in
+                          payload_names) or \
+                    _COPY_MEMBER_LVALUE_RE.match(init)
+                if not shared:
+                    continue
+                if _copy_mutated(body, dst, m.end()):
+                    continue
+                report(src, off + m.start(),
+                       f"'{dst}' copy-constructs payload bytes from "
+                       f"lvalue '{init}' and never mutates them — bind a "
+                       f"reference, share a Payload handle, or spell the "
+                       f"copy Payload::copy_of")
+
+            # Rule 2b: iterator-range byte copies of a payload value
+            # (the pre-Payload stream delivery shape).
+            for m in _COPY_RANGE_CTOR_RE.finditer(body):
+                base = m.group(1).split(".")[0].split("->")[0]
+                if base in payload_names or ".payload" in m.group(1) or \
+                        "payload" == m.group(1).rsplit(".", 1)[-1]:
+                    report(src, off + m.start(),
+                           f"byte-range copy of payload '{m.group(1)}' — "
+                           f"Payload::slice() shares the buffer instead "
+                           f"of duplicating it")
+
+            # Rule 3: allocating inspect-only reads.
+            readers = set(_COPY_READER_DECL_RE.findall(body)) | \
+                set(_COPY_READER_DECL_RE.findall(params))
+            handled = set()
+            for m in _COPY_INSPECT_LOCAL_RE.finditer(body):
+                local, recv, op = m.group(1), m.group(2), m.group(3)
+                if recv not in readers:
+                    continue
+                handled.add(m.start())
+                if not _copy_inspect_only(body, local, m.end()):
+                    continue
+                old = src.text[off + m.start():off + m.end()]
+                new = re.sub(r"^\s*(?:const\s+)?(?:gmmcs::)?"
+                             r"(?:Bytes|std::string|auto)",
+                             "auto", old.strip())
+                new = re.sub(r"\.\s*%s\s*\($" % op,
+                             ".%s(" % _COPY_VIEW_SIBLING[op], new)
+                report(src, off + m.start(),
+                       f"'{local}' allocates an owned copy via {op}() but "
+                       f"is only inspected — {_COPY_VIEW_SIBLING[op]}() "
+                       f"reads it in place",
+                       fix={"old": old, "new": new})
+            for m in _COPY_ALLOC_READ_RE.finditer(body):
+                recv, op = m.group(1), m.group(2)
+                if recv not in readers:
+                    continue
+                close = _matching_paren(body, m.end() - 1)
+                after = body[close + 1:]
+                before = body[:m.start()]
+                direct_cmp = re.match(r"\s*(?:==|!=)", after) or \
+                    re.search(r"(?:==|!=)\s*$", before)
+                if not direct_cmp:
+                    continue
+                old = body[m.start():m.end()]
+                fix = None
+                if op in ("str", "lstr"):  # string_view compares cleanly
+                    fix = {"old": old,
+                           "new": old.replace(op + "(",
+                                              _COPY_VIEW_SIBLING[op] + "(")
+                           .replace(op + " (",
+                                    _COPY_VIEW_SIBLING[op] + " (")}
+                report(src, off + m.start(),
+                       f"{op}() allocates an owned copy only to compare "
+                       f"it — {_COPY_VIEW_SIBLING[op]}() inspects the "
+                       f"buffer in place", fix=fix)
+
+            # Rule 4: re-framing an already-framed wire image.
+            for m in _COPY_REFRAME_RE.finditer(body):
+                report(src, off + m.start(),
+                       "re-buffers an already-framed payload through "
+                       "ByteWriter::raw — adopt the frame (RoutedEvent's "
+                       "wire ctor) or slice the arriving buffer instead "
+                       "of re-copying bytes the plane already owns")
+
+    return sorted(set(findings))
+
+
 PASSES = {
     "layering": lambda srcs: pass_layering(srcs),
     "result": lambda srcs: pass_result(srcs),
@@ -2796,6 +3078,7 @@ PASSES = {
     "lock-order": lambda srcs: pass_lock_order(srcs),
     "snapshot": lambda srcs: pass_snapshot(srcs),
     "lifetime": lambda srcs: pass_lifetime(srcs),
+    "copy": lambda srcs: pass_copy(srcs),
 }
 
 _LAMBDA_AFTER_CAPS_RE = re.compile(
@@ -2825,14 +3108,42 @@ def _apply_lifetime_fix(text, rec):
     return text[:brace] + prolog + text[brace:]
 
 
+def _apply_copy_fix(text, rec):
+    """Applies one copy-pass rewrite: a windowed exact-text replace near
+    the recorded line. Returns the new text, or None if the site no
+    longer matches (already fixed / moved)."""
+    lines = text.splitlines(keepends=True)
+    zone_start = sum(len(l) for l in lines[:max(0, rec["lineno"] - 2)])
+    zone_end = sum(len(l) for l in lines[:rec["lineno"] + 3])
+    at = text.find(rec["old"], zone_start, zone_end)
+    if at < 0:
+        return None
+    return text[:at] + rec["new"] + text[at + len(rec["old"]):]
+
+
 def apply_fixes(root, findings):
     """Applies the mechanical fixes: inserting [[nodiscard]] on Result<T>
-    declarations flagged by the result pass, and rewriting raw captures
+    declarations flagged by the result pass, rewriting raw captures
     flagged by the lifetime pass into the weak_ptr + lock + early-return
-    shape (when the pointer's source is a shared_ptr in scope). Returns
-    the number of edits made. Idempotent by construction: a fixed site no
+    shape (when the pointer's source is a shared_ptr in scope), and the
+    copy pass's rewrites (by-value Bytes params to const Bytes&,
+    inspect-only allocating reads to their view siblings). Returns the
+    number of edits made. Idempotent by construction: a fixed site no
     longer produces the finding that drives the edit."""
     edits = 0
+    # Copy-discipline rewrites (text edits; bottom-up per file).
+    by_file = {}
+    for rec in COPY_FIXES:
+        by_file.setdefault(rec["rel"], []).append(rec)
+    for rel, recs in sorted(by_file.items()):
+        path = root / rel
+        text = path.read_text()
+        for rec in sorted(recs, key=lambda r: -r["lineno"]):
+            new_text = _apply_copy_fix(text, rec)
+            if new_text is not None:
+                text = new_text
+                edits += 1
+        path.write_text(text)
     # Lifetime rewrites first (text edits; apply bottom-up per file so
     # earlier line numbers stay valid).
     by_file = {}
@@ -2883,9 +3194,11 @@ def main():
     ap.add_argument("--passes", default=None,
                     help="comma-separated subset of: " + ",".join(PASSES))
     ap.add_argument("--fix", action="store_true",
-                    help="auto-insert missing [[nodiscard]] and rewrite "
+                    help="auto-insert missing [[nodiscard]], rewrite "
                          "raw deferred captures to the weak_ptr shape, "
-                         "then re-lint")
+                         "and apply the copy pass's mechanical rewrites "
+                         "(const Bytes& params, view() reads), then "
+                         "re-lint")
     args = ap.parse_args()
 
     root = args.root.resolve()
