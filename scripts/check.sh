@@ -20,6 +20,12 @@
 #                     defaults to the current commit SHA so every commit
 #                     explores fresh plans while staying reproducible —
 #                     any violation prints a replayable chaos-spec.
+#   fuzz [seed [n]]   sanitized (asan,ubsan) decoder fuzzing: replays the
+#                     committed shrunk corpus (tests/fuzz_seeds/), then
+#                     runs n seeded mutations (default 500) per decoder
+#                     family under the no-throw / O(N)-allocation
+#                     invariants. Seed defaults to the commit SHA; any
+#                     violation prints a shrunk hex reproducer to commit.
 #   <list>            any raw comma-separated -fsanitize= list
 set -euo pipefail
 
@@ -44,6 +50,16 @@ if [[ "$MODE" == "chaos" ]]; then
   exit 0
 fi
 
+if [[ "$MODE" == "fuzz" ]]; then
+  ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+  SEED="${2:-}"
+  if [[ -z "$SEED" ]]; then
+    SEED="$((16#$(git -C "$ROOT" rev-parse --short=12 HEAD)))"
+  fi
+  ITERS="${3:-500}"
+  exec "$ROOT/tools/fuzz/run_fuzz.sh" --seed "$SEED" --iters "$ITERS"
+fi
+
 if [[ "$MODE" == "lint" ]]; then
   ROOT="$(cd "$(dirname "$0")/.." && pwd)"
   LINT_BUDGET_S="${LINT_BUDGET_S:-180}"
@@ -59,6 +75,7 @@ if [[ "$MODE" == "lint" ]]; then
   python3 "$ROOT/tools/lint/tests/test_snapshot.py"
   python3 "$ROOT/tools/lint/tests/test_lifetime.py"
   python3 "$ROOT/tools/lint/tests/test_copy.py"
+  python3 "$ROOT/tools/lint/tests/test_wire.py"
   JOBS="$(nproc)"
   if [[ -n "$CCDB" ]]; then
     python3 "$ROOT/tools/lint/determinism_lint.py" --root "$ROOT" --compile-commands "$CCDB" --jobs "$JOBS"

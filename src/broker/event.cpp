@@ -24,12 +24,13 @@ Event decode_event_body(ByteReader& r, const Payload& frame) {
   e.seq = r.u32();
   e.publisher = r.u32();
   e.topic = r.lstr();
-  std::uint32_t len = r.u32();
+  auto len = r.read_len_bounded(r.remaining());
+  if (!len.ok()) return e;  // reader is poisoned; caller checks r.ok()
   std::size_t at = r.position();
-  // Validate and advance through the reader, but take the payload as a
-  // zero-copy slice of the frame buffer rather than an owned vector.
-  (void)r.view(len);
-  if (r.ok()) e.payload = frame.slice(at, len);
+  // Advance through the reader, but take the payload as a zero-copy
+  // slice of the frame buffer rather than an owned vector.
+  r.skip(len.value());
+  e.payload = frame.slice(at, len.value());
   return e;
 }
 }  // namespace
@@ -153,8 +154,15 @@ Result<Frame> decode(const Payload& data) {
       break;
     case MessageType::kPeerEvent: {
       f.type = MessageType::kPeerEvent;
-      std::uint16_t n = r.u16();
-      for (std::uint16_t i = 0; i < n; ++i) f.peer_event.targets.push_back(r.u32());
+      // A hostile 3-byte frame used to claim 65535 targets and allocate
+      // 256 KiB before the truncation check; the clamped count read
+      // rejects any count that can't fit in the bytes actually left.
+      auto n = r.read_count_u16(4);
+      if (!n.ok()) break;  // reader poisoned; truncation check below fires
+      f.peer_event.targets.reserve(n.value());
+      for (std::size_t i = 0; i < n.value(); ++i) {
+        f.peer_event.targets.push_back(r.u32());
+      }
       f.peer_event.event = decode_event_body(r, data);
       break;
     }

@@ -49,9 +49,14 @@ void RecoveryService::handle_request(transport::StreamConnection* conn,
   auto parts = split(line, ' ');
   if (parts.size() != 4 || parts[0] != "NAK") return;
   ++naks_;
-  auto publisher = static_cast<ClientId>(std::stoul(parts[1]));
-  auto from = static_cast<std::uint32_t>(std::stoul(parts[2]));
-  auto to = static_cast<std::uint32_t>(std::stoul(parts[3]));
+  // A garbled NAK is ignored rather than answered: the subscriber re-asks.
+  auto pub = parse_u32(parts[1]);
+  auto lo = parse_u32(parts[2]);
+  auto hi = parse_u32(parts[3]);
+  if (!pub || !lo || !hi) return;
+  auto publisher = static_cast<ClientId>(*pub);
+  std::uint32_t from = *lo;
+  std::uint32_t to = *hi;
   for (const Event& ev : buffer_) {
     if (ev.publisher == publisher && ev.seq >= from && ev.seq <= to) {
       ++retransmissions_;
@@ -106,8 +111,11 @@ void ReliableSubscriber::handle_sync(const std::string& text) {
   for (const auto& line : split_lines(text)) {
     auto parts = split(line, ' ');
     if (parts.size() != 3 || parts[0] != "SYNC") continue;
-    auto publisher = static_cast<ClientId>(std::stoul(parts[1]));
-    auto max_seq = static_cast<std::uint32_t>(std::stoul(parts[2]));
+    auto pub = parse_u32(parts[1]);
+    auto seq = parse_u32(parts[2]);
+    if (!pub || !seq) continue;
+    auto publisher = static_cast<ClientId>(*pub);
+    std::uint32_t max_seq = *seq;
     auto it = publishers_.find(publisher);
     if (it == publishers_.end() || !it->second.started) continue;  // never heard: not ours
     PublisherState& st = it->second;

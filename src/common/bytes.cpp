@@ -116,6 +116,43 @@ void ByteReader::skip(std::size_t n) {
   if (need(n)) pos_ += n;
 }
 
+Result<std::size_t> ByteReader::read_len_bounded(std::size_t max) {
+  std::uint32_t len = u32();
+  if (!ok_) return fail<std::size_t>("bytes: truncated length field");
+  if (len > max || len > remaining()) {
+    ok_ = false;
+    pos_ = data_.size();
+    return fail<std::size_t>("bytes: length " + std::to_string(len) +
+                             " exceeds bound");
+  }
+  return std::size_t{len};
+}
+
+Result<std::size_t> ByteReader::check_count(std::uint64_t count, std::size_t elem_size) {
+  if (!ok_) return fail<std::size_t>("bytes: truncated count field");
+  if (elem_size == 0) elem_size = 1;
+  // Division instead of multiplication: count * elem_size cannot wrap.
+  if (count > remaining() / elem_size) {
+    ok_ = false;
+    pos_ = data_.size();
+    return fail<std::size_t>("bytes: count " + std::to_string(count) +
+                             " exceeds remaining bytes");
+  }
+  return static_cast<std::size_t>(count);
+}
+
+Result<std::size_t> ByteReader::read_count_u8(std::size_t elem_size) {
+  return check_count(u8(), elem_size);
+}
+
+Result<std::size_t> ByteReader::read_count_u16(std::size_t elem_size) {
+  return check_count(u16(), elem_size);
+}
+
+Result<std::size_t> ByteReader::read_count_u32(std::size_t elem_size) {
+  return check_count(u32(), elem_size);
+}
+
 Bytes to_bytes(std::string_view s) {
   return Bytes(s.begin(), s.end());
 }

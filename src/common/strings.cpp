@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
+#include <cmath>
 
 namespace gmmcs {
 
@@ -90,6 +92,69 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
     out += parts[i];
   }
   return out;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s, std::uint64_t max) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (max - digit) / 10) return std::nullopt;
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+std::optional<std::uint32_t> parse_u32(std::string_view s, std::uint32_t max) {
+  auto v = parse_u64(s, max);
+  if (!v) return std::nullopt;
+  return static_cast<std::uint32_t>(*v);
+}
+
+std::optional<std::uint16_t> parse_u16(std::string_view s) {
+  auto v = parse_u64(s, UINT16_MAX);
+  if (!v) return std::nullopt;
+  return static_cast<std::uint16_t>(*v);
+}
+
+std::optional<std::uint8_t> parse_u8(std::string_view s) {
+  auto v = parse_u64(s, UINT8_MAX);
+  if (!v) return std::nullopt;
+  return static_cast<std::uint8_t>(*v);
+}
+
+std::optional<std::int32_t> parse_i32(std::string_view s) {
+  bool neg = !s.empty() && s.front() == '-';
+  if (neg) s.remove_prefix(1);
+  auto v = parse_u64(s, neg ? std::uint64_t{1} << 31 : std::uint64_t{INT32_MAX});
+  if (!v) return std::nullopt;
+  return neg ? static_cast<std::int32_t>(-static_cast<std::int64_t>(*v))
+             : static_cast<std::int32_t>(*v);
+}
+
+std::optional<std::uint64_t> parse_hex_u64(std::string_view s, std::uint64_t max) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') digit = static_cast<std::uint64_t>(c - 'A' + 10);
+    else return std::nullopt;
+    if (v > (max - digit) / 16) return std::nullopt;
+    v = v * 16 + digit;
+  }
+  return v;
+}
+
+std::optional<double> parse_f64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  double v = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
 }
 
 }  // namespace gmmcs

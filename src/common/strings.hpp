@@ -2,6 +2,8 @@
 // framing) and by XGSP addressing.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,5 +26,26 @@ bool starts_with(std::string_view s, std::string_view prefix);
 bool ends_with(std::string_view s, std::string_view suffix);
 /// Joins parts with a separator.
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Non-throwing bounded numeric parses for wire-derived text — the
+/// sanctioned alternative to std::sto*/atoi/strtol, which either throw on
+/// hostile input or silently accept garbage prefixes. gmmcs-lint pass
+/// "wire" rejects the throwing forms in protocol modules. The whole input
+/// must be digits (leading whitespace is not skipped — trim() first);
+/// empty input, stray characters, and overflow past `max` all yield
+/// nullopt.
+std::optional<std::uint64_t> parse_u64(std::string_view s,
+                                       std::uint64_t max = UINT64_MAX);
+std::optional<std::uint32_t> parse_u32(std::string_view s,
+                                       std::uint32_t max = UINT32_MAX);
+std::optional<std::uint16_t> parse_u16(std::string_view s);
+std::optional<std::uint8_t> parse_u8(std::string_view s);
+/// Signed variant: one optional leading '-' then digits; range-checked.
+std::optional<std::int32_t> parse_i32(std::string_view s);
+/// Hex digits only, no 0x prefix (XML character entities: &#xHHHH;).
+std::optional<std::uint64_t> parse_hex_u64(std::string_view s,
+                                           std::uint64_t max = UINT64_MAX);
+/// Finite decimal floating point (no locale, no exceptions).
+std::optional<double> parse_f64(std::string_view s);
 
 }  // namespace gmmcs

@@ -108,8 +108,12 @@ Result<H245Message> H245Message::decode(std::span<const std::uint8_t> data) {
   if (t < 1 || t > 10) return fail<H245Message>("h245: unknown type " + std::to_string(t));
   m.type = static_cast<H245Type>(t);
   m.seq = r.u32();
-  std::uint8_t ncaps = r.u8();
-  for (std::uint8_t i = 0; i < ncaps; ++i) m.capabilities.push_back(r.u8());
+  // Clamped count read: a 255-capability claim on a truncated frame used
+  // to spin 255 iterations of zero-reads before the final ok() check.
+  auto ncaps = r.read_count_u8(1);
+  if (!ncaps.ok()) return fail<H245Message>("h245: capability count exceeds frame");
+  m.capabilities.reserve(ncaps.value());
+  for (std::size_t i = 0; i < ncaps.value(); ++i) m.capabilities.push_back(r.u8());
   m.channel = r.u16();
   m.media_kind = r.lstr();
   m.payload_type = r.u8();

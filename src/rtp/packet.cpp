@@ -33,6 +33,10 @@ Result<RtpPacket> RtpPacket::parse(const Payload& data) {
   p.sequence = r.u16();
   p.timestamp = r.u32();
   p.ssrc = r.u32();
+  if (std::size_t{4} * cc > r.remaining()) {
+    return fail<RtpPacket>("rtp: truncated CSRC list");
+  }
+  p.csrcs.reserve(cc);
   for (std::uint8_t i = 0; i < cc; ++i) p.csrcs.push_back(r.u32());
   if (!r.ok()) return fail<RtpPacket>("rtp: truncated CSRC list");
   // Zero-copy: the payload is a slice of the packet buffer covering the

@@ -36,6 +36,10 @@ void write_header(ByteWriter& w, std::uint8_t type, std::uint8_t count,
   w.u8(type);
   w.u16(length_words);
 }
+
+// Wire size of one report block: ssrc + fraction/cumulative + highest_seq
+// + jitter + lsr + dlsr.
+constexpr std::size_t kReportBlockBytes = 24;
 }  // namespace
 
 Bytes serialize(const SenderReport& sr) {
@@ -84,10 +88,20 @@ Result<RtcpPacket> parse_rtcp(std::span<const std::uint8_t> data) {
       p.sr.rtp_timestamp = r.u32();
       p.sr.packet_count = r.u32();
       p.sr.octet_count = r.u32();
+      // A header claiming 31 blocks on an 8-byte packet used to push 31
+      // zero-filled blocks before the final ok() check caught it.
+      if (kReportBlockBytes * count > r.remaining()) {
+        return fail<RtcpPacket>("rtcp: report block count exceeds packet");
+      }
+      p.sr.blocks.reserve(count);
       for (std::uint8_t i = 0; i < count; ++i) p.sr.blocks.push_back(read_block(r));
       break;
     case kRtcpReceiverReport:
       p.rr.ssrc = r.u32();
+      if (kReportBlockBytes * count > r.remaining()) {
+        return fail<RtcpPacket>("rtcp: report block count exceeds packet");
+      }
+      p.rr.blocks.reserve(count);
       for (std::uint8_t i = 0; i < count; ++i) p.rr.blocks.push_back(read_block(r));
       break;
     case kRtcpBye:

@@ -14,8 +14,10 @@ Result<sim::Endpoint> parse_contact(const std::string& contact) {
   if (!starts_with(s, "sim:")) return fail<sim::Endpoint>("contact: expected sim: scheme");
   auto parts = split(std::string(s.substr(4)), ':');
   if (parts.size() != 2) return fail<sim::Endpoint>("contact: expected sim:node:port");
-  return sim::Endpoint{static_cast<sim::NodeId>(std::stoul(parts[0])),
-                       static_cast<std::uint16_t>(std::stoul(parts[1]))};
+  auto node = parse_u32(parts[0]);
+  auto port = parse_u16(parts[1]);
+  if (!node || !port) return fail<sim::Endpoint>("contact: malformed node/port");
+  return sim::Endpoint{static_cast<sim::NodeId>(*node), *port};
 }
 
 namespace {

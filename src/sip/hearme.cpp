@@ -1,5 +1,7 @@
 #include "sip/hearme.hpp"
 
+#include "common/strings.hpp"
+
 namespace gmmcs::sip {
 
 HearMeService::HearMeService(sim::Host& host, sim::Endpoint broker_stream,
@@ -91,8 +93,10 @@ Result<xml::Element> HearMeService::membership(const xml::Element& request) {
   std::string session_id = request.attr("session");
   auto it = bridges_.find(session_id);
   if (it == bridges_.end()) return fail<xml::Element>("PhoneMembership: session not bridged");
-  sim::Endpoint phone{static_cast<sim::NodeId>(std::stoul(request.attr("node"))),
-                      static_cast<std::uint16_t>(std::stoul(request.attr("port")))};
+  auto node = parse_u32(request.attr("node"));
+  auto port = parse_u16(request.attr("port"));
+  if (!node || !port) return fail<xml::Element>("PhoneMembership: malformed endpoint");
+  sim::Endpoint phone{static_cast<sim::NodeId>(*node), *port};
   if (request.attr("action") == "leave") {
     std::erase(it->second->phones, phone);
   } else if (std::find(it->second->phones.begin(), it->second->phones.end(), phone) ==

@@ -50,8 +50,8 @@ SipMessage& SipMessage::add_header(const std::string& name, const std::string& v
 
 std::uint32_t SipMessage::cseq_number() const {
   auto parts = split_n(header("CSeq"), ' ', 2);
-  if (parts.empty() || parts[0].empty()) return 0;
-  return static_cast<std::uint32_t>(std::stoul(parts[0]));
+  if (parts.empty()) return 0;
+  return parse_u32(parts[0]).value_or(0);
 }
 
 std::string SipMessage::cseq_method() const {
@@ -109,7 +109,10 @@ Result<SipMessage> SipMessage::parse(const std::string& text) {
     m.is_request = false;
     auto parts = split_n(lines[0], ' ', 3);
     if (parts.size() < 2) return fail<SipMessage>("sip: malformed status line");
-    m.status = std::stoi(parts[1]);
+    // "SIP/2.0 99999999999 ..." used to throw std::out_of_range here.
+    auto status = parse_u32(parts[1], 999);
+    if (!status) return fail<SipMessage>("sip: malformed status code '" + parts[1] + "'");
+    m.status = static_cast<int>(*status);
     m.reason = parts.size() == 3 ? parts[2] : "";
   } else {
     auto parts = split_n(lines[0], ' ', 3);

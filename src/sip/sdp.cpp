@@ -43,7 +43,9 @@ Result<Sdp> Sdp::parse(const std::string& text) {
       case 'c': {
         auto parts = split(value, ' ');
         if (parts.size() != 3 || parts[0] != "IN") return fail<Sdp>("sdp: malformed c= line");
-        sdp.address = static_cast<sim::NodeId>(std::stoul(parts[2]));
+        auto addr = parse_u32(parts[2]);
+        if (!addr) return fail<Sdp>("sdp: malformed c= address");
+        sdp.address = static_cast<sim::NodeId>(*addr);
         break;
       }
       case 'm': {
@@ -51,18 +53,21 @@ Result<Sdp> Sdp::parse(const std::string& text) {
         if (parts.size() < 4) return fail<Sdp>("sdp: malformed m= line");
         SdpMedia m;
         m.kind = parts[0];
-        m.port = static_cast<std::uint16_t>(std::stoul(parts[1]));
-        m.payload_type = static_cast<std::uint8_t>(std::stoul(parts[3]));
+        auto port = parse_u16(parts[1]);
+        auto pt = parse_u8(parts[3]);
+        if (!port || !pt) return fail<Sdp>("sdp: malformed m= line");
+        m.port = *port;
+        m.payload_type = *pt;
         sdp.media.push_back(std::move(m));
         break;
       }
       case 'a': {
         if (starts_with(value, "rtpmap:") && !sdp.media.empty()) {
           auto parts = split_n(value.substr(7), ' ', 2);
-          if (parts.size() == 2) {
-            auto pt = static_cast<std::uint8_t>(std::stoul(parts[0]));
+          auto pt = parts.size() == 2 ? parse_u8(parts[0]) : std::nullopt;
+          if (pt) {
             for (auto& m : sdp.media) {
-              if (m.payload_type == pt && m.codec.empty()) m.codec = parts[1];
+              if (m.payload_type == *pt && m.codec.empty()) m.codec = parts[1];
             }
           }
         }

@@ -108,7 +108,9 @@ Result<HttpResponse> parse_http_response(const std::string& text) {
     return fail<HttpResponse>("http: malformed status line");
   }
   HttpResponse resp;
-  resp.status = std::stoi(parts[1]);
+  auto status = parse_u32(parts[1], 999);
+  if (!status) return fail<HttpResponse>("http: malformed status code '" + parts[1] + "'");
+  resp.status = static_cast<int>(*status);
   resp.body = std::move(body);
   return resp;
 }

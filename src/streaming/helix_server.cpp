@@ -90,8 +90,9 @@ RtspMessage HelixServer::handle(const RtspMessage& req) {
     for (const auto& part : split(transport, ';')) {
       auto kv = split_n(part, '=', 2);
       if (kv.size() != 2) continue;
-      if (kv[0] == "client_node") node = static_cast<sim::NodeId>(std::stoul(kv[1]));
-      if (kv[0] == "client_port") port = static_cast<std::uint16_t>(std::stoul(kv[1]));
+      // Unparseable values leave port 0 → 461 Unsupported Transport.
+      if (kv[0] == "client_node") node = static_cast<sim::NodeId>(parse_u32(kv[1]).value_or(0));
+      if (kv[0] == "client_port") port = parse_u16(kv[1]).value_or(0);
     }
     if (port == 0) return RtspMessage::response(req, 461, "Unsupported Transport");
     PlayerSession s;

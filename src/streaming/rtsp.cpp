@@ -23,8 +23,7 @@ RtspMessage& RtspMessage::set_header(const std::string& name, const std::string&
 }
 
 int RtspMessage::cseq() const {
-  std::string v = header("CSeq");
-  return v.empty() ? 0 : std::stoi(v);
+  return static_cast<int>(parse_u32(header("CSeq")).value_or(0));
 }
 
 std::string RtspMessage::serialize() const {
@@ -56,7 +55,9 @@ Result<RtspMessage> RtspMessage::parse(const std::string& text) {
     m.is_request = false;
     auto parts = split_n(lines[0], ' ', 3);
     if (parts.size() < 2) return fail<RtspMessage>("rtsp: malformed status line");
-    m.status = std::stoi(parts[1]);
+    auto status = parse_u32(parts[1], 999);
+    if (!status) return fail<RtspMessage>("rtsp: malformed status code '" + parts[1] + "'");
+    m.status = static_cast<int>(*status);
     m.reason = parts.size() == 3 ? parts[2] : "";
   } else {
     auto parts = split_n(lines[0], ' ', 3);

@@ -62,8 +62,13 @@ void ProxyServer::accept(StreamConnectionPtr client) {
       conn->close();
       return;
     }
-    sim::Endpoint target{static_cast<sim::NodeId>(std::stoul(parts[0])),
-                         static_cast<std::uint16_t>(std::stoul(parts[1]))};
+    auto node = parse_u32(parts[0]);
+    auto port = parse_u16(parts[1]);
+    if (!node || !port) {
+      conn->close();
+      return;
+    }
+    sim::Endpoint target{static_cast<sim::NodeId>(*node), *port};
     auto upstream = StreamConnection::connect(*host_, target);
     std::weak_ptr<StreamConnection> up_weak = upstream;
     ++tunnels_;

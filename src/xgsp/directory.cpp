@@ -1,5 +1,7 @@
 #include "xgsp/directory.hpp"
 
+#include "common/strings.hpp"
+
 namespace gmmcs::xgsp {
 
 xml::Element UserAccount::to_xml() const {
@@ -41,8 +43,8 @@ CommunityRecord CommunityRecord::from_xml(const xml::Element& e) {
   c.name = e.attr("name");
   c.kind = e.attr("kind");
   if (e.has_attr("ws-node")) {
-    c.web_service.node = static_cast<sim::NodeId>(std::stoul(e.attr("ws-node")));
-    c.web_service.port = static_cast<std::uint16_t>(std::stoul(e.attr("ws-port")));
+    c.web_service.node = static_cast<sim::NodeId>(parse_u32(e.attr("ws-node")).value_or(0));
+    c.web_service.port = parse_u16(e.attr("ws-port")).value_or(0);
   }
   c.wsdl_ci = e.child_text("wsdl-ci");
   return c;

@@ -1,5 +1,7 @@
 #include "xgsp/messages.hpp"
 
+#include "common/strings.hpp"
+
 namespace gmmcs::xgsp {
 
 const char* to_string(MsgType t) {
@@ -65,7 +67,11 @@ Result<Message> Message::from_xml(const xml::Element& e) {
   if (!type.ok()) return fail<Message>(type.error().message);
   Message m;
   m.type = type.value();
-  if (e.has_attr("seq")) m.seq = static_cast<std::uint32_t>(std::stoul(e.attr("seq")));
+  if (e.has_attr("seq")) {
+    auto seq = parse_u32(e.attr("seq"));
+    if (!seq) return fail<Message>("xgsp: malformed seq '" + e.attr("seq") + "'");
+    m.seq = *seq;
+  }
   m.reply_to = e.attr("reply-to");
   m.session_id = e.attr("session");
   m.user = e.attr("user");

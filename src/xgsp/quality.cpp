@@ -1,5 +1,7 @@
 #include "xgsp/quality.hpp"
 
+#include "common/strings.hpp"
+
 namespace gmmcs::xgsp {
 
 xml::Element QualityReport::to_xml() const {
@@ -15,10 +17,10 @@ xml::Element QualityReport::to_xml() const {
 QualityReport QualityReport::from_xml(const xml::Element& e) {
   QualityReport r;
   r.user = e.attr("user");
-  if (e.has_attr("loss")) r.loss_ratio = std::stod(e.attr("loss"));
-  if (e.has_attr("jitter-ms")) r.jitter_ms = std::stod(e.attr("jitter-ms"));
-  if (e.has_attr("delay-ms")) r.delay_ms = std::stod(e.attr("delay-ms"));
-  if (e.has_attr("received")) r.received = std::stoull(e.attr("received"));
+  if (e.has_attr("loss")) r.loss_ratio = parse_f64(e.attr("loss")).value_or(0.0);
+  if (e.has_attr("jitter-ms")) r.jitter_ms = parse_f64(e.attr("jitter-ms")).value_or(0.0);
+  if (e.has_attr("delay-ms")) r.delay_ms = parse_f64(e.attr("delay-ms")).value_or(0.0);
+  if (e.has_attr("received")) r.received = parse_u64(e.attr("received")).value_or(0);
   return r;
 }
 

@@ -1,5 +1,7 @@
 #include "xgsp/shared_app.hpp"
 
+#include "common/strings.hpp"
+
 namespace gmmcs::xgsp {
 
 namespace {
@@ -19,7 +21,7 @@ xml::Element AppOp::to_xml() const {
 
 AppOp AppOp::from_xml(const xml::Element& e) {
   AppOp op;
-  if (e.has_attr("seq")) op.seq = static_cast<std::uint32_t>(std::stoul(e.attr("seq")));
+  if (e.has_attr("seq")) op.seq = parse_u32(e.attr("seq")).value_or(0);
   op.actor = e.attr("actor");
   op.command = e.attr("command");
   op.args = e.text();

@@ -1,5 +1,7 @@
 #include "xgsp/wsdl_ci.hpp"
 
+#include "common/strings.hpp"
+
 namespace gmmcs::xgsp {
 
 xml::Element WsdlCi::to_xml() const {
@@ -23,8 +25,11 @@ Result<WsdlCi> WsdlCi::from_xml(const xml::Element& e) {
   if (!e.has_attr("node") || !e.has_attr("port")) {
     return fail<WsdlCi>("wsdl-ci: missing endpoint");
   }
-  d.endpoint.node = static_cast<sim::NodeId>(std::stoul(e.attr("node")));
-  d.endpoint.port = static_cast<std::uint16_t>(std::stoul(e.attr("port")));
+  auto node = parse_u32(e.attr("node"));
+  auto port = parse_u16(e.attr("port"));
+  if (!node || !port) return fail<WsdlCi>("wsdl-ci: malformed endpoint");
+  d.endpoint.node = static_cast<sim::NodeId>(*node);
+  d.endpoint.port = *port;
   if (const xml::Element* ops = e.child("operations")) {
     if (const xml::Element* op = ops->child("establish")) d.establish_op = op->attr("name");
     if (const xml::Element* op = ops->child("membership")) d.membership_op = op->attr("name");

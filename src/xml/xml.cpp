@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "common/strings.hpp"
+
 namespace gmmcs::xml {
 
 std::string Element::attr(std::string_view name) const {
@@ -159,13 +161,10 @@ std::string unescape(std::string_view escaped) {
     else if (ent == "quot") out += '"';
     else if (ent == "apos") out += '\'';
     else if (!ent.empty() && ent[0] == '#') {
-      long code = 0;
-      if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
-        code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
-      } else {
-        code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
-      }
-      if (code > 0 && code < 128) out += static_cast<char>(code);
+      auto code = (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X'))
+                      ? parse_hex_u64(ent.substr(2), 127)
+                      : parse_u64(ent.substr(1), 127);
+      if (code && *code > 0) out += static_cast<char>(*code);
     } else {
       // Unknown entity: keep verbatim.
       out += '&';
@@ -188,7 +187,7 @@ class Parser {
     skip_misc();
     if (eof()) return fail<Element>("xml: empty document");
     Element root;
-    if (!parse_element(root)) return fail<Element>(error_);
+    if (!parse_element(root, 0)) return fail<Element>(error_);
     skip_misc();
     if (!eof()) return fail<Element>("xml: trailing content after root element");
     return root;
@@ -244,7 +243,14 @@ class Parser {
     return false;
   }
 
-  bool parse_element(Element& out) {
+  // Recursion depth cap: the parser descends once per nested element, so
+  // hostile input like "<a><a><a>..." otherwise converts wire bytes
+  // straight into stack frames until overflow. 64 is far beyond any
+  // document the protocols produce (XGSP nests 3-4 deep).
+  static constexpr int kMaxDepth = 64;
+
+  bool parse_element(Element& out, int depth) {
+    if (depth >= kMaxDepth) return err("element nesting too deep");
     if (eof() || get() != '<') return err("expected '<'");
     std::string name = parse_name();
     if (name.empty()) return err("expected element name");
@@ -309,7 +315,7 @@ class Parser {
           continue;
         }
         Element child;
-        if (!parse_element(child)) return false;
+        if (!parse_element(child, depth + 1)) return false;
         out.add_child(std::move(child));
       } else {
         std::size_t start = pos_;

@@ -174,6 +174,46 @@ TEST(RoundtripBroker, PayloadBackedEventDecodeIsZeroCopyAndByteIdentical) {
   }
 }
 
+TEST(RoundtripBroker, EveryStrictPrefixOfEveryFrameKindIsRejected) {
+  // Broker frames are fixed-field or length-prefixed throughout, so no
+  // strict prefix of a valid frame is itself a valid frame: truncation
+  // anywhere must poison the reader and surface as a decode error, never
+  // as a silently zero-filled message. (RTP is excluded by design — its
+  // payload is the trailing byte run, so prefixes are legitimate
+  // shorter packets.)
+  Rng rng(0x7E1Full);
+  std::vector<Bytes> wires;
+  wires.push_back(encode(gmmcs::broker::HelloMessage{rand_token(rng), rand_u16(rng)}));
+  wires.push_back(encode(gmmcs::broker::HelloAckMessage{rand_u32(rng), rand_u16(rng)}));
+  wires.push_back(encode(gmmcs::broker::SubscribeMessage{rand_token(rng), true}));
+  wires.push_back(encode(gmmcs::broker::SubscribeMessage{rand_token(rng), false}));
+  wires.push_back(encode(rand_event(rng)));
+  {
+    gmmcs::broker::PeerEventMessage m;
+    m.event = rand_event(rng);
+    for (int k = 0; k < 3; ++k) m.targets.push_back(rand_u32(rng));
+    wires.push_back(encode(m));
+  }
+  {
+    gmmcs::broker::PingMessage m{rand_u32(rng), SimTime{12345}};
+    wires.push_back(encode(m, /*pong=*/false));
+    wires.push_back(encode(m, /*pong=*/true));
+  }
+  wires.push_back(encode(gmmcs::broker::HeartbeatMessage{rand_u32(rng)}));
+  wires.push_back(encode(gmmcs::broker::LinkStateMessage{
+      rand_u32(rng), rand_u32(rng), rand_u32(rng), rand_u32(rng), true}));
+  for (const Bytes& wire : wires) {
+    ASSERT_TRUE(gmmcs::broker::decode(gmmcs::Payload{Bytes(wire)}).ok());
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+      const gmmcs::Payload prefix{Bytes(wire.begin(), wire.begin() + cut)};
+      auto decoded = gmmcs::broker::decode(prefix);
+      EXPECT_FALSE(decoded.ok())
+          << cut << "-byte prefix of a " << wire.size() << "-byte frame "
+          << "(type " << int(wire.empty() ? 0 : wire[0]) << ") decoded";
+    }
+  }
+}
+
 // --- H.323: RAS / Q.931 / H.245 ------------------------------------------
 
 TEST(RoundtripH323, RasMessages) {

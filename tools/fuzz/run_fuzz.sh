@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Deterministic decoder-fuzzing driver (DESIGN.md §16.4).
+#
+# Builds tests/decode_fuzz_test.cpp under AddressSanitizer+UBSan and
+# drives every decoder family with seeded structure-aware mutations:
+# the committed shrunk corpus (tests/fuzz_seeds/) replays first, then
+# GMMCS_FUZZ_ITERS fresh mutations per family. The run is time-boxed so
+# CI cannot wedge on it; the seed defaults to the current commit SHA so
+# every push explores new inputs while any failure stays reproducible —
+# a violation prints a shrunk hex reproducer to commit to the corpus.
+#
+# Usage: tools/fuzz/run_fuzz.sh [--seed N] [--iters N] [--timeout S]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+SEED=""
+ITERS=500
+TIMEOUT_S=600
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --seed)    SEED="$2"; shift 2 ;;
+    --iters)   ITERS="$2"; shift 2 ;;
+    --timeout) TIMEOUT_S="$2"; shift 2 ;;
+    *) echo "run_fuzz.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+done
+
+if [[ -z "$SEED" ]]; then
+  # Hex short-SHA as an integer: a fresh deterministic seed per commit.
+  SEED="$((16#$(git -C "$ROOT" rev-parse --short=12 HEAD)))"
+fi
+
+BUILD="$ROOT/build-sanitize-address-undefined"
+cmake -B "$BUILD" -S "$ROOT" -DGMMCS_SANITIZE="address,undefined" >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target test_decode_fuzz
+
+GMMCS_FUZZ_SEED="$SEED" GMMCS_FUZZ_ITERS="$ITERS" \
+  timeout "$TIMEOUT_S" "$BUILD/tests/test_decode_fuzz"
+echo "run_fuzz.sh: corpus replay + $ITERS mutations/family clean (seed $SEED)"

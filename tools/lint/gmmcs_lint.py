@@ -184,6 +184,7 @@ MESSAGES = {
     "snapshot-publication": "%s",
     "lifetime": "%s",
     "copy": "%s",
+    "wire": "%s",
     "suppression-reason": "gmmcs-lint suppression without a reason "
                           "(write `gmmcs-lint: allow(rule): why`)",
 }
@@ -450,7 +451,13 @@ OP_NORMALIZE = {"u8": "u8", "u16": "u16", "u32": "u32", "u64": "u64",
                 "lstr": "lstr", "str": "raw", "raw": "raw", "skip": "raw",
                 # Zero-copy read-side siblings: a view consumes the same
                 # length-carried byte run a raw write produced.
-                "view": "raw", "str_view": "raw", "lstr_view": "lstr", "rest": "raw"}
+                "view": "raw", "str_view": "raw", "lstr_view": "lstr", "rest": "raw",
+                # Checked bounded reads (wire pass): each consumes exactly
+                # the wire bytes of its unchecked twin, so a decoder that
+                # hardens a length/count read stays mirror-symmetric with
+                # the encoder's plain write.
+                "read_len_bounded": "u32", "read_count_u8": "u8",
+                "read_count_u16": "u16", "read_count_u32": "u32"}
 
 FUNC_HEAD_RE = re.compile(
     r"(?:^|\n)\s*(?:template\s*<[^>]*>\s*)?"
@@ -551,7 +558,9 @@ def _extract_seq(body, io_names, helpers):
     io_alt = "|".join(sorted(io_names)) if io_names else r"(?!x)x"
     helper_alt = "|".join(sorted(helpers)) if helpers else r"(?!x)x"
     tok_re = re.compile(
-        rf"\b(?P<io>{io_alt})\s*\.\s*(?P<op>u8|u16|u32|u64|lstr_view|lstr|str_view|str|raw|view|rest|skip)\s*\("
+        rf"\b(?P<io>{io_alt})\s*\.\s*(?P<op>read_len_bounded|read_count_u8|"
+        rf"read_count_u16|read_count_u32|"
+        rf"u8|u16|u32|u64|lstr_view|lstr|str_view|str|raw|view|rest|skip)\s*\("
         rf"|\b(?P<helper>{helper_alt})\s*\("
         rf"|\b(?P<loop>for|while)\s*\("
         rf"|\b(?P<cond>if)\s*\(")
@@ -3070,6 +3079,378 @@ def pass_copy(sources):
     return sorted(set(findings))
 
 
+# --------------------------------------------------------------------------
+# Pass 9: wire — untrusted-input taint analysis (DESIGN.md §16).
+# --------------------------------------------------------------------------
+#
+# Every broker and gateway decoder is fed bytes it did not produce, so a
+# length or count lifted off the wire is attacker-chosen until proven
+# otherwise. This pass marks integers produced by raw ByteReader reads
+# (u8/u16/u32/u64) as *wire-tainted* and rejects them flowing unchecked
+# into allocation sizes (resize/reserve/Bytes(n)/ByteWriter(n)/new[]),
+# container indexing, loop bounds, and Payload::slice offsets.
+#
+# The taint lattice has three points:
+#   - tainted: a raw wire integer — may claim anything up to 2^64.
+#   - frame-bounded: cursor-derived quantities (position(), remaining(),
+#     rest().size(), view/str_view/lstr_view lengths). These cannot
+#     exceed the frame that arrived, so allocating or looping from them
+#     is O(frame) by construction; the pass does not taint them.
+#   - sanitized: tainted, then dominated by a guard. A guard is an if/
+#     loop condition comparing the value against reader.remaining(), a
+#     protocol-max kConstant, or an explicit integer literal; a std::min
+#     clamp; or birth from the checked bounded reads (read_len_bounded /
+#     read_count_u8/u16/u32), whose results are safe at the source.
+#
+# Dominance is textual, like the result pass's .value() check: a guard
+# sanitizes every later use in the same function body. Taint crosses
+# helpers both ways within a file (decoder helpers are file-local in
+# this tree): a helper returning a raw read taints its callers'
+# assignments, and passing a tainted value to a helper whose parameter
+# reaches a sink unguarded is flagged at the call site.
+#
+# Wrap rule: guard arithmetic must not overflow before it compares —
+# `if (n * 4 > r.remaining())` on a narrow n wraps and waves the attack
+# through; the multiplication needs a std::size_t widening (or a size_t
+# kConstant operand).
+#
+# The text half bans throwing/unbounded numeric conversions (std::sto*,
+# atoi, strtol...) in protocol modules: hostile header text goes through
+# the non-throwing bounded gmmcs::parse_* helpers (common/strings.hpp).
+
+# The checked-read plane itself: its internals are the primitive layer.
+WIRE_PRIMITIVE_FILES = {"src/common/bytes.cpp", "src/common/bytes.hpp"}
+# Modules whose inputs are local trusted artifacts (chaos spec files,
+# bench configs), not peer bytes; common/ holds the parse helpers.
+WIRE_TRUSTED_MODULES = {"sim", "common"}
+
+WIRE_READ_RE = re.compile(r"\.\s*(?:u8|u16|u32|u64)\s*\(")
+WIRE_BOUNDED_RE = re.compile(
+    r"read_len_bounded|read_count_u8|read_count_u16|read_count_u32"
+    r"|std\s*::\s*min\b")
+WIRE_STO_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(stoi|stol|stoll|stoul|stoull|stof|stod|stold|"
+    r"atoi|atol|atoll|strtol|strtoll|strtoul|strtoull|strtof|strtod)\s*\(")
+# Tokens that make a comparison a real upper bound: the reader's own
+# cursor, a protocol-max constant, or an explicit literal (0 alone never
+# bounds above — `n > 0` admits everything).
+WIRE_BOUND_TOKEN_RE = re.compile(
+    r"\bremaining\s*\(|\bk[A-Z]\w*|\b(?!0\b)\d+\b|\b\w*[Mm]ax\w*\b|\bsizeof\b")
+# Widening that keeps guard arithmetic from wrapping: an explicit size_t/
+# u64 operand, or a kConstant (declared std::size_t by convention here).
+WIRE_WIDEN_RE = re.compile(
+    r"std\s*::\s*size_t\s*[{(]|static_cast\s*<\s*std\s*::\s*(?:size_t|uint64_t)\s*>"
+    r"|\bk[A-Z]\w*|\bsizeof\b")
+WIRE_ASSIGN_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*([+\-*/%|&^]?=)(?![=>])\s*([^;{}]*);")
+WIRE_ALLOC_RE = re.compile(
+    r"\.\s*(?:resize|reserve)\s*\(|\b(?:Bytes|ByteWriter)\s+[A-Za-z_]\w*\s*\("
+    r"|\b(?:Bytes|ByteWriter)\s*\(|\bnew\s+[\w:]+\s*\[")
+WIRE_SLICE_RE = re.compile(r"\.\s*slice\s*\(")
+WIRE_INDEX_RE = re.compile(r"[\w\)\]]\s*(\[)")
+WIRE_LOOP_RE = re.compile(r"\b(for|while)\s*\(")
+WIRE_IF_RE = re.compile(r"\bif\s*\(")
+WIRE_RETURN_RE = re.compile(r"\breturn\s+([^;]*);")
+
+
+def _wire_matching_bracket(text, open_idx):
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "[":
+            depth += 1
+        elif text[i] == "]":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _wire_word(name):
+    return re.compile(rf"\b{re.escape(name)}\b")
+
+
+def _wire_split_args(argtext):
+    """Splits an argument list on top-level commas."""
+    parts, depth, cur = [], 0, []
+    for ch in argtext:
+        if ch in "(<[{":
+            depth += 1
+        elif ch in ")>]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur or parts:
+        parts.append("".join(cur))
+    return parts
+
+
+def _wire_param_names(params):
+    """Parameter names of a function, excluding the IO objects themselves."""
+    names = []
+    for part in _wire_split_args(params):
+        if re.search(r"\bByte(Reader|Writer)\b", part):
+            continue
+        toks = re.findall(r"[A-Za-z_]\w*", re.sub(r"=\s*[^,]*$", "", part))
+        if len(toks) >= 2:
+            names.append(toks[-1])
+    return names
+
+
+def _wire_active(tainted, sanitized, name, pos):
+    """Is `name` tainted and not yet sanitized at body position `pos`?"""
+    return (name in tainted and tainted[name] <= pos
+            and sanitized.get(name, 10**18) > pos)
+
+
+def _wire_scan(body, seed, reader_names, tainted_helpers):
+    """One function-body dataflow walk.
+
+    Returns (tainted, sanitized, sinks): positions where each variable
+    became tainted / dominated by a guard, and raw sink hits as
+    (pos, kind, name, wrap) tuples. `seed` pre-taints names (used for
+    parameter-to-sink summaries and actual reader-derived locals alike).
+    """
+    tainted = dict(seed)
+    sanitized = {}
+    read_alt = "|".join(sorted(reader_names)) if reader_names else r"(?!x)x"
+    direct_read = re.compile(rf"\b(?:{read_alt})\s*\.\s*(?:u8|u16|u32|u64)\s*\(")
+    helper_alt = ("|".join(sorted(tainted_helpers))
+                  if tainted_helpers else r"(?!x)x")
+    helper_call = re.compile(rf"\b(?:{helper_alt})\s*\(")
+
+    def rhs_tainted(rhs, pos):
+        if WIRE_BOUNDED_RE.search(rhs):
+            return False  # born sanitized: clamped at the source
+        if direct_read.search(rhs) or helper_call.search(rhs):
+            return True
+        return any(_wire_active(tainted, sanitized, t, pos)
+                   and _wire_word(t).search(rhs) for t in list(tainted))
+
+    # Taint propagation through assignments: two rounds reach the
+    # chains the single forward walk misses (a = read; b = a; c = b).
+    for _ in range(2):
+        for m in WIRE_ASSIGN_RE.finditer(body):
+            name, rhs = m.group(1), m.group(3)
+            at = m.start(1)
+            prev = body[:at].rstrip()
+            if prev.endswith(".") or prev.endswith("->"):
+                continue  # member assignment: members are not tracked
+            if name in tainted and tainted[name] <= at:
+                continue
+            if rhs_tainted(rhs, at):
+                tainted[name] = at
+
+    # Guards: an if/loop condition bounding a tainted name sanitizes it
+    # from that point on (textual dominance).
+    wraps = []
+    for m in list(WIRE_IF_RE.finditer(body)) + list(WIRE_LOOP_RE.finditer(body)):
+        open_idx = body.index("(", m.start())
+        close = _matching_paren(body, open_idx)
+        if close < 0:
+            continue
+        cond = body[open_idx + 1:close]
+        if not WIRE_BOUND_TOKEN_RE.search(cond):
+            continue
+        for t in list(tainted):
+            if tainted[t] > close or not _wire_word(t).search(cond):
+                continue
+            if sanitized.get(t, 10**18) > close:
+                sanitized[t] = close
+            # Wrap rule: arithmetic on the tainted value inside the guard
+            # must carry a widening operand or it can overflow first.
+            arith = re.search(
+                rf"(?:\b{re.escape(t)}\b\s*[*+]|[*+]\s*\b{re.escape(t)}\b)",
+                cond)
+            if arith and not WIRE_WIDEN_RE.search(cond):
+                wraps.append((m.start(), "wrap", t, False))
+
+    sinks = list(wraps)
+
+    def check_expr(pos, kind, expr):
+        for t in list(tainted):
+            if _wire_active(tainted, sanitized, t, pos) and \
+                    _wire_word(t).search(expr):
+                sinks.append((pos, kind, t, False))
+                return
+
+    for m in WIRE_ALLOC_RE.finditer(body):
+        open_idx = body.find("(", m.start())
+        if open_idx < 0 or "[" in m.group(0):
+            if "[" in m.group(0):  # new T[expr]
+                bopen = body.index("[", m.start())
+                bclose = _wire_matching_bracket(body, bopen)
+                if bclose > 0:
+                    check_expr(m.start(), "allocation",
+                               body[bopen + 1:bclose])
+            continue
+        close = _matching_paren(body, open_idx)
+        if close > 0:
+            check_expr(m.start(), "allocation", body[open_idx + 1:close])
+
+    for m in WIRE_SLICE_RE.finditer(body):
+        open_idx = body.index("(", m.start())
+        close = _matching_paren(body, open_idx)
+        if close > 0:
+            check_expr(m.start(), "slice", body[open_idx + 1:close])
+
+    for m in WIRE_INDEX_RE.finditer(body):
+        bopen = m.start(1)
+        if re.search(r"\bnew\s+[\w:]+\s*$", body[:bopen]):
+            continue  # new T[n] is the allocation sink, not an index
+        bclose = _wire_matching_bracket(body, bopen)
+        if bclose > 0:
+            check_expr(m.start(), "index", body[bopen + 1:bclose])
+
+    for m in WIRE_LOOP_RE.finditer(body):
+        open_idx = body.index("(", m.start())
+        close = _matching_paren(body, open_idx)
+        if close < 0:
+            continue
+        cond = body[open_idx + 1:close]
+        if m.group(1) == "for":
+            clauses = cond.split(";")
+            cond = clauses[1] if len(clauses) >= 2 else cond
+        if WIRE_BOUND_TOKEN_RE.search(cond):
+            continue  # self-guarded: the condition itself carries a bound
+        check_expr(m.start(), "loop bound", cond)
+
+    return tainted, sanitized, sinks
+
+
+WIRE_SINK_MSG = {
+    "allocation": "drives an allocation size",
+    "slice": "reaches Payload::slice",
+    "index": "indexes a container",
+    "loop bound": "bounds this loop",
+}
+
+
+def pass_wire(sources):
+    findings = []
+    for src in sources:
+        parts = src.rel.split("/")
+        if len(parts) < 3 or parts[0] != "src":
+            continue
+        module = parts[1]
+        if module in WIRE_TRUSTED_MODULES or src.rel in WIRE_PRIMITIVE_FILES:
+            continue
+
+        # Text half: throwing/unbounded numeric parses on protocol text.
+        for idx, line in enumerate(src.code):
+            sm = WIRE_STO_RE.search(line)
+            if sm and not src.suppressed(idx + 1, "wire"):
+                findings.append(
+                    (src.rel, idx + 1, "wire",
+                     f"throwing/unbounded numeric parse '{sm.group(1)}' on "
+                     f"wire-derived text — use the non-throwing bounded "
+                     f"gmmcs::parse_u32/parse_u64/parse_f64 "
+                     f"(common/strings.hpp)"))
+
+        funcs = _extract_functions(src.text)
+        readers = {}
+        for name, params, body, off in funcs:
+            rd = _io_vars(params, body, "ByteReader")
+            if rd:
+                readers[name] = rd
+
+        # Helpers whose return value is a raw wire read (one file at a
+        # time; two rounds catch helper-calls-helper chains).
+        tainted_helpers = set()
+        for _ in range(2):
+            for name, params, body, off in funcs:
+                if name not in readers or name in tainted_helpers:
+                    continue
+                tainted, sanitized, _ = _wire_scan(
+                    body, {}, readers[name], tainted_helpers)
+                bare = name.rsplit("::", 1)[-1]
+                for rm in WIRE_RETURN_RE.finditer(body):
+                    expr = rm.group(1)
+                    read_alt = "|".join(sorted(readers[name]))
+                    if re.search(rf"\b(?:{read_alt})\s*\.\s*(?:u8|u16|u32|u64)\s*\(",
+                                 expr) and not WIRE_BOUNDED_RE.search(expr):
+                        tainted_helpers.add(bare)
+                        break
+                    if any(_wire_active(tainted, sanitized, t, rm.start())
+                           and _wire_word(t).search(expr) for t in tainted):
+                        tainted_helpers.add(bare)
+                        break
+
+        # Parameter-to-sink summaries: which params reach a sink unguarded.
+        sink_params = {}
+        for name, params, body, off in funcs:
+            pnames = _wire_param_names(params)
+            if not pnames:
+                continue
+            for p in pnames:
+                _, _, sinks = _wire_scan(body, {p: 0},
+                                         readers.get(name, set()),
+                                         tainted_helpers)
+                if any(kind != "wrap" for _, kind, t, _ in sinks if t == p):
+                    sink_params.setdefault(name.rsplit("::", 1)[-1],
+                                           set()).add(p)
+
+        # The report walk: only functions that actually see a reader.
+        for name, params, body, off in funcs:
+            if name not in readers:
+                continue
+            tainted, sanitized, sinks = _wire_scan(
+                body, {}, readers[name], tainted_helpers)
+            for pos, kind, t, _ in sinks:
+                lineno = src.line_of(off + 1 + pos)
+                if src.suppressed(lineno, "wire"):
+                    continue
+                if kind == "wrap":
+                    findings.append(
+                        (src.rel, lineno, "wire",
+                         f"guard arithmetic on wire-tainted '{t}' can wrap "
+                         f"before the comparison — widen with "
+                         f"std::size_t{{...}}"))
+                else:
+                    findings.append(
+                        (src.rel, lineno, "wire",
+                         f"wire-tainted '{t}' {WIRE_SINK_MSG[kind]} without "
+                         f"a dominating remaining()/protocol-max guard"))
+            # Call sites handing tainted values to sinking helper params.
+            for fname, pset in sink_params.items():
+                if fname == name.rsplit("::", 1)[-1]:
+                    continue
+                for cm in re.finditer(rf"\b{re.escape(fname)}\s*\(", body):
+                    copen = body.index("(", cm.start())
+                    close = _matching_paren(body, copen)
+                    if close < 0:
+                        continue
+                    args = _wire_split_args(body[copen + 1:close])
+                    # Re-resolve the param order for position matching.
+                    callee = next((f for f in funcs
+                                   if f[0].rsplit("::", 1)[-1] == fname), None)
+                    if callee is None:
+                        continue
+                    cparams = _wire_param_names(callee[1])
+                    all_params = _wire_split_args(callee[1])
+                    for i, argexpr in enumerate(args):
+                        if i >= len(all_params):
+                            break
+                        ptoks = re.findall(r"[A-Za-z_]\w*", all_params[i])
+                        pname = ptoks[-1] if len(ptoks) >= 2 else None
+                        if pname not in pset or pname not in cparams:
+                            continue
+                        for t in list(tainted):
+                            if _wire_active(tainted, sanitized, t, cm.start()) \
+                                    and _wire_word(t).search(argexpr):
+                                lineno = src.line_of(off + 1 + cm.start())
+                                if not src.suppressed(lineno, "wire"):
+                                    findings.append(
+                                        (src.rel, lineno, "wire",
+                                         f"wire-tainted '{t}' passed to "
+                                         f"'{fname}({pname})', which uses it "
+                                         f"as an unguarded size/bound"))
+                                break
+    return findings
+
+
 PASSES = {
     "layering": lambda srcs: pass_layering(srcs),
     "result": lambda srcs: pass_result(srcs),
@@ -3079,6 +3460,7 @@ PASSES = {
     "snapshot": lambda srcs: pass_snapshot(srcs),
     "lifetime": lambda srcs: pass_lifetime(srcs),
     "copy": lambda srcs: pass_copy(srcs),
+    "wire": lambda srcs: pass_wire(srcs),
 }
 
 _LAMBDA_AFTER_CAPS_RE = re.compile(
